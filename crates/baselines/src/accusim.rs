@@ -1,0 +1,267 @@
+//! AccuSim — Dong, Berti-Équille & Srivastava, VLDB 2009 \[10\].
+//!
+//! Bayesian source-accuracy model ("Accu") extended with similarity votes
+//! ("AccuSim"). With source accuracy `A_s` and `n` false values per entry:
+//!
+//! * a source's vote count is `τ_s = ln(n · A_s / (1 − A_s))`;
+//! * a fact's vote count is `C_f = Σ_{s claims f} τ_s`;
+//! * AccuSim adjusts by similar facts: `C*_f = C_f + ρ · Σ_{f'≠f} C_{f'} ·
+//!   sim(f', f)` — "similarity function is used to adjust the vote of a
+//!   value by considering the influences between facts" (§3.1.2);
+//! * fact probability is the softmax over the entry's observed facts,
+//!   `P(f) = e^{C*_f} / Σ_{f'} e^{C*_{f'}}` — the normalization embodies the
+//!   complement-vote assumption shared with 2/3-Estimates;
+//! * `A_s` = mean probability of the facts the source claims.
+//!
+//! Source-dependency detection from the same paper is out of scope, as in
+//! the CRH paper ("we do not consider source dependency").
+
+use crh_core::stats::compute_entry_stats;
+use crh_core::table::{ObservationTable, TruthTable};
+use crh_core::value::Truth;
+
+use crate::fact::{fact_similarity, Facts};
+use crate::resolver::{ConflictResolver, ResolverOutput, SupportedTypes};
+
+/// AccuSim configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AccuSim {
+    /// Initial source accuracy.
+    pub init_accuracy: f64,
+    /// Similarity vote weight ρ.
+    pub rho: f64,
+    /// Default count of false values per entry when the domain is unknown.
+    pub default_n: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the accuracy vector change.
+    pub tol: f64,
+}
+
+impl Default for AccuSim {
+    fn default() -> Self {
+        Self {
+            init_accuracy: 0.8,
+            rho: 0.5,
+            default_n: 10.0,
+            max_iters: 20,
+            tol: 1e-6,
+        }
+    }
+}
+
+const ACC_EPS: f64 = 0.01;
+
+impl ConflictResolver for AccuSim {
+    fn name(&self) -> &'static str {
+        "AccuSim"
+    }
+
+    fn run(&self, table: &ObservationTable) -> ResolverOutput {
+        let facts = Facts::build(table);
+        let stats = compute_entry_stats(table);
+        let k = facts.num_sources;
+
+        // per-entry false-value count n
+        let n_false: Vec<f64> = facts
+            .by_entry
+            .iter()
+            .enumerate()
+            .map(|(e, fs)| {
+                let dom = stats[e].domain_size;
+                let from_domain = dom.saturating_sub(1) as f64;
+                from_domain.max((fs.len() - 1) as f64).max(self.default_n)
+            })
+            .collect();
+
+        // precompute pairwise similarities per entry (entries are small)
+        let sims: Vec<Vec<f64>> = facts
+            .by_entry
+            .iter()
+            .enumerate()
+            .map(|(e, fs)| {
+                let m = fs.len();
+                let mut s = vec![0.0; m * m];
+                for i in 0..m {
+                    for j in 0..m {
+                        if i != j {
+                            s[i * m + j] =
+                                fact_similarity(&fs[i].value, &fs[j].value, &stats[e]);
+                        }
+                    }
+                }
+                s
+            })
+            .collect();
+
+        let mut acc = vec![self.init_accuracy; k];
+        let mut prob: Vec<Vec<f64>> = facts
+            .by_entry
+            .iter()
+            .map(|fs| vec![0.0; fs.len()])
+            .collect();
+
+        let mut iterations = 0;
+        for it in 0..self.max_iters {
+            iterations = it + 1;
+
+            // fact probabilities
+            for (e, fs) in facts.by_entry.iter().enumerate() {
+                let m = fs.len();
+                let tau: Vec<f64> = fs
+                    .iter()
+                    .map(|f| {
+                        f.sources
+                            .iter()
+                            .map(|s| {
+                                let a = acc[s.index()].clamp(ACC_EPS, 1.0 - ACC_EPS);
+                                (n_false[e] * a / (1.0 - a)).ln()
+                            })
+                            .sum()
+                    })
+                    .collect();
+                // similarity-adjusted vote counts
+                let mut adjusted = vec![0.0f64; m];
+                for i in 0..m {
+                    let mut c = tau[i];
+                    for j in 0..m {
+                        if i != j {
+                            c += self.rho * tau[j] * sims[e][j * m + i];
+                        }
+                    }
+                    adjusted[i] = c;
+                }
+                // stable softmax
+                let max = adjusted.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut z = 0.0;
+                for (i, c) in adjusted.iter().enumerate() {
+                    prob[e][i] = (c - max).exp();
+                    z += prob[e][i];
+                }
+                for p in &mut prob[e] {
+                    *p /= z;
+                }
+            }
+
+            // accuracy update
+            let mut new_acc = vec![0.0f64; k];
+            for (s, claims) in facts.by_source.iter().enumerate() {
+                if claims.is_empty() {
+                    new_acc[s] = self.init_accuracy;
+                    continue;
+                }
+                let sum: f64 = claims.iter().map(|&(e, fi)| prob[e][fi]).sum();
+                new_acc[s] = (sum / claims.len() as f64).clamp(ACC_EPS, 1.0 - ACC_EPS);
+            }
+
+            let delta: f64 = acc
+                .iter()
+                .zip(&new_acc)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            acc = new_acc;
+            if delta < self.tol {
+                break;
+            }
+        }
+
+        let picks = facts.argmax_by(|e, fi| prob[e][fi]);
+        let cells: Vec<Truth> = picks
+            .iter()
+            .enumerate()
+            .map(|(e, &fi)| Truth::Point(facts.by_entry[e][fi].value.clone()))
+            .collect();
+
+        ResolverOutput {
+            truths: TruthTable::new(cells),
+            source_scores: Some(acc),
+            scores_are_error: false,
+            iterations,
+            supported: SupportedTypes::ALL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::ids::{ObjectId, PropertyId, SourceId};
+    use crh_core::schema::Schema;
+    use crh_core::table::TableBuilder;
+    use crh_core::value::Value;
+
+    fn table() -> ObservationTable {
+        let mut schema = Schema::new();
+        schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        let c = PropertyId(0);
+        for i in 0..10u32 {
+            b.add_label(ObjectId(i), c, SourceId(0), "t").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(1), "t").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(2), &format!("junk{i}")).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accurate_sources_score_high() {
+        let out = AccuSim::default().run(&table());
+        let a = out.source_scores.unwrap();
+        assert!(a[0] > a[2], "{a:?}");
+        assert!(!out.scores_are_error);
+    }
+
+    #[test]
+    fn picks_supported_fact() {
+        let tab = table();
+        let out = AccuSim::default().run(&tab);
+        let truth_val = tab.schema().lookup(PropertyId(0), "t").unwrap();
+        let e = tab.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        assert_eq!(out.truths.get(e).point(), truth_val);
+    }
+
+    #[test]
+    fn similarity_votes_help_close_continuous_values() {
+        let mut schema = Schema::new();
+        schema.add_continuous("x");
+        let mut b = TableBuilder::new(schema);
+        for i in 0..8u32 {
+            // two sources very close together, two agreeing exactly on a far value
+            b.add(ObjectId(i), PropertyId(0), SourceId(0), Value::Num(100.0)).unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(1), Value::Num(100.5)).unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(2), Value::Num(100.4)).unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(3), Value::Num(500.0)).unwrap();
+        }
+        let tab = b.build().unwrap();
+        let out = AccuSim::default().run(&tab);
+        let e = tab.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        let v = out.truths.get(e).as_num().unwrap();
+        assert!(v < 200.0, "similar cluster should win, got {v}");
+    }
+
+    #[test]
+    fn accuracies_clamped() {
+        let out = AccuSim::default().run(&table());
+        for a in out.source_scores.unwrap() {
+            assert!((ACC_EPS..=1.0 - ACC_EPS).contains(&a));
+        }
+    }
+
+    #[test]
+    fn probabilities_softmax_normalized() {
+        // indirect check: all-agree entries give the single fact prob 1
+        let mut schema = Schema::new();
+        schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        for s in 0..3u32 {
+            b.add_label(ObjectId(0), PropertyId(0), SourceId(s), "only").unwrap();
+        }
+        let tab = b.build().unwrap();
+        let out = AccuSim::default().run(&tab);
+        let e = tab.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        assert_eq!(
+            out.truths.get(e).point(),
+            tab.schema().lookup(PropertyId(0), "only").unwrap()
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! 2-Estimates and 3-Estimates — Galland, Abiteboul, Marian & Senellart,
+//! WSDM 2010 \[5\].
+//!
+//! Both methods exploit the single-truth assumption ("there is one and only
+//! one true value for each entry"): a source positively claims the fact it
+//! states and *negatively* claims every other fact observed for the same
+//! entry (complement votes). They alternate truth-score and source-error
+//! estimation:
+//!
+//! * **2-Estimates** — truth score `T_f` and source error `ε_s`:
+//!   `T_f = avg over voters (pos: 1−ε_s, neg: ε_s)`;
+//!   `ε_s = avg over votes (pos: 1−T_f, neg: T_f)`.
+//! * **3-Estimates** — adds a per-fact difficulty `φ_f` ("considering the
+//!   difficulty of getting the truth for each entry"):
+//!   error probability of a vote becomes `ε_s · φ_f`.
+//!
+//! After each estimate update the value vectors are fully normalized
+//! (linearly rescaled onto `[0,1]`) — the λ = 1 "full normalization" the
+//! authors report works best. Estimated `ε_s` are **unreliability** degrees
+//! (the CRH paper converts them for Fig 1).
+
+use crh_core::table::{ObservationTable, TruthTable};
+use crh_core::value::Truth;
+
+use crate::fact::Facts;
+use crate::resolver::{ConflictResolver, ResolverOutput, SupportedTypes};
+
+/// A vote: source `s` on fact `(e, fi)`, positive or negative.
+#[derive(Debug, Clone, Copy)]
+struct Vote {
+    source: usize,
+    entry: usize,
+    fact: usize,
+    positive: bool,
+}
+
+/// Enumerate positive + complement votes, streaming each to `f`.
+///
+/// Votes are *not* materialized: there are `Σ_e |obs_e| · |facts_e|` of
+/// them, which at full stock scale runs to hundreds of millions — streaming
+/// keeps the methods' memory at `O(facts)` instead.
+fn for_each_vote(facts: &Facts, mut f: impl FnMut(Vote)) {
+    for (e, fs) in facts.by_entry.iter().enumerate() {
+        for (fi, fact) in fs.iter().enumerate() {
+            for s in &fact.sources {
+                f(Vote {
+                    source: s.index(),
+                    entry: e,
+                    fact: fi,
+                    positive: true,
+                });
+                // complement votes against the entry's other facts
+                for fj in 0..fs.len() {
+                    if fj != fi {
+                        f(Vote {
+                            source: s.index(),
+                            entry: e,
+                            fact: fj,
+                            positive: false,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full (λ = 1) linear normalization onto `\[0, 1\]`; constant vectors map to
+/// all-0.5.
+fn normalize(xs: &mut [f64]) {
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(max - min).is_finite() || max - min < 1e-12 {
+        for x in xs.iter_mut() {
+            *x = 0.5;
+        }
+        return;
+    }
+    for x in xs.iter_mut() {
+        *x = (*x - min) / (max - min);
+    }
+}
+
+fn flat_index(facts: &Facts) -> (Vec<usize>, usize) {
+    let mut offsets = Vec::with_capacity(facts.num_entries() + 1);
+    let mut n = 0usize;
+    for fs in &facts.by_entry {
+        offsets.push(n);
+        n += fs.len();
+    }
+    offsets.push(n);
+    (offsets, n)
+}
+
+const EPS: f64 = 1e-3;
+
+fn run_estimates(table: &ObservationTable, with_difficulty: bool, rounds: usize) -> ResolverOutput {
+    let facts = Facts::build(table);
+    let k = facts.num_sources;
+    let (offsets, nfacts) = flat_index(&facts);
+    let fidx = |e: usize, fi: usize| offsets[e] + fi;
+
+    let mut t = vec![0.5f64; nfacts]; // truth scores
+    let mut eps = vec![0.2f64; k]; // source errors
+    let mut phi = vec![0.5f64; nfacts]; // fact difficulty (3-Estimates)
+
+    let mut t_n = vec![0usize; nfacts];
+    let mut s_n = vec![0usize; k];
+    for_each_vote(&facts, |v| {
+        t_n[fidx(v.entry, v.fact)] += 1;
+        s_n[v.source] += 1;
+    });
+
+    for _ in 0..rounds {
+        // T update
+        let mut t_sum = vec![0.0f64; nfacts];
+        for_each_vote(&facts, |v| {
+            let fi = fidx(v.entry, v.fact);
+            let err = if with_difficulty {
+                (eps[v.source] * phi[fi]).clamp(0.0, 1.0)
+            } else {
+                eps[v.source]
+            };
+            t_sum[fi] += if v.positive { 1.0 - err } else { err };
+        });
+        for (i, x) in t.iter_mut().enumerate() {
+            *x = t_sum[i] / t_n[i].max(1) as f64;
+        }
+        normalize(&mut t);
+
+        // φ update (3-Estimates only)
+        if with_difficulty {
+            let mut p_sum = vec![0.0f64; nfacts];
+            for_each_vote(&facts, |v| {
+                let fi = fidx(v.entry, v.fact);
+                let e_s = eps[v.source].max(EPS);
+                let val = if v.positive {
+                    (1.0 - t[fi]) / e_s
+                } else {
+                    t[fi] / e_s
+                };
+                p_sum[fi] += val.clamp(0.0, 1.0);
+            });
+            for (i, x) in phi.iter_mut().enumerate() {
+                *x = p_sum[i] / t_n[i].max(1) as f64;
+            }
+            normalize(&mut phi);
+        }
+
+        // ε update
+        let mut e_sum = vec![0.0f64; k];
+        for_each_vote(&facts, |v| {
+            let fi = fidx(v.entry, v.fact);
+            let val = if with_difficulty {
+                let p = phi[fi].max(EPS);
+                if v.positive {
+                    (1.0 - t[fi]) / p
+                } else {
+                    t[fi] / p
+                }
+            } else if v.positive {
+                1.0 - t[fi]
+            } else {
+                t[fi]
+            };
+            e_sum[v.source] += val.clamp(0.0, 1.0);
+        });
+        for (s, x) in eps.iter_mut().enumerate() {
+            *x = e_sum[s] / s_n[s].max(1) as f64;
+        }
+        normalize(&mut eps);
+        // keep ε usable as a divisor
+        for x in eps.iter_mut() {
+            *x = x.clamp(EPS, 1.0 - EPS);
+        }
+    }
+
+    let picks = facts.argmax_by(|e, fi| t[fidx(e, fi)]);
+    let cells: Vec<Truth> = picks
+        .iter()
+        .enumerate()
+        .map(|(e, &fi)| Truth::Point(facts.by_entry[e][fi].value.clone()))
+        .collect();
+
+    ResolverOutput {
+        truths: TruthTable::new(cells),
+        source_scores: Some(eps),
+        scores_are_error: true,
+        iterations: rounds,
+        supported: SupportedTypes::ALL,
+    }
+}
+
+/// 2-Estimates: source error + truth score with complement votes.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoEstimates {
+    /// Iteration rounds.
+    pub rounds: usize,
+}
+
+impl Default for TwoEstimates {
+    fn default() -> Self {
+        Self { rounds: 20 }
+    }
+}
+
+impl ConflictResolver for TwoEstimates {
+    fn name(&self) -> &'static str {
+        "2-Estimates"
+    }
+
+    fn run(&self, table: &ObservationTable) -> ResolverOutput {
+        run_estimates(table, false, self.rounds)
+    }
+}
+
+/// 3-Estimates: 2-Estimates plus per-fact difficulty.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeEstimates {
+    /// Iteration rounds.
+    pub rounds: usize,
+}
+
+impl Default for ThreeEstimates {
+    fn default() -> Self {
+        Self { rounds: 20 }
+    }
+}
+
+impl ConflictResolver for ThreeEstimates {
+    fn name(&self) -> &'static str {
+        "3-Estimates"
+    }
+
+    fn run(&self, table: &ObservationTable) -> ResolverOutput {
+        run_estimates(table, true, self.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::ids::{ObjectId, PropertyId, SourceId};
+    use crh_core::schema::Schema;
+    use crh_core::table::TableBuilder;
+
+    /// 4 sources: 0,1 truthful; 2 half-wrong; 3 always wrong.
+    fn table() -> ObservationTable {
+        let mut schema = Schema::new();
+        schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        let c = PropertyId(0);
+        for i in 0..12u32 {
+            b.add_label(ObjectId(i), c, SourceId(0), "t").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(1), "t").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(2), if i % 2 == 0 { "t" } else { "w" })
+                .unwrap();
+            b.add_label(ObjectId(i), c, SourceId(3), "w").unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_estimates_finds_truth_and_errors() {
+        let tab = table();
+        let out = TwoEstimates::default().run(&tab);
+        assert!(out.scores_are_error);
+        let eps = out.source_scores.unwrap();
+        assert!(eps[0] < eps[3], "liar must have higher error: {eps:?}");
+        assert!(eps[0] < eps[2], "{eps:?}");
+        let truth_val = tab.schema().lookup(PropertyId(0), "t").unwrap();
+        let e = tab.entry_id(ObjectId(1), PropertyId(0)).unwrap();
+        assert_eq!(out.truths.get(e).point(), truth_val);
+    }
+
+    #[test]
+    fn three_estimates_finds_truth() {
+        let tab = table();
+        let out = ThreeEstimates::default().run(&tab);
+        let eps = out.source_scores.unwrap();
+        assert!(eps[0] < eps[3], "{eps:?}");
+        let truth_val = tab.schema().lookup(PropertyId(0), "t").unwrap();
+        let e = tab.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        assert_eq!(out.truths.get(e).point(), truth_val);
+    }
+
+    #[test]
+    fn complement_votes_enumerated() {
+        let tab = table();
+        let facts = Facts::build(&tab);
+        let (mut total, mut pos) = (0usize, 0usize);
+        for_each_vote(&facts, |v| {
+            total += 1;
+            if v.positive {
+                pos += 1;
+            }
+        });
+        // each entry has 2 facts and 4 positive votes -> each positive vote
+        // adds 1 complement vote: 8 votes per entry, 12 entries
+        assert_eq!(total, 12 * 8);
+        assert_eq!(pos, 12 * 4);
+    }
+
+    #[test]
+    fn normalize_full_range() {
+        let mut xs = vec![2.0, 3.0, 4.0];
+        normalize(&mut xs);
+        assert_eq!(xs, vec![0.0, 0.5, 1.0]);
+        let mut ys = vec![1.0, 1.0];
+        normalize(&mut ys);
+        assert_eq!(ys, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let out = ThreeEstimates::default().run(&table());
+        for e in out.source_scores.unwrap() {
+            assert!((0.0..=1.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn single_fact_entries_are_stable() {
+        // entries where all sources agree: complement votes vanish
+        let mut schema = Schema::new();
+        schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        for i in 0..5u32 {
+            for s in 0..3u32 {
+                b.add_label(ObjectId(i), PropertyId(0), SourceId(s), "same").unwrap();
+            }
+        }
+        let tab = b.build().unwrap();
+        let out = TwoEstimates::default().run(&tab);
+        let e = tab.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        assert_eq!(
+            out.truths.get(e).point(),
+            tab.schema().lookup(PropertyId(0), "same").unwrap()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Fact indexing shared by the fact-based truth-discovery baselines.
+//!
+//! Methods like TruthFinder, Investment, and 2-Estimates reason about
+//! *facts*: the distinct values claimed for an entry, each with its set of
+//! supporting sources. Continuous observations become facts by exact value
+//! equality — precisely how the paper force-feeds heterogeneous data to
+//! these single-type methods ("we can enforce them to handle data of
+//! heterogeneous types by regarding continuous observations as 'facts'
+//! too", §3.1.2).
+
+use crh_core::ids::{EntryId, SourceId};
+use crh_core::stats::EntryStats;
+use crh_core::table::ObservationTable;
+use crh_core::value::Value;
+
+/// One distinct claimed value for an entry and its supporters.
+#[derive(Debug, Clone)]
+pub struct Fact {
+    /// The claimed value.
+    pub value: Value,
+    /// Sources that claim this value for the entry.
+    pub sources: Vec<SourceId>,
+}
+
+/// A reference to one fact: `(entry index, fact index within the entry)`.
+pub type FactRef = (usize, usize);
+
+/// Fact groups for every entry, plus per-source claim lists.
+#[derive(Debug, Clone)]
+pub struct Facts {
+    /// `by_entry[e]` = the distinct facts claimed for entry `e`.
+    pub by_entry: Vec<Vec<Fact>>,
+    /// `by_source\[s\]` = the facts source `s` claims, as [`FactRef`]s.
+    pub by_source: Vec<Vec<FactRef>>,
+    /// Number of sources.
+    pub num_sources: usize,
+}
+
+impl Facts {
+    /// Build the fact index for `table`.
+    pub fn build(table: &ObservationTable) -> Self {
+        let mut by_entry: Vec<Vec<Fact>> = Vec::with_capacity(table.num_entries());
+        let mut by_source: Vec<Vec<FactRef>> = vec![Vec::new(); table.num_sources()];
+        for (e, _, obs) in table.iter_entries() {
+            let mut facts: Vec<Fact> = Vec::new();
+            for (s, v) in obs {
+                match facts.iter_mut().position(|f| f.value.matches(v)) {
+                    Some(fi) => facts[fi].sources.push(*s),
+                    None => facts.push(Fact {
+                        value: v.clone(),
+                        sources: vec![*s],
+                    }),
+                }
+            }
+            for (fi, f) in facts.iter().enumerate() {
+                for s in &f.sources {
+                    by_source[s.index()].push((e.index(), fi));
+                }
+            }
+            by_entry.push(facts);
+        }
+        Self {
+            by_entry,
+            by_source,
+            num_sources: table.num_sources(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn num_entries(&self) -> usize {
+        self.by_entry.len()
+    }
+
+    /// Pick, for each entry, the fact with the highest score in `score`
+    /// (a per-entry slice of per-fact scores); ties break toward the
+    /// first-seen fact. Returns fact indices per entry.
+    pub fn argmax_by<F: Fn(usize, usize) -> f64>(&self, score: F) -> Vec<usize> {
+        self.by_entry
+            .iter()
+            .enumerate()
+            .map(|(e, facts)| {
+                let mut best = 0usize;
+                let mut best_s = f64::NEG_INFINITY;
+                for fi in 0..facts.len() {
+                    let s = score(e, fi);
+                    if s > best_s {
+                        best_s = s;
+                        best = fi;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// The entry id of an entry index.
+    pub fn entry_id(&self, e: usize) -> EntryId {
+        EntryId::from_index(e)
+    }
+}
+
+/// Similarity between two facts of the same entry, in `\[0, 1\]`:
+/// `exp(−|v − v'| / std)` for continuous values (closer ⇒ more similar,
+/// scaled by the entry's dispersion), `0` for distinct categorical/text
+/// values. Used by TruthFinder's implication and AccuSim's similarity votes.
+pub fn fact_similarity(a: &Value, b: &Value, stats: &EntryStats) -> f64 {
+    match (a.as_num(), b.as_num()) {
+        (Some(x), Some(y)) => (-(x - y).abs() / stats.std.max(1e-9)).exp(),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::ids::{ObjectId, PropertyId};
+    use crh_core::schema::Schema;
+    use crh_core::table::TableBuilder;
+
+    fn table() -> ObservationTable {
+        let mut schema = Schema::new();
+        schema.add_continuous("x");
+        schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        let x = PropertyId(0);
+        let c = PropertyId(1);
+        b.add(ObjectId(0), x, SourceId(0), Value::Num(1.0)).unwrap();
+        b.add(ObjectId(0), x, SourceId(1), Value::Num(1.0)).unwrap();
+        b.add(ObjectId(0), x, SourceId(2), Value::Num(2.0)).unwrap();
+        b.add_label(ObjectId(0), c, SourceId(0), "a").unwrap();
+        b.add_label(ObjectId(0), c, SourceId(2), "b").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn groups_equal_values_into_one_fact() {
+        let f = Facts::build(&table());
+        assert_eq!(f.num_entries(), 2);
+        // entry 0 = (o0, x): facts {1.0: [s0,s1]}, {2.0: [s2]}
+        assert_eq!(f.by_entry[0].len(), 2);
+        assert_eq!(f.by_entry[0][0].sources.len(), 2);
+        assert_eq!(f.by_entry[0][1].sources.len(), 1);
+    }
+
+    #[test]
+    fn by_source_links_back() {
+        let f = Facts::build(&table());
+        // source 0 claims 2 facts (one per entry)
+        assert_eq!(f.by_source[0].len(), 2);
+        // source 1 claims 1 fact
+        assert_eq!(f.by_source[1].len(), 1);
+        let (e, fi) = f.by_source[1][0];
+        assert!(f.by_entry[e][fi].value.matches(&Value::Num(1.0)));
+    }
+
+    #[test]
+    fn argmax_by_picks_best() {
+        let f = Facts::build(&table());
+        let counts = f.argmax_by(|e, fi| f.by_entry[e][fi].sources.len() as f64);
+        assert_eq!(counts[0], 0); // the 2-supporter fact
+    }
+
+    #[test]
+    fn similarity_continuous_decays() {
+        let stats = EntryStats {
+            std: 1.0,
+            ..EntryStats::trivial()
+        };
+        let near = fact_similarity(&Value::Num(1.0), &Value::Num(1.1), &stats);
+        let far = fact_similarity(&Value::Num(1.0), &Value::Num(5.0), &stats);
+        assert!(near > far);
+        assert!((fact_similarity(&Value::Num(1.0), &Value::Num(1.0), &stats) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_categorical_zero() {
+        let stats = EntryStats::trivial();
+        assert_eq!(fact_similarity(&Value::Cat(0), &Value::Cat(1), &stats), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Gaussian Truth Model (GTM) — Zhao & Han, QDB 2012 \[14\].
+//!
+//! "A Bayesian probabilistic model based truth discovery approach especially
+//! designed for continuous data" (§3.1.2). Generative model (on per-entry
+//! z-scored data):
+//!
+//! * truth `μ_e ~ N(μ₀, σ₀²)`;
+//! * source quality `σ_k² ~ Inv-Gamma(α, β)`;
+//! * observation `x_ek ~ N(μ_e, σ_k²)`.
+//!
+//! Inference is the paper's iterated conditional modes: the truth update is
+//! the precision-weighted posterior mean, the quality update is the MAP of
+//! the inverse-gamma posterior given current truths. Estimated `σ_k²` are
+//! **unreliability** degrees (the CRH paper converts them before Fig 1:
+//! "3-Estimates and GTM calculate the unreliability degrees").
+
+use crh_core::stats::compute_entry_stats;
+use crh_core::table::{ObservationTable, TruthTable};
+use crh_core::value::{PropertyType, Truth, Value};
+
+use crate::resolver::{ConflictResolver, ResolverOutput, SupportedTypes};
+
+/// GTM hyper-parameters (defaults follow the GTM paper's suggestions).
+#[derive(Debug, Clone, Copy)]
+pub struct Gtm {
+    /// Truth prior mean (on z-scored data).
+    pub mu0: f64,
+    /// Truth prior variance.
+    pub sigma0_sq: f64,
+    /// Inverse-gamma shape for source variances.
+    pub alpha: f64,
+    /// Inverse-gamma scale for source variances.
+    pub beta: f64,
+    /// Iterations of coordinate updates.
+    pub iterations: usize,
+}
+
+impl Default for Gtm {
+    fn default() -> Self {
+        Self {
+            mu0: 0.0,
+            sigma0_sq: 1.0,
+            alpha: 10.0,
+            beta: 10.0,
+            iterations: 20,
+        }
+    }
+}
+
+impl ConflictResolver for Gtm {
+    fn name(&self) -> &'static str {
+        "GTM"
+    }
+
+    fn run(&self, table: &ObservationTable) -> ResolverOutput {
+        let k = table.num_sources();
+        let stats = compute_entry_stats(table);
+
+        // z-score observations per entry; collect continuous entries
+        let mut z: Vec<Vec<(usize, f64)>> = Vec::with_capacity(table.num_entries());
+        let mut is_cont = Vec::with_capacity(table.num_entries());
+        for (e, entry, obs) in table.iter_entries() {
+            let ptype = table
+                .schema()
+                .property_type(entry.property)
+                .expect("property in schema");
+            if ptype != PropertyType::Continuous {
+                z.push(Vec::new());
+                is_cont.push(false);
+                continue;
+            }
+            is_cont.push(true);
+            let st = &stats[e.index()];
+            let std = st.std.max(1e-9);
+            z.push(
+                obs.iter()
+                    .filter_map(|(s, v)| v.as_num().map(|x| (s.index(), (x - st.mean) / std)))
+                    .collect(),
+            );
+        }
+
+        let mut sigma_sq = vec![1.0f64; k];
+        let mut mu = vec![0.0f64; z.len()];
+        for _ in 0..self.iterations {
+            // truth update: precision-weighted posterior mean
+            for (e, group) in z.iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let mut num = self.mu0 / self.sigma0_sq;
+                let mut den = 1.0 / self.sigma0_sq;
+                for &(s, x) in group {
+                    let prec = 1.0 / sigma_sq[s].max(1e-9);
+                    num += x * prec;
+                    den += prec;
+                }
+                mu[e] = num / den;
+            }
+            // source variance update: inverse-gamma MAP
+            let mut sq_sum = vec![0.0f64; k];
+            let mut n = vec![0usize; k];
+            for (e, group) in z.iter().enumerate() {
+                for &(s, x) in group {
+                    let d = x - mu[e];
+                    sq_sum[s] += d * d;
+                    n[s] += 1;
+                }
+            }
+            for s in 0..k {
+                sigma_sq[s] =
+                    (self.beta + 0.5 * sq_sum[s]) / (self.alpha + 0.5 * n[s] as f64 + 1.0);
+            }
+        }
+
+        // de-normalize truths; placeholder for non-continuous entries
+        let mut cells = Vec::with_capacity(table.num_entries());
+        for (e, _, obs) in table.iter_entries() {
+            let i = e.index();
+            if is_cont[i] && !z[i].is_empty() {
+                let st = &stats[i];
+                cells.push(Truth::Point(Value::Num(mu[i] * st.std.max(1e-9) + st.mean)));
+            } else {
+                cells.push(Truth::Point(obs[0].1.clone()));
+            }
+        }
+
+        ResolverOutput {
+            truths: TruthTable::new(cells),
+            source_scores: Some(sigma_sq),
+            scores_are_error: true,
+            iterations: self.iterations,
+            supported: SupportedTypes::CONTINUOUS_ONLY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::ids::{ObjectId, PropertyId, SourceId};
+    use crh_core::schema::Schema;
+    use crh_core::table::TableBuilder;
+
+    /// source 0 accurate, source 1 noisy, source 2 wild
+    fn table() -> ObservationTable {
+        let mut schema = Schema::new();
+        schema.add_continuous("x");
+        let mut b = TableBuilder::new(schema);
+        let x = PropertyId(0);
+        let noise = [0.0, 0.5, 1.0, -0.5, -1.0, 0.2, -0.2, 0.8, -0.8, 0.4];
+        for i in 0..10u32 {
+            let t = 100.0 + i as f64 * 10.0;
+            b.add(ObjectId(i), x, SourceId(0), Value::Num(t + 0.1 * noise[i as usize]))
+                .unwrap();
+            b.add(ObjectId(i), x, SourceId(1), Value::Num(t + 3.0 * noise[i as usize]))
+                .unwrap();
+            b.add(ObjectId(i), x, SourceId(2), Value::Num(t + 25.0 * noise[(i as usize + 3) % 10]))
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accurate_source_has_lowest_variance() {
+        let out = Gtm::default().run(&table());
+        let sq = out.source_scores.unwrap();
+        assert!(out.scores_are_error);
+        assert!(sq[0] < sq[1], "{sq:?}");
+        assert!(sq[1] < sq[2], "{sq:?}");
+    }
+
+    #[test]
+    fn truths_closer_than_plain_mean() {
+        // GTM's truth prior shrinks estimates toward the entry mean, so it
+        // will not hit the truth exactly; but weighting by inferred source
+        // variance must beat the unweighted mean.
+        let t = table();
+        let out = Gtm::default().run(&t);
+        let e = t.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        let est = out.truths.get(e).as_num().unwrap();
+        let obs: Vec<f64> = t
+            .observations(e)
+            .iter()
+            .filter_map(|(_, v)| v.as_num())
+            .collect();
+        let mean = obs.iter().sum::<f64>() / obs.len() as f64;
+        assert!(
+            (est - 100.0).abs() < (mean - 100.0).abs(),
+            "est {est} should beat mean {mean}"
+        );
+        assert!((est - 100.0).abs() < 5.0, "est {est}");
+    }
+
+    #[test]
+    fn categorical_entries_marked_unsupported() {
+        let mut schema = Schema::new();
+        schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        b.add_label(ObjectId(0), PropertyId(0), SourceId(0), "a").unwrap();
+        let t = b.build().unwrap();
+        let out = Gtm::default().run(&t);
+        assert_eq!(out.supported, SupportedTypes::CONTINUOUS_ONLY);
+        // placeholder exists but is not to be scored
+        assert_eq!(out.truths.len(), 1);
+    }
+
+    #[test]
+    fn agreeing_sources_low_variance() {
+        let mut schema = Schema::new();
+        schema.add_continuous("x");
+        let mut b = TableBuilder::new(schema);
+        for i in 0..5u32 {
+            for s in 0..3u32 {
+                b.add(ObjectId(i), PropertyId(0), SourceId(s), Value::Num(i as f64))
+                    .unwrap();
+            }
+        }
+        let out = Gtm::default().run(&b.build().unwrap());
+        let sq = out.source_scores.unwrap();
+        // all observations identical: variances fall to the prior mode
+        for s in sq {
+            assert!(s < 1.0);
+        }
+    }
+}

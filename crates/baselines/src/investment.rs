@@ -1,0 +1,274 @@
+//! Investment and PooledInvestment — Pasternack & Roth, COLING 2010 /
+//! IJCAI 2011 \[9\].
+//!
+//! Sources "invest" their trust uniformly across the claims they make; a
+//! claim's belief grows with the invested trust; sources earn returns
+//! proportional to their share of the investment in each claim:
+//!
+//! * invested amount in claim `c` from source `s`: `T(s) / |C_s|`;
+//! * pooled base `H(c) = Σ_{s ∈ S_c} T(s) / |C_s|`;
+//! * **Investment** belief: `B(c) = G(H(c))` with non-linear `G(x) = x^g`,
+//!   `g = 1.2`;
+//! * **PooledInvestment** belief: `B(c) = H(c) · G(H(c)) / Σ_{c' ∈ mutex(c)}
+//!   G(H(c'))` with `g = 1.4` — linear pooling across the entry's mutually
+//!   exclusive claims;
+//! * returns: `T(s) = Σ_{c ∈ C_s} B(c) · (T(s)/|C_s|) / H(c)`.
+//!
+//! `g` values are the authors' suggested settings. Trust is renormalized
+//! each round (mean 1) to keep the fixed point numerically stable.
+
+use crh_core::table::{ObservationTable, TruthTable};
+use crh_core::value::Truth;
+
+use crate::fact::Facts;
+use crate::resolver::{ConflictResolver, ResolverOutput, SupportedTypes};
+
+/// Which belief-growth rule to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    Investment,
+    Pooled,
+}
+
+/// Shared engine for both variants.
+fn run_investment(
+    table: &ObservationTable,
+    variant: Variant,
+    g: f64,
+    rounds: usize,
+) -> ResolverOutput {
+    let facts = Facts::build(table);
+    let k = facts.num_sources;
+    let claims_per_source: Vec<f64> = facts
+        .by_source
+        .iter()
+        .map(|c| c.len().max(1) as f64)
+        .collect();
+
+    let mut trust = vec![1.0f64; k];
+    let mut belief: Vec<Vec<f64>> = facts
+        .by_entry
+        .iter()
+        .map(|fs| vec![0.0; fs.len()])
+        .collect();
+
+    for _ in 0..rounds {
+        // pooled base H(c)
+        let mut h: Vec<Vec<f64>> = facts
+            .by_entry
+            .iter()
+            .map(|fs| vec![0.0; fs.len()])
+            .collect();
+        for (e, fs) in facts.by_entry.iter().enumerate() {
+            for (fi, f) in fs.iter().enumerate() {
+                h[e][fi] = f
+                    .sources
+                    .iter()
+                    .map(|s| trust[s.index()] / claims_per_source[s.index()])
+                    .sum();
+            }
+        }
+
+        // beliefs
+        for (e, fs) in facts.by_entry.iter().enumerate() {
+            match variant {
+                Variant::Investment => {
+                    for fi in 0..fs.len() {
+                        belief[e][fi] = h[e][fi].powf(g);
+                    }
+                }
+                Variant::Pooled => {
+                    let pool: f64 = h[e].iter().map(|&x| x.powf(g)).sum();
+                    for fi in 0..fs.len() {
+                        belief[e][fi] = if pool > 0.0 {
+                            h[e][fi] * h[e][fi].powf(g) / pool
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+
+        // returns
+        let mut new_trust = vec![0.0f64; k];
+        for (e, fs) in facts.by_entry.iter().enumerate() {
+            for (fi, f) in fs.iter().enumerate() {
+                if h[e][fi] <= 0.0 {
+                    continue;
+                }
+                for s in &f.sources {
+                    let si = s.index();
+                    let invested = trust[si] / claims_per_source[si];
+                    new_trust[si] += belief[e][fi] * invested / h[e][fi];
+                }
+            }
+        }
+        // renormalize to mean 1
+        let mean: f64 = new_trust.iter().sum::<f64>() / k.max(1) as f64;
+        if mean > 0.0 {
+            for t in &mut new_trust {
+                *t /= mean;
+            }
+        } else {
+            new_trust = vec![1.0; k];
+        }
+        trust = new_trust;
+    }
+
+    let picks = facts.argmax_by(|e, fi| belief[e][fi]);
+    let cells: Vec<Truth> = picks
+        .iter()
+        .enumerate()
+        .map(|(e, &fi)| Truth::Point(facts.by_entry[e][fi].value.clone()))
+        .collect();
+
+    ResolverOutput {
+        truths: TruthTable::new(cells),
+        source_scores: Some(trust),
+        scores_are_error: false,
+        iterations: rounds,
+        supported: SupportedTypes::ALL,
+    }
+}
+
+/// Investment with `G(x) = x^1.2` (non-linear belief growth).
+#[derive(Debug, Clone, Copy)]
+pub struct Investment {
+    /// Growth exponent (authors' suggestion: 1.2).
+    pub g: f64,
+    /// Iteration rounds.
+    pub rounds: usize,
+}
+
+impl Default for Investment {
+    fn default() -> Self {
+        Self { g: 1.2, rounds: 20 }
+    }
+}
+
+impl ConflictResolver for Investment {
+    fn name(&self) -> &'static str {
+        "Investment"
+    }
+
+    fn run(&self, table: &ObservationTable) -> ResolverOutput {
+        run_investment(table, Variant::Investment, self.g, self.rounds)
+    }
+}
+
+/// PooledInvestment with linear pooling and `g = 1.4`.
+#[derive(Debug, Clone, Copy)]
+pub struct PooledInvestment {
+    /// Growth exponent (authors' suggestion: 1.4).
+    pub g: f64,
+    /// Iteration rounds.
+    pub rounds: usize,
+}
+
+impl Default for PooledInvestment {
+    fn default() -> Self {
+        Self { g: 1.4, rounds: 20 }
+    }
+}
+
+impl ConflictResolver for PooledInvestment {
+    fn name(&self) -> &'static str {
+        "PooledInvestment"
+    }
+
+    fn run(&self, table: &ObservationTable) -> ResolverOutput {
+        run_investment(table, Variant::Pooled, self.g, self.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::ids::{ObjectId, PropertyId, SourceId};
+    use crh_core::schema::Schema;
+    use crh_core::table::TableBuilder;
+
+    /// 4 sources: 0 and 1 truthful; 2 scattershot; 3 consistent liar.
+    fn table() -> ObservationTable {
+        let mut schema = Schema::new();
+        schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        let c = PropertyId(0);
+        for i in 0..12u32 {
+            b.add_label(ObjectId(i), c, SourceId(0), "t").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(1), "t").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(2), &format!("x{i}")).unwrap();
+            b.add_label(ObjectId(i), c, SourceId(3), "w").unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn investment_trusts_the_consistent_majority() {
+        let tab = table();
+        let out = Investment::default().run(&tab);
+        let t = out.source_scores.unwrap();
+        assert!(t[0] > t[2], "{t:?}");
+        let c = PropertyId(0);
+        let truth_val = tab.schema().lookup(c, "t").unwrap();
+        let e = tab.entry_id(ObjectId(0), c).unwrap();
+        assert_eq!(out.truths.get(e).point(), truth_val);
+    }
+
+    #[test]
+    fn pooled_investment_same_winner() {
+        let tab = table();
+        let out = PooledInvestment::default().run(&tab);
+        let c = PropertyId(0);
+        let truth_val = tab.schema().lookup(c, "t").unwrap();
+        let e = tab.entry_id(ObjectId(0), c).unwrap();
+        assert_eq!(out.truths.get(e).point(), truth_val);
+    }
+
+    #[test]
+    fn pooled_beliefs_are_bounded_by_pool() {
+        // pooling keeps beliefs from exploding; trust stays finite
+        let out = PooledInvestment::default().run(&table());
+        for t in out.source_scores.unwrap() {
+            assert!(t.is_finite() && t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn trust_mean_normalized() {
+        let out = Investment::default().run(&table());
+        let t = out.source_scores.unwrap();
+        let mean: f64 = t.iter().sum::<f64>() / t.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_and_support() {
+        assert_eq!(Investment::default().name(), "Investment");
+        assert_eq!(PooledInvestment::default().name(), "PooledInvestment");
+        assert_eq!(
+            Investment::default().run(&table()).supported,
+            SupportedTypes::ALL
+        );
+    }
+
+    #[test]
+    fn handles_continuous_facts() {
+        let mut schema = Schema::new();
+        schema.add_continuous("x");
+        let mut b = TableBuilder::new(schema);
+        for i in 0..5u32 {
+            b.add(ObjectId(i), PropertyId(0), SourceId(0), crh_core::value::Value::Num(1.0))
+                .unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(1), crh_core::value::Value::Num(1.0))
+                .unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(2), crh_core::value::Value::Num(9.0))
+                .unwrap();
+        }
+        let tab = b.build().unwrap();
+        let out = Investment::default().run(&tab);
+        let e = tab.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        assert_eq!(out.truths.get(e).as_num(), Some(1.0));
+    }
+}

@@ -1,0 +1,63 @@
+//! The common interface all baseline conflict-resolution methods implement.
+
+use crh_core::table::{ObservationTable, TruthTable};
+
+/// Which property types a method can produce answers for. The paper's
+/// Tables 2/4 report `NA` for the measure a method does not support
+/// (Mean/Median/GTM are continuous-only; Voting is categorical-only; the
+/// fact-based truth-discovery methods handle both by "regarding continuous
+/// observations as facts too").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportedTypes {
+    /// Handles categorical (and text) entries.
+    pub categorical: bool,
+    /// Handles continuous entries.
+    pub continuous: bool,
+}
+
+impl SupportedTypes {
+    /// Supports every property type.
+    pub const ALL: Self = Self {
+        categorical: true,
+        continuous: true,
+    };
+    /// Continuous-only method.
+    pub const CONTINUOUS_ONLY: Self = Self {
+        categorical: false,
+        continuous: true,
+    };
+    /// Categorical-only method.
+    pub const CATEGORICAL_ONLY: Self = Self {
+        categorical: true,
+        continuous: false,
+    };
+}
+
+/// Output of one conflict-resolution method.
+#[derive(Debug, Clone)]
+pub struct ResolverOutput {
+    /// Estimated truths, parallel to the input table's entries. Entries of
+    /// unsupported types carry a best-effort placeholder (first observation)
+    /// and must not be scored — check [`ResolverOutput::supported`].
+    pub truths: TruthTable,
+    /// Estimated per-source scores, if the method models source quality.
+    /// Interpretation depends on `scores_are_error`.
+    pub source_scores: Option<Vec<f64>>,
+    /// If `true`, `source_scores` are *unreliability* degrees (higher =
+    /// worse), e.g. GTM's variances or 3-Estimates' error factors — the
+    /// paper converts these before plotting Fig 1.
+    pub scores_are_error: bool,
+    /// Iterations the method ran (1 for non-iterative methods).
+    pub iterations: usize,
+    /// Property types the method actually resolves.
+    pub supported: SupportedTypes,
+}
+
+/// A conflict-resolution method (baseline or otherwise).
+pub trait ConflictResolver {
+    /// Display name, matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Resolve conflicts in `table`.
+    fn run(&self, table: &ObservationTable) -> ResolverOutput;
+}

@@ -1,0 +1,88 @@
+//! Ablation: per-iteration cost of each loss function's `loss` and `fit`
+//! (the §2.4 design choices).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crh_core::ids::SourceId;
+use crh_core::loss::{AbsoluteLoss, EditDistanceLoss, Loss, ProbVectorLoss, SquaredLoss, ZeroOneLoss};
+use crh_core::stats::EntryStats;
+use crh_core::value::{Truth, Value};
+
+fn num_obs(k: usize) -> Vec<(SourceId, Value)> {
+    (0..k)
+        .map(|i| (SourceId(i as u32), Value::Num(70.0 + (i % 7) as f64)))
+        .collect()
+}
+
+fn cat_obs(k: usize) -> Vec<(SourceId, Value)> {
+    (0..k)
+        .map(|i| (SourceId(i as u32), Value::Cat((i % 5) as u32)))
+        .collect()
+}
+
+fn text_obs(k: usize) -> Vec<(SourceId, Value)> {
+    (0..k)
+        .map(|i| (SourceId(i as u32), Value::Text(format!("gate A{}", i % 6))))
+        .collect()
+}
+
+fn bench_losses(c: &mut Criterion) {
+    let k = 55; // the stock dataset's source count
+    let weights: Vec<f64> = (0..k).map(|i| 0.1 + i as f64 * 0.05).collect();
+    let stats = EntryStats {
+        std: 2.0,
+        domain_size: 5,
+        ..EntryStats::trivial()
+    };
+
+    let mut g = c.benchmark_group("fit");
+    let nums = num_obs(k);
+    let cats = cat_obs(k);
+    let texts = text_obs(k);
+    g.bench_function("zero_one_vote", |b| {
+        b.iter(|| ZeroOneLoss.fit(black_box(&cats), &weights, &stats))
+    });
+    g.bench_function("prob_vector_mean", |b| {
+        b.iter(|| ProbVectorLoss.fit(black_box(&cats), &weights, &stats))
+    });
+    g.bench_function("squared_mean", |b| {
+        b.iter(|| SquaredLoss.fit(black_box(&nums), &weights, &stats))
+    });
+    g.bench_function("absolute_median", |b| {
+        b.iter(|| AbsoluteLoss.fit(black_box(&nums), &weights, &stats))
+    });
+    g.bench_function("edit_medoid", |b| {
+        b.iter(|| EditDistanceLoss.fit(black_box(&texts), &weights, &stats))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("loss_eval");
+    let t_num = Truth::Point(Value::Num(71.0));
+    let t_cat = Truth::Point(Value::Cat(1));
+    g.bench_function("zero_one", |b| {
+        b.iter(|| {
+            cats.iter()
+                .map(|(_, v)| ZeroOneLoss.loss(black_box(&t_cat), v, &stats))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("absolute", |b| {
+        b.iter(|| {
+            nums.iter()
+                .map(|(_, v)| AbsoluteLoss.loss(black_box(&t_num), v, &stats))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("squared", |b| {
+        b.iter(|| {
+            nums.iter()
+                .map(|(_, v)| SquaredLoss.loss(black_box(&t_num), v, &stats))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_losses);
+criterion_main!(benches);

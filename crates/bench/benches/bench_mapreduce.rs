@@ -1,0 +1,92 @@
+//! MapReduce engine ablations: combiner on/off (§2.7.3's shuffle-volume
+//! argument) and reducer-count sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use crh_data::generators::uci::{generate, UciConfig, UciFlavor};
+use crh_mapreduce::{JobConfig, OocClaim, OutOfCoreCrh, ParallelCrh, SortedClaims};
+
+fn bench_mapreduce(c: &mut Criterion) {
+    let mut cfg = UciConfig::paper(UciFlavor::Adult);
+    cfg.rows = 800;
+    let ds = generate(&cfg);
+
+    let mut g = c.benchmark_group("parallel_crh");
+    g.sample_size(10);
+    for (name, use_combiner) in [("with_combiner", true), ("without_combiner", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                ParallelCrh::default()
+                    .job_config(JobConfig {
+                        use_combiner,
+                        ..JobConfig::default()
+                    })
+                    .max_iters(3)
+                    .run(&ds.table)
+                    .unwrap()
+            })
+        });
+    }
+    for reducers in [1usize, 4, 16] {
+        g.bench_function(format!("reducers/{reducers}"), |b| {
+            b.iter(|| {
+                ParallelCrh::default()
+                    .job_config(JobConfig {
+                        num_reducers: reducers,
+                        ..JobConfig::default()
+                    })
+                    .max_iters(3)
+                    .run(&ds.table)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // out-of-core pipeline: external sort + scan-per-iteration CRH under a
+    // deliberately tiny memory budget, vs the in-memory sequential solver
+    let claims: Vec<OocClaim> = ds
+        .table
+        .iter_claims()
+        .map(|(e, s, v)| OocClaim {
+            entry: e.0,
+            property: ds.table.entry(e).property.0,
+            source: s.0,
+            value: v.clone(),
+        })
+        .collect();
+    let types: Vec<crh_core::value::PropertyType> = ds
+        .table
+        .schema()
+        .properties()
+        .map(|(_, def)| def.ptype)
+        .collect();
+    let mut g = c.benchmark_group("out_of_core");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(claims.len() as u64));
+    g.bench_function("external_sort_8k_budget", |b| {
+        b.iter(|| SortedClaims::build(claims.iter().cloned(), 8192).unwrap())
+    });
+    let sorted = SortedClaims::build(claims.iter().cloned(), 8192).unwrap();
+    g.bench_function("ooc_crh_scan_iterations", |b| {
+        b.iter(|| {
+            OutOfCoreCrh::new(types.clone())
+                .unwrap()
+                .run(&sorted, |_, _| {})
+                .unwrap()
+        })
+    });
+    g.bench_function("in_memory_crh_reference", |b| {
+        b.iter(|| {
+            crh_core::solver::CrhBuilder::new()
+                .build()
+                .unwrap()
+                .run(&ds.table)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapreduce);
+criterion_main!(benches);

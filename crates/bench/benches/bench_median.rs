@@ -1,0 +1,42 @@
+//! Ablation: weighted median (Eq 16) vs weighted mean (Eq 14) truth
+//! updates — the robustness-for-speed trade-off of §2.4.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crh_core::ids::SourceId;
+use crh_core::loss::{weighted_median, AbsoluteLoss, Loss, SquaredLoss};
+use crh_core::stats::EntryStats;
+use crh_core::value::Value;
+
+fn bench_median(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weighted_median");
+    for n in [8usize, 64, 512, 4096] {
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|i| (((i * 2654435761) % 1000) as f64, 0.1 + (i % 10) as f64))
+            .collect();
+        g.bench_function(format!("median/{n}"), |b| {
+            b.iter(|| weighted_median(black_box(&pairs)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("truth_update");
+    for n in [8usize, 64, 512] {
+        let obs: Vec<(SourceId, Value)> = (0..n)
+            .map(|i| (SourceId(i as u32), Value::Num(((i * 7) % 100) as f64)))
+            .collect();
+        let weights: Vec<f64> = (0..n).map(|i| 0.1 + (i % 5) as f64).collect();
+        let stats = EntryStats::trivial();
+        g.bench_function(format!("weighted_median_fit/{n}"), |b| {
+            b.iter(|| AbsoluteLoss.fit(black_box(&obs), &weights, &stats))
+        });
+        g.bench_function(format!("weighted_mean_fit/{n}"), |b| {
+            b.iter(|| SquaredLoss.fit(black_box(&obs), &weights, &stats))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_median);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end CRH solver scaling: the §2.5 claim that running time is
+//! linear in the number of observations, plus the initialization ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use crh_core::solver::{CrhBuilder, PropertyNorm};
+use crh_data::generators::uci::{generate, UciConfig, UciFlavor};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crh_solver_scaling");
+    g.sample_size(10);
+    for rows in [250usize, 500, 1000, 2000] {
+        let mut cfg = UciConfig::paper(UciFlavor::Adult);
+        cfg.rows = rows;
+        let ds = generate(&cfg);
+        let obs = ds.table.num_observations();
+        g.throughput(Throughput::Elements(obs as u64));
+        g.bench_with_input(BenchmarkId::new("run", obs), &ds, |b, ds| {
+            b.iter(|| {
+                CrhBuilder::new()
+                    .max_iters(10)
+                    .build()
+                    .unwrap()
+                    .run(&ds.table)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // ablation: property normalization schemes
+    let mut g = c.benchmark_group("crh_property_norm");
+    g.sample_size(10);
+    let mut cfg = UciConfig::paper(UciFlavor::Adult);
+    cfg.rows = 500;
+    let ds = generate(&cfg);
+    for (name, norm) in [
+        ("none", PropertyNorm::None),
+        ("sum_to_one", PropertyNorm::SumToOne),
+        ("max_to_one", PropertyNorm::MaxToOne),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                CrhBuilder::new()
+                    .property_norm(norm)
+                    .max_iters(10)
+                    .build()
+                    .unwrap()
+                    .run(&ds.table)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

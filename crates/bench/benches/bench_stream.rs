@@ -1,0 +1,45 @@
+//! I-CRH vs re-running batch CRH per chunk — the efficiency claim of §3.3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crh_bench::datasets::chunk_tables;
+use crh_core::solver::CrhBuilder;
+use crh_data::generators::weather::{generate, WeatherConfig};
+use crh_stream::ICrh;
+
+fn bench_stream(c: &mut Criterion) {
+    let ds = generate(&WeatherConfig::paper());
+    let chunks = chunk_tables(&ds, 1);
+
+    let mut g = c.benchmark_group("streaming");
+    g.sample_size(10);
+    g.bench_function("icrh_one_pass_per_chunk", |b| {
+        b.iter(|| {
+            ICrh::new(0.5)
+                .unwrap()
+                .run_stream(chunks.iter())
+                .unwrap()
+        })
+    });
+    g.bench_function("batch_crh_rerun_per_chunk", |b| {
+        // the naive streaming alternative: re-run full CRH on every prefix's
+        // newest chunk (still cheaper than full-prefix reruns; this is the
+        // generous comparison)
+        b.iter(|| {
+            for chunk in &chunks {
+                CrhBuilder::new()
+                    .build()
+                    .unwrap()
+                    .run(chunk)
+                    .unwrap();
+            }
+        })
+    });
+    g.bench_function("batch_crh_full_dataset", |b| {
+        b.iter(|| CrhBuilder::new().build().unwrap().run(&ds.table).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation: weight-assignment schemes (§2.3, Eqs 4-7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crh_core::weights::{LogMax, LogSum, LpSelection, TopJ, WeightAssigner};
+
+fn bench_weights(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weight_assign");
+    for k in [9usize, 55, 1000] {
+        let losses: Vec<f64> = (0..k).map(|i| 0.1 + (i as f64 * 37.0) % 5.0).collect();
+        g.bench_function(format!("log_sum/{k}"), |b| {
+            b.iter(|| LogSum.assign(black_box(&losses)))
+        });
+        g.bench_function(format!("log_max/{k}"), |b| {
+            b.iter(|| LogMax.assign(black_box(&losses)))
+        });
+        g.bench_function(format!("lp_selection/{k}"), |b| {
+            let a = LpSelection::new(2).unwrap();
+            b.iter(|| a.assign(black_box(&losses)))
+        });
+        g.bench_function(format!("top_j/{k}"), |b| {
+            let a = TopJ::new(3).unwrap();
+            b.iter(|| a.assign(black_box(&losses)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_weights);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce all                 # every experiment at laptop scale
+//! reproduce table2 fig1         # specific experiments
+//! reproduce all --scale 0.5     # shrink/grow the generated datasets
+//! reproduce all --full          # paper-scale datasets (slow)
+//! reproduce --list              # show experiment ids
+//! ```
+
+use std::time::Instant;
+
+use crh_bench::datasets::Scale;
+use crh_bench::experiments::{run_experiment, ALL_IDS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [all | <id>...] [--scale F] [--full] [--list]\n\
+         ids: {}",
+        ALL_IDS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale_mult = 1.0f64;
+    let mut full = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--full" => full = true,
+            "--scale" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    usage();
+                };
+                if v <= 0.0 {
+                    usage();
+                }
+                scale_mult = v;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if ALL_IDS.contains(&id) => ids.push(id.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    ids.dedup();
+
+    let scale = if full { Scale::full() } else { Scale::laptop() }.scaled_by(scale_mult);
+    println!(
+        "CRH reproduction harness — {} experiment(s), scale multiplier {scale_mult}{}\n",
+        ids.len(),
+        if full { ", FULL paper scale" } else { "" }
+    );
+
+    let total = Instant::now();
+    for id in &ids {
+        let t = Instant::now();
+        println!("=== {id} ===============================================================");
+        match run_experiment(id, &scale) {
+            Some(report) => println!("{report}"),
+            None => eprintln!("unknown experiment id {id:?}"),
+        }
+        println!("[{id} took {:.2}s]\n", t.elapsed().as_secs_f64());
+    }
+    println!(
+        "All done in {:.2}s. Paper-vs-measured records live in EXPERIMENTS.md.",
+        total.elapsed().as_secs_f64()
+    );
+}

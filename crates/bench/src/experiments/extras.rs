@@ -1,0 +1,106 @@
+//! Extra diagnostics backing §2.5's practical-issues discussion (not paper
+//! artifacts): convergence traces and a missing-value sweep.
+
+use crate::datasets::{self, Scale};
+use crate::report::render_table;
+use crh_core::solver::CrhBuilder;
+use crh_data::generators::weather::{generate, WeatherConfig};
+use crh_data::metrics::evaluate;
+
+/// Convergence behavior (§2.5: "the first several iterations incur a huge
+/// decrease in the objective function, and once it converges, the results
+/// become stable"): print the objective trace on each dataset.
+pub fn run_convergence(scale: &Scale) -> String {
+    use crh_core::session::CrhSession;
+    let sets = vec![
+        datasets::weather(),
+        datasets::stock(scale),
+        datasets::adult(scale),
+    ];
+    let mut out = String::from("Convergence — CRH objective per iteration\n\n");
+    for ds in &sets {
+        let mut session = CrhSession::new(&ds.table).expect("non-empty table");
+        // the reference point: uniform weights on the Voting/Averaging init
+        out.push_str(&format!(
+            "{}:\n  init (uniform weights): {:.6}\n",
+            ds.name,
+            session.objective()
+        ));
+        let mut prev = f64::MAX;
+        for i in 1..=20 {
+            let f = session.step();
+            out.push_str(&format!("  iter {i:>2}: {f:.6}\n"));
+            if (prev - f).abs() <= 1e-6 * prev.abs().max(1.0) {
+                out.push_str(&format!("  converged after {i} iterations\n"));
+                break;
+            }
+            prev = f;
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "(expected, §2.5: \"the first several iterations incur a huge decrease in\n\
+         the objective function, and once it converges, the results become stable\" —\n\
+         the big drop is from the uniform-weight init to iteration 1)\n",
+    );
+    out
+}
+
+/// Missing-value robustness (§2.5 "Missing values"): sweep the weather
+/// missingness rate and compare CRH with and without per-source
+/// count normalization.
+pub fn run_missing(_scale: &Scale) -> String {
+    let mut rows = Vec::new();
+    for &missing in &[0.0, 0.1, 0.2, 0.35, 0.5, 0.65] {
+        let mut cfg = WeatherConfig::paper();
+        cfg.missing_rate = missing;
+        cfg.seed ^= (missing * 1000.0) as u64;
+        let ds = generate(&cfg);
+
+        let with = CrhBuilder::new()
+            .build()
+            .expect("valid")
+            .run(&ds.table)
+            .expect("run");
+        let with_ev = evaluate(&ds.table, &with.truths, &ds.truth);
+
+        let without = CrhBuilder::new()
+            .count_normalize(false)
+            .build()
+            .expect("valid")
+            .run(&ds.table)
+            .expect("run");
+        let without_ev = evaluate(&ds.table, &without.truths, &ds.truth);
+
+        rows.push(vec![
+            format!("{missing:.2}"),
+            with_ev.error_rate_str(),
+            with_ev.mnad_str(),
+            without_ev.error_rate_str(),
+            without_ev.mnad_str(),
+        ]);
+    }
+    let mut out = String::from(
+        "Missing values — CRH on weather vs per-report missingness rate\n\
+         (count normalization divides each source's total deviation by its\n\
+         observation count, §2.5)\n\n",
+    );
+    out.push_str(&render_table(
+        &[
+            "missing",
+            "ErrRate (count-norm)",
+            "MNAD (count-norm)",
+            "ErrRate (no norm)",
+            "MNAD (no norm)",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\n(expected: graceful degradation with missingness. With *uniform*\n\
+         per-report missingness the two variants coincide — counts stay\n\
+         proportional — which is itself the sanity check; the normalization\n\
+         matters for skewed coverage, e.g. the stock dataset's 0.92-to-0.30\n\
+         coverage ladder, exercised in Table 2.)\n",
+    );
+    out
+}

@@ -1,0 +1,75 @@
+//! Fig 7: parallel CRH running time w.r.t. the number of entries (fixed
+//! sources) and the number of sources (fixed entries).
+
+use crate::datasets::Scale;
+use crate::report::{pearson, render_series};
+use crh_data::generators::uci::{generate, UciConfig, UciFlavor};
+use crh_data::noise::PAPER_GAMMAS;
+
+use super::table6::scalability_driver;
+
+/// An Adult-shaped dataset with `rows` objects and `sources` sources (γ
+/// ladder cycled).
+fn dataset(rows: usize, sources: usize) -> crh_data::Dataset {
+    let gammas: Vec<f64> = (0..sources).map(|k| PAPER_GAMMAS[k % 8]).collect();
+    generate(&UciConfig {
+        flavor: UciFlavor::Adult,
+        rows,
+        gammas,
+        seed: 0xF160_7777,
+    })
+}
+
+/// Run Fig 7 (both panels).
+pub fn run(scale: &Scale) -> String {
+    let row_sweep: Vec<usize> = if scale.full {
+        vec![2_000, 4_000, 8_000, 16_000, 32_000]
+    } else {
+        vec![500, 1_000, 2_000, 4_000]
+    };
+    let source_sweep: Vec<usize> = if scale.full {
+        vec![4, 8, 16, 32, 64]
+    } else {
+        vec![4, 8, 16, 32]
+    };
+
+    // panel (a): vary entries, fix 8 sources
+    let mut pts_a = Vec::new();
+    let mut xa = Vec::new();
+    let mut ya = Vec::new();
+    for &rows in &row_sweep {
+        let ds = dataset(rows, 8);
+        let entries = ds.table.num_entries();
+        let res = scalability_driver(4).run(&ds.table).expect("run");
+        pts_a.push((format!("{entries} entries"), res.wall_time.as_secs_f64()));
+        xa.push(entries as f64);
+        ya.push(res.wall_time.as_secs_f64());
+    }
+
+    // panel (b): vary sources, fix entries
+    let fixed_rows = if scale.full { 8_000 } else { 1_500 };
+    let mut pts_b = Vec::new();
+    let mut xb = Vec::new();
+    let mut yb = Vec::new();
+    for &sources in &source_sweep {
+        let ds = dataset(fixed_rows, sources);
+        let res = scalability_driver(4).run(&ds.table).expect("run");
+        pts_b.push((format!("{sources} sources"), res.wall_time.as_secs_f64()));
+        xb.push(sources as f64);
+        yb.push(res.wall_time.as_secs_f64());
+    }
+
+    let mut out = String::from("Fig 7 — Parallel CRH running time scaling\n\n");
+    out.push_str(&render_series(
+        "(a) time (s) vs # entries, 8 sources fixed:",
+        &pts_a,
+    ));
+    out.push_str(&format!("  Pearson: {:.4}\n\n", pearson(&xa, &ya)));
+    out.push_str(&render_series(
+        &format!("(b) time (s) vs # sources, {fixed_rows} rows fixed:"),
+        &pts_b,
+    ));
+    out.push_str(&format!("  Pearson: {:.4}\n", pearson(&xb, &yb)));
+    out.push_str("\n(expected shape: linear growth in both panels)\n");
+    out
+}

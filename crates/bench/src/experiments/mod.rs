@@ -1,0 +1,64 @@
+//! One module per paper artifact. Every `run` function regenerates its
+//! table or figure at the given [`crate::datasets::Scale`] and
+//! returns the rendered report (also suitable for EXPERIMENTS.md).
+
+pub mod ablation;
+pub mod extras;
+pub mod fig1;
+pub mod fig23;
+pub mod fig4;
+pub mod fig56;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+pub mod table5;
+pub mod table6;
+
+use crate::datasets::Scale;
+
+/// All experiment ids in paper order, plus the design-choice ablation and
+/// the §2.5 diagnostics.
+pub const ALL_IDS: [&str; 17] = [
+    "table1",
+    "table2",
+    "fig1",
+    "table3",
+    "table4",
+    "fig2",
+    "fig3",
+    "table5",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table6",
+    "fig7",
+    "fig8",
+    "ablation",
+    "convergence",
+    "missing",
+];
+
+/// Dispatch one experiment by id.
+pub fn run_experiment(id: &str, scale: &Scale) -> Option<String> {
+    Some(match id {
+        "table1" => table1::run_real(scale),
+        "table2" => table2::run_real(scale),
+        "fig1" => fig1::run(scale),
+        "table3" => table1::run_simulated(scale),
+        "table4" => table2::run_simulated(scale),
+        "fig2" => fig23::run_adult(scale),
+        "fig3" => fig23::run_bank(scale),
+        "table5" => table5::run(scale),
+        "fig4" => fig4::run(scale),
+        "fig5" => fig56::run_window(scale),
+        "fig6" => fig56::run_decay(scale),
+        "table6" => table6::run(scale),
+        "fig7" => fig7::run(scale),
+        "fig8" => fig8::run(scale),
+        "ablation" => ablation::run(scale),
+        "convergence" => extras::run_convergence(scale),
+        "missing" => extras::run_missing(scale),
+        _ => return None,
+    })
+}

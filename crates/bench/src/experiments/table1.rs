@@ -1,0 +1,69 @@
+//! Tables 1 and 3: data set statistics.
+
+use crate::datasets::{self, Scale};
+use crate::report::render_table;
+use crh_data::dataset::Dataset;
+
+fn stats_rows(sets: &[(&Dataset, [&str; 3])]) -> Vec<Vec<String>> {
+    let mut rows = vec![
+        vec!["# Observations".to_string()],
+        vec!["# Entries".to_string()],
+        vec!["# Ground Truths".to_string()],
+        vec!["# Sources".to_string()],
+        vec!["# Properties".to_string()],
+        vec!["(paper # Observations)".to_string()],
+        vec!["(paper # Entries)".to_string()],
+        vec!["(paper # Ground Truths)".to_string()],
+    ];
+    for (ds, paper) in sets {
+        let s = ds.stats();
+        rows[0].push(s.observations.to_string());
+        rows[1].push(s.entries.to_string());
+        rows[2].push(s.ground_truths.to_string());
+        rows[3].push(s.sources.to_string());
+        rows[4].push(s.properties.to_string());
+        rows[5].push(paper[0].to_string());
+        rows[6].push(paper[1].to_string());
+        rows[7].push(paper[2].to_string());
+    }
+    rows
+}
+
+/// Table 1: statistics of the (generated) real-world-shaped data sets.
+pub fn run_real(scale: &Scale) -> String {
+    let weather = datasets::weather();
+    let stock = datasets::stock(scale);
+    let flight = datasets::flight(scale);
+    let rows = stats_rows(&[
+        (&weather, ["16,038", "1,920", "1,740"]),
+        (&stock, ["11,748,734", "326,423", "29,198"]),
+        (&flight, ["2,790,734", "204,422", "16,572"]),
+    ]);
+    let mut out = String::from(
+        "Table 1 — Statistics of real-world-shaped data sets (generated; paper values for reference)\n",
+    );
+    out.push_str(&format!(
+        "scale: stock x{:.2}, flight x{:.2}\n\n",
+        scale.stock, scale.flight
+    ));
+    out.push_str(&render_table(
+        &["", "Weather", "Stock", "Flight"],
+        &rows,
+    ));
+    out
+}
+
+/// Table 3: statistics of the simulated (UCI-shaped) data sets.
+pub fn run_simulated(scale: &Scale) -> String {
+    let adult = datasets::adult(scale);
+    let bank = datasets::bank(scale);
+    let rows = stats_rows(&[
+        (&adult, ["3,646,832", "455,854", "455,854"]),
+        (&bank, ["5,787,008", "723,376", "723,376"]),
+    ]);
+    let mut out =
+        String::from("Table 3 — Statistics of simulated data sets (paper values for reference)\n");
+    out.push_str(&format!("scale: uci x{:.2}\n\n", scale.uci));
+    out.push_str(&render_table(&["", "Adult", "Bank"], &rows));
+    out
+}

@@ -1,0 +1,62 @@
+//! Tables 2 and 4: Error Rate + MNAD of CRH and all ten baselines.
+
+use crate::datasets::{self, Scale};
+use crate::report::{render_table, secs};
+use crate::scoring::{score_all, MethodScore};
+use crh_data::dataset::Dataset;
+
+/// Score all methods on several datasets and render one combined table in
+/// the paper's layout (method rows; Error Rate + MNAD per dataset), with an
+/// extra wall-time column per dataset.
+fn comparison_table(title: &str, sets: &[Dataset]) -> String {
+    let mut per_set: Vec<Vec<MethodScore>> = Vec::new();
+    for ds in sets {
+        per_set.push(score_all(ds));
+    }
+    let mut header: Vec<String> = vec!["Method".into()];
+    for ds in sets {
+        header.push(format!("{} ErrRate", ds.name));
+        header.push(format!("{} MNAD", ds.name));
+        header.push(format!("{} Time(s)", ds.name));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let n_methods = per_set[0].len();
+    let mut rows = Vec::with_capacity(n_methods);
+    for m in 0..n_methods {
+        let mut row = vec![per_set[0][m].name.clone()];
+        for scores in &per_set {
+            let s = &scores[m];
+            row.push(s.error_rate_cell());
+            row.push(s.mnad_cell());
+            row.push(secs(s.time));
+        }
+        rows.push(row);
+    }
+    let mut out = format!("{title}\n\n");
+    out.push_str(&render_table(&header_refs, &rows));
+    out.push_str("\n(lower is better for both measures; NA = method does not handle the type)\n");
+    out
+}
+
+/// Table 2: performance comparison on the real-world-shaped data sets.
+pub fn run_real(scale: &Scale) -> String {
+    let sets = vec![
+        datasets::weather(),
+        datasets::stock(scale),
+        datasets::flight(scale),
+    ];
+    comparison_table(
+        "Table 2 — Performance comparison on real-world-shaped data sets",
+        &sets,
+    )
+}
+
+/// Table 4: performance comparison on the simulated data sets.
+pub fn run_simulated(scale: &Scale) -> String {
+    let sets = vec![datasets::adult(scale), datasets::bank(scale)];
+    comparison_table(
+        "Table 4 — Performance comparison on simulated data sets",
+        &sets,
+    )
+}

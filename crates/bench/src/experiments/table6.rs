@@ -1,0 +1,84 @@
+//! Table 6: parallel CRH running time vs number of observations.
+//!
+//! The paper runs on a Hadoop cluster; here the in-process engine plays that
+//! role with a simulated per-task startup cost standing in for cluster task
+//! launch latency — which reproduces the paper's observation that "the
+//! running time mainly comes from the setup overhead when the number of
+//! observations is not very large", with the linear regime taking over at
+//! scale (paper Pearson correlation: 0.9811).
+
+use std::time::Duration;
+
+use crate::datasets::Scale;
+use crate::report::{pearson, render_table, secs};
+use crh_data::generators::uci::{generate, UciConfig, UciFlavor};
+use crh_mapreduce::{JobConfig, ParallelCrh};
+
+/// Simulated task-launch latency for the scalability experiments.
+pub const STARTUP: Duration = Duration::from_millis(50);
+
+/// Fixed iteration count so runs of different sizes are comparable.
+pub const ITERS: usize = 4;
+
+/// Build an Adult-shaped dataset with approximately `target_obs`
+/// observations (8 sources × 14 properties per row).
+pub fn dataset_with_observations(target_obs: usize) -> crh_data::Dataset {
+    let rows = (target_obs / (8 * 14)).max(2);
+    let mut cfg = UciConfig::paper(UciFlavor::Adult);
+    cfg.rows = rows;
+    cfg.seed = 0x7AB6;
+    generate(&cfg)
+}
+
+/// Concurrent task slots of the simulated cluster (the paper's cluster had
+/// its optimum at 10 reducers).
+pub const SLOTS: usize = 10;
+
+/// The driver configuration used across Table 6 / Figs 7-8.
+pub fn scalability_driver(reducers: usize) -> ParallelCrh {
+    let mut driver = ParallelCrh::default()
+        .job_config(JobConfig {
+            num_mappers: 4,
+            num_reducers: reducers,
+            startup_cost: STARTUP,
+            use_combiner: true,
+            task_slots: SLOTS,
+        })
+        .max_iters(ITERS);
+    driver.tol = -1.0; // disable early convergence: equal work per size
+    driver
+}
+
+/// Run Table 6.
+pub fn run(scale: &Scale) -> String {
+    let mut targets: Vec<usize> = vec![10_000, 100_000, 1_000_000, 4_000_000];
+    if scale.full {
+        targets.push(10_000_000);
+        targets.push(40_000_000);
+    }
+
+    let mut rows = Vec::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &target in &targets {
+        let ds = dataset_with_observations(target);
+        let obs = ds.table.num_observations();
+        let res = scalability_driver(4)
+            .run(&ds.table)
+            .expect("parallel CRH run");
+        rows.push(vec![format!("{obs}"), secs(res.wall_time)]);
+        xs.push(obs as f64);
+        ys.push(res.wall_time.as_secs_f64());
+    }
+    let r = pearson(&xs, &ys);
+
+    let mut out = format!(
+        "Table 6 — Parallel CRH running time vs # observations\n\
+         (in-process MapReduce, 4 mappers / 4 reducers, {}ms simulated task startup, {ITERS} iterations)\n\n",
+        STARTUP.as_millis()
+    );
+    out.push_str(&render_table(&["# Observations", "Time (s)"], &rows));
+    out.push_str(&format!("\nPearson correlation (obs vs time): {r:.4}\n"));
+    out.push_str("(paper: 0.9811 — flat setup-dominated regime at small sizes, linear at scale)\n");
+    out
+}

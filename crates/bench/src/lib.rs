@@ -1,0 +1,29 @@
+//! # crh-bench — reproduction harness for every table and figure
+//!
+//! * [`datasets`] — dataset construction at laptop or paper scale;
+//! * [`scoring`] — run CRH + the ten baselines uniformly and score them
+//!   with Error Rate / MNAD;
+//! * [`experiments`] — one module per paper artifact (Tables 1-6,
+//!   Figs 1-8); each regenerates its table/figure as text;
+//! * [`report`] — plain-text tables, bar series, Pearson correlation.
+//!
+//! The `reproduce` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p crh-bench --bin reproduce -- all
+//! cargo run --release -p crh-bench --bin reproduce -- table2 fig1
+//! cargo run --release -p crh-bench --bin reproduce -- all --scale 0.5
+//! cargo run --release -p crh-bench --bin reproduce -- table6 --full
+//! ```
+//!
+//! Criterion micro-benchmarks (loss functions, weight schemes, weighted
+//! median, solver scaling, I-CRH vs CRH, MapReduce engine) live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+pub mod scoring;

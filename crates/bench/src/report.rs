@@ -1,0 +1,174 @@
+//! Plain-text table/series rendering for the reproduction harness.
+
+/// Render an aligned text table: header row + data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a labeled numeric series (one figure panel) as `x: value` lines
+/// with a crude bar, so figure shapes are visible in a terminal.
+pub fn render_series(title: &str, points: &[(String, f64)]) -> String {
+    let mut out = format!("{title}\n");
+    let max = points
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, v) in points {
+        let bar_len = ((v.abs() / max) * 40.0).round() as usize;
+        out.push_str(&format!(
+            "  {:<label_w$}  {:>10.4}  {}\n",
+            label,
+            v,
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Pearson correlation coefficient of two equal-length series (Table 6's
+/// linearity check).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Format a `Duration` in seconds with millisecond resolution.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Spearman rank correlation: Pearson on the rank vectors (average ranks
+/// for ties). Scale-free, so it compares orderings even when one score is
+/// log-scaled and the other is a probability.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in spearman input"));
+    let mut r = vec![0.0f64; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // average rank over the tie run
+        let mut j = i;
+        while j < order.len() && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j - 1) as f64 / 2.0;
+        for &k in &order[i..j] {
+            r[k] = avg;
+        }
+        i = j;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["Method", "Error Rate"],
+            &[
+                vec!["CRH".into(), "0.37".into()],
+                vec!["PooledInvestment".into(), "0.49".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].starts_with("CRH "));
+    }
+
+    #[test]
+    fn series_renders_bars() {
+        let s = render_series("test", &[("a".into(), 1.0), ("b".into(), 0.5)]);
+        assert!(s.contains("####"));
+        assert!(s.contains("1.0000"));
+    }
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn spearman_ignores_monotone_transforms() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0];
+        let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        assert!((spearman(&xs, &logs) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((spearman(&xs, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 1.0, 2.0];
+        let ys = [5.0, 5.0, 9.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

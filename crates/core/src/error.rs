@@ -1,0 +1,111 @@
+//! Error type for the CRH core crate.
+
+use std::fmt;
+
+use crate::ids::PropertyId;
+use crate::value::PropertyType;
+
+/// Errors raised while building tables or running the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrhError {
+    /// An observation's value type does not match its property's declared type.
+    TypeMismatch {
+        /// The offending property.
+        property: PropertyId,
+        /// The type declared in the schema.
+        expected: PropertyType,
+        /// The type of the offered value.
+        got: PropertyType,
+    },
+    /// A property id outside the schema was referenced.
+    UnknownProperty(PropertyId),
+    /// The observation table contains no observations.
+    EmptyTable,
+    /// A solver was configured with an invalid parameter.
+    InvalidParameter(String),
+    /// A categorical label was used that is not in the property's domain.
+    UnknownLabel {
+        /// The property whose domain was consulted.
+        property: PropertyId,
+        /// The unknown label.
+        label: String,
+    },
+    /// A continuous observation was NaN or infinite.
+    NonFiniteValue {
+        /// The property the observation was for.
+        property: PropertyId,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CrhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrhError::TypeMismatch {
+                property,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch on property {property}: schema declares {expected}, observation is {got}"
+            ),
+            CrhError::UnknownProperty(p) => write!(f, "property {p} is not in the schema"),
+            CrhError::EmptyTable => write!(f, "observation table contains no observations"),
+            CrhError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CrhError::UnknownLabel { property, label } => {
+                write!(f, "label {label:?} is not in the domain of property {property}")
+            }
+            CrhError::NonFiniteValue { property, value } => {
+                write!(f, "non-finite observation {value} for continuous property {property}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrhError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, CrhError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_context() {
+        let e = CrhError::TypeMismatch {
+            property: PropertyId(2),
+            expected: PropertyType::Continuous,
+            got: PropertyType::Categorical,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("p2"));
+        assert!(msg.contains("continuous"));
+        assert!(msg.contains("categorical"));
+
+        assert!(CrhError::UnknownProperty(PropertyId(9)).to_string().contains("p9"));
+        assert!(CrhError::EmptyTable.to_string().contains("no observations"));
+        assert!(CrhError::InvalidParameter("j must be >= 1".into())
+            .to_string()
+            .contains("j must be >= 1"));
+        assert!(CrhError::UnknownLabel {
+            property: PropertyId(1),
+            label: "foggy".into()
+        }
+        .to_string()
+        .contains("foggy"));
+        assert!(CrhError::NonFiniteValue {
+            property: PropertyId(3),
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("p3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CrhError::EmptyTable);
+    }
+}

@@ -1,0 +1,229 @@
+//! KL-divergence loss for categorical data — one of the Bregman divergences
+//! §2.5 lists ("squared loss, logistic loss, …, KL-divergence and
+//! generalized I-divergence"), for which the convergence guarantee applies.
+
+use crate::ids::SourceId;
+use crate::stats::EntryStats;
+use crate::value::{argmax_mode, PropertyType, Truth, Value};
+
+use super::{total_weight, Loss};
+
+/// KL-divergence loss over smoothed one-hot encodings.
+///
+/// A categorical observation `v` over domain size `L` becomes the smoothed
+/// distribution `q = (1−ε)·onehot(v) + ε/L`; the truth is a distribution
+/// `p`; the deviation is `KL(q ‖ p) = Σ_l q_l · ln(q_l / p_l)`.
+///
+/// KL is a Bregman divergence in its *first* argument, so the truth update
+/// `argmin_p Σ_k w_k · KL(q_k ‖ p)` has the closed form
+/// `p = Σ_k w_k q_k / Σ_k w_k` — the weighted arithmetic mean, the same
+/// barycenter as [`ProbVectorLoss`](super::ProbVectorLoss) but with the
+/// information-theoretic deviation in the weight update, which penalizes
+/// sources whose claims the consensus considers near-impossible much more
+/// sharply than the squared loss does.
+#[derive(Debug, Clone, Copy)]
+pub struct KlDivergenceLoss {
+    /// Smoothing mass spread over the domain (keeps `ln` finite).
+    pub epsilon: f64,
+}
+
+impl Default for KlDivergenceLoss {
+    fn default() -> Self {
+        Self { epsilon: 0.01 }
+    }
+}
+
+impl KlDivergenceLoss {
+    fn smoothed_onehot(&self, l: usize, domain: usize) -> Vec<f64> {
+        let d = domain.max(1);
+        let mut q = vec![self.epsilon / d as f64; d];
+        if l < d {
+            q[l] += 1.0 - self.epsilon;
+        }
+        q
+    }
+
+    fn kl(q: &[f64], p: &[f64]) -> f64 {
+        q.iter()
+            .zip(p)
+            .filter(|(&qi, _)| qi > 0.0)
+            .map(|(&qi, &pi)| qi * (qi / pi.max(1e-12)).ln())
+            .sum()
+    }
+}
+
+impl Loss for KlDivergenceLoss {
+    fn name(&self) -> &'static str {
+        "kl-divergence"
+    }
+
+    fn loss(&self, truth: &Truth, obs: &Value, stats: &EntryStats) -> f64 {
+        let Some(l) = obs.as_cat() else {
+            // non-categorical observation: maximal penalty at the smoothing
+            // scale
+            return -(self.epsilon / stats.domain_size.max(2) as f64).ln();
+        };
+        let domain = stats.domain_size.max(l as usize + 1);
+        let q = self.smoothed_onehot(l as usize, domain);
+        match truth {
+            Truth::Distribution { probs, .. } => {
+                if probs.len() >= domain {
+                    Self::kl(&q, probs)
+                } else {
+                    let mut padded = probs.clone();
+                    padded.resize(domain, 1e-12);
+                    Self::kl(&q, &padded)
+                }
+            }
+            Truth::Point(v) => {
+                let t = v.as_cat().map_or(domain, |c| c as usize);
+                let p = self.smoothed_onehot(t.min(domain.saturating_sub(1)), domain);
+                Self::kl(&q, &p)
+            }
+        }
+    }
+
+    fn fit(&self, obs: &[(SourceId, Value)], weights: &[f64], stats: &EntryStats) -> Truth {
+        debug_assert!(!obs.is_empty(), "fit on empty observation group");
+        let domain = stats.domain_size.max(
+            obs.iter()
+                .filter_map(|(_, v)| v.as_cat())
+                .map(|c| c as usize + 1)
+                .max()
+                .unwrap_or(1),
+        );
+        let mut probs = vec![0.0f64; domain];
+        let mut wsum = total_weight(obs, weights);
+        if wsum <= 0.0 {
+            for (_, v) in obs {
+                if let Some(c) = v.as_cat() {
+                    let q = self.smoothed_onehot(c as usize, domain);
+                    for (pi, qi) in probs.iter_mut().zip(&q) {
+                        *pi += qi;
+                    }
+                }
+            }
+            wsum = obs.len() as f64;
+        } else {
+            for (s, v) in obs {
+                if let Some(c) = v.as_cat() {
+                    let w = weights[s.index()];
+                    let q = self.smoothed_onehot(c as usize, domain);
+                    for (pi, qi) in probs.iter_mut().zip(&q) {
+                        *pi += w * qi;
+                    }
+                }
+            }
+        }
+        for p in &mut probs {
+            *p /= wsum;
+        }
+        let mode = argmax_mode(&probs);
+        Truth::Distribution { probs, mode }
+    }
+
+    fn property_type(&self) -> PropertyType {
+        PropertyType::Categorical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(domain: usize) -> EntryStats {
+        EntryStats {
+            domain_size: domain,
+            ..EntryStats::trivial()
+        }
+    }
+
+    fn cat_obs(labels: &[u32]) -> Vec<(SourceId, Value)> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(k, &l)| (SourceId(k as u32), Value::Cat(l)))
+            .collect()
+    }
+
+    #[test]
+    fn fit_is_weighted_mean_of_smoothed_onehots() {
+        let l = KlDivergenceLoss::default();
+        let obs = cat_obs(&[0, 1, 1]);
+        let w = vec![2.0, 1.0, 1.0];
+        let t = l.fit(&obs, &w, &stats(3));
+        let probs = t.distribution().unwrap();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // tie between label 0 (weight 2) and label 1 (weight 1+1)
+        assert!((probs[0] - probs[1]).abs() < 1e-9);
+        assert!(probs[2] < probs[0]);
+    }
+
+    #[test]
+    fn loss_zero_when_distributions_match() {
+        let l = KlDivergenceLoss::default();
+        let obs = cat_obs(&[2]);
+        let w = vec![1.0];
+        let t = l.fit(&obs, &w, &stats(4));
+        assert!(l.loss(&t, &Value::Cat(2), &stats(4)) < 1e-9);
+    }
+
+    #[test]
+    fn disagreement_penalized_more_sharply_than_squared() {
+        let l = KlDivergenceLoss::default();
+        // truth heavily favors label 0
+        let t = Truth::Distribution {
+            probs: vec![0.98, 0.01, 0.01],
+            mode: 0,
+        };
+        let agree = l.loss(&t, &Value::Cat(0), &stats(3));
+        let disagree = l.loss(&t, &Value::Cat(1), &stats(3));
+        assert!(disagree > agree);
+        assert!(disagree > 3.0, "near-impossible claim must cost dearly: {disagree}");
+    }
+
+    #[test]
+    fn bregman_barycenter_optimality() {
+        // the weighted-mean fit must beat any observed one-hot candidate
+        let l = KlDivergenceLoss::default();
+        let obs = cat_obs(&[0, 0, 1, 2]);
+        let w = vec![1.0, 1.0, 2.0, 0.5];
+        let s = stats(3);
+        let fit = l.fit(&obs, &w, &s);
+        let cost = |t: &Truth| -> f64 {
+            obs.iter()
+                .map(|(k, v)| w[k.index()] * l.loss(t, v, &s))
+                .sum()
+        };
+        let fit_cost = cost(&fit);
+        for c in 0u32..3 {
+            let cand = l.fit(&[(SourceId(0), Value::Cat(c))], &[1.0], &s);
+            assert!(fit_cost <= cost(&cand) + 1e-9, "label {c}");
+        }
+    }
+
+    #[test]
+    fn convex_and_categorical() {
+        let l = KlDivergenceLoss::default();
+        assert!(l.is_convex());
+        assert_eq!(l.property_type(), PropertyType::Categorical);
+        assert_eq!(l.name(), "kl-divergence");
+    }
+
+    #[test]
+    fn non_categorical_observation_finite_penalty() {
+        let l = KlDivergenceLoss::default();
+        let t = Truth::Point(Value::Cat(0));
+        let d = l.loss(&t, &Value::Num(5.0), &stats(4));
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let l = KlDivergenceLoss::default();
+        let obs = cat_obs(&[0, 1]);
+        let t = l.fit(&obs, &[0.0, 0.0], &stats(2));
+        let probs = t.distribution().unwrap();
+        assert!((probs[0] - probs[1]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Weighted median (Eq 16), the minimizer of weighted absolute deviation.
+
+/// Compute the weighted median of `(value, weight)` pairs per the paper's
+/// definition (Eq 16, after \[28, Ch. 9\]): the value `v_j` such that
+///
+/// ```text
+/// Σ_{k: v_k < v_j} w_k  <  W/2    and    Σ_{k: v_k > v_j} w_k  <=  W/2
+/// ```
+///
+/// where `W` is the total weight. Implemented by sorting and scanning the
+/// cumulative weight — `O(n log n)`; the conventional median is the special
+/// case of equal weights.
+///
+/// Non-positive total weight falls back to equal weights so the result is
+/// always defined for non-empty input.
+///
+/// # Panics
+/// Panics if `pairs` is empty.
+pub fn weighted_median(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "weighted_median of empty set");
+    let mut sorted: Vec<(f64, f64)> = pairs.to_vec();
+    let total: f64 = sorted.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        let w = 1.0;
+        for p in &mut sorted {
+            p.1 = w;
+        }
+    }
+    let total: f64 = sorted.iter().map(|(_, w)| w).sum();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN value in weighted_median"));
+
+    let half = total / 2.0;
+    let mut below = 0.0; // Σ w_k over v_k strictly before the candidate run
+    let mut i = 0;
+    while i < sorted.len() {
+        // merge the run of equal values
+        let v = sorted[i].0;
+        let mut run_w = 0.0;
+        let mut j = i;
+        while j < sorted.len() && sorted[j].0 == v {
+            run_w += sorted[j].1;
+            j += 1;
+        }
+        let above = total - below - run_w;
+        if below < half && above <= half {
+            return v;
+        }
+        below += run_w;
+        i = j;
+    }
+    // Numerical slack can skip the condition; return the largest value.
+    sorted.last().expect("non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_is_conventional_median() {
+        let pairs: Vec<(f64, f64)> = [1.0, 2.0, 3.0, 4.0, 5.0].iter().map(|&v| (v, 1.0)).collect();
+        assert_eq!(weighted_median(&pairs), 3.0);
+    }
+
+    #[test]
+    fn heavy_weight_drags_median() {
+        let pairs = vec![(1.0, 1.0), (2.0, 1.0), (10.0, 5.0)];
+        assert_eq!(weighted_median(&pairs), 10.0);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(weighted_median(&[(7.5, 0.3)]), 7.5);
+    }
+
+    #[test]
+    fn definition_holds() {
+        // check Eq 16's two inequalities on a random-ish fixed set
+        let pairs = vec![
+            (3.0, 0.7),
+            (1.0, 0.2),
+            (4.0, 0.4),
+            (2.0, 0.9),
+            (5.0, 0.1),
+        ];
+        let m = weighted_median(&pairs);
+        let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+        let below: f64 = pairs.iter().filter(|(v, _)| *v < m).map(|(_, w)| w).sum();
+        let above: f64 = pairs.iter().filter(|(v, _)| *v > m).map(|(_, w)| w).sum();
+        assert!(below < total / 2.0);
+        assert!(above <= total / 2.0);
+    }
+
+    #[test]
+    fn duplicate_values_merge() {
+        let pairs = vec![(2.0, 1.0), (2.0, 1.0), (1.0, 1.5)];
+        assert_eq!(weighted_median(&pairs), 2.0);
+    }
+
+    #[test]
+    fn zero_total_weight_falls_back_to_unweighted() {
+        let pairs = vec![(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)];
+        assert_eq!(weighted_median(&pairs), 2.0);
+    }
+
+    #[test]
+    fn robust_to_outlier() {
+        // median ignores the wild value even with mild weight differences —
+        // the robustness argument of §2.4.2.
+        let pairs = vec![(70.0, 1.0), (71.0, 1.0), (72.0, 1.0), (1000.0, 1.2)];
+        let m = weighted_median(&pairs);
+        assert!(m <= 72.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        weighted_median(&[]);
+    }
+
+    #[test]
+    fn even_count_returns_lower_half_boundary_consistently() {
+        // With equal weights on {1,2,3,4}: below(2)=1 < 2, above(2)=2 <= 2 -> 2.
+        let pairs: Vec<(f64, f64)> = [1.0, 2.0, 3.0, 4.0].iter().map(|&v| (v, 1.0)).collect();
+        assert_eq!(weighted_median(&pairs), 2.0);
+    }
+}

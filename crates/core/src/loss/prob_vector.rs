@@ -1,0 +1,188 @@
+//! Probabilistic categorical loss: squared distance between one-hot index
+//! vectors (Eqs 10-11), with the weighted-mean soft truth update (Eq 12).
+
+use crate::ids::SourceId;
+use crate::stats::EntryStats;
+use crate::value::{argmax_mode, PropertyType, Truth, Value};
+
+use super::{total_weight, Loss};
+
+/// The squared index-vector loss of §2.4.1.
+///
+/// Each categorical observation `v` over a domain of size `L_m` is the
+/// one-hot vector `I^(k)` (Eq 10); the truth is a probability vector
+/// `I^(*)`; the deviation is `‖I^(*) − I^(k)‖²` (Eq 11); and the truth
+/// update is the weighted mean of the sources' one-hot vectors (Eq 12) —
+/// a *soft* decision whose mode is reported as the hard answer.
+///
+/// Compared with [`ZeroOneLoss`](super::ZeroOneLoss) this is convex (it is a
+/// Bregman divergence) but needs `O(L_m)` space per entry, the trade-off the
+/// paper notes at the end of §2.4.1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbVectorLoss;
+
+impl ProbVectorLoss {
+    /// `‖p − e_l‖²` for a probability vector `p` and one-hot at `l`:
+    /// `Σ_j p_j² − 2·p_l + 1`.
+    fn sq_dist_to_onehot(probs: &[f64], l: usize) -> f64 {
+        let sq: f64 = probs.iter().map(|p| p * p).sum();
+        let pl = probs.get(l).copied().unwrap_or(0.0);
+        sq - 2.0 * pl + 1.0
+    }
+}
+
+impl Loss for ProbVectorLoss {
+    fn name(&self) -> &'static str {
+        "prob-vector"
+    }
+
+    fn loss(&self, truth: &Truth, obs: &Value, stats: &EntryStats) -> f64 {
+        let l = match obs {
+            Value::Cat(c) => *c as usize,
+            // Non-categorical observations cannot be one-hot encoded;
+            // treat as maximally distant (distance between two distinct
+            // one-hot vectors is 2).
+            _ => return 2.0,
+        };
+        match truth {
+            Truth::Distribution { probs, .. } => Self::sq_dist_to_onehot(probs, l),
+            Truth::Point(v) => {
+                // Hard truth: distance between one-hot vectors is 0 or 2.
+                if v.matches(obs) {
+                    0.0
+                } else {
+                    let _ = stats;
+                    2.0
+                }
+            }
+        }
+    }
+
+    fn fit(&self, obs: &[(SourceId, Value)], weights: &[f64], stats: &EntryStats) -> Truth {
+        debug_assert!(!obs.is_empty(), "fit on empty observation group");
+        let domain = stats
+            .domain_size
+            .max(obs.iter().filter_map(|(_, v)| v.as_cat()).map(|c| c as usize + 1).max().unwrap_or(0));
+        let mut probs = vec![0.0f64; domain];
+        let mut wsum = total_weight(obs, weights);
+        for (s, v) in obs {
+            if let Value::Cat(c) = v {
+                probs[*c as usize] += weights[s.index()];
+            }
+        }
+        if wsum <= 0.0 {
+            // All-zero weights (possible with source-selection regularizers
+            // when no selected source observes this entry): fall back to the
+            // unweighted mean.
+            for (_, v) in obs {
+                if let Value::Cat(c) = v {
+                    probs[*c as usize] += 1.0;
+                }
+            }
+            wsum = obs.len() as f64;
+        }
+        for p in &mut probs {
+            *p /= wsum;
+        }
+        let mode = argmax_mode(&probs);
+        Truth::Distribution { probs, mode }
+    }
+
+    fn property_type(&self) -> PropertyType {
+        PropertyType::Categorical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(domain: usize) -> EntryStats {
+        EntryStats {
+            domain_size: domain,
+            ..EntryStats::trivial()
+        }
+    }
+
+    #[test]
+    fn fit_is_weighted_mean_of_onehots() {
+        let l = ProbVectorLoss;
+        let obs = vec![
+            (SourceId(0), Value::Cat(0)),
+            (SourceId(1), Value::Cat(1)),
+            (SourceId(2), Value::Cat(1)),
+        ];
+        let w = vec![2.0, 1.0, 1.0];
+        let t = l.fit(&obs, &w, &stats(3));
+        let probs = t.distribution().unwrap();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[1] - 0.5).abs() < 1e-12);
+        assert!((probs[2] - 0.0).abs() < 1e-12);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // tie -> mode is the smaller id
+        assert_eq!(t.point(), Value::Cat(0));
+    }
+
+    #[test]
+    fn fit_mode_follows_weight() {
+        let l = ProbVectorLoss;
+        let obs = vec![(SourceId(0), Value::Cat(0)), (SourceId(1), Value::Cat(2))];
+        let w = vec![1.0, 3.0];
+        let t = l.fit(&obs, &w, &stats(3));
+        assert_eq!(t.point(), Value::Cat(2));
+    }
+
+    #[test]
+    fn loss_against_distribution() {
+        let l = ProbVectorLoss;
+        let t = Truth::Distribution {
+            probs: vec![0.5, 0.5],
+            mode: 0,
+        };
+        // ||(.5,.5) - (1,0)||^2 = .25 + .25 = .5
+        assert!((l.loss(&t, &Value::Cat(0), &stats(2)) - 0.5).abs() < 1e-12);
+        assert!((l.loss(&t, &Value::Cat(1), &stats(2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_against_point_is_zero_or_two() {
+        let l = ProbVectorLoss;
+        let t = Truth::Point(Value::Cat(1));
+        assert_eq!(l.loss(&t, &Value::Cat(1), &stats(2)), 0.0);
+        assert_eq!(l.loss(&t, &Value::Cat(0), &stats(2)), 2.0);
+    }
+
+    #[test]
+    fn perfect_agreement_gives_zero_loss() {
+        let l = ProbVectorLoss;
+        let obs = vec![(SourceId(0), Value::Cat(1)), (SourceId(1), Value::Cat(1))];
+        let w = vec![1.0, 1.0];
+        let t = l.fit(&obs, &w, &stats(2));
+        assert!(l.loss(&t, &Value::Cat(1), &stats(2)) < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let l = ProbVectorLoss;
+        let obs = vec![(SourceId(0), Value::Cat(0)), (SourceId(1), Value::Cat(1))];
+        let w = vec![0.0, 0.0];
+        let t = l.fit(&obs, &w, &stats(2));
+        let probs = t.distribution().unwrap();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convex() {
+        assert!(ProbVectorLoss.is_convex());
+    }
+
+    #[test]
+    fn domain_inferred_when_stats_missing() {
+        let l = ProbVectorLoss;
+        let obs = vec![(SourceId(0), Value::Cat(4))];
+        let w = vec![1.0];
+        let t = l.fit(&obs, &w, &EntryStats::trivial());
+        assert_eq!(t.distribution().unwrap().len(), 5);
+        assert_eq!(t.point(), Value::Cat(4));
+    }
+}

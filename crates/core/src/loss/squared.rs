@@ -1,0 +1,148 @@
+//! Normalized squared loss for continuous data (Eq 13) with weighted-mean
+//! truth update (Eq 14).
+
+use crate::ids::SourceId;
+use crate::stats::EntryStats;
+use crate::value::{PropertyType, Truth, Value};
+
+use super::{total_weight, Loss};
+
+/// The normalized squared loss of §2.4.2:
+///
+/// ```text
+/// d(v*, v_k) = (v* − v_k)² / std(v_1, …, v_K)
+/// ```
+///
+/// The per-entry standard deviation normalizer makes deviations comparable
+/// across entries with different scales. The truth update is the weighted
+/// mean of the observations (Eq 14).
+///
+/// As the paper notes, the weighted mean "is sensitive to the existence of
+/// outliers"; prefer [`AbsoluteLoss`](super::AbsoluteLoss) in noisy data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SquaredLoss;
+
+impl Loss for SquaredLoss {
+    fn name(&self) -> &'static str {
+        "normalized-squared"
+    }
+
+    fn loss(&self, truth: &Truth, obs: &Value, stats: &EntryStats) -> f64 {
+        match (truth.as_num(), obs.as_num()) {
+            (Some(t), Some(v)) => {
+                let d = t - v;
+                d * d / stats.std
+            }
+            // type confusion: maximal unit penalty, keeps the solver total
+            // finite instead of poisoning it with NaN
+            _ => 1.0,
+        }
+    }
+
+    fn fit(&self, obs: &[(SourceId, Value)], weights: &[f64], _stats: &EntryStats) -> Truth {
+        debug_assert!(!obs.is_empty(), "fit on empty observation group");
+        let wsum = total_weight(obs, weights);
+        if wsum <= 0.0 {
+            // fall back to the unweighted mean
+            let nums: Vec<f64> = obs.iter().filter_map(|(_, v)| v.as_num()).collect();
+            let mean = nums.iter().sum::<f64>() / nums.len().max(1) as f64;
+            return Truth::Point(Value::Num(mean));
+        }
+        let mut acc = 0.0;
+        for (s, v) in obs {
+            if let Some(x) = v.as_num() {
+                acc += weights[s.index()] * x;
+            }
+        }
+        Truth::Point(Value::Num(acc / wsum))
+    }
+
+    fn property_type(&self) -> PropertyType {
+        PropertyType::Continuous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_std(std: f64) -> EntryStats {
+        EntryStats {
+            std,
+            ..EntryStats::trivial()
+        }
+    }
+
+    #[test]
+    fn loss_is_squared_over_std() {
+        let l = SquaredLoss;
+        let t = Truth::Point(Value::Num(80.0));
+        let s = stats_with_std(4.0);
+        assert!((l.loss(&t, &Value::Num(78.0), &s) - 1.0).abs() < 1e-12);
+        // closer observation, smaller loss (the 79F vs 70F example of §1.2)
+        assert!(
+            l.loss(&t, &Value::Num(79.0), &s) < l.loss(&t, &Value::Num(70.0), &s)
+        );
+    }
+
+    #[test]
+    fn fit_is_weighted_mean() {
+        let l = SquaredLoss;
+        let obs = vec![
+            (SourceId(0), Value::Num(10.0)),
+            (SourceId(1), Value::Num(20.0)),
+        ];
+        let w = vec![3.0, 1.0];
+        assert_eq!(l.fit(&obs, &w, &EntryStats::trivial()).as_num(), Some(12.5));
+    }
+
+    #[test]
+    fn equal_weights_give_plain_mean() {
+        let l = SquaredLoss;
+        let obs = vec![
+            (SourceId(0), Value::Num(1.0)),
+            (SourceId(1), Value::Num(2.0)),
+            (SourceId(2), Value::Num(6.0)),
+        ];
+        let w = vec![1.0, 1.0, 1.0];
+        assert!((l.fit(&obs, &w, &EntryStats::trivial()).as_num().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_unweighted_mean() {
+        let l = SquaredLoss;
+        let obs = vec![
+            (SourceId(0), Value::Num(2.0)),
+            (SourceId(1), Value::Num(4.0)),
+        ];
+        let w = vec![0.0, 0.0];
+        assert_eq!(l.fit(&obs, &w, &EntryStats::trivial()).as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn type_confusion_penalized_finite() {
+        let l = SquaredLoss;
+        let t = Truth::Point(Value::Num(1.0));
+        let v = l.loss(&t, &Value::Cat(0), &EntryStats::trivial());
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn mean_is_outlier_sensitive() {
+        // documents the §2.4.2 caveat: one outlier drags the weighted mean
+        let l = SquaredLoss;
+        let obs = vec![
+            (SourceId(0), Value::Num(70.0)),
+            (SourceId(1), Value::Num(71.0)),
+            (SourceId(2), Value::Num(1000.0)),
+        ];
+        let w = vec![1.0, 1.0, 1.0];
+        let m = l.fit(&obs, &w, &EntryStats::trivial()).as_num().unwrap();
+        assert!(m > 100.0);
+    }
+
+    #[test]
+    fn convex() {
+        assert!(SquaredLoss.is_convex());
+    }
+}

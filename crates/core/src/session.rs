@@ -1,0 +1,268 @@
+//! Stepwise solver sessions: Eq (2) and Eq (3) as separately drivable steps.
+//!
+//! [`Crh::run`](crate::solver::Crh::run) owns the whole loop; a
+//! [`CrhSession`] instead exposes the two coordinate-descent steps so
+//! callers can interleave their own logic — inspect weights between
+//! iterations, stop on custom criteria, anneal the weight scheme, or warm
+//! start from weights learned elsewhere (e.g. an I-CRH stream).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::ids::PropertyId;
+use crate::loss::Loss;
+use crate::solver::{
+    deviation_matrix, fit_all, objective, source_losses, PreparedProblem, PropertyNorm,
+};
+use crate::table::{ObservationTable, TruthTable};
+use crate::weights::{LogMax, WeightAssigner};
+
+/// A stateful CRH solving session over one table.
+pub struct CrhSession<'t> {
+    prepared: PreparedProblem<'t>,
+    assigner: Box<dyn WeightAssigner>,
+    property_norm: PropertyNorm,
+    count_normalize: bool,
+    weights: Vec<f64>,
+    truths: TruthTable,
+    iterations: usize,
+}
+
+impl std::fmt::Debug for CrhSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrhSession")
+            .field("iterations", &self.iterations)
+            .field("weights", &self.weights)
+            .finish()
+    }
+}
+
+impl<'t> CrhSession<'t> {
+    /// Open a session with the paper's default losses and log-max weights.
+    /// Truths start at the uniform-weight fit (Voting/Averaging, §2.5).
+    pub fn new(table: &'t ObservationTable) -> Result<Self> {
+        Self::with_losses(table, &HashMap::new())
+    }
+
+    /// Open a session with per-property loss overrides.
+    pub fn with_losses(
+        table: &'t ObservationTable,
+        overrides: &HashMap<PropertyId, Arc<dyn Loss>>,
+    ) -> Result<Self> {
+        let prepared = PreparedProblem::new(table, overrides)?;
+        let weights = vec![1.0; table.num_sources()];
+        let truths = fit_all(&prepared, &weights);
+        Ok(Self {
+            prepared,
+            assigner: Box::new(LogMax),
+            property_norm: PropertyNorm::SumToOne,
+            count_normalize: true,
+            weights,
+            truths,
+            iterations: 0,
+        })
+    }
+
+    /// Replace the weight assigner (may be called between steps).
+    pub fn set_weight_assigner(&mut self, a: impl WeightAssigner + 'static) {
+        self.assigner = Box::new(a);
+    }
+
+    /// Warm-start the weights (e.g. from a previous run or an I-CRH stream).
+    pub fn set_weights(&mut self, weights: Vec<f64>) {
+        assert_eq!(
+            weights.len(),
+            self.prepared.table.num_sources(),
+            "weight vector must cover every source"
+        );
+        self.weights = weights;
+    }
+
+    /// Step I (Eq 2): refresh the weights from the current truths.
+    /// Returns the per-source (normalized) losses the weights were derived
+    /// from.
+    pub fn step_weights(&mut self) -> Vec<f64> {
+        let dev = deviation_matrix(&self.prepared, &self.truths);
+        let losses = source_losses(
+            &dev,
+            self.prepared.table.source_counts(),
+            self.property_norm,
+            self.count_normalize,
+        );
+        self.weights = self.assigner.assign(&losses);
+        losses
+    }
+
+    /// Step II (Eq 3): refresh every entry's truth from the current weights.
+    pub fn step_truths(&mut self) {
+        self.truths = fit_all(&self.prepared, &self.weights);
+        self.iterations += 1;
+    }
+
+    /// One full iteration (Step I then Step II); returns the objective
+    /// value after the iteration.
+    pub fn step(&mut self) -> f64 {
+        self.step_weights();
+        self.step_truths();
+        self.objective()
+    }
+
+    /// Run until the relative objective decrease falls below `tol` or
+    /// `max_iters` full iterations have been performed. Returns the final
+    /// objective.
+    pub fn run_to_convergence(&mut self, tol: f64, max_iters: usize) -> f64 {
+        let mut prev = f64::INFINITY;
+        let mut f = self.objective();
+        for _ in 0..max_iters {
+            f = self.step();
+            if (prev - f).abs() <= tol * prev.abs().max(1.0) {
+                break;
+            }
+            prev = f;
+        }
+        f
+    }
+
+    /// The current objective `Σ_k w_k L_k` under the session's
+    /// normalization settings.
+    pub fn objective(&self) -> f64 {
+        let dev = deviation_matrix(&self.prepared, &self.truths);
+        let losses = source_losses(
+            &dev,
+            self.prepared.table.source_counts(),
+            self.property_norm,
+            self.count_normalize,
+        );
+        objective(&self.weights, &losses)
+    }
+
+    /// Current source weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Current truth estimates.
+    pub fn truths(&self) -> &TruthTable {
+        &self.truths
+    }
+
+    /// Full iterations performed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Finish the session, yielding the truths and weights.
+    pub fn finish(self) -> (TruthTable, Vec<f64>) {
+        (self.truths, self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ObjectId, PropertyId, SourceId};
+    use crate::schema::Schema;
+    use crate::solver::CrhBuilder;
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+    use crate::weights::TopJ;
+
+    fn table() -> ObservationTable {
+        let mut schema = Schema::new();
+        let t = schema.add_continuous("t");
+        let c = schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        for i in 0..8u32 {
+            let truth = 10.0 + i as f64;
+            b.add(ObjectId(i), t, SourceId(0), Value::Num(truth)).unwrap();
+            b.add(ObjectId(i), t, SourceId(1), Value::Num(truth + 0.5)).unwrap();
+            b.add(ObjectId(i), t, SourceId(2), Value::Num(truth + 9.0)).unwrap();
+            b.add_label(ObjectId(i), c, SourceId(0), "a").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(1), "a").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(2), "b").unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stepping_matches_batch_solver() {
+        let tab = table();
+        let mut session = CrhSession::new(&tab).unwrap();
+        session.run_to_convergence(1e-6, 100);
+        let batch = CrhBuilder::new().build().unwrap().run(&tab).unwrap();
+        for (a, b) in session.weights().iter().zip(&batch.weights) {
+            assert!((a - b).abs() < 1e-9, "{:?} vs {:?}", session.weights(), batch.weights);
+        }
+        for (e, t) in batch.truths.iter() {
+            assert!(t.point().matches(&session.truths().get(e).point()));
+        }
+    }
+
+    #[test]
+    fn initial_truths_are_uniform_fit() {
+        let tab = table();
+        let session = CrhSession::new(&tab).unwrap();
+        let e = tab.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        // median of {10, 10.5, 19} = 10.5
+        assert_eq!(session.truths().get(e).as_num(), Some(10.5));
+        assert_eq!(session.iterations(), 0);
+    }
+
+    #[test]
+    fn step_weights_returns_losses() {
+        let tab = table();
+        let mut session = CrhSession::new(&tab).unwrap();
+        let losses = session.step_weights();
+        assert_eq!(losses.len(), 3);
+        assert!(losses[2] > losses[0], "liar must lose more: {losses:?}");
+        assert!(session.weights()[0] > session.weights()[2]);
+    }
+
+    #[test]
+    fn objective_decreases_across_steps() {
+        let tab = table();
+        let mut session = CrhSession::new(&tab).unwrap();
+        let f1 = session.step();
+        let f2 = session.step();
+        assert!(f2 <= f1 + 1e-9, "{f1} -> {f2}");
+        assert_eq!(session.iterations(), 2);
+    }
+
+    #[test]
+    fn warm_start_and_scheme_swap() {
+        let tab = table();
+        let mut session = CrhSession::new(&tab).unwrap();
+        session.set_weights(vec![10.0, 0.1, 0.1]);
+        session.step_truths();
+        let e = tab.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        // dominated by source 0's claim
+        assert_eq!(session.truths().get(e).as_num(), Some(10.0));
+
+        session.set_weight_assigner(TopJ::new(1).unwrap());
+        session.step_weights();
+        assert_eq!(
+            session.weights().iter().filter(|&&w| w > 0.0).count(),
+            1,
+            "top-1 selection after the swap"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weight vector must cover every source")]
+    fn set_weights_validates_length() {
+        let tab = table();
+        let mut session = CrhSession::new(&tab).unwrap();
+        session.set_weights(vec![1.0]);
+    }
+
+    #[test]
+    fn finish_yields_state() {
+        let tab = table();
+        let mut session = CrhSession::new(&tab).unwrap();
+        session.run_to_convergence(1e-6, 10);
+        let (truths, weights) = session.finish();
+        assert_eq!(truths.len(), tab.num_entries());
+        assert_eq!(weights.len(), 3);
+    }
+}

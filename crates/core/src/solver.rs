@@ -1,0 +1,576 @@
+//! The CRH block-coordinate-descent solver (Algorithm 1).
+//!
+//! Starting from a Voting/Averaging initialization of the truths (§2.5
+//! "Initialization"), the solver alternates:
+//!
+//! * **Step I — weight update** (Eq 2): per-source total deviations are
+//!   accumulated, optionally normalized per property (§2.5 "Normalization")
+//!   and by each source's observation count (§2.5 "Missing values"), and the
+//!   configured [`WeightAssigner`] maps them to weights.
+//! * **Step II — truth update** (Eq 3): each entry's truth is recomputed by
+//!   its property's [`Loss`] closed form.
+//!
+//! Iteration stops when the relative decrease of the objective falls below
+//! the tolerance ("the decrease in the objective function is small enough
+//! compared with the previous iteration", §2.5) or `max_iters` is reached.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{CrhError, Result};
+use crate::ids::PropertyId;
+use crate::loss::{default_loss_for, Loss};
+use crate::stats::{compute_entry_stats, EntryStats};
+use crate::table::{ObservationTable, TruthTable};
+use crate::value::Truth;
+use crate::weights::{LogMax, WeightAssigner};
+
+/// How truths are initialized (§2.5: "the results from Voting/Averaging
+/// approaches is typically a good start"). Both strategies call each
+/// property's loss with uniform weights, which *is* voting / averaging /
+/// median depending on the loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitStrategy {
+    /// Uniform-weight fit under each property's configured loss
+    /// (majority vote for 0-1, median for absolute, mean for squared).
+    #[default]
+    UniformFit,
+}
+
+/// Cross-property normalization of per-source deviations (§2.5
+/// "Normalization"): rescale each property's deviation column so no property
+/// dominates the weight update just because its loss has a bigger range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropertyNorm {
+    /// No rescaling. Use when all losses are already on a common scale
+    /// (also the configuration under which the convergence guarantee is
+    /// exact).
+    None,
+    /// Divide property `m`'s deviations by `Σ_k D_mk` so each property
+    /// contributes a unit total across sources (default).
+    #[default]
+    SumToOne,
+    /// Divide property `m`'s deviations by `max_k D_mk`.
+    MaxToOne,
+}
+
+/// Configuration builder for [`Crh`].
+pub struct CrhBuilder {
+    max_iters: usize,
+    tol: f64,
+    assigner: Box<dyn WeightAssigner>,
+    init: InitStrategy,
+    property_norm: PropertyNorm,
+    count_normalize: bool,
+    loss_overrides: HashMap<PropertyId, Arc<dyn Loss>>,
+}
+
+impl Default for CrhBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrhBuilder {
+    /// Paper defaults: 0-1 loss / weighted median (chosen per property type),
+    /// log-max weights, per-property sum normalization, count normalization,
+    /// 100-iteration cap, 1e-6 relative tolerance.
+    pub fn new() -> Self {
+        Self {
+            max_iters: 100,
+            tol: 1e-6,
+            assigner: Box::new(LogMax),
+            init: InitStrategy::UniformFit,
+            property_norm: PropertyNorm::SumToOne,
+            count_normalize: true,
+            loss_overrides: HashMap::new(),
+        }
+    }
+
+    /// Cap the number of iterations.
+    pub fn max_iters(mut self, n: usize) -> Self {
+        self.max_iters = n;
+        self
+    }
+
+    /// Relative-objective-decrease convergence tolerance.
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Replace the weight-assignment scheme (§2.3).
+    pub fn weight_assigner(mut self, a: impl WeightAssigner + 'static) -> Self {
+        self.assigner = Box::new(a);
+        self
+    }
+
+    /// Select the truth-initialization strategy.
+    pub fn init(mut self, init: InitStrategy) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Select the cross-property normalization (§2.5).
+    pub fn property_norm(mut self, norm: PropertyNorm) -> Self {
+        self.property_norm = norm;
+        self
+    }
+
+    /// Enable/disable dividing each source's total deviation by its
+    /// observation count (§2.5 "Missing values"; default on).
+    pub fn count_normalize(mut self, on: bool) -> Self {
+        self.count_normalize = on;
+        self
+    }
+
+    /// Override the loss for one property (defaults are chosen by type:
+    /// 0-1 for categorical, normalized absolute for continuous,
+    /// edit distance for text).
+    pub fn loss_for(mut self, property: PropertyId, loss: impl Loss + 'static) -> Self {
+        self.loss_overrides.insert(property, Arc::new(loss));
+        self
+    }
+
+    /// Validate and freeze the configuration.
+    pub fn build(self) -> Result<Crh> {
+        if self.max_iters == 0 {
+            return Err(CrhError::InvalidParameter("max_iters must be >= 1".into()));
+        }
+        if self.tol.is_nan() || self.tol < 0.0 {
+            return Err(CrhError::InvalidParameter("tolerance must be >= 0".into()));
+        }
+        Ok(Crh { cfg: self })
+    }
+}
+
+impl std::fmt::Debug for CrhBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrhBuilder")
+            .field("max_iters", &self.max_iters)
+            .field("tol", &self.tol)
+            .field("assigner", &self.assigner.name())
+            .field("property_norm", &self.property_norm)
+            .field("count_normalize", &self.count_normalize)
+            .finish()
+    }
+}
+
+/// The configured CRH solver.
+#[derive(Debug)]
+pub struct Crh {
+    cfg: CrhBuilder,
+}
+
+/// Result of a CRH run.
+#[derive(Debug, Clone)]
+pub struct CrhResult {
+    /// The estimated truth table `X^(*)`, parallel to the input's entries.
+    pub truths: TruthTable,
+    /// The estimated source weights `W` (indexed by `SourceId`).
+    pub weights: Vec<f64>,
+    /// Objective value `f(X*, W)` after each iteration.
+    pub objective_trace: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance criterion was met before `max_iters`.
+    pub converged: bool,
+}
+
+/// A prepared problem: per-property losses and per-entry stats, reusable
+/// across runs over the same table (and by the streaming / parallel
+/// variants).
+pub struct PreparedProblem<'t> {
+    /// The input table.
+    pub table: &'t ObservationTable,
+    /// One loss per property (by `PropertyId` index).
+    pub losses: Vec<Arc<dyn Loss>>,
+    /// Per-entry statistics, parallel to the table's entries.
+    pub stats: Vec<EntryStats>,
+}
+
+impl<'t> PreparedProblem<'t> {
+    /// Build default (or overridden) losses and entry stats for `table`.
+    /// Overridden losses must match their property's declared type.
+    pub fn new(
+        table: &'t ObservationTable,
+        overrides: &HashMap<PropertyId, Arc<dyn Loss>>,
+    ) -> Result<Self> {
+        let mut losses: Vec<Arc<dyn Loss>> = Vec::with_capacity(table.num_properties());
+        for (pid, def) in table.schema().properties() {
+            match overrides.get(&pid) {
+                Some(l) => {
+                    if l.property_type() != def.ptype {
+                        return Err(CrhError::TypeMismatch {
+                            property: pid,
+                            expected: def.ptype,
+                            got: l.property_type(),
+                        });
+                    }
+                    losses.push(Arc::clone(l));
+                }
+                None => losses.push(default_loss_for(def.ptype).into()),
+            }
+        }
+        Ok(Self {
+            table,
+            losses,
+            stats: compute_entry_stats(table),
+        })
+    }
+
+    /// The loss configured for `property`.
+    pub fn loss(&self, property: PropertyId) -> &dyn Loss {
+        self.losses[property.index()].as_ref()
+    }
+}
+
+/// Per-source, per-property deviation matrix `D[m][k] = Σ_i d_m(v*_im, v_im^(k))`.
+pub fn deviation_matrix(
+    prepared: &PreparedProblem<'_>,
+    truths: &TruthTable,
+) -> Vec<Vec<f64>> {
+    let k = prepared.table.num_sources();
+    let m = prepared.table.num_properties();
+    let mut dev = vec![vec![0.0f64; k]; m];
+    for (e, entry, obs) in prepared.table.iter_entries() {
+        let loss = prepared.loss(entry.property);
+        let stats = &prepared.stats[e.index()];
+        let truth = truths.get(e);
+        let row = &mut dev[entry.property.index()];
+        for (s, v) in obs {
+            row[s.index()] += loss.loss(truth, v, stats);
+        }
+    }
+    dev
+}
+
+/// Collapse the deviation matrix to per-source losses `L_k`, applying the
+/// configured property normalization and count normalization (§2.5).
+pub fn source_losses(
+    dev: &[Vec<f64>],
+    source_counts: &[usize],
+    norm: PropertyNorm,
+    count_normalize: bool,
+) -> Vec<f64> {
+    let k = source_counts.len();
+    let mut total = vec![0.0f64; k];
+    for row in dev {
+        let factor = match norm {
+            PropertyNorm::None => 1.0,
+            PropertyNorm::SumToOne => row.iter().sum::<f64>(),
+            PropertyNorm::MaxToOne => row.iter().cloned().fold(0.0f64, f64::max),
+        };
+        let factor = if factor > 0.0 { factor } else { 1.0 };
+        for (t, &d) in total.iter_mut().zip(row.iter()) {
+            *t += d / factor;
+        }
+    }
+    if count_normalize {
+        for (t, &c) in total.iter_mut().zip(source_counts.iter()) {
+            if c > 0 {
+                *t /= c as f64;
+            }
+        }
+    }
+    total
+}
+
+/// The objective `f(X*, W) = Σ_k w_k L_k` over (normalized) per-source losses.
+pub fn objective(weights: &[f64], per_source_loss: &[f64]) -> f64 {
+    weights
+        .iter()
+        .zip(per_source_loss.iter())
+        .map(|(w, l)| w * l)
+        .sum()
+}
+
+impl Crh {
+    /// Run Algorithm 1 on `table`.
+    pub fn run(&self, table: &ObservationTable) -> Result<CrhResult> {
+        let prepared = PreparedProblem::new(table, &self.cfg.loss_overrides)?;
+        let k = table.num_sources();
+        if k == 0 {
+            return Err(CrhError::EmptyTable);
+        }
+
+        // Line 1: initialize truths with a uniform-weight fit
+        // (voting / averaging / median depending on the loss).
+        let uniform = vec![1.0f64; k];
+        let mut truths = fit_all(&prepared, &uniform);
+
+        let mut weights = uniform;
+        let mut trace: Vec<f64> = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for it in 0..self.cfg.max_iters {
+            iterations = it + 1;
+
+            // Step I (line 3): weight update from current truths.
+            let dev = deviation_matrix(&prepared, &truths);
+            let losses = source_losses(
+                &dev,
+                table.source_counts(),
+                self.cfg.property_norm,
+                self.cfg.count_normalize,
+            );
+            weights = self.cfg.assigner.assign(&losses);
+
+            // Step II (lines 4-8): truth update from current weights.
+            truths = fit_all(&prepared, &weights);
+
+            // Convergence check (line 9): relative objective decrease.
+            let dev = deviation_matrix(&prepared, &truths);
+            let losses = source_losses(
+                &dev,
+                table.source_counts(),
+                self.cfg.property_norm,
+                self.cfg.count_normalize,
+            );
+            let f = objective(&weights, &losses);
+            if let Some(&prev) = trace.last() {
+                let rel = (prev - f).abs() / prev.abs().max(1.0);
+                trace.push(f);
+                if rel <= self.cfg.tol {
+                    converged = true;
+                    break;
+                }
+            } else {
+                trace.push(f);
+            }
+        }
+
+        Ok(CrhResult {
+            truths,
+            weights,
+            objective_trace: trace,
+            iterations,
+            converged,
+        })
+    }
+}
+
+/// Eq (3) over every entry: fit each entry's truth under `weights`.
+pub fn fit_all(prepared: &PreparedProblem<'_>, weights: &[f64]) -> TruthTable {
+    let mut cells: Vec<Truth> = Vec::with_capacity(prepared.table.num_entries());
+    for (e, entry, obs) in prepared.table.iter_entries() {
+        let loss = prepared.loss(entry.property);
+        cells.push(loss.fit(obs, weights, &prepared.stats[e.index()]));
+    }
+    TruthTable::new(cells)
+}
+
+/// Eq (3) with per-group weights (fine-grained variant, §2.5): fit each
+/// entry under the weight vector of its property's group.
+/// `group_of[m]` maps a property index to its group index.
+pub fn fit_all_grouped(
+    prepared: &PreparedProblem<'_>,
+    weights: &[Vec<f64>],
+    group_of: &[usize],
+) -> TruthTable {
+    let mut cells: Vec<Truth> = Vec::with_capacity(prepared.table.num_entries());
+    for (e, entry, obs) in prepared.table.iter_entries() {
+        let loss = prepared.loss(entry.property);
+        let w = &weights[group_of[entry.property.index()]];
+        cells.push(loss.fit(obs, w, &prepared.stats[e.index()]));
+    }
+    TruthTable::new(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ObjectId, SourceId};
+    use crate::loss::{ProbVectorLoss, SquaredLoss};
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+    use crate::weights::{LogSum, TopJ};
+
+    /// Three sources; source 2 lies on everything. 4 objects, 2 properties
+    /// (1 continuous + 1 categorical). Sources 0 and 1 agree on the truth.
+    fn lying_source_table() -> ObservationTable {
+        let mut schema = Schema::new();
+        let temp = schema.add_continuous("temp");
+        let cond = schema.add_categorical("cond");
+        let mut b = TableBuilder::new(schema);
+        for i in 0..4u32 {
+            let truth_t = 70.0 + i as f64;
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(truth_t)).unwrap();
+            b.add(ObjectId(i), temp, SourceId(1), Value::Num(truth_t + 0.5)).unwrap();
+            b.add(ObjectId(i), temp, SourceId(2), Value::Num(truth_t + 30.0)).unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(0), "sunny").unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(1), "sunny").unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(2), "rain").unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn crh_downweights_the_liar() {
+        let table = lying_source_table();
+        let res = CrhBuilder::new().build().unwrap().run(&table).unwrap();
+        assert!(res.weights[0] > res.weights[2]);
+        assert!(res.weights[1] > res.weights[2]);
+        // truths follow the two reliable sources
+        let cond = table.schema().property_by_name("cond").unwrap();
+        let e = table.entry_id(ObjectId(0), cond).unwrap();
+        let sunny = table.schema().lookup(cond, "sunny").unwrap();
+        assert_eq!(res.truths.get(e).point(), sunny);
+        let temp = table.schema().property_by_name("temp").unwrap();
+        let e = table.entry_id(ObjectId(0), temp).unwrap();
+        let t = res.truths.get(e).as_num().unwrap();
+        assert!((t - 70.0).abs() <= 0.5, "truth {t} should track reliable sources");
+    }
+
+    #[test]
+    fn converges_and_traces_objective() {
+        let table = lying_source_table();
+        let res = CrhBuilder::new()
+            .max_iters(50)
+            .build()
+            .unwrap()
+            .run(&table)
+            .unwrap();
+        assert!(res.converged, "should converge within 50 iterations");
+        assert_eq!(res.objective_trace.len(), res.iterations);
+        assert!(res.objective_trace.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn objective_nonincreasing_for_exact_convex_config() {
+        // LogSum (exact Eq 5) + squared/prob-vector losses (convex) +
+        // no property/count normalization = true block coordinate descent,
+        // so the objective trace must be non-increasing (§2.5 convergence).
+        let table = lying_source_table();
+        let temp = table.schema().property_by_name("temp").unwrap();
+        let cond = table.schema().property_by_name("cond").unwrap();
+        let res = CrhBuilder::new()
+            .weight_assigner(LogSum)
+            .property_norm(PropertyNorm::None)
+            .count_normalize(false)
+            .loss_for(temp, SquaredLoss)
+            .loss_for(cond, ProbVectorLoss)
+            .max_iters(30)
+            .tolerance(0.0)
+            .build()
+            .unwrap()
+            .run(&table)
+            .unwrap();
+        for w in res.objective_trace.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "objective increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn top_j_selection_zeroes_unselected() {
+        let table = lying_source_table();
+        let res = CrhBuilder::new()
+            .weight_assigner(TopJ::new(2).unwrap())
+            .build()
+            .unwrap()
+            .run(&table)
+            .unwrap();
+        let selected: Vec<usize> = res
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(selected, vec![0, 1], "the liar must not be selected");
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(CrhBuilder::new().max_iters(0).build().is_err());
+        assert!(CrhBuilder::new().tolerance(f64::NAN).build().is_err());
+        assert!(CrhBuilder::new().tolerance(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn single_source_degenerate_case() {
+        let mut schema = Schema::new();
+        let temp = schema.add_continuous("t");
+        let mut b = TableBuilder::new(schema);
+        b.add(ObjectId(0), temp, SourceId(0), Value::Num(42.0)).unwrap();
+        let t = b.build().unwrap();
+        let res = CrhBuilder::new().build().unwrap().run(&t).unwrap();
+        assert_eq!(res.truths.get(crate::ids::EntryId(0)).as_num(), Some(42.0));
+        assert!(res.weights[0].is_finite());
+    }
+
+    #[test]
+    fn missing_values_handled() {
+        // source 1 observes only half the entries; count normalization keeps
+        // its weight comparable
+        let mut schema = Schema::new();
+        let temp = schema.add_continuous("t");
+        let mut b = TableBuilder::new(schema);
+        for i in 0..10u32 {
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(i as f64)).unwrap();
+            b.add(ObjectId(i), temp, SourceId(2), Value::Num(i as f64 + 0.1)).unwrap();
+            if i < 5 {
+                b.add(ObjectId(i), temp, SourceId(1), Value::Num(i as f64)).unwrap();
+            }
+        }
+        let t = b.build().unwrap();
+        let res = CrhBuilder::new().build().unwrap().run(&t).unwrap();
+        // source 1 is as accurate as source 0 on the entries it covers
+        assert!(res.weights[1] > 0.5 * res.weights[0]);
+    }
+
+    #[test]
+    fn deviation_matrix_shape_and_content() {
+        let table = lying_source_table();
+        let prepared = PreparedProblem::new(&table, &HashMap::new()).unwrap();
+        let truths = fit_all(&prepared, &[1.0; 3]);
+        let dev = deviation_matrix(&prepared, &truths);
+        assert_eq!(dev.len(), 2); // properties
+        assert_eq!(dev[0].len(), 3); // sources
+        // the liar has the largest categorical deviation
+        let cond_row = &dev[1];
+        assert!(cond_row[2] > cond_row[0]);
+    }
+
+    #[test]
+    fn source_losses_normalizations() {
+        let dev = vec![vec![1.0, 3.0], vec![10.0, 30.0]];
+        let counts = vec![2usize, 2usize];
+        let none = source_losses(&dev, &counts, PropertyNorm::None, false);
+        assert_eq!(none, vec![11.0, 33.0]);
+        let sum = source_losses(&dev, &counts, PropertyNorm::SumToOne, false);
+        assert!((sum[0] - 0.5).abs() < 1e-12); // 1/4 + 10/40
+        assert!((sum[1] - 1.5).abs() < 1e-12);
+        let max = source_losses(&dev, &counts, PropertyNorm::MaxToOne, false);
+        assert!((max[0] - (1.0 / 3.0 + 10.0 / 30.0)).abs() < 1e-12);
+        let counted = source_losses(&dev, &counts, PropertyNorm::None, true);
+        assert_eq!(counted, vec![5.5, 16.5]);
+    }
+
+    #[test]
+    fn objective_helper() {
+        assert_eq!(objective(&[2.0, 3.0], &[1.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn prob_vector_loss_produces_soft_truths() {
+        let table = lying_source_table();
+        let cond = table.schema().property_by_name("cond").unwrap();
+        let res = CrhBuilder::new()
+            .loss_for(cond, ProbVectorLoss)
+            .build()
+            .unwrap()
+            .run(&table)
+            .unwrap();
+        let e = table.entry_id(ObjectId(0), cond).unwrap();
+        let probs = res.truths.get(e).distribution().expect("soft truth");
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

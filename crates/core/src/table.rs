@@ -1,0 +1,430 @@
+//! Multi-source observation storage and the truth table.
+//!
+//! [`ObservationTable`] stores the union of all sources' claims
+//! `{X^(1), …, X^(K)}` in an entry-major CSR layout: for each entry
+//! (object, property) a contiguous slice of `(SourceId, Value)` pairs.
+//! Both solver steps iterate entry-by-entry, so this is the cache-friendly
+//! orientation; missing observations (§2.5) simply do not appear.
+
+use std::collections::HashMap;
+
+use crate::error::{CrhError, Result};
+use crate::ids::{EntryId, ObjectId, PropertyId, SourceId};
+use crate::schema::Schema;
+use crate::value::{Truth, Value};
+
+/// An entry: one cell of the truth table (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Entry {
+    /// The object `i`.
+    pub object: ObjectId,
+    /// The property `m`.
+    pub property: PropertyId,
+}
+
+/// One input tuple `(eID, v, sID)` in the MapReduce data format (§2.7.1),
+/// here with the entry spelled out as (object, property).
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// The observed object.
+    pub object: ObjectId,
+    /// The observed property.
+    pub property: PropertyId,
+    /// The claiming source.
+    pub source: SourceId,
+    /// The claimed value.
+    pub value: Value,
+}
+
+/// Incremental builder for [`ObservationTable`].
+///
+/// Duplicate claims (same entry, same source) are resolved keep-last, the
+/// usual treatment for re-crawled web data.
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Schema,
+    claims: Vec<Claim>,
+}
+
+impl TableBuilder {
+    /// Start building against `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            claims: Vec::new(),
+        }
+    }
+
+    /// Read access to the schema (e.g. to resolve property names).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable access to the schema (e.g. to intern categorical labels).
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// Record one observation. Validates the value against the schema.
+    pub fn add(
+        &mut self,
+        object: ObjectId,
+        property: PropertyId,
+        source: SourceId,
+        value: Value,
+    ) -> Result<()> {
+        self.schema.check_value(property, &value)?;
+        self.claims.push(Claim {
+            object,
+            property,
+            source,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Convenience: intern a categorical label and record the observation.
+    pub fn add_label(
+        &mut self,
+        object: ObjectId,
+        property: PropertyId,
+        source: SourceId,
+        label: &str,
+    ) -> Result<()> {
+        let v = self.schema.intern(property, label)?;
+        self.add(object, property, source, v)
+    }
+
+    /// Number of claims recorded so far (before dedup).
+    pub fn len(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Whether no claims have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty()
+    }
+
+    /// Finalize into an [`ObservationTable`].
+    pub fn build(self) -> Result<ObservationTable> {
+        ObservationTable::from_claims(self.schema, self.claims)
+    }
+}
+
+/// The assembled multi-source input `{X^(1), …, X^(K)}`.
+#[derive(Debug, Clone)]
+pub struct ObservationTable {
+    schema: Schema,
+    entries: Vec<Entry>,
+    /// CSR offsets: observations of entry `e` live at `obs[offsets[e]..offsets[e+1]]`.
+    offsets: Vec<usize>,
+    obs: Vec<(SourceId, Value)>,
+    entry_index: HashMap<Entry, EntryId>,
+    num_sources: usize,
+    num_objects: usize,
+    /// Observation count per source (for the §2.5 count normalization).
+    source_counts: Vec<usize>,
+}
+
+impl ObservationTable {
+    /// Build from raw claims. Claims are grouped by entry; within an entry,
+    /// a later claim from the same source replaces an earlier one.
+    pub fn from_claims(schema: Schema, mut claims: Vec<Claim>) -> Result<Self> {
+        if claims.is_empty() {
+            return Err(CrhError::EmptyTable);
+        }
+        // Group by (object, property); stable sort keeps claim order within
+        // an entry so keep-last dedup below is well-defined.
+        claims.sort_by_key(|c| (c.object, c.property));
+
+        let mut entries = Vec::new();
+        let mut offsets = vec![0usize];
+        let mut obs: Vec<(SourceId, Value)> = Vec::with_capacity(claims.len());
+        let mut entry_index = HashMap::new();
+        let mut num_sources = 0usize;
+        let mut num_objects = 0usize;
+
+        let mut i = 0;
+        while i < claims.len() {
+            let key = Entry {
+                object: claims[i].object,
+                property: claims[i].property,
+            };
+            let start = i;
+            while i < claims.len()
+                && claims[i].object == key.object
+                && claims[i].property == key.property
+            {
+                i += 1;
+            }
+            let group = &claims[start..i];
+            let obs_start = obs.len();
+            // keep-last per source within the group
+            for (gi, c) in group.iter().enumerate() {
+                let superseded = group[gi + 1..].iter().any(|d| d.source == c.source);
+                if !superseded {
+                    obs.push((c.source, c.value.clone()));
+                }
+            }
+            // deterministic source order within the entry
+            obs[obs_start..].sort_by_key(|(s, _)| *s);
+
+            let eid = EntryId::from_index(entries.len());
+            entry_index.insert(key, eid);
+            entries.push(key);
+            offsets.push(obs.len());
+
+            num_objects = num_objects.max(key.object.index() + 1);
+            for (s, _) in &obs[obs_start..] {
+                num_sources = num_sources.max(s.index() + 1);
+            }
+        }
+
+        let mut source_counts = vec![0usize; num_sources];
+        for (s, _) in &obs {
+            source_counts[s.index()] += 1;
+        }
+
+        Ok(Self {
+            schema,
+            entries,
+            offsets,
+            obs,
+            entry_index,
+            num_sources,
+            num_objects,
+            source_counts,
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of entries with at least one observation.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of sources `K` (1 + the largest source id seen).
+    pub fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Number of objects `N` (1 + the largest object id seen).
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Number of properties `M` declared in the schema.
+    pub fn num_properties(&self) -> usize {
+        self.schema.num_properties()
+    }
+
+    /// Total number of observations (after dedup).
+    pub fn num_observations(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// Observation count of each source.
+    pub fn source_counts(&self) -> &[usize] {
+        &self.source_counts
+    }
+
+    /// The entry descriptor for `e`.
+    pub fn entry(&self, e: EntryId) -> Entry {
+        self.entries[e.index()]
+    }
+
+    /// Look up an entry id by (object, property).
+    pub fn entry_id(&self, object: ObjectId, property: PropertyId) -> Option<EntryId> {
+        self.entry_index.get(&Entry { object, property }).copied()
+    }
+
+    /// The `(source, value)` observations of entry `e`, sorted by source id.
+    pub fn observations(&self, e: EntryId) -> &[(SourceId, Value)] {
+        let i = e.index();
+        &self.obs[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterate `(EntryId, Entry, observations)` over all entries.
+    pub fn iter_entries(
+        &self,
+    ) -> impl Iterator<Item = (EntryId, Entry, &[(SourceId, Value)])> + '_ {
+        self.entries.iter().enumerate().map(move |(i, &entry)| {
+            (
+                EntryId::from_index(i),
+                entry,
+                &self.obs[self.offsets[i]..self.offsets[i + 1]],
+            )
+        })
+    }
+
+    /// Iterate all claims as flat `(entry, source, value)` tuples — the
+    /// MapReduce input format of §2.7.1.
+    pub fn iter_claims(&self) -> impl Iterator<Item = (EntryId, SourceId, &Value)> + '_ {
+        self.iter_entries()
+            .flat_map(|(e, _, group)| group.iter().map(move |(s, v)| (e, *s, v)))
+    }
+}
+
+/// The output truth table `X^(*)`: one [`Truth`] per entry of the
+/// observation table it was computed from.
+#[derive(Debug, Clone)]
+pub struct TruthTable {
+    cells: Vec<Truth>,
+}
+
+impl TruthTable {
+    /// Wrap a dense vector of truths (parallel to the table's entries).
+    pub fn new(cells: Vec<Truth>) -> Self {
+        Self { cells }
+    }
+
+    /// The truth of entry `e`.
+    pub fn get(&self, e: EntryId) -> &Truth {
+        &self.cells[e.index()]
+    }
+
+    /// Mutable access, used by solvers.
+    pub fn get_mut(&mut self, e: EntryId) -> &mut Truth {
+        &mut self.cells[e.index()]
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterate `(EntryId, &Truth)`.
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, &Truth)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (EntryId::from_index(i), t))
+    }
+
+    /// Consume into the underlying cells.
+    pub fn into_cells(self) -> Vec<Truth> {
+        self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weather_schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_continuous("high");
+        s.add_categorical("cond");
+        s
+    }
+
+    fn build_small() -> ObservationTable {
+        let mut b = TableBuilder::new(weather_schema());
+        let hi = PropertyId(0);
+        let cond = PropertyId(1);
+        b.add(ObjectId(0), hi, SourceId(0), Value::Num(70.0)).unwrap();
+        b.add(ObjectId(0), hi, SourceId(1), Value::Num(72.0)).unwrap();
+        b.add(ObjectId(0), hi, SourceId(2), Value::Num(90.0)).unwrap();
+        b.add_label(ObjectId(0), cond, SourceId(0), "sunny").unwrap();
+        b.add_label(ObjectId(0), cond, SourceId(1), "sunny").unwrap();
+        b.add_label(ObjectId(1), cond, SourceId(2), "rain").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = build_small();
+        assert_eq!(t.num_entries(), 3);
+        assert_eq!(t.num_sources(), 3);
+        assert_eq!(t.num_objects(), 2);
+        assert_eq!(t.num_properties(), 2);
+        assert_eq!(t.num_observations(), 6);
+        assert_eq!(t.source_counts(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn entry_lookup_and_observations() {
+        let t = build_small();
+        let e = t.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        let obs = t.observations(e);
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs[0], (SourceId(0), Value::Num(70.0)));
+        assert_eq!(t.entry(e).object, ObjectId(0));
+        assert!(t.entry_id(ObjectId(5), PropertyId(0)).is_none());
+    }
+
+    #[test]
+    fn keep_last_dedup() {
+        let mut b = TableBuilder::new(weather_schema());
+        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(1.0)).unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(2.0)).unwrap();
+        let t = b.build().unwrap();
+        let e = t.entry_id(ObjectId(0), PropertyId(0)).unwrap();
+        assert_eq!(t.observations(e), &[(SourceId(0), Value::Num(2.0))]);
+        assert_eq!(t.num_observations(), 1);
+    }
+
+    #[test]
+    fn observations_sorted_by_source() {
+        let mut b = TableBuilder::new(weather_schema());
+        b.add(ObjectId(0), PropertyId(0), SourceId(2), Value::Num(3.0)).unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(1.0)).unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(1), Value::Num(2.0)).unwrap();
+        let t = b.build().unwrap();
+        let obs = t.observations(EntryId(0));
+        let srcs: Vec<u32> = obs.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(srcs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_table_is_error() {
+        let b = TableBuilder::new(weather_schema());
+        assert!(b.is_empty());
+        assert!(matches!(b.build(), Err(CrhError::EmptyTable)));
+    }
+
+    #[test]
+    fn type_mismatch_rejected_at_add() {
+        let mut b = TableBuilder::new(weather_schema());
+        let err = b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Cat(0));
+        assert!(matches!(err, Err(CrhError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn iter_claims_flattens() {
+        let t = build_small();
+        assert_eq!(t.iter_claims().count(), t.num_observations());
+    }
+
+    #[test]
+    fn missing_values_are_absent() {
+        // source 2 never reports (o0, cond): the entry has 2 observations.
+        let t = build_small();
+        let e = t.entry_id(ObjectId(0), PropertyId(1)).unwrap();
+        assert_eq!(t.observations(e).len(), 2);
+    }
+
+    #[test]
+    fn truth_table_accessors() {
+        let mut tt = TruthTable::new(vec![
+            Truth::Point(Value::Num(1.0)),
+            Truth::Point(Value::Cat(0)),
+        ]);
+        assert_eq!(tt.len(), 2);
+        assert!(!tt.is_empty());
+        assert_eq!(tt.get(EntryId(0)).as_num(), Some(1.0));
+        *tt.get_mut(EntryId(0)) = Truth::Point(Value::Num(5.0));
+        assert_eq!(tt.get(EntryId(0)).as_num(), Some(5.0));
+        assert_eq!(tt.iter().count(), 2);
+        assert_eq!(tt.into_cells().len(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Observation values and the heterogeneous type system.
+//!
+//! CRH's central premise (§1.2) is that a single object carries properties of
+//! *different* data types and that each type needs its own notion of
+//! closeness. [`Value`] is the dynamically-typed observation cell;
+//! [`PropertyType`] is the per-property static type recorded in the schema.
+
+use std::fmt;
+
+/// The data type of one property (column) of the truth table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyType {
+    /// Discrete, unordered labels (weather condition, gate number, …).
+    /// Values are interned per property; a `Value::Cat(id)` indexes the
+    /// property's domain in the [`Schema`](crate::schema::Schema).
+    Categorical,
+    /// Real-valued measurements (temperature, stock volume, minutes, …).
+    Continuous,
+    /// Free text, compared by edit distance (§2.4.2 lists edit distance as
+    /// an example loss for complex types).
+    Text,
+}
+
+impl fmt::Display for PropertyType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PropertyType::Categorical => "categorical",
+            PropertyType::Continuous => "continuous",
+            PropertyType::Text => "text",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One observation cell `v_im^(k)` (or one truth cell `v_im^(*)`).
+///
+/// Missing observations are represented by *absence* from the
+/// [`ObservationTable`](crate::table::ObservationTable), not by a variant,
+/// matching §2.5's treatment of missing values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Interned categorical label; the `u32` indexes the property's domain.
+    Cat(u32),
+    /// Continuous measurement.
+    Num(f64),
+    /// Free-text value.
+    Text(String),
+}
+
+impl Value {
+    /// The [`PropertyType`] this value belongs to.
+    pub fn property_type(&self) -> PropertyType {
+        match self {
+            Value::Cat(_) => PropertyType::Categorical,
+            Value::Num(_) => PropertyType::Continuous,
+            Value::Text(_) => PropertyType::Text,
+        }
+    }
+
+    /// The categorical id, if this is a categorical value.
+    pub fn as_cat(&self) -> Option<u32> {
+        match self {
+            Value::Cat(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a continuous value.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The text payload, if this is a text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Exact-match test used by 0-1 loss (Eq 8). Continuous values match
+    /// only when bit-identical after NaN-safe comparison; callers who need
+    /// tolerant matching should use a continuous loss instead.
+    pub fn matches(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Cat(a), Value::Cat(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Text(a), Value::Text(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Cat(c) => write!(f, "#{c}"),
+            Value::Num(x) => write!(f, "{x}"),
+            Value::Text(t) => f.write_str(t),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Num(x)
+    }
+}
+
+/// A truth cell: either a point estimate or, for the probabilistic
+/// categorical strategy (Eqs 10-12), a full distribution over the domain.
+///
+/// `Distribution` keeps the soft probability vector `I_im^(*)` together with
+/// its mode so evaluation and 0-1-style consumers can still read a hard
+/// decision ("`v_im^(*)` is the value with the largest probability", §2.4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Truth {
+    /// A hard decision.
+    Point(Value),
+    /// A soft decision over a categorical domain.
+    Distribution {
+        /// `probs[l]` is the estimated probability of domain value `l`.
+        probs: Vec<f64>,
+        /// `argmax_l probs[l]` (ties broken toward the smaller id).
+        mode: u32,
+    },
+}
+
+impl Truth {
+    /// The hard decision: the point itself, or the distribution's mode.
+    pub fn point(&self) -> Value {
+        match self {
+            Truth::Point(v) => v.clone(),
+            Truth::Distribution { mode, .. } => Value::Cat(*mode),
+        }
+    }
+
+    /// The numeric payload of a hard continuous truth.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Truth::Point(Value::Num(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The soft distribution, if this truth keeps one.
+    pub fn distribution(&self) -> Option<&[f64]> {
+        match self {
+            Truth::Distribution { probs, .. } => Some(probs),
+            Truth::Point(_) => None,
+        }
+    }
+}
+
+impl From<Value> for Truth {
+    fn from(v: Value) -> Self {
+        Truth::Point(v)
+    }
+}
+
+/// Compute the argmax of a probability vector, ties toward the smaller id.
+pub(crate) fn argmax_mode(probs: &[f64]) -> u32 {
+    let mut best = 0usize;
+    let mut best_p = f64::NEG_INFINITY;
+    for (l, &p) in probs.iter().enumerate() {
+        if p > best_p {
+            best_p = p;
+            best = l;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Cat(2).as_cat(), Some(2));
+        assert_eq!(Value::Num(1.5).as_num(), Some(1.5));
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Cat(2).as_num(), None);
+        assert_eq!(Value::Num(0.0).as_cat(), None);
+        assert_eq!(Value::Num(0.0).as_text(), None);
+    }
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::Cat(0).property_type(), PropertyType::Categorical);
+        assert_eq!(Value::Num(0.0).property_type(), PropertyType::Continuous);
+        assert_eq!(Value::Text(String::new()).property_type(), PropertyType::Text);
+    }
+
+    #[test]
+    fn matches_is_type_strict() {
+        assert!(Value::Cat(1).matches(&Value::Cat(1)));
+        assert!(!Value::Cat(1).matches(&Value::Cat(2)));
+        assert!(!Value::Cat(1).matches(&Value::Num(1.0)));
+        assert!(Value::Num(2.0).matches(&Value::Num(2.0)));
+        assert!(Value::Num(f64::NAN).matches(&Value::Num(f64::NAN)));
+        assert!(Value::Text("a".into()).matches(&Value::Text("a".into())));
+    }
+
+    #[test]
+    fn truth_point_of_distribution_is_mode() {
+        let t = Truth::Distribution {
+            probs: vec![0.2, 0.5, 0.3],
+            mode: 1,
+        };
+        assert_eq!(t.point(), Value::Cat(1));
+        assert_eq!(t.distribution().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax_mode(&[0.4, 0.4, 0.2]), 0);
+        assert_eq!(argmax_mode(&[0.1, 0.8, 0.1]), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Cat(3).to_string(), "#3");
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+        assert_eq!(Value::Text("fog".into()).to_string(), "fog");
+        assert_eq!(PropertyType::Categorical.to_string(), "categorical");
+        assert_eq!(PropertyType::Continuous.to_string(), "continuous");
+        assert_eq!(PropertyType::Text.to_string(), "text");
+    }
+}

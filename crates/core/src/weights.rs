@@ -1,0 +1,390 @@
+//! Source-weight assignment schemes (§2.3).
+//!
+//! Step I of the block coordinate descent fixes the truths and solves
+//! Eq (2) for the weights. The solution depends on the regularization
+//! function `δ(W)`:
+//!
+//! * [`LogSum`] — the exp-sum constraint of Eq (4), whose closed-form
+//!   optimum is Eq (5): `w_k = −log(L_k / Σ_k' L_k')`.
+//! * [`LogMax`] — the paper's preferred variant (§2.3 "we use the maximum
+//!   rather than the sum of the deviations as the normalization factor"):
+//!   `w_k = −log(L_k / max_k' L_k')`, which "distinguish\[es\] source weights
+//!   even better".
+//! * [`LpSelection`] — the `L^p`-norm constraint of Eq (6); its optimum
+//!   selects the single best source (weight 1) and zeroes the rest.
+//! * [`TopJ`] — the integer constraint of Eq (7); selects the `j` best
+//!   sources with weight 1 each.
+
+use crate::error::{CrhError, Result};
+
+/// Floor applied to per-source losses before taking logarithms, so a perfect
+/// source (zero loss) receives a large-but-finite weight.
+pub const LOSS_FLOOR: f64 = 1e-12;
+
+/// Small additive offset on [`LogMax`] weights so the worst source (whose
+/// `−log(L/max) = 0`) keeps an infinitesimal vote instead of being dropped
+/// outright; matches the reference implementation's `+ 1e-5`.
+pub const LOG_MAX_OFFSET: f64 = 1e-5;
+
+/// A weight-assignment scheme: maps each source's total deviation `L_k`
+/// (already count-normalized if the solver is configured to, §2.5) to its
+/// weight `w_k`.
+pub trait WeightAssigner: Send + Sync + std::fmt::Debug {
+    /// Human-readable identifier for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Compute weights from per-source losses. `losses[k]` is
+    /// `Σ_i Σ_m d_m(v*_im, v_im^(k))` for source `k`.
+    fn assign(&self, losses: &[f64]) -> Vec<f64>;
+}
+
+/// Eq (5): `w_k = −log(L_k / Σ_k' L_k')`. Every weight is positive because
+/// each ratio is in `(0, 1)`; the log "helps to enlarge the difference in
+/// the source weights".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogSum;
+
+impl WeightAssigner for LogSum {
+    fn name(&self) -> &'static str {
+        "log-sum"
+    }
+
+    fn assign(&self, losses: &[f64]) -> Vec<f64> {
+        let total: f64 = losses.iter().map(|&l| l.max(LOSS_FLOOR)).sum();
+        losses
+            .iter()
+            .map(|&l| -(l.max(LOSS_FLOOR) / total).ln())
+            .collect()
+    }
+}
+
+/// The paper's default scheme: max-normalized log weights,
+/// `w_k = −log(L_k / max_k' L_k') + ε`, emphasizing reliability variation
+/// (§2.3 final paragraph; §3.1.2 "the inverse logarithm of the ratio between
+/// the deviation to the truth and the maximum distance").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogMax;
+
+impl WeightAssigner for LogMax {
+    fn name(&self) -> &'static str {
+        "log-max"
+    }
+
+    fn assign(&self, losses: &[f64]) -> Vec<f64> {
+        let max = losses
+            .iter()
+            .fold(LOSS_FLOOR, |acc, &l| acc.max(l.max(LOSS_FLOOR)));
+        losses
+            .iter()
+            .map(|&l| -(l.max(LOSS_FLOOR) / max).ln() + LOG_MAX_OFFSET)
+            .collect()
+    }
+}
+
+/// Eq (6): under an `L^p`-norm constraint the optimum of Eq (1) puts weight 1
+/// on the single lowest-loss source and 0 elsewhere ("this regularization
+/// function does not combine multiple sources but rather assumes that there
+/// only exists one reliable source"). The exponent `p` does not change the
+/// winner, only the constraint geometry, so it is recorded for reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct LpSelection {
+    /// The norm exponent (`p >= 1`).
+    pub p: u32,
+}
+
+impl LpSelection {
+    /// Build, validating `p >= 1`.
+    pub fn new(p: u32) -> Result<Self> {
+        if p == 0 {
+            return Err(CrhError::InvalidParameter("LpSelection requires p >= 1".into()));
+        }
+        Ok(Self { p })
+    }
+}
+
+impl WeightAssigner for LpSelection {
+    fn name(&self) -> &'static str {
+        "lp-selection"
+    }
+
+    fn assign(&self, losses: &[f64]) -> Vec<f64> {
+        let mut best = 0usize;
+        for (k, &l) in losses.iter().enumerate() {
+            if l < losses[best] {
+                best = k;
+            }
+        }
+        let mut w = vec![0.0; losses.len()];
+        if !losses.is_empty() {
+            w[best] = 1.0;
+        }
+        w
+    }
+}
+
+/// Eq (7): integer source selection — choose the `j` lowest-loss sources,
+/// each with weight 1; the rest "will be ignored when updating the truths".
+#[derive(Debug, Clone, Copy)]
+pub struct TopJ {
+    /// How many sources to select.
+    pub j: usize,
+}
+
+impl TopJ {
+    /// Build, validating `j >= 1`.
+    pub fn new(j: usize) -> Result<Self> {
+        if j == 0 {
+            return Err(CrhError::InvalidParameter("TopJ requires j >= 1".into()));
+        }
+        Ok(Self { j })
+    }
+}
+
+impl WeightAssigner for TopJ {
+    fn name(&self) -> &'static str {
+        "top-j"
+    }
+
+    fn assign(&self, losses: &[f64]) -> Vec<f64> {
+        let mut order: Vec<usize> = (0..losses.len()).collect();
+        order.sort_by(|&a, &b| {
+            losses[a]
+                .partial_cmp(&losses[b])
+                .expect("NaN loss")
+                .then(a.cmp(&b))
+        });
+        let mut w = vec![0.0; losses.len()];
+        for &k in order.iter().take(self.j) {
+            w[k] = 1.0;
+        }
+        w
+    }
+}
+
+/// Cost-aware source selection (§2.3: "Recent work \[27\] shows that both
+/// economical and computational costs should be taken into account when
+/// conducting source selection, which can be formulated as extra
+/// constraints in our framework").
+///
+/// Each source has an acquisition cost; only sources whose total cost fits
+/// the budget may be selected. Selection is greedy in increasing-loss order
+/// (the natural heuristic for the resulting knapsack), and the single
+/// lowest-loss affordable source is always selected so the weight vector is
+/// never all-zero.
+#[derive(Debug, Clone)]
+pub struct BudgetedSelection {
+    costs: Vec<f64>,
+    budget: f64,
+}
+
+impl BudgetedSelection {
+    /// Build from per-source costs and a total budget. All costs must be
+    /// positive and finite; the budget must afford at least one source.
+    pub fn new(costs: Vec<f64>, budget: f64) -> Result<Self> {
+        if costs.is_empty() {
+            return Err(CrhError::InvalidParameter(
+                "BudgetedSelection needs at least one source cost".into(),
+            ));
+        }
+        if costs.iter().any(|c| !c.is_finite() || *c <= 0.0) {
+            return Err(CrhError::InvalidParameter(
+                "source costs must be positive and finite".into(),
+            ));
+        }
+        if !budget.is_finite() || budget <= 0.0 {
+            return Err(CrhError::InvalidParameter(format!(
+                "budget must be positive and finite, got {budget}"
+            )));
+        }
+        let cheapest = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        if cheapest > budget {
+            return Err(CrhError::InvalidParameter(format!(
+                "budget {budget} cannot afford any source (cheapest costs {cheapest})"
+            )));
+        }
+        Ok(Self { costs, budget })
+    }
+
+    /// The configured per-source costs.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+}
+
+impl WeightAssigner for BudgetedSelection {
+    fn name(&self) -> &'static str {
+        "budgeted-selection"
+    }
+
+    fn assign(&self, losses: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(
+            losses.len(),
+            self.costs.len(),
+            "loss vector must match the configured cost vector"
+        );
+        let n = losses.len().min(self.costs.len());
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            losses[a]
+                .partial_cmp(&losses[b])
+                .expect("NaN loss")
+                .then(a.cmp(&b))
+        });
+        let mut w = vec![0.0; losses.len()];
+        let mut spent = 0.0;
+        for &k in &order {
+            if spent + self.costs[k] <= self.budget {
+                w[k] = 1.0;
+                spent += self.costs[k];
+            }
+        }
+        if w.iter().all(|&x| x == 0.0) {
+            // guaranteed affordable by the constructor check
+            if let Some(&k) = order.iter().find(|&&k| self.costs[k] <= self.budget) {
+                w[k] = 1.0;
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_matches_eq5() {
+        let losses = vec![1.0, 3.0];
+        let w = LogSum.assign(&losses);
+        assert!((w[0] - -(1.0f64 / 4.0).ln()).abs() < 1e-12);
+        assert!((w[1] - -(3.0f64 / 4.0).ln()).abs() < 1e-12);
+        assert!(w[0] > w[1], "lower loss must get higher weight");
+    }
+
+    #[test]
+    fn log_sum_weights_positive() {
+        let w = LogSum.assign(&[0.5, 0.5, 1.0]);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn log_max_best_source_dominates() {
+        let w = LogMax.assign(&[1.0, 2.0, 8.0]);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        // worst source gets only the epsilon offset
+        assert!((w[2] - LOG_MAX_OFFSET).abs() < 1e-12);
+        assert!((w[0] - (-(1.0f64 / 8.0).ln() + LOG_MAX_OFFSET)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_max_spreads_more_than_log_sum() {
+        // §2.3: max normalization distinguishes weights "even better"
+        let losses = vec![1.0, 2.0, 4.0];
+        let ws = LogSum.assign(&losses);
+        let wm = LogMax.assign(&losses);
+        let spread = |w: &[f64]| {
+            let max = w.iter().cloned().fold(f64::MIN, f64::max);
+            let min = w.iter().cloned().fold(f64::MAX, f64::min);
+            // compare relative spread (scale-free): max/min ratio
+            max / min.max(1e-15)
+        };
+        assert!(spread(&wm) > spread(&ws));
+    }
+
+    #[test]
+    fn zero_loss_source_is_finite() {
+        for w in [LogSum.assign(&[0.0, 1.0]), LogMax.assign(&[0.0, 1.0])] {
+            assert!(w.iter().all(|x| x.is_finite()));
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn lp_selection_winner_take_all() {
+        let a = LpSelection::new(2).unwrap();
+        assert_eq!(a.assign(&[3.0, 1.0, 2.0]), vec![0.0, 1.0, 0.0]);
+        assert_eq!(a.p, 2);
+    }
+
+    #[test]
+    fn lp_selection_tie_picks_first() {
+        let a = LpSelection::new(1).unwrap();
+        assert_eq!(a.assign(&[1.0, 1.0]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn lp_requires_positive_p() {
+        assert!(LpSelection::new(0).is_err());
+    }
+
+    #[test]
+    fn top_j_selects_j_best() {
+        let a = TopJ::new(2).unwrap();
+        assert_eq!(a.assign(&[5.0, 1.0, 3.0, 2.0]), vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn top_j_with_j_exceeding_k_selects_all() {
+        let a = TopJ::new(10).unwrap();
+        assert_eq!(a.assign(&[2.0, 1.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn top_j_requires_positive_j() {
+        assert!(TopJ::new(0).is_err());
+    }
+
+    #[test]
+    fn assigners_have_names() {
+        assert_eq!(LogSum.name(), "log-sum");
+        assert_eq!(LogMax.name(), "log-max");
+        assert_eq!(LpSelection::new(1).unwrap().name(), "lp-selection");
+        assert_eq!(TopJ::new(1).unwrap().name(), "top-j");
+        assert_eq!(
+            BudgetedSelection::new(vec![1.0], 1.0).unwrap().name(),
+            "budgeted-selection"
+        );
+    }
+
+    #[test]
+    fn budgeted_selection_validation() {
+        assert!(BudgetedSelection::new(vec![], 1.0).is_err());
+        assert!(BudgetedSelection::new(vec![1.0, -1.0], 5.0).is_err());
+        assert!(BudgetedSelection::new(vec![1.0], 0.0).is_err());
+        assert!(BudgetedSelection::new(vec![1.0], f64::NAN).is_err());
+        assert!(BudgetedSelection::new(vec![5.0], 1.0).is_err(), "unaffordable");
+        let b = BudgetedSelection::new(vec![1.0, 2.0], 2.5).unwrap();
+        assert_eq!(b.costs(), &[1.0, 2.0]);
+        assert_eq!(b.budget(), 2.5);
+    }
+
+    #[test]
+    fn budgeted_selection_greedy_by_loss_within_budget() {
+        // losses: source 1 best, then 0, then 2; costs make 1+0 affordable
+        // but adding 2 would exceed the budget
+        let a = BudgetedSelection::new(vec![1.0, 1.0, 1.0], 2.0).unwrap();
+        assert_eq!(a.assign(&[0.5, 0.1, 0.9]), vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn budgeted_selection_skips_expensive_best() {
+        // the best source costs more than the budget; greedy falls through
+        // to affordable ones
+        let a = BudgetedSelection::new(vec![10.0, 1.0, 1.0], 2.0).unwrap();
+        let w = a.assign(&[0.1, 0.5, 0.9]);
+        assert_eq!(w, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn budgeted_selection_never_all_zero() {
+        let a = BudgetedSelection::new(vec![2.0, 3.0], 2.0).unwrap();
+        let w = a.assign(&[1.0, 0.1]);
+        // best source (1) costs 3 > budget; the affordable source is chosen
+        assert_eq!(w, vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,538 @@
+//! A small, self-contained CSV reader/writer (RFC 4180 dialect).
+//!
+//! The CRH datasets only need a modest dialect — comma separator, optional
+//! double-quote quoting with `""` escapes, CR/LF/CRLF record ends — so the
+//! parser is written here from scratch rather than pulling a dependency
+//! (see DESIGN.md "Dependencies").
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors raised by the CSV reader.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A quoted field was not terminated before end of input.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// A record had a different number of fields than the header/first row.
+    FieldCount {
+        /// 1-based record index.
+        record: usize,
+        /// Fields expected (from the first record).
+        expected: usize,
+        /// Fields found.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting at line {line}")
+            }
+            CsvError::FieldCount {
+                record,
+                expected,
+                got,
+            } => write!(
+                f,
+                "record {record} has {got} fields, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse an entire CSV document into records of fields.
+///
+/// Handles quoted fields (commas, newlines, and `""` escapes inside quotes)
+/// and accepts LF, CRLF, or CR record terminators. A trailing newline does
+/// not produce an empty record. Does **not** enforce uniform field counts;
+/// use [`read_records`] for that.
+pub fn parse(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut quote_start_line = 1usize;
+    let mut line = 1usize;
+    // Tracks whether the current record has any content (so a lone trailing
+    // newline doesn't emit an empty record, but `a,\n` still emits ["a",""]).
+    let mut any_field_started = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                quote_start_line = line;
+                any_field_started = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                any_field_started = true;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                line += 1;
+                if any_field_started || !field.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                any_field_started = false;
+            }
+            '\n' => {
+                line += 1;
+                if any_field_started || !field.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                any_field_started = false;
+            }
+            _ => {
+                field.push(c);
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_start_line,
+        });
+    }
+    if any_field_started || !field.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Read uniform records from a buffered reader: every record must have the
+/// same field count as the first.
+pub fn read_records<R: BufRead>(reader: R) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut expected: Option<usize> = None;
+    for (i, rec) in RecordReader::new(reader).enumerate() {
+        let rec = rec?;
+        let exp = *expected.get_or_insert(rec.len());
+        if rec.len() != exp {
+            return Err(CsvError::FieldCount {
+                record: i + 1,
+                expected: exp,
+                got: rec.len(),
+            });
+        }
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// A streaming CSV record reader: parses one record at a time from a
+/// buffered reader without materializing the whole document — the right
+/// tool for claim files larger than memory. Quoted fields may span lines.
+#[derive(Debug)]
+pub struct RecordReader<R: BufRead> {
+    reader: R,
+    line: String,
+    /// carried-over partial record when a quoted field spans lines
+    pending_fields: Vec<String>,
+    pending_fragment: String,
+    in_quotes: bool,
+    line_no: usize,
+    quote_start_line: usize,
+    done: bool,
+}
+
+impl<R: BufRead> RecordReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            line: String::new(),
+            pending_fields: Vec::new(),
+            pending_fragment: String::new(),
+            in_quotes: false,
+            line_no: 0,
+            quote_start_line: 0,
+            done: false,
+        }
+    }
+
+    /// Parse one physical line into the pending record state. Returns
+    /// `true` when a full record is complete.
+    fn consume_line(&mut self) -> bool {
+        // Strip exactly one record terminator (CRLF or LF) and remember it:
+        // a quoted field spanning lines must keep its original line break,
+        // matching the batch parser byte for byte.
+        let (line, terminator) = if let Some(s) = self.line.strip_suffix("\r\n") {
+            (s, "\r\n")
+        } else if let Some(s) = self.line.strip_suffix('\n') {
+            (s, "\n")
+        } else {
+            (self.line.as_str(), "\n")
+        };
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            if self.in_quotes {
+                match c {
+                    '"' => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            self.pending_fragment.push('"');
+                        } else {
+                            self.in_quotes = false;
+                        }
+                    }
+                    _ => self.pending_fragment.push(c),
+                }
+            } else {
+                match c {
+                    '"' => {
+                        self.in_quotes = true;
+                        self.quote_start_line = self.line_no;
+                    }
+                    ',' => {
+                        self.pending_fields
+                            .push(std::mem::take(&mut self.pending_fragment));
+                    }
+                    _ => self.pending_fragment.push(c),
+                }
+            }
+        }
+        if self.in_quotes {
+            // the quoted field continues on the next physical line
+            self.pending_fragment.push_str(terminator);
+            false
+        } else {
+            true
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for RecordReader<R> {
+    type Item = Result<Vec<String>, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(CsvError::Io(e)));
+                }
+                Ok(0) => {
+                    self.done = true;
+                    if self.in_quotes {
+                        return Some(Err(CsvError::UnterminatedQuote {
+                            line: self.quote_start_line,
+                        }));
+                    }
+                    if !self.pending_fields.is_empty() || !self.pending_fragment.is_empty() {
+                        // final record without trailing newline
+                        self.pending_fields
+                            .push(std::mem::take(&mut self.pending_fragment));
+                        return Some(Ok(std::mem::take(&mut self.pending_fields)));
+                    }
+                    return None;
+                }
+                Ok(_) => {
+                    self.line_no += 1;
+                    let had_content = !self.line.trim_end_matches(['\n', '\r']).is_empty()
+                        || !self.pending_fields.is_empty()
+                        || !self.pending_fragment.is_empty()
+                        || self.in_quotes;
+                    let complete = self.consume_line();
+                    if complete {
+                        if !had_content {
+                            continue; // blank line between records
+                        }
+                        self.pending_fields
+                            .push(std::mem::take(&mut self.pending_fragment));
+                        return Some(Ok(std::mem::take(&mut self.pending_fields)));
+                    }
+                    // quoted field spans lines: keep reading
+                }
+            }
+        }
+    }
+}
+
+/// True if the field needs quoting when written.
+fn needs_quoting(field: &str) -> bool {
+    field
+        .chars()
+        .any(|c| c == ',' || c == '"' || c == '\n' || c == '\r')
+}
+
+/// Write one field, quoting if needed.
+fn write_field<W: Write>(w: &mut W, field: &str) -> std::io::Result<()> {
+    if needs_quoting(field) {
+        w.write_all(b"\"")?;
+        for c in field.chars() {
+            if c == '"' {
+                w.write_all(b"\"\"")?;
+            } else {
+                let mut b = [0u8; 4];
+                w.write_all(c.encode_utf8(&mut b).as_bytes())?;
+            }
+        }
+        w.write_all(b"\"")
+    } else {
+        w.write_all(field.as_bytes())
+    }
+}
+
+/// Write one record (LF-terminated).
+pub fn write_record<W: Write, S: AsRef<str>>(w: &mut W, fields: &[S]) -> std::io::Result<()> {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",")?;
+        }
+        write_field(w, f.as_ref())?;
+    }
+    w.write_all(b"\n")
+}
+
+/// Serialize records to a `String` (convenience for tests and small files).
+pub fn to_string<S: AsRef<str>>(records: &[Vec<S>]) -> String {
+    let mut out = Vec::new();
+    for r in records {
+        write_record(&mut out, r).expect("write to Vec cannot fail");
+    }
+    String::from_utf8(out).expect("valid utf8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_records() {
+        let r = parse("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let r = parse("a,b\n1,2").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn quoted_comma_and_newline() {
+        let r = parse("\"a,b\",\"c\nd\"\n").unwrap();
+        assert_eq!(r, vec![vec!["a,b", "c\nd"]]);
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let r = parse("\"say \"\"hi\"\"\",x\n").unwrap();
+        assert_eq!(r, vec![vec!["say \"hi\"", "x"]]);
+    }
+
+    #[test]
+    fn crlf_and_cr_line_endings() {
+        let r = parse("a,b\r\nc,d\re,f\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b"], vec!["c", "d"], vec!["e", "f"]]);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let r = parse("a,,c\n,,\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "", "c"], vec!["", "", ""]]);
+    }
+
+    #[test]
+    fn empty_input_no_records() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(
+            parse("\"abc"),
+            Err(CsvError::UnterminatedQuote { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_with_nasty_fields() {
+        let records = vec![
+            vec!["plain".to_string(), "with,comma".into(), "with\"quote".into()],
+            vec!["line\nbreak".to_string(), "".into(), "x".into()],
+        ];
+        let s = to_string(&records);
+        let back = parse(&s).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn read_records_checks_field_count() {
+        let ok = read_records("a,b\n1,2\n".as_bytes()).unwrap();
+        assert_eq!(ok.len(), 2);
+        let err = read_records("a,b\n1,2,3\n".as_bytes());
+        assert!(matches!(
+            err,
+            Err(CsvError::FieldCount {
+                record: 2,
+                expected: 2,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn write_record_quotes_only_when_needed() {
+        let mut out = Vec::new();
+        write_record(&mut out, &["plain", "a,b"]).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "plain,\"a,b\"\n");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CsvError::FieldCount {
+            record: 3,
+            expected: 2,
+            got: 5,
+        };
+        assert!(e.to_string().contains("record 3"));
+        assert!(CsvError::UnterminatedQuote { line: 7 }.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn trailing_comma_produces_empty_last_field() {
+        let r = parse("a,\n").unwrap();
+        assert_eq!(r, vec![vec!["a", ""]]);
+    }
+
+    #[test]
+    fn record_reader_streams_simple_records() {
+        let input = "a,b,c\n1,2,3\n4,5,6\n";
+        let recs: Vec<_> = RecordReader::new(input.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1], vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn record_reader_handles_multiline_quoted_fields() {
+        let input = "a,\"line1\nline2\",c\nx,y,z\n";
+        let recs: Vec<_> = RecordReader::new(input.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0][1], "line1\nline2");
+        assert_eq!(recs[1], vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn record_reader_matches_batch_parser() {
+        let input = "plain,\"with,comma\",\"say \"\"hi\"\"\"\n\"multi\nline\",,end\nlast,row";
+        let batch = parse(input).unwrap();
+        let streamed: Vec<_> = RecordReader::new(input.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn record_reader_preserves_crlf_inside_quoted_fields() {
+        // regression: the streaming reader must keep the original CRLF, not
+        // normalize it to LF (the batch parser preserves it)
+        let input = "a,\"x\r\ny\"\nnext,row\n";
+        let batch = parse(input).unwrap();
+        let streamed: Vec<_> = RecordReader::new(input.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(streamed, batch);
+        assert_eq!(streamed[0][1], "x\r\ny");
+    }
+
+    #[test]
+    fn record_reader_no_trailing_newline() {
+        let recs: Vec<_> = RecordReader::new("a,b".as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"]]);
+    }
+
+    #[test]
+    fn record_reader_unterminated_quote_errors() {
+        let mut it = RecordReader::new("\"abc".as_bytes());
+        assert!(matches!(
+            it.next(),
+            Some(Err(CsvError::UnterminatedQuote { .. }))
+        ));
+        assert!(it.next().is_none(), "fused after error");
+    }
+
+    #[test]
+    fn record_reader_skips_blank_lines() {
+        let recs: Vec<_> = RecordReader::new("a,b\n\n\nc,d\n".as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn record_reader_is_memory_bounded_per_record() {
+        // a million-record document streamed without ever holding it whole
+        use std::io::Write;
+        let mut doc = Vec::new();
+        for i in 0..10_000 {
+            writeln!(doc, "{i},value{i}").unwrap();
+        }
+        let mut count = 0usize;
+        for rec in RecordReader::new(doc.as_slice()) {
+            let rec = rec.unwrap();
+            assert_eq!(rec.len(), 2);
+            count += 1;
+        }
+        assert_eq!(count, 10_000);
+    }
+}

@@ -1,0 +1,196 @@
+//! Datasets: an observation table plus (held-out) ground truths.
+//!
+//! Ground truths "are not used by any of the approaches, but only used in
+//! the evaluation" (§3.2.1). Only a subset of entries may be labeled
+//! (Table 1's `# Ground Truths < # Entries`).
+
+use std::collections::HashMap;
+
+use crh_core::ids::{ObjectId, PropertyId, SourceId};
+use crh_core::table::ObservationTable;
+use crh_core::value::Value;
+
+/// A raw claim tuple: `(object, property, source, value)`.
+pub type ClaimTuple = (ObjectId, PropertyId, SourceId, Value);
+
+/// Held-out ground truths for a subset of entries.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    map: HashMap<(ObjectId, PropertyId), Value>,
+}
+
+impl GroundTruth {
+    /// Empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the truth of one entry.
+    pub fn insert(&mut self, object: ObjectId, property: PropertyId, value: Value) {
+        self.map.insert((object, property), value);
+    }
+
+    /// Look up the truth of an entry.
+    pub fn get(&self, object: ObjectId, property: PropertyId) -> Option<&Value> {
+        self.map.get(&(object, property))
+    }
+
+    /// Number of labeled entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no entries are labeled.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate `((object, property), value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(ObjectId, PropertyId), &Value)> {
+        self.map.iter()
+    }
+}
+
+/// Summary statistics in the shape of the paper's Tables 1 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Total observations across all sources.
+    pub observations: usize,
+    /// Entries with at least one observation.
+    pub entries: usize,
+    /// Entries with a ground-truth label.
+    pub ground_truths: usize,
+    /// Number of sources.
+    pub sources: usize,
+    /// Number of properties.
+    pub properties: usize,
+}
+
+/// A complete benchmark dataset: conflicting multi-source claims, ground
+/// truths for evaluation, and (for simulated data) the generator's known
+/// per-source reliability.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short identifier ("weather", "stock", …).
+    pub name: String,
+    /// The multi-source observations.
+    pub table: ObservationTable,
+    /// Held-out truths for evaluation.
+    pub truth: GroundTruth,
+    /// For simulated sources: the generator's ground-truth reliability in
+    /// `\[0, 1\]` per source (used by the Fig 1 comparison). `None` when
+    /// unknown.
+    pub true_reliability: Option<Vec<f64>>,
+    /// For temporal datasets: the day index of each object (indexed by
+    /// `ObjectId`), used to chunk the stream for I-CRH. `None` for
+    /// non-temporal data.
+    pub day_of_object: Option<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Summary statistics (the Tables 1/3 columns).
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            observations: self.table.num_observations(),
+            entries: self.table.num_entries(),
+            ground_truths: self.truth.len(),
+            sources: self.table.num_sources(),
+            properties: self.table.num_properties(),
+        }
+    }
+
+    /// Split a temporal dataset into per-day claim groups, ordered by day.
+    /// Each element is `(day, claims)` where claims are
+    /// `(object, property, source, value)` tuples; the caller re-assembles
+    /// per-chunk tables (sharing this dataset's schema).
+    ///
+    /// Returns `None` if the dataset is not temporal.
+    pub fn split_by_day(&self) -> Option<Vec<(u32, Vec<ClaimTuple>)>> {
+        let days = self.day_of_object.as_ref()?;
+        let mut by_day: HashMap<u32, Vec<_>> = HashMap::new();
+        for (e, _, _) in self.table.iter_entries() {
+            let entry = self.table.entry(e);
+            let day = days[entry.object.index()];
+            let bucket = by_day.entry(day).or_default();
+            for (s, v) in self.table.observations(e) {
+                bucket.push((entry.object, entry.property, *s, v.clone()));
+            }
+        }
+        let mut out: Vec<_> = by_day.into_iter().collect();
+        out.sort_by_key(|(d, _)| *d);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::ids::SourceId;
+    use crh_core::schema::Schema;
+    use crh_core::table::TableBuilder;
+
+    fn tiny_dataset() -> Dataset {
+        let mut schema = Schema::new();
+        let t = schema.add_continuous("t");
+        let mut b = TableBuilder::new(schema);
+        for day in 0..3u32 {
+            for city in 0..2u32 {
+                let obj = ObjectId(day * 2 + city);
+                b.add(obj, t, SourceId(0), Value::Num(day as f64)).unwrap();
+                b.add(obj, t, SourceId(1), Value::Num(day as f64 + 1.0)).unwrap();
+            }
+        }
+        let table = b.build().unwrap();
+        let mut truth = GroundTruth::new();
+        truth.insert(ObjectId(0), t, Value::Num(0.0));
+        truth.insert(ObjectId(2), t, Value::Num(1.0));
+        Dataset {
+            name: "tiny".into(),
+            table,
+            truth,
+            true_reliability: Some(vec![0.9, 0.5]),
+            day_of_object: Some(vec![0, 0, 1, 1, 2, 2]),
+        }
+    }
+
+    #[test]
+    fn stats_counts() {
+        let d = tiny_dataset();
+        let s = d.stats();
+        assert_eq!(s.observations, 12);
+        assert_eq!(s.entries, 6);
+        assert_eq!(s.ground_truths, 2);
+        assert_eq!(s.sources, 2);
+        assert_eq!(s.properties, 1);
+    }
+
+    #[test]
+    fn ground_truth_accessors() {
+        let d = tiny_dataset();
+        let t = d.table.schema().property_by_name("t").unwrap();
+        assert_eq!(d.truth.get(ObjectId(0), t), Some(&Value::Num(0.0)));
+        assert_eq!(d.truth.get(ObjectId(1), t), None);
+        assert_eq!(d.truth.iter().count(), 2);
+        assert!(!d.truth.is_empty());
+    }
+
+    #[test]
+    fn split_by_day_groups_and_orders() {
+        let d = tiny_dataset();
+        let chunks = d.split_by_day().unwrap();
+        assert_eq!(chunks.len(), 3);
+        let days: Vec<u32> = chunks.iter().map(|(d, _)| *d).collect();
+        assert_eq!(days, vec![0, 1, 2]);
+        // each day: 2 objects x 1 property x 2 sources = 4 claims
+        for (_, claims) in &chunks {
+            assert_eq!(claims.len(), 4);
+        }
+    }
+
+    #[test]
+    fn split_by_day_none_for_non_temporal() {
+        let mut d = tiny_dataset();
+        d.day_of_object = None;
+        assert!(d.split_by_day().is_none());
+    }
+}

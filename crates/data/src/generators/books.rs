@@ -1,0 +1,276 @@
+//! Book-author dataset generator — the classic truth-discovery scenario
+//! (TruthFinder \[4\] was evaluated on abebooks.com author lists) and this
+//! workspace's exercise of the **text** data type (§2.4.2 "edit distance
+//! … for text data").
+//!
+//! Objects are books; each online bookstore claims the book's *author list*
+//! (free text, compared by edit distance), its *format* (categorical), and
+//! its *page count* (continuous). Stores corrupt author strings the way
+//! real catalogs do: dropped middle initials, truncated co-author lists,
+//! typos, and swapped name order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crh_core::ids::{ObjectId, SourceId};
+use crh_core::schema::Schema;
+use crh_core::table::TableBuilder;
+use crh_core::value::Value;
+
+use crate::dataset::{Dataset, GroundTruth};
+use crate::noise::Gaussian;
+
+use super::{coin, ladder, other_label};
+
+/// Book formats domain.
+pub const FORMATS: [&str; 5] = ["hardcover", "paperback", "ebook", "audiobook", "library"];
+
+const FIRST: [&str; 12] = [
+    "James", "Mary", "Wei", "Fatima", "Carlos", "Yuki", "Anna", "David", "Priya", "Liam",
+    "Sofia", "Chen",
+];
+const LAST: [&str; 12] = [
+    "Smith", "Garcia", "Li", "Khan", "Tanaka", "Mueller", "Okafor", "Ivanov", "Silva", "Patel",
+    "Nguyen", "Brown",
+];
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct BooksConfig {
+    /// Number of books.
+    pub books: usize,
+    /// Number of bookstore sources.
+    pub sources: usize,
+    /// Fraction of entries with a ground-truth label.
+    pub truth_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BooksConfig {
+    /// A moderately-sized catalog.
+    pub fn default_catalog() -> Self {
+        Self {
+            books: 400,
+            sources: 12,
+            truth_rate: 0.6,
+            seed: 0xB00C_0001,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn small() -> Self {
+        Self {
+            books: 30,
+            sources: 6,
+            truth_rate: 1.0,
+            seed: 0xB00C_0002,
+        }
+    }
+}
+
+fn coverage(k: usize, n: usize) -> f64 {
+    ladder(k, n, 0.95, 0.45, 1.0)
+}
+
+fn corruption(k: usize, n: usize) -> f64 {
+    ladder(k, n, 0.03, 0.55, 1.4)
+}
+
+fn author_name<R: Rng + ?Sized>(rng: &mut R, with_middle: bool) -> String {
+    let first = FIRST[rng.random_range(0..FIRST.len())];
+    let last = LAST[rng.random_range(0..LAST.len())];
+    if with_middle {
+        let middle = (b'A' + rng.random_range(0..26u8)) as char;
+        format!("{first} {middle}. {last}")
+    } else {
+        format!("{first} {last}")
+    }
+}
+
+/// Corrupt an author list the way careless catalogs do.
+fn corrupt_authors<R: Rng + ?Sized>(rng: &mut R, truth: &str) -> String {
+    let authors: Vec<&str> = truth.split(", ").collect();
+    match rng.random_range(0..4u8) {
+        // drop middle initials
+        0 => authors
+            .iter()
+            .map(|a| {
+                a.split_whitespace()
+                    .filter(|w| !(w.len() == 2 && w.ends_with('.')))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join(", "),
+        // keep only the first author
+        1 => authors[0].to_string(),
+        // last-name-first order for the first author
+        2 => {
+            let parts: Vec<&str> = authors[0].split_whitespace().collect();
+            let flipped = if parts.len() >= 2 {
+                format!("{}, {}", parts[parts.len() - 1], parts[..parts.len() - 1].join(" "))
+            } else {
+                authors[0].to_string()
+            };
+            let mut v: Vec<String> = authors.iter().map(|s| s.to_string()).collect();
+            v[0] = flipped;
+            v.join(", ")
+        }
+        // single-character typo
+        _ => {
+            let mut chars: Vec<char> = truth.chars().collect();
+            if !chars.is_empty() {
+                let i = rng.random_range(0..chars.len());
+                chars[i] = (b'a' + rng.random_range(0..26u8)) as char;
+            }
+            chars.into_iter().collect()
+        }
+    }
+}
+
+/// Generate the book-catalog dataset.
+pub fn generate(cfg: &BooksConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gauss = Gaussian::new();
+
+    let mut schema = Schema::new();
+    let p_authors = schema.add_text("authors");
+    let p_format = schema.add_categorical("format");
+    let p_pages = schema.add_continuous("pages");
+    for f in FORMATS {
+        schema.intern(p_format, f).expect("categorical");
+    }
+
+    // ground truths per book
+    let truth_authors: Vec<String> = (0..cfg.books)
+        .map(|_| {
+            let n = 1 + rng.random_range(0..3u32);
+            (0..n)
+                .map(|_| {
+                    let with_middle = coin(&mut rng, 0.5);
+                    author_name(&mut rng, with_middle)
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .collect();
+    let truth_format: Vec<u32> = (0..cfg.books)
+        .map(|_| rng.random_range(0..FORMATS.len() as u32))
+        .collect();
+    let truth_pages: Vec<f64> = (0..cfg.books)
+        .map(|_| rng.random_range(80.0f64..900.0).round())
+        .collect();
+
+    let mut b = TableBuilder::new(schema);
+    for k in 0..cfg.sources {
+        let sid = SourceId(k as u32);
+        let cov = coverage(k, cfg.sources);
+        let corr = corruption(k, cfg.sources);
+        for book in 0..cfg.books {
+            if !coin(&mut rng, cov) {
+                continue;
+            }
+            let obj = ObjectId(book as u32);
+            let authors = if coin(&mut rng, corr) {
+                corrupt_authors(&mut rng, &truth_authors[book])
+            } else {
+                truth_authors[book].clone()
+            };
+            b.add(obj, p_authors, sid, Value::Text(authors)).expect("typed");
+            let format = if coin(&mut rng, corr * 0.8) {
+                other_label(&mut rng, truth_format[book], FORMATS.len() as u32)
+            } else {
+                truth_format[book]
+            };
+            b.add(obj, p_format, sid, Value::Cat(format)).expect("typed");
+            let pages =
+                (truth_pages[book] + gauss.sample_scaled(&mut rng, 0.0, 1.0 + corr * 40.0)).round();
+            b.add(obj, p_pages, sid, Value::Num(pages.max(1.0))).expect("typed");
+        }
+    }
+    let table = b.build().expect("non-empty books table");
+
+    let mut truth = GroundTruth::new();
+    for book in 0..cfg.books {
+        let obj = ObjectId(book as u32);
+        if table.entry_id(obj, p_authors).is_some() && coin(&mut rng, cfg.truth_rate) {
+            truth.insert(obj, p_authors, Value::Text(truth_authors[book].clone()));
+        }
+        if table.entry_id(obj, p_format).is_some() && coin(&mut rng, cfg.truth_rate) {
+            truth.insert(obj, p_format, Value::Cat(truth_format[book]));
+        }
+        if table.entry_id(obj, p_pages).is_some() && coin(&mut rng, cfg.truth_rate) {
+            truth.insert(obj, p_pages, Value::Num(truth_pages[book]));
+        }
+    }
+
+    Dataset {
+        name: "books".into(),
+        table,
+        truth,
+        true_reliability: None,
+        day_of_object: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate;
+    use crate::reliability::true_source_reliability;
+    use crh_core::solver::CrhBuilder;
+
+    #[test]
+    fn shape_and_types() {
+        let ds = generate(&BooksConfig::small());
+        let s = ds.stats();
+        assert_eq!(s.properties, 3);
+        assert_eq!(s.sources, 6);
+        assert!(s.ground_truths > 0);
+        let p = ds.table.schema().property_by_name("authors").unwrap();
+        assert_eq!(
+            ds.table.schema().property_type(p).unwrap(),
+            crh_core::value::PropertyType::Text
+        );
+    }
+
+    #[test]
+    fn early_sources_more_reliable() {
+        let ds = generate(&BooksConfig::small());
+        let r = true_source_reliability(&ds);
+        assert!(r[0] > r[5], "{r:?}");
+    }
+
+    #[test]
+    fn crh_with_edit_distance_resolves_author_lists() {
+        let ds = generate(&BooksConfig::default_catalog());
+        let res = CrhBuilder::new().build().unwrap().run(&ds.table).unwrap();
+        let ev = evaluate(&ds.table, &res.truths, &ds.truth);
+        // text + categorical entries score as error rate; the corrupted
+        // catalogs must not prevent mostly-correct resolution
+        let err = ev.error_rate.unwrap();
+        assert!(err < 0.15, "error rate {err}");
+        assert!(ev.mnad.unwrap() < 0.5);
+    }
+
+    #[test]
+    fn corruption_produces_distinct_strings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let truth = "James Q. Smith, Mary Li";
+        let mut changed = 0;
+        for _ in 0..50 {
+            if corrupt_authors(&mut rng, truth) != truth {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40, "corruption should usually change the string");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&BooksConfig::small());
+        let b = generate(&BooksConfig::small());
+        assert_eq!(a.stats(), b.stats());
+    }
+}

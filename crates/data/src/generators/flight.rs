@@ -1,0 +1,310 @@
+//! Flight dataset generator (§3.2.1, Table 1 "Flight Data").
+//!
+//! Mirrors the shape of the flight crawl of Li et al. \[11\] as used by the
+//! paper: **38 sources**, 1,200 flights over a month, **6 properties** —
+//! scheduled/actual departure and arrival times converted to minutes
+//! (continuous, per the paper's preprocessing) and departure/arrival gate
+//! (categorical). Coverage is sparse (~1/3), matching Table 1's
+//! observations-to-entries ratio.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crh_core::ids::{ObjectId, SourceId};
+use crh_core::schema::Schema;
+use crh_core::table::TableBuilder;
+use crh_core::value::Value;
+
+use crate::dataset::{Dataset, GroundTruth};
+use crate::noise::Gaussian;
+
+use super::{coin, ladder, other_label};
+
+/// Number of distinct gates per airport side.
+pub const GATE_DOMAIN: u32 = 70;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Number of flights (paper: 1,200).
+    pub flights: usize,
+    /// Number of days (paper: one month, 31).
+    pub days: usize,
+    /// Number of sources (paper: 38).
+    pub sources: usize,
+    /// Fraction of entries with a ground-truth label (Table 1: ~8%).
+    pub truth_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FlightConfig {
+    /// Paper-scale configuration (Table 1 shape: ~2.8M observations,
+    /// ~204K entries, ~16.6K ground truths, 38 sources).
+    pub fn paper() -> Self {
+        Self {
+            flights: 1200,
+            days: 31,
+            sources: 38,
+            truth_rate: 0.081,
+            seed: 0xF717_0001,
+        }
+    }
+
+    /// Paper shape at a fraction of the volume (scales the flight count).
+    pub fn paper_scaled(scale: f64) -> Self {
+        let mut cfg = Self::paper();
+        cfg.flights = ((cfg.flights as f64 * scale).round() as usize).max(10);
+        cfg
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn small() -> Self {
+        Self {
+            flights: 20,
+            days: 4,
+            sources: 8,
+            truth_rate: 0.6,
+            seed: 0xF717_0002,
+        }
+    }
+}
+
+fn coverage(k: usize, n: usize) -> f64 {
+    ladder(k, n, 0.65, 0.12, 1.0)
+}
+
+fn time_noise_min(k: usize, n: usize) -> f64 {
+    ladder(k, n, 1.5, 35.0, 1.5)
+}
+
+fn gate_flip(k: usize, n: usize) -> f64 {
+    ladder(k, n, 0.02, 0.65, 1.3)
+}
+
+/// Fraction of gate entries that are "hard" (late gate changes): flip
+/// probabilities are amplified there, letting stale sources out-vote the
+/// truth.
+fn is_hard(o: usize, gi: usize) -> bool {
+    (o * 11 + gi * 3).is_multiple_of(8)
+}
+
+fn effective_flip(base: f64, hard: bool) -> f64 {
+    if hard {
+        (base * 3.0).min(0.9)
+    } else {
+        base
+    }
+}
+
+/// Probability a source reports a grossly-wrong time (stale status page).
+fn time_outlier(k: usize, n: usize) -> f64 {
+    ladder(k, n, 0.002, 0.15, 1.5)
+}
+
+/// Wrong gate reports propagate between aggregators: erring sources mostly
+/// report the *same* wrong gate (yesterday's assignment).
+const DECOY_PROB: f64 = 0.65;
+
+fn decoy_of(truth: u32, o: usize, gi: usize) -> u32 {
+    (truth + 1 + ((o * 17 + gi * 5) as u32 % (GATE_DOMAIN - 1))) % GATE_DOMAIN
+}
+
+/// Generate the flight dataset.
+pub fn generate(cfg: &FlightConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gauss = Gaussian::new();
+
+    let mut schema = Schema::new();
+    let p_sdep = schema.add_continuous("scheduled_departure");
+    let p_adep = schema.add_continuous("actual_departure");
+    let p_sarr = schema.add_continuous("scheduled_arrival");
+    let p_aarr = schema.add_continuous("actual_arrival");
+    let p_dgate = schema.add_categorical("departure_gate");
+    let p_agate = schema.add_categorical("arrival_gate");
+    for p in [p_dgate, p_agate] {
+        for g in 0..GATE_DOMAIN {
+            let terminal = (b'A' + (g / 20) as u8) as char;
+            schema
+                .intern(p, &format!("{terminal}{}", g % 20 + 1))
+                .expect("categorical");
+        }
+    }
+
+    let num_objects = cfg.flights * cfg.days;
+    // Per-flight schedule (stable across days) and per-day actuals.
+    let sched_dep: Vec<f64> = (0..cfg.flights)
+        .map(|_| (rng.random_range(300..1380) / 5 * 5) as f64)
+        .collect();
+    let duration: Vec<f64> = (0..cfg.flights)
+        .map(|_| rng.random_range(45.0f64..420.0).round())
+        .collect();
+
+    let mut truth_times = vec![[0.0f64; 4]; num_objects];
+    let mut truth_gates = vec![[0u32; 2]; num_objects];
+    let mut day_of_object = vec![0u32; num_objects];
+    for day in 0..cfg.days {
+        for fl in 0..cfg.flights {
+            let o = day * cfg.flights + fl;
+            day_of_object[o] = day as u32;
+            let sd = sched_dep[fl];
+            // delays: mostly small, occasionally large
+            let delay: f64 = if coin(&mut rng, 0.2) {
+                rng.random_range(15.0f64..180.0)
+            } else {
+                rng.random_range(0.0f64..12.0)
+            };
+            let delay = delay.round();
+            let ad = sd + delay;
+            let sa = sd + duration[fl];
+            let aa = ad + duration[fl] + gauss.sample_scaled(&mut rng, 0.0, 8.0).round();
+            truth_times[o] = [sd, ad, sa, aa];
+            truth_gates[o] = [
+                rng.random_range(0..GATE_DOMAIN),
+                rng.random_range(0..GATE_DOMAIN),
+            ];
+        }
+    }
+
+    // Sources report.
+    let mut b = TableBuilder::new(schema);
+    let time_props = [p_sdep, p_adep, p_sarr, p_aarr];
+    let gate_props = [p_dgate, p_agate];
+    for k in 0..cfg.sources {
+        let sid = SourceId(k as u32);
+        let cov = coverage(k, cfg.sources);
+        let noise = time_noise_min(k, cfg.sources);
+        let flip = gate_flip(k, cfg.sources);
+        let outlier = time_outlier(k, cfg.sources);
+        for o in 0..num_objects {
+            if !coin(&mut rng, cov) {
+                continue;
+            }
+            let obj = ObjectId(o as u32);
+            for (ti, &p) in time_props.iter().enumerate() {
+                // scheduled times are easier to get right than actuals
+                let s = if ti % 2 == 0 { noise * 0.3 } else { noise };
+                let mut v = truth_times[o][ti] + gauss.sample_scaled(&mut rng, 0.0, s);
+                if ti % 2 == 1 && coin(&mut rng, outlier) {
+                    // stale status page: hours off
+                    let off: f64 = rng.random_range(120.0f64..600.0);
+                    v += if coin(&mut rng, 0.5) { off } else { -off };
+                }
+                b.add(obj, p, sid, Value::Num(v.round())).expect("typed");
+            }
+            for (gi, &p) in gate_props.iter().enumerate() {
+                let t = truth_gates[o][gi];
+                let v = if coin(&mut rng, effective_flip(flip, is_hard(o, gi))) {
+                    if coin(&mut rng, DECOY_PROB) {
+                        decoy_of(t, o, gi)
+                    } else {
+                        other_label(&mut rng, t, GATE_DOMAIN)
+                    }
+                } else {
+                    t
+                };
+                b.add(obj, p, sid, Value::Cat(v)).expect("typed");
+            }
+        }
+    }
+    let table = b.build().expect("non-empty flight table");
+
+    // Ground truths for a subset of entries.
+    let mut truth = GroundTruth::new();
+    for o in 0..num_objects {
+        let obj = ObjectId(o as u32);
+        for (ti, &p) in time_props.iter().enumerate() {
+            if table.entry_id(obj, p).is_some() && coin(&mut rng, cfg.truth_rate) {
+                truth.insert(obj, p, Value::Num(truth_times[o][ti]));
+            }
+        }
+        for (gi, &p) in gate_props.iter().enumerate() {
+            if table.entry_id(obj, p).is_some() && coin(&mut rng, cfg.truth_rate) {
+                truth.insert(obj, p, Value::Cat(truth_gates[o][gi]));
+            }
+        }
+    }
+
+    Dataset {
+        name: "flight".into(),
+        table,
+        truth,
+        true_reliability: None,
+        day_of_object: Some(day_of_object),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::true_source_reliability;
+
+    #[test]
+    fn small_config_shape() {
+        let cfg = FlightConfig::small();
+        let ds = generate(&cfg);
+        let s = ds.stats();
+        assert_eq!(s.sources, cfg.sources);
+        assert_eq!(s.properties, 6);
+        assert!(s.ground_truths > 0);
+    }
+
+    #[test]
+    fn sparse_coverage() {
+        let ds = generate(&FlightConfig::small());
+        let s = ds.stats();
+        let density = s.observations as f64 / (s.entries * s.sources) as f64;
+        assert!(density < 0.7, "density {density}");
+    }
+
+    #[test]
+    fn early_sources_more_reliable() {
+        let ds = generate(&FlightConfig::small());
+        let r = true_source_reliability(&ds);
+        assert!(r[0] > r[7], "{r:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&FlightConfig::small());
+        let b = generate(&FlightConfig::small());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn gates_use_terminal_naming() {
+        let ds = generate(&FlightConfig::small());
+        let p = ds.table.schema().property_by_name("departure_gate").unwrap();
+        let dom = ds.table.schema().domain(p).unwrap();
+        assert_eq!(dom.len(), GATE_DOMAIN as usize);
+        assert_eq!(dom.label(0), Some("A1"));
+        assert_eq!(dom.label(20), Some("B1"));
+    }
+
+    #[test]
+    fn actual_arrival_after_actual_departure_in_truth() {
+        let cfg = FlightConfig::small();
+        let ds = generate(&cfg);
+        let adep = ds.table.schema().property_by_name("actual_departure").unwrap();
+        let aarr = ds.table.schema().property_by_name("actual_arrival").unwrap();
+        let mut checked = 0;
+        for o in 0..ds.table.num_objects() {
+            let obj = ObjectId(o as u32);
+            if let (Some(d), Some(a)) = (
+                ds.truth.get(obj, adep).and_then(|v| v.as_num()),
+                ds.truth.get(obj, aarr).and_then(|v| v.as_num()),
+            ) {
+                assert!(a > d, "arrival {a} must follow departure {d}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn paper_scaled_shrinks_flights() {
+        let cfg = FlightConfig::paper_scaled(0.25);
+        assert_eq!(cfg.flights, 300);
+        assert_eq!(cfg.sources, 38);
+    }
+}

@@ -1,0 +1,79 @@
+//! Seeded synthetic multi-source dataset generators.
+//!
+//! The paper's experiments use crawled weather/stock/flight data (Table 1)
+//! and UCI-derived simulations (Table 3). The crawled data is not
+//! redistributable, so each generator here reproduces the corresponding
+//! dataset's *shape* — source count, property mix, missingness, scale, and a
+//! wide spread of per-source reliabilities — which is exactly the structure
+//! the algorithms consume (see DESIGN.md §3 "Substitutions").
+//!
+//! All generators are deterministic given their config's `seed`.
+
+pub mod books;
+pub mod flight;
+pub mod stock;
+pub mod uci;
+pub mod weather;
+
+use rand::Rng;
+
+/// Interpolate a per-source parameter ladder: source `k` of `n` gets
+/// `lo + (hi - lo) · (k / (n-1))^shape`. `shape > 1` concentrates sources
+/// near `lo` (many good, few terrible); `shape = 1` is linear.
+pub(crate) fn ladder(k: usize, n: usize, lo: f64, hi: f64, shape: f64) -> f64 {
+    if n <= 1 {
+        return lo;
+    }
+    let t = k as f64 / (n - 1) as f64;
+    lo + (hi - lo) * t.powf(shape)
+}
+
+/// Bernoulli draw.
+pub(crate) fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.random::<f64>() < p
+}
+
+/// Pick a random id `!= truth` from `0..domain` (uniform over the others).
+pub(crate) fn other_label<R: Rng + ?Sized>(rng: &mut R, truth: u32, domain: u32) -> u32 {
+    debug_assert!(domain >= 2);
+    let mut pick = rng.random_range(0..domain - 1);
+    if pick >= truth {
+        pick += 1;
+    }
+    pick
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ladder_endpoints_and_monotonicity() {
+        assert_eq!(ladder(0, 10, 0.1, 0.9, 1.5), 0.1);
+        assert!((ladder(9, 10, 0.1, 0.9, 1.5) - 0.9).abs() < 1e-12);
+        let vals: Vec<f64> = (0..10).map(|k| ladder(k, 10, 0.1, 0.9, 1.5)).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ladder_degenerate_single_source() {
+        assert_eq!(ladder(0, 1, 0.3, 0.9, 2.0), 0.3);
+    }
+
+    #[test]
+    fn other_label_never_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_ne!(other_label(&mut rng, 2, 5), 2);
+        }
+    }
+
+    #[test]
+    fn coin_rate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| coin(&mut rng, 0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+}

@@ -1,0 +1,323 @@
+//! Stock dataset generator (§3.2.1, Table 1 "Stock Data").
+//!
+//! Mirrors the shape of the stock crawl of Li et al. \[11\] as used by the
+//! paper: **55 sources**, 1,000 stock symbols over ~21 trading days,
+//! **16 properties** — *volume*, *shares outstanding*, *market cap* treated
+//! as continuous, the remaining 13 (prices, ratios, …) treated as
+//! categorical exactly as the paper does ("the rest ones are considered as
+//! categorical type"). Sources differ widely in both coverage (driving the
+//! Table 1 missing-value profile) and accuracy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crh_core::ids::{ObjectId, PropertyId, SourceId};
+use crh_core::schema::Schema;
+use crh_core::table::TableBuilder;
+use crh_core::value::Value;
+
+use crate::dataset::{Dataset, GroundTruth};
+use crate::noise::Gaussian;
+
+use super::{coin, ladder, other_label};
+
+/// The 13 categorical stock properties.
+pub const CATEGORICAL_PROPS: [&str; 13] = [
+    "open_price",
+    "close_price",
+    "high_price",
+    "low_price",
+    "change_percent",
+    "change_amount",
+    "dividend",
+    "yield",
+    "eps",
+    "pe_ratio",
+    "52wk_high",
+    "52wk_low",
+    "previous_close",
+];
+
+/// Domain size of each categorical stock property (discretized quotes).
+pub const CAT_DOMAIN: u32 = 60;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct StockConfig {
+    /// Number of stock symbols (paper: 1,000).
+    pub symbols: usize,
+    /// Number of trading days (paper: the July 2011 work days, 21).
+    pub days: usize,
+    /// Number of sources (paper: 55).
+    pub sources: usize,
+    /// Fraction of entries with a ground-truth label (Table 1: ~9%).
+    pub truth_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StockConfig {
+    /// Paper-scale configuration (Table 1 shape: ~11.7M observations,
+    /// ~326K entries, ~29K ground truths, 55 sources).
+    pub fn paper() -> Self {
+        Self {
+            symbols: 1000,
+            days: 21,
+            sources: 55,
+            truth_rate: 0.09,
+            seed: 0x570C_0001,
+        }
+    }
+
+    /// Paper shape at a fraction of the volume (for time-boxed sweeps):
+    /// scales the symbol count.
+    pub fn paper_scaled(scale: f64) -> Self {
+        let mut cfg = Self::paper();
+        cfg.symbols = ((cfg.symbols as f64 * scale).round() as usize).max(10);
+        cfg
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn small() -> Self {
+        Self {
+            symbols: 15,
+            days: 3,
+            sources: 8,
+            truth_rate: 0.5,
+            seed: 0x570C_0002,
+        }
+    }
+}
+
+/// Per-source profiles: coverage (what fraction of entries it reports),
+/// categorical flip probability, and relative continuous noise.
+fn coverage(k: usize, n: usize) -> f64 {
+    ladder(k, n, 0.92, 0.30, 1.0)
+}
+
+fn flip_prob(k: usize, n: usize) -> f64 {
+    ladder(k, n, 0.02, 0.6, 1.3)
+}
+
+/// Fraction of categorical entries that are "hard" (thinly-traded symbols,
+/// corporate actions): on these, every source's flip probability is
+/// amplified, so the erring majority can out-vote the truth — the regime
+/// where source-reliability estimation pays off.
+const HARD_FRACTION_MOD: usize = 10; // 1 in 10 entries
+
+fn is_hard(o: usize, m: usize) -> bool {
+    (o * 13 + m * 3).is_multiple_of(HARD_FRACTION_MOD)
+}
+
+fn effective_flip(base: f64, hard: bool) -> f64 {
+    if hard {
+        (base * 3.0).min(0.9)
+    } else {
+        base
+    }
+}
+
+fn rel_noise(k: usize, n: usize) -> f64 {
+    ladder(k, n, 0.005, 0.25, 1.6)
+}
+
+/// Probability a source's continuous quote is a gross outlier (stale quote,
+/// unit confusion) — this is what separates Mean from Median in Table 2.
+fn outlier_prob(k: usize, n: usize) -> f64 {
+    ladder(k, n, 0.001, 0.12, 1.5)
+}
+
+/// Wrong categorical quotes are usually the *same* wrong quote everywhere
+/// (a stale or vendor-propagated value), not uniform noise.
+const DECOY_PROB: f64 = 0.65;
+
+/// Deterministic per-(object, property) decoy label distinct from `truth`.
+fn decoy_of(truth: u32, o: usize, m: usize) -> u32 {
+    (truth + 1 + ((o * 31 + m * 7) as u32 % (CAT_DOMAIN - 1))) % CAT_DOMAIN
+}
+
+/// Generate the stock dataset.
+pub fn generate(cfg: &StockConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gauss = Gaussian::new();
+
+    let mut schema = Schema::new();
+    let p_volume = schema.add_continuous("volume");
+    let p_shares = schema.add_continuous("shares_outstanding");
+    let p_mcap = schema.add_continuous("market_cap");
+    let cat_props: Vec<PropertyId> = CATEGORICAL_PROPS
+        .iter()
+        .map(|name| schema.add_categorical(name))
+        .collect();
+    for &p in &cat_props {
+        for l in 0..CAT_DOMAIN {
+            schema.intern(p, &format!("q{l}")).expect("categorical");
+        }
+    }
+
+    let num_objects = cfg.symbols * cfg.days;
+    // Per-symbol fundamentals.
+    let sym_volume: Vec<f64> = (0..cfg.symbols)
+        .map(|_| 10f64.powf(rng.random_range(4.5..8.0)).round())
+        .collect();
+    let sym_shares: Vec<f64> = (0..cfg.symbols)
+        .map(|_| 10f64.powf(rng.random_range(6.0..9.5)).round())
+        .collect();
+    let sym_price: Vec<f64> = (0..cfg.symbols)
+        .map(|_| rng.random_range(2.0..400.0))
+        .collect();
+
+    // Ground-truth values per object (object = day * symbols + symbol).
+    let mut truth_cont = vec![[0.0f64; 3]; num_objects];
+    let mut truth_cat = vec![[0u32; CATEGORICAL_PROPS.len()]; num_objects];
+    let mut day_of_object = vec![0u32; num_objects];
+    for day in 0..cfg.days {
+        for sym in 0..cfg.symbols {
+            let o = day * cfg.symbols + sym;
+            day_of_object[o] = day as u32;
+            let vol = (sym_volume[sym] * rng.random_range(0.5..1.8)).round();
+            let shares = sym_shares[sym];
+            let mcap = (shares * sym_price[sym]).round();
+            truth_cont[o] = [vol, shares, mcap];
+            for (m, t) in truth_cat[o].iter_mut().enumerate() {
+                // discretized quote bucket, drifting with the day
+                let base = (sym * 7 + m * 13) as u32 % CAT_DOMAIN;
+                *t = (base + (day as u32) % 3) % CAT_DOMAIN;
+            }
+        }
+    }
+
+    // Sources report.
+    let mut b = TableBuilder::new(schema);
+    for k in 0..cfg.sources {
+        let sid = SourceId(k as u32);
+        let cov = coverage(k, cfg.sources);
+        let flip = flip_prob(k, cfg.sources);
+        let noise = rel_noise(k, cfg.sources);
+        let outlier = outlier_prob(k, cfg.sources);
+        for o in 0..num_objects {
+            if !coin(&mut rng, cov) {
+                continue;
+            }
+            let obj = ObjectId(o as u32);
+            for (ci, &p) in [p_volume, p_shares, p_mcap].iter().enumerate() {
+                let t = truth_cont[o][ci];
+                let mut v = t * (1.0 + gauss.sample_scaled(&mut rng, 0.0, noise));
+                if coin(&mut rng, outlier) {
+                    // gross error: stale quote or unit confusion
+                    v *= rng.random_range(2.0..8.0);
+                }
+                b.add(obj, p, sid, Value::Num(v.round().max(0.0))).expect("typed");
+            }
+            for (mi, &p) in cat_props.iter().enumerate() {
+                let t = truth_cat[o][mi];
+                let v = if coin(&mut rng, effective_flip(flip, is_hard(o, mi))) {
+                    if coin(&mut rng, DECOY_PROB) {
+                        decoy_of(t, o, mi)
+                    } else {
+                        other_label(&mut rng, t, CAT_DOMAIN)
+                    }
+                } else {
+                    t
+                };
+                b.add(obj, p, sid, Value::Cat(v)).expect("typed");
+            }
+        }
+    }
+    let table = b.build().expect("non-empty stock table");
+
+    // Ground truths on a subset of entries.
+    let mut truth = GroundTruth::new();
+    for o in 0..num_objects {
+        let obj = ObjectId(o as u32);
+        for (ci, &p) in [p_volume, p_shares, p_mcap].iter().enumerate() {
+            if table.entry_id(obj, p).is_some() && coin(&mut rng, cfg.truth_rate) {
+                truth.insert(obj, p, Value::Num(truth_cont[o][ci]));
+            }
+        }
+        for (mi, &p) in cat_props.iter().enumerate() {
+            if table.entry_id(obj, p).is_some() && coin(&mut rng, cfg.truth_rate) {
+                truth.insert(obj, p, Value::Cat(truth_cat[o][mi]));
+            }
+        }
+    }
+
+    Dataset {
+        name: "stock".into(),
+        table,
+        truth,
+        true_reliability: None,
+        day_of_object: Some(day_of_object),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::true_source_reliability;
+
+    #[test]
+    fn small_config_shape() {
+        let cfg = StockConfig::small();
+        let ds = generate(&cfg);
+        let s = ds.stats();
+        assert_eq!(s.sources, cfg.sources);
+        assert_eq!(s.properties, 16);
+        assert!(s.entries <= cfg.symbols * cfg.days * 16);
+        assert!(s.ground_truths > 0);
+        assert!(s.observations > s.entries);
+    }
+
+    #[test]
+    fn coverage_creates_missing_values() {
+        let ds = generate(&StockConfig::small());
+        let s = ds.stats();
+        // density strictly below 1.0 because low-coverage sources skip entries
+        let density = s.observations as f64 / (s.entries * s.sources) as f64;
+        assert!(density < 0.95, "density {density}");
+        assert!(density > 0.3, "density {density}");
+    }
+
+    #[test]
+    fn early_sources_more_reliable() {
+        let ds = generate(&StockConfig::small());
+        let r = true_source_reliability(&ds);
+        assert!(
+            r[0] > r[cfg_last(&ds)],
+            "first source should beat last: {r:?}"
+        );
+    }
+
+    fn cfg_last(ds: &Dataset) -> usize {
+        ds.table.num_sources() - 1
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&StockConfig::small());
+        let b = generate(&StockConfig::small());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn paper_scaled_shrinks_symbols() {
+        let cfg = StockConfig::paper_scaled(0.1);
+        assert_eq!(cfg.symbols, 100);
+        assert_eq!(cfg.sources, 55);
+    }
+
+    #[test]
+    fn temporal_markers() {
+        let cfg = StockConfig::small();
+        let ds = generate(&cfg);
+        let days = ds.day_of_object.as_ref().unwrap();
+        assert_eq!(*days.iter().max().unwrap() as usize, cfg.days - 1);
+    }
+
+    #[test]
+    fn categorical_domains_bounded() {
+        let ds = generate(&StockConfig::small());
+        let p = ds.table.schema().property_by_name("open_price").unwrap();
+        assert_eq!(ds.table.schema().domain(p).unwrap().len(), CAT_DOMAIN as usize);
+    }
+}

@@ -1,0 +1,357 @@
+//! UCI-style noisy multi-source simulations (§3.2.2, Tables 3-4, Figs 2-3).
+//!
+//! The paper takes the UCI *Adult* and *Bank Marketing* tables as ground
+//! truth and fabricates 8 conflicting sources by noise injection: Gaussian
+//! noise (∝ γ, rounded to physical meaning) on continuous properties and
+//! threshold flips on categorical ones. The UCI rows serve only as
+//! arbitrary ground truth, so this module generates schema-matched synthetic
+//! rows (same property counts, types, domain cardinalities, and row counts)
+//! and applies the paper's exact noise model.
+//!
+//! Every entry is labeled (Table 3: `# Ground Truths = # Entries`) and every
+//! source observes every entry (`# Observations = 8 × # Entries`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crh_core::ids::{ObjectId, PropertyId, SourceId};
+use crh_core::schema::Schema;
+use crh_core::table::TableBuilder;
+use crh_core::value::Value;
+
+use crate::dataset::{Dataset, GroundTruth};
+use crate::noise::{
+    perturb_categorical, perturb_continuous, theta, Gaussian, GAMMA_RELIABLE, GAMMA_UNRELIABLE,
+    PAPER_GAMMAS,
+};
+
+/// A continuous property template: name, range, decimal digits kept after
+/// rounding ("physical meaning"), and the base noise scale multiplied by γ.
+#[derive(Debug, Clone, Copy)]
+struct ContSpec {
+    name: &'static str,
+    min: f64,
+    max: f64,
+    round: i32,
+    scale: f64,
+}
+
+/// A categorical property template: name and domain cardinality (matching
+/// the UCI attribute's distinct-value count).
+#[derive(Debug, Clone, Copy)]
+struct CatSpec {
+    name: &'static str,
+    domain: u32,
+}
+
+/// Which UCI table to mimic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UciFlavor {
+    /// UCI Adult: 32,561 rows × (6 continuous + 8 categorical) properties
+    /// = 455,854 entries (Table 3).
+    Adult,
+    /// UCI Bank Marketing: 45,211 rows × (7 continuous + 9 categorical)
+    /// properties = 723,376 entries (Table 3).
+    Bank,
+}
+
+impl UciFlavor {
+    /// The paper's row count for this table.
+    pub fn paper_rows(self) -> usize {
+        match self {
+            UciFlavor::Adult => 32_561,
+            UciFlavor::Bank => 45_211,
+        }
+    }
+
+    fn cont_specs(self) -> &'static [ContSpec] {
+        match self {
+            UciFlavor::Adult => &[
+                ContSpec { name: "age", min: 17.0, max: 90.0, round: 0, scale: 4.0 },
+                ContSpec { name: "fnlwgt", min: 12_285.0, max: 1_484_705.0, round: -3, scale: 50_000.0 },
+                ContSpec { name: "education_num", min: 1.0, max: 16.0, round: 0, scale: 1.0 },
+                ContSpec { name: "capital_gain", min: 0.0, max: 99_999.0, round: -2, scale: 3_000.0 },
+                ContSpec { name: "capital_loss", min: 0.0, max: 4_356.0, round: -1, scale: 200.0 },
+                ContSpec { name: "hours_per_week", min: 1.0, max: 99.0, round: 0, scale: 5.0 },
+            ],
+            UciFlavor::Bank => &[
+                ContSpec { name: "age", min: 18.0, max: 95.0, round: 0, scale: 4.0 },
+                ContSpec { name: "balance", min: -8_019.0, max: 102_127.0, round: -1, scale: 1_500.0 },
+                ContSpec { name: "day", min: 1.0, max: 31.0, round: 0, scale: 2.0 },
+                ContSpec { name: "duration", min: 0.0, max: 4_918.0, round: 0, scale: 120.0 },
+                ContSpec { name: "campaign", min: 1.0, max: 63.0, round: 0, scale: 2.0 },
+                ContSpec { name: "pdays", min: -1.0, max: 871.0, round: 0, scale: 40.0 },
+                ContSpec { name: "previous", min: 0.0, max: 275.0, round: 0, scale: 2.0 },
+            ],
+        }
+    }
+
+    fn cat_specs(self) -> &'static [CatSpec] {
+        match self {
+            UciFlavor::Adult => &[
+                CatSpec { name: "workclass", domain: 8 },
+                CatSpec { name: "education", domain: 16 },
+                CatSpec { name: "marital_status", domain: 7 },
+                CatSpec { name: "occupation", domain: 14 },
+                CatSpec { name: "relationship", domain: 6 },
+                CatSpec { name: "race", domain: 5 },
+                CatSpec { name: "sex", domain: 2 },
+                CatSpec { name: "native_country", domain: 41 },
+            ],
+            UciFlavor::Bank => &[
+                CatSpec { name: "job", domain: 12 },
+                CatSpec { name: "marital", domain: 3 },
+                CatSpec { name: "education", domain: 4 },
+                CatSpec { name: "default", domain: 2 },
+                CatSpec { name: "housing", domain: 2 },
+                CatSpec { name: "loan", domain: 2 },
+                CatSpec { name: "contact", domain: 3 },
+                CatSpec { name: "month", domain: 12 },
+                CatSpec { name: "poutcome", domain: 4 },
+            ],
+        }
+    }
+
+    /// Dataset name ("adult" / "bank").
+    pub fn name(self) -> &'static str {
+        match self {
+            UciFlavor::Adult => "adult",
+            UciFlavor::Bank => "bank",
+        }
+    }
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct UciConfig {
+    /// Which UCI table to mimic.
+    pub flavor: UciFlavor,
+    /// Number of ground-truth rows (objects).
+    pub rows: usize,
+    /// One `γ` per simulated source (paper: the 8-value ladder of §3.2.2).
+    pub gammas: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UciConfig {
+    /// The paper's configuration: full row count and the 8-source γ ladder
+    /// `{0.1, 0.4, 0.7, 1, 1.3, 1.6, 1.9, 2}`.
+    pub fn paper(flavor: UciFlavor) -> Self {
+        Self {
+            flavor,
+            rows: flavor.paper_rows(),
+            gammas: PAPER_GAMMAS.to_vec(),
+            seed: match flavor {
+                UciFlavor::Adult => 0xADu64,
+                UciFlavor::Bank => 0xBAu64,
+            },
+        }
+    }
+
+    /// Paper shape at a fraction of the rows.
+    pub fn paper_scaled(flavor: UciFlavor, scale: f64) -> Self {
+        let mut cfg = Self::paper(flavor);
+        cfg.rows = ((cfg.rows as f64 * scale).round() as usize).max(20);
+        cfg
+    }
+
+    /// The Figs 2-3 sweep: 8 sources of which the first `reliable` have
+    /// `γ = 0.1` and the rest `γ = 2`.
+    pub fn with_reliable_count(flavor: UciFlavor, reliable: usize, rows: usize) -> Self {
+        let total = 8usize;
+        let reliable = reliable.min(total);
+        let mut gammas = vec![GAMMA_UNRELIABLE; total];
+        for g in gammas.iter_mut().take(reliable) {
+            *g = GAMMA_RELIABLE;
+        }
+        Self {
+            flavor,
+            rows,
+            gammas,
+            seed: 0xF1_6000 + reliable as u64,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn small(flavor: UciFlavor) -> Self {
+        let mut cfg = Self::paper(flavor);
+        cfg.rows = 120;
+        cfg
+    }
+}
+
+/// Generate a UCI-style simulation.
+pub fn generate(cfg: &UciConfig) -> Dataset {
+    assert!(!cfg.gammas.is_empty(), "need at least one source");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gauss = Gaussian::new();
+    let conts = cfg.flavor.cont_specs();
+    let cats = cfg.flavor.cat_specs();
+
+    let mut schema = Schema::new();
+    let cont_props: Vec<PropertyId> = conts.iter().map(|c| schema.add_continuous(c.name)).collect();
+    let cat_props: Vec<PropertyId> = cats.iter().map(|c| schema.add_categorical(c.name)).collect();
+    for (ci, &p) in cat_props.iter().enumerate() {
+        for l in 0..cats[ci].domain {
+            schema.intern(p, &format!("{}_{l}", cats[ci].name)).expect("categorical");
+        }
+    }
+
+    // Ground-truth rows.
+    let mut truth_cont = vec![vec![0.0f64; conts.len()]; cfg.rows];
+    let mut truth_cat = vec![vec![0u32; cats.len()]; cfg.rows];
+    for row in 0..cfg.rows {
+        for (ci, spec) in conts.iter().enumerate() {
+            // triangular-ish draw biased toward the low end, mimicking the
+            // skew of the real attributes; rounded to physical meaning
+            let a: f64 = rng.random::<f64>();
+            let b: f64 = rng.random::<f64>();
+            let t = spec.min + (spec.max - spec.min) * (a * b);
+            truth_cont[row][ci] = crate::noise::round_digits(t, spec.round);
+        }
+        for (ci, spec) in cats.iter().enumerate() {
+            truth_cat[row][ci] = rng.random_range(0..spec.domain);
+        }
+    }
+
+    // Sources: every source reports every entry, exactly the paper's
+    // fully-observed simulation (no per-source bias: source reliability must
+    // stay consistent across properties, §2.5).
+    let mut b = TableBuilder::new(schema);
+    for (k, &gamma) in cfg.gammas.iter().enumerate() {
+        let sid = SourceId(k as u32);
+        for row in 0..cfg.rows {
+            let obj = ObjectId(row as u32);
+            for (ci, spec) in conts.iter().enumerate() {
+                let v = perturb_continuous(
+                    &mut rng,
+                    &mut gauss,
+                    truth_cont[row][ci],
+                    gamma,
+                    spec.scale,
+                    spec.round,
+                    spec.min,
+                    spec.max,
+                );
+                b.add(obj, cont_props[ci], sid, Value::Num(v)).expect("typed");
+            }
+            for (ci, spec) in cats.iter().enumerate() {
+                let v = perturb_categorical(&mut rng, truth_cat[row][ci], gamma, spec.domain);
+                b.add(obj, cat_props[ci], sid, Value::Cat(v)).expect("typed");
+            }
+        }
+    }
+    let table = b.build().expect("non-empty uci table");
+
+    // Every entry labeled.
+    let mut truth = GroundTruth::new();
+    for row in 0..cfg.rows {
+        let obj = ObjectId(row as u32);
+        for (ci, &p) in cont_props.iter().enumerate() {
+            truth.insert(obj, p, Value::Num(truth_cont[row][ci]));
+        }
+        for (ci, &p) in cat_props.iter().enumerate() {
+            truth.insert(obj, p, Value::Cat(truth_cat[row][ci]));
+        }
+    }
+
+    // Analytic per-source reliability (probability of an unperturbed
+    // categorical claim) for documentation/Fig-1-style plots.
+    let reliability: Vec<f64> = cfg.gammas.iter().map(|&g| 1.0 - theta(g)).collect();
+
+    Dataset {
+        name: cfg.flavor.name().into(),
+        table,
+        truth,
+        true_reliability: Some(reliability),
+        day_of_object: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::true_source_reliability;
+
+    #[test]
+    fn adult_schema_matches_table3_shape() {
+        let cfg = UciConfig::small(UciFlavor::Adult);
+        let ds = generate(&cfg);
+        let s = ds.stats();
+        assert_eq!(s.properties, 14);
+        assert_eq!(s.sources, 8);
+        assert_eq!(s.entries, cfg.rows * 14);
+        assert_eq!(s.observations, s.entries * 8);
+        assert_eq!(s.ground_truths, s.entries); // fully labeled
+    }
+
+    #[test]
+    fn bank_schema_matches_table3_shape() {
+        let cfg = UciConfig::small(UciFlavor::Bank);
+        let ds = generate(&cfg);
+        let s = ds.stats();
+        assert_eq!(s.properties, 16);
+        assert_eq!(s.entries, cfg.rows * 16);
+        assert_eq!(s.observations, s.entries * 8);
+    }
+
+    #[test]
+    fn paper_rows_match_table3_exactly() {
+        // 32,561 × 14 = 455,854 and 45,211 × 16 = 723,376
+        assert_eq!(UciFlavor::Adult.paper_rows() * 14, 455_854);
+        assert_eq!(UciFlavor::Bank.paper_rows() * 16, 723_376);
+    }
+
+    #[test]
+    fn gamma_ladder_orders_reliability() {
+        let ds = generate(&UciConfig::small(UciFlavor::Adult));
+        let r = true_source_reliability(&ds);
+        assert!(r[0] > r[7], "γ=0.1 source must beat γ=2 source: {r:?}");
+        // overall trend decreasing
+        let first_half: f64 = r[..4].iter().sum();
+        let second_half: f64 = r[4..].iter().sum();
+        assert!(first_half > second_half);
+    }
+
+    #[test]
+    fn with_reliable_count_sets_gammas() {
+        let cfg = UciConfig::with_reliable_count(UciFlavor::Adult, 3, 100);
+        assert_eq!(cfg.gammas.len(), 8);
+        assert_eq!(cfg.gammas[..3], [GAMMA_RELIABLE; 3]);
+        assert_eq!(cfg.gammas[3..], [GAMMA_UNRELIABLE; 5]);
+    }
+
+    #[test]
+    fn reliable_count_capped_at_total() {
+        let cfg = UciConfig::with_reliable_count(UciFlavor::Bank, 12, 100);
+        assert!(cfg.gammas.iter().all(|&g| g == GAMMA_RELIABLE));
+    }
+
+    #[test]
+    fn continuous_truths_respect_ranges_and_rounding() {
+        let ds = generate(&UciConfig::small(UciFlavor::Adult));
+        let age = ds.table.schema().property_by_name("age").unwrap();
+        for o in 0..ds.table.num_objects() {
+            let obj = ObjectId(o as u32);
+            let t = ds.truth.get(obj, age).unwrap().as_num().unwrap();
+            assert!((17.0..=90.0).contains(&t));
+            assert_eq!(t, t.round());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&UciConfig::small(UciFlavor::Bank));
+        let b = generate(&UciConfig::small(UciFlavor::Bank));
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn analytic_reliability_attached() {
+        let ds = generate(&UciConfig::small(UciFlavor::Adult));
+        let r = ds.true_reliability.unwrap();
+        assert_eq!(r.len(), 8);
+        assert!((r[0] - (1.0 - theta(0.1))).abs() < 1e-12);
+    }
+}

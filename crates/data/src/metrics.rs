@@ -1,0 +1,286 @@
+//! Evaluation measures (§3.1.1): Error Rate and MNAD.
+//!
+//! * **Error Rate** — on categorical (and text) entries: the fraction of a
+//!   method's outputs that differ from the ground truths.
+//! * **MNAD** — *Mean Normalized Absolute Distance* on continuous entries:
+//!   per-entry absolute distance to the ground truth, normalized by the
+//!   entry's own cross-source dispersion (so entries of different scales
+//!   are comparable), averaged over labeled entries.
+//!
+//! For both, **lower is better**.
+
+use crh_core::stats::{compute_entry_stats, EntryStats};
+use crh_core::table::{ObservationTable, TruthTable};
+use crh_core::value::PropertyType;
+
+use crate::dataset::GroundTruth;
+
+/// Minimum meaningful per-entry dispersion; below this the entry is treated
+/// as having no usable dispersion of its own.
+const MIN_STD: f64 = 1e-6;
+
+/// Per-entry normalizers for distance-based evaluation.
+///
+/// An entry's own cross-source standard deviation is the paper's normalizer,
+/// but it is undefined for entries with a single observation and degenerate
+/// when all sources agree exactly. Such entries borrow the mean dispersion
+/// of their *property* (computed over that property's well-dispersed
+/// entries), falling back to 1.0 for properties with no dispersion at all.
+pub fn entry_normalizers(table: &ObservationTable, stats: &[EntryStats]) -> Vec<f64> {
+    let m = table.num_properties();
+    let mut prop_sum = vec![0.0f64; m];
+    let mut prop_n = vec![0usize; m];
+    for (e, entry, _) in table.iter_entries() {
+        let s = &stats[e.index()];
+        if s.count >= 2 && s.std > MIN_STD {
+            prop_sum[entry.property.index()] += s.std;
+            prop_n[entry.property.index()] += 1;
+        }
+    }
+    let prop_mean: Vec<f64> = prop_sum
+        .iter()
+        .zip(&prop_n)
+        .map(|(&s, &n)| if n > 0 { s / n as f64 } else { 1.0 })
+        .collect();
+    table
+        .iter_entries()
+        .map(|(e, entry, _)| {
+            let s = &stats[e.index()];
+            if s.count >= 2 && s.std > MIN_STD {
+                s.std
+            } else {
+                prop_mean[entry.property.index()].max(MIN_STD)
+            }
+        })
+        .collect()
+}
+
+/// The outcome of evaluating one method's truth table against ground truths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Error rate on categorical/text entries (`None` if no such labeled
+    /// entries exist or the method produced no output for them).
+    pub error_rate: Option<f64>,
+    /// MNAD on continuous entries (`None` if no labeled continuous entries).
+    pub mnad: Option<f64>,
+    /// Labeled categorical/text entries evaluated.
+    pub categorical_evaluated: usize,
+    /// Of those, how many the method got wrong.
+    pub categorical_wrong: usize,
+    /// Labeled continuous entries evaluated.
+    pub continuous_evaluated: usize,
+}
+
+impl Evaluation {
+    /// Render `error_rate` as the paper's tables do (NA when absent).
+    pub fn error_rate_str(&self) -> String {
+        self.error_rate
+            .map_or_else(|| "NA".into(), |e| format!("{e:.4}"))
+    }
+
+    /// Render `mnad` as the paper's tables do (NA when absent).
+    pub fn mnad_str(&self) -> String {
+        self.mnad.map_or_else(|| "NA".into(), |e| format!("{e:.4}"))
+    }
+}
+
+/// Evaluate `truths` (parallel to `table`'s entries) against `gt`.
+///
+/// Entries without a ground-truth label are skipped, matching the paper's
+/// protocol ("we only have a subset of entries labeled with ground truths").
+pub fn evaluate(table: &ObservationTable, truths: &TruthTable, gt: &GroundTruth) -> Evaluation {
+    let stats = compute_entry_stats(table);
+    evaluate_with_stats(table, truths, gt, &stats)
+}
+
+/// [`evaluate`] with precomputed entry stats (avoids recomputation when
+/// scoring many methods on the same table).
+pub fn evaluate_with_stats(
+    table: &ObservationTable,
+    truths: &TruthTable,
+    gt: &GroundTruth,
+    stats: &[EntryStats],
+) -> Evaluation {
+    let norms = entry_normalizers(table, stats);
+    let mut cat_n = 0usize;
+    let mut cat_wrong = 0usize;
+    let mut cont_n = 0usize;
+    let mut nad_sum = 0.0f64;
+
+    for (e, entry, _) in table.iter_entries() {
+        let Some(truth) = gt.get(entry.object, entry.property) else {
+            continue;
+        };
+        let ptype = table
+            .schema()
+            .property_type(entry.property)
+            .expect("entry property in schema");
+        let est = truths.get(e).point();
+        match ptype {
+            PropertyType::Categorical | PropertyType::Text => {
+                cat_n += 1;
+                if !est.matches(truth) {
+                    cat_wrong += 1;
+                }
+            }
+            PropertyType::Continuous => {
+                let (Some(est), Some(t)) = (est.as_num(), truth.as_num()) else {
+                    // a method that emits a non-numeric answer for a
+                    // continuous entry is maximally penalized via a unit
+                    // normalized distance
+                    cont_n += 1;
+                    nad_sum += 1.0;
+                    continue;
+                };
+                cont_n += 1;
+                nad_sum += (est - t).abs() / norms[e.index()];
+            }
+        }
+    }
+
+    Evaluation {
+        error_rate: (cat_n > 0).then(|| cat_wrong as f64 / cat_n as f64),
+        mnad: (cont_n > 0).then(|| nad_sum / cont_n as f64),
+        categorical_evaluated: cat_n,
+        categorical_wrong: cat_wrong,
+        continuous_evaluated: cont_n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::ids::{ObjectId, SourceId};
+    use crh_core::schema::Schema;
+    use crh_core::table::TableBuilder;
+    use crh_core::value::{Truth, Value};
+
+    fn setup() -> (ObservationTable, GroundTruth) {
+        let mut schema = Schema::new();
+        let temp = schema.add_continuous("temp");
+        let cond = schema.add_categorical("cond");
+        let mut b = TableBuilder::new(schema);
+        for i in 0..2u32 {
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(10.0)).unwrap();
+            b.add(ObjectId(i), temp, SourceId(1), Value::Num(14.0)).unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(0), "a").unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(1), "b").unwrap();
+        }
+        let table = b.build().unwrap();
+        let mut gt = GroundTruth::new();
+        gt.insert(ObjectId(0), temp, Value::Num(10.0));
+        gt.insert(ObjectId(0), cond, Value::Cat(0)); // "a"
+        gt.insert(ObjectId(1), cond, Value::Cat(1)); // "b"
+        (table, gt)
+    }
+
+    fn truths_for(table: &ObservationTable, vals: Vec<Truth>) -> TruthTable {
+        assert_eq!(vals.len(), table.num_entries());
+        TruthTable::new(vals)
+    }
+
+    #[test]
+    fn perfect_output_scores_zero() {
+        let (table, gt) = setup();
+        // entry order: (o0,temp),(o0,cond),(o1,temp),(o1,cond)
+        let truths = truths_for(
+            &table,
+            vec![
+                Truth::Point(Value::Num(10.0)),
+                Truth::Point(Value::Cat(0)),
+                Truth::Point(Value::Num(12.0)), // unlabeled: ignored
+                Truth::Point(Value::Cat(1)),
+            ],
+        );
+        let ev = evaluate(&table, &truths, &gt);
+        assert_eq!(ev.error_rate, Some(0.0));
+        assert_eq!(ev.mnad, Some(0.0));
+        assert_eq!(ev.categorical_evaluated, 2);
+        assert_eq!(ev.continuous_evaluated, 1);
+    }
+
+    #[test]
+    fn error_rate_counts_mismatches() {
+        let (table, gt) = setup();
+        let truths = truths_for(
+            &table,
+            vec![
+                Truth::Point(Value::Num(10.0)),
+                Truth::Point(Value::Cat(1)), // wrong
+                Truth::Point(Value::Num(0.0)),
+                Truth::Point(Value::Cat(1)), // right
+            ],
+        );
+        let ev = evaluate(&table, &truths, &gt);
+        assert_eq!(ev.error_rate, Some(0.5));
+        assert_eq!(ev.categorical_wrong, 1);
+    }
+
+    #[test]
+    fn mnad_normalizes_by_entry_dispersion() {
+        let (table, gt) = setup();
+        // obs on (o0,temp) are {10,14}: std = 2. estimate 13 -> |13-10|/2 = 1.5
+        let truths = truths_for(
+            &table,
+            vec![
+                Truth::Point(Value::Num(13.0)),
+                Truth::Point(Value::Cat(0)),
+                Truth::Point(Value::Num(0.0)),
+                Truth::Point(Value::Cat(1)),
+            ],
+        );
+        let ev = evaluate(&table, &truths, &gt);
+        assert!((ev.mnad.unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_numeric_output_on_continuous_gets_unit_penalty() {
+        let (table, gt) = setup();
+        let truths = truths_for(
+            &table,
+            vec![
+                Truth::Point(Value::Cat(0)), // nonsense for continuous
+                Truth::Point(Value::Cat(0)),
+                Truth::Point(Value::Num(0.0)),
+                Truth::Point(Value::Cat(1)),
+            ],
+        );
+        let ev = evaluate(&table, &truths, &gt);
+        assert_eq!(ev.mnad, Some(1.0));
+    }
+
+    #[test]
+    fn soft_truths_evaluate_via_mode() {
+        let (table, gt) = setup();
+        let truths = truths_for(
+            &table,
+            vec![
+                Truth::Point(Value::Num(10.0)),
+                Truth::Distribution {
+                    probs: vec![0.8, 0.2],
+                    mode: 0,
+                },
+                Truth::Point(Value::Num(0.0)),
+                Truth::Distribution {
+                    probs: vec![0.3, 0.7],
+                    mode: 1,
+                },
+            ],
+        );
+        let ev = evaluate(&table, &truths, &gt);
+        assert_eq!(ev.error_rate, Some(0.0));
+    }
+
+    #[test]
+    fn na_rendering() {
+        let ev = Evaluation {
+            error_rate: None,
+            mnad: Some(1.23456),
+            categorical_evaluated: 0,
+            categorical_wrong: 0,
+            continuous_evaluated: 3,
+        };
+        assert_eq!(ev.error_rate_str(), "NA");
+        assert_eq!(ev.mnad_str(), "1.2346");
+    }
+}

@@ -1,0 +1,183 @@
+//! Ground-truth source reliability (§3.2.1, Fig 1).
+//!
+//! "Reliability of a source is defined as the probability that the source
+//! makes correct statements on categorical data, and the chance that the
+//! source makes statements close to the truth on continuous data. To
+//! simplify the presentation, we combine the reliability scores of
+//! continuous and categorical data into one score for each source."
+//!
+//! This module computes that combined score from held-out ground truths and
+//! provides the `\[0, 1\]` min-max normalization the paper applies before
+//! comparing methods' estimated reliabilities ("we normalize all the scores
+//! into the range \[0,1\]"), plus the unreliability→reliability conversion
+//! used for methods like GTM and 3-Estimates that estimate error degrees.
+
+use crh_core::stats::compute_entry_stats;
+use crh_core::value::PropertyType;
+
+use crate::dataset::Dataset;
+use crate::metrics::entry_normalizers;
+
+/// Combined ground-truth reliability per source, in `\[0, 1\]`.
+///
+/// Per source: the categorical component is the fraction of its labeled
+/// categorical claims that match the truth; the continuous component maps
+/// its mean normalized absolute deviation `d̄` to the closeness score
+/// `1 / (1 + d̄)`; the two components are combined weighted by how many
+/// labeled claims of each kind the source made.
+pub fn true_source_reliability(ds: &Dataset) -> Vec<f64> {
+    let table = &ds.table;
+    let k = table.num_sources();
+    let stats = compute_entry_stats(table);
+    let norms = entry_normalizers(table, &stats);
+
+    let mut cat_n = vec![0usize; k];
+    let mut cat_ok = vec![0usize; k];
+    let mut cont_n = vec![0usize; k];
+    let mut cont_dev = vec![0.0f64; k];
+
+    for (e, entry, obs) in table.iter_entries() {
+        let Some(truth) = ds.truth.get(entry.object, entry.property) else {
+            continue;
+        };
+        let ptype = table
+            .schema()
+            .property_type(entry.property)
+            .expect("property in schema");
+        for (s, v) in obs {
+            let si = s.index();
+            match ptype {
+                PropertyType::Categorical | PropertyType::Text => {
+                    cat_n[si] += 1;
+                    if v.matches(truth) {
+                        cat_ok[si] += 1;
+                    }
+                }
+                PropertyType::Continuous => {
+                    if let (Some(x), Some(t)) = (v.as_num(), truth.as_num()) {
+                        cont_n[si] += 1;
+                        cont_dev[si] += (x - t).abs() / norms[e.index()];
+                    }
+                }
+            }
+        }
+    }
+
+    (0..k)
+        .map(|s| {
+            let cat_score = (cat_n[s] > 0).then(|| cat_ok[s] as f64 / cat_n[s] as f64);
+            let cont_score = (cont_n[s] > 0).then(|| {
+                let mean_dev = cont_dev[s] / cont_n[s] as f64;
+                1.0 / (1.0 + mean_dev)
+            });
+            match (cat_score, cont_score) {
+                (Some(a), Some(b)) => {
+                    let (na, nb) = (cat_n[s] as f64, cont_n[s] as f64);
+                    (a * na + b * nb) / (na + nb)
+                }
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Min-max normalize scores into `\[0, 1\]` (Fig 1's cross-method scaling).
+/// A constant vector maps to all-0.5 (no information about ordering).
+pub fn normalize_scores(scores: &[f64]) -> Vec<f64> {
+    let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(max - min).is_finite() || max - min < 1e-15 {
+        return vec![0.5; scores.len()];
+    }
+    scores.iter().map(|&s| (s - min) / (max - min)).collect()
+}
+
+/// Convert unreliability degrees (error scores: higher = worse) to
+/// reliability degrees, then min-max normalize — the conversion the paper
+/// applies to 3-Estimates and GTM ("we convert their scores to reliability
+/// degrees").
+pub fn unreliability_to_reliability(scores: &[f64]) -> Vec<f64> {
+    let negated: Vec<f64> = scores.iter().map(|&s| -s).collect();
+    normalize_scores(&negated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruth;
+    use crh_core::ids::{ObjectId, SourceId};
+    use crh_core::schema::Schema;
+    use crh_core::table::TableBuilder;
+    use crh_core::value::Value;
+
+    fn two_source_dataset() -> Dataset {
+        let mut schema = Schema::new();
+        let temp = schema.add_continuous("temp");
+        let cond = schema.add_categorical("cond");
+        let mut b = TableBuilder::new(schema);
+        let mut gt = GroundTruth::new();
+        for i in 0..10u32 {
+            // source 0: always right; source 1: wrong on categorical,
+            // 4 std units off on continuous
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(50.0)).unwrap();
+            b.add(ObjectId(i), temp, SourceId(1), Value::Num(58.0)).unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(0), "right").unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(1), "wrong").unwrap();
+            gt.insert(ObjectId(i), temp, Value::Num(50.0));
+            gt.insert(ObjectId(i), cond, Value::Cat(0));
+        }
+        Dataset {
+            name: "test".into(),
+            table: b.build().unwrap(),
+            truth: gt,
+            true_reliability: None,
+            day_of_object: None,
+        }
+    }
+
+    #[test]
+    fn reliable_source_scores_higher() {
+        let ds = two_source_dataset();
+        let r = true_source_reliability(&ds);
+        assert_eq!(r.len(), 2);
+        assert!(r[0] > r[1], "{r:?}");
+        assert!(r[0] > 0.9, "perfect source should be near 1: {r:?}");
+        assert!((0.0..=1.0).contains(&r[1]));
+    }
+
+    #[test]
+    fn combined_score_mixes_both_types() {
+        let ds = two_source_dataset();
+        let r = true_source_reliability(&ds);
+        // source 1: cat component 0, cont component 1/(1+dev) with dev =
+        // |58-50|/std where std = 4 -> dev=2 -> 1/3; combined = (0*10 + (1/3)*10)/20
+        assert!((r[1] - (1.0 / 3.0) * 0.5).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn normalize_scores_minmax() {
+        let n = normalize_scores(&[2.0, 4.0, 6.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_constant_vector() {
+        assert_eq!(normalize_scores(&[3.0, 3.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn unreliability_conversion_reverses_order() {
+        let r = unreliability_to_reliability(&[0.1, 0.5, 0.9]);
+        assert_eq!(r, vec![1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn sources_without_labeled_claims_get_zero() {
+        let mut ds = two_source_dataset();
+        ds.truth = GroundTruth::new(); // nothing labeled
+        let r = true_source_reliability(&ds);
+        assert_eq!(r, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the from-scratch CSV reader/writer.
+
+use proptest::prelude::*;
+
+use crh_data::csv::{parse, read_records, to_string, RecordReader};
+
+proptest! {
+    /// write → parse is the identity for arbitrary unicode fields
+    /// (excluding only interior NULs, which CSV does not model).
+    #[test]
+    fn roundtrip_arbitrary_fields(
+        rows in prop::collection::vec(
+            prop::collection::vec("[^\u{0}]{0,20}", 1..6),
+            1..10,
+        )
+    ) {
+        // skip the degenerate single-empty-field record, which serializes
+        // to an empty line (indistinguishable from no record)
+        prop_assume!(rows.iter().all(|r| !(r.len() == 1 && r[0].is_empty())));
+        let text = to_string(&rows);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, rows);
+    }
+
+    /// parse never panics on arbitrary input.
+    #[test]
+    fn parse_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// every parsed field of quote-free, comma-free input is a substring of
+    /// the input.
+    #[test]
+    fn fields_come_from_input(input in "[a-z0-9 ]{0,60}") {
+        for record in parse(&input).unwrap() {
+            for field in record {
+                prop_assert!(input.contains(&field));
+            }
+        }
+    }
+
+    /// The streaming reader agrees with the batch parser on arbitrary
+    /// serialized documents (LF line endings, which is what the writer
+    /// emits).
+    #[test]
+    fn streaming_reader_matches_batch_parser(
+        rows in prop::collection::vec(
+            prop::collection::vec("[^\u{0}\r]{0,16}", 1..5),
+            1..8,
+        )
+    ) {
+        prop_assume!(rows.iter().all(|r| !(r.len() == 1 && r[0].is_empty())));
+        let text = to_string(&rows);
+        let batch = parse(&text).unwrap();
+        let streamed: Vec<_> = RecordReader::new(text.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        prop_assert_eq!(streamed, batch);
+    }
+
+    /// read_records accepts exactly the uniform-field-count documents.
+    #[test]
+    fn uniform_field_counts_enforced(
+        cols in 1usize..5,
+        extra in 0usize..3,
+        rows in 2usize..6,
+    ) {
+        let mut doc = String::new();
+        for r in 0..rows {
+            let n = if r == rows - 1 { cols + extra } else { cols };
+            let row: Vec<String> = (0..n).map(|c| format!("v{c}")).collect();
+            doc.push_str(&row.join(","));
+            doc.push('\n');
+        }
+        let res = read_records(doc.as_bytes());
+        if extra == 0 {
+            prop_assert!(res.is_ok());
+        } else {
+            prop_assert!(res.is_err());
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Parallel CRH: the two MapReduce jobs and the iterative wrapper (§2.7).
+//!
+//! Each iteration runs:
+//!
+//! 1. **Truth computation** (§2.7.2) — one MapReduce job keyed by entry id:
+//!    mappers re-key the `(eID, v, sID)` tuples, reducers solve Eq (3) per
+//!    entry using the source weights read from a [`SideFile`];
+//! 2. **Source weight assignment** (§2.7.3) — one MapReduce job: mappers
+//!    compute partial errors against the truths side file and emit
+//!    `((property, sID), error)`, a Combiner pre-sums them per mapper, and
+//!    reducers aggregate. The wrapper (§2.7.4) turns the small aggregated
+//!    deviation matrix into new weights and rewrites the weights side file.
+//!
+//! Iteration stops when the estimated truths stop changing or the iteration
+//! cap is hit ("until the estimated truths converge or the iteration number
+//! meets the threshold").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crh_core::error::{CrhError, Result};
+use crh_core::ids::SourceId;
+use crh_core::solver::{source_losses, PreparedProblem, PropertyNorm};
+use crh_core::table::{ObservationTable, TruthTable};
+use crh_core::value::{Truth, Value};
+use crh_core::weights::{LogMax, WeightAssigner};
+
+use crate::engine::{map_reduce, no_combiner, JobConfig, JobStats};
+use crate::sidefile::SideFile;
+
+/// One input tuple in the §2.7.1 data format: `(eID, v, sID)`.
+#[derive(Debug, Clone)]
+pub struct ClaimRecord {
+    /// Dense entry index.
+    pub entry: u32,
+    /// Source id.
+    pub source: u32,
+    /// Claimed value.
+    pub value: Value,
+}
+
+/// Configuration of the parallel CRH driver.
+pub struct ParallelCrh {
+    /// Engine parallelism/overhead settings shared by both jobs.
+    pub job: JobConfig,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold: the fraction of entries whose truth may still
+    /// change while being considered converged (0 = exact stability).
+    pub tol: f64,
+    /// Cross-property normalization (§2.5).
+    pub property_norm: PropertyNorm,
+    /// Per-source observation-count normalization ("the aggregated errors
+    /// should be normalized by the number of sources' observations").
+    pub count_normalize: bool,
+    assigner: Box<dyn WeightAssigner>,
+}
+
+impl Default for ParallelCrh {
+    fn default() -> Self {
+        Self {
+            job: JobConfig::default(),
+            max_iters: 10,
+            tol: 0.0,
+            property_norm: PropertyNorm::SumToOne,
+            count_normalize: true,
+            assigner: Box::new(LogMax),
+        }
+    }
+}
+
+impl std::fmt::Debug for ParallelCrh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelCrh")
+            .field("job", &self.job)
+            .field("max_iters", &self.max_iters)
+            .field("assigner", &self.assigner.name())
+            .finish()
+    }
+}
+
+/// Result of a parallel CRH run.
+#[derive(Debug)]
+pub struct ParallelCrhResult {
+    /// Estimated truths, parallel to the table's entries.
+    pub truths: TruthTable,
+    /// Estimated source weights.
+    pub weights: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether truths stabilized before the cap.
+    pub converged: bool,
+    /// Per-iteration stats of the truth-computation job.
+    pub truth_job_stats: Vec<JobStats>,
+    /// Per-iteration stats of the weight-assignment job.
+    pub weight_job_stats: Vec<JobStats>,
+    /// End-to-end wall time.
+    pub wall_time: Duration,
+}
+
+impl ParallelCrh {
+    /// Replace the engine configuration.
+    pub fn job_config(mut self, job: JobConfig) -> Self {
+        self.job = job;
+        self
+    }
+
+    /// Replace the weight-assignment scheme.
+    pub fn weight_assigner(mut self, a: impl WeightAssigner + 'static) -> Self {
+        self.assigner = Box::new(a);
+        self
+    }
+
+    /// Cap the number of iterations.
+    pub fn max_iters(mut self, n: usize) -> Self {
+        self.max_iters = n;
+        self
+    }
+
+    /// Run parallel CRH on `table`.
+    pub fn run(&self, table: &ObservationTable) -> Result<ParallelCrhResult> {
+        let start = Instant::now();
+        self.job
+            .clone()
+            .validated()
+            .map_err(CrhError::InvalidParameter)?;
+        if self.max_iters == 0 {
+            return Err(CrhError::InvalidParameter("max_iters must be >= 1".into()));
+        }
+
+        let k = table.num_sources();
+        let num_entries = table.num_entries();
+
+        // Job-setup metadata: losses, per-entry stats, entry -> property.
+        let prepared = Arc::new(PreparedProblem::new(table, &HashMap::new())?);
+        let entry_property: Arc<Vec<u32>> = Arc::new(
+            (0..num_entries)
+                .map(|e| table.entry(crh_core::ids::EntryId::from_index(e)).property.0)
+                .collect(),
+        );
+
+        // Input tuples (eID, v, sID).
+        let claims: Vec<ClaimRecord> = table
+            .iter_claims()
+            .map(|(e, s, v)| ClaimRecord {
+                entry: e.0,
+                source: s.0,
+                value: v.clone(),
+            })
+            .collect();
+
+        // Weights side file, "initially … set uniformly (1/K for all sources)".
+        let weights_file = SideFile::new(vec![1.0 / k as f64; k]);
+        let truths_file: SideFile<Vec<Truth>> = SideFile::new(Vec::new());
+
+        let mut truth_job_stats = Vec::new();
+        let mut weight_job_stats = Vec::new();
+        let mut prev_points: Option<Vec<Value>> = None;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for it in 0..self.max_iters {
+            iterations = it + 1;
+
+            // ---- Job 1: truth computation, keyed by entry id ----
+            let weights_snapshot = weights_file.read();
+            let prep = Arc::clone(&prepared);
+            let ep = Arc::clone(&entry_property);
+            let (truth_pairs, stats1) = map_reduce(
+                &self.job,
+                &claims,
+                |rec: &ClaimRecord, emit: &mut dyn FnMut(u32, (u32, Value))| {
+                    emit(rec.entry, (rec.source, rec.value.clone()));
+                },
+                no_combiner::<u32, (u32, Value)>(),
+                |entry: &u32, values: Vec<(u32, Value)>| {
+                    let mut obs: Vec<(SourceId, Value)> = values
+                        .into_iter()
+                        .map(|(s, v)| (SourceId(s), v))
+                        .collect();
+                    obs.sort_by_key(|(s, _)| *s);
+                    let e = *entry as usize;
+                    let loss = &prep.losses[ep[e] as usize];
+                    loss.fit(&obs, &weights_snapshot, &prep.stats[e])
+                },
+            );
+            truth_job_stats.push(stats1);
+            debug_assert_eq!(truth_pairs.len(), num_entries);
+            let truths: Vec<Truth> = truth_pairs.into_iter().map(|(_, t)| t).collect();
+
+            // convergence check on hard decisions
+            let points: Vec<Value> = truths.iter().map(Truth::point).collect();
+            if let Some(prev) = &prev_points {
+                let changed = prev
+                    .iter()
+                    .zip(&points)
+                    .filter(|(a, b)| !a.matches(b))
+                    .count();
+                if (changed as f64) <= self.tol * num_entries as f64 {
+                    truths_file.write(truths);
+                    converged = true;
+                    break;
+                }
+            }
+            prev_points = Some(points);
+            truths_file.write(truths);
+
+            // ---- Job 2: weight assignment, keyed by (property, source) ----
+            let truths_snapshot = truths_file.read();
+            let prep = Arc::clone(&prepared);
+            let ep = Arc::clone(&entry_property);
+            let (err_pairs, stats2) = map_reduce(
+                &self.job,
+                &claims,
+                |rec: &ClaimRecord, emit: &mut dyn FnMut((u32, u32), f64)| {
+                    let e = rec.entry as usize;
+                    let loss = &prep.losses[ep[e] as usize];
+                    let err = loss.loss(&truths_snapshot[e], &rec.value, &prep.stats[e]);
+                    emit((ep[e], rec.source), err);
+                },
+                // the §2.7.3 Combiner: pre-sum partial errors per mapper
+                Some(|_k: &(u32, u32), vs: Vec<f64>| vs.into_iter().sum::<f64>()),
+                |_k, vs| vs.into_iter().sum::<f64>(),
+            );
+            weight_job_stats.push(stats2);
+
+            // wrapper: assemble the (M x K) deviation matrix, normalize,
+            // assign weights, rewrite the side file (§2.7.4)
+            let m = table.num_properties();
+            let mut dev = vec![vec![0.0f64; k]; m];
+            for ((prop, source), err) in err_pairs {
+                dev[prop as usize][source as usize] = err;
+            }
+            let losses = source_losses(
+                &dev,
+                table.source_counts(),
+                self.property_norm,
+                self.count_normalize,
+            );
+            weights_file.write(self.assigner.assign(&losses));
+        }
+
+        let cells = truths_file.read().as_ref().clone();
+        Ok(ParallelCrhResult {
+            truths: TruthTable::new(cells),
+            weights: weights_file.read().as_ref().clone(),
+            iterations,
+            converged,
+            truth_job_stats,
+            weight_job_stats,
+            wall_time: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::ids::{ObjectId, PropertyId};
+    use crh_core::schema::Schema;
+    use crh_core::solver::CrhBuilder;
+    use crh_core::table::TableBuilder;
+
+    fn lying_source_table(objects: u32) -> ObservationTable {
+        let mut schema = Schema::new();
+        let t = schema.add_continuous("t");
+        let c = schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        for i in 0..objects {
+            let truth = 50.0 + i as f64;
+            b.add(ObjectId(i), t, SourceId(0), Value::Num(truth)).unwrap();
+            b.add(ObjectId(i), t, SourceId(1), Value::Num(truth + 1.0)).unwrap();
+            b.add(ObjectId(i), t, SourceId(2), Value::Num(truth + 30.0)).unwrap();
+            b.add_label(ObjectId(i), c, SourceId(0), "x").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(1), "x").unwrap();
+            b.add_label(ObjectId(i), c, SourceId(2), "y").unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_crh_downweights_liar() {
+        let table = lying_source_table(10);
+        let res = ParallelCrh::default().run(&table).unwrap();
+        assert!(res.weights[0] > res.weights[2], "{:?}", res.weights);
+        let c = PropertyId(1);
+        let e = table.entry_id(ObjectId(0), c).unwrap();
+        assert_eq!(
+            res.truths.get(e).point(),
+            table.schema().lookup(c, "x").unwrap()
+        );
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn matches_sequential_crh_truths() {
+        let table = lying_source_table(12);
+        let seq = CrhBuilder::new().build().unwrap().run(&table).unwrap();
+        let par = ParallelCrh::default().run(&table).unwrap();
+        for (e, t) in seq.truths.iter() {
+            assert!(
+                t.point().matches(&par.truths.get(e).point()),
+                "entry {e} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn result_independent_of_reducer_count() {
+        let table = lying_source_table(8);
+        let base = ParallelCrh::default().run(&table).unwrap();
+        for reducers in [1, 3, 9] {
+            let res = ParallelCrh::default()
+                .job_config(JobConfig {
+                    num_reducers: reducers,
+                    ..JobConfig::default()
+                })
+                .run(&table)
+                .unwrap();
+            for (e, t) in base.truths.iter() {
+                assert!(t.point().matches(&res.truths.get(e).point()));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_recorded_per_iteration() {
+        let table = lying_source_table(5);
+        let res = ParallelCrh::default().run(&table).unwrap();
+        assert_eq!(res.truth_job_stats.len(), res.iterations);
+        // the last iteration short-circuits before the weight job
+        assert!(res.weight_job_stats.len() >= res.iterations - 1);
+        assert!(res.wall_time > Duration::ZERO);
+        // truth job shuffles one record per observation
+        assert_eq!(
+            res.truth_job_stats[0].map_output_records,
+            table.num_observations()
+        );
+    }
+
+    #[test]
+    fn combiner_compresses_weight_job_shuffle() {
+        let table = lying_source_table(50);
+        let res = ParallelCrh::default().run(&table).unwrap();
+        let ws = &res.weight_job_stats[0];
+        // at most (properties x sources) pairs per mapper survive the combiner
+        assert!(
+            ws.shuffled_records <= ws.map_output_records,
+            "{ws:?}"
+        );
+        assert!(ws.shuffled_records <= 2 * 3 * JobConfig::default().num_mappers);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let table = lying_source_table(3);
+        assert!(ParallelCrh::default().max_iters(0).run(&table).is_err());
+        assert!(ParallelCrh::default()
+            .job_config(JobConfig {
+                num_reducers: 0,
+                ..JobConfig::default()
+            })
+            .run(&table)
+            .is_err());
+    }
+}

@@ -1,0 +1,448 @@
+//! A small in-process MapReduce engine (§2.7's substrate).
+//!
+//! Deliberately structured like Hadoop so the parallel-CRH experiments keep
+//! their shape:
+//!
+//! 1. **map** — the input is split into `num_mappers` contiguous splits;
+//!    one mapper task per split emits `(key, value)` pairs, hash-partitioned
+//!    by key into `num_reducers` partitions;
+//! 2. **combine** (optional) — each mapper pre-aggregates its own output per
+//!    partition, "quite similar to the Reducer … just part of the partial
+//!    error pairs within each Mapper" (§2.7.3);
+//! 3. **shuffle + sort** — each partition's pairs from all mappers are
+//!    merged and sorted by key ("they will be sorted by Hadoop");
+//! 4. **reduce** — one reducer task per partition folds each key's values.
+//!
+//! Tasks run on real OS threads via `crossbeam::scope`. A configurable
+//! per-task [`startup_cost`](JobConfig::startup_cost) models cluster task
+//! launch latency (JVM spin-up, container allocation) — the dominant term
+//! in Table 6 at small inputs ("the running time mainly comes from the
+//! setup overhead when the number of observations is not very large");
+//! it defaults to zero for library use.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+/// Parallelism and overhead knobs for one job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Number of mapper tasks (input splits).
+    pub num_mappers: usize,
+    /// Number of reducer tasks (= shuffle partitions).
+    pub num_reducers: usize,
+    /// Simulated per-task startup latency (map and reduce tasks alike).
+    pub startup_cost: Duration,
+    /// Whether to run the combiner (when one is supplied).
+    pub use_combiner: bool,
+    /// Concurrent task slots of the simulated cluster: tasks run in waves
+    /// of at most this many threads, so scheduling more tasks than slots
+    /// pays extra startup waves — the mechanism behind Fig 8's
+    /// "more reducers is not always faster". `usize::MAX` = unlimited.
+    pub task_slots: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        Self {
+            num_mappers: 4,
+            num_reducers: 4,
+            startup_cost: Duration::ZERO,
+            use_combiner: true,
+            task_slots: usize::MAX,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Validate the configuration.
+    pub fn validated(self) -> Result<Self, String> {
+        if self.num_mappers == 0 || self.num_reducers == 0 {
+            return Err("num_mappers and num_reducers must be >= 1".into());
+        }
+        if self.task_slots == 0 {
+            return Err("task_slots must be >= 1".into());
+        }
+        Ok(self)
+    }
+}
+
+/// Phase timings and record counts of one job run.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Wall time of the map (+combine) phase.
+    pub map_time: Duration,
+    /// Wall time of shuffle-sort.
+    pub shuffle_time: Duration,
+    /// Wall time of the reduce phase.
+    pub reduce_time: Duration,
+    /// Records emitted by mappers (before combining).
+    pub map_output_records: usize,
+    /// Records after combining (equals `map_output_records` without a
+    /// combiner).
+    pub shuffled_records: usize,
+    /// Distinct keys reduced.
+    pub reduced_keys: usize,
+}
+
+impl JobStats {
+    /// Total wall time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.map_time + self.shuffle_time + self.reduce_time
+    }
+}
+
+fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % parts
+}
+
+/// Group a sorted `(K, V)` run into per-key value vectors and fold each with
+/// `f`.
+fn fold_groups<K: Ord, V, O>(
+    mut pairs: Vec<(K, V)>,
+    mut f: impl FnMut(&K, Vec<V>) -> O,
+) -> Vec<(K, O)> {
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::new();
+    let mut iter = pairs.into_iter();
+    let Some((mut cur_key, first_v)) = iter.next() else {
+        return out;
+    };
+    let mut values = vec![first_v];
+    for (k, v) in iter {
+        if k == cur_key {
+            values.push(v);
+        } else {
+            let folded = f(&cur_key, std::mem::take(&mut values));
+            out.push((cur_key, folded));
+            cur_key = k;
+            values.push(v);
+        }
+    }
+    let folded = f(&cur_key, values);
+    out.push((cur_key, folded));
+    out
+}
+
+/// Run one MapReduce job.
+///
+/// * `inputs` — the input records; split contiguously across mappers.
+/// * `mapper` — called per record with an `emit(key, value)` sink.
+/// * `combiner` — optional per-mapper pre-aggregation `(key, values) →
+///   value`; must be algebraically mergeable with itself and the reducer
+///   (e.g. partial sums).
+/// * `reducer` — `(key, values) → output`, called once per distinct key.
+///
+/// Returns outputs sorted by key within each partition (partitions
+/// concatenated in index order) plus phase statistics.
+pub fn map_reduce<I, K, V, O, M, C, R>(
+    cfg: &JobConfig,
+    inputs: &[I],
+    mapper: M,
+    combiner: Option<C>,
+    reducer: R,
+) -> (Vec<(K, O)>, JobStats)
+where
+    I: Sync,
+    K: Hash + Ord + Clone + Send,
+    V: Send,
+    O: Send,
+    M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+    C: Fn(&K, Vec<V>) -> V + Sync,
+    R: Fn(&K, Vec<V>) -> O + Sync,
+{
+    let mut stats = JobStats::default();
+    let num_mappers = cfg.num_mappers.max(1).min(inputs.len().max(1));
+    let num_reducers = cfg.num_reducers.max(1);
+
+    // ---- map (+ combine) phase ----
+    let t0 = Instant::now();
+    let split_len = inputs.len().div_ceil(num_mappers);
+    // mapper_outputs[m][p] = pairs of mapper m for partition p
+    let mut mapper_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(num_mappers);
+    let mut emitted_counts: Vec<usize> = Vec::with_capacity(num_mappers);
+    let slots = cfg.task_slots.max(1);
+    let mapper_ids: Vec<usize> = (0..num_mappers).collect();
+    for wave in mapper_ids.chunks(slots) {
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(wave.len());
+            for &m in wave {
+                // ceil-splitting can exhaust the input before the last
+                // mapper; trailing mappers get an empty split
+                let lo = (m * split_len).min(inputs.len());
+                let hi = ((m + 1) * split_len).min(inputs.len());
+                let split = &inputs[lo..hi];
+                let mapper = &mapper;
+                let combiner = combiner.as_ref();
+                handles.push(scope.spawn(move |_| {
+                    if !cfg.startup_cost.is_zero() {
+                        std::thread::sleep(cfg.startup_cost);
+                    }
+                    let mut parts: Vec<Vec<(K, V)>> =
+                        (0..num_reducers).map(|_| Vec::new()).collect();
+                    let mut emitted = 0usize;
+                    for rec in split {
+                        mapper(rec, &mut |k, v| {
+                            let p = partition_of(&k, num_reducers);
+                            parts[p].push((k, v));
+                            emitted += 1;
+                        });
+                    }
+                    if cfg.use_combiner {
+                        if let Some(comb) = combiner {
+                            parts = parts
+                                .into_iter()
+                                .map(|pairs| {
+                                    fold_groups(pairs, |k, vs| comb(k, vs))
+                                        .into_iter()
+                                        .collect()
+                                })
+                                .collect();
+                        }
+                    }
+                    (parts, emitted)
+                }));
+            }
+            for h in handles {
+                let (parts, emitted) = h.join().expect("mapper task panicked");
+                mapper_outputs.push(parts);
+                emitted_counts.push(emitted);
+            }
+        })
+        .expect("map phase scope");
+    }
+    stats.map_time = t0.elapsed();
+    stats.map_output_records = emitted_counts.iter().sum();
+
+    // ---- shuffle ----
+    let t1 = Instant::now();
+    let mut partitions: Vec<Vec<(K, V)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+    for mapper_out in mapper_outputs {
+        for (p, pairs) in mapper_out.into_iter().enumerate() {
+            partitions[p].extend(pairs);
+        }
+    }
+    stats.shuffled_records = partitions.iter().map(Vec::len).sum();
+    stats.shuffle_time = t1.elapsed();
+
+    // ---- reduce phase ----
+    let t2 = Instant::now();
+    let mut outputs: Vec<Vec<(K, O)>> = Vec::with_capacity(num_reducers);
+    let mut remaining = partitions;
+    while !remaining.is_empty() {
+        let wave: Vec<Vec<(K, V)>> = remaining
+            .drain(..remaining.len().min(slots))
+            .collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(wave.len());
+            for pairs in wave {
+                let reducer = &reducer;
+                handles.push(scope.spawn(move |_| {
+                    if !cfg.startup_cost.is_zero() {
+                        std::thread::sleep(cfg.startup_cost);
+                    }
+                    fold_groups(pairs, |k, vs| reducer(k, vs))
+                }));
+            }
+            for h in handles {
+                outputs.push(h.join().expect("reducer task panicked"));
+            }
+        })
+        .expect("reduce phase scope");
+    }
+    stats.reduce_time = t2.elapsed();
+
+    let mut flat: Vec<(K, O)> = outputs.into_iter().flatten().collect();
+    stats.reduced_keys = flat.len();
+    // Deterministic global order regardless of partitioning.
+    flat.sort_by(|a, b| a.0.cmp(&b.0));
+    (flat, stats)
+}
+
+/// A `combiner` argument for jobs that don't use one, fixing `C` so type
+/// inference succeeds: `no_combiner::<K, V>()`.
+pub fn no_combiner<K, V>() -> Option<fn(&K, Vec<V>) -> V> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic word count.
+    fn word_count(cfg: &JobConfig, docs: &[&str]) -> Vec<(String, usize)> {
+        let (out, _) = map_reduce(
+            cfg,
+            docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1usize);
+                }
+            },
+            Some(|_k: &String, vs: Vec<usize>| vs.into_iter().sum::<usize>()),
+            |_k, vs| vs.into_iter().sum::<usize>(),
+        );
+        out
+    }
+
+    #[test]
+    fn word_count_correct() {
+        let docs = ["a b a", "b c", "a"];
+        let cfg = JobConfig::default();
+        let out = word_count(&cfg, &docs);
+        let get = |w: &str| out.iter().find(|(k, _)| k == w).map(|(_, c)| *c);
+        assert_eq!(get("a"), Some(3));
+        assert_eq!(get("b"), Some(2));
+        assert_eq!(get("c"), Some(1));
+    }
+
+    #[test]
+    fn result_independent_of_parallelism() {
+        let docs = ["x y z x", "y x", "z z z", "w"];
+        let base = word_count(&JobConfig::default(), &docs);
+        for mappers in [1, 2, 7] {
+            for reducers in [1, 3, 16] {
+                let cfg = JobConfig {
+                    num_mappers: mappers,
+                    num_reducers: reducers,
+                    ..JobConfig::default()
+                };
+                assert_eq!(word_count(&cfg, &docs), base, "{mappers}x{reducers}");
+            }
+        }
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume() {
+        let docs = vec!["a a a a a a a a"; 10];
+        let with = JobConfig {
+            num_mappers: 2,
+            use_combiner: true,
+            ..JobConfig::default()
+        };
+        let without = JobConfig {
+            num_mappers: 2,
+            use_combiner: false,
+            ..JobConfig::default()
+        };
+        let (_, s1) = map_reduce(
+            &with,
+            &docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1usize);
+                }
+            },
+            Some(|_k: &String, vs: Vec<usize>| vs.into_iter().sum::<usize>()),
+            |_k, vs| vs.into_iter().sum::<usize>(),
+        );
+        let (_, s2) = map_reduce(
+            &without,
+            &docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1usize);
+                }
+            },
+            Some(|_k: &String, vs: Vec<usize>| vs.into_iter().sum::<usize>()),
+            |_k, vs| vs.into_iter().sum::<usize>(),
+        );
+        assert_eq!(s1.map_output_records, s2.map_output_records);
+        assert!(
+            s1.shuffled_records < s2.shuffled_records,
+            "{} !< {}",
+            s1.shuffled_records,
+            s2.shuffled_records
+        );
+    }
+
+    #[test]
+    fn ceil_split_overflow_regression() {
+        // 6 inputs across 5 mappers: ceil split is 2, so mapper 4 would
+        // start at index 8 — past the input. Found by proptest.
+        let docs = ["a", "b", "c", "d", "e", "f"];
+        let cfg = JobConfig {
+            num_mappers: 5,
+            ..JobConfig::default()
+        };
+        let out = word_count(&cfg, &docs);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let docs: Vec<&str> = vec![];
+        let out = word_count(&JobConfig::default(), &docs);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn no_combiner_helper_type_checks() {
+        let nums = [1u32, 2, 3, 4];
+        let (out, _) = map_reduce(
+            &JobConfig::default(),
+            &nums,
+            |n: &u32, emit| emit(*n % 2, *n as u64),
+            no_combiner::<u32, u64>(),
+            |_k, vs| vs.into_iter().sum::<u64>(),
+        );
+        assert_eq!(out, vec![(0, 6), (1, 4)]);
+    }
+
+    #[test]
+    fn startup_cost_adds_latency() {
+        let docs = ["a"];
+        let cfg = JobConfig {
+            num_mappers: 1,
+            num_reducers: 2,
+            startup_cost: Duration::from_millis(20),
+            ..JobConfig::default()
+        };
+        let t = Instant::now();
+        word_count(&cfg, &docs);
+        assert!(t.elapsed() >= Duration::from_millis(40), "1 map + 2 reduce tasks");
+    }
+
+    #[test]
+    fn stats_counts() {
+        let docs = ["a b", "a"];
+        let (_, stats) = map_reduce(
+            &JobConfig {
+                use_combiner: false,
+                ..JobConfig::default()
+            },
+            &docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1usize);
+                }
+            },
+            no_combiner::<String, usize>(),
+            |_k, vs| vs.into_iter().sum::<usize>(),
+        );
+        assert_eq!(stats.map_output_records, 3);
+        assert_eq!(stats.shuffled_records, 3);
+        assert_eq!(stats.reduced_keys, 2);
+        assert!(stats.total_time() >= stats.map_time);
+    }
+
+    #[test]
+    fn validated_rejects_zero_parallelism() {
+        assert!(JobConfig {
+            num_mappers: 0,
+            ..JobConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(JobConfig::default().validated().is_ok());
+    }
+
+    #[test]
+    fn fold_groups_on_unsorted_input() {
+        let pairs = vec![(2, 1), (1, 10), (2, 2), (1, 20)];
+        let out = fold_groups(pairs, |_k, vs| vs.into_iter().sum::<i32>());
+        assert_eq!(out, vec![(1, 30), (2, 3)]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # crh-mapreduce — parallel & out-of-core CRH (§2.7)
+//!
+//! Large-scale conflict resolution "take\[s\] the advantage of distributed and
+//! parallel computing systems". This crate supplies the substrate and the
+//! CRH pipelines on top of it:
+//!
+//! * [`engine`] — a from-scratch, Hadoop-shaped MapReduce engine (map →
+//!   combine → hash shuffle + sort → reduce) running tasks on OS threads,
+//!   with per-phase statistics, a configurable per-task startup cost that
+//!   models cluster task-launch latency, and a task-slot wave model;
+//! * [`sidefile`] — the shared "external file" of §2.7.2-2.7.3 through which
+//!   jobs exchange source weights and estimated truths;
+//! * [`driver`] — the two CRH jobs (truth computation keyed by entry,
+//!   weight assignment keyed by `(property, source)` with a Combiner) and
+//!   the iterative wrapper function (§2.7.4);
+//! * [`external`] — an external merge sorter (sorted spill runs + k-way
+//!   heap merge) for data that exceeds RAM;
+//! * [`outofcore`] — CRH as one sequential scan per iteration over an
+//!   entry-sorted spill file, with `O(K·M + largest group)` peak memory.
+//!
+//! The engine is general: the word-count test in [`engine`] is three lines.
+//! Parallel CRH produces the same truths as sequential
+//! [`crh_core::solver::Crh`] regardless of mapper/reducer counts, and so
+//! does the out-of-core pipeline regardless of its memory budget.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod engine;
+pub mod external;
+pub mod outofcore;
+pub mod sidefile;
+
+pub use driver::{ClaimRecord, ParallelCrh, ParallelCrhResult};
+pub use engine::{map_reduce, no_combiner, JobConfig, JobStats};
+pub use external::{Codec, ExternalSorter, MergeIter};
+pub use outofcore::{OocClaim, OocResult, OutOfCoreCrh, SortedClaims};
+pub use sidefile::SideFile;

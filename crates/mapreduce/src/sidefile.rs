@@ -1,0 +1,94 @@
+//! Shared side files (§2.7.2-2.7.3).
+//!
+//! Hadoop CRH keeps the current source weights and estimated truths "in an
+//! external file \[that\] all Reducer/Mapper nodes can read". [`SideFile`]
+//! models that distributed-cache file in-process: tasks take read snapshots,
+//! the wrapper function replaces the contents between jobs.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A shared, versioned, read-mostly value standing in for an HDFS
+/// distributed-cache file.
+#[derive(Debug)]
+pub struct SideFile<T> {
+    inner: Arc<RwLock<(u64, Arc<T>)>>,
+}
+
+impl<T> Clone for SideFile<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> SideFile<T> {
+    /// Create with initial contents (version 0).
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new((0, Arc::new(value)))),
+        }
+    }
+
+    /// Take a cheap read snapshot (an `Arc` clone) of the current contents.
+    /// Tasks hold the snapshot for their whole run, exactly like reading the
+    /// file once at task start.
+    pub fn read(&self) -> Arc<T> {
+        Arc::clone(&self.inner.read().1)
+    }
+
+    /// Replace the contents (the wrapper's "update the external file"),
+    /// bumping the version.
+    pub fn write(&self, value: T) {
+        let mut guard = self.inner.write();
+        guard.0 += 1;
+        guard.1 = Arc::new(value);
+    }
+
+    /// How many times the file has been rewritten.
+    pub fn version(&self) -> u64 {
+        self.inner.read().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_stable_across_writes() {
+        let f = SideFile::new(vec![1, 2, 3]);
+        let snap = f.read();
+        f.write(vec![9]);
+        assert_eq!(*snap, vec![1, 2, 3], "old snapshot unchanged");
+        assert_eq!(*f.read(), vec![9]);
+        assert_eq!(f.version(), 1);
+    }
+
+    #[test]
+    fn shared_between_clones() {
+        let f = SideFile::new(0u32);
+        let g = f.clone();
+        f.write(7);
+        assert_eq!(*g.read(), 7);
+        assert_eq!(g.version(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let f = SideFile::new(42u64);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                let f = f.clone();
+                s.spawn(move |_| {
+                    for _ in 0..100 {
+                        assert_eq!(*f.read(), 42);
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+}

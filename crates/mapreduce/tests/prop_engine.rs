@@ -1,0 +1,180 @@
+//! Property-based tests for the MapReduce engine: equivalence with a
+//! single-threaded reference under arbitrary data and parallelism.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use crh_core::value::Value;
+use crh_mapreduce::{map_reduce, Codec, ExternalSorter, JobConfig, OocClaim, SortedClaims};
+
+/// Single-threaded reference word count.
+fn reference_count(docs: &[String]) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    for d in docs {
+        for w in d.split_whitespace() {
+            *m.entry(w.to_string()).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+fn engine_count(docs: &[String], cfg: &JobConfig) -> BTreeMap<String, usize> {
+    let (out, _) = map_reduce(
+        cfg,
+        docs,
+        |doc: &String, emit: &mut dyn FnMut(String, usize)| {
+            for w in doc.split_whitespace() {
+                emit(w.to_string(), 1usize);
+            }
+        },
+        Some(|_k: &String, vs: Vec<usize>| vs.into_iter().sum::<usize>()),
+        |_k, vs| vs.into_iter().sum::<usize>(),
+    );
+    out.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine agrees with the single-threaded reference for any input
+    /// and any mapper/reducer/slot configuration.
+    #[test]
+    fn matches_reference_under_any_parallelism(
+        docs in prop::collection::vec("[ab c]{0,12}", 0..20),
+        mappers in 1usize..6,
+        reducers in 1usize..9,
+        slots in 1usize..5,
+        combiner in any::<bool>(),
+    ) {
+        let cfg = JobConfig {
+            num_mappers: mappers,
+            num_reducers: reducers,
+            task_slots: slots,
+            use_combiner: combiner,
+            ..JobConfig::default()
+        };
+        prop_assert_eq!(engine_count(&docs, &cfg), reference_count(&docs));
+    }
+
+    /// The external sorter agrees with std sort for any memory budget.
+    #[test]
+    fn external_sort_matches_std_sort(
+        entries in prop::collection::vec((0u32..30, 0u32..8, -100.0f64..100.0), 0..200),
+        budget in 1usize..64,
+    ) {
+        let claims: Vec<OocClaim> = entries
+            .iter()
+            .map(|&(e, s, v)| OocClaim {
+                entry: e,
+                property: 0,
+                source: s,
+                value: Value::Num(v),
+            })
+            .collect();
+        let mut expected = claims.clone();
+        expected.sort();
+        let mut sorter = ExternalSorter::new(budget);
+        for c in claims {
+            sorter.push(c).unwrap();
+        }
+        let merged: Vec<OocClaim> = sorter
+            .finish()
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        // Ord on OocClaim is by (entry, source) only, so compare keys.
+        let keys = |v: &[OocClaim]| v.iter().map(|c| (c.entry, c.source)).collect::<Vec<_>>();
+        prop_assert_eq!(keys(&merged), keys(&expected));
+    }
+
+    /// The claim codec round-trips arbitrary values through spill bytes.
+    #[test]
+    fn claim_codec_roundtrips(
+        entry in any::<u32>(),
+        property in any::<u32>(),
+        source in any::<u32>(),
+        which in 0u8..3,
+        num in any::<f64>(),
+        cat in any::<u32>(),
+        text in "[^\u{0}]{0,40}",
+    ) {
+        prop_assume!(!num.is_nan());
+        let value = match which {
+            0 => Value::Cat(cat),
+            1 => Value::Num(num),
+            _ => Value::Text(text),
+        };
+        let claim = OocClaim { entry, property, source, value };
+        let mut buf = Vec::new();
+        claim.encode(&mut buf);
+        let mut r = buf.as_slice();
+        let back = OocClaim::decode(&mut r).unwrap().unwrap();
+        prop_assert_eq!(back, claim);
+    }
+
+    /// SortedClaims group scan covers every claim exactly once, grouped.
+    #[test]
+    fn sorted_claims_scan_is_a_partition(
+        entries in prop::collection::vec((0u32..12, 0u32..5), 1..60),
+        budget in 1usize..32,
+    ) {
+        // dedup (entry, source) pairs as the upstream table builder does
+        let mut seen = std::collections::HashSet::new();
+        let claims: Vec<OocClaim> = entries
+            .iter()
+            .filter(|&&(e, s)| seen.insert((e, s)))
+            .map(|&(e, s)| OocClaim {
+                entry: e,
+                property: 0,
+                source: s,
+                value: Value::Num(f64::from(e) + f64::from(s)),
+            })
+            .collect();
+        let n = claims.len();
+        let sorted = SortedClaims::build(claims, budget).unwrap();
+        let mut total = 0usize;
+        let mut prev_entry = None;
+        for g in sorted.scan_groups().unwrap() {
+            let (entry, _, obs) = g.unwrap();
+            if let Some(p) = prev_entry {
+                prop_assert!(entry > p);
+            }
+            prev_entry = Some(entry);
+            // sources within a group are sorted and unique
+            for w in obs.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+            total += obs.len();
+        }
+        prop_assert_eq!(total, n);
+    }
+
+    /// Outputs are globally sorted by key and keys are unique.
+    #[test]
+    fn output_sorted_and_deduplicated(
+        docs in prop::collection::vec("[a-d ]{0,10}", 1..12),
+        reducers in 1usize..6,
+    ) {
+        let cfg = JobConfig {
+            num_reducers: reducers,
+            ..JobConfig::default()
+        };
+        let (out, stats) = map_reduce(
+            &cfg,
+            &docs,
+            |doc: &String, emit: &mut dyn FnMut(String, usize)| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1usize);
+                }
+            },
+            Some(|_k: &String, vs: Vec<usize>| vs.into_iter().sum::<usize>()),
+            |_k, vs| vs.into_iter().sum::<usize>(),
+        );
+        for w in out.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "sorted unique keys");
+        }
+        prop_assert_eq!(stats.reduced_keys, out.len());
+        prop_assert!(stats.shuffled_records <= stats.map_output_records);
+    }
+}

@@ -1,0 +1,82 @@
+//! Time-window regrouping (§3.3, Fig 5).
+//!
+//! "The time window determines how often we apply the I-CRH method to the
+//! data" — small windows mean frequent weight updates on little data, large
+//! windows mean fewer, better-grounded updates. [`group_windows`] merges
+//! per-timestamp buckets into window-sized chunks.
+
+/// Merge timestamped buckets into windows of `window` consecutive
+/// *buckets*. Buckets are ordered by timestamp first; each output group
+/// concatenates the payloads of up to `window` adjacent buckets (by
+/// position in the sorted order — gaps between timestamps are not padded,
+/// so days {0, 5, 6} with `window = 2` group as {0, 5} and {6}). The last
+/// group may be smaller.
+///
+/// # Panics
+/// Panics if `window == 0`.
+pub fn group_windows<T>(mut buckets: Vec<(u32, Vec<T>)>, window: usize) -> Vec<Vec<T>> {
+    assert!(window > 0, "window size must be >= 1");
+    buckets.sort_by_key(|(ts, _)| *ts);
+    let mut out: Vec<Vec<T>> = Vec::new();
+    for (i, (_, items)) in buckets.into_iter().enumerate() {
+        if i % window == 0 {
+            out.push(items);
+        } else {
+            out.last_mut().expect("group exists").extend(items);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buckets() -> Vec<(u32, Vec<u32>)> {
+        (0..6u32).map(|d| (d, vec![d * 10, d * 10 + 1])).collect()
+    }
+
+    #[test]
+    fn window_one_is_identity() {
+        let g = group_windows(buckets(), 1);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn window_two_merges_pairs() {
+        let g = group_windows(buckets(), 2);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0], vec![0, 1, 10, 11]);
+        assert_eq!(g[2], vec![40, 41, 50, 51]);
+    }
+
+    #[test]
+    fn ragged_last_window() {
+        let g = group_windows(buckets(), 4);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].len(), 8);
+        assert_eq!(g[1].len(), 4);
+    }
+
+    #[test]
+    fn window_larger_than_stream() {
+        let g = group_windows(buckets(), 100);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].len(), 12);
+    }
+
+    #[test]
+    fn unsorted_buckets_are_ordered_first() {
+        let mut b = buckets();
+        b.reverse();
+        let g = group_windows(b, 3);
+        assert_eq!(g[0], vec![0, 1, 10, 11, 20, 21]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_panics() {
+        group_windows(buckets(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Five-minute tour of the CRH public API.
+//!
+//! Three weather sites report tomorrow's forecast for a handful of cities.
+//! Two are decent; one systematically exaggerates temperatures and mislabels
+//! conditions. CRH figures out whom to trust — without any labels — and
+//! resolves the conflicts accordingly.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use crh::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Declare the heterogeneous schema: one continuous and one
+    //    categorical property (Definition 1's "properties").
+    let mut schema = Schema::new();
+    let temp = schema.add_continuous("high_temp");
+    let cond = schema.add_categorical("condition");
+
+    // 2. Collect conflicting observations from 3 sources over 7 cities.
+    let mut builder = TableBuilder::new(schema);
+    let truth_temp = [71.0, 64.0, 80.0, 75.0, 68.0, 90.0, 55.0];
+    let truth_cond = ["sunny", "rain", "sunny", "cloudy", "rain", "sunny", "snow"];
+    for (city, (&t, &c)) in truth_temp.iter().zip(&truth_cond).enumerate() {
+        let obj = ObjectId(city as u32);
+        // source 0: accurate within a degree
+        builder.add(obj, temp, SourceId(0), Value::Num(t + 0.5))?;
+        builder.add_label(obj, cond, SourceId(0), c)?;
+        // source 1: small noise, occasionally wrong condition
+        builder.add(obj, temp, SourceId(1), Value::Num(t - 1.0))?;
+        builder.add_label(obj, cond, SourceId(1), if city == 3 { "storm" } else { c })?;
+        // source 2: +15 degrees and "storm" everywhere
+        builder.add(obj, temp, SourceId(2), Value::Num(t + 15.0))?;
+        builder.add_label(obj, cond, SourceId(2), "storm")?;
+    }
+    let table = builder.build()?;
+
+    // 3. Solve. Defaults follow the paper: 0-1 loss + weighted voting for
+    //    categorical data, normalized absolute deviation + weighted median
+    //    for continuous data, max-normalized log weights.
+    let result = CrhBuilder::new().build()?.run(&table)?;
+
+    println!("converged after {} iterations\n", result.iterations);
+    println!("estimated source weights (higher = more reliable):");
+    for (k, w) in result.weights.iter().enumerate() {
+        println!("  source {k}: {w:.4}");
+    }
+    assert!(result.weights[0] > result.weights[2]);
+
+    println!("\nresolved truths:");
+    for city in 0..truth_temp.len() {
+        let obj = ObjectId(city as u32);
+        let et = table.entry_id(obj, temp).expect("temp entry");
+        let ec = table.entry_id(obj, cond).expect("cond entry");
+        let t = result.truths.get(et).as_num().expect("numeric truth");
+        let c = result.truths.get(ec).point();
+        let label = table.schema().label(cond, &c).unwrap_or("?");
+        println!(
+            "  city {city}: high_temp = {t:>5.1}  condition = {label:<7}  (truth: {} / {})",
+            truth_temp[city], truth_cond[city]
+        );
+    }
+
+    // The exaggerating source was out-weighted: resolved temperatures stay
+    // near the honest pair.
+    let e0 = table.entry_id(ObjectId(0), temp).expect("entry");
+    assert!((result.truths.get(e0).as_num().unwrap() - 71.0).abs() <= 1.0);
+    println!("\nthe unreliable source was identified and down-weighted ✓");
+    Ok(())
+}

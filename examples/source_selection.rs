@@ -1,0 +1,86 @@
+//! Weight-assignment schemes beyond the default: source selection (Eqs 6-7)
+//! and fine-grained per-property weights (§2.5).
+//!
+//! The regularization function `δ(W)` shapes what "reliability" means:
+//! the exp-sum constraint (Eq 4) blends all sources; an `L^p`-norm
+//! constraint (Eq 6) selects the single best source; the integer constraint
+//! (Eq 7) selects the best `j` sources. And when a source's reliability is
+//! *not* consistent across properties, fine-grained weights recover the
+//! per-property structure.
+//!
+//! Run with: `cargo run --example source_selection`
+
+use crh::core::finegrained::FineGrainedCrh;
+use crh::prelude::*;
+
+fn build_table() -> (ObservationTable, PropertyId, PropertyId) {
+    let mut schema = Schema::new();
+    let price = schema.add_continuous("price");
+    let sector = schema.add_categorical("sector");
+    let mut b = TableBuilder::new(schema);
+    for i in 0..30u32 {
+        let obj = ObjectId(i);
+        let t = 100.0 + i as f64;
+        // source 0: excellent prices, bad sectors
+        b.add(obj, price, SourceId(0), Value::Num(t + 0.1)).unwrap();
+        b.add_label(obj, sector, SourceId(0), if i % 3 == 0 { "tech" } else { "misc" })
+            .unwrap();
+        // source 1: bad prices, excellent sectors
+        b.add(obj, price, SourceId(1), Value::Num(t + 12.0)).unwrap();
+        b.add_label(obj, sector, SourceId(1), "tech").unwrap();
+        // source 2: decent at both
+        b.add(obj, price, SourceId(2), Value::Num(t + 2.0)).unwrap();
+        b.add_label(obj, sector, SourceId(2), if i % 5 == 0 { "misc" } else { "tech" })
+            .unwrap();
+        // source 3: bad at both
+        b.add(obj, price, SourceId(3), Value::Num(t - 25.0)).unwrap();
+        b.add_label(obj, sector, SourceId(3), "misc").unwrap();
+    }
+    (b.build().unwrap(), price, sector)
+}
+
+fn main() -> Result<()> {
+    let (table, price, sector) = build_table();
+
+    // Default blending weights (Eq 4 -> Eq 5 with max normalization).
+    let blend = CrhBuilder::new().build()?.run(&table)?;
+    println!("log-max blending weights: {:?}", rounded(&blend.weights));
+
+    // L^p-norm selection (Eq 6): the optimum picks exactly one source.
+    let lp = CrhBuilder::new()
+        .weight_assigner(LpSelection::new(2)?)
+        .build()?
+        .run(&table)?;
+    println!("L^2 selection weights:    {:?}", rounded(&lp.weights));
+    assert_eq!(lp.weights.iter().filter(|&&w| w > 0.0).count(), 1);
+
+    // Integer selection (Eq 7): choose the best j = 2 sources.
+    let topj = CrhBuilder::new()
+        .weight_assigner(TopJ::new(2)?)
+        .build()?
+        .run(&table)?;
+    println!("top-2 selection weights:  {:?}", rounded(&topj.weights));
+    assert_eq!(topj.weights.iter().filter(|&&w| w > 0.0).count(), 2);
+
+    // Fine-grained weights: sources 0 and 1 have split personalities, which
+    // a single weight per source cannot express (§2.5 "Source weight
+    // consistency").
+    let fg = FineGrainedCrh::new(vec![vec![price], vec![sector]])?.run(&table)?;
+    println!("\nfine-grained weights per property group:");
+    println!("  price : {:?}", rounded(&fg.weights[0]));
+    println!("  sector: {:?}", rounded(&fg.weights[1]));
+    assert!(
+        fg.weights[0][0] > fg.weights[0][1],
+        "source 0 must win the price group"
+    );
+    assert!(
+        fg.weights[1][1] > fg.weights[1][0],
+        "source 1 must win the sector group"
+    );
+    println!("\nsplit-personality sources correctly receive local weights ✓");
+    Ok(())
+}
+
+fn rounded(ws: &[f64]) -> Vec<f64> {
+    ws.iter().map(|w| (w * 100.0).round() / 100.0).collect()
+}

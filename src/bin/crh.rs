@@ -1,0 +1,492 @@
+//! `crh` — command-line truth discovery.
+//!
+//! ```text
+//! crh generate <weather|stock|flight|adult|bank|books> <dir> [--scale F] [--seed N]
+//! crh stats    <dir>
+//! crh run      <dir> [--out DIR] [--max-iters N] [--mean] [--top-j J]
+//! crh evaluate <dir> [--method NAME|all]
+//! crh stream   <dir> [--alpha A] [--window W]
+//! ```
+//!
+//! Datasets are CSV directories (`schema.csv`, `claims.csv`, `truth.csv`,
+//! optional `days.csv`) as written by `crh generate` / `crh_data::io`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use crh::baselines::{all_methods, ConflictResolver};
+use crh::core::solver::CrhBuilder;
+use crh::core::table::TableBuilder;
+use crh::core::value::Value;
+use crh::core::weights::TopJ;
+use crh::data::dataset::Dataset;
+use crh::data::generators::{flight, stock, uci, weather};
+use crh::data::io::{load_dataset, save_dataset};
+use crh::data::metrics::evaluate;
+use crh::stream::ICrh;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  crh generate <weather|stock|flight|adult|bank|books> <dir> [--scale F] [--seed N]\n  \
+         crh stats    <dir>\n  \
+         crh run      <dir> [--out DIR] [--max-iters N] [--mean] [--top-j J]\n  \
+         crh evaluate <dir> [--method NAME|all]\n  \
+         crh stream   <dir> [--alpha A] [--window W]\n  \
+         crh ooc      <dir> [--out DIR] [--budget N]   (out-of-core, bounded memory)"
+    );
+    ExitCode::from(2)
+}
+
+use crh::cli::Args;
+
+fn generate(args: &Args) -> Result<(), String> {
+    let [kind, dir] = &args.positional[..] else {
+        return Err("generate needs <kind> <dir>".into());
+    };
+    let scale: f64 = args.flag_parse("scale", 0.05)?;
+    let seed: u64 = args.flag_parse("seed", 0)?;
+    let mut ds = match kind.as_str() {
+        "weather" => {
+            let mut cfg = weather::WeatherConfig::paper();
+            if seed != 0 {
+                cfg.seed = seed;
+            }
+            weather::generate(&cfg)
+        }
+        "stock" => {
+            let mut cfg = stock::StockConfig::paper_scaled(scale);
+            if seed != 0 {
+                cfg.seed = seed;
+            }
+            stock::generate(&cfg)
+        }
+        "flight" => {
+            let mut cfg = flight::FlightConfig::paper_scaled(scale);
+            if seed != 0 {
+                cfg.seed = seed;
+            }
+            flight::generate(&cfg)
+        }
+        "books" => {
+            let mut cfg = crh::data::generators::books::BooksConfig::default_catalog();
+            if seed != 0 {
+                cfg.seed = seed;
+            }
+            crh::data::generators::books::generate(&cfg)
+        }
+        "adult" | "bank" => {
+            let flavor = if kind == "adult" {
+                uci::UciFlavor::Adult
+            } else {
+                uci::UciFlavor::Bank
+            };
+            let mut cfg = uci::UciConfig::paper_scaled(flavor, scale);
+            if seed != 0 {
+                cfg.seed = seed;
+            }
+            uci::generate(&cfg)
+        }
+        other => return Err(format!("unknown dataset kind {other:?}")),
+    };
+    ds.name = kind.clone();
+    save_dataset(&ds, Path::new(dir)).map_err(|e| e.to_string())?;
+    let s = ds.stats();
+    println!(
+        "wrote {kind} dataset to {dir}: {} observations, {} entries, {} ground truths, {} sources",
+        s.observations, s.entries, s.ground_truths, s.sources
+    );
+    Ok(())
+}
+
+fn load(dir: &str) -> Result<Dataset, String> {
+    load_dataset(Path::new(dir)).map_err(|e| format!("cannot load dataset at {dir}: {e}"))
+}
+
+/// Render a value as a CSV field, resolving categorical ids through
+/// `label_of` (shared by `run`'s and `ooc`'s truth writers).
+fn value_field(v: &Value, label_of: impl Fn(u32) -> Option<String>) -> String {
+    match v {
+        Value::Num(x) => format!("{x}"),
+        Value::Text(t) => t.clone(),
+        Value::Cat(c) => label_of(*c).unwrap_or_else(|| format!("#{c}")),
+    }
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let [dir] = &args.positional[..] else {
+        return Err("stats needs <dir>".into());
+    };
+    let ds = load(dir)?;
+    let s = ds.stats();
+    println!("dataset:        {}", ds.name);
+    println!("observations:   {}", s.observations);
+    println!("entries:        {}", s.entries);
+    println!("ground truths:  {}", s.ground_truths);
+    println!("sources:        {}", s.sources);
+    println!("properties:     {}", s.properties);
+    println!(
+        "temporal:       {}",
+        ds.day_of_object.as_ref().map_or("no".to_string(), |d| {
+            format!("yes ({} days)", d.iter().max().map_or(0, |m| m + 1))
+        })
+    );
+    for (pid, def) in ds.table.schema().properties() {
+        let domain = ds
+            .table
+            .schema()
+            .domain(pid)
+            .filter(|d| !d.is_empty())
+            .map_or(String::new(), |d| format!(" (domain {})", d.len()));
+        println!("  {}: {}{}", def.name, def.ptype, domain);
+    }
+    Ok(())
+}
+
+fn write_results(
+    ds: &Dataset,
+    truths: &crh::core::TruthTable,
+    weights: &[f64],
+    out: &PathBuf,
+) -> Result<(), String> {
+    std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+    use std::io::Write;
+    let schema = ds.table.schema();
+
+    let mut w = std::io::BufWriter::new(
+        std::fs::File::create(out.join("truths.csv")).map_err(|e| e.to_string())?,
+    );
+    crh::data::csv::write_record(&mut w, &["object", "property", "value"])
+        .map_err(|e| e.to_string())?;
+    for (e, _, _) in ds.table.iter_entries() {
+        let entry = ds.table.entry(e);
+        let pname = &schema.property(entry.property).expect("property").name;
+        let v = truths.get(e).point();
+        let field = value_field(&v, |c| {
+            schema
+                .label(entry.property, &Value::Cat(c))
+                .map(str::to_owned)
+        });
+        crh::data::csv::write_record(&mut w, &[entry.object.0.to_string(), pname.clone(), field])
+            .map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+
+    let mut w = std::io::BufWriter::new(
+        std::fs::File::create(out.join("weights.csv")).map_err(|e| e.to_string())?,
+    );
+    crh::data::csv::write_record(&mut w, &["source", "weight"]).map_err(|e| e.to_string())?;
+    for (k, wt) in weights.iter().enumerate() {
+        crh::data::csv::write_record(&mut w, &[k.to_string(), format!("{wt}")])
+            .map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let [dir] = &args.positional[..] else {
+        return Err("run needs <dir>".into());
+    };
+    let ds = load(dir)?;
+    let max_iters: usize = args.flag_parse("max-iters", 100)?;
+    let mut builder = CrhBuilder::new().max_iters(max_iters);
+    if args.flag("mean").is_some() {
+        // weighted mean instead of weighted median on all continuous props
+        for (pid, def) in ds.table.schema().properties() {
+            if def.ptype == crh::core::PropertyType::Continuous {
+                builder = builder.loss_for(pid, crh::core::loss::SquaredLoss);
+            }
+        }
+    }
+    if let Some(Some(j)) = args.flag("top-j") {
+        let j: usize = j.parse().map_err(|_| format!("invalid --top-j {j:?}"))?;
+        builder = builder.weight_assigner(TopJ::new(j).map_err(|e| e.to_string())?);
+    }
+    let result = builder
+        .build()
+        .map_err(|e| e.to_string())?
+        .run(&ds.table)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "CRH converged = {} after {} iterations",
+        result.converged, result.iterations
+    );
+    println!("source weights:");
+    for (k, w) in result.weights.iter().enumerate() {
+        println!("  source {k}: {w:.4}");
+    }
+    if !ds.truth.is_empty() {
+        let ev = evaluate(&ds.table, &result.truths, &ds.truth);
+        println!(
+            "against ground truth: error rate {}, MNAD {}",
+            ev.error_rate_str(),
+            ev.mnad_str()
+        );
+    }
+    let out: String = args.flag_parse("out", String::new())?;
+    if !out.is_empty() {
+        let out = PathBuf::from(out);
+        write_results(&ds, &result.truths, &result.weights, &out)?;
+        println!("wrote truths.csv and weights.csv to {}", out.display());
+    }
+    Ok(())
+}
+
+fn evaluate_cmd(args: &Args) -> Result<(), String> {
+    let [dir] = &args.positional[..] else {
+        return Err("evaluate needs <dir>".into());
+    };
+    let ds = load(dir)?;
+    if ds.truth.is_empty() {
+        return Err("dataset has no ground truths to evaluate against".into());
+    }
+    let which: String = args.flag_parse("method", "all".to_string())?;
+    let methods: Vec<Box<dyn ConflictResolver>> = all_methods()
+        .into_iter()
+        .filter(|m| which == "all" || m.name().eq_ignore_ascii_case(&which))
+        .collect();
+    if methods.is_empty() {
+        return Err(format!(
+            "unknown method {which:?}; known: {}",
+            all_methods()
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    println!("{:<18} {:>10} {:>8} {:>9}", "method", "Error Rate", "MNAD", "time(s)");
+    for m in methods {
+        let t = std::time::Instant::now();
+        let out = m.run(&ds.table);
+        let secs = t.elapsed().as_secs_f64();
+        let ev = evaluate(&ds.table, &out.truths, &ds.truth);
+        println!(
+            "{:<18} {:>10} {:>8} {:>9.3}",
+            m.name(),
+            if out.supported.categorical { ev.error_rate_str() } else { "NA".into() },
+            if out.supported.continuous { ev.mnad_str() } else { "NA".into() },
+            secs
+        );
+    }
+    Ok(())
+}
+
+fn stream(args: &Args) -> Result<(), String> {
+    let [dir] = &args.positional[..] else {
+        return Err("stream needs <dir>".into());
+    };
+    let ds = load(dir)?;
+    let alpha: f64 = args.flag_parse("alpha", 0.5)?;
+    let window: usize = args.flag_parse("window", 1)?;
+    let by_day = ds
+        .split_by_day()
+        .ok_or("dataset is not temporal (no days.csv)")?;
+    let groups = crh::stream::group_windows(by_day, window);
+    let mut state = ICrh::new(alpha).map_err(|e| e.to_string())?.start();
+    for (i, claims) in groups.into_iter().enumerate() {
+        let mut b = TableBuilder::new(ds.table.schema().clone());
+        for (o, p, s, v) in claims {
+            b.add(o, p, s, v).map_err(|e| e.to_string())?;
+        }
+        let chunk = b.build().map_err(|e| e.to_string())?;
+        let truths = state.process_chunk(&chunk).map_err(|e| e.to_string())?;
+        let ev = evaluate(&chunk, &truths, &ds.truth);
+        println!(
+            "chunk {i:>3}: {:>6} entries, error rate {}, MNAD {}",
+            chunk.num_entries(),
+            ev.error_rate_str(),
+            ev.mnad_str()
+        );
+    }
+    println!("\nfinal source weights:");
+    for (k, w) in state.weights().iter().enumerate() {
+        println!("  source {k}: {w:.4}");
+    }
+    Ok(())
+}
+
+/// Out-of-core CRH straight from `claims.csv` to `truths.csv` with a
+/// bounded memory budget: the claims file is streamed record by record,
+/// externally sorted by entry into a spill file, and each CRH iteration is
+/// one sequential scan.
+fn ooc(args: &Args) -> Result<(), String> {
+    use crh::core::value::PropertyType;
+    use crh::data::csv::RecordReader;
+    use crh::mapreduce::{OocClaim, OutOfCoreCrh, SortedClaims};
+    use std::collections::HashMap;
+    use std::io::Write;
+
+    let [dir] = &args.positional[..] else {
+        return Err("ooc needs <dir>".into());
+    };
+    let dir = Path::new(dir);
+    let budget: usize = args.flag_parse("budget", 1 << 20)?;
+    let out: String = args.flag_parse("out", String::new())?;
+
+    // schema.csv: property names + types, in order
+    let schema_records = crh::data::csv::read_records(std::io::BufReader::new(
+        std::fs::File::open(dir.join("schema.csv")).map_err(|e| e.to_string())?,
+    ))
+    .map_err(|e| e.to_string())?;
+    let mut prop_names = Vec::new();
+    let mut prop_types = Vec::new();
+    for rec in schema_records.iter().skip(1) {
+        prop_names.push(rec[0].clone());
+        prop_types.push(match rec[1].as_str() {
+            "categorical" => PropertyType::Categorical,
+            "continuous" => PropertyType::Continuous,
+            "text" => PropertyType::Text,
+            other => return Err(format!("unknown property type {other:?}")),
+        });
+    }
+    let m = prop_names.len() as u32;
+    let prop_index: HashMap<&str, u32> = prop_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as u32))
+        .collect();
+
+    // stream claims.csv -> OocClaim, interning categorical labels on the fly
+    let mut domains: Vec<Vec<String>> = vec![Vec::new(); prop_names.len()];
+    let mut domain_index: Vec<HashMap<String, u32>> = vec![HashMap::new(); prop_names.len()];
+    let reader = RecordReader::new(std::io::BufReader::new(
+        std::fs::File::open(dir.join("claims.csv")).map_err(|e| e.to_string())?,
+    ));
+    let mut claims: Vec<OocClaim> = Vec::new(); // drained into the sorter below
+    let mut parse_errors = 0usize;
+    for (i, rec) in reader.enumerate() {
+        let rec = rec.map_err(|e| e.to_string())?;
+        if i == 0 && rec.first().is_some_and(|f| f.parse::<u32>().is_err()) {
+            continue; // header row (first field is not an object id)
+        }
+        if rec.len() != 4 {
+            parse_errors += 1;
+            continue;
+        }
+        let (Ok(object), Ok(source)) = (rec[0].parse::<u32>(), rec[2].parse::<u32>()) else {
+            parse_errors += 1;
+            continue;
+        };
+        let Some(&p) = prop_index.get(rec[1].as_str()) else {
+            parse_errors += 1;
+            continue;
+        };
+        // entry ids are dense per (object, property); guard the u32 space
+        let Some(entry) = object.checked_mul(m).and_then(|x| x.checked_add(p)) else {
+            return Err(format!(
+                "object id {object} with {m} properties exceeds the entry id space (u32); \
+                 re-number objects densely"
+            ));
+        };
+        let value = match prop_types[p as usize] {
+            PropertyType::Continuous => match rec[3].parse::<f64>() {
+                Ok(x) if x.is_finite() => Value::Num(x),
+                _ => {
+                    parse_errors += 1;
+                    continue;
+                }
+            },
+            PropertyType::Categorical => {
+                let idx = &mut domain_index[p as usize];
+                let dom = &mut domains[p as usize];
+                let id = *idx.entry(rec[3].clone()).or_insert_with(|| {
+                    dom.push(rec[3].clone());
+                    (dom.len() - 1) as u32
+                });
+                Value::Cat(id)
+            }
+            PropertyType::Text => Value::Text(rec[3].clone()),
+        };
+        claims.push(OocClaim {
+            entry,
+            property: p,
+            source,
+            value,
+        });
+    }
+    if parse_errors > 0 {
+        eprintln!("warning: skipped {parse_errors} malformed claim rows");
+    }
+    let n_claims = claims.len();
+    let sorted = SortedClaims::build(claims, budget).map_err(|e| e.to_string())?;
+    println!("externally sorted {n_claims} claims (budget {budget} in memory)");
+
+    let ooc = OutOfCoreCrh::new(prop_types.clone())
+        .map_err(|e| e.to_string())?
+        .max_in_memory(budget);
+
+    let mut writer: Box<dyn Write> = if out.is_empty() {
+        Box::new(std::io::sink())
+    } else {
+        std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+        Box::new(std::io::BufWriter::new(
+            std::fs::File::create(Path::new(&out).join("truths.csv"))
+                .map_err(|e| e.to_string())?,
+        ))
+    };
+    crh::data::csv::write_record(&mut writer, &["object", "property", "value"])
+        .map_err(|e| e.to_string())?;
+    let mut sink_err: Option<std::io::Error> = None;
+    let mut entries = 0usize;
+    let res = ooc
+        .run(&sorted, |entry, truth| {
+            entries += 1;
+            if sink_err.is_some() {
+                return;
+            }
+            let object = entry / m;
+            let p = (entry % m) as usize;
+            let v = truth.point();
+            let field = value_field(&v, |c| domains[p].get(c as usize).cloned());
+            if let Err(e) = crh::data::csv::write_record(
+                &mut writer,
+                &[object.to_string(), prop_names[p].clone(), field],
+            ) {
+                sink_err = Some(e);
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = sink_err {
+        return Err(format!("writing truths: {e}"));
+    }
+    writer.flush().map_err(|e| e.to_string())?;
+
+    println!(
+        "out-of-core CRH: {} iterations (converged = {}), {entries} entries resolved",
+        res.iterations, res.converged
+    );
+    println!("source weights:");
+    for (k, w) in res.weights.iter().enumerate() {
+        println!("  source {k}: {w:.4}");
+    }
+    if !out.is_empty() {
+        println!("wrote truths.csv to {out}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return usage();
+    }
+    let cmd = raw.remove(0);
+    let args = Args::parse(raw);
+    let result = match cmd.as_str() {
+        "generate" => generate(&args),
+        "stats" => stats(&args),
+        "run" => run(&args),
+        "evaluate" => evaluate_cmd(&args),
+        "stream" => stream(&args),
+        "ooc" => ooc(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

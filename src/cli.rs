@@ -1,0 +1,92 @@
+//! Argument parsing for the `crh` CLI binary (kept in the library so it is
+//! unit-testable).
+
+/// Parsed command-line arguments: positionals plus `--flag [value]` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// Flags in order of appearance; a flag immediately followed by another
+    /// flag (or nothing) carries no value.
+    pub flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parse raw arguments (without the program/subcommand names).
+    pub fn parse(raw: Vec<String>) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked")),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Self { positional, flags }
+    }
+
+    /// Look up a flag by name; `Some(None)` means present without a value.
+    pub fn flag(&self, name: &str) -> Option<&Option<String>> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Parse a flag's value, falling back to `default` when absent.
+    pub fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(Some(v)) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+            Some(None) => Err(format!("--{name} needs a value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn positionals_and_flags_separate() {
+        let a = args(&["weather", "out", "--scale", "0.5", "--verbose"]);
+        assert_eq!(a.positional, vec!["weather", "out"]);
+        assert_eq!(a.flag("scale"), Some(&Some("0.5".to_string())));
+        assert_eq!(a.flag("verbose"), Some(&None));
+        assert_eq!(a.flag("missing"), None);
+    }
+
+    #[test]
+    fn flag_parse_defaults_and_errors() {
+        let a = args(&["--scale", "0.25"]);
+        assert_eq!(a.flag_parse("scale", 1.0), Ok(0.25));
+        assert_eq!(a.flag_parse("seed", 7u64), Ok(7));
+        let bad = args(&["--scale", "abc"]);
+        assert!(bad.flag_parse("scale", 1.0).is_err());
+        let valueless = args(&["--scale", "--other"]);
+        assert!(valueless.flag_parse("scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_flag_has_no_value() {
+        let a = args(&["--mean", "--top-j", "2"]);
+        assert_eq!(a.flag("mean"), Some(&None));
+        assert_eq!(a.flag("top-j"), Some(&Some("2".to_string())));
+    }
+
+    #[test]
+    fn positional_after_flag_value() {
+        let a = args(&["--out", "dir", "dataset"]);
+        assert_eq!(a.positional, vec!["dataset"]);
+        assert_eq!(a.flag("out"), Some(&Some("dir".to_string())));
+    }
+}

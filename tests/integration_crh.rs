@@ -1,0 +1,127 @@
+//! Cross-crate integration: generators → solver/baselines → metrics.
+
+use crh::baselines::{all_methods, ConflictResolver, CrhResolver, Mean, Voting};
+use crh::core::solver::CrhBuilder;
+use crh::data::generators::uci::{generate as gen_uci, UciConfig, UciFlavor};
+use crh::data::generators::weather::{generate as gen_weather, WeatherConfig};
+use crh::data::metrics::evaluate;
+use crh::data::reliability::true_source_reliability;
+
+#[test]
+fn crh_beats_naive_methods_on_weather() {
+    let ds = gen_weather(&WeatherConfig::paper());
+    let crh = CrhResolver.run(&ds.table);
+    let crh_ev = evaluate(&ds.table, &crh.truths, &ds.truth);
+
+    let voting_ev = {
+        let out = Voting.run(&ds.table);
+        evaluate(&ds.table, &out.truths, &ds.truth)
+    };
+    let mean_ev = {
+        let out = Mean.run(&ds.table);
+        evaluate(&ds.table, &out.truths, &ds.truth)
+    };
+
+    assert!(
+        crh_ev.error_rate.unwrap() < voting_ev.error_rate.unwrap(),
+        "CRH {:?} must beat Voting {:?}",
+        crh_ev.error_rate,
+        voting_ev.error_rate
+    );
+    assert!(
+        crh_ev.mnad.unwrap() < mean_ev.mnad.unwrap(),
+        "CRH {:?} must beat Mean {:?}",
+        crh_ev.mnad,
+        mean_ev.mnad
+    );
+}
+
+#[test]
+fn crh_weights_track_generator_reliability() {
+    let ds = gen_weather(&WeatherConfig::paper());
+    let crh = CrhBuilder::new().build().unwrap().run(&ds.table).unwrap();
+    let truth = true_source_reliability(&ds);
+
+    // rank agreement on the extremes: best-by-truth must out-weigh
+    // worst-by-truth
+    let best = (0..truth.len())
+        .max_by(|&a, &b| truth[a].partial_cmp(&truth[b]).unwrap())
+        .unwrap();
+    let worst = (0..truth.len())
+        .min_by(|&a, &b| truth[a].partial_cmp(&truth[b]).unwrap())
+        .unwrap();
+    assert!(
+        crh.weights[best] > crh.weights[worst],
+        "weights {:?} vs truth {:?}",
+        crh.weights,
+        truth
+    );
+}
+
+#[test]
+fn all_eleven_methods_run_on_heterogeneous_data() {
+    let ds = gen_uci(&UciConfig::small(UciFlavor::Adult));
+    for m in all_methods() {
+        let out = m.run(&ds.table);
+        assert_eq!(
+            out.truths.len(),
+            ds.table.num_entries(),
+            "{} must emit one truth per entry",
+            m.name()
+        );
+        let ev = evaluate(&ds.table, &out.truths, &ds.truth);
+        if out.supported.categorical {
+            let err = ev.error_rate.expect("categorical entries exist");
+            assert!((0.0..=1.0).contains(&err), "{}: {err}", m.name());
+        }
+        if out.supported.continuous {
+            let mnad = ev.mnad.expect("continuous entries exist");
+            assert!(mnad.is_finite() && mnad >= 0.0, "{}: {mnad}", m.name());
+        }
+    }
+}
+
+#[test]
+fn crh_recovers_truths_with_one_reliable_source() {
+    // the Fig 2 headline: 1 reliable source out of 8 suffices
+    let ds = gen_uci(&UciConfig::with_reliable_count(UciFlavor::Adult, 1, 400));
+    let crh = CrhResolver.run(&ds.table);
+    let ev = evaluate(&ds.table, &crh.truths, &ds.truth);
+    let voting = Voting.run(&ds.table);
+    let vev = evaluate(&ds.table, &voting.truths, &ds.truth);
+    assert!(
+        ev.error_rate.unwrap() < 0.05,
+        "CRH should recover most truths: {:?}",
+        ev.error_rate
+    );
+    assert!(ev.error_rate.unwrap() < vev.error_rate.unwrap());
+}
+
+#[test]
+fn reliability_ladder_is_monotone_on_uci() {
+    let ds = gen_uci(&UciConfig::paper_scaled(UciFlavor::Bank, 0.01));
+    let r = true_source_reliability(&ds);
+    // γ ladder 0.1..2.0 must produce decreasing measured reliability
+    for w in r.windows(2) {
+        assert!(
+            w[0] >= w[1] - 0.05,
+            "reliability should roughly decrease along the γ ladder: {r:?}"
+        );
+    }
+    assert!(r[0] > r[7]);
+}
+
+#[test]
+fn stock_and_flight_generators_feed_the_solver() {
+    use crh::data::generators::{flight, stock};
+    for ds in [
+        stock::generate(&stock::StockConfig::small()),
+        flight::generate(&flight::FlightConfig::small()),
+    ] {
+        let res = CrhBuilder::new().build().unwrap().run(&ds.table).unwrap();
+        assert_eq!(res.truths.len(), ds.table.num_entries());
+        let ev = evaluate(&ds.table, &res.truths, &ds.truth);
+        assert!(ev.error_rate.is_some());
+        assert!(ev.mnad.is_some());
+    }
+}
