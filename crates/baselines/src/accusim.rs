@@ -85,8 +85,7 @@ impl ConflictResolver for AccuSim {
                 for i in 0..m {
                     for j in 0..m {
                         if i != j {
-                            s[i * m + j] =
-                                fact_similarity(&fs[i].value, &fs[j].value, &stats[e]);
+                            s[i * m + j] = fact_similarity(&fs[i].value, &fs[j].value, &stats[e]);
                         }
                     }
                 }
@@ -198,7 +197,8 @@ mod tests {
         for i in 0..10u32 {
             b.add_label(ObjectId(i), c, SourceId(0), "t").unwrap();
             b.add_label(ObjectId(i), c, SourceId(1), "t").unwrap();
-            b.add_label(ObjectId(i), c, SourceId(2), &format!("junk{i}")).unwrap();
+            b.add_label(ObjectId(i), c, SourceId(2), &format!("junk{i}"))
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -227,10 +227,14 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for i in 0..8u32 {
             // two sources very close together, two agreeing exactly on a far value
-            b.add(ObjectId(i), PropertyId(0), SourceId(0), Value::Num(100.0)).unwrap();
-            b.add(ObjectId(i), PropertyId(0), SourceId(1), Value::Num(100.5)).unwrap();
-            b.add(ObjectId(i), PropertyId(0), SourceId(2), Value::Num(100.4)).unwrap();
-            b.add(ObjectId(i), PropertyId(0), SourceId(3), Value::Num(500.0)).unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(0), Value::Num(100.0))
+                .unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(1), Value::Num(100.5))
+                .unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(2), Value::Num(100.4))
+                .unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(3), Value::Num(500.0))
+                .unwrap();
         }
         let tab = b.build().unwrap();
         let out = AccuSim::default().run(&tab);
@@ -254,7 +258,8 @@ mod tests {
         schema.add_categorical("c");
         let mut b = TableBuilder::new(schema);
         for s in 0..3u32 {
-            b.add_label(ObjectId(0), PropertyId(0), SourceId(s), "only").unwrap();
+            b.add_label(ObjectId(0), PropertyId(0), SourceId(s), "only")
+                .unwrap();
         }
         let tab = b.build().unwrap();
         let out = AccuSim::default().run(&tab);

@@ -48,9 +48,12 @@ mod tests {
         schema.add_continuous("x");
         let mut b = TableBuilder::new(schema);
         for i in 0..4u32 {
-            b.add(ObjectId(i), PropertyId(0), SourceId(0), Value::Num(1.0)).unwrap();
-            b.add(ObjectId(i), PropertyId(0), SourceId(1), Value::Num(1.0)).unwrap();
-            b.add(ObjectId(i), PropertyId(0), SourceId(2), Value::Num(9.0)).unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(0), Value::Num(1.0))
+                .unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(1), Value::Num(1.0))
+                .unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(2), Value::Num(9.0))
+                .unwrap();
         }
         let table = b.build().unwrap();
         let out = CrhResolver.run(&table);

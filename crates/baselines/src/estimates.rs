@@ -253,8 +253,13 @@ mod tests {
         for i in 0..12u32 {
             b.add_label(ObjectId(i), c, SourceId(0), "t").unwrap();
             b.add_label(ObjectId(i), c, SourceId(1), "t").unwrap();
-            b.add_label(ObjectId(i), c, SourceId(2), if i % 2 == 0 { "t" } else { "w" })
-                .unwrap();
+            b.add_label(
+                ObjectId(i),
+                c,
+                SourceId(2),
+                if i % 2 == 0 { "t" } else { "w" },
+            )
+            .unwrap();
             b.add_label(ObjectId(i), c, SourceId(3), "w").unwrap();
         }
         b.build().unwrap()
@@ -327,7 +332,8 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for i in 0..5u32 {
             for s in 0..3u32 {
-                b.add_label(ObjectId(i), PropertyId(0), SourceId(s), "same").unwrap();
+                b.add_label(ObjectId(i), PropertyId(0), SourceId(s), "same")
+                    .unwrap();
             }
         }
         let tab = b.build().unwrap();

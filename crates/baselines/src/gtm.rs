@@ -150,12 +150,27 @@ mod tests {
         let noise = [0.0, 0.5, 1.0, -0.5, -1.0, 0.2, -0.2, 0.8, -0.8, 0.4];
         for i in 0..10u32 {
             let t = 100.0 + i as f64 * 10.0;
-            b.add(ObjectId(i), x, SourceId(0), Value::Num(t + 0.1 * noise[i as usize]))
-                .unwrap();
-            b.add(ObjectId(i), x, SourceId(1), Value::Num(t + 3.0 * noise[i as usize]))
-                .unwrap();
-            b.add(ObjectId(i), x, SourceId(2), Value::Num(t + 25.0 * noise[(i as usize + 3) % 10]))
-                .unwrap();
+            b.add(
+                ObjectId(i),
+                x,
+                SourceId(0),
+                Value::Num(t + 0.1 * noise[i as usize]),
+            )
+            .unwrap();
+            b.add(
+                ObjectId(i),
+                x,
+                SourceId(1),
+                Value::Num(t + 3.0 * noise[i as usize]),
+            )
+            .unwrap();
+            b.add(
+                ObjectId(i),
+                x,
+                SourceId(2),
+                Value::Num(t + 25.0 * noise[(i as usize + 3) % 10]),
+            )
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -196,7 +211,8 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_categorical("c");
         let mut b = TableBuilder::new(schema);
-        b.add_label(ObjectId(0), PropertyId(0), SourceId(0), "a").unwrap();
+        b.add_label(ObjectId(0), PropertyId(0), SourceId(0), "a")
+            .unwrap();
         let t = b.build().unwrap();
         let out = Gtm::default().run(&t);
         assert_eq!(out.supported, SupportedTypes::CONTINUOUS_ONLY);
@@ -211,8 +227,13 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for i in 0..5u32 {
             for s in 0..3u32 {
-                b.add(ObjectId(i), PropertyId(0), SourceId(s), Value::Num(i as f64))
-                    .unwrap();
+                b.add(
+                    ObjectId(i),
+                    PropertyId(0),
+                    SourceId(s),
+                    Value::Num(i as f64),
+                )
+                .unwrap();
             }
         }
         let out = Gtm::default().run(&b.build().unwrap());

@@ -198,7 +198,8 @@ mod tests {
         for i in 0..12u32 {
             b.add_label(ObjectId(i), c, SourceId(0), "t").unwrap();
             b.add_label(ObjectId(i), c, SourceId(1), "t").unwrap();
-            b.add_label(ObjectId(i), c, SourceId(2), &format!("x{i}")).unwrap();
+            b.add_label(ObjectId(i), c, SourceId(2), &format!("x{i}"))
+                .unwrap();
             b.add_label(ObjectId(i), c, SourceId(3), "w").unwrap();
         }
         b.build().unwrap()
@@ -259,12 +260,27 @@ mod tests {
         schema.add_continuous("x");
         let mut b = TableBuilder::new(schema);
         for i in 0..5u32 {
-            b.add(ObjectId(i), PropertyId(0), SourceId(0), crh_core::value::Value::Num(1.0))
-                .unwrap();
-            b.add(ObjectId(i), PropertyId(0), SourceId(1), crh_core::value::Value::Num(1.0))
-                .unwrap();
-            b.add(ObjectId(i), PropertyId(0), SourceId(2), crh_core::value::Value::Num(9.0))
-                .unwrap();
+            b.add(
+                ObjectId(i),
+                PropertyId(0),
+                SourceId(0),
+                crh_core::value::Value::Num(1.0),
+            )
+            .unwrap();
+            b.add(
+                ObjectId(i),
+                PropertyId(0),
+                SourceId(1),
+                crh_core::value::Value::Num(1.0),
+            )
+            .unwrap();
+            b.add(
+                ObjectId(i),
+                PropertyId(0),
+                SourceId(2),
+                crh_core::value::Value::Num(9.0),
+            )
+            .unwrap();
         }
         let tab = b.build().unwrap();
         let out = Investment::default().run(&tab);

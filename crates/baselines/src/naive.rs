@@ -135,7 +135,8 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         let (x, c) = (PropertyId(0), PropertyId(1));
         for (k, v) in [1.0, 2.0, 9.0].iter().enumerate() {
-            b.add(ObjectId(0), x, SourceId(k as u32), Value::Num(*v)).unwrap();
+            b.add(ObjectId(0), x, SourceId(k as u32), Value::Num(*v))
+                .unwrap();
         }
         b.add_label(ObjectId(0), c, SourceId(0), "a").unwrap();
         b.add_label(ObjectId(0), c, SourceId(1), "a").unwrap();

@@ -93,8 +93,7 @@ impl ConflictResolver for TruthFinder {
                         if fi == fj {
                             continue;
                         }
-                        let imp =
-                            fact_similarity(&g.value, &f.value, &stats[e]) - self.base_sim;
+                        let imp = fact_similarity(&g.value, &f.value, &stats[e]) - self.base_sim;
                         adj += self.rho * sigma[fj] * imp;
                     }
                     conf[e][fi] = 1.0 / (1.0 + (-self.gamma * adj).exp());
@@ -159,8 +158,10 @@ mod tests {
         for i in 0..10u32 {
             b.add_label(ObjectId(i), c, SourceId(0), "true").unwrap();
             b.add_label(ObjectId(i), c, SourceId(1), "true").unwrap();
-            b.add_label(ObjectId(i), c, SourceId(2), &format!("lie{i}")).unwrap();
-            b.add_label(ObjectId(i), c, SourceId(3), &format!("fib{}", i % 3)).unwrap();
+            b.add_label(ObjectId(i), c, SourceId(2), &format!("lie{i}"))
+                .unwrap();
+            b.add_label(ObjectId(i), c, SourceId(3), &format!("fib{}", i % 3))
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -192,9 +193,12 @@ mod tests {
         schema.add_continuous("x");
         let mut b = TableBuilder::new(schema);
         for i in 0..6u32 {
-            b.add(ObjectId(i), PropertyId(0), SourceId(0), Value::Num(100.0)).unwrap();
-            b.add(ObjectId(i), PropertyId(0), SourceId(1), Value::Num(101.0)).unwrap();
-            b.add(ObjectId(i), PropertyId(0), SourceId(2), Value::Num(500.0)).unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(0), Value::Num(100.0))
+                .unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(1), Value::Num(101.0))
+                .unwrap();
+            b.add(ObjectId(i), PropertyId(0), SourceId(2), Value::Num(500.0))
+                .unwrap();
         }
         let tab = b.build().unwrap();
         let out = TruthFinder::default().run(&tab);

@@ -1,11 +1,13 @@
 //! Ablation: per-iteration cost of each loss function's `loss` and `fit`
 //! (the §2.4 design choices).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use crh_bench::microbench::Harness;
 use crh_core::ids::SourceId;
-use crh_core::loss::{AbsoluteLoss, EditDistanceLoss, Loss, ProbVectorLoss, SquaredLoss, ZeroOneLoss};
+use crh_core::loss::{
+    AbsoluteLoss, EditDistanceLoss, Loss, ProbVectorLoss, SquaredLoss, ZeroOneLoss,
+};
 use crh_core::stats::EntryStats;
 use crh_core::value::{Truth, Value};
 
@@ -27,7 +29,7 @@ fn text_obs(k: usize) -> Vec<(SourceId, Value)> {
         .collect()
 }
 
-fn bench_losses(c: &mut Criterion) {
+fn bench_losses(c: &mut Harness) {
     let k = 55; // the stock dataset's source count
     let weights: Vec<f64> = (0..k).map(|i| 0.1 + i as f64 * 0.05).collect();
     let stats = EntryStats {
@@ -84,5 +86,7 @@ fn bench_losses(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_losses);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_losses(&mut h);
+}

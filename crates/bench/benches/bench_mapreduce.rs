@@ -1,12 +1,14 @@
 //! MapReduce engine ablations: combiner on/off (§2.7.3's shuffle-volume
-//! argument) and reducer-count sweep.
+//! argument), reducer-count sweep, and fault-tolerance overhead (the
+//! price of retries under an injected fault plan).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use crh_bench::microbench::{Harness, Throughput};
 use crh_data::generators::uci::{generate, UciConfig, UciFlavor};
-use crh_mapreduce::{JobConfig, OocClaim, OutOfCoreCrh, ParallelCrh, SortedClaims};
+use crh_mapreduce::{
+    FaultInjector, FaultPlan, JobConfig, OocClaim, OutOfCoreCrh, ParallelCrh, SortedClaims,
+};
 
-fn bench_mapreduce(c: &mut Criterion) {
+fn bench_mapreduce(c: &mut Harness) {
     let mut cfg = UciConfig::paper(UciFlavor::Adult);
     cfg.rows = 800;
     let ds = generate(&cfg);
@@ -33,6 +35,36 @@ fn bench_mapreduce(c: &mut Criterion) {
                 ParallelCrh::default()
                     .job_config(JobConfig {
                         num_reducers: reducers,
+                        ..JobConfig::default()
+                    })
+                    .max_iters(3)
+                    .run(&ds.table)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // fault-tolerance overhead: identical workload, increasing injected
+    // panic rates — measures what retries (recompute + backoff) cost
+    // relative to a fault-free run producing bit-identical output
+    let mut g = c.benchmark_group("retry_overhead");
+    g.sample_size(10);
+    for (name, panic_prob) in [
+        ("fault_free", 0.0),
+        ("panics_10pct", 0.1),
+        ("panics_40pct", 0.4),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let faults = (panic_prob > 0.0)
+                    .then(|| FaultInjector::new(FaultPlan::new(42).panics(panic_prob)));
+                ParallelCrh::default()
+                    .job_config(JobConfig {
+                        max_attempts: 8,
+                        backoff_base: std::time::Duration::from_micros(50),
+                        backoff_cap: std::time::Duration::from_millis(1),
+                        faults,
                         ..JobConfig::default()
                     })
                     .max_iters(3)
@@ -88,5 +120,7 @@ fn bench_mapreduce(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mapreduce);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_mapreduce(&mut h);
+}

@@ -1,15 +1,15 @@
 //! Ablation: weighted median (Eq 16) vs weighted mean (Eq 14) truth
 //! updates — the robustness-for-speed trade-off of §2.4.2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use crh_bench::microbench::Harness;
 use crh_core::ids::SourceId;
 use crh_core::loss::{weighted_median, AbsoluteLoss, Loss, SquaredLoss};
 use crh_core::stats::EntryStats;
 use crh_core::value::Value;
 
-fn bench_median(c: &mut Criterion) {
+fn bench_median(c: &mut Harness) {
     let mut g = c.benchmark_group("weighted_median");
     for n in [8usize, 64, 512, 4096] {
         let pairs: Vec<(f64, f64)> = (0..n)
@@ -38,5 +38,7 @@ fn bench_median(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_median);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_median(&mut h);
+}

@@ -1,12 +1,11 @@
 //! End-to-end CRH solver scaling: the §2.5 claim that running time is
 //! linear in the number of observations, plus the initialization ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use crh_bench::microbench::{BenchmarkId, Harness, Throughput};
 use crh_core::solver::{CrhBuilder, PropertyNorm};
 use crh_data::generators::uci::{generate, UciConfig, UciFlavor};
 
-fn bench_solver(c: &mut Criterion) {
+fn bench_solver(c: &mut Harness) {
     let mut g = c.benchmark_group("crh_solver_scaling");
     g.sample_size(10);
     for rows in [250usize, 500, 1000, 2000] {
@@ -54,5 +53,7 @@ fn bench_solver(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_solver);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_solver(&mut h);
+}

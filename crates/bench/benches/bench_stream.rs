@@ -1,25 +1,19 @@
 //! I-CRH vs re-running batch CRH per chunk — the efficiency claim of §3.3.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use crh_bench::datasets::chunk_tables;
+use crh_bench::microbench::Harness;
 use crh_core::solver::CrhBuilder;
 use crh_data::generators::weather::{generate, WeatherConfig};
 use crh_stream::ICrh;
 
-fn bench_stream(c: &mut Criterion) {
+fn bench_stream(c: &mut Harness) {
     let ds = generate(&WeatherConfig::paper());
     let chunks = chunk_tables(&ds, 1);
 
     let mut g = c.benchmark_group("streaming");
     g.sample_size(10);
     g.bench_function("icrh_one_pass_per_chunk", |b| {
-        b.iter(|| {
-            ICrh::new(0.5)
-                .unwrap()
-                .run_stream(chunks.iter())
-                .unwrap()
-        })
+        b.iter(|| ICrh::new(0.5).unwrap().run_stream(chunks.iter()).unwrap())
     });
     g.bench_function("batch_crh_rerun_per_chunk", |b| {
         // the naive streaming alternative: re-run full CRH on every prefix's
@@ -27,11 +21,7 @@ fn bench_stream(c: &mut Criterion) {
         // generous comparison)
         b.iter(|| {
             for chunk in &chunks {
-                CrhBuilder::new()
-                    .build()
-                    .unwrap()
-                    .run(chunk)
-                    .unwrap();
+                CrhBuilder::new().build().unwrap().run(chunk).unwrap();
             }
         })
     });
@@ -41,5 +31,7 @@ fn bench_stream(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_stream);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_stream(&mut h);
+}

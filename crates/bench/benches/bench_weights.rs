@@ -1,11 +1,11 @@
 //! Ablation: weight-assignment schemes (§2.3, Eqs 4-7).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use crh_bench::microbench::Harness;
 use crh_core::weights::{LogMax, LogSum, LpSelection, TopJ, WeightAssigner};
 
-fn bench_weights(c: &mut Criterion) {
+fn bench_weights(c: &mut Harness) {
     let mut g = c.benchmark_group("weight_assign");
     for k in [9usize, 55, 1000] {
         let losses: Vec<f64> = (0..k).map(|i| 0.1 + (i as f64 * 37.0) % 5.0).collect();
@@ -27,5 +27,7 @@ fn bench_weights(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_weights);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_weights(&mut h);
+}

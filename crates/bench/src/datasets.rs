@@ -76,12 +76,18 @@ pub fn flight(scale: &Scale) -> Dataset {
 
 /// The Adult simulation at `scale`.
 pub fn adult(scale: &Scale) -> Dataset {
-    uci::generate(&uci::UciConfig::paper_scaled(uci::UciFlavor::Adult, scale.uci))
+    uci::generate(&uci::UciConfig::paper_scaled(
+        uci::UciFlavor::Adult,
+        scale.uci,
+    ))
 }
 
 /// The Bank simulation at `scale`.
 pub fn bank(scale: &Scale) -> Dataset {
-    uci::generate(&uci::UciConfig::paper_scaled(uci::UciFlavor::Bank, scale.uci))
+    uci::generate(&uci::UciConfig::paper_scaled(
+        uci::UciFlavor::Bank,
+        scale.uci,
+    ))
 }
 
 /// Assemble per-window chunk tables from a temporal dataset: split by day,
@@ -97,7 +103,8 @@ pub fn chunk_tables(ds: &Dataset, window: usize) -> Vec<ObservationTable> {
         .map(|claims| {
             let mut b = TableBuilder::new(ds.table.schema().clone());
             for (o, p, s, v) in claims {
-                b.add(o, p, s, v).expect("claims re-validate against schema");
+                b.add(o, p, s, v)
+                    .expect("claims re-validate against schema");
             }
             b.build().expect("non-empty chunk")
         })

@@ -52,7 +52,12 @@ fn loss_rows(ds: &Dataset) -> Vec<Vec<String>> {
         ),
         (
             "prob-vector + weighted median",
-            override_type(CrhBuilder::new(), ds, PropertyType::Categorical, ProbVectorLoss),
+            override_type(
+                CrhBuilder::new(),
+                ds,
+                PropertyType::Categorical,
+                ProbVectorLoss,
+            ),
         ),
         (
             "KL divergence + weighted median",

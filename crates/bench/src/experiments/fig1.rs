@@ -7,7 +7,9 @@ use crate::datasets::{self, Scale};
 use crate::report::render_table;
 use crate::scoring::score_method;
 use crh_baselines::{AccuSim, CrhResolver, Gtm, PooledInvestment, ThreeEstimates};
-use crh_data::reliability::{normalize_scores, true_source_reliability, unreliability_to_reliability};
+use crh_data::reliability::{
+    normalize_scores, true_source_reliability, unreliability_to_reliability,
+};
 
 /// Run Fig 1: one row per source, one column per method.
 pub fn run(_scale: &Scale) -> String {
@@ -60,7 +62,10 @@ pub fn run(_scale: &Scale) -> String {
     );
     out.push_str(&render_table(&header_refs, &rows));
     out.push_str("\nAgreement of each method's reliability with ground truth:\n");
-    out.push_str(&format!("  {:<18} {:>9} {:>9}\n", "", "Pearson", "Spearman"));
+    out.push_str(&format!(
+        "  {:<18} {:>9} {:>9}\n",
+        "", "Pearson", "Spearman"
+    ));
     for (name, r, s) in &agreement {
         out.push_str(&format!("  {name:<18} {r:>+9.4} {s:>+9.4}\n"));
     }

@@ -28,7 +28,10 @@ pub fn run_window(_scale: &Scale) -> String {
     let mut out = String::from(
         "Fig 5 — I-CRH Error Rate and MNAD w.r.t. time-window size (weather, α = 0.5)\n\n",
     );
-    out.push_str(&render_table(&["window (days)", "Error Rate", "MNAD"], &rows));
+    out.push_str(&render_table(
+        &["window (days)", "Error Rate", "MNAD"],
+        &rows,
+    ));
     out.push_str(
         "\n(expected shape: a shallow minimum — 1-day windows update weights on little data,\n\
          mid-size windows are steady, and as the window approaches the whole stream I-CRH\n\

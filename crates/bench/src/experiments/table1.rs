@@ -46,10 +46,7 @@ pub fn run_real(scale: &Scale) -> String {
         "scale: stock x{:.2}, flight x{:.2}\n\n",
         scale.stock, scale.flight
     ));
-    out.push_str(&render_table(
-        &["", "Weather", "Stock", "Flight"],
-        &rows,
-    ));
+    out.push_str(&render_table(&["", "Weather", "Stock", "Flight"], &rows));
     out
 }
 

@@ -37,7 +37,11 @@ pub fn compare_on(ds: &Dataset) -> ([String; 3], [String; 3]) {
     let icrh_eval = combine_chunk_evals(&chunks, &res.truths_per_chunk, &ds.truth);
 
     (
-        [crh_eval.error_rate_str(), crh_eval.mnad_str(), secs(crh_time)],
+        [
+            crh_eval.error_rate_str(),
+            crh_eval.mnad_str(),
+            secs(crh_time),
+        ],
         [
             icrh_eval.error_rate_str(),
             icrh_eval.mnad_str(),
@@ -69,9 +73,7 @@ pub fn run(scale: &Scale) -> String {
         icrh_row.extend(i);
     }
 
-    let mut out = format!(
-        "Table 5 — CRH vs I-CRH (chunk = 1 day, decay α = {ALPHA})\n\n"
-    );
+    let mut out = format!("Table 5 — CRH vs I-CRH (chunk = 1 day, decay α = {ALPHA})\n\n");
     out.push_str(&render_table(&header_refs, &[crh_row, icrh_row]));
     out.push_str(
         "\n(expected shape: I-CRH slightly worse on ErrRate/MNAD, significantly faster —\n\

@@ -43,6 +43,7 @@ pub fn scalability_driver(reducers: usize) -> ParallelCrh {
             startup_cost: STARTUP,
             use_combiner: true,
             task_slots: SLOTS,
+            ..JobConfig::default()
         })
         .max_iters(ITERS);
     driver.tol = -1.0; // disable early convergence: equal work per size

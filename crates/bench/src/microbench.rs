@@ -1,0 +1,208 @@
+//! A small self-contained micro-benchmark harness.
+//!
+//! The `benches/` targets used to run under Criterion; the workspace now
+//! builds fully offline with zero external dependencies, so this module
+//! supplies the minimal surface those benches need: named groups,
+//! calibrated sample loops, median/mean-of-samples reporting, and
+//! optional element throughput. It is deliberately not a statistics
+//! package — results are for relative comparison between neighbouring
+//! rows of the same run.
+//!
+//! Set `CRH_BENCH_QUICK=1` to run each benchmark for a few milliseconds
+//! only (used by CI to smoke-test the bench targets).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness; one per bench binary.
+#[derive(Debug, Default)]
+pub struct Harness {
+    quick: bool,
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier of the form `name/parameter`.
+#[derive(Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("run", 5000)` displays as `run/5000`.
+    pub fn new(name: &str, param: impl Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+}
+
+impl Harness {
+    /// Build a harness, honouring `CRH_BENCH_QUICK`.
+    pub fn from_env() -> Self {
+        Self {
+            quick: std::env::var("CRH_BENCH_QUICK").is_ok_and(|v| v != "0"),
+        }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        Group {
+            quick: self.quick,
+            sample_size: 20,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sample settings, mirroring the
+/// Criterion group API the benches were written against.
+#[derive(Debug)]
+pub struct Group<'a> {
+    quick: bool,
+    sample_size: usize,
+    throughput: Option<u64>,
+    // tie the group to the harness borrow so groups cannot interleave
+    _marker: std::marker::PhantomData<&'a mut Harness>,
+}
+
+/// Passed to each benchmark closure; `iter` runs the measured loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_duration(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+impl Group<'_> {
+    /// Number of samples per benchmark (each sample is a calibrated loop).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with per-iteration element counts;
+    /// the report adds an elements/s column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let Throughput::Elements(n) = t;
+        self.throughput = Some(n);
+        self
+    }
+
+    /// Run one benchmark: calibrate an iteration count, take samples,
+    /// report median / mean / spread per iteration.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let target = if self.quick {
+            Duration::from_millis(2)
+        } else {
+            Duration::from_millis(40)
+        };
+        let samples = if self.quick { 3 } else { self.sample_size };
+
+        // calibrate: double the loop until one sample is long enough to
+        // drown out timer noise
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        loop {
+            f(&mut b);
+            if b.elapsed >= target || b.iters >= 1 << 30 {
+                break;
+            }
+            b.iters *= 2;
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..samples)
+            .map(|_| {
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / b.iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min = per_iter_ns[0];
+        let max = per_iter_ns[per_iter_ns.len() - 1];
+
+        let mut line = format!(
+            "{:<34} median {}   mean {}   [{} .. {}]",
+            id.to_string(),
+            fmt_duration(median),
+            fmt_duration(mean),
+            fmt_duration(min).trim_start(),
+            fmt_duration(max).trim_start(),
+        );
+        if let Some(elems) = self.throughput {
+            let eps = elems as f64 / (median / 1_000_000_000.0);
+            line.push_str(&format!("   {:.2} Melem/s", eps / 1e6));
+        }
+        println!("  {line}");
+    }
+
+    /// Criterion-style parameterized benchmark; the input is simply
+    /// passed back to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id.0.as_str(), |b| f(b, input));
+    }
+
+    /// End the group (kept for source compatibility; reporting is eager).
+    pub fn finish(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_covers_all_ranges() {
+        assert!(fmt_duration(12.0).contains("ns"));
+        assert!(fmt_duration(12_500.0).contains("µs"));
+        assert!(fmt_duration(12_500_000.0).contains("ms"));
+        assert!(fmt_duration(2.5e9).contains('s'));
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut h = Harness { quick: true };
+        let mut g = h.benchmark_group("smoke");
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -93,10 +93,6 @@ pub fn contested_entries(confidences: &[f64], threshold: f64) -> Vec<(usize, f64
     v
 }
 
-
-
-
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,11 +110,14 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         // object 0: unanimous; object 1: contested
         for s in 0..4u32 {
-            b.add(ObjectId(0), t, SourceId(s), Value::Num(10.0)).unwrap();
+            b.add(ObjectId(0), t, SourceId(s), Value::Num(10.0))
+                .unwrap();
             b.add_label(ObjectId(0), c, SourceId(s), "x").unwrap();
         }
-        b.add(ObjectId(1), t, SourceId(0), Value::Num(10.0)).unwrap();
-        b.add(ObjectId(1), t, SourceId(1), Value::Num(90.0)).unwrap();
+        b.add(ObjectId(1), t, SourceId(0), Value::Num(10.0))
+            .unwrap();
+        b.add(ObjectId(1), t, SourceId(1), Value::Num(90.0))
+            .unwrap();
         b.add_label(ObjectId(1), c, SourceId(0), "x").unwrap();
         b.add_label(ObjectId(1), c, SourceId(1), "y").unwrap();
         b.build().unwrap()

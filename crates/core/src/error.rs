@@ -84,7 +84,9 @@ mod tests {
         assert!(msg.contains("continuous"));
         assert!(msg.contains("categorical"));
 
-        assert!(CrhError::UnknownProperty(PropertyId(9)).to_string().contains("p9"));
+        assert!(CrhError::UnknownProperty(PropertyId(9))
+            .to_string()
+            .contains("p9"));
         assert!(CrhError::EmptyTable.to_string().contains("no observations"));
         assert!(CrhError::InvalidParameter("j must be >= 1".into())
             .to_string()

@@ -132,10 +132,7 @@ impl FineGrainedCrh {
             // Step I per group.
             let dev = deviation_matrix(&prepared, &truths);
             for (g, group) in self.groups.iter().enumerate() {
-                let rows: Vec<Vec<f64>> = group
-                    .iter()
-                    .map(|p| dev[p.index()].clone())
-                    .collect();
+                let rows: Vec<Vec<f64>> = group.iter().map(|p| dev[p.index()].clone()).collect();
                 let losses = source_losses(
                     &rows,
                     &group_counts[g],
@@ -151,10 +148,7 @@ impl FineGrainedCrh {
             let dev = deviation_matrix(&prepared, &truths);
             let mut f = 0.0;
             for (g, group) in self.groups.iter().enumerate() {
-                let rows: Vec<Vec<f64>> = group
-                    .iter()
-                    .map(|p| dev[p.index()].clone())
-                    .collect();
+                let rows: Vec<Vec<f64>> = group.iter().map(|p| dev[p.index()].clone()).collect();
                 let losses = source_losses(
                     &rows,
                     &group_counts[g],
@@ -384,14 +378,27 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for i in 0..12u32 {
             let t = 50.0 + i as f64;
-            b.add(ObjectId(i), temp, SourceId(0), Value::Num(t)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(1), Value::Num(t + 20.0)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(2), Value::Num(t + 2.0)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(3), Value::Num(t + 10.0)).unwrap();
-            b.add_label(ObjectId(i), cond, SourceId(1), "right").unwrap();
-            b.add_label(ObjectId(i), cond, SourceId(3), "right").unwrap();
-            b.add_label(ObjectId(i), cond, SourceId(0), "wrong").unwrap();
-            b.add_label(ObjectId(i), cond, SourceId(2), if i % 3 == 0 { "right" } else { "wrong" }).unwrap();
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(t))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(1), Value::Num(t + 20.0))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(2), Value::Num(t + 2.0))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(3), Value::Num(t + 10.0))
+                .unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(1), "right")
+                .unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(3), "right")
+                .unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(0), "wrong")
+                .unwrap();
+            b.add_label(
+                ObjectId(i),
+                cond,
+                SourceId(2),
+                if i % 3 == 0 { "right" } else { "wrong" },
+            )
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -431,8 +438,8 @@ mod tests {
     #[test]
     fn unknown_property_is_error_at_run() {
         let table = split_personality_table();
-        let fg = FineGrainedCrh::new(vec![vec![PropertyId(0), PropertyId(1), PropertyId(7)]])
-            .unwrap();
+        let fg =
+            FineGrainedCrh::new(vec![vec![PropertyId(0), PropertyId(1), PropertyId(7)]]).unwrap();
         assert!(fg.run(&table).is_err());
     }
 
@@ -467,9 +474,12 @@ mod tests {
         for i in 0..20u32 {
             let t = 100.0 + i as f64;
             let (e0, e1) = if i % 2 == 0 { (0.0, 25.0) } else { (25.0, 0.0) };
-            b.add(ObjectId(i), temp, SourceId(0), Value::Num(t + e0)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(1), Value::Num(t + e1)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(2), Value::Num(t + 5.0)).unwrap();
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(t + e0))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(1), Value::Num(t + e1))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(2), Value::Num(t + 5.0))
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -504,14 +514,22 @@ mod tests {
     #[test]
     fn single_object_group_degenerates_to_plain_crh_weights() {
         let table = regional_table();
-        let grouped = ObjectGroupedCrh::new(1, |_| 0).unwrap().run(&table).unwrap();
+        let grouped = ObjectGroupedCrh::new(1, |_| 0)
+            .unwrap()
+            .run(&table)
+            .unwrap();
         let plain = crate::solver::CrhBuilder::new()
             .build()
             .unwrap()
             .run(&table)
             .unwrap();
         for (a, b) in grouped.weights[0].iter().zip(&plain.weights) {
-            assert!((a - b).abs() < 1e-9, "{:?} vs {:?}", grouped.weights[0], plain.weights);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{:?} vs {:?}",
+                grouped.weights[0],
+                plain.weights
+            );
         }
     }
 

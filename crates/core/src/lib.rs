@@ -75,6 +75,8 @@ pub mod error;
 pub mod finegrained;
 pub mod ids;
 pub mod loss;
+pub mod persist;
+pub mod rng;
 pub mod schema;
 pub mod semisupervised;
 pub mod session;

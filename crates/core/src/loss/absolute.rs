@@ -109,7 +109,10 @@ mod tests {
     fn type_confusion_penalized_finite() {
         let l = AbsoluteLoss;
         let t = Truth::Point(Value::Num(1.0));
-        assert_eq!(l.loss(&t, &Value::Text("x".into()), &EntryStats::trivial()), 1.0);
+        assert_eq!(
+            l.loss(&t, &Value::Text("x".into()), &EntryStats::trivial()),
+            1.0
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ use super::Loss;
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -110,7 +114,10 @@ mod tests {
 
     #[test]
     fn levenshtein_is_symmetric() {
-        assert_eq!(levenshtein("gate A2", "gate B12"), levenshtein("gate B12", "gate A2"));
+        assert_eq!(
+            levenshtein("gate A2", "gate B12"),
+            levenshtein("gate B12", "gate A2")
+        );
     }
 
     #[test]
@@ -134,7 +141,10 @@ mod tests {
     fn empty_strings_identical() {
         let l = EditDistanceLoss;
         let t = Truth::Point(Value::Text(String::new()));
-        assert_eq!(l.loss(&t, &Value::Text(String::new()), &EntryStats::trivial()), 0.0);
+        assert_eq!(
+            l.loss(&t, &Value::Text(String::new()), &EntryStats::trivial()),
+            0.0
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl EnsembleLoss {
 impl std::fmt::Debug for EnsembleLoss {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.members.iter().map(|(l, _)| l.name()).collect();
-        f.debug_struct("EnsembleLoss").field("members", &names).finish()
+        f.debug_struct("EnsembleLoss")
+            .field("members", &names)
+            .finish()
     }
 }
 
@@ -87,10 +89,7 @@ impl Loss for EnsembleLoss {
     fn fit(&self, obs: &[(SourceId, Value)], weights: &[f64], stats: &EntryStats) -> Truth {
         debug_assert!(!obs.is_empty(), "fit on empty observation group");
         // Candidates: every observed value + each member's own optimum.
-        let mut candidates: Vec<Truth> = obs
-            .iter()
-            .map(|(_, v)| Truth::Point(v.clone()))
-            .collect();
+        let mut candidates: Vec<Truth> = obs.iter().map(|(_, v)| Truth::Point(v.clone())).collect();
         for (l, _) in &self.members {
             candidates.push(l.fit(obs, weights, stats));
         }
@@ -175,7 +174,10 @@ mod tests {
         let group = obs(&[1.0, 2.0, 1000.0]);
         let w = vec![1.0; 3];
         let fit = e.fit(&group, &w, &stats).as_num().unwrap();
-        assert!(fit <= 3.0, "abs-dominated ensemble should resist the outlier: {fit}");
+        assert!(
+            fit <= 3.0,
+            "abs-dominated ensemble should resist the outlier: {fit}"
+        );
     }
 
     #[test]

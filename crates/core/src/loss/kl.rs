@@ -179,7 +179,10 @@ mod tests {
         let agree = l.loss(&t, &Value::Cat(0), &stats(3));
         let disagree = l.loss(&t, &Value::Cat(1), &stats(3));
         assert!(disagree > agree);
-        assert!(disagree > 3.0, "near-impossible claim must cost dearly: {disagree}");
+        assert!(
+            disagree > 3.0,
+            "near-impossible claim must cost dearly: {disagree}"
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn equal_weights_is_conventional_median() {
-        let pairs: Vec<(f64, f64)> = [1.0, 2.0, 3.0, 4.0, 5.0].iter().map(|&v| (v, 1.0)).collect();
+        let pairs: Vec<(f64, f64)> = [1.0, 2.0, 3.0, 4.0, 5.0]
+            .iter()
+            .map(|&v| (v, 1.0))
+            .collect();
         assert_eq!(weighted_median(&pairs), 3.0);
     }
 
@@ -76,13 +79,7 @@ mod tests {
     #[test]
     fn definition_holds() {
         // check Eq 16's two inequalities on a random-ish fixed set
-        let pairs = vec![
-            (3.0, 0.7),
-            (1.0, 0.2),
-            (4.0, 0.4),
-            (2.0, 0.9),
-            (5.0, 0.1),
-        ];
+        let pairs = vec![(3.0, 0.7), (1.0, 0.2), (4.0, 0.4), (2.0, 0.9), (5.0, 0.1)];
         let m = weighted_median(&pairs);
         let total: f64 = pairs.iter().map(|(_, w)| w).sum();
         let below: f64 = pairs.iter().filter(|(v, _)| *v < m).map(|(_, w)| w).sum();

@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn defaults_match_paper_choices() {
-        assert_eq!(default_loss_for(PropertyType::Categorical).name(), "zero-one");
+        assert_eq!(
+            default_loss_for(PropertyType::Categorical).name(),
+            "zero-one"
+        );
         assert_eq!(
             default_loss_for(PropertyType::Continuous).name(),
             "normalized-absolute"
@@ -110,7 +113,10 @@ mod tests {
 
     #[test]
     fn total_weight_sums_present_sources() {
-        let obs = vec![(SourceId(0), Value::Num(1.0)), (SourceId(2), Value::Num(2.0))];
+        let obs = vec![
+            (SourceId(0), Value::Num(1.0)),
+            (SourceId(2), Value::Num(2.0)),
+        ];
         let w = vec![0.5, 9.0, 0.25];
         assert!((total_weight(&obs, &w) - 0.75).abs() < 1e-12);
     }

@@ -60,9 +60,13 @@ impl Loss for ProbVectorLoss {
 
     fn fit(&self, obs: &[(SourceId, Value)], weights: &[f64], stats: &EntryStats) -> Truth {
         debug_assert!(!obs.is_empty(), "fit on empty observation group");
-        let domain = stats
-            .domain_size
-            .max(obs.iter().filter_map(|(_, v)| v.as_cat()).map(|c| c as usize + 1).max().unwrap_or(0));
+        let domain = stats.domain_size.max(
+            obs.iter()
+                .filter_map(|(_, v)| v.as_cat())
+                .map(|c| c as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
         let mut probs = vec![0.0f64; domain];
         let mut wsum = total_weight(obs, weights);
         for (s, v) in obs {

@@ -124,7 +124,12 @@ mod tests {
     fn fit_picks_most_central_claim() {
         let l = SimilarityLoss::new(PropertyType::Text, jaccard);
         let stats = EntryStats::trivial();
-        let group = obs(&["new york city", "new york city ny", "boston", "new york city"]);
+        let group = obs(&[
+            "new york city",
+            "new york city ny",
+            "boston",
+            "new york city",
+        ]);
         let w = vec![1.0; 4];
         assert_eq!(
             l.fit(&group, &w, &stats).point(),
@@ -138,7 +143,10 @@ mod tests {
         let stats = EntryStats::trivial();
         let group = obs(&["alpha", "alpha", "omega"]);
         let w = vec![0.1, 0.1, 10.0];
-        assert_eq!(l.fit(&group, &w, &stats).point(), Value::Text("omega".into()));
+        assert_eq!(
+            l.fit(&group, &w, &stats).point(),
+            Value::Text("omega".into())
+        );
     }
 
     #[test]

@@ -80,9 +80,7 @@ mod tests {
         let s = stats_with_std(4.0);
         assert!((l.loss(&t, &Value::Num(78.0), &s) - 1.0).abs() < 1e-12);
         // closer observation, smaller loss (the 79F vs 70F example of §1.2)
-        assert!(
-            l.loss(&t, &Value::Num(79.0), &s) < l.loss(&t, &Value::Num(70.0), &s)
-        );
+        assert!(l.loss(&t, &Value::Num(79.0), &s) < l.loss(&t, &Value::Num(70.0), &s));
     }
 
     #[test]

@@ -143,7 +143,10 @@ mod tests {
             (SourceId(2), Value::Text("gate B1".into())),
         ];
         let w = vec![1.0, 1.0, 1.0];
-        assert_eq!(l.fit(&obs, &w, &stats()).point(), Value::Text("gate A2".into()));
+        assert_eq!(
+            l.fit(&obs, &w, &stats()).point(),
+            Value::Text("gate A2".into())
+        );
     }
 
     #[test]

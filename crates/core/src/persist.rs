@@ -1,0 +1,533 @@
+//! Durable binary persistence: CRC-framed files with atomic replacement.
+//!
+//! Checkpoint/resume for long iterative runs (parallel CRH) and streaming
+//! sessions (I-CRH) share one on-disk discipline:
+//!
+//! * a fixed **frame**: magic, format version, payload length, payload,
+//!   CRC32 of the payload — so truncation (torn write, full disk, kill -9
+//!   mid-write) and bit rot are both detected on load, never silently
+//!   consumed;
+//! * **write-temp-then-rename**: the frame is written to a sibling
+//!   temporary file, fsync'd, then atomically renamed over the target, so
+//!   a crash during save leaves the previous checkpoint intact;
+//! * a little-endian primitive codec ([`Enc`]/[`Dec`]) including
+//!   bit-exact `f64` round-trips — required for the bit-identical
+//!   fault-recovery guarantee.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::value::{Truth, Value};
+
+/// Errors raised while saving or loading a persisted frame.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// Magic expected by the caller.
+        expected: [u8; 4],
+        /// Magic actually found.
+        got: [u8; 4],
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The file ends before the declared payload (torn/partial write).
+    Truncated {
+        /// Bytes the frame header promised.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// The payload does not match its stored checksum.
+    CrcMismatch {
+        /// Checksum recorded in the frame.
+        stored: u32,
+        /// Checksum computed over the payload read.
+        computed: u32,
+    },
+    /// The payload decoded to something structurally invalid.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist io error: {e}"),
+            PersistError::BadMagic { expected, got } => write!(
+                f,
+                "bad magic: expected {expected:?}, got {got:?} (not a checkpoint file?)"
+            ),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            PersistError::Truncated { expected, got } => write!(
+                f,
+                "truncated checkpoint: header promises {expected} payload bytes, file has {got}"
+            ),
+            PersistError::CrcMismatch { stored, computed } => write!(
+                f,
+                "checkpoint CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            PersistError::Malformed(what) => write!(f, "malformed checkpoint payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// CRC32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn make_table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    }
+    const TABLE: [u32; 256] = make_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Little-endian encoder appending to a byte buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish, returning the encoded payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Append an `f64` bit-exactly.
+    pub fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, xs: &[f64]) {
+        self.u64(xs.len() as u64);
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+
+    /// Append one [`Value`] (tag + payload).
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Cat(c) => {
+                self.u8(0);
+                self.u32(*c);
+            }
+            Value::Num(x) => {
+                self.u8(1);
+                self.f64(*x);
+            }
+            Value::Text(t) => {
+                self.u8(2);
+                self.str(t);
+            }
+        }
+    }
+
+    /// Append one [`Truth`] (tag + payload).
+    pub fn truth(&mut self, t: &Truth) {
+        match t {
+            Truth::Point(v) => {
+                self.u8(0);
+                self.value(v);
+            }
+            Truth::Distribution { probs, mode } => {
+                self.u8(1);
+                self.u32(*mode);
+                self.f64s(probs);
+            }
+        }
+    }
+}
+
+/// Little-endian decoder over a payload slice; every read is
+/// bounds-checked so truncated payloads surface as typed errors.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.buf.len() - self.pos < n {
+            return Err(PersistError::Malformed("payload ends mid-record"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` bit-exactly.
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, PersistError> {
+        let n = self.u64()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Malformed("string is not valid UTF-8"))
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.u64()? as usize;
+        // cap pre-allocation by what the buffer could actually hold
+        if self.buf.len() - self.pos < n.saturating_mul(8) {
+            return Err(PersistError::Malformed("f64 vector longer than payload"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Read one [`Value`].
+    pub fn value(&mut self) -> Result<Value, PersistError> {
+        match self.u8()? {
+            0 => Ok(Value::Cat(self.u32()?)),
+            1 => Ok(Value::Num(self.f64()?)),
+            2 => Ok(Value::Text(self.str()?)),
+            _ => Err(PersistError::Malformed("unknown Value tag")),
+        }
+    }
+
+    /// Read one [`Truth`].
+    pub fn truth(&mut self) -> Result<Truth, PersistError> {
+        match self.u8()? {
+            0 => Ok(Truth::Point(self.value()?)),
+            1 => {
+                let mode = self.u32()?;
+                let probs = self.f64s()?;
+                Ok(Truth::Distribution { probs, mode })
+            }
+            _ => Err(PersistError::Malformed("unknown Truth tag")),
+        }
+    }
+}
+
+/// Frame header size: magic(4) + version(4) + payload_len(8) + crc(4).
+const FRAME_HEADER: usize = 20;
+
+/// Write `payload` as a complete frame to `path`: temp file in the same
+/// directory, flush + fsync, then atomic rename over the target.
+pub fn write_frame(
+    path: &Path,
+    magic: [u8; 4],
+    version: u32,
+    payload: &[u8],
+) -> Result<(), PersistError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(d) = dir {
+        std::fs::create_dir_all(d)?;
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&magic)?;
+        f.write_all(&version.to_le_bytes())?;
+        f.write_all(&(payload.len() as u64).to_le_bytes())?;
+        f.write_all(&crc32(payload).to_le_bytes())?;
+        f.write_all(payload)?;
+        f.flush()?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a frame written by [`write_frame`], validating magic, version,
+/// declared length (truncation-safe) and CRC. Returns the payload.
+pub fn read_frame(
+    path: &Path,
+    magic: [u8; 4],
+    max_version: u32,
+) -> Result<(u32, Vec<u8>), PersistError> {
+    let mut f = File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    if bytes.len() < FRAME_HEADER {
+        return Err(PersistError::Truncated {
+            expected: FRAME_HEADER as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    let got_magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+    if got_magic != magic {
+        return Err(PersistError::BadMagic {
+            expected: magic,
+            got: got_magic,
+        });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version > max_version {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let payload = &bytes[FRAME_HEADER..];
+    if (payload.len() as u64) < len {
+        return Err(PersistError::Truncated {
+            expected: len,
+            got: payload.len() as u64,
+        });
+    }
+    let payload = &payload[..len as usize];
+    let computed = crc32(payload);
+    if computed != stored_crc {
+        return Err(PersistError::CrcMismatch {
+            stored: stored_crc,
+            computed,
+        });
+    }
+    Ok((version, payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("crh_persist_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // standard test vector
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_roundtrip_bit_exact() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.f64(-0.0);
+        e.f64(f64::from_bits(0x7FF8_0000_0000_1234)); // NaN with payload
+        e.str("héllo");
+        e.f64s(&[1.5, f64::MIN_POSITIVE]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.f64().unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert_eq!(d.f64s().unwrap(), vec![1.5, f64::MIN_POSITIVE]);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn values_and_truths_roundtrip() {
+        let cases = [
+            Truth::Point(Value::Cat(9)),
+            Truth::Point(Value::Num(-273.15)),
+            Truth::Point(Value::Text("gate A7".into())),
+            Truth::Distribution {
+                probs: vec![0.25, 0.5, 0.25],
+                mode: 1,
+            },
+        ];
+        let mut e = Enc::new();
+        for t in &cases {
+            e.truth(t);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        for t in &cases {
+            assert_eq!(&d.truth().unwrap(), t);
+        }
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn decoder_rejects_short_payloads() {
+        let mut e = Enc::new();
+        e.u64(42);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..5]);
+        assert!(matches!(d.u64(), Err(PersistError::Malformed(_))));
+        // oversized vector length can't trick the allocator
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).f64s().is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let p = tmp("roundtrip");
+        write_frame(&p, *b"CRHT", 1, b"payload bytes").unwrap();
+        let (v, payload) = read_frame(&p, *b"CRHT", 1).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(payload, b"payload bytes");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn frame_detects_truncation() {
+        let p = tmp("trunc");
+        write_frame(&p, *b"CRHT", 1, &[9u8; 100]).unwrap();
+        let full = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &full[..full.len() - 30]).unwrap();
+        assert!(matches!(
+            read_frame(&p, *b"CRHT", 1),
+            Err(PersistError::Truncated { .. })
+        ));
+        // header-only truncation
+        std::fs::write(&p, &full[..10]).unwrap();
+        assert!(matches!(
+            read_frame(&p, *b"CRHT", 1),
+            Err(PersistError::Truncated { .. })
+        ));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn frame_detects_corruption_and_wrong_magic() {
+        let p = tmp("corrupt");
+        write_frame(&p, *b"CRHT", 1, &[7u8; 64]).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            read_frame(&p, *b"CRHT", 1),
+            Err(PersistError::CrcMismatch { .. })
+        ));
+        assert!(matches!(
+            read_frame(&p, *b"XXXX", 1),
+            Err(PersistError::BadMagic { .. })
+        ));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn frame_rejects_future_versions() {
+        let p = tmp("version");
+        write_frame(&p, *b"CRHT", 9, b"x").unwrap();
+        assert!(matches!(
+            read_frame(&p, *b"CRHT", 1),
+            Err(PersistError::UnsupportedVersion(9))
+        ));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let p = tmp("atomic");
+        write_frame(&p, *b"CRHT", 1, b"first").unwrap();
+        write_frame(&p, *b"CRHT", 1, b"second").unwrap();
+        assert!(!p.with_extension("tmp").exists());
+        let (_, payload) = read_frame(&p, *b"CRHT", 1).unwrap();
+        assert_eq!(payload, b"second");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn errors_display_and_are_std_error() {
+        let e = PersistError::CrcMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("CRC"));
+        let _: &dyn std::error::Error = &e;
+    }
+}

@@ -206,7 +206,10 @@ impl Schema {
         // deviation sums downstream; reject them at the boundary.
         if let Value::Num(x) = v {
             if !x.is_finite() {
-                return Err(CrhError::NonFiniteValue { property: m, value: *x });
+                return Err(CrhError::NonFiniteValue {
+                    property: m,
+                    value: *x,
+                });
             }
         }
         Ok(())

@@ -13,9 +13,7 @@ use std::collections::HashMap;
 
 use crate::error::{CrhError, Result};
 use crate::ids::{ObjectId, PropertyId};
-use crate::solver::{
-    fit_all, objective, source_losses, CrhResult, PreparedProblem, PropertyNorm,
-};
+use crate::solver::{fit_all, objective, source_losses, CrhResult, PreparedProblem, PropertyNorm};
 use crate::table::{ObservationTable, TruthTable};
 use crate::value::{Truth, Value};
 use crate::weights::{LogMax, WeightAssigner};
@@ -137,9 +135,9 @@ impl SemiSupervisedCrh {
         }
         let prepared = PreparedProblem::new(table, &HashMap::new())?;
         let k = table.num_sources();
-        let boost = self.anchor_boost.unwrap_or_else(|| {
-            (table.num_entries() as f64 / self.anchors.len() as f64).max(1.0)
-        });
+        let boost = self
+            .anchor_boost
+            .unwrap_or_else(|| (table.num_entries() as f64 / self.anchors.len() as f64).max(1.0));
         let uniform = vec![1.0f64; k];
         let mut truths = fit_all(&prepared, &uniform);
         self.apply_anchors(table, &mut truths);
@@ -229,7 +227,10 @@ mod tests {
         let mut anchors = HashMap::new();
         anchors.insert((ObjectId(0), c), truth_val.clone());
         anchors.insert((ObjectId(1), c), truth_val.clone());
-        let semi = SemiSupervisedCrh::new(anchors).unwrap().run(&table).unwrap();
+        let semi = SemiSupervisedCrh::new(anchors)
+            .unwrap()
+            .run(&table)
+            .unwrap();
         assert!(semi.weights[0] > semi.weights[1], "{:?}", semi.weights);
         let e5 = table.entry_id(ObjectId(5), c).unwrap();
         assert_eq!(
@@ -245,7 +246,10 @@ mod tests {
         let truth_val = table.schema().lookup(c, "true").unwrap();
         let mut anchors = HashMap::new();
         anchors.insert((ObjectId(3), c), truth_val.clone());
-        let res = SemiSupervisedCrh::new(anchors).unwrap().run(&table).unwrap();
+        let res = SemiSupervisedCrh::new(anchors)
+            .unwrap()
+            .run(&table)
+            .unwrap();
         let e3 = table.entry_id(ObjectId(3), c).unwrap();
         assert_eq!(res.truths.get(e3).point(), truth_val);
     }

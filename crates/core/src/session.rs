@@ -175,9 +175,12 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for i in 0..8u32 {
             let truth = 10.0 + i as f64;
-            b.add(ObjectId(i), t, SourceId(0), Value::Num(truth)).unwrap();
-            b.add(ObjectId(i), t, SourceId(1), Value::Num(truth + 0.5)).unwrap();
-            b.add(ObjectId(i), t, SourceId(2), Value::Num(truth + 9.0)).unwrap();
+            b.add(ObjectId(i), t, SourceId(0), Value::Num(truth))
+                .unwrap();
+            b.add(ObjectId(i), t, SourceId(1), Value::Num(truth + 0.5))
+                .unwrap();
+            b.add(ObjectId(i), t, SourceId(2), Value::Num(truth + 9.0))
+                .unwrap();
             b.add_label(ObjectId(i), c, SourceId(0), "a").unwrap();
             b.add_label(ObjectId(i), c, SourceId(1), "a").unwrap();
             b.add_label(ObjectId(i), c, SourceId(2), "b").unwrap();
@@ -192,7 +195,12 @@ mod tests {
         session.run_to_convergence(1e-6, 100);
         let batch = CrhBuilder::new().build().unwrap().run(&tab).unwrap();
         for (a, b) in session.weights().iter().zip(&batch.weights) {
-            assert!((a - b).abs() < 1e-9, "{:?} vs {:?}", session.weights(), batch.weights);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{:?} vs {:?}",
+                session.weights(),
+                batch.weights
+            );
         }
         for (e, t) in batch.truths.iter() {
             assert!(t.point().matches(&session.truths().get(e).point()));

@@ -226,10 +226,7 @@ impl<'t> PreparedProblem<'t> {
 }
 
 /// Per-source, per-property deviation matrix `D[m][k] = Σ_i d_m(v*_im, v_im^(k))`.
-pub fn deviation_matrix(
-    prepared: &PreparedProblem<'_>,
-    truths: &TruthTable,
-) -> Vec<Vec<f64>> {
+pub fn deviation_matrix(prepared: &PreparedProblem<'_>, truths: &TruthTable) -> Vec<Vec<f64>> {
     let k = prepared.table.num_sources();
     let m = prepared.table.num_properties();
     let mut dev = vec![vec![0.0f64; k]; m];
@@ -397,11 +394,16 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for i in 0..4u32 {
             let truth_t = 70.0 + i as f64;
-            b.add(ObjectId(i), temp, SourceId(0), Value::Num(truth_t)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(1), Value::Num(truth_t + 0.5)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(2), Value::Num(truth_t + 30.0)).unwrap();
-            b.add_label(ObjectId(i), cond, SourceId(0), "sunny").unwrap();
-            b.add_label(ObjectId(i), cond, SourceId(1), "sunny").unwrap();
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(truth_t))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(1), Value::Num(truth_t + 0.5))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(2), Value::Num(truth_t + 30.0))
+                .unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(0), "sunny")
+                .unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(1), "sunny")
+                .unwrap();
             b.add_label(ObjectId(i), cond, SourceId(2), "rain").unwrap();
         }
         b.build().unwrap()
@@ -421,7 +423,10 @@ mod tests {
         let temp = table.schema().property_by_name("temp").unwrap();
         let e = table.entry_id(ObjectId(0), temp).unwrap();
         let t = res.truths.get(e).as_num().unwrap();
-        assert!((t - 70.0).abs() <= 0.5, "truth {t} should track reliable sources");
+        assert!(
+            (t - 70.0).abs() <= 0.5,
+            "truth {t} should track reliable sources"
+        );
     }
 
     #[test]
@@ -499,7 +504,8 @@ mod tests {
         let mut schema = Schema::new();
         let temp = schema.add_continuous("t");
         let mut b = TableBuilder::new(schema);
-        b.add(ObjectId(0), temp, SourceId(0), Value::Num(42.0)).unwrap();
+        b.add(ObjectId(0), temp, SourceId(0), Value::Num(42.0))
+            .unwrap();
         let t = b.build().unwrap();
         let res = CrhBuilder::new().build().unwrap().run(&t).unwrap();
         assert_eq!(res.truths.get(crate::ids::EntryId(0)).as_num(), Some(42.0));
@@ -514,10 +520,13 @@ mod tests {
         let temp = schema.add_continuous("t");
         let mut b = TableBuilder::new(schema);
         for i in 0..10u32 {
-            b.add(ObjectId(i), temp, SourceId(0), Value::Num(i as f64)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(2), Value::Num(i as f64 + 0.1)).unwrap();
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(i as f64))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(2), Value::Num(i as f64 + 0.1))
+                .unwrap();
             if i < 5 {
-                b.add(ObjectId(i), temp, SourceId(1), Value::Num(i as f64)).unwrap();
+                b.add(ObjectId(i), temp, SourceId(1), Value::Num(i as f64))
+                    .unwrap();
             }
         }
         let t = b.build().unwrap();
@@ -534,7 +543,7 @@ mod tests {
         let dev = deviation_matrix(&prepared, &truths);
         assert_eq!(dev.len(), 2); // properties
         assert_eq!(dev[0].len(), 3); // sources
-        // the liar has the largest categorical deviation
+                                     // the liar has the largest categorical deviation
         let cond_row = &dev[1];
         assert!(cond_row[2] > cond_row[0]);
     }

@@ -64,10 +64,7 @@ pub fn compute_entry_stats(table: &ObservationTable) -> Vec<EntryStats> {
             }
         }
         let (mean, std) = mean_std(&nums);
-        let domain_size = table
-            .schema()
-            .domain(entry.property)
-            .map_or(0, |d| d.len());
+        let domain_size = table.schema().domain(entry.property).map_or(0, |d| d.len());
         out.push(EntryStats {
             std: std.max(STD_FLOOR),
             mean,
@@ -102,10 +99,14 @@ mod tests {
         schema.add_categorical("c");
         let mut b = TableBuilder::new(schema);
         // all sources agree on the continuous entry -> std floored
-        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(5.0)).unwrap();
-        b.add(ObjectId(0), PropertyId(0), SourceId(1), Value::Num(5.0)).unwrap();
-        b.add_label(ObjectId(0), PropertyId(1), SourceId(0), "a").unwrap();
-        b.add_label(ObjectId(0), PropertyId(1), SourceId(1), "b").unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(5.0))
+            .unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(1), Value::Num(5.0))
+            .unwrap();
+        b.add_label(ObjectId(0), PropertyId(1), SourceId(0), "a")
+            .unwrap();
+        b.add_label(ObjectId(0), PropertyId(1), SourceId(1), "b")
+            .unwrap();
         let t = b.build().unwrap();
         let stats = compute_entry_stats(&t);
         assert_eq!(stats.len(), 2);
@@ -122,8 +123,10 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_continuous("x");
         let mut b = TableBuilder::new(schema);
-        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(1.0)).unwrap();
-        b.add(ObjectId(0), PropertyId(0), SourceId(1), Value::Num(3.0)).unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(1.0))
+            .unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(1), Value::Num(3.0))
+            .unwrap();
         let t = b.build().unwrap();
         let stats = compute_entry_stats(&t);
         assert!((stats[0].std - 1.0).abs() < 1e-12);

@@ -331,11 +331,16 @@ mod tests {
         let mut b = TableBuilder::new(weather_schema());
         let hi = PropertyId(0);
         let cond = PropertyId(1);
-        b.add(ObjectId(0), hi, SourceId(0), Value::Num(70.0)).unwrap();
-        b.add(ObjectId(0), hi, SourceId(1), Value::Num(72.0)).unwrap();
-        b.add(ObjectId(0), hi, SourceId(2), Value::Num(90.0)).unwrap();
-        b.add_label(ObjectId(0), cond, SourceId(0), "sunny").unwrap();
-        b.add_label(ObjectId(0), cond, SourceId(1), "sunny").unwrap();
+        b.add(ObjectId(0), hi, SourceId(0), Value::Num(70.0))
+            .unwrap();
+        b.add(ObjectId(0), hi, SourceId(1), Value::Num(72.0))
+            .unwrap();
+        b.add(ObjectId(0), hi, SourceId(2), Value::Num(90.0))
+            .unwrap();
+        b.add_label(ObjectId(0), cond, SourceId(0), "sunny")
+            .unwrap();
+        b.add_label(ObjectId(0), cond, SourceId(1), "sunny")
+            .unwrap();
         b.add_label(ObjectId(1), cond, SourceId(2), "rain").unwrap();
         b.build().unwrap()
     }
@@ -365,8 +370,10 @@ mod tests {
     #[test]
     fn keep_last_dedup() {
         let mut b = TableBuilder::new(weather_schema());
-        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(1.0)).unwrap();
-        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(2.0)).unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(1.0))
+            .unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(2.0))
+            .unwrap();
         let t = b.build().unwrap();
         let e = t.entry_id(ObjectId(0), PropertyId(0)).unwrap();
         assert_eq!(t.observations(e), &[(SourceId(0), Value::Num(2.0))]);
@@ -376,9 +383,12 @@ mod tests {
     #[test]
     fn observations_sorted_by_source() {
         let mut b = TableBuilder::new(weather_schema());
-        b.add(ObjectId(0), PropertyId(0), SourceId(2), Value::Num(3.0)).unwrap();
-        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(1.0)).unwrap();
-        b.add(ObjectId(0), PropertyId(0), SourceId(1), Value::Num(2.0)).unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(2), Value::Num(3.0))
+            .unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(0), Value::Num(1.0))
+            .unwrap();
+        b.add(ObjectId(0), PropertyId(0), SourceId(1), Value::Num(2.0))
+            .unwrap();
         let t = b.build().unwrap();
         let obs = t.observations(EntryId(0));
         let srcs: Vec<u32> = obs.iter().map(|(s, _)| s.0).collect();

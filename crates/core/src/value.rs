@@ -192,7 +192,10 @@ mod tests {
     fn value_types() {
         assert_eq!(Value::Cat(0).property_type(), PropertyType::Categorical);
         assert_eq!(Value::Num(0.0).property_type(), PropertyType::Continuous);
-        assert_eq!(Value::Text(String::new()).property_type(), PropertyType::Text);
+        assert_eq!(
+            Value::Text(String::new()).property_type(),
+            PropertyType::Text
+        );
     }
 
     #[test]

@@ -96,7 +96,9 @@ impl LpSelection {
     /// Build, validating `p >= 1`.
     pub fn new(p: u32) -> Result<Self> {
         if p == 0 {
-            return Err(CrhError::InvalidParameter("LpSelection requires p >= 1".into()));
+            return Err(CrhError::InvalidParameter(
+                "LpSelection requires p >= 1".into(),
+            ));
         }
         Ok(Self { p })
     }
@@ -357,7 +359,10 @@ mod tests {
         assert!(BudgetedSelection::new(vec![1.0, -1.0], 5.0).is_err());
         assert!(BudgetedSelection::new(vec![1.0], 0.0).is_err());
         assert!(BudgetedSelection::new(vec![1.0], f64::NAN).is_err());
-        assert!(BudgetedSelection::new(vec![5.0], 1.0).is_err(), "unaffordable");
+        assert!(
+            BudgetedSelection::new(vec![5.0], 1.0).is_err(),
+            "unaffordable"
+        );
         let b = BudgetedSelection::new(vec![1.0, 2.0], 2.5).unwrap();
         assert_eq!(b.costs(), &[1.0, 2.0]);
         assert_eq!(b.budget(), 2.5);

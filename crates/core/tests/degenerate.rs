@@ -1,0 +1,174 @@
+//! Degenerate-input regression tests: inputs at the boundary of the
+//! model where naive implementations produce NaN truths or infinite
+//! weights. CRH must stay finite and well-defined on all of them.
+
+use crh_core::ids::{ObjectId, SourceId};
+use crh_core::solver::CrhBuilder;
+use crh_core::table::{ObservationTable, TableBuilder};
+use crh_core::value::{Truth, Value};
+use crh_core::weights::{LogMax, LogSum, WeightAssigner, LOSS_FLOOR};
+use crh_core::Schema;
+
+fn assert_sane(table: &ObservationTable) {
+    let res = CrhBuilder::new().build().unwrap().run(table).unwrap();
+    assert_eq!(res.weights.len(), table.num_sources());
+    for (s, w) in res.weights.iter().enumerate() {
+        assert!(w.is_finite(), "weight of source {s} is {w}");
+        assert!(*w >= 0.0, "weight of source {s} is negative: {w}");
+    }
+    for (e, t) in res.truths.iter() {
+        match t {
+            Truth::Point(Value::Num(x)) => {
+                assert!(x.is_finite(), "truth of entry {e} is {x}")
+            }
+            Truth::Distribution { probs, .. } => {
+                assert!(probs.iter().all(|q| q.is_finite()), "entry {e}: {probs:?}")
+            }
+            _ => {}
+        }
+    }
+    for o in &res.objective_trace {
+        assert!(o.is_finite(), "objective went non-finite: {o}");
+    }
+}
+
+/// A single source claiming everything: no conflict, no signal — but the
+/// solver must return its claims as truths with a finite weight.
+#[test]
+fn single_source_is_taken_at_its_word() {
+    let mut schema = Schema::new();
+    let x = schema.add_continuous("x");
+    let c = schema.add_categorical("c");
+    let mut b = TableBuilder::new(schema);
+    for o in 0..5u32 {
+        b.add(ObjectId(o), x, SourceId(0), Value::Num(10.0 + f64::from(o)))
+            .unwrap();
+        b.add_label(ObjectId(o), c, SourceId(0), "only").unwrap();
+    }
+    let table = b.build().unwrap();
+    assert_sane(&table);
+    let res = CrhBuilder::new().build().unwrap().run(&table).unwrap();
+    let e = table.entry_id(ObjectId(2), x).unwrap();
+    assert_eq!(res.truths.get(e).as_num(), Some(12.0));
+}
+
+/// A source that is exactly right on every claim accumulates zero loss;
+/// the log-based weights must clamp at `LOSS_FLOOR` instead of blowing
+/// up to infinity.
+#[test]
+fn zero_loss_source_gets_finite_weight() {
+    let mut schema = Schema::new();
+    let x = schema.add_continuous("x");
+    let mut b = TableBuilder::new(schema);
+    for o in 0..6u32 {
+        let truth = f64::from(o) * 2.0;
+        // source 0 is perfect; 1 and 2 bracket it symmetrically so the
+        // weighted median lands exactly on source 0's claim
+        b.add(ObjectId(o), x, SourceId(0), Value::Num(truth))
+            .unwrap();
+        b.add(ObjectId(o), x, SourceId(1), Value::Num(truth - 1.0))
+            .unwrap();
+        b.add(ObjectId(o), x, SourceId(2), Value::Num(truth + 1.0))
+            .unwrap();
+    }
+    let table = b.build().unwrap();
+    assert_sane(&table);
+    let res = CrhBuilder::new().build().unwrap().run(&table).unwrap();
+    assert!(
+        res.weights[0] >= res.weights[1] && res.weights[0] >= res.weights[2],
+        "perfect source must not be out-weighed: {:?}",
+        res.weights
+    );
+}
+
+/// The weight assigners themselves stay finite at the all-zero-loss
+/// corner (every source perfect — e.g. a consistent mirror set).
+#[test]
+fn all_zero_losses_yield_finite_weights() {
+    for assigner in [&LogSum as &dyn WeightAssigner, &LogMax] {
+        let w = assigner.assign(&[0.0, 0.0, 0.0]);
+        assert!(w.iter().all(|x| x.is_finite()), "{w:?}");
+        let w = assigner.assign(&[LOSS_FLOOR / 10.0, 0.0]);
+        assert!(w.iter().all(|x| x.is_finite()), "{w:?}");
+    }
+}
+
+/// Every source claims the identical value for every entry: losses are
+/// all zero, truths are the consensus, nothing degenerates.
+#[test]
+fn all_identical_observations() {
+    let mut schema = Schema::new();
+    let x = schema.add_continuous("x");
+    let c = schema.add_categorical("c");
+    let mut b = TableBuilder::new(schema);
+    for o in 0..4u32 {
+        for s in 0..5u32 {
+            b.add(ObjectId(o), x, SourceId(s), Value::Num(7.5)).unwrap();
+            b.add_label(ObjectId(o), c, SourceId(s), "same").unwrap();
+        }
+    }
+    let table = b.build().unwrap();
+    assert_sane(&table);
+    let res = CrhBuilder::new().build().unwrap().run(&table).unwrap();
+    let e = table.entry_id(ObjectId(0), x).unwrap();
+    assert_eq!(res.truths.get(e).as_num(), Some(7.5));
+    // no source is distinguishable from another
+    for w in res.weights.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1e-9, "{:?}", res.weights);
+    }
+}
+
+/// A schema property nobody ever reports on: the property contributes no
+/// entries and must not poison the per-property normalization with 0/0.
+#[test]
+fn all_missing_property_stays_finite() {
+    let mut schema = Schema::new();
+    let x = schema.add_continuous("x");
+    let _ghost = schema.add_continuous("never_reported");
+    let mut b = TableBuilder::new(schema);
+    for o in 0..4u32 {
+        b.add(ObjectId(o), x, SourceId(0), Value::Num(1.0)).unwrap();
+        b.add(ObjectId(o), x, SourceId(1), Value::Num(2.0)).unwrap();
+        b.add(ObjectId(o), x, SourceId(2), Value::Num(3.0)).unwrap();
+    }
+    let table = b.build().unwrap();
+    assert_sane(&table);
+}
+
+/// One object, one property, two flatly contradicting sources: the
+/// smallest possible conflict still resolves deterministically.
+#[test]
+fn minimal_two_source_conflict() {
+    let mut schema = Schema::new();
+    let c = schema.add_categorical("c");
+    let mut b = TableBuilder::new(schema);
+    b.add_label(ObjectId(0), c, SourceId(0), "yes").unwrap();
+    b.add_label(ObjectId(0), c, SourceId(1), "no").unwrap();
+    let table = b.build().unwrap();
+    assert_sane(&table);
+    let a = CrhBuilder::new().build().unwrap().run(&table).unwrap();
+    let b2 = CrhBuilder::new().build().unwrap().run(&table).unwrap();
+    assert_eq!(a.weights, b2.weights, "tie-breaking must be deterministic");
+}
+
+/// Zero-variance numeric entries (std = 0) must not divide by zero in
+/// the normalized losses.
+#[test]
+fn zero_variance_entries_do_not_nan() {
+    let mut schema = Schema::new();
+    let x = schema.add_continuous("x");
+    let y = schema.add_continuous("y");
+    let mut b = TableBuilder::new(schema);
+    for o in 0..3u32 {
+        for s in 0..4u32 {
+            // property x: all sources agree exactly (std = 0)
+            b.add(ObjectId(o), x, SourceId(s), Value::Num(42.0))
+                .unwrap();
+            // property y: genuine disagreement keeps the problem non-trivial
+            b.add(ObjectId(o), y, SourceId(s), Value::Num(f64::from(s)))
+                .unwrap();
+        }
+    }
+    let table = b.build().unwrap();
+    assert_sane(&table);
+}

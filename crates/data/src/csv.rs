@@ -40,10 +40,7 @@ impl fmt::Display for CsvError {
                 record,
                 expected,
                 got,
-            } => write!(
-                f,
-                "record {record} has {got} fields, expected {expected}"
-            ),
+            } => write!(f, "record {record} has {got} fields, expected {expected}"),
         }
     }
 }
@@ -402,7 +399,11 @@ mod tests {
     #[test]
     fn roundtrip_with_nasty_fields() {
         let records = vec![
-            vec!["plain".to_string(), "with,comma".into(), "with\"quote".into()],
+            vec![
+                "plain".to_string(),
+                "with,comma".into(),
+                "with\"quote".into(),
+            ],
             vec!["line\nbreak".to_string(), "".into(), "x".into()],
         ];
         let s = to_string(&records);
@@ -440,7 +441,9 @@ mod tests {
             got: 5,
         };
         assert!(e.to_string().contains("record 3"));
-        assert!(CsvError::UnterminatedQuote { line: 7 }.to_string().contains("line 7"));
+        assert!(CsvError::UnterminatedQuote { line: 7 }
+            .to_string()
+            .contains("line 7"));
     }
 
     #[test]

@@ -137,7 +137,8 @@ mod tests {
             for city in 0..2u32 {
                 let obj = ObjectId(day * 2 + city);
                 b.add(obj, t, SourceId(0), Value::Num(day as f64)).unwrap();
-                b.add(obj, t, SourceId(1), Value::Num(day as f64 + 1.0)).unwrap();
+                b.add(obj, t, SourceId(1), Value::Num(day as f64 + 1.0))
+                    .unwrap();
             }
         }
         let table = b.build().unwrap();

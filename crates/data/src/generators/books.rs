@@ -9,8 +9,7 @@
 //! real catalogs do: dropped middle initials, truncated co-author lists,
 //! typos, and swapped name order.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crh_core::rng::{Rng, StdRng};
 
 use crh_core::ids::{ObjectId, SourceId};
 use crh_core::schema::Schema;
@@ -26,8 +25,8 @@ use super::{coin, ladder, other_label};
 pub const FORMATS: [&str; 5] = ["hardcover", "paperback", "ebook", "audiobook", "library"];
 
 const FIRST: [&str; 12] = [
-    "James", "Mary", "Wei", "Fatima", "Carlos", "Yuki", "Anna", "David", "Priya", "Liam",
-    "Sofia", "Chen",
+    "James", "Mary", "Wei", "Fatima", "Carlos", "Yuki", "Anna", "David", "Priya", "Liam", "Sofia",
+    "Chen",
 ];
 const LAST: [&str; 12] = [
     "Smith", "Garcia", "Li", "Khan", "Tanaka", "Mueller", "Okafor", "Ivanov", "Silva", "Patel",
@@ -109,7 +108,11 @@ fn corrupt_authors<R: Rng + ?Sized>(rng: &mut R, truth: &str) -> String {
         2 => {
             let parts: Vec<&str> = authors[0].split_whitespace().collect();
             let flipped = if parts.len() >= 2 {
-                format!("{}, {}", parts[parts.len() - 1], parts[..parts.len() - 1].join(" "))
+                format!(
+                    "{}, {}",
+                    parts[parts.len() - 1],
+                    parts[..parts.len() - 1].join(" ")
+                )
             } else {
                 authors[0].to_string()
             };
@@ -177,16 +180,19 @@ pub fn generate(cfg: &BooksConfig) -> Dataset {
             } else {
                 truth_authors[book].clone()
             };
-            b.add(obj, p_authors, sid, Value::Text(authors)).expect("typed");
+            b.add(obj, p_authors, sid, Value::Text(authors))
+                .expect("typed");
             let format = if coin(&mut rng, corr * 0.8) {
                 other_label(&mut rng, truth_format[book], FORMATS.len() as u32)
             } else {
                 truth_format[book]
             };
-            b.add(obj, p_format, sid, Value::Cat(format)).expect("typed");
+            b.add(obj, p_format, sid, Value::Cat(format))
+                .expect("typed");
             let pages =
                 (truth_pages[book] + gauss.sample_scaled(&mut rng, 0.0, 1.0 + corr * 40.0)).round();
-            b.add(obj, p_pages, sid, Value::Num(pages.max(1.0))).expect("typed");
+            b.add(obj, p_pages, sid, Value::Num(pages.max(1.0)))
+                .expect("typed");
         }
     }
     let table = b.build().expect("non-empty books table");

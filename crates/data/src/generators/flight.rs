@@ -7,8 +7,7 @@
 //! (categorical). Coverage is sparse (~1/3), matching Table 1's
 //! observations-to-entries ratio.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crh_core::rng::{Rng, StdRng};
 
 use crh_core::ids::{ObjectId, SourceId};
 use crh_core::schema::Schema;
@@ -274,7 +273,11 @@ mod tests {
     #[test]
     fn gates_use_terminal_naming() {
         let ds = generate(&FlightConfig::small());
-        let p = ds.table.schema().property_by_name("departure_gate").unwrap();
+        let p = ds
+            .table
+            .schema()
+            .property_by_name("departure_gate")
+            .unwrap();
         let dom = ds.table.schema().domain(p).unwrap();
         assert_eq!(dom.len(), GATE_DOMAIN as usize);
         assert_eq!(dom.label(0), Some("A1"));
@@ -285,8 +288,16 @@ mod tests {
     fn actual_arrival_after_actual_departure_in_truth() {
         let cfg = FlightConfig::small();
         let ds = generate(&cfg);
-        let adep = ds.table.schema().property_by_name("actual_departure").unwrap();
-        let aarr = ds.table.schema().property_by_name("actual_arrival").unwrap();
+        let adep = ds
+            .table
+            .schema()
+            .property_by_name("actual_departure")
+            .unwrap();
+        let aarr = ds
+            .table
+            .schema()
+            .property_by_name("actual_arrival")
+            .unwrap();
         let mut checked = 0;
         for o in 0..ds.table.num_objects() {
             let obj = ObjectId(o as u32);

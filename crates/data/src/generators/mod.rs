@@ -15,7 +15,7 @@ pub mod stock;
 pub mod uci;
 pub mod weather;
 
-use rand::Rng;
+use crh_core::rng::Rng;
 
 /// Interpolate a per-source parameter ladder: source `k` of `n` gets
 /// `lo + (hi - lo) · (k / (n-1))^shape`. `shape > 1` concentrates sources
@@ -46,8 +46,7 @@ pub(crate) fn other_label<R: Rng + ?Sized>(rng: &mut R, truth: u32, domain: u32)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crh_core::rng::StdRng;
 
     #[test]
     fn ladder_endpoints_and_monotonicity() {

@@ -8,8 +8,7 @@
 //! categorical type"). Sources differ widely in both coverage (driving the
 //! Table 1 missing-value profile) and accuracy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crh_core::rng::{Rng, StdRng};
 
 use crh_core::ids::{ObjectId, PropertyId, SourceId};
 use crh_core::schema::Schema;
@@ -207,7 +206,8 @@ pub fn generate(cfg: &StockConfig) -> Dataset {
                     // gross error: stale quote or unit confusion
                     v *= rng.random_range(2.0..8.0);
                 }
-                b.add(obj, p, sid, Value::Num(v.round().max(0.0))).expect("typed");
+                b.add(obj, p, sid, Value::Num(v.round().max(0.0)))
+                    .expect("typed");
             }
             for (mi, &p) in cat_props.iter().enumerate() {
                 let t = truth_cat[o][mi];
@@ -318,6 +318,9 @@ mod tests {
     fn categorical_domains_bounded() {
         let ds = generate(&StockConfig::small());
         let p = ds.table.schema().property_by_name("open_price").unwrap();
-        assert_eq!(ds.table.schema().domain(p).unwrap().len(), CAT_DOMAIN as usize);
+        assert_eq!(
+            ds.table.schema().domain(p).unwrap().len(),
+            CAT_DOMAIN as usize
+        );
     }
 }

@@ -11,8 +11,7 @@
 //! Every entry is labeled (Table 3: `# Ground Truths = # Entries`) and every
 //! source observes every entry (`# Observations = 8 × # Entries`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crh_core::rng::{Rng, StdRng};
 
 use crh_core::ids::{ObjectId, PropertyId, SourceId};
 use crh_core::schema::Schema;
@@ -67,21 +66,99 @@ impl UciFlavor {
     fn cont_specs(self) -> &'static [ContSpec] {
         match self {
             UciFlavor::Adult => &[
-                ContSpec { name: "age", min: 17.0, max: 90.0, round: 0, scale: 4.0 },
-                ContSpec { name: "fnlwgt", min: 12_285.0, max: 1_484_705.0, round: -3, scale: 50_000.0 },
-                ContSpec { name: "education_num", min: 1.0, max: 16.0, round: 0, scale: 1.0 },
-                ContSpec { name: "capital_gain", min: 0.0, max: 99_999.0, round: -2, scale: 3_000.0 },
-                ContSpec { name: "capital_loss", min: 0.0, max: 4_356.0, round: -1, scale: 200.0 },
-                ContSpec { name: "hours_per_week", min: 1.0, max: 99.0, round: 0, scale: 5.0 },
+                ContSpec {
+                    name: "age",
+                    min: 17.0,
+                    max: 90.0,
+                    round: 0,
+                    scale: 4.0,
+                },
+                ContSpec {
+                    name: "fnlwgt",
+                    min: 12_285.0,
+                    max: 1_484_705.0,
+                    round: -3,
+                    scale: 50_000.0,
+                },
+                ContSpec {
+                    name: "education_num",
+                    min: 1.0,
+                    max: 16.0,
+                    round: 0,
+                    scale: 1.0,
+                },
+                ContSpec {
+                    name: "capital_gain",
+                    min: 0.0,
+                    max: 99_999.0,
+                    round: -2,
+                    scale: 3_000.0,
+                },
+                ContSpec {
+                    name: "capital_loss",
+                    min: 0.0,
+                    max: 4_356.0,
+                    round: -1,
+                    scale: 200.0,
+                },
+                ContSpec {
+                    name: "hours_per_week",
+                    min: 1.0,
+                    max: 99.0,
+                    round: 0,
+                    scale: 5.0,
+                },
             ],
             UciFlavor::Bank => &[
-                ContSpec { name: "age", min: 18.0, max: 95.0, round: 0, scale: 4.0 },
-                ContSpec { name: "balance", min: -8_019.0, max: 102_127.0, round: -1, scale: 1_500.0 },
-                ContSpec { name: "day", min: 1.0, max: 31.0, round: 0, scale: 2.0 },
-                ContSpec { name: "duration", min: 0.0, max: 4_918.0, round: 0, scale: 120.0 },
-                ContSpec { name: "campaign", min: 1.0, max: 63.0, round: 0, scale: 2.0 },
-                ContSpec { name: "pdays", min: -1.0, max: 871.0, round: 0, scale: 40.0 },
-                ContSpec { name: "previous", min: 0.0, max: 275.0, round: 0, scale: 2.0 },
+                ContSpec {
+                    name: "age",
+                    min: 18.0,
+                    max: 95.0,
+                    round: 0,
+                    scale: 4.0,
+                },
+                ContSpec {
+                    name: "balance",
+                    min: -8_019.0,
+                    max: 102_127.0,
+                    round: -1,
+                    scale: 1_500.0,
+                },
+                ContSpec {
+                    name: "day",
+                    min: 1.0,
+                    max: 31.0,
+                    round: 0,
+                    scale: 2.0,
+                },
+                ContSpec {
+                    name: "duration",
+                    min: 0.0,
+                    max: 4_918.0,
+                    round: 0,
+                    scale: 120.0,
+                },
+                ContSpec {
+                    name: "campaign",
+                    min: 1.0,
+                    max: 63.0,
+                    round: 0,
+                    scale: 2.0,
+                },
+                ContSpec {
+                    name: "pdays",
+                    min: -1.0,
+                    max: 871.0,
+                    round: 0,
+                    scale: 40.0,
+                },
+                ContSpec {
+                    name: "previous",
+                    min: 0.0,
+                    max: 275.0,
+                    round: 0,
+                    scale: 2.0,
+                },
             ],
         }
     }
@@ -89,25 +166,76 @@ impl UciFlavor {
     fn cat_specs(self) -> &'static [CatSpec] {
         match self {
             UciFlavor::Adult => &[
-                CatSpec { name: "workclass", domain: 8 },
-                CatSpec { name: "education", domain: 16 },
-                CatSpec { name: "marital_status", domain: 7 },
-                CatSpec { name: "occupation", domain: 14 },
-                CatSpec { name: "relationship", domain: 6 },
-                CatSpec { name: "race", domain: 5 },
-                CatSpec { name: "sex", domain: 2 },
-                CatSpec { name: "native_country", domain: 41 },
+                CatSpec {
+                    name: "workclass",
+                    domain: 8,
+                },
+                CatSpec {
+                    name: "education",
+                    domain: 16,
+                },
+                CatSpec {
+                    name: "marital_status",
+                    domain: 7,
+                },
+                CatSpec {
+                    name: "occupation",
+                    domain: 14,
+                },
+                CatSpec {
+                    name: "relationship",
+                    domain: 6,
+                },
+                CatSpec {
+                    name: "race",
+                    domain: 5,
+                },
+                CatSpec {
+                    name: "sex",
+                    domain: 2,
+                },
+                CatSpec {
+                    name: "native_country",
+                    domain: 41,
+                },
             ],
             UciFlavor::Bank => &[
-                CatSpec { name: "job", domain: 12 },
-                CatSpec { name: "marital", domain: 3 },
-                CatSpec { name: "education", domain: 4 },
-                CatSpec { name: "default", domain: 2 },
-                CatSpec { name: "housing", domain: 2 },
-                CatSpec { name: "loan", domain: 2 },
-                CatSpec { name: "contact", domain: 3 },
-                CatSpec { name: "month", domain: 12 },
-                CatSpec { name: "poutcome", domain: 4 },
+                CatSpec {
+                    name: "job",
+                    domain: 12,
+                },
+                CatSpec {
+                    name: "marital",
+                    domain: 3,
+                },
+                CatSpec {
+                    name: "education",
+                    domain: 4,
+                },
+                CatSpec {
+                    name: "default",
+                    domain: 2,
+                },
+                CatSpec {
+                    name: "housing",
+                    domain: 2,
+                },
+                CatSpec {
+                    name: "loan",
+                    domain: 2,
+                },
+                CatSpec {
+                    name: "contact",
+                    domain: 3,
+                },
+                CatSpec {
+                    name: "month",
+                    domain: 12,
+                },
+                CatSpec {
+                    name: "poutcome",
+                    domain: 4,
+                },
             ],
         }
     }
@@ -190,11 +318,19 @@ pub fn generate(cfg: &UciConfig) -> Dataset {
     let cats = cfg.flavor.cat_specs();
 
     let mut schema = Schema::new();
-    let cont_props: Vec<PropertyId> = conts.iter().map(|c| schema.add_continuous(c.name)).collect();
-    let cat_props: Vec<PropertyId> = cats.iter().map(|c| schema.add_categorical(c.name)).collect();
+    let cont_props: Vec<PropertyId> = conts
+        .iter()
+        .map(|c| schema.add_continuous(c.name))
+        .collect();
+    let cat_props: Vec<PropertyId> = cats
+        .iter()
+        .map(|c| schema.add_categorical(c.name))
+        .collect();
     for (ci, &p) in cat_props.iter().enumerate() {
         for l in 0..cats[ci].domain {
-            schema.intern(p, &format!("{}_{l}", cats[ci].name)).expect("categorical");
+            schema
+                .intern(p, &format!("{}_{l}", cats[ci].name))
+                .expect("categorical");
         }
     }
 
@@ -234,11 +370,13 @@ pub fn generate(cfg: &UciConfig) -> Dataset {
                     spec.min,
                     spec.max,
                 );
-                b.add(obj, cont_props[ci], sid, Value::Num(v)).expect("typed");
+                b.add(obj, cont_props[ci], sid, Value::Num(v))
+                    .expect("typed");
             }
             for (ci, spec) in cats.iter().enumerate() {
                 let v = perturb_categorical(&mut rng, truth_cat[row][ci], gamma, spec.domain);
-                b.add(obj, cat_props[ci], sid, Value::Cat(v)).expect("typed");
+                b.add(obj, cat_props[ci], sid, Value::Cat(v))
+                    .expect("typed");
             }
         }
     }

@@ -6,8 +6,7 @@
 //! (categorical). A platform's forecast degrades with lead time, giving the
 //! 9 sources a natural reliability spread (the structure Fig 1 visualizes).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crh_core::rng::{Rng, StdRng};
 
 use crh_core::ids::{ObjectId, SourceId};
 use crh_core::schema::Schema;
@@ -181,7 +180,8 @@ pub fn generate(cfg: &WeatherConfig) -> Dataset {
                     1,
                 );
                 b.add(obj, p_high, sid, Value::Num(high)).expect("typed");
-                b.add(obj, p_low, sid, Value::Num(low.min(high - 1.0))).expect("typed");
+                b.add(obj, p_low, sid, Value::Num(low.min(high - 1.0)))
+                    .expect("typed");
                 let cond = if coin(&mut rng, perr) {
                     if coin(&mut rng, DECOY_PROB) {
                         decoy_cond[o][platform]
@@ -233,9 +233,17 @@ mod tests {
         assert_eq!(s.sources, 9);
         assert_eq!(s.properties, 3);
         // Table 1: 16,038 observations / 1,920 entries / 1,740 truths
-        assert!((15_000..=17_500).contains(&s.observations), "{}", s.observations);
+        assert!(
+            (15_000..=17_500).contains(&s.observations),
+            "{}",
+            s.observations
+        );
         assert!((1_850..=1_920).contains(&s.entries), "{}", s.entries);
-        assert!((1_550..=1_850).contains(&s.ground_truths), "{}", s.ground_truths);
+        assert!(
+            (1_550..=1_850).contains(&s.ground_truths),
+            "{}",
+            s.ground_truths
+        );
     }
 
     #[test]
@@ -281,7 +289,12 @@ mod tests {
             else {
                 continue;
             };
-            for ((s1, h), (s2, l)) in ds.table.observations(eh).iter().zip(ds.table.observations(el)) {
+            for ((s1, h), (s2, l)) in ds
+                .table
+                .observations(eh)
+                .iter()
+                .zip(ds.table.observations(el))
+            {
                 if s1 == s2 {
                     assert!(l.as_num().unwrap() < h.as_num().unwrap());
                 }

@@ -146,8 +146,28 @@ fn parse_u32(s: &str, what: &str) -> Result<u32, IoError> {
 }
 
 fn parse_f64(s: &str, what: &str) -> Result<f64, IoError> {
-    s.parse()
-        .map_err(|_| IoError::Format(format!("bad {what}: {s:?}")))
+    let x: f64 = s
+        .parse()
+        .map_err(|_| IoError::Format(format!("bad {what}: {s:?}")))?;
+    // "NaN"/"inf" parse as f64 but would poison every downstream loss
+    if !x.is_finite() {
+        return Err(IoError::Format(format!("non-finite {what}: {s:?}")));
+    }
+    Ok(x)
+}
+
+/// The CSV layer guarantees all records in a file have the same width,
+/// but not *which* width; check it against the layout before indexing so
+/// a malformed file yields a typed error instead of a panic.
+fn expect_columns(records: &[Vec<String>], file: &str, expected: usize) -> Result<(), IoError> {
+    match records.first() {
+        None => Err(IoError::Format(format!("{file}: missing header row"))),
+        Some(header) if header.len() != expected => Err(IoError::Format(format!(
+            "{file}: expected {expected} columns, found {}",
+            header.len()
+        ))),
+        Some(_) => Ok(()),
+    }
 }
 
 /// Load a dataset previously written by [`save_dataset`]. The loaded
@@ -156,6 +176,7 @@ fn parse_f64(s: &str, what: &str) -> Result<f64, IoError> {
 pub fn load_dataset(dir: &Path) -> Result<Dataset, IoError> {
     // schema
     let records = csv::read_records(BufReader::new(File::open(dir.join("schema.csv"))?))?;
+    expect_columns(&records, "schema.csv", 2)?;
     let mut schema = Schema::new();
     for rec in records.iter().skip(1) {
         let (name, ty) = (&rec[0], &rec[1]);
@@ -169,6 +190,7 @@ pub fn load_dataset(dir: &Path) -> Result<Dataset, IoError> {
 
     // claims
     let records = csv::read_records(BufReader::new(File::open(dir.join("claims.csv"))?))?;
+    expect_columns(&records, "claims.csv", 4)?;
     let mut builder = TableBuilder::new(schema);
     for rec in records.iter().skip(1) {
         let object = ObjectId(parse_u32(&rec[0], "object id")?);
@@ -195,6 +217,7 @@ pub fn load_dataset(dir: &Path) -> Result<Dataset, IoError> {
 
     // truths
     let records = csv::read_records(BufReader::new(File::open(dir.join("truth.csv"))?))?;
+    expect_columns(&records, "truth.csv", 3)?;
     let mut truth = GroundTruth::new();
     for rec in records.iter().skip(1) {
         let object = ObjectId(parse_u32(&rec[0], "object id")?);
@@ -222,6 +245,7 @@ pub fn load_dataset(dir: &Path) -> Result<Dataset, IoError> {
     let day_of_object = match File::open(dir.join("days.csv")) {
         Ok(f) => {
             let records = csv::read_records(BufReader::new(f))?;
+            expect_columns(&records, "days.csv", 2)?;
             let mut days = vec![0u32; table.num_objects()];
             for rec in records.iter().skip(1) {
                 let o = parse_u32(&rec[0], "object id")? as usize;
@@ -261,16 +285,29 @@ mod tests {
         let cond = schema.add_categorical("cond");
         let note = schema.add_text("note");
         let mut b = TableBuilder::new(schema);
-        b.add(ObjectId(0), temp, SourceId(0), Value::Num(71.5)).unwrap();
-        b.add(ObjectId(0), temp, SourceId(1), Value::Num(73.0)).unwrap();
-        b.add_label(ObjectId(0), cond, SourceId(0), "partly, cloudy").unwrap();
-        b.add_label(ObjectId(0), cond, SourceId(1), "sunny").unwrap();
-        b.add(ObjectId(0), note, SourceId(0), Value::Text("line1\nline2".into()))
+        b.add(ObjectId(0), temp, SourceId(0), Value::Num(71.5))
             .unwrap();
+        b.add(ObjectId(0), temp, SourceId(1), Value::Num(73.0))
+            .unwrap();
+        b.add_label(ObjectId(0), cond, SourceId(0), "partly, cloudy")
+            .unwrap();
+        b.add_label(ObjectId(0), cond, SourceId(1), "sunny")
+            .unwrap();
+        b.add(
+            ObjectId(0),
+            note,
+            SourceId(0),
+            Value::Text("line1\nline2".into()),
+        )
+        .unwrap();
         let table = b.build().unwrap();
         let mut truth = GroundTruth::new();
         truth.insert(ObjectId(0), temp, Value::Num(72.0));
-        truth.insert(ObjectId(0), cond, table.schema().lookup(cond, "sunny").unwrap());
+        truth.insert(
+            ObjectId(0),
+            cond,
+            table.schema().lookup(cond, "sunny").unwrap(),
+        );
         Dataset {
             name: "sample".into(),
             table,

@@ -161,8 +161,10 @@ mod tests {
         let cond = schema.add_categorical("cond");
         let mut b = TableBuilder::new(schema);
         for i in 0..2u32 {
-            b.add(ObjectId(i), temp, SourceId(0), Value::Num(10.0)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(1), Value::Num(14.0)).unwrap();
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(10.0))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(1), Value::Num(14.0))
+                .unwrap();
             b.add_label(ObjectId(i), cond, SourceId(0), "a").unwrap();
             b.add_label(ObjectId(i), cond, SourceId(1), "b").unwrap();
         }

@@ -9,10 +9,11 @@
 //! * **categorical** properties are flipped to a random *other* domain value
 //!   with probability `θ(γ)` (draw `x ~ U(0,1)`; perturb iff `x < θ`).
 //!
-//! Gaussian variates come from a Box–Muller transform so the crate needs
-//! only the base `rand` API.
+//! Gaussian variates come from a Box–Muller transform on top of the
+//! in-tree seeded generator ([`crh_core::rng`]), so the crate needs no
+//! external randomness dependency.
 
-use rand::Rng;
+use crh_core::rng::Rng;
 
 /// The `γ` ladder used for the 8 simulated sources in §3.2.2.
 pub const PAPER_GAMMAS: [f64; 8] = [0.1, 0.4, 0.7, 1.0, 1.3, 1.6, 1.9, 2.0];
@@ -138,8 +139,7 @@ pub fn round_digits(x: f64, digits: i32) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crh_core::rng::StdRng;
 
     #[test]
     fn gaussian_moments() {
@@ -158,7 +158,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut g = Gaussian::new();
         let n = 100_000;
-        let xs: Vec<f64> = (0..n).map(|_| g.sample_scaled(&mut rng, 10.0, 2.0)).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|_| g.sample_scaled(&mut rng, 10.0, 2.0))
+            .collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.05);
     }
@@ -258,7 +260,10 @@ mod tests {
         // E|N(0,1)| = sqrt(2/pi) ≈ 0.798, scaled by γ·scale = 1.0 and the
         // heavy-tail mixture: 0.92·1 + 0.08·5 = 1.32
         let expected = 0.798 * (1.0 - HEAVY_TAIL_PROB + HEAVY_TAIL_PROB * HEAVY_TAIL_FACTOR);
-        assert!((mean_dev - expected).abs() < 0.07, "mean dev {mean_dev} vs {expected}");
+        assert!(
+            (mean_dev - expected).abs() < 0.07,
+            "mean dev {mean_dev} vs {expected}"
+        );
     }
 
     #[test]

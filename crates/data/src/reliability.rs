@@ -121,10 +121,14 @@ mod tests {
         for i in 0..10u32 {
             // source 0: always right; source 1: wrong on categorical,
             // 4 std units off on continuous
-            b.add(ObjectId(i), temp, SourceId(0), Value::Num(50.0)).unwrap();
-            b.add(ObjectId(i), temp, SourceId(1), Value::Num(58.0)).unwrap();
-            b.add_label(ObjectId(i), cond, SourceId(0), "right").unwrap();
-            b.add_label(ObjectId(i), cond, SourceId(1), "wrong").unwrap();
+            b.add(ObjectId(i), temp, SourceId(0), Value::Num(50.0))
+                .unwrap();
+            b.add(ObjectId(i), temp, SourceId(1), Value::Num(58.0))
+                .unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(0), "right")
+                .unwrap();
+            b.add_label(ObjectId(i), cond, SourceId(1), "wrong")
+                .unwrap();
             gt.insert(ObjectId(i), temp, Value::Num(50.0));
             gt.insert(ObjectId(i), cond, Value::Cat(0));
         }

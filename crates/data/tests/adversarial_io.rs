@@ -1,0 +1,216 @@
+//! Adversarial dataset-loading tests: every malformed input must come
+//! back as a typed [`IoError`] / [`CsvError`] — never a panic, never a
+//! silently wrong dataset.
+
+use std::path::PathBuf;
+
+use crh_data::csv::CsvError;
+use crh_data::io::{load_dataset, IoError};
+
+/// A scratch dataset directory with valid defaults that individual tests
+/// then corrupt one file at a time.
+fn scratch(name: &str, schema: &str, claims: &str, truth: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crh_adv_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("schema.csv"), schema).unwrap();
+    std::fs::write(dir.join("claims.csv"), claims).unwrap();
+    std::fs::write(dir.join("truth.csv"), truth).unwrap();
+    dir
+}
+
+const GOOD_SCHEMA: &str = "property,type\ntemp,continuous\ncond,categorical\n";
+const GOOD_CLAIMS: &str =
+    "object,property,source,value\n0,temp,0,71.5\n0,temp,1,73\n0,cond,0,sunny\n0,cond,1,rain\n";
+const GOOD_TRUTH: &str = "object,property,value\n0,temp,72\n0,cond,sunny\n";
+
+fn cleanup(dir: &PathBuf) {
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn well_formed_baseline_loads() {
+    let dir = scratch("baseline", GOOD_SCHEMA, GOOD_CLAIMS, GOOD_TRUTH);
+    let ds = load_dataset(&dir).unwrap();
+    assert_eq!(ds.table.num_observations(), 4);
+    cleanup(&dir);
+}
+
+#[test]
+fn ragged_claims_row_is_a_csv_error() {
+    let dir = scratch(
+        "ragged",
+        GOOD_SCHEMA,
+        "object,property,source,value\n0,temp,0,71.5\n0,temp,1\n",
+        GOOD_TRUTH,
+    );
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(
+        matches!(err, IoError::Csv(CsvError::FieldCount { .. })),
+        "{err}"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn wrong_column_count_is_typed_not_a_panic() {
+    // uniformly 1-column schema file: the CSV layer accepts it (uniform
+    // widths), the loader must reject it instead of indexing out of bounds
+    let dir = scratch("narrow", "property\ntemp\n", GOOD_CLAIMS, GOOD_TRUTH);
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(
+        matches!(&err, IoError::Format(m) if m.contains("schema.csv")),
+        "{err}"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn empty_claims_file_is_rejected_not_indexed() {
+    let dir = scratch("emptyclaims", GOOD_SCHEMA, "", GOOD_TRUTH);
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(
+        matches!(&err, IoError::Format(m) if m.contains("claims.csv")),
+        "{err}"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn unclosed_quote_is_a_csv_error() {
+    let dir = scratch(
+        "quote",
+        GOOD_SCHEMA,
+        "object,property,source,value\n0,temp,0,\"71.5\n",
+        GOOD_TRUTH,
+    );
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(
+        matches!(err, IoError::Csv(CsvError::UnterminatedQuote { .. })),
+        "{err}"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn unparseable_number_is_a_format_error() {
+    let dir = scratch(
+        "badnum",
+        GOOD_SCHEMA,
+        "object,property,source,value\n0,temp,0,seventy\n",
+        GOOD_TRUTH,
+    );
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(matches!(err, IoError::Format(_)), "{err}");
+    cleanup(&dir);
+}
+
+#[test]
+fn non_finite_numbers_are_rejected() {
+    for bad in ["NaN", "inf", "-inf"] {
+        let dir = scratch(
+            "nonfinite",
+            GOOD_SCHEMA,
+            &format!("object,property,source,value\n0,temp,0,{bad}\n"),
+            GOOD_TRUTH,
+        );
+        let err = load_dataset(&dir).unwrap_err();
+        assert!(
+            matches!(&err, IoError::Format(m) if m.contains("non-finite")),
+            "{bad}: {err}"
+        );
+        cleanup(&dir);
+    }
+}
+
+#[test]
+fn bad_object_id_is_a_format_error() {
+    let dir = scratch(
+        "badid",
+        GOOD_SCHEMA,
+        "object,property,source,value\n-1,temp,0,71.5\n",
+        GOOD_TRUTH,
+    );
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(matches!(err, IoError::Format(_)), "{err}");
+    cleanup(&dir);
+}
+
+#[test]
+fn unknown_property_in_claims_is_a_format_error() {
+    let dir = scratch(
+        "unknownprop",
+        GOOD_SCHEMA,
+        "object,property,source,value\n0,humidity,0,50\n",
+        GOOD_TRUTH,
+    );
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(
+        matches!(&err, IoError::Format(m) if m.contains("humidity")),
+        "{err}"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn unknown_property_type_is_a_format_error() {
+    let dir = scratch(
+        "badtype",
+        "property,type\ntemp,quantum\n",
+        GOOD_CLAIMS,
+        GOOD_TRUTH,
+    );
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(
+        matches!(&err, IoError::Format(m) if m.contains("quantum")),
+        "{err}"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn narrow_days_file_is_typed_not_a_panic() {
+    let dir = scratch("baddays", GOOD_SCHEMA, GOOD_CLAIMS, GOOD_TRUTH);
+    std::fs::write(dir.join("days.csv"), "object\n0\n").unwrap();
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(
+        matches!(&err, IoError::Format(m) if m.contains("days.csv")),
+        "{err}"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn missing_files_are_io_errors() {
+    let dir = std::env::temp_dir().join(format!("crh_adv_missing_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // schema present, claims absent
+    std::fs::write(dir.join("schema.csv"), GOOD_SCHEMA).unwrap();
+    let err = load_dataset(&dir).unwrap_err();
+    assert!(matches!(err, IoError::Io(_)), "{err}");
+    cleanup(&dir);
+}
+
+#[test]
+fn quoted_fields_with_separators_roundtrip() {
+    // commas, quotes, and newlines inside quoted values must survive
+    let dir = scratch(
+        "quoting",
+        "property,type\nnote,text\n",
+        "object,property,source,value\n0,note,0,\"a, \"\"b\"\"\nc\"\n0,note,1,plain\n",
+        "object,property,value\n",
+    );
+    let ds = load_dataset(&dir).unwrap();
+    let note = ds.table.schema().property_by_name("note").unwrap();
+    let e = ds.table.entry_id(crh_core::ids::ObjectId(0), note).unwrap();
+    let texts: Vec<String> = ds
+        .table
+        .observations(e)
+        .iter()
+        .map(|(_, v)| match v {
+            crh_core::value::Value::Text(t) => t.clone(),
+            other => panic!("expected text, got {other:?}"),
+        })
+        .collect();
+    assert!(texts.contains(&"a, \"b\"\nc".to_string()), "{texts:?}");
+    cleanup(&dir);
+}

@@ -1,70 +1,130 @@
-//! Property-based tests for the from-scratch CSV reader/writer.
+//! Randomized property tests for the from-scratch CSV reader/writer.
+//!
+//! These were originally `proptest` properties; they are now driven by the
+//! in-tree seeded generator ([`crh_core::rng`]) so the workspace tests run
+//! with zero external dependencies. Each test sweeps a fixed set of seeds,
+//! making every case fully reproducible: a failure message names the seed
+//! that produced it.
 
-use proptest::prelude::*;
-
+use crh_core::rng::{Rng, StdRng};
 use crh_data::csv::{parse, read_records, to_string, RecordReader};
 
-proptest! {
-    /// write → parse is the identity for arbitrary unicode fields
-    /// (excluding only interior NULs, which CSV does not model).
-    #[test]
-    fn roundtrip_arbitrary_fields(
-        rows in prop::collection::vec(
-            prop::collection::vec("[^\u{0}]{0,20}", 1..6),
-            1..10,
-        )
-    ) {
+const CASES: u64 = 300;
+
+/// A random unicode-ish field: mixes ASCII, separators, quotes, newlines,
+/// and a few multi-byte code points — everything except NUL.
+fn random_field(rng: &mut StdRng, max_len: usize) -> String {
+    let alphabet: &[char] = &[
+        'a', 'b', 'z', '0', '9', ' ', ',', '"', '\n', '\r', '\t', 'é', '中', '🦀', '-', '.',
+    ];
+    let len = rng.random_range(0..max_len + 1);
+    (0..len)
+        .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+        .collect()
+}
+
+fn random_rows(
+    rng: &mut StdRng,
+    max_rows: usize,
+    max_cols: usize,
+    max_len: usize,
+) -> Vec<Vec<String>> {
+    let rows = rng.random_range(1..max_rows);
+    (0..rows)
+        .map(|_| {
+            let cols = rng.random_range(1..max_cols);
+            (0..cols).map(|_| random_field(rng, max_len)).collect()
+        })
         // skip the degenerate single-empty-field record, which serializes
         // to an empty line (indistinguishable from no record)
-        prop_assume!(rows.iter().all(|r| !(r.len() == 1 && r[0].is_empty())));
+        .filter(|r: &Vec<String>| !(r.len() == 1 && r[0].is_empty()))
+        .collect()
+}
+
+/// write → parse is the identity for arbitrary unicode fields
+/// (excluding only interior NULs, which CSV does not model).
+#[test]
+fn roundtrip_arbitrary_fields() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = random_rows(&mut rng, 10, 6, 20);
+        if rows.is_empty() {
+            continue;
+        }
         let text = to_string(&rows);
-        let back = parse(&text).unwrap();
-        prop_assert_eq!(back, rows);
+        let back = parse(&text).unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}"));
+        assert_eq!(back, rows, "seed {seed}");
     }
+}
 
-    /// parse never panics on arbitrary input.
-    #[test]
-    fn parse_never_panics(input in ".{0,200}") {
+/// parse never panics on arbitrary input (including stray quotes and
+/// broken line endings); it returns Ok or a typed error.
+#[test]
+fn parse_never_panics() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51ED);
+        let input = random_field(&mut rng, 200);
         let _ = parse(&input);
+        let _: Vec<_> = RecordReader::new(input.as_bytes()).collect();
     }
+}
 
-    /// every parsed field of quote-free, comma-free input is a substring of
-    /// the input.
-    #[test]
-    fn fields_come_from_input(input in "[a-z0-9 ]{0,60}") {
+/// every parsed field of quote-free, comma-free input is a substring of
+/// the input.
+#[test]
+fn fields_come_from_input() {
+    let alphabet: &[char] = &['a', 'z', '0', '9', ' '];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1E1D);
+        let len = rng.random_range(0usize..60);
+        let input: String = (0..len)
+            .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+            .collect();
         for record in parse(&input).unwrap() {
             for field in record {
-                prop_assert!(input.contains(&field));
+                assert!(
+                    input.contains(&field),
+                    "seed {seed}: {field:?} not in {input:?}"
+                );
             }
         }
     }
+}
 
-    /// The streaming reader agrees with the batch parser on arbitrary
-    /// serialized documents (LF line endings, which is what the writer
-    /// emits).
-    #[test]
-    fn streaming_reader_matches_batch_parser(
-        rows in prop::collection::vec(
-            prop::collection::vec("[^\u{0}\r]{0,16}", 1..5),
-            1..8,
-        )
-    ) {
-        prop_assume!(rows.iter().all(|r| !(r.len() == 1 && r[0].is_empty())));
+/// The streaming reader agrees with the batch parser on arbitrary
+/// serialized documents (LF line endings, which is what the writer
+/// emits).
+#[test]
+fn streaming_reader_matches_batch_parser() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE);
+        let mut rows = random_rows(&mut rng, 8, 5, 16);
+        for row in &mut rows {
+            for field in row {
+                field.retain(|c| c != '\r');
+            }
+        }
+        let rows: Vec<Vec<String>> = rows
+            .into_iter()
+            .filter(|r| !(r.len() == 1 && r[0].is_empty()))
+            .collect();
         let text = to_string(&rows);
         let batch = parse(&text).unwrap();
         let streamed: Vec<_> = RecordReader::new(text.as_bytes())
             .collect::<Result<Vec<_>, _>>()
-            .unwrap();
-        prop_assert_eq!(streamed, batch);
+            .unwrap_or_else(|e| panic!("seed {seed}: stream failed: {e}"));
+        assert_eq!(streamed, batch, "seed {seed}");
     }
+}
 
-    /// read_records accepts exactly the uniform-field-count documents.
-    #[test]
-    fn uniform_field_counts_enforced(
-        cols in 1usize..5,
-        extra in 0usize..3,
-        rows in 2usize..6,
-    ) {
+/// read_records accepts exactly the uniform-field-count documents.
+#[test]
+fn uniform_field_counts_enforced() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0115);
+        let cols = rng.random_range(1usize..5);
+        let extra = rng.random_range(0usize..3);
+        let rows = rng.random_range(2usize..6);
         let mut doc = String::new();
         for r in 0..rows {
             let n = if r == rows - 1 { cols + extra } else { cols };
@@ -74,9 +134,9 @@ proptest! {
         }
         let res = read_records(doc.as_bytes());
         if extra == 0 {
-            prop_assert!(res.is_ok());
+            assert!(res.is_ok(), "seed {seed}");
         } else {
-            prop_assert!(res.is_err());
+            assert!(res.is_err(), "seed {seed}");
         }
     }
 }

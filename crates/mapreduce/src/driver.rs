@@ -1,4 +1,5 @@
-//! Parallel CRH: the two MapReduce jobs and the iterative wrapper (§2.7).
+//! Parallel CRH: the two MapReduce jobs and the iterative wrapper (§2.7),
+//! with durable iteration-level checkpointing.
 //!
 //! Each iteration runs:
 //!
@@ -14,19 +15,33 @@
 //! Iteration stops when the estimated truths stop changing or the iteration
 //! cap is hit ("until the estimated truths converge or the iteration number
 //! meets the threshold").
+//!
+//! ## Checkpoint/resume
+//!
+//! With a [`CheckpointConfig`], the driver persists `(iteration, weights,
+//! truths)` after each completed iteration as a CRC-framed, atomically
+//! replaced file ([`crh_core::persist`]). A run killed mid-iteration can
+//! continue from the last frame via
+//! [`resume_from_checkpoint`](ParallelCrh::resume_from_checkpoint); the
+//! frame stores `f64` bits exactly, and the next iteration's inputs (weight
+//! side file, truth side file, previous decisions) are reconstructed
+//! bit-for-bit, so a resumed run's final truths and weights are identical
+//! to an uninterrupted one — the chaos tests assert this to the bit.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crh_core::error::{CrhError, Result};
 use crh_core::ids::SourceId;
+use crh_core::persist::{read_frame, write_frame, Dec, Enc, PersistError};
 use crh_core::solver::{source_losses, PreparedProblem, PropertyNorm};
 use crh_core::table::{ObservationTable, TruthTable};
 use crh_core::value::{Truth, Value};
 use crh_core::weights::{LogMax, WeightAssigner};
 
 use crate::engine::{map_reduce, no_combiner, JobConfig, JobStats};
+use crate::error::MapReduceError;
 use crate::sidefile::SideFile;
 
 /// One input tuple in the §2.7.1 data format: `(eID, v, sID)`.
@@ -38,6 +53,79 @@ pub struct ClaimRecord {
     pub source: u32,
     /// Claimed value.
     pub value: Value,
+}
+
+/// Magic bytes of a parallel-CRH checkpoint frame.
+const CKPT_MAGIC: [u8; 4] = *b"CRHC";
+/// Current checkpoint format version.
+const CKPT_VERSION: u32 = 1;
+
+/// Where and how often to persist iteration checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Target file; written atomically (temp + rename) each time.
+    pub path: PathBuf,
+    /// Write after every `every`-th completed iteration (1 = every one).
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `path` after every iteration.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            every: 1,
+        }
+    }
+
+    /// Checkpoint only every `every`-th iteration.
+    pub fn every(mut self, every: usize) -> Self {
+        self.every = every;
+        self
+    }
+}
+
+/// The state a checkpoint frame captures: everything iteration `iteration
+/// + 1` needs to continue exactly as an uninterrupted run would.
+#[derive(Debug, Clone, PartialEq)]
+struct CheckpointState {
+    /// 0-based index of the last fully completed iteration.
+    iteration: usize,
+    /// Source weights as written by that iteration's weight job.
+    weights: Vec<f64>,
+    /// Truths estimated by that iteration's truth job.
+    truths: Vec<Truth>,
+}
+
+fn save_checkpoint(path: &Path, state: &CheckpointState) -> Result<(), PersistError> {
+    let mut e = Enc::new();
+    e.u64(state.iteration as u64);
+    e.f64s(&state.weights);
+    e.u64(state.truths.len() as u64);
+    for t in &state.truths {
+        e.truth(t);
+    }
+    write_frame(path, CKPT_MAGIC, CKPT_VERSION, &e.into_bytes())
+}
+
+fn load_checkpoint(path: &Path) -> Result<CheckpointState, PersistError> {
+    let (_version, payload) = read_frame(path, CKPT_MAGIC, CKPT_VERSION)?;
+    let mut d = Dec::new(&payload);
+    let iteration = d.u64()? as usize;
+    let weights = d.f64s()?;
+    let n = d.u64()? as usize;
+    let mut truths = Vec::with_capacity(n.min(payload.len()));
+    for _ in 0..n {
+        truths.push(d.truth()?);
+    }
+    if !d.is_exhausted() {
+        return Err(PersistError::Malformed("trailing bytes after checkpoint"));
+    }
+    Ok(CheckpointState {
+        iteration,
+        weights,
+        truths,
+    })
 }
 
 /// Configuration of the parallel CRH driver.
@@ -54,6 +142,8 @@ pub struct ParallelCrh {
     /// Per-source observation-count normalization ("the aggregated errors
     /// should be normalized by the number of sources' observations").
     pub count_normalize: bool,
+    /// Durable iteration checkpoints; `None` = don't persist.
+    pub checkpoint: Option<CheckpointConfig>,
     assigner: Box<dyn WeightAssigner>,
 }
 
@@ -65,6 +155,7 @@ impl Default for ParallelCrh {
             tol: 0.0,
             property_norm: PropertyNorm::SumToOne,
             count_normalize: true,
+            checkpoint: None,
             assigner: Box::new(LogMax),
         }
     }
@@ -75,6 +166,7 @@ impl std::fmt::Debug for ParallelCrh {
         f.debug_struct("ParallelCrh")
             .field("job", &self.job)
             .field("max_iters", &self.max_iters)
+            .field("checkpoint", &self.checkpoint)
             .field("assigner", &self.assigner.name())
             .finish()
     }
@@ -87,7 +179,7 @@ pub struct ParallelCrhResult {
     pub truths: TruthTable,
     /// Estimated source weights.
     pub weights: Vec<f64>,
-    /// Iterations performed.
+    /// Iterations performed (including any replayed from a checkpoint).
     pub iterations: usize,
     /// Whether truths stabilized before the cap.
     pub converged: bool,
@@ -97,6 +189,10 @@ pub struct ParallelCrhResult {
     pub weight_job_stats: Vec<JobStats>,
     /// End-to-end wall time.
     pub wall_time: Duration,
+    /// Checkpoint frames written during this run.
+    pub checkpoints_written: usize,
+    /// Iteration the run resumed after, if it started from a checkpoint.
+    pub resumed_from: Option<usize>,
 }
 
 impl ParallelCrh {
@@ -118,16 +214,66 @@ impl ParallelCrh {
         self
     }
 
-    /// Run parallel CRH on `table`.
-    pub fn run(&self, table: &ObservationTable) -> Result<ParallelCrhResult> {
-        let start = Instant::now();
-        self.job
-            .clone()
-            .validated()
-            .map_err(CrhError::InvalidParameter)?;
+    /// Persist iteration checkpoints per `cfg`.
+    pub fn checkpoint(mut self, cfg: CheckpointConfig) -> Self {
+        self.checkpoint = Some(cfg);
+        self
+    }
+
+    fn validate(&self) -> Result<(), MapReduceError> {
+        self.job.validate()?;
         if self.max_iters == 0 {
-            return Err(CrhError::InvalidParameter("max_iters must be >= 1".into()));
+            return Err(MapReduceError::InvalidConfig {
+                field: "max_iters",
+                reason: "must be >= 1".into(),
+            });
         }
+        if let Some(ck) = &self.checkpoint {
+            if ck.every == 0 {
+                return Err(MapReduceError::InvalidConfig {
+                    field: "checkpoint.every",
+                    reason: "must be >= 1".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Run parallel CRH on `table`.
+    pub fn run(&self, table: &ObservationTable) -> Result<ParallelCrhResult, MapReduceError> {
+        self.run_from(table, None)
+    }
+
+    /// Continue a run from the checkpoint frame at `path` (validated by
+    /// magic, version, and CRC before use). The resumed run's final truths
+    /// and weights are bit-identical to what the interrupted run would
+    /// have produced.
+    pub fn resume_from_checkpoint(
+        &self,
+        table: &ObservationTable,
+        path: impl AsRef<Path>,
+    ) -> Result<ParallelCrhResult, MapReduceError> {
+        let state = load_checkpoint(path.as_ref())?;
+        if state.weights.len() != table.num_sources() {
+            return Err(MapReduceError::Persist(PersistError::Malformed(
+                "checkpoint source count does not match the table",
+            )));
+        }
+        if state.truths.len() != table.num_entries() {
+            return Err(MapReduceError::Persist(PersistError::Malformed(
+                "checkpoint entry count does not match the table",
+            )));
+        }
+        self.run_from(table, Some(state))
+    }
+
+    fn run_from(
+        &self,
+        table: &ObservationTable,
+        resume: Option<CheckpointState>,
+    ) -> Result<ParallelCrhResult, MapReduceError> {
+        let start = Instant::now();
+        self.validate()?;
 
         let k = table.num_sources();
         let num_entries = table.num_entries();
@@ -136,7 +282,12 @@ impl ParallelCrh {
         let prepared = Arc::new(PreparedProblem::new(table, &HashMap::new())?);
         let entry_property: Arc<Vec<u32>> = Arc::new(
             (0..num_entries)
-                .map(|e| table.entry(crh_core::ids::EntryId::from_index(e)).property.0)
+                .map(|e| {
+                    table
+                        .entry(crh_core::ids::EntryId::from_index(e))
+                        .property
+                        .0
+                })
                 .collect(),
         );
 
@@ -150,17 +301,33 @@ impl ParallelCrh {
             })
             .collect();
 
-        // Weights side file, "initially … set uniformly (1/K for all sources)".
-        let weights_file = SideFile::new(vec![1.0 / k as f64; k]);
-        let truths_file: SideFile<Vec<Truth>> = SideFile::new(Vec::new());
+        // Weights side file, "initially … set uniformly (1/K for all
+        // sources)" — or, on resume, exactly the checkpointed state.
+        let resumed_from = resume.as_ref().map(|s| s.iteration);
+        let start_iter = resume.as_ref().map_or(0, |s| s.iteration + 1);
+        let weights_file;
+        let truths_file: SideFile<Vec<Truth>>;
+        let mut prev_points: Option<Vec<Value>>;
+        match resume {
+            Some(state) => {
+                prev_points = Some(state.truths.iter().map(Truth::point).collect());
+                weights_file = SideFile::new(state.weights);
+                truths_file = SideFile::new(state.truths);
+            }
+            None => {
+                prev_points = None;
+                weights_file = SideFile::new(vec![1.0 / k as f64; k]);
+                truths_file = SideFile::new(Vec::new());
+            }
+        }
 
         let mut truth_job_stats = Vec::new();
         let mut weight_job_stats = Vec::new();
-        let mut prev_points: Option<Vec<Value>> = None;
         let mut converged = false;
-        let mut iterations = 0;
+        let mut iterations = start_iter;
+        let mut checkpoints_written = 0usize;
 
-        for it in 0..self.max_iters {
+        for it in start_iter..self.max_iters {
             iterations = it + 1;
 
             // ---- Job 1: truth computation, keyed by entry id ----
@@ -175,16 +342,14 @@ impl ParallelCrh {
                 },
                 no_combiner::<u32, (u32, Value)>(),
                 |entry: &u32, values: Vec<(u32, Value)>| {
-                    let mut obs: Vec<(SourceId, Value)> = values
-                        .into_iter()
-                        .map(|(s, v)| (SourceId(s), v))
-                        .collect();
+                    let mut obs: Vec<(SourceId, Value)> =
+                        values.into_iter().map(|(s, v)| (SourceId(s), v)).collect();
                     obs.sort_by_key(|(s, _)| *s);
                     let e = *entry as usize;
                     let loss = &prep.losses[ep[e] as usize];
                     loss.fit(&obs, &weights_snapshot, &prep.stats[e])
                 },
-            );
+            )?;
             truth_job_stats.push(stats1);
             debug_assert_eq!(truth_pairs.len(), num_entries);
             let truths: Vec<Truth> = truth_pairs.into_iter().map(|(_, t)| t).collect();
@@ -222,7 +387,7 @@ impl ParallelCrh {
                 // the §2.7.3 Combiner: pre-sum partial errors per mapper
                 Some(|_k: &(u32, u32), vs: Vec<f64>| vs.into_iter().sum::<f64>()),
                 |_k, vs| vs.into_iter().sum::<f64>(),
-            );
+            )?;
             weight_job_stats.push(stats2);
 
             // wrapper: assemble the (M x K) deviation matrix, normalize,
@@ -239,6 +404,19 @@ impl ParallelCrh {
                 self.count_normalize,
             );
             weights_file.write(self.assigner.assign(&losses));
+
+            // ---- durable iteration checkpoint ----
+            if let Some(ck) = &self.checkpoint {
+                if (it + 1) % ck.every == 0 {
+                    let state = CheckpointState {
+                        iteration: it,
+                        weights: weights_file.read().as_ref().clone(),
+                        truths: truths_file.read().as_ref().clone(),
+                    };
+                    save_checkpoint(&ck.path, &state)?;
+                    checkpoints_written += 1;
+                }
+            }
         }
 
         let cells = truths_file.read().as_ref().clone();
@@ -250,6 +428,8 @@ impl ParallelCrh {
             truth_job_stats,
             weight_job_stats,
             wall_time: start.elapsed(),
+            checkpoints_written,
+            resumed_from,
         })
     }
 }
@@ -269,14 +449,21 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for i in 0..objects {
             let truth = 50.0 + i as f64;
-            b.add(ObjectId(i), t, SourceId(0), Value::Num(truth)).unwrap();
-            b.add(ObjectId(i), t, SourceId(1), Value::Num(truth + 1.0)).unwrap();
-            b.add(ObjectId(i), t, SourceId(2), Value::Num(truth + 30.0)).unwrap();
+            b.add(ObjectId(i), t, SourceId(0), Value::Num(truth))
+                .unwrap();
+            b.add(ObjectId(i), t, SourceId(1), Value::Num(truth + 1.0))
+                .unwrap();
+            b.add(ObjectId(i), t, SourceId(2), Value::Num(truth + 30.0))
+                .unwrap();
             b.add_label(ObjectId(i), c, SourceId(0), "x").unwrap();
             b.add_label(ObjectId(i), c, SourceId(1), "x").unwrap();
             b.add_label(ObjectId(i), c, SourceId(2), "y").unwrap();
         }
         b.build().unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("crh_driver_{}_{name}.ckpt", std::process::id()))
     }
 
     #[test]
@@ -345,10 +532,7 @@ mod tests {
         let res = ParallelCrh::default().run(&table).unwrap();
         let ws = &res.weight_job_stats[0];
         // at most (properties x sources) pairs per mapper survive the combiner
-        assert!(
-            ws.shuffled_records <= ws.map_output_records,
-            "{ws:?}"
-        );
+        assert!(ws.shuffled_records <= ws.map_output_records, "{ws:?}");
         assert!(ws.shuffled_records <= 2 * 3 * JobConfig::default().num_mappers);
     }
 
@@ -363,5 +547,111 @@ mod tests {
             })
             .run(&table)
             .is_err());
+        assert!(ParallelCrh::default()
+            .checkpoint(CheckpointConfig::new("x").every(0))
+            .run(&table)
+            .is_err());
+    }
+
+    #[test]
+    fn checkpoints_are_written_and_loadable() {
+        let table = lying_source_table(6);
+        let path = tmp("writes");
+        let res = ParallelCrh::default()
+            .checkpoint(CheckpointConfig::new(&path))
+            .run(&table)
+            .unwrap();
+        assert!(res.checkpoints_written >= 1);
+        assert!(path.exists());
+        let state = load_checkpoint(&path).unwrap();
+        assert_eq!(state.weights.len(), table.num_sources());
+        assert_eq!(state.truths.len(), table.num_entries());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted_run() {
+        let table = lying_source_table(9);
+        let path = tmp("resume");
+
+        // uninterrupted reference run
+        let full = ParallelCrh::default().run(&table).unwrap();
+
+        // interrupted run: stop after iteration 0's checkpoint, resume
+        let first = ParallelCrh::default()
+            .max_iters(1)
+            .checkpoint(CheckpointConfig::new(&path))
+            .run(&table)
+            .unwrap();
+        assert_eq!(first.checkpoints_written, 1);
+        let resumed = ParallelCrh::default()
+            .resume_from_checkpoint(&table, &path)
+            .unwrap();
+        assert_eq!(resumed.resumed_from, Some(0));
+
+        assert_eq!(resumed.iterations, full.iterations);
+        assert_eq!(resumed.converged, full.converged);
+        for (w1, w2) in full.weights.iter().zip(&resumed.weights) {
+            assert_eq!(w1.to_bits(), w2.to_bits(), "weights must be bit-identical");
+        }
+        for (e, t) in full.truths.iter() {
+            assert_eq!(t, resumed.truths.get(e), "entry {e}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_table() {
+        let table = lying_source_table(5);
+        let other = lying_source_table(7);
+        let path = tmp("mismatch");
+        ParallelCrh::default()
+            .max_iters(1)
+            .checkpoint(CheckpointConfig::new(&path))
+            .run(&table)
+            .unwrap();
+        let err = ParallelCrh::default()
+            .resume_from_checkpoint(&other, &path)
+            .unwrap_err();
+        assert!(matches!(err, MapReduceError::Persist(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_checkpoint() {
+        let table = lying_source_table(4);
+        let path = tmp("corrupt");
+        ParallelCrh::default()
+            .max_iters(1)
+            .checkpoint(CheckpointConfig::new(&path))
+            .run(&table)
+            .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ParallelCrh::default()
+            .resume_from_checkpoint(&table, &path)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MapReduceError::Persist(PersistError::CrcMismatch { .. })
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_every_n_skips_iterations() {
+        let table = lying_source_table(6);
+        let path = tmp("every");
+        let res = ParallelCrh::default()
+            .checkpoint(CheckpointConfig::new(&path).every(100))
+            .run(&table)
+            .unwrap();
+        assert_eq!(res.checkpoints_written, 0);
+        assert!(!path.exists());
     }
 }

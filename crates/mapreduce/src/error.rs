@@ -1,0 +1,111 @@
+//! Typed errors for the MapReduce engine and the parallel-CRH driver.
+
+use std::fmt;
+
+use crh_core::error::CrhError;
+use crh_core::persist::PersistError;
+
+use crate::faults::Phase;
+
+/// Errors surfaced by [`crate::engine::map_reduce`] and
+/// [`crate::driver::ParallelCrh`].
+#[derive(Debug)]
+pub enum MapReduceError {
+    /// A [`crate::engine::JobConfig`] field failed validation.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A task exhausted its retry budget: every attempt panicked.
+    TaskFailed {
+        /// Which phase the task belonged to.
+        phase: Phase,
+        /// Task index within the phase.
+        task: usize,
+        /// Attempts made (== the job's `max_attempts`).
+        attempts: usize,
+        /// The final attempt's panic message.
+        message: String,
+    },
+    /// An error from the core CRH library (problem preparation, solving).
+    Core(CrhError),
+    /// A checkpoint could not be written or read back.
+    Persist(PersistError),
+}
+
+impl fmt::Display for MapReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapReduceError::InvalidConfig { field, reason } => {
+                write!(f, "invalid job config: {field}: {reason}")
+            }
+            MapReduceError::TaskFailed {
+                phase,
+                task,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "{phase:?} task {task} failed after {attempts} attempts: {message}"
+            ),
+            MapReduceError::Core(e) => write!(f, "{e}"),
+            MapReduceError::Persist(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapReduceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MapReduceError::Core(e) => Some(e),
+            MapReduceError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CrhError> for MapReduceError {
+    fn from(e: CrhError) -> Self {
+        MapReduceError::Core(e)
+    }
+}
+
+impl From<PersistError> for MapReduceError {
+    fn from(e: PersistError) -> Self {
+        MapReduceError::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_failing_task() {
+        let e = MapReduceError::TaskFailed {
+            phase: Phase::Map,
+            task: 3,
+            attempts: 4,
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("task 3"), "{s}");
+        assert!(s.contains("4 attempts"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+    }
+
+    #[test]
+    fn implements_std_error_with_sources() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let e = MapReduceError::InvalidConfig {
+            field: "num_mappers",
+            reason: "must be >= 1".into(),
+        };
+        takes_err(&e);
+        assert!(std::error::Error::source(&e).is_none());
+        let e = MapReduceError::Core(CrhError::InvalidParameter("x".into()));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -23,9 +23,7 @@ pub trait Codec: Sized {
 }
 
 /// Read exactly `N` bytes, or `None` on clean EOF before the first byte.
-pub(crate) fn read_exact_or_eof<const N: usize>(
-    r: &mut impl Read,
-) -> io::Result<Option<[u8; N]>> {
+pub(crate) fn read_exact_or_eof<const N: usize>(r: &mut impl Read) -> io::Result<Option<[u8; N]>> {
     let mut buf = [0u8; N];
     let mut filled = 0;
     while filled < N {
@@ -151,7 +149,9 @@ impl<T: Codec + Ord> ExternalSorter<T> {
         for run in &self.runs {
             sources.push(RunReader::File(BufReader::new(File::open(&run.path)?)));
         }
-        sources.push(RunReader::Memory(std::mem::take(&mut self.buffer).into_iter()));
+        sources.push(RunReader::Memory(
+            std::mem::take(&mut self.buffer).into_iter(),
+        ));
 
         let mut heap = BinaryHeap::with_capacity(sources.len());
         let mut readers = sources;
@@ -200,7 +200,9 @@ impl<T: Ord> PartialOrd for HeapEntry<T> {
 }
 impl<T: Ord> Ord for HeapEntry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.rec.cmp(&other.rec).then(self.source.cmp(&other.source))
+        self.rec
+            .cmp(&other.rec)
+            .then(self.source.cmp(&other.source))
     }
 }
 
@@ -218,10 +220,7 @@ impl<T: Codec + Ord> Iterator for MergeIter<T> {
     fn next(&mut self) -> Option<Self::Item> {
         let Reverse(HeapEntry { rec, source }) = self.heap.pop()?;
         match self.readers[source].next_record() {
-            Ok(Some(next)) => self.heap.push(Reverse(HeapEntry {
-                rec: next,
-                source,
-            })),
+            Ok(Some(next)) => self.heap.push(Reverse(HeapEntry { rec: next, source })),
             Ok(None) => {}
             Err(e) => return Some(Err(e)),
         }

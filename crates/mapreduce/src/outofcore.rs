@@ -104,9 +104,10 @@ impl Codec for OocClaim {
                 let len = u32::from_le_bytes(read4(r)?) as usize;
                 let mut b = vec![0u8; len];
                 r.read_exact(&mut b)?;
-                Value::Text(String::from_utf8(b).map_err(|e| {
-                    io::Error::new(io::ErrorKind::InvalidData, e)
-                })?)
+                Value::Text(
+                    String::from_utf8(b)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                )
             }
             t => {
                 return Err(io::Error::new(
@@ -492,9 +493,12 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for i in 0..25u32 {
             let truth = 50.0 + i as f64;
-            b.add(ObjectId(i), t, SourceId(0), Value::Num(truth)).unwrap();
-            b.add(ObjectId(i), t, SourceId(1), Value::Num(truth + 1.0)).unwrap();
-            b.add(ObjectId(i), t, SourceId(2), Value::Num(truth + 30.0)).unwrap();
+            b.add(ObjectId(i), t, SourceId(0), Value::Num(truth))
+                .unwrap();
+            b.add(ObjectId(i), t, SourceId(1), Value::Num(truth + 1.0))
+                .unwrap();
+            b.add(ObjectId(i), t, SourceId(2), Value::Num(truth + 30.0))
+                .unwrap();
             b.add_label(ObjectId(i), c, SourceId(0), "x").unwrap();
             b.add_label(ObjectId(i), c, SourceId(1), "x").unwrap();
             b.add_label(ObjectId(i), c, SourceId(2), "y").unwrap();
@@ -562,7 +566,12 @@ mod tests {
             .unwrap();
 
         for (a, b) in res.weights.iter().zip(&in_mem.weights) {
-            assert!((a - b).abs() < 1e-9, "{:?} vs {:?}", res.weights, in_mem.weights);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{:?} vs {:?}",
+                res.weights,
+                in_mem.weights
+            );
         }
         assert_eq!(truths.len(), table.num_entries());
         for (e, t) in in_mem.truths.iter() {
@@ -603,8 +612,8 @@ mod tests {
     fn converges_with_generous_iteration_cap() {
         let table = test_table();
         let sorted = SortedClaims::build(to_claims(&table), 1024).unwrap();
-        let ooc = OutOfCoreCrh::new(vec![PropertyType::Continuous, PropertyType::Categorical])
-            .unwrap();
+        let ooc =
+            OutOfCoreCrh::new(vec![PropertyType::Continuous, PropertyType::Categorical]).unwrap();
         let mut n = 0;
         let res = ooc.run(&sorted, |_, _| n += 1).unwrap();
         assert!(res.converged);

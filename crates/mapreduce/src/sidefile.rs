@@ -5,9 +5,7 @@
 //! models that distributed-cache file in-process: tasks take read snapshots,
 //! the wrapper function replaces the contents between jobs.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// A shared, versioned, read-mostly value standing in for an HDFS
 /// distributed-cache file.
@@ -36,20 +34,20 @@ impl<T> SideFile<T> {
     /// Tasks hold the snapshot for their whole run, exactly like reading the
     /// file once at task start.
     pub fn read(&self) -> Arc<T> {
-        Arc::clone(&self.inner.read().1)
+        Arc::clone(&self.inner.read().expect("side file lock poisoned").1)
     }
 
     /// Replace the contents (the wrapper's "update the external file"),
     /// bumping the version.
     pub fn write(&self, value: T) {
-        let mut guard = self.inner.write();
+        let mut guard = self.inner.write().expect("side file lock poisoned");
         guard.0 += 1;
         guard.1 = Arc::new(value);
     }
 
     /// How many times the file has been rewritten.
     pub fn version(&self) -> u64 {
-        self.inner.read().0
+        self.inner.read().expect("side file lock poisoned").0
     }
 }
 
@@ -79,16 +77,15 @@ mod tests {
     #[test]
     fn concurrent_readers() {
         let f = SideFile::new(42u64);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..8 {
                 let f = f.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..100 {
                         assert_eq!(*f.read(), 42);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
     }
 }

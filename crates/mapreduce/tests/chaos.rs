@@ -1,0 +1,269 @@
+//! Chaos suite: parallel CRH under deterministic fault injection.
+//!
+//! Every test compares a run executed under an injected fault plan —
+//! task panics, stragglers, deaths mid-emit, or all three — against the
+//! same run with no faults, and requires the final truths and source
+//! weights to be **bit-identical**. Retries recompute pure task
+//! functions and results land in per-task slots, so no fault schedule
+//! may perturb the numbers. A second group kills a checkpointed run
+//! mid-flight and asserts the resumed run is also bit-identical.
+
+use std::time::Duration;
+
+use crh_core::ids::{ObjectId, SourceId};
+use crh_core::rng::{Rng, StdRng};
+use crh_core::schema::Schema;
+use crh_core::table::{ObservationTable, TableBuilder};
+use crh_core::value::Value;
+use crh_mapreduce::{
+    CheckpointConfig, FaultInjector, FaultPlan, JobConfig, ParallelCrh, ParallelCrhResult,
+};
+
+/// A small but non-trivial heterogeneous table: continuous and
+/// categorical properties, sources of very different reliability,
+/// missing observations.
+fn chaos_table(seed: u64, objects: u32, sources: u32) -> ObservationTable {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+    let mut schema = Schema::new();
+    let price = schema.add_continuous("price");
+    let cat = schema.add_categorical("sector");
+    let labels = ["tech", "energy", "retail"];
+    let mut b = TableBuilder::new(schema);
+    for o in 0..objects {
+        let truth_num = 100.0 + f64::from(o) * 3.0;
+        let truth_lab = labels[(o as usize) % labels.len()];
+        for s in 0..sources {
+            // source s lies more the higher its id; source coverage ~85%
+            if rng.random::<f64>() < 0.15 {
+                continue;
+            }
+            let bias = f64::from(s) * rng.random_range(0.0..2.0);
+            b.add(
+                ObjectId(o),
+                price,
+                SourceId(s),
+                Value::Num(truth_num + bias),
+            )
+            .unwrap();
+            let lab = if rng.random::<f64>() < 0.2 + 0.1 * f64::from(s) {
+                labels[rng.random_range(0..labels.len())]
+            } else {
+                truth_lab
+            };
+            b.add_label(ObjectId(o), cat, SourceId(s), lab).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+fn run_with(table: &ObservationTable, plan: Option<FaultPlan>) -> ParallelCrhResult {
+    let job = JobConfig {
+        num_mappers: 3,
+        num_reducers: 3,
+        task_slots: 8,
+        max_attempts: 12,
+        backoff_base: Duration::from_micros(100),
+        backoff_cap: Duration::from_millis(2),
+        faults: plan.map(FaultInjector::new),
+        ..JobConfig::default()
+    };
+    ParallelCrh::default()
+        .job_config(job)
+        .max_iters(6)
+        .run(table)
+        .expect("chaos run must converge to the fault-free answer")
+}
+
+fn assert_bit_identical(reference: &ParallelCrhResult, chaotic: &ParallelCrhResult) {
+    assert_eq!(reference.iterations, chaotic.iterations);
+    assert_eq!(reference.converged, chaotic.converged);
+    for (i, (a, b)) in reference.weights.iter().zip(&chaotic.weights).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "weight {i} diverged: {a} vs {b}");
+    }
+    for (e, t) in reference.truths.iter() {
+        assert_eq!(t, chaotic.truths.get(e), "truth for entry {e} diverged");
+    }
+}
+
+#[test]
+fn panics_never_change_the_answer() {
+    let table = chaos_table(1, 16, 5);
+    let reference = run_with(&table, None);
+    for seed in 0..6 {
+        let chaotic = run_with(&table, Some(FaultPlan::new(seed).panics(0.4)));
+        assert_bit_identical(&reference, &chaotic);
+    }
+}
+
+#[test]
+fn stragglers_never_change_the_answer() {
+    let table = chaos_table(2, 12, 4);
+    let reference = run_with(&table, None);
+    for seed in 0..4 {
+        let plan = FaultPlan::new(seed).stalls(0.3, Duration::from_millis(25));
+        let chaotic = run_with(&table, Some(plan));
+        assert_bit_identical(&reference, &chaotic);
+    }
+}
+
+#[test]
+fn deaths_mid_emit_never_change_the_answer() {
+    let table = chaos_table(3, 16, 5);
+    let reference = run_with(&table, None);
+    for seed in 0..6 {
+        let chaotic = run_with(&table, Some(FaultPlan::new(seed).dies_mid_work(0.5)));
+        assert_bit_identical(&reference, &chaotic);
+    }
+}
+
+#[test]
+fn combined_chaos_never_changes_the_answer() {
+    let table = chaos_table(4, 14, 5);
+    let reference = run_with(&table, None);
+    for seed in 0..4 {
+        let plan = FaultPlan::new(seed)
+            .panics(0.2)
+            .stalls(0.15, Duration::from_millis(15))
+            .dies_mid_work(0.2)
+            .fault_free_after(4);
+        let chaotic = run_with(&table, Some(plan));
+        assert_bit_identical(&reference, &chaotic);
+    }
+}
+
+#[test]
+fn chaos_runs_actually_retry() {
+    // Guard against the suite silently testing nothing: under a hot plan
+    // the stats must show injected failures were hit and retried.
+    let table = chaos_table(5, 12, 4);
+    let chaotic = run_with(
+        &table,
+        Some(FaultPlan::new(7).panics(0.5).dies_mid_work(0.3)),
+    );
+    let retries: usize = chaotic
+        .truth_job_stats
+        .iter()
+        .chain(&chaotic.weight_job_stats)
+        .map(|s| s.retries)
+        .sum();
+    let attempts: usize = chaotic
+        .truth_job_stats
+        .iter()
+        .chain(&chaotic.weight_job_stats)
+        .map(|s| s.attempts)
+        .sum();
+    assert!(retries > 0, "plan injected no faults at all");
+    assert!(attempts > retries, "every retry implies a prior attempt");
+}
+
+#[test]
+fn chaos_replays_exactly_per_seed() {
+    let table = chaos_table(6, 10, 4);
+    let plan = || FaultPlan::new(11).panics(0.3).dies_mid_work(0.2);
+    let a = run_with(&table, Some(plan()));
+    let b = run_with(&table, Some(plan()));
+    assert_bit_identical(&a, &b);
+    let (ra, rb): (Vec<_>, Vec<_>) = (
+        a.truth_job_stats.iter().map(|s| s.retries).collect(),
+        b.truth_job_stats.iter().map(|s| s.retries).collect(),
+    );
+    assert_eq!(ra, rb, "same seed must replay the same fault schedule");
+}
+
+#[test]
+fn faults_scoped_to_specific_jobs_only_hit_those_jobs() {
+    let table = chaos_table(7, 10, 4);
+    // two jobs per iteration: jobs 2..4 are iteration 1
+    let plan = FaultPlan::new(3).panics(0.9).only_jobs(2..4);
+    let chaotic = run_with(&table, Some(plan));
+    let reference = run_with(&table, None);
+    assert_bit_identical(&reference, &chaotic);
+    assert_eq!(
+        chaotic.truth_job_stats[0].retries, 0,
+        "iteration 0 untouched"
+    );
+    assert_eq!(
+        chaotic.weight_job_stats[0].retries, 0,
+        "iteration 0 untouched"
+    );
+    let it1_retries = chaotic.truth_job_stats[1].retries
+        + chaotic.weight_job_stats.get(1).map_or(0, |s| s.retries);
+    assert!(it1_retries > 0, "iteration 1 should have been hit");
+}
+
+// ---- kill + checkpoint/resume under chaos ----
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("crh_chaos_{}_{name}.ckpt", std::process::id()))
+}
+
+#[test]
+fn kill_then_resume_under_chaos_is_bit_identical() {
+    let table = chaos_table(8, 12, 5);
+    let reference = run_with(&table, None);
+    let path = tmp("kill_resume");
+
+    // "Kill" the run after 2 of 6 iterations, with faults raging, then
+    // resume — also under (different!) faults. Both halves must still
+    // land exactly on the fault-free answer.
+    let job = |seed: u64| JobConfig {
+        num_mappers: 3,
+        num_reducers: 3,
+        task_slots: 8,
+        max_attempts: 12,
+        backoff_base: Duration::from_micros(100),
+        backoff_cap: Duration::from_millis(2),
+        faults: Some(FaultInjector::new(
+            FaultPlan::new(seed).panics(0.3).dies_mid_work(0.2),
+        )),
+        ..JobConfig::default()
+    };
+    let killed = ParallelCrh::default()
+        .job_config(job(21))
+        .max_iters(2)
+        .checkpoint(CheckpointConfig::new(&path))
+        .run(&table)
+        .unwrap();
+    assert_eq!(killed.checkpoints_written, 2);
+
+    let resumed = ParallelCrh::default()
+        .job_config(job(99))
+        .max_iters(6)
+        .resume_from_checkpoint(&table, &path)
+        .unwrap();
+    assert_eq!(resumed.resumed_from, Some(1));
+    assert_bit_identical(&reference, &resumed);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_replays_from_sparse_checkpoints() {
+    // checkpoint only every 2nd iteration: resume restarts from the last
+    // frame and replays the missing iteration, still bit-identical
+    let table = chaos_table(9, 10, 4);
+    let reference = run_with(&table, None);
+    let path = tmp("sparse");
+    let partial = ParallelCrh::default()
+        .max_iters(3)
+        .checkpoint(CheckpointConfig::new(&path).every(2))
+        .run(&table)
+        .unwrap();
+    assert_eq!(partial.checkpoints_written, 1, "only iteration 1 persisted");
+    let resumed = ParallelCrh::default()
+        .job_config(JobConfig {
+            num_mappers: 3,
+            num_reducers: 3,
+            task_slots: 8,
+            max_attempts: 12,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(2),
+            faults: Some(FaultInjector::new(FaultPlan::new(5).panics(0.35))),
+            ..JobConfig::default()
+        })
+        .max_iters(6)
+        .resume_from_checkpoint(&table, &path)
+        .unwrap();
+    assert_eq!(resumed.resumed_from, Some(1));
+    assert_bit_identical(&reference, &resumed);
+    std::fs::remove_file(&path).ok();
+}

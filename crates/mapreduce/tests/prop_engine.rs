@@ -1,12 +1,17 @@
-//! Property-based tests for the MapReduce engine: equivalence with a
+//! Randomized property tests for the MapReduce engine: equivalence with a
 //! single-threaded reference under arbitrary data and parallelism.
+//!
+//! Originally `proptest` properties, now driven by the in-tree seeded
+//! generator so the workspace tests run offline. Every case is
+//! reproducible from the seed named in its failure message.
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
-
+use crh_core::rng::{Rng, StdRng};
 use crh_core::value::Value;
 use crh_mapreduce::{map_reduce, Codec, ExternalSorter, JobConfig, OocClaim, SortedClaims};
+
+const CASES: u64 = 64;
 
 /// Single-threaded reference word count.
 fn reference_count(docs: &[String]) -> BTreeMap<String, usize> {
@@ -30,48 +35,57 @@ fn engine_count(docs: &[String], cfg: &JobConfig) -> BTreeMap<String, usize> {
         },
         Some(|_k: &String, vs: Vec<usize>| vs.into_iter().sum::<usize>()),
         |_k, vs| vs.into_iter().sum::<usize>(),
-    );
+    )
+    .expect("word count job");
     out.into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_doc(rng: &mut StdRng, alphabet: &[char], max_len: usize) -> String {
+    let len = rng.random_range(0..max_len + 1);
+    (0..len)
+        .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+        .collect()
+}
 
-    /// The engine agrees with the single-threaded reference for any input
-    /// and any mapper/reducer/slot configuration.
-    #[test]
-    fn matches_reference_under_any_parallelism(
-        docs in prop::collection::vec("[ab c]{0,12}", 0..20),
-        mappers in 1usize..6,
-        reducers in 1usize..9,
-        slots in 1usize..5,
-        combiner in any::<bool>(),
-    ) {
+/// The engine agrees with the single-threaded reference for any input
+/// and any mapper/reducer/slot configuration.
+#[test]
+fn matches_reference_under_any_parallelism() {
+    let alphabet = ['a', 'b', ' ', 'c', ' '];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let docs: Vec<String> = (0..rng.random_range(0usize..20))
+            .map(|_| random_doc(&mut rng, &alphabet, 12))
+            .collect();
         let cfg = JobConfig {
-            num_mappers: mappers,
-            num_reducers: reducers,
-            task_slots: slots,
-            use_combiner: combiner,
+            num_mappers: rng.random_range(1usize..6),
+            num_reducers: rng.random_range(1usize..9),
+            task_slots: rng.random_range(1usize..5),
+            use_combiner: rng.random::<bool>(),
             ..JobConfig::default()
         };
-        prop_assert_eq!(engine_count(&docs, &cfg), reference_count(&docs));
+        assert_eq!(
+            engine_count(&docs, &cfg),
+            reference_count(&docs),
+            "seed {seed} cfg {cfg:?}"
+        );
     }
+}
 
-    /// The external sorter agrees with std sort for any memory budget.
-    #[test]
-    fn external_sort_matches_std_sort(
-        entries in prop::collection::vec((0u32..30, 0u32..8, -100.0f64..100.0), 0..200),
-        budget in 1usize..64,
-    ) {
-        let claims: Vec<OocClaim> = entries
-            .iter()
-            .map(|&(e, s, v)| OocClaim {
-                entry: e,
+/// The external sorter agrees with std sort for any memory budget.
+#[test]
+fn external_sort_matches_std_sort() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5037);
+        let claims: Vec<OocClaim> = (0..rng.random_range(0usize..200))
+            .map(|_| OocClaim {
+                entry: rng.random_range(0u32..30),
                 property: 0,
-                source: s,
-                value: Value::Num(v),
+                source: rng.random_range(0u32..8),
+                value: Value::Num(rng.random_range(-100.0f64..100.0)),
             })
             .collect();
+        let budget = rng.random_range(1usize..64);
         let mut expected = claims.clone();
         expected.sort();
         let mut sorter = ExternalSorter::new(budget);
@@ -85,52 +99,67 @@ proptest! {
             .unwrap();
         // Ord on OocClaim is by (entry, source) only, so compare keys.
         let keys = |v: &[OocClaim]| v.iter().map(|c| (c.entry, c.source)).collect::<Vec<_>>();
-        prop_assert_eq!(keys(&merged), keys(&expected));
+        assert_eq!(keys(&merged), keys(&expected), "seed {seed}");
     }
+}
 
-    /// The claim codec round-trips arbitrary values through spill bytes.
-    #[test]
-    fn claim_codec_roundtrips(
-        entry in any::<u32>(),
-        property in any::<u32>(),
-        source in any::<u32>(),
-        which in 0u8..3,
-        num in any::<f64>(),
-        cat in any::<u32>(),
-        text in "[^\u{0}]{0,40}",
-    ) {
-        prop_assume!(!num.is_nan());
-        let value = match which {
-            0 => Value::Cat(cat),
-            1 => Value::Num(num),
-            _ => Value::Text(text),
+/// The claim codec round-trips arbitrary values through spill bytes.
+#[test]
+fn claim_codec_roundtrips() {
+    let text_alphabet: &[char] = &['a', 'Z', '0', ' ', ',', '"', '\n', 'é', '中', '🦀'];
+    for seed in 0..CASES * 4 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DEC);
+        let value = match rng.random_range(0u32..3) {
+            0 => Value::Cat(rng.random::<u32>()),
+            1 => {
+                // arbitrary finite bit patterns, including subnormals
+                let mut num = f64::from_bits(rng.random::<u64>());
+                while num.is_nan() {
+                    num = f64::from_bits(rng.random::<u64>());
+                }
+                Value::Num(num)
+            }
+            _ => {
+                let len = rng.random_range(0usize..40);
+                Value::Text(
+                    (0..len)
+                        .map(|_| text_alphabet[rng.random_range(0..text_alphabet.len())])
+                        .collect(),
+                )
+            }
         };
-        let claim = OocClaim { entry, property, source, value };
+        let claim = OocClaim {
+            entry: rng.random::<u32>(),
+            property: rng.random::<u32>(),
+            source: rng.random::<u32>(),
+            value,
+        };
         let mut buf = Vec::new();
         claim.encode(&mut buf);
         let mut r = buf.as_slice();
         let back = OocClaim::decode(&mut r).unwrap().unwrap();
-        prop_assert_eq!(back, claim);
+        assert_eq!(back, claim, "seed {seed}");
     }
+}
 
-    /// SortedClaims group scan covers every claim exactly once, grouped.
-    #[test]
-    fn sorted_claims_scan_is_a_partition(
-        entries in prop::collection::vec((0u32..12, 0u32..5), 1..60),
-        budget in 1usize..32,
-    ) {
+/// SortedClaims group scan covers every claim exactly once, grouped.
+#[test]
+fn sorted_claims_scan_is_a_partition() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA17);
         // dedup (entry, source) pairs as the upstream table builder does
         let mut seen = std::collections::HashSet::new();
-        let claims: Vec<OocClaim> = entries
-            .iter()
-            .filter(|&&(e, s)| seen.insert((e, s)))
-            .map(|&(e, s)| OocClaim {
+        let claims: Vec<OocClaim> = (0..rng.random_range(1usize..60))
+            .map(|_| (rng.random_range(0u32..12), rng.random_range(0u32..5)))
+            .filter(|&(e, s)| seen.insert((e, s)))
+            .map(|(e, s)| OocClaim {
                 entry: e,
                 property: 0,
                 source: s,
                 value: Value::Num(f64::from(e) + f64::from(s)),
             })
             .collect();
+        let budget = rng.random_range(1usize..32);
         let n = claims.len();
         let sorted = SortedClaims::build(claims, budget).unwrap();
         let mut total = 0usize;
@@ -138,26 +167,30 @@ proptest! {
         for g in sorted.scan_groups().unwrap() {
             let (entry, _, obs) = g.unwrap();
             if let Some(p) = prev_entry {
-                prop_assert!(entry > p);
+                assert!(entry > p, "seed {seed}");
             }
             prev_entry = Some(entry);
             // sources within a group are sorted and unique
             for w in obs.windows(2) {
-                prop_assert!(w[0].0 < w[1].0);
+                assert!(w[0].0 < w[1].0, "seed {seed}");
             }
             total += obs.len();
         }
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n, "seed {seed}");
     }
+}
 
-    /// Outputs are globally sorted by key and keys are unique.
-    #[test]
-    fn output_sorted_and_deduplicated(
-        docs in prop::collection::vec("[a-d ]{0,10}", 1..12),
-        reducers in 1usize..6,
-    ) {
+/// Outputs are globally sorted by key and keys are unique.
+#[test]
+fn output_sorted_and_deduplicated() {
+    let alphabet = ['a', 'b', 'c', 'd', ' '];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DD);
+        let docs: Vec<String> = (0..rng.random_range(1usize..12))
+            .map(|_| random_doc(&mut rng, &alphabet, 10))
+            .collect();
         let cfg = JobConfig {
-            num_reducers: reducers,
+            num_reducers: rng.random_range(1usize..6),
             ..JobConfig::default()
         };
         let (out, stats) = map_reduce(
@@ -170,11 +203,15 @@ proptest! {
             },
             Some(|_k: &String, vs: Vec<usize>| vs.into_iter().sum::<usize>()),
             |_k, vs| vs.into_iter().sum::<usize>(),
-        );
+        )
+        .unwrap();
         for w in out.windows(2) {
-            prop_assert!(w[0].0 < w[1].0, "sorted unique keys");
+            assert!(w[0].0 < w[1].0, "seed {seed}: sorted unique keys");
         }
-        prop_assert_eq!(stats.reduced_keys, out.len());
-        prop_assert!(stats.shuffled_records <= stats.map_output_records);
+        assert_eq!(stats.reduced_keys, out.len(), "seed {seed}");
+        assert!(
+            stats.shuffled_records <= stats.map_output_records,
+            "seed {seed}"
+        );
     }
 }

@@ -1,0 +1,99 @@
+//! Typed errors for streaming CRH.
+
+use crh_core::error::CrhError;
+use crh_core::persist::PersistError;
+
+/// Everything that can go wrong configuring, checkpointing, or resuming
+/// an I-CRH session.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The decay rate is outside `[0, 1]` (or NaN).
+    InvalidAlpha {
+        /// The rejected value.
+        got: f64,
+    },
+    /// A checkpoint's weight and accumulated-distance vectors disagree
+    /// in length.
+    CheckpointMismatch {
+        /// Number of weights in the checkpoint.
+        weights: usize,
+        /// Number of accumulated distances in the checkpoint.
+        accumulated: usize,
+    },
+    /// A checkpoint contains NaN or infinite values.
+    NonFiniteCheckpoint,
+    /// An error from the core solver.
+    Core(CrhError),
+    /// A durable checkpoint failed to read or write (I/O, bad magic,
+    /// truncation, CRC mismatch, …).
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidAlpha { got } => {
+                write!(f, "decay rate alpha must be in [0,1], got {got}")
+            }
+            Self::CheckpointMismatch {
+                weights,
+                accumulated,
+            } => write!(
+                f,
+                "checkpoint weight/accumulator lengths differ: {weights} vs {accumulated}"
+            ),
+            Self::NonFiniteCheckpoint => write!(f, "checkpoint contains non-finite values"),
+            Self::Core(e) => write!(f, "core solver error: {e}"),
+            Self::Persist(e) => write!(f, "checkpoint persistence error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CrhError> for StreamError {
+    fn from(e: CrhError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<PersistError> for StreamError {
+    fn from(e: PersistError) -> Self {
+        Self::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = StreamError::InvalidAlpha { got: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = StreamError::CheckpointMismatch {
+            weights: 3,
+            accumulated: 2,
+        };
+        assert!(e.to_string().contains("3 vs 2"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = StreamError::from(PersistError::Truncated {
+            expected: 8,
+            got: 3,
+        });
+        assert!(e.source().is_some());
+        assert!(StreamError::NonFiniteCheckpoint.source().is_none());
+    }
+}

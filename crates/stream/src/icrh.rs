@@ -1,13 +1,15 @@
 //! The incremental CRH method (Algorithm 2).
 
 use std::collections::HashMap;
+use std::path::Path;
 
-use crh_core::error::{CrhError, Result};
-use crh_core::solver::{
-    deviation_matrix, fit_all, source_losses, PreparedProblem, PropertyNorm,
-};
+use crh_core::error::Result;
+use crh_core::persist::{read_frame, write_frame, Dec, Enc, PersistError};
+use crh_core::solver::{deviation_matrix, fit_all, source_losses, PreparedProblem, PropertyNorm};
 use crh_core::table::{ObservationTable, TruthTable};
 use crh_core::weights::{LogMax, WeightAssigner};
+
+use crate::error::StreamError;
 
 /// Configuration for incremental CRH.
 pub struct ICrh {
@@ -30,11 +32,9 @@ impl ICrh {
     /// Build with decay rate `α ∈ \[0, 1\]` and the paper's defaults
     /// elsewhere (log-max weights, per-property normalization, per-source
     /// count normalization).
-    pub fn new(alpha: f64) -> Result<Self> {
+    pub fn new(alpha: f64) -> std::result::Result<Self, StreamError> {
         if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
-            return Err(CrhError::InvalidParameter(format!(
-                "decay rate alpha must be in [0,1], got {alpha}"
-            )));
+            return Err(StreamError::InvalidAlpha { got: alpha });
         }
         Ok(Self {
             alpha,
@@ -122,6 +122,75 @@ pub struct ICrhCheckpoint {
     pub chunks_seen: usize,
 }
 
+/// Magic bytes of a durable I-CRH checkpoint frame.
+const STREAM_CKPT_MAGIC: [u8; 4] = *b"CRHS";
+/// Current durable checkpoint format version.
+const STREAM_CKPT_VERSION: u32 = 1;
+
+impl ICrhCheckpoint {
+    /// Internal consistency checks shared by [`resume`](ICrhState::resume)
+    /// and [`load`](Self::load).
+    pub fn validate(&self) -> std::result::Result<(), StreamError> {
+        if self.weights.len() != self.accumulated.len() {
+            return Err(StreamError::CheckpointMismatch {
+                weights: self.weights.len(),
+                accumulated: self.accumulated.len(),
+            });
+        }
+        if self
+            .weights
+            .iter()
+            .chain(&self.accumulated)
+            .any(|x| !x.is_finite())
+        {
+            return Err(StreamError::NonFiniteCheckpoint);
+        }
+        Ok(())
+    }
+
+    /// Persist the checkpoint durably: CRC-framed, `f64` bits exact,
+    /// written to a temp file and atomically renamed into place so a
+    /// crash mid-write never leaves a torn checkpoint behind.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::result::Result<(), StreamError> {
+        let mut e = Enc::new();
+        e.u64(self.chunks_seen as u64);
+        e.f64s(&self.weights);
+        e.f64s(&self.accumulated);
+        write_frame(
+            path.as_ref(),
+            STREAM_CKPT_MAGIC,
+            STREAM_CKPT_VERSION,
+            &e.into_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Load a checkpoint written by [`save`](Self::save). The frame's
+    /// magic, version, and CRC are verified before decoding; truncated or
+    /// corrupted files are rejected with a typed error, as are frames
+    /// whose decoded state is internally inconsistent.
+    pub fn load(path: impl AsRef<Path>) -> std::result::Result<Self, StreamError> {
+        let (_version, payload) =
+            read_frame(path.as_ref(), STREAM_CKPT_MAGIC, STREAM_CKPT_VERSION)?;
+        let mut d = Dec::new(&payload);
+        let chunks_seen = d.u64()? as usize;
+        let weights = d.f64s()?;
+        let accumulated = d.f64s()?;
+        if !d.is_exhausted() {
+            return Err(StreamError::Persist(PersistError::Malformed(
+                "trailing bytes after stream checkpoint",
+            )));
+        }
+        let ckpt = Self {
+            weights,
+            accumulated,
+            chunks_seen,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+}
+
 impl ICrhState {
     /// Snapshot the session for persistence. The weight history is not part
     /// of the checkpoint (it is a diagnostic, not solver state).
@@ -135,19 +204,8 @@ impl ICrhState {
 
     /// Resume a session from a checkpoint, continuing the stream where the
     /// snapshotted session left off.
-    pub fn resume(cfg: ICrh, ckpt: ICrhCheckpoint) -> Result<Self> {
-        if ckpt.weights.len() != ckpt.accumulated.len() {
-            return Err(CrhError::InvalidParameter(format!(
-                "checkpoint weight/accumulator lengths differ: {} vs {}",
-                ckpt.weights.len(),
-                ckpt.accumulated.len()
-            )));
-        }
-        if ckpt.weights.iter().chain(&ckpt.accumulated).any(|x| !x.is_finite()) {
-            return Err(CrhError::InvalidParameter(
-                "checkpoint contains non-finite values".into(),
-            ));
-        }
+    pub fn resume(cfg: ICrh, ckpt: ICrhCheckpoint) -> std::result::Result<Self, StreamError> {
+        ckpt.validate()?;
         Ok(Self {
             cfg,
             weights: ckpt.weights,
@@ -377,7 +435,10 @@ mod tests {
         resumed.process_chunk(&chunks[2]).unwrap();
         resumed.process_chunk(&chunks[3]).unwrap();
         assert_eq!(full.weights(), resumed.weights());
-        assert_eq!(full.accumulated_distances(), resumed.accumulated_distances());
+        assert_eq!(
+            full.accumulated_distances(),
+            resumed.accumulated_distances()
+        );
         assert_eq!(resumed.chunks_seen(), 4);
     }
 
@@ -388,13 +449,114 @@ mod tests {
             accumulated: vec![0.0],
             chunks_seen: 1,
         };
-        assert!(ICrhState::resume(ICrh::new(0.5).unwrap(), bad).is_err());
+        let err = ICrhState::resume(ICrh::new(0.5).unwrap(), bad).unwrap_err();
+        assert!(
+            matches!(err, StreamError::CheckpointMismatch { .. }),
+            "{err}"
+        );
         let nan = ICrhCheckpoint {
             weights: vec![f64::NAN],
             accumulated: vec![0.0],
             chunks_seen: 1,
         };
-        assert!(ICrhState::resume(ICrh::new(0.5).unwrap(), nan).is_err());
+        let err = ICrhState::resume(ICrh::new(0.5).unwrap(), nan).unwrap_err();
+        assert!(matches!(err, StreamError::NonFiniteCheckpoint), "{err}");
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("crh_stream_{}_{name}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn durable_checkpoint_roundtrips_bit_exact() {
+        let mut state = ICrh::new(0.5).unwrap().start();
+        for day in 0..3 {
+            state.process_chunk(&chunk(day, 5)).unwrap();
+        }
+        let ckpt = state.checkpoint();
+        let path = tmp("roundtrip");
+        ckpt.save(&path).unwrap();
+        let loaded = ICrhCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        for (a, b) in ckpt.weights.iter().zip(&loaded.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn durable_resume_continues_identically() {
+        let chunks: Vec<_> = (0..4).map(|d| chunk(d, 5)).collect();
+        let mut full = ICrh::new(0.5).unwrap().start();
+        for c in &chunks {
+            full.process_chunk(c).unwrap();
+        }
+        let path = tmp("resume");
+        let mut first = ICrh::new(0.5).unwrap().start();
+        first.process_chunk(&chunks[0]).unwrap();
+        first.process_chunk(&chunks[1]).unwrap();
+        first.checkpoint().save(&path).unwrap();
+        drop(first); // the process "dies" here
+
+        let loaded = ICrhCheckpoint::load(&path).unwrap();
+        let mut resumed = ICrhState::resume(ICrh::new(0.5).unwrap(), loaded).unwrap();
+        resumed.process_chunk(&chunks[2]).unwrap();
+        resumed.process_chunk(&chunks[3]).unwrap();
+        assert_eq!(full.weights(), resumed.weights());
+        assert_eq!(
+            full.accumulated_distances(),
+            resumed.accumulated_distances()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let path = tmp("truncated");
+        let ckpt = ICrhCheckpoint {
+            weights: vec![1.0, 2.0],
+            accumulated: vec![0.5, 0.25],
+            chunks_seen: 7,
+        };
+        ckpt.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = ICrhCheckpoint::load(&path).unwrap_err();
+        assert!(matches!(err, StreamError::Persist(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupted_payload() {
+        let path = tmp("corrupt");
+        let ckpt = ICrhCheckpoint {
+            weights: vec![1.0, 2.0],
+            accumulated: vec![0.5, 0.25],
+            chunks_seen: 7,
+        };
+        ckpt.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ICrhCheckpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamError::Persist(crh_core::persist::PersistError::CrcMismatch { .. })
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_magic() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTACHECKPOINTFILE______________").unwrap();
+        let err = ICrhCheckpoint::load(&path).unwrap_err();
+        assert!(matches!(err, StreamError::Persist(_)), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -42,8 +42,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod icrh;
 pub mod window;
 
+pub use error::StreamError;
 pub use icrh::{ICrh, ICrhCheckpoint, ICrhState, StreamResult};
 pub use window::group_windows;

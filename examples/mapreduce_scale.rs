@@ -66,8 +66,12 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    // Cross-check against the sequential solver on a sample.
+    // Cross-check against the sequential solver. The parallel driver
+    // iterates until the hard decisions are a fixed point; run the
+    // sequential solver to a matching precision (its default 1e-6
+    // objective tolerance can stop a few weight updates short of it).
     let seq = CrhBuilder::new()
+        .tolerance(1e-12)
         .build()
         .expect("config")
         .run(&ds.table)

@@ -50,7 +50,9 @@ fn main() {
         .properties()
         .map(|(_, def)| def.ptype)
         .collect();
-    let ooc = OutOfCoreCrh::new(types).expect("schema").max_in_memory(budget);
+    let ooc = OutOfCoreCrh::new(types)
+        .expect("schema")
+        .max_in_memory(budget);
 
     let t = std::time::Instant::now();
     let mut truths = std::collections::HashMap::new();

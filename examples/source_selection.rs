@@ -23,17 +23,29 @@ fn build_table() -> (ObservationTable, PropertyId, PropertyId) {
         let t = 100.0 + i as f64;
         // source 0: excellent prices, bad sectors
         b.add(obj, price, SourceId(0), Value::Num(t + 0.1)).unwrap();
-        b.add_label(obj, sector, SourceId(0), if i % 3 == 0 { "tech" } else { "misc" })
-            .unwrap();
+        b.add_label(
+            obj,
+            sector,
+            SourceId(0),
+            if i % 3 == 0 { "tech" } else { "misc" },
+        )
+        .unwrap();
         // source 1: bad prices, excellent sectors
-        b.add(obj, price, SourceId(1), Value::Num(t + 12.0)).unwrap();
+        b.add(obj, price, SourceId(1), Value::Num(t + 12.0))
+            .unwrap();
         b.add_label(obj, sector, SourceId(1), "tech").unwrap();
         // source 2: decent at both
         b.add(obj, price, SourceId(2), Value::Num(t + 2.0)).unwrap();
-        b.add_label(obj, sector, SourceId(2), if i % 5 == 0 { "misc" } else { "tech" })
-            .unwrap();
+        b.add_label(
+            obj,
+            sector,
+            SourceId(2),
+            if i % 5 == 0 { "misc" } else { "tech" },
+        )
+        .unwrap();
         // source 3: bad at both
-        b.add(obj, price, SourceId(3), Value::Num(t - 25.0)).unwrap();
+        b.add(obj, price, SourceId(3), Value::Num(t - 25.0))
+            .unwrap();
         b.add_label(obj, sector, SourceId(3), "misc").unwrap();
     }
     (b.build().unwrap(), price, sector)

@@ -100,5 +100,8 @@ fn main() {
             .map(|w| (w * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
     );
-    assert!(icrh_time < batch_time, "I-CRH must be faster than batch CRH");
+    assert!(
+        icrh_time < batch_time,
+        "I-CRH must be faster than batch CRH"
+    );
 }

@@ -43,8 +43,16 @@ fn main() {
         println!(
             "{:<10} {:>12} {:>8}",
             m.name(),
-            if out.supported.categorical { ev.error_rate_str() } else { "NA".into() },
-            if out.supported.continuous { ev.mnad_str() } else { "NA".into() },
+            if out.supported.categorical {
+                ev.error_rate_str()
+            } else {
+                "NA".into()
+            },
+            if out.supported.continuous {
+                ev.mnad_str()
+            } else {
+                "NA".into()
+            },
         );
     }
 

@@ -255,7 +255,10 @@ fn evaluate_cmd(args: &Args) -> Result<(), String> {
                 .join(", ")
         ));
     }
-    println!("{:<18} {:>10} {:>8} {:>9}", "method", "Error Rate", "MNAD", "time(s)");
+    println!(
+        "{:<18} {:>10} {:>8} {:>9}",
+        "method", "Error Rate", "MNAD", "time(s)"
+    );
     for m in methods {
         let t = std::time::Instant::now();
         let out = m.run(&ds.table);
@@ -264,8 +267,16 @@ fn evaluate_cmd(args: &Args) -> Result<(), String> {
         println!(
             "{:<18} {:>10} {:>8} {:>9.3}",
             m.name(),
-            if out.supported.categorical { ev.error_rate_str() } else { "NA".into() },
-            if out.supported.continuous { ev.mnad_str() } else { "NA".into() },
+            if out.supported.categorical {
+                ev.error_rate_str()
+            } else {
+                "NA".into()
+            },
+            if out.supported.continuous {
+                ev.mnad_str()
+            } else {
+                "NA".into()
+            },
             secs
         );
     }
@@ -421,8 +432,7 @@ fn ooc(args: &Args) -> Result<(), String> {
     } else {
         std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
         Box::new(std::io::BufWriter::new(
-            std::fs::File::create(Path::new(&out).join("truths.csv"))
-                .map_err(|e| e.to_string())?,
+            std::fs::File::create(Path::new(&out).join("truths.csv")).map_err(|e| e.to_string())?,
         ))
     };
     crh::data::csv::write_record(&mut writer, &["object", "property", "value"])
