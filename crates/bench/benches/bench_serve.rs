@@ -1,0 +1,119 @@
+//! Serving-layer throughput: durable ingest (WAL fsync + fold) and
+//! crash-recovery latency (snapshot load + WAL replay).
+//!
+//! Run with `CRH_BENCH_JSON=BENCH_serve.json` to capture the results as
+//! a machine-readable artifact (CI does this in the `chaos-serve` job).
+
+use std::path::PathBuf;
+
+use crh_bench::microbench::{Harness, Throughput};
+use crh_core::rng::{Pcg64, Rng};
+use crh_core::schema::Schema;
+use crh_serve::{ChunkClaim, ServeConfig, ServeCore};
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_continuous("temperature");
+    s.add_continuous("humidity");
+    let p = s.add_categorical("condition");
+    for label in ["sunny", "rainy", "foggy"] {
+        s.intern(p, label).unwrap();
+    }
+    s
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("crh_bench_serve_{}_{name}", std::process::id()))
+}
+
+/// Deterministic chunks: 8 claims each over 6 sources and 3 properties.
+fn workload(n: usize) -> Vec<Vec<ChunkClaim>> {
+    let mut rng = Pcg64::seed_from_u64(42);
+    (0..n)
+        .map(|_| {
+            (0..8)
+                .map(|_| {
+                    let object = (rng.next_u64() % 16) as u32;
+                    let source = (rng.next_u64() % 6) as u32;
+                    match rng.next_u64() % 3 {
+                        0 => ChunkClaim::num(
+                            object,
+                            0,
+                            source,
+                            20.0 + (rng.next_u64() % 1000) as f64 / 100.0,
+                        ),
+                        1 => ChunkClaim::num(
+                            object,
+                            1,
+                            source,
+                            (rng.next_u64() % 100) as f64 / 100.0,
+                        ),
+                        _ => ChunkClaim {
+                            object,
+                            property: 2,
+                            source,
+                            value: crh_core::value::Value::Cat((rng.next_u64() % 3) as u32),
+                        },
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Harness) {
+    let quick = std::env::var("CRH_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let n_chunks = if quick { 8 } else { 64 };
+    let chunks = workload(n_chunks);
+
+    let mut g = c.benchmark_group("serve_ingest");
+    g.sample_size(10);
+    // one element = one durably accepted chunk, so the JSON artifact's
+    // elems_per_sec column reads directly as ingest chunks/sec
+    g.throughput(Throughput::Elements(n_chunks as u64));
+    g.bench_function("wal_fsync_fold", |b| {
+        let dir = bench_dir("ingest");
+        b.iter(|| {
+            std::fs::remove_dir_all(&dir).ok();
+            let (mut core, _) =
+                ServeCore::open(ServeConfig::new(schema(), 0.7, &dir).snapshot_every(16)).unwrap();
+            for chunk in &chunks {
+                core.ingest(chunk).unwrap();
+            }
+            core.chunks_seen()
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    g.finish();
+
+    // recovery latency: open a state directory left behind by a crash —
+    // a snapshot plus an unabsorbed WAL tail to replay
+    let mut g = c.benchmark_group("serve_recovery");
+    g.sample_size(10);
+    let dir = bench_dir("recovery");
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        // snapshot_every(16): the tail beyond the last multiple of 16
+        // stays in the WAL, exactly the post-kill-9 shape
+        let (mut core, _) =
+            ServeCore::open(ServeConfig::new(schema(), 0.7, &dir).snapshot_every(16)).unwrap();
+        for chunk in &chunks {
+            core.ingest(chunk).unwrap();
+        }
+    } // dropped without a clean shutdown
+    g.bench_function("snapshot_load_plus_wal_replay", |b| {
+        b.iter(|| {
+            let (core, report) =
+                ServeCore::open(ServeConfig::new(schema(), 0.7, &dir).snapshot_every(16)).unwrap();
+            assert_eq!(core.chunks_seen(), n_chunks as u64);
+            report.wal_replayed
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    bench_serve(&mut h);
+}

@@ -97,7 +97,8 @@ pub fn chunk_tables(ds: &Dataset, window: usize) -> Vec<ObservationTable> {
     let by_day = ds
         .split_by_day()
         .expect("dataset must be temporal for streaming experiments");
-    let groups = crh_stream::group_windows(by_day, window);
+    let groups =
+        crh_stream::group_windows(by_day, window).expect("streaming experiments use window >= 1");
     groups
         .into_iter()
         .map(|claims| {

@@ -10,14 +10,83 @@
 //!
 //! Set `CRH_BENCH_QUICK=1` to run each benchmark for a few milliseconds
 //! only (used by CI to smoke-test the bench targets).
+//!
+//! Set `CRH_BENCH_JSON=<path>` to additionally write every result as a
+//! machine-readable JSON document when the harness is dropped — this is
+//! how CI captures `BENCH_*.json` artifacts without a second bench run.
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// One measured benchmark, as written to the `CRH_BENCH_JSON` sink.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// The group the benchmark ran in.
+    pub group: String,
+    /// The benchmark id (e.g. `run/5000`).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample in nanoseconds.
+    pub max_ns: f64,
+    /// Elements per iteration, when the group declared a throughput.
+    pub elements: Option<u64>,
+}
+
+impl BenchRecord {
+    /// Elements processed per second at the median, if known.
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        self.elements
+            .map(|n| n as f64 / (self.median_ns / 1_000_000_000.0))
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"group\":{},\"id\":{},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}",
+            json_str(&self.group),
+            json_str(&self.id),
+            self.median_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.max_ns,
+        );
+        if let Some(n) = self.elements {
+            s.push_str(&format!(
+                ",\"elements\":{n},\"elems_per_sec\":{:.2}",
+                self.elems_per_sec().unwrap()
+            ));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// Top-level harness; one per bench binary.
 #[derive(Debug, Default)]
 pub struct Harness {
     quick: bool,
+    json_path: Option<PathBuf>,
+    records: Vec<BenchRecord>,
 }
 
 /// Throughput annotation for a group.
@@ -39,10 +108,12 @@ impl BenchmarkId {
 }
 
 impl Harness {
-    /// Build a harness, honouring `CRH_BENCH_QUICK`.
+    /// Build a harness, honouring `CRH_BENCH_QUICK` and `CRH_BENCH_JSON`.
     pub fn from_env() -> Self {
         Self {
             quick: std::env::var("CRH_BENCH_QUICK").is_ok_and(|v| v != "0"),
+            json_path: std::env::var_os("CRH_BENCH_JSON").map(PathBuf::from),
+            records: Vec::new(),
         }
     }
 
@@ -54,7 +125,40 @@ impl Harness {
             quick: self.quick,
             sample_size: 20,
             throughput: None,
-            _marker: std::marker::PhantomData,
+            group_name: name,
+            harness: self,
+        }
+    }
+
+    /// The results recorded so far (populated regardless of the JSON sink).
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    fn render_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"crh-microbench-v1\",\"records\":[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        if let Some(path) = &self.json_path {
+            match std::fs::write(path, self.render_json()) {
+                Ok(()) => println!(
+                    "\nwrote {} records to {}",
+                    self.records.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+            }
         }
     }
 }
@@ -66,8 +170,10 @@ pub struct Group<'a> {
     quick: bool,
     sample_size: usize,
     throughput: Option<u64>,
-    // tie the group to the harness borrow so groups cannot interleave
-    _marker: std::marker::PhantomData<&'a mut Harness>,
+    group_name: String,
+    // exclusive borrow: groups cannot interleave, and results flow back
+    // to the harness for the JSON sink
+    harness: &'a mut Harness,
 }
 
 /// Passed to each benchmark closure; `iter` runs the measured loop.
@@ -164,6 +270,16 @@ impl Group<'_> {
             line.push_str(&format!("   {:.2} Melem/s", eps / 1e6));
         }
         println!("  {line}");
+
+        self.harness.records.push(BenchRecord {
+            group: self.group_name.clone(),
+            id: id.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            elements: self.throughput,
+        });
     }
 
     /// Criterion-style parameterized benchmark; the input is simply
@@ -195,7 +311,11 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut h = Harness { quick: true };
+        let mut h = Harness {
+            quick: true,
+            json_path: None,
+            records: Vec::new(),
+        };
         let mut g = h.benchmark_group("smoke");
         let mut ran = false;
         g.bench_function("noop", |b| {
@@ -204,5 +324,36 @@ mod tests {
         });
         g.finish();
         assert!(ran);
+        assert_eq!(h.records().len(), 1);
+        assert_eq!(h.records()[0].group, "smoke");
+        assert_eq!(h.records()[0].id, "noop");
+        assert!(h.records()[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn json_sink_writes_valid_records_on_drop() {
+        let path = std::env::temp_dir().join(format!("crh_bench_json_{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        {
+            let mut h = Harness {
+                quick: true,
+                json_path: Some(path.clone()),
+                records: Vec::new(),
+            };
+            let mut g = h.benchmark_group("io \"quoted\"");
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("write/1", |b| b.iter(|| 2 * 2));
+            g.finish();
+        } // drop writes the file
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\":\"crh-microbench-v1\""));
+        assert!(json.contains("\"id\":\"write/1\""));
+        assert!(
+            json.contains("\\\"quoted\\\""),
+            "quotes must be escaped: {json}"
+        );
+        assert!(json.contains("\"elements\":100"));
+        assert!(json.contains("\"elems_per_sec\":"));
+        std::fs::remove_file(&path).ok();
     }
 }

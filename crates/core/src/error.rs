@@ -37,6 +37,9 @@ pub enum CrhError {
         /// The offending value.
         value: f64,
     },
+    /// A cooperative cancellation (explicit or deadline) stopped the solve
+    /// before convergence.
+    Cancelled,
 }
 
 impl fmt::Display for CrhError {
@@ -59,6 +62,7 @@ impl fmt::Display for CrhError {
             CrhError::NonFiniteValue { property, value } => {
                 write!(f, "non-finite observation {value} for continuous property {property}")
             }
+            CrhError::Cancelled => write!(f, "solve cancelled before convergence"),
         }
     }
 }

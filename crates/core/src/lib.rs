@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod confidence;
 pub mod error;
 pub mod finegrained;
@@ -88,6 +89,7 @@ pub mod weights;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::cancel::CancelToken;
     pub use crate::error::{CrhError, Result};
     pub use crate::ids::{EntryId, ObjectId, PropertyId, SourceId};
     pub use crate::loss::{
@@ -103,6 +105,7 @@ pub mod prelude {
     };
 }
 
+pub use cancel::CancelToken;
 pub use error::{CrhError, Result};
 pub use ids::{EntryId, ObjectId, PropertyId, SourceId};
 pub use schema::Schema;

@@ -49,6 +49,13 @@ pub enum PersistError {
         /// Checksum computed over the payload read.
         computed: u32,
     },
+    /// The file continues past the declared payload (e.g. a duplicated
+    /// frame or appended garbage) — a sign of corruption, rejected rather
+    /// than silently ignored.
+    TrailingGarbage {
+        /// Bytes present beyond the declared frame.
+        extra: u64,
+    },
     /// The payload decoded to something structurally invalid.
     Malformed(&'static str),
 }
@@ -71,6 +78,10 @@ impl fmt::Display for PersistError {
             PersistError::CrcMismatch { stored, computed } => write!(
                 f,
                 "checkpoint CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            PersistError::TrailingGarbage { extra } => write!(
+                f,
+                "checkpoint file continues {extra} bytes past the declared frame"
             ),
             PersistError::Malformed(what) => write!(f, "malformed checkpoint payload: {what}"),
         }
@@ -366,6 +377,11 @@ pub fn read_frame(
             got: payload.len() as u64,
         });
     }
+    if (payload.len() as u64) > len {
+        return Err(PersistError::TrailingGarbage {
+            extra: payload.len() as u64 - len,
+        });
+    }
     let payload = &payload[..len as usize];
     let computed = crc32(payload);
     if computed != stored_crc {
@@ -495,6 +511,31 @@ mod tests {
         assert!(matches!(
             read_frame(&p, *b"XXXX", 1),
             Err(PersistError::BadMagic { .. })
+        ));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn frame_rejects_trailing_garbage() {
+        let p = tmp("trailing");
+        write_frame(&p, *b"CRHT", 1, b"payload").unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // a duplicated frame is the classic double-write corruption
+        let dup = bytes.clone();
+        bytes.extend_from_slice(&dup);
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            read_frame(&p, *b"CRHT", 1),
+            Err(PersistError::TrailingGarbage { extra }) if extra == dup.len() as u64
+        ));
+        // a single stray appended byte is enough to reject
+        std::fs::write(&p, &dup).unwrap();
+        let mut one_extra = dup.clone();
+        one_extra.push(0);
+        std::fs::write(&p, &one_extra).unwrap();
+        assert!(matches!(
+            read_frame(&p, *b"CRHT", 1),
+            Err(PersistError::TrailingGarbage { extra: 1 })
         ));
         std::fs::remove_file(&p).ok();
     }

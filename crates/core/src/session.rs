@@ -9,7 +9,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::error::Result;
+use crate::cancel::CancelToken;
+use crate::error::{CrhError, Result};
 use crate::ids::PropertyId;
 use crate::loss::Loss;
 use crate::solver::{
@@ -111,17 +112,44 @@ impl<'t> CrhSession<'t> {
     /// Run until the relative objective decrease falls below `tol` or
     /// `max_iters` full iterations have been performed. Returns the final
     /// objective.
-    pub fn run_to_convergence(&mut self, tol: f64, max_iters: usize) -> f64 {
+    ///
+    /// A NaN or negative tolerance is rejected with
+    /// [`CrhError::InvalidParameter`] — it would make the convergence
+    /// comparison unconditionally false and silently burn the full
+    /// iteration budget on every call.
+    pub fn run_to_convergence(&mut self, tol: f64, max_iters: usize) -> Result<f64> {
+        self.run_to_convergence_with(tol, max_iters, &CancelToken::new())
+    }
+
+    /// [`run_to_convergence`](Self::run_to_convergence) with cooperative
+    /// cancellation: the token is polled before every iteration, and a
+    /// tripped token (explicit cancel or expired deadline) stops the solve
+    /// with [`CrhError::Cancelled`], leaving the session's partial state
+    /// intact and reusable.
+    pub fn run_to_convergence_with(
+        &mut self,
+        tol: f64,
+        max_iters: usize,
+        cancel: &CancelToken,
+    ) -> Result<f64> {
+        if tol.is_nan() || tol < 0.0 {
+            return Err(CrhError::InvalidParameter(format!(
+                "convergence tolerance must be >= 0, got {tol}"
+            )));
+        }
         let mut prev = f64::INFINITY;
         let mut f = self.objective();
         for _ in 0..max_iters {
+            if cancel.is_cancelled() {
+                return Err(CrhError::Cancelled);
+            }
             f = self.step();
             if (prev - f).abs() <= tol * prev.abs().max(1.0) {
                 break;
             }
             prev = f;
         }
-        f
+        Ok(f)
     }
 
     /// The current objective `Σ_k w_k L_k` under the session's
@@ -192,7 +220,7 @@ mod tests {
     fn stepping_matches_batch_solver() {
         let tab = table();
         let mut session = CrhSession::new(&tab).unwrap();
-        session.run_to_convergence(1e-6, 100);
+        session.run_to_convergence(1e-6, 100).unwrap();
         let batch = CrhBuilder::new().build().unwrap().run(&tab).unwrap();
         for (a, b) in session.weights().iter().zip(&batch.weights) {
             assert!(
@@ -268,9 +296,57 @@ mod tests {
     fn finish_yields_state() {
         let tab = table();
         let mut session = CrhSession::new(&tab).unwrap();
-        session.run_to_convergence(1e-6, 10);
+        session.run_to_convergence(1e-6, 10).unwrap();
         let (truths, weights) = session.finish();
         assert_eq!(truths.len(), tab.num_entries());
         assert_eq!(weights.len(), 3);
+    }
+
+    #[test]
+    fn non_finite_tolerance_is_rejected() {
+        let tab = table();
+        let mut session = CrhSession::new(&tab).unwrap();
+        for bad in [f64::NAN, -1e-6, f64::NEG_INFINITY] {
+            let err = session.run_to_convergence(bad, 10).unwrap_err();
+            assert!(
+                matches!(err, CrhError::InvalidParameter(_)),
+                "tol {bad}: {err}"
+            );
+        }
+        // the session stays usable after a rejected call
+        assert!(session.run_to_convergence(1e-6, 10).is_ok());
+        // +inf tolerance is degenerate but well-defined: stop after one step
+        let mut fresh = CrhSession::new(&tab).unwrap();
+        assert!(fresh.run_to_convergence(f64::INFINITY, 10).is_ok());
+        assert_eq!(fresh.iterations(), 1);
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_solve() {
+        let tab = table();
+        let mut session = CrhSession::new(&tab).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = session
+            .run_to_convergence_with(1e-6, 100, &token)
+            .unwrap_err();
+        assert!(matches!(err, CrhError::Cancelled), "{err}");
+        assert_eq!(session.iterations(), 0, "polled before the first step");
+        // partial state remains usable: a live token finishes the solve
+        let f = session
+            .run_to_convergence_with(1e-6, 100, &CancelToken::new())
+            .unwrap();
+        assert!(f.is_finite());
+    }
+
+    #[test]
+    fn expired_deadline_cancels_mid_solve() {
+        let tab = table();
+        let mut session = CrhSession::new(&tab).unwrap();
+        let token = CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        let err = session
+            .run_to_convergence_with(0.0, 1_000, &token)
+            .unwrap_err();
+        assert!(matches!(err, CrhError::Cancelled), "{err}");
     }
 }

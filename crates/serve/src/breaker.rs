@@ -1,0 +1,225 @@
+//! Per-source circuit breakers for bad-feed containment.
+//!
+//! A source that keeps sending malformed or non-finite observations can
+//! poison the weight estimates (one NaN in an accumulated distance is
+//! permanent) and waste fold capacity. Each source gets a tiny state
+//! machine:
+//!
+//! ```text
+//! Closed --strikes >= threshold--> Open{until} --cool-down elapses--> HalfOpen
+//!   ^                                                                    |
+//!   |<------------------- first clean chunk heals ----------------------+
+//!   |                     (a bad probe chunk re-opens)
+//! ```
+//!
+//! Time is a **logical tick** (one per ingest attempt), not wall-clock,
+//! so breaker behaviour is deterministic and testable without sleeping.
+//! Breaker state is deliberately in-memory only — after a crash every
+//! source starts Closed again and must re-earn its quarantine, which is
+//! the conservative direction (no source is ever locked out by a stale
+//! quarantine file).
+
+use std::collections::HashMap;
+
+use crate::error::ServeError;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive-window strikes that trip the breaker.
+    pub strike_threshold: u32,
+    /// Ticks a tripped source stays quarantined before a probe is allowed.
+    pub cooldown_ticks: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            strike_threshold: 3,
+            cooldown_ticks: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed { strikes: u32 },
+    Open { until_tick: u64 },
+    HalfOpen,
+}
+
+/// The set of per-source breakers.
+#[derive(Debug)]
+pub struct SourceBreakers {
+    cfg: BreakerConfig,
+    states: HashMap<u32, State>,
+}
+
+impl SourceBreakers {
+    /// Fresh breakers (all sources Closed with zero strikes).
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            states: HashMap::new(),
+        }
+    }
+
+    /// Gate a chunk from `source` at logical time `tick`. Passing the gate
+    /// does not clear strikes — only [`record_ok`](Self::record_ok) does.
+    pub fn admit(&mut self, source: u32, tick: u64) -> Result<(), ServeError> {
+        match self.states.get(&source).copied() {
+            None | Some(State::Closed { .. }) | Some(State::HalfOpen) => Ok(()),
+            Some(State::Open { until_tick }) => {
+                if tick >= until_tick {
+                    // cool-down over: allow one probe chunk through
+                    self.states.insert(source, State::HalfOpen);
+                    Ok(())
+                } else {
+                    Err(ServeError::Quarantined { source, until_tick })
+                }
+            }
+        }
+    }
+
+    /// Record that an admitted chunk from `source` was malformed. Returns
+    /// the quarantine deadline if this strike tripped (or re-tripped) the
+    /// breaker.
+    pub fn record_bad(&mut self, source: u32, tick: u64) -> Option<u64> {
+        let state = self
+            .states
+            .entry(source)
+            .or_insert(State::Closed { strikes: 0 });
+        match *state {
+            State::Closed { strikes } => {
+                let strikes = strikes + 1;
+                if strikes >= self.cfg.strike_threshold {
+                    let until_tick = tick + self.cfg.cooldown_ticks;
+                    *state = State::Open { until_tick };
+                    Some(until_tick)
+                } else {
+                    *state = State::Closed { strikes };
+                    None
+                }
+            }
+            State::HalfOpen => {
+                // the probe failed: straight back to quarantine
+                let until_tick = tick + self.cfg.cooldown_ticks;
+                *state = State::Open { until_tick };
+                Some(until_tick)
+            }
+            State::Open { until_tick } => Some(until_tick),
+        }
+    }
+
+    /// Record that an admitted chunk from `source` folded cleanly: the
+    /// source heals fully (strikes cleared, HalfOpen closes).
+    pub fn record_ok(&mut self, source: u32) {
+        self.states.insert(source, State::Closed { strikes: 0 });
+    }
+
+    /// Whether `source` is currently quarantined at `tick`.
+    pub fn is_quarantined(&self, source: u32, tick: u64) -> bool {
+        matches!(
+            self.states.get(&source),
+            Some(State::Open { until_tick }) if tick < *until_tick
+        )
+    }
+
+    /// Sources currently quarantined at `tick`, ascending.
+    pub fn quarantined(&self, tick: u64) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .states
+            .iter()
+            .filter(|(_, s)| matches!(s, State::Open { until_tick } if tick < *until_tick))
+            .map(|(&s, _)| s)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            strike_threshold: 3,
+            cooldown_ticks: 10,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_strikes() {
+        let mut b = SourceBreakers::new(cfg());
+        assert_eq!(b.record_bad(5, 0), None);
+        assert_eq!(b.record_bad(5, 1), None);
+        assert_eq!(b.record_bad(5, 2), Some(12));
+        let err = b.admit(5, 3).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Quarantined {
+                    source: 5,
+                    until_tick: 12
+                }
+            ),
+            "{err}"
+        );
+        // other sources unaffected
+        b.admit(6, 3).unwrap();
+    }
+
+    #[test]
+    fn heals_through_half_open_probe() {
+        let mut b = SourceBreakers::new(cfg());
+        for t in 0..3 {
+            b.record_bad(1, t);
+        }
+        assert!(b.is_quarantined(1, 5));
+        // cool-down elapses: probe admitted
+        b.admit(1, 12).unwrap();
+        b.record_ok(1);
+        assert!(!b.is_quarantined(1, 13));
+        // and it takes a full three fresh strikes to trip again
+        assert_eq!(b.record_bad(1, 14), None);
+        assert_eq!(b.record_bad(1, 15), None);
+        assert!(b.record_bad(1, 16).is_some());
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let mut b = SourceBreakers::new(cfg());
+        for t in 0..3 {
+            b.record_bad(2, t);
+        }
+        b.admit(2, 12).unwrap();
+        // one bad probe chunk is enough — no three-strike grace
+        assert_eq!(b.record_bad(2, 12), Some(22));
+        assert!(b.is_quarantined(2, 13));
+    }
+
+    #[test]
+    fn clean_chunks_clear_strikes() {
+        let mut b = SourceBreakers::new(cfg());
+        b.record_bad(3, 0);
+        b.record_bad(3, 1);
+        b.record_ok(3);
+        // counter reset: two more strikes do not trip
+        assert_eq!(b.record_bad(3, 2), None);
+        assert_eq!(b.record_bad(3, 3), None);
+        assert!(b.record_bad(3, 4).is_some());
+    }
+
+    #[test]
+    fn quarantined_listing_is_sorted() {
+        let mut b = SourceBreakers::new(cfg());
+        for s in [9, 4, 7] {
+            for t in 0..3 {
+                b.record_bad(s, t);
+            }
+        }
+        assert_eq!(b.quarantined(5), vec![4, 7, 9]);
+        assert_eq!(b.quarantined(100), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,164 @@
+//! A small synchronous client for the daemon protocol.
+//!
+//! One request/response round-trip per call over a persistent
+//! connection, with a socket timeout so a dead daemon surfaces as a
+//! typed error instead of a hang. Wire error codes the client can act on
+//! (`Overloaded`, `DeadlineExceeded`, `ShuttingDown`) are mapped back to
+//! their [`ServeError`] variants; everything else stays a
+//! [`ServeError::Remote`] with the daemon's message attached.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crh_core::value::Truth;
+
+use crate::core::ChunkClaim;
+use crate::error::{code, ServeError};
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+/// Status as reported by a remote daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonStatus {
+    /// Chunks folded into the model.
+    pub chunks_seen: u64,
+    /// WAL records since the last snapshot.
+    pub wal_records: u64,
+    /// Entries in the truth cache.
+    pub cached_truths: u64,
+    /// Ingest requests queued at the daemon.
+    pub queue_depth: u64,
+    /// Quarantined sources, ascending.
+    pub quarantined: Vec<u32>,
+}
+
+/// Result of a remote batch solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteSolve {
+    /// Converged source weights.
+    pub weights: Vec<f64>,
+    /// Final objective value.
+    pub objective: f64,
+    /// Iterations used.
+    pub iterations: u64,
+}
+
+/// A connected daemon client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with the given socket timeout (both read and write).
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        let resp = Response::decode(&payload)?;
+        if let Response::Error { code: c, message } = resp {
+            return Err(match c {
+                code::OVERLOADED => ServeError::Overloaded { capacity: 0 },
+                code::DEADLINE => ServeError::DeadlineExceeded,
+                code::SHUTTING_DOWN => ServeError::ShuttingDown,
+                _ => ServeError::Remote { code: c, message },
+            });
+        }
+        Ok(resp)
+    }
+
+    /// Fold one chunk of claims; returns `(seq, chunks_seen)`.
+    pub fn ingest(&mut self, claims: Vec<ChunkClaim>) -> Result<(u64, u64), ServeError> {
+        match self.call(&Request::Ingest(claims))? {
+            Response::Ack { seq, chunks_seen } => Ok((seq, chunks_seen)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fold one chunk given as CSV rows `object,property_name,source,value`.
+    pub fn ingest_csv(&mut self, text: impl Into<String>) -> Result<(u64, u64), ServeError> {
+        match self.call(&Request::IngestCsv(text.into()))? {
+            Response::Ack { seq, chunks_seen } => Ok((seq, chunks_seen)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Read the daemon's current source weights.
+    pub fn weights(&mut self) -> Result<Vec<f64>, ServeError> {
+        match self.call(&Request::Weights)? {
+            Response::Weights(w) => Ok(w),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Read the cached truth for one (object, property) cell.
+    pub fn truth(&mut self, object: u32, property: u32) -> Result<Option<Truth>, ServeError> {
+        match self.call(&Request::Truth { object, property })? {
+            Response::Truth(t) => Ok(t),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Read the daemon's operational status.
+    pub fn status(&mut self) -> Result<DaemonStatus, ServeError> {
+        match self.call(&Request::Status)? {
+            Response::Status {
+                chunks_seen,
+                wal_records,
+                cached_truths,
+                queue_depth,
+                quarantined,
+            } => Ok(DaemonStatus {
+                chunks_seen,
+                wal_records,
+                cached_truths,
+                queue_depth,
+                quarantined,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Run a batch CRH solve on the daemon over ad-hoc claims.
+    pub fn solve(
+        &mut self,
+        tol: f64,
+        max_iters: u64,
+        claims: Vec<ChunkClaim>,
+    ) -> Result<RemoteSolve, ServeError> {
+        match self.call(&Request::Solve {
+            tol,
+            max_iters,
+            claims,
+        })? {
+            Response::Solved {
+                weights,
+                objective,
+                iterations,
+            } => Ok(RemoteSolve {
+                weights,
+                objective,
+                iterations,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the daemon to snapshot and exit; returns its final chunk count.
+    pub fn shutdown(&mut self) -> Result<u64, ServeError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ack { chunks_seen, .. } => Ok(chunks_seen),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ServeError {
+    ServeError::Protocol(format!("unexpected response variant: {resp:?}"))
+}

@@ -1,0 +1,900 @@
+//! The daemon's state machine: WAL-backed incremental CRH with snapshots,
+//! per-source circuit breakers, and seeded fault injection.
+//!
+//! [`ServeCore`] owns everything that must survive a crash. The ingest
+//! path is strictly ordered so that every crash point leaves the disk in
+//! a state [`ServeCore::open`] can recover from:
+//!
+//! 1. breaker gate (quarantined sources rejected before any work)
+//! 2. validation (schema type/finiteness/domain checks; strikes on failure)
+//! 3. WAL append + fsync — **the commit point**: from here the chunk is
+//!    accepted even if the process dies before acking
+//! 4. fold into [`ICrhState`] + truth-cache update
+//! 5. every `snapshot_every` chunks: snapshot (atomic rename) then WAL
+//!    truncation
+//!
+//! Recovery inverts the order: load the newest snapshot, then replay WAL
+//! records whose `seq` the snapshot has not already absorbed. A crash
+//! between the snapshot rename and the WAL truncation leaves stale
+//! records behind; the `seq` prefix makes replay skip them instead of
+//! double-folding.
+//!
+//! An injected crash *poisons* the core — every later call answers
+//! [`ServeError::ShuttingDown`] — so chaos tests cannot accidentally keep
+//! using state that a real `kill -9` would have destroyed.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crh_core::cancel::CancelToken;
+use crh_core::ids::{ObjectId, PropertyId, SourceId};
+use crh_core::persist::{read_frame, write_frame, Dec, Enc};
+use crh_core::schema::Schema;
+use crh_core::session::CrhSession;
+use crh_core::table::{Claim, ObservationTable};
+use crh_core::value::{Truth, Value};
+use crh_stream::{ICrh, ICrhCheckpoint, ICrhState};
+
+use crate::breaker::{BreakerConfig, SourceBreakers};
+use crate::error::ServeError;
+use crate::faults::{ServeFate, ServeFaultInjector, ServePoint};
+use crate::wal::{Wal, WalRecovery};
+
+/// Magic bytes of a daemon snapshot frame.
+const SNAPSHOT_MAGIC: [u8; 4] = *b"CRHV";
+/// Current snapshot format version.
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// One claim as it crosses the wire and the WAL: plain ids plus a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkClaim {
+    /// The observed object.
+    pub object: u32,
+    /// The property (index into the daemon's schema).
+    pub property: u32,
+    /// The claiming source.
+    pub source: u32,
+    /// The claimed value.
+    pub value: Value,
+}
+
+impl ChunkClaim {
+    /// Convenience constructor for a continuous observation.
+    pub fn num(object: u32, property: u32, source: u32, x: f64) -> Self {
+        Self {
+            object,
+            property,
+            source,
+            value: Value::Num(x),
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// The fixed schema every chunk is validated against.
+    pub schema: Schema,
+    /// I-CRH decay rate `α ∈ [0, 1]`.
+    pub alpha: f64,
+    /// Directory holding `snapshot.crh` and `ingest.wal`.
+    pub dir: PathBuf,
+    /// Snapshot (and truncate the WAL) every this many accepted chunks.
+    pub snapshot_every: u64,
+    /// Entries kept in the FIFO truth cache.
+    pub truth_cache_cap: usize,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Fault injection (disabled in production).
+    pub injector: ServeFaultInjector,
+}
+
+impl ServeConfig {
+    /// Defaults: snapshot every 8 chunks, 4096 cached truths, default
+    /// breaker, no fault injection.
+    pub fn new(schema: Schema, alpha: f64, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            schema,
+            alpha,
+            dir: dir.into(),
+            snapshot_every: 8,
+            truth_cache_cap: 4096,
+            breaker: BreakerConfig::default(),
+            injector: ServeFaultInjector::disabled(),
+        }
+    }
+
+    /// Set the snapshot cadence (min 1).
+    pub fn snapshot_every(mut self, n: u64) -> Self {
+        self.snapshot_every = n.max(1);
+        self
+    }
+
+    /// Set the truth-cache capacity (min 1).
+    pub fn truth_cache_cap(mut self, n: usize) -> Self {
+        self.truth_cache_cap = n.max(1);
+        self
+    }
+
+    /// Set the breaker tuning.
+    pub fn breaker(mut self, b: BreakerConfig) -> Self {
+        self.breaker = b;
+        self
+    }
+
+    /// Install a fault injector (chaos tests only).
+    pub fn injector(mut self, i: ServeFaultInjector) -> Self {
+        self.injector = i;
+        self
+    }
+}
+
+/// What [`ServeCore::open`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot existed and was loaded.
+    pub snapshot_loaded: bool,
+    /// Chunks the snapshot had already absorbed.
+    pub snapshot_chunks: u64,
+    /// WAL records re-folded during replay.
+    pub wal_replayed: u64,
+    /// WAL records skipped because the snapshot already covered them.
+    pub wal_skipped: u64,
+    /// Torn-tail bytes truncated from the WAL.
+    pub torn_bytes: u64,
+}
+
+/// Receipt for an accepted chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// The sequence number this chunk was assigned (0-based).
+    pub seq: u64,
+    /// Total chunks folded so far (== `seq + 1`).
+    pub chunks_seen: u64,
+}
+
+/// A point-in-time operational summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreStatus {
+    /// Chunks folded into the model.
+    pub chunks_seen: u64,
+    /// WAL records since the last snapshot.
+    pub wal_records: u64,
+    /// Entries in the truth cache.
+    pub cached_truths: u64,
+    /// Sources currently quarantined.
+    pub quarantined: Vec<u32>,
+    /// Whether an injected crash has poisoned this core.
+    pub poisoned: bool,
+}
+
+/// Result of a batch solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Converged source weights.
+    pub weights: Vec<f64>,
+    /// Final objective value (Eq 1).
+    pub objective: f64,
+    /// Iterations used.
+    pub iterations: u64,
+}
+
+/// FIFO-bounded map from (object, property) to the latest truth estimate.
+///
+/// Insertion order is the eviction order and is persisted verbatim, so a
+/// recovered core serves byte-identical snapshots.
+#[derive(Debug, Default)]
+struct TruthCache {
+    map: HashMap<(u32, u32), Truth>,
+    order: VecDeque<(u32, u32)>,
+    cap: usize,
+}
+
+impl TruthCache {
+    fn new(cap: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn insert(&mut self, key: (u32, u32), truth: Truth) {
+        if self.map.insert(key, truth).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: &(u32, u32)) -> Option<&Truth> {
+        self.map.get(key)
+    }
+
+    fn iter_fifo(&self) -> impl Iterator<Item = ((u32, u32), &Truth)> {
+        self.order.iter().map(|k| (*k, &self.map[k]))
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// The recoverable heart of the daemon.
+#[derive(Debug)]
+pub struct ServeCore {
+    schema: Schema,
+    alpha: f64,
+    snapshot_every: u64,
+    snapshot_path: PathBuf,
+    state: ICrhState,
+    wal: Wal,
+    cache: TruthCache,
+    breakers: SourceBreakers,
+    injector: ServeFaultInjector,
+    /// Logical clock: one tick per ingest attempt (drives the breakers).
+    tick: u64,
+    /// Ingest attempts on this core instance (drives fault fates).
+    attempts: u64,
+    poisoned: bool,
+}
+
+impl ServeCore {
+    /// Open (or create) a daemon state directory, recovering whatever a
+    /// previous incarnation left behind: newest snapshot first, then WAL
+    /// replay with snapshot-covered records skipped and torn tails
+    /// truncated.
+    pub fn open(cfg: ServeConfig) -> Result<(Self, RecoveryReport), ServeError> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let snapshot_path = cfg.dir.join("snapshot.crh");
+        let wal_path = cfg.dir.join("ingest.wal");
+
+        let icrh = ICrh::new(cfg.alpha)?;
+        let mut cache = TruthCache::new(cfg.truth_cache_cap);
+        let (state, snapshot_loaded, snapshot_chunks) = if snapshot_path.exists() {
+            let (ckpt, cached) = read_snapshot(&snapshot_path)?;
+            let chunks = ckpt.chunks_seen as u64;
+            for (key, truth) in cached {
+                cache.insert(key, truth);
+            }
+            (ICrhState::resume(icrh, ckpt)?, true, chunks)
+        } else {
+            (icrh.start(), false, 0)
+        };
+
+        let (
+            wal,
+            WalRecovery {
+                records,
+                truncated_bytes,
+            },
+        ) = Wal::open(&wal_path)?;
+
+        let mut core = Self {
+            schema: cfg.schema,
+            alpha: cfg.alpha,
+            snapshot_every: cfg.snapshot_every.max(1),
+            snapshot_path,
+            state,
+            wal,
+            cache,
+            breakers: SourceBreakers::new(cfg.breaker),
+            injector: cfg.injector,
+            tick: 0,
+            attempts: 0,
+            poisoned: false,
+        };
+
+        let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        for payload in &records {
+            let (seq, claims) = decode_chunk(payload)?;
+            let applied = core.state.chunks_seen() as u64;
+            if seq < applied {
+                skipped += 1;
+                continue;
+            }
+            if seq > applied {
+                return Err(ServeError::WalCorrupt {
+                    offset: replayed + skipped,
+                    reason: "sequence gap between snapshot and WAL replay",
+                });
+            }
+            core.fold(&claims)?;
+            replayed += 1;
+        }
+
+        Ok((
+            core,
+            RecoveryReport {
+                snapshot_loaded,
+                snapshot_chunks,
+                wal_replayed: replayed,
+                wal_skipped: skipped,
+                torn_bytes: truncated_bytes,
+            },
+        ))
+    }
+
+    /// The schema chunks are validated against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Current source weights.
+    pub fn weights(&self) -> &[f64] {
+        self.state.weights()
+    }
+
+    /// The cached truth for `(object, property)`, if it is still resident.
+    pub fn truth(&self, object: u32, property: u32) -> Option<Truth> {
+        self.cache.get(&(object, property)).cloned()
+    }
+
+    /// Operational summary.
+    pub fn status(&self) -> CoreStatus {
+        CoreStatus {
+            chunks_seen: self.state.chunks_seen() as u64,
+            wal_records: self.wal.record_count(),
+            cached_truths: self.cache.len() as u64,
+            quarantined: self.breakers.quarantined(self.tick),
+            poisoned: self.poisoned,
+        }
+    }
+
+    /// Chunks folded so far (== the next chunk's sequence number).
+    pub fn chunks_seen(&self) -> u64 {
+        self.state.chunks_seen() as u64
+    }
+
+    /// Ingest one chunk end-to-end. On success the chunk is durable
+    /// (WAL-fsync'd), folded, and — on the snapshot cadence — absorbed
+    /// into a fresh snapshot.
+    pub fn ingest(&mut self, claims: &[ChunkClaim]) -> Result<IngestReceipt, ServeError> {
+        if self.poisoned {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.tick += 1;
+        let attempt = self.attempts;
+        self.attempts += 1;
+
+        // 1. Breaker gate, before any per-claim work.
+        let mut sources: Vec<u32> = claims.iter().map(|c| c.source).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        for &s in &sources {
+            self.breakers.admit(s, self.tick)?;
+        }
+
+        // 2. Validation. A bad claim strikes its source's breaker.
+        if claims.is_empty() {
+            return Err(ServeError::InvalidChunk {
+                source: None,
+                reason: "empty chunk".into(),
+            });
+        }
+        if let Err((source, reason)) = validate_claims(&self.schema, claims) {
+            if let Some(s) = source {
+                self.breakers.record_bad(s, self.tick);
+            }
+            return Err(ServeError::InvalidChunk { source, reason });
+        }
+
+        let seq = self.state.chunks_seen() as u64;
+        let fate = self.injector.fate(seq, attempt);
+
+        // 3. Commit point: WAL append + fsync.
+        let payload = encode_chunk(seq, claims);
+        if let ServeFate::TornWal { keep_frac } = fate {
+            self.wal.append_torn(&payload, keep_frac)?;
+            self.poisoned = true;
+            return Err(ServeError::InjectedCrash(ServePoint::WalAppend));
+        }
+        self.wal.append(&payload)?;
+        if fate == ServeFate::CrashBeforeFold {
+            self.poisoned = true;
+            return Err(ServeError::InjectedCrash(ServePoint::BeforeFold));
+        }
+        if let ServeFate::StallFold(dur) = fate {
+            std::thread::sleep(dur);
+        }
+
+        // 4. Fold. Validation already passed, so a failure here is an
+        // internal bug, not the feed's fault.
+        self.fold(claims)?;
+        for &s in &sources {
+            self.breakers.record_ok(s);
+        }
+        if fate == ServeFate::CrashAfterFold {
+            self.poisoned = true;
+            return Err(ServeError::InjectedCrash(ServePoint::AfterFold));
+        }
+
+        // 5. Snapshot cadence.
+        let chunks_seen = self.state.chunks_seen() as u64;
+        if chunks_seen.is_multiple_of(self.snapshot_every) {
+            match fate {
+                ServeFate::CrashDuringSnapshot => {
+                    // abandon a partial temp file, exactly what a kill -9
+                    // mid-write leaves behind; recovery must ignore it
+                    let tmp = self.snapshot_path.with_extension("crh.tmp");
+                    let mut f = OpenOptions::new()
+                        .create(true)
+                        .write(true)
+                        .truncate(true)
+                        .open(&tmp)?;
+                    f.write_all(b"CRHV\x01partial")?;
+                    self.poisoned = true;
+                    return Err(ServeError::InjectedCrash(ServePoint::SnapshotWrite));
+                }
+                ServeFate::CrashAfterSnapshotRename => {
+                    self.write_snapshot()?;
+                    // crash before the WAL truncation: stale records remain
+                    self.poisoned = true;
+                    return Err(ServeError::InjectedCrash(ServePoint::SnapshotTruncate));
+                }
+                _ => {
+                    self.write_snapshot()?;
+                    self.wal.truncate_all()?;
+                }
+            }
+        }
+
+        Ok(IngestReceipt { seq, chunks_seen })
+    }
+
+    /// Force a snapshot now (and truncate the WAL). Used at clean
+    /// shutdown and by tests.
+    pub fn snapshot_now(&mut self) -> Result<(), ServeError> {
+        if self.poisoned {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.write_snapshot()?;
+        self.wal.truncate_all()
+    }
+
+    /// The snapshot payload this core would persist right now — the
+    /// canonical byte-level fingerprint chaos tests compare across
+    /// crash/recover boundaries.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        snapshot_payload(&self.state.checkpoint(), &self.cache)
+    }
+
+    /// Run a full batch CRH solve over `claims`, seeded with the daemon's
+    /// current weights, honouring `cancel` (deadline or explicit).
+    pub fn solve(
+        &self,
+        claims: &[ChunkClaim],
+        tol: f64,
+        max_iters: usize,
+        cancel: &CancelToken,
+    ) -> Result<SolveOutcome, ServeError> {
+        if self.poisoned {
+            return Err(ServeError::ShuttingDown);
+        }
+        solve_claims(
+            &self.schema,
+            claims,
+            self.state.weights(),
+            tol,
+            max_iters,
+            cancel,
+        )
+    }
+
+    fn fold(&mut self, claims: &[ChunkClaim]) -> Result<(), ServeError> {
+        let table = build_table(&self.schema, claims)?;
+        let truths = self.state.process_chunk(&table)?;
+        for (eid, truth) in truths.iter() {
+            let entry = table.entry(eid);
+            self.cache
+                .insert((entry.object.0, entry.property.0), truth.clone());
+        }
+        Ok(())
+    }
+
+    fn write_snapshot(&self) -> Result<(), ServeError> {
+        let payload = snapshot_payload(&self.state.checkpoint(), &self.cache);
+        write_frame(
+            &self.snapshot_path,
+            SNAPSHOT_MAGIC,
+            SNAPSHOT_VERSION,
+            &payload,
+        )?;
+        Ok(())
+    }
+
+    /// The configured decay rate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Validate every claim against the schema: known property, matching
+/// type, finite numbers, categorical ids inside the declared domain.
+fn validate_claims(schema: &Schema, claims: &[ChunkClaim]) -> Result<(), (Option<u32>, String)> {
+    for c in claims {
+        let m = PropertyId(c.property);
+        schema
+            .check_value(m, &c.value)
+            .map_err(|e| (Some(c.source), e.to_string()))?;
+        if let Value::Cat(id) = c.value {
+            let in_domain = schema.domain(m).is_some_and(|d| (id as usize) < d.len());
+            if !in_domain {
+                return Err((
+                    Some(c.source),
+                    format!(
+                        "categorical id {id} outside domain of property {}",
+                        c.property
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn build_table(schema: &Schema, claims: &[ChunkClaim]) -> Result<ObservationTable, ServeError> {
+    let raw: Vec<Claim> = claims
+        .iter()
+        .map(|c| Claim {
+            object: ObjectId(c.object),
+            property: PropertyId(c.property),
+            source: SourceId(c.source),
+            value: c.value.clone(),
+        })
+        .collect();
+    Ok(ObservationTable::from_claims(schema.clone(), raw)?)
+}
+
+/// Batch CRH over `claims` seeded from `seed_weights` (free function so
+/// the server can run it without holding the core lock).
+pub fn solve_claims(
+    schema: &Schema,
+    claims: &[ChunkClaim],
+    seed_weights: &[f64],
+    tol: f64,
+    max_iters: usize,
+    cancel: &CancelToken,
+) -> Result<SolveOutcome, ServeError> {
+    if claims.is_empty() {
+        return Err(ServeError::InvalidChunk {
+            source: None,
+            reason: "empty chunk".into(),
+        });
+    }
+    validate_claims(schema, claims)
+        .map_err(|(source, reason)| ServeError::InvalidChunk { source, reason })?;
+    let table = build_table(schema, claims)?;
+    let mut session = CrhSession::new(&table)?;
+    let mut w = seed_weights.to_vec();
+    w.resize(table.num_sources(), 1.0);
+    w.truncate(table.num_sources());
+    session.set_weights(w);
+    session.run_to_convergence_with(tol, max_iters, cancel)?;
+    let objective = session.objective();
+    let iterations = session.iterations() as u64;
+    let (_truths, weights) = session.finish();
+    Ok(SolveOutcome {
+        weights,
+        objective,
+        iterations,
+    })
+}
+
+/// Parse CSV text with rows `object,property_name,source,value` into
+/// claims against `schema`. Categorical labels are resolved with
+/// [`Schema::lookup`] — never interned — so a typo'd label is a typed
+/// rejection instead of a silent new domain value.
+pub fn claims_from_csv(schema: &Schema, text: &str) -> Result<Vec<ChunkClaim>, ServeError> {
+    let rows = crh_data::csv::parse(text).map_err(|e| ServeError::InvalidChunk {
+        source: None,
+        reason: format!("csv: {e}"),
+    })?;
+    let mut claims = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let bad = |reason: String| ServeError::InvalidChunk {
+            source: None,
+            reason: format!("row {}: {reason}", i + 1),
+        };
+        if row.len() != 4 {
+            return Err(bad(format!("expected 4 fields, got {}", row.len())));
+        }
+        let object: u32 = row[0]
+            .trim()
+            .parse()
+            .map_err(|_| bad(format!("bad object id {:?}", row[0])))?;
+        let property = schema
+            .property_by_name(row[1].trim())
+            .ok_or_else(|| bad(format!("unknown property {:?}", row[1])))?;
+        let source: u32 = row[2]
+            .trim()
+            .parse()
+            .map_err(|_| bad(format!("bad source id {:?}", row[2])))?;
+        let value = match schema
+            .property_type(property)
+            .map_err(|e| bad(e.to_string()))?
+        {
+            crh_core::value::PropertyType::Continuous => {
+                let x: f64 = row[3]
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad number {:?}", row[3])))?;
+                Value::Num(x)
+            }
+            crh_core::value::PropertyType::Categorical => schema
+                .lookup(property, row[3].trim())
+                .map_err(|e| ServeError::InvalidChunk {
+                    source: Some(source),
+                    reason: format!("row {}: {e}", i + 1),
+                })?,
+            crh_core::value::PropertyType::Text => Value::Text(row[3].clone()),
+        };
+        claims.push(ChunkClaim {
+            object,
+            property: property.0,
+            source,
+            value,
+        });
+    }
+    Ok(claims)
+}
+
+/// Encode a WAL chunk record: `seq`, claim count, then each claim.
+pub(crate) fn encode_chunk(seq: u64, claims: &[ChunkClaim]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(seq);
+    e.u32(claims.len() as u32);
+    for c in claims {
+        e.u32(c.object);
+        e.u32(c.property);
+        e.u32(c.source);
+        e.value(&c.value);
+    }
+    e.into_bytes()
+}
+
+/// Decode a WAL chunk record.
+pub(crate) fn decode_chunk(bytes: &[u8]) -> Result<(u64, Vec<ChunkClaim>), ServeError> {
+    let mut d = Dec::new(bytes);
+    let seq = d.u64()?;
+    let n = d.u32()? as usize;
+    let mut claims = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        claims.push(ChunkClaim {
+            object: d.u32()?,
+            property: d.u32()?,
+            source: d.u32()?,
+            value: d.value()?,
+        });
+    }
+    if !d.is_exhausted() {
+        return Err(ServeError::Protocol(
+            "trailing bytes after chunk record".into(),
+        ));
+    }
+    Ok((seq, claims))
+}
+
+fn snapshot_payload(ckpt: &ICrhCheckpoint, cache: &TruthCache) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(ckpt.chunks_seen as u64);
+    e.f64s(&ckpt.weights);
+    e.f64s(&ckpt.accumulated);
+    e.u32(cache.len() as u32);
+    for ((object, property), truth) in cache.iter_fifo() {
+        e.u32(object);
+        e.u32(property);
+        e.truth(truth);
+    }
+    e.into_bytes()
+}
+
+#[allow(clippy::type_complexity)]
+fn read_snapshot(path: &Path) -> Result<(ICrhCheckpoint, Vec<((u32, u32), Truth)>), ServeError> {
+    let (_version, payload) = read_frame(path, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+    let mut d = Dec::new(&payload);
+    let chunks_seen = d.u64()? as usize;
+    let weights = d.f64s()?;
+    let accumulated = d.f64s()?;
+    let n = d.u32()? as usize;
+    let mut cached = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let object = d.u32()?;
+        let property = d.u32()?;
+        let truth = d.truth()?;
+        cached.push(((object, property), truth));
+    }
+    if !d.is_exhausted() {
+        return Err(ServeError::Protocol(
+            "trailing bytes after snapshot payload".into(),
+        ));
+    }
+    let ckpt = ICrhCheckpoint {
+        weights,
+        accumulated,
+        chunks_seen,
+    };
+    ckpt.validate()?;
+    Ok((ckpt, cached))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_continuous("temperature");
+        let p = s.add_categorical("condition");
+        s.intern(p, "sunny").unwrap();
+        s.intern(p, "rainy").unwrap();
+        s
+    }
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("crh_core_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn chunk(step: u32) -> Vec<ChunkClaim> {
+        vec![
+            ChunkClaim::num(0, 0, 0, 20.0 + step as f64),
+            ChunkClaim::num(0, 0, 1, 20.5 + step as f64),
+            ChunkClaim::num(1, 0, 2, 30.0),
+            ChunkClaim {
+                object: 0,
+                property: 1,
+                source: 0,
+                value: Value::Cat(step % 2),
+            },
+        ]
+    }
+
+    #[test]
+    fn ingest_folds_and_serves_truths() {
+        let d = dir("basic");
+        let (mut core, rec) = ServeCore::open(ServeConfig::new(schema(), 0.5, &d)).unwrap();
+        assert!(!rec.snapshot_loaded);
+        for step in 0..3 {
+            let r = core.ingest(&chunk(step)).unwrap();
+            assert_eq!(r.seq, step as u64);
+        }
+        assert_eq!(core.chunks_seen(), 3);
+        assert_eq!(core.weights().len(), 3);
+        assert!(core.truth(0, 0).is_some());
+        assert!(core.truth(1, 0).is_some());
+        assert!(core.truth(9, 9).is_none());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn restart_recovers_identical_state() {
+        let d = dir("restart");
+        let fingerprint = {
+            let (mut core, _) =
+                ServeCore::open(ServeConfig::new(schema(), 0.5, &d).snapshot_every(2)).unwrap();
+            for step in 0..5 {
+                core.ingest(&chunk(step)).unwrap();
+            }
+            core.checkpoint_bytes()
+        }; // dropped without a clean shutdown: WAL holds chunk 4
+        let (core, rec) = ServeCore::open(ServeConfig::new(schema(), 0.5, &d)).unwrap();
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.snapshot_chunks, 4);
+        assert_eq!(rec.wal_replayed, 1);
+        assert_eq!(core.checkpoint_bytes(), fingerprint);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn invalid_chunks_strike_and_quarantine() {
+        let d = dir("breaker");
+        let (mut core, _) = ServeCore::open(ServeConfig::new(schema(), 0.5, &d)).unwrap();
+        let bad = vec![ChunkClaim::num(0, 0, 7, f64::NAN)];
+        for _ in 0..3 {
+            let err = core.ingest(&bad).unwrap_err();
+            assert!(matches!(
+                err,
+                ServeError::InvalidChunk {
+                    source: Some(7),
+                    ..
+                }
+            ));
+        }
+        let err = core.ingest(&[ChunkClaim::num(0, 0, 7, 21.0)]).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Quarantined { source: 7, .. }),
+            "{err}"
+        );
+        // an unrelated source is unaffected
+        core.ingest(&[ChunkClaim::num(0, 0, 1, 21.0)]).unwrap();
+        // model state was never touched by the bad feed
+        assert_eq!(core.chunks_seen(), 1);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn out_of_domain_category_is_rejected() {
+        let d = dir("domain");
+        let (mut core, _) = ServeCore::open(ServeConfig::new(schema(), 0.5, &d)).unwrap();
+        let err = core
+            .ingest(&[ChunkClaim {
+                object: 0,
+                property: 1,
+                source: 0,
+                value: Value::Cat(99),
+            }])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidChunk { .. }), "{err}");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn solve_honours_cancellation() {
+        let d = dir("solve");
+        let (core, _) = ServeCore::open(ServeConfig::new(schema(), 0.5, &d)).unwrap();
+        let claims = chunk(0);
+        let out = core.solve(&claims, 1e-9, 100, &CancelToken::new()).unwrap();
+        assert!(out.objective.is_finite());
+        assert_eq!(out.weights.len(), 3);
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let err = core.solve(&claims, 1e-9, 100, &cancelled).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn chunk_codec_roundtrips_and_rejects_garbage() {
+        let claims = chunk(1);
+        let bytes = encode_chunk(42, &claims);
+        let (seq, back) = decode_chunk(&bytes).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(back, claims);
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_chunk(&extra).is_err());
+        assert!(decode_chunk(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn csv_rows_become_claims_without_interning() {
+        let s = schema();
+        let claims = claims_from_csv(&s, "0,temperature,1,21.5\n2,condition,0,rainy\n").unwrap();
+        assert_eq!(claims.len(), 2);
+        assert_eq!(claims[0], ChunkClaim::num(0, 0, 1, 21.5));
+        assert_eq!(claims[1].value, Value::Cat(1));
+        // unknown labels and properties are typed rejections, not new ids
+        assert!(matches!(
+            claims_from_csv(&s, "0,condition,0,hail\n"),
+            Err(ServeError::InvalidChunk {
+                source: Some(0),
+                ..
+            })
+        ));
+        assert!(claims_from_csv(&s, "0,humidity,0,5\n").is_err());
+        assert!(claims_from_csv(&s, "0,temperature,0\n").is_err());
+        assert!(claims_from_csv(&s, "x,temperature,0,5\n").is_err());
+    }
+
+    #[test]
+    fn truth_cache_evicts_fifo_and_updates_in_place() {
+        let mut c = TruthCache::new(2);
+        c.insert((0, 0), Truth::Point(Value::Num(1.0)));
+        c.insert((1, 0), Truth::Point(Value::Num(2.0)));
+        c.insert((0, 0), Truth::Point(Value::Num(9.0))); // update, no evict
+        assert_eq!(c.len(), 2);
+        c.insert((2, 0), Truth::Point(Value::Num(3.0))); // evicts (0,0)
+        assert!(c.get(&(0, 0)).is_none());
+        assert!(c.get(&(1, 0)).is_some());
+        assert!(c.get(&(2, 0)).is_some());
+    }
+}

@@ -1,0 +1,224 @@
+//! Typed errors for the serving layer.
+//!
+//! Every failure a client or operator can observe is a variant here —
+//! the daemon never panics on bad input, bad peers, or bad disks. The
+//! variants split into three families: *load* (`Overloaded`,
+//! `DeadlineExceeded`), *containment* (`Quarantined`, `InvalidChunk`),
+//! and *durability* (`WalCorrupt`, `Persist`). `InjectedCrash` only ever
+//! appears under a seeded [`ServeFaultPlan`](crate::faults::ServeFaultPlan)
+//! in chaos tests.
+
+use crh_core::error::CrhError;
+use crh_core::persist::PersistError;
+use crh_stream::StreamError;
+
+use crate::faults::ServePoint;
+
+/// Everything that can go wrong accepting, folding, persisting, or
+/// serving observation chunks.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The ingest queue is full; the chunk was rejected without buffering.
+    /// Retry with backoff — the daemon sheds load instead of growing.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// A source tripped the malformed-observation circuit breaker and its
+    /// chunks are rejected until the cool-down elapses.
+    Quarantined {
+        /// The quarantined source id.
+        source: u32,
+        /// The ingest tick at which the source becomes eligible to heal.
+        until_tick: u64,
+    },
+    /// The request did not complete within its deadline; any in-flight
+    /// solve was cooperatively cancelled.
+    DeadlineExceeded,
+    /// The chunk failed validation (schema mismatch, non-finite value,
+    /// unknown label, out-of-domain category, or empty payload).
+    InvalidChunk {
+        /// The source the offending claim was attributed to, if any.
+        source: Option<u32>,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A malformed protocol frame or request payload.
+    Protocol(String),
+    /// The remote daemon reported an error over the wire.
+    Remote {
+        /// The wire error code.
+        code: u8,
+        /// The daemon's message.
+        message: String,
+    },
+    /// The WAL contains corruption that is not a torn tail (a bad record
+    /// followed by further readable data), so recovery refuses to guess.
+    WalCorrupt {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The daemon is shutting down (or a prior injected crash poisoned
+    /// this core) and no longer accepts work.
+    ShuttingDown,
+    /// A seeded fault-plan crash fired at this point. Chaos tests treat
+    /// this exactly like `kill -9`: drop the core and recover from disk.
+    InjectedCrash(ServePoint),
+    /// An error from the streaming layer.
+    Stream(StreamError),
+    /// An error from the core solver.
+    Core(CrhError),
+    /// A snapshot failed to read or write.
+    Persist(PersistError),
+    /// An I/O failure on the WAL, snapshot directory, or socket.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "ingest queue full (capacity {capacity}); retry with backoff"
+                )
+            }
+            Self::Quarantined { source, until_tick } => write!(
+                f,
+                "source {source} is quarantined until ingest tick {until_tick}"
+            ),
+            Self::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            Self::InvalidChunk { source, reason } => match source {
+                Some(s) => write!(f, "invalid chunk (source {s}): {reason}"),
+                None => write!(f, "invalid chunk: {reason}"),
+            },
+            Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Self::Remote { code, message } => {
+                write!(f, "daemon error (code {code}): {message}")
+            }
+            Self::WalCorrupt { offset, reason } => {
+                write!(f, "WAL corrupt at offset {offset}: {reason}")
+            }
+            Self::ShuttingDown => write!(f, "daemon is shutting down"),
+            Self::InjectedCrash(p) => write!(f, "injected crash at {p:?}"),
+            Self::Stream(e) => write!(f, "stream error: {e}"),
+            Self::Core(e) => write!(f, "solver error: {e}"),
+            Self::Persist(e) => write!(f, "snapshot error: {e}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Stream(e) => Some(e),
+            Self::Core(e) => Some(e),
+            Self::Persist(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for ServeError {
+    fn from(e: StreamError) -> Self {
+        Self::Stream(e)
+    }
+}
+
+impl From<CrhError> for ServeError {
+    fn from(e: CrhError) -> Self {
+        match e {
+            CrhError::Cancelled => Self::DeadlineExceeded,
+            other => Self::Core(other),
+        }
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        Self::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Wire error codes (stable across versions; used by
+/// [`Response::Error`](crate::proto::Response)).
+pub mod code {
+    /// Queue full.
+    pub const OVERLOADED: u8 = 1;
+    /// Source quarantined.
+    pub const QUARANTINED: u8 = 2;
+    /// Deadline exceeded.
+    pub const DEADLINE: u8 = 3;
+    /// Chunk failed validation.
+    pub const INVALID_CHUNK: u8 = 4;
+    /// Malformed frame or request.
+    pub const PROTOCOL: u8 = 5;
+    /// Daemon shutting down.
+    pub const SHUTTING_DOWN: u8 = 6;
+    /// Anything else (durability, solver internals).
+    pub const INTERNAL: u8 = 7;
+}
+
+impl ServeError {
+    /// The wire code a daemon reports for this error.
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            Self::Overloaded { .. } => code::OVERLOADED,
+            Self::Quarantined { .. } => code::QUARANTINED,
+            Self::DeadlineExceeded => code::DEADLINE,
+            Self::InvalidChunk { .. } => code::INVALID_CHUNK,
+            Self::Protocol(_) => code::PROTOCOL,
+            Self::ShuttingDown => code::SHUTTING_DOWN,
+            Self::Remote { code, .. } => *code,
+            _ => code::INTERNAL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServeError::Overloaded { capacity: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(ServeError::Quarantined {
+            source: 3,
+            until_tick: 99
+        }
+        .to_string()
+        .contains("99"));
+        let e = ServeError::InvalidChunk {
+            source: Some(2),
+            reason: "NaN".into(),
+        };
+        assert!(e.to_string().contains("source 2"));
+    }
+
+    #[test]
+    fn cancelled_core_error_becomes_deadline() {
+        let e = ServeError::from(CrhError::Cancelled);
+        assert!(matches!(e, ServeError::DeadlineExceeded));
+        assert_eq!(e.wire_code(), code::DEADLINE);
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = ServeError::from(StreamError::NonFiniteCheckpoint);
+        assert!(e.source().is_some());
+        assert!(ServeError::DeadlineExceeded.source().is_none());
+    }
+}

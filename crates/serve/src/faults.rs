@@ -1,0 +1,334 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! The MapReduce engine proves its fault tolerance with a seeded
+//! `FaultPlan` resolved as a pure function of the task coordinates
+//! (`crh_mapreduce::faults`); the daemon extends the same design to its
+//! durability pipeline. A [`ServeFaultPlan`] assigns each ingest attempt a fate —
+//! torn WAL write (`kill -9` between append and fsync), crash after the
+//! fsync but before the fold, crash after the fold but before the ack,
+//! crash during the snapshot (before or after the atomic rename), a
+//! stalled fold (for overload tests), or a mid-solve kill — derived from
+//! `(seed, chunk, attempt)` via [`crh_core::rng::hash_rng`]. The fate is
+//! independent of timing and thread scheduling, so a chaos run replays
+//! exactly and the recovery-equivalence suite can assert bit-identical
+//! state.
+//!
+//! `max_faults` bounds the chaos (a global budget shared across clones,
+//! surviving daemon restarts), guaranteeing every chunk is eventually
+//! accepted within a finite retry budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crh_core::rng::{hash_rng, Rng};
+
+/// Where in the pipeline an injected crash fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePoint {
+    /// Mid-append: the WAL record is torn (a prefix of its bytes reached
+    /// the disk, fsync never happened).
+    WalAppend,
+    /// After the WAL append + fsync, before the fold: the chunk is
+    /// durable but unapplied and unacknowledged.
+    BeforeFold,
+    /// After the fold, before the acknowledgement: the chunk is durable
+    /// and applied in memory, but the ack never reaches the client.
+    AfterFold,
+    /// During the snapshot, before the atomic rename: the temp file is
+    /// abandoned, the previous snapshot and full WAL survive.
+    SnapshotWrite,
+    /// After the snapshot rename, before the WAL truncation: the new
+    /// snapshot and a stale WAL coexist (replay must skip applied seqs).
+    SnapshotTruncate,
+    /// During a batch solve (read-only; recovery is trivial but the
+    /// daemon must still come back clean).
+    Solve,
+}
+
+/// The resolved fate of one ingest attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeFate {
+    /// Run normally.
+    Healthy,
+    /// Crash mid-append, keeping this fraction of the record's bytes.
+    TornWal {
+        /// Fraction of the record that reaches the disk, in `(0, 1)`.
+        keep_frac: f64,
+    },
+    /// Crash at [`ServePoint::BeforeFold`].
+    CrashBeforeFold,
+    /// Crash at [`ServePoint::AfterFold`].
+    CrashAfterFold,
+    /// Crash at [`ServePoint::SnapshotWrite`].
+    CrashDuringSnapshot,
+    /// Crash at [`ServePoint::SnapshotTruncate`].
+    CrashAfterSnapshotRename,
+    /// Stall the fold for this long before completing normally.
+    StallFold(Duration),
+}
+
+/// A seeded chaos schedule for the daemon. Probabilities are
+/// per-ingest-attempt and mutually exclusive (sum must be ≤ 1).
+#[derive(Debug, Clone)]
+pub struct ServeFaultPlan {
+    /// Seed from which every fate is derived.
+    pub seed: u64,
+    /// Probability of a torn WAL write.
+    pub torn_wal_prob: f64,
+    /// Probability of a crash between fsync and fold.
+    pub before_fold_prob: f64,
+    /// Probability of a crash between fold and ack.
+    pub after_fold_prob: f64,
+    /// Probability of a crash before the snapshot rename.
+    pub snapshot_write_prob: f64,
+    /// Probability of a crash after the rename, before WAL truncation.
+    pub snapshot_truncate_prob: f64,
+    /// Probability of a stalled fold.
+    pub stall_prob: f64,
+    /// How long a stalled fold sleeps.
+    pub stall_for: Duration,
+    /// Total faults the injector may fire before going permanently
+    /// healthy (shared across clones and daemon restarts).
+    pub max_faults: u64,
+}
+
+impl ServeFaultPlan {
+    /// A plan with the given seed and no faults; enable classes with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            torn_wal_prob: 0.0,
+            before_fold_prob: 0.0,
+            after_fold_prob: 0.0,
+            snapshot_write_prob: 0.0,
+            snapshot_truncate_prob: 0.0,
+            stall_prob: 0.0,
+            stall_for: Duration::from_millis(20),
+            max_faults: 16,
+        }
+    }
+
+    /// Set the torn-WAL-write probability.
+    pub fn torn_wal(mut self, p: f64) -> Self {
+        self.torn_wal_prob = p;
+        self
+    }
+
+    /// Set the crash-before-fold probability.
+    pub fn before_fold(mut self, p: f64) -> Self {
+        self.before_fold_prob = p;
+        self
+    }
+
+    /// Set the crash-after-fold probability.
+    pub fn after_fold(mut self, p: f64) -> Self {
+        self.after_fold_prob = p;
+        self
+    }
+
+    /// Set the crash-during-snapshot probability (split evenly between
+    /// before-rename and after-rename).
+    pub fn during_snapshot(mut self, p: f64) -> Self {
+        self.snapshot_write_prob = p / 2.0;
+        self.snapshot_truncate_prob = p / 2.0;
+        self
+    }
+
+    /// Set the stalled-fold probability and duration.
+    pub fn stalls(mut self, p: f64, stall_for: Duration) -> Self {
+        self.stall_prob = p;
+        self.stall_for = stall_for;
+        self
+    }
+
+    /// Cap the total number of injected faults.
+    pub fn max_faults(mut self, n: u64) -> Self {
+        self.max_faults = n;
+        self
+    }
+
+    fn total_prob(&self) -> f64 {
+        self.torn_wal_prob
+            + self.before_fold_prob
+            + self.after_fold_prob
+            + self.snapshot_write_prob
+            + self.snapshot_truncate_prob
+            + self.stall_prob
+    }
+}
+
+/// Resolves attempt fates from a [`ServeFaultPlan`].
+///
+/// Cloning shares the fault budget, so one injector threaded through a
+/// crash/recover/retry loop keeps a single global count of fired faults
+/// — recovery cannot reset the chaos budget.
+#[derive(Debug, Clone, Default)]
+pub struct ServeFaultInjector {
+    plan: Option<Arc<ServeFaultPlan>>,
+    fired: Arc<AtomicU64>,
+}
+
+impl ServeFaultInjector {
+    /// Wrap a plan.
+    ///
+    /// # Panics
+    /// Panics if the plan's probabilities sum past 1.
+    pub fn new(plan: ServeFaultPlan) -> Self {
+        assert!(
+            plan.total_prob() <= 1.0 + 1e-12,
+            "fault probabilities must sum to <= 1"
+        );
+        Self {
+            plan: Some(Arc::new(plan)),
+            fired: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// An injector that never injects (the production default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Faults fired so far across all clones.
+    pub fn faults_fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// The fate of ingest `attempt` of chunk `chunk`.
+    ///
+    /// Pure in `(seed, chunk, attempt)` apart from the global fault
+    /// budget: once `max_faults` faults have fired, every further attempt
+    /// is healthy, guaranteeing forward progress.
+    pub fn fate(&self, chunk: u64, attempt: u64) -> ServeFate {
+        let Some(p) = &self.plan else {
+            return ServeFate::Healthy;
+        };
+        if self.fired.load(Ordering::SeqCst) >= p.max_faults {
+            return ServeFate::Healthy;
+        }
+        let mut rng = hash_rng(p.seed, &[chunk, attempt]);
+        let x: f64 = rng.random();
+        let mut acc = 0.0;
+        let fate = {
+            acc += p.torn_wal_prob;
+            if x < acc {
+                // keep a deterministic, strictly-partial prefix
+                let keep_frac: f64 = 0.05 + 0.9 * rng.random::<f64>();
+                ServeFate::TornWal { keep_frac }
+            } else {
+                acc += p.before_fold_prob;
+                if x < acc {
+                    ServeFate::CrashBeforeFold
+                } else {
+                    acc += p.after_fold_prob;
+                    if x < acc {
+                        ServeFate::CrashAfterFold
+                    } else {
+                        acc += p.snapshot_write_prob;
+                        if x < acc {
+                            ServeFate::CrashDuringSnapshot
+                        } else {
+                            acc += p.snapshot_truncate_prob;
+                            if x < acc {
+                                ServeFate::CrashAfterSnapshotRename
+                            } else {
+                                acc += p.stall_prob;
+                                if x < acc {
+                                    ServeFate::StallFold(p.stall_for)
+                                } else {
+                                    ServeFate::Healthy
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if fate != ServeFate::Healthy {
+            // charge the budget; re-check in case a racing clone spent it
+            if self.fired.fetch_add(1, Ordering::SeqCst) >= p.max_faults {
+                return ServeFate::Healthy;
+            }
+        }
+        fate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic(seed: u64) -> ServeFaultInjector {
+        ServeFaultInjector::new(
+            ServeFaultPlan::new(seed)
+                .torn_wal(0.2)
+                .before_fold(0.2)
+                .after_fold(0.2)
+                .during_snapshot(0.2)
+                .max_faults(u64::MAX),
+        )
+    }
+
+    #[test]
+    fn fates_are_deterministic() {
+        let a = chaotic(42);
+        let b = chaotic(42);
+        for chunk in 0..100u64 {
+            for attempt in 0..3 {
+                assert_eq!(a.fate(chunk, attempt), b.fate(chunk, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = chaotic(1);
+        let b = chaotic(2);
+        let run =
+            |inj: &ServeFaultInjector| (0..200u64).map(|c| inj.fate(c, 0)).collect::<Vec<_>>();
+        assert_ne!(run(&a), run(&b));
+    }
+
+    #[test]
+    fn budget_caps_total_faults() {
+        let inj = ServeFaultInjector::new(ServeFaultPlan::new(3).torn_wal(1.0).max_faults(5));
+        let clone = inj.clone();
+        let mut faults = 0;
+        for c in 0..100u64 {
+            let who = if c % 2 == 0 { &inj } else { &clone };
+            if who.fate(c, 0) != ServeFate::Healthy {
+                faults += 1;
+            }
+        }
+        assert_eq!(faults, 5, "budget shared across clones");
+        assert_eq!(inj.faults_fired(), 5);
+    }
+
+    #[test]
+    fn disabled_injector_is_always_healthy() {
+        let inj = ServeFaultInjector::disabled();
+        for c in 0..50u64 {
+            assert_eq!(inj.fate(c, 0), ServeFate::Healthy);
+        }
+        assert_eq!(inj.faults_fired(), 0);
+    }
+
+    #[test]
+    fn torn_fraction_is_strictly_partial() {
+        let inj =
+            ServeFaultInjector::new(ServeFaultPlan::new(7).torn_wal(1.0).max_faults(u64::MAX));
+        for c in 0..500u64 {
+            if let ServeFate::TornWal { keep_frac } = inj.fate(c, 0) {
+                assert!(keep_frac > 0.0 && keep_frac < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to <= 1")]
+    fn overfull_probabilities_rejected() {
+        ServeFaultInjector::new(ServeFaultPlan::new(0).torn_wal(0.7).before_fold(0.7));
+    }
+}

@@ -1,0 +1,53 @@
+//! `crh-serve`: a crash-only, overload-safe truth-discovery daemon over
+//! incremental CRH.
+//!
+//! The batch and streaming crates answer "what is true?" for data you
+//! already have; this crate keeps the answer *standing* while new
+//! observations keep arriving and the machine keeps failing. It layers
+//! four robustness mechanisms over [`crh_stream`]'s I-CRH state:
+//!
+//! 1. **Crash-only durability** ([`wal`], [`core`]) — every accepted
+//!    chunk is CRC-framed into an append-only WAL before it is folded;
+//!    periodic snapshots (atomic rename) absorb the log. `kill -9` at
+//!    any instruction recovers to bit-identical weights and truths:
+//!    snapshot load, then WAL replay with snapshot-covered sequence
+//!    numbers skipped and torn tails truncated.
+//! 2. **Overload safety** ([`queue`], [`server`]) — a bounded ingest
+//!    queue sheds load with a typed [`ServeError::Overloaded`] instead
+//!    of buffering unboundedly; per-request deadlines turn slow folds
+//!    and solves into [`ServeError::DeadlineExceeded`] with cooperative
+//!    cancellation, never a hung client.
+//! 3. **Bad-feed containment** ([`breaker`]) — malformed or non-finite
+//!    observations strike a per-source circuit breaker; tripped sources
+//!    are quarantined with a cool-down and heal through a half-open
+//!    probe, so one byzantine feed cannot poison the weight estimates.
+//! 4. **Deterministic chaos** ([`faults`]) — a seeded
+//!    [`ServeFaultPlan`] resolves crash/stall fates as a pure function
+//!    of `(seed, chunk, attempt)`, letting the test suite prove recovery
+//!    equivalence for every fault interleaving it schedules.
+//!
+//! The wire protocol ([`proto`]) is the workspace's own length-prefixed
+//! CRC-framed format; [`client`] is a small synchronous client. Nothing
+//! here needs a dependency outside the workspace.
+
+pub mod breaker;
+pub mod client;
+pub mod core;
+pub mod error;
+pub mod faults;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod wal;
+
+pub use breaker::BreakerConfig;
+pub use client::{Client, DaemonStatus, RemoteSolve};
+pub use core::{
+    claims_from_csv, solve_claims, ChunkClaim, CoreStatus, IngestReceipt, RecoveryReport,
+    ServeConfig, ServeCore, SolveOutcome,
+};
+pub use error::ServeError;
+pub use faults::{ServeFate, ServeFaultInjector, ServeFaultPlan, ServePoint};
+pub use queue::BoundedQueue;
+pub use server::{Server, ServerConfig};
+pub use wal::{Wal, WalRecovery};

@@ -1,0 +1,495 @@
+//! The daemon's length-prefixed wire protocol.
+//!
+//! Frames are symmetric in both directions:
+//!
+//! ```text
+//! frame := len:u32 LE | crc32:u32 LE | payload[len]
+//! ```
+//!
+//! with `len` capped at [`MAX_FRAME_BYTES`] so a hostile or broken peer
+//! cannot make the daemon allocate unboundedly. Payloads are tagged
+//! unions encoded with the same [`Enc`]/[`Dec`] codec as every durable
+//! artefact in the workspace — bit-exact `f64`s, length-prefixed
+//! strings, no text parsing on the hot path. Any framing or decoding
+//! failure is a typed [`ServeError::Protocol`]; the daemon answers what
+//! it can and drops the connection rather than panicking.
+
+use std::io::{Read, Write};
+
+use crh_core::persist::{crc32, Dec, Enc};
+use crh_core::value::Truth;
+
+use crate::core::ChunkClaim;
+use crate::error::ServeError;
+
+/// Upper bound on a single frame's payload (16 MiB).
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Fold one chunk of claims into the model.
+    Ingest(Vec<ChunkClaim>),
+    /// Fold one chunk given as CSV text with rows
+    /// `object,property_name,source,value` (categorical labels are
+    /// resolved against the daemon's schema, never interned).
+    IngestCsv(String),
+    /// Read the current source weights.
+    Weights,
+    /// Read the cached truth for one (object, property) cell.
+    Truth {
+        /// The object id.
+        object: u32,
+        /// The property id.
+        property: u32,
+    },
+    /// Read the daemon's operational status.
+    Status,
+    /// Run a batch CRH solve over ad-hoc claims, seeded from the
+    /// daemon's current weights.
+    Solve {
+        /// Convergence tolerance.
+        tol: f64,
+        /// Iteration cap.
+        max_iters: u64,
+        /// The claims to solve over.
+        claims: Vec<ChunkClaim>,
+    },
+    /// Ask the daemon to snapshot and exit cleanly.
+    Shutdown,
+}
+
+/// A daemon response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The chunk was accepted and folded.
+    Ack {
+        /// Sequence number assigned to the chunk.
+        seq: u64,
+        /// Chunks folded so far.
+        chunks_seen: u64,
+    },
+    /// Current source weights.
+    Weights(Vec<f64>),
+    /// Cached truth, if resident.
+    Truth(Option<Truth>),
+    /// Operational status.
+    Status {
+        /// Chunks folded into the model.
+        chunks_seen: u64,
+        /// WAL records since the last snapshot.
+        wal_records: u64,
+        /// Entries in the truth cache.
+        cached_truths: u64,
+        /// Ingest requests currently queued.
+        queue_depth: u64,
+        /// Quarantined sources, ascending.
+        quarantined: Vec<u32>,
+    },
+    /// Batch solve result.
+    Solved {
+        /// Converged weights.
+        weights: Vec<f64>,
+        /// Final objective value.
+        objective: f64,
+        /// Iterations used.
+        iterations: u64,
+    },
+    /// A typed failure (see [`crate::error::code`]).
+    Error {
+        /// Stable wire code.
+        code: u8,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+const REQ_INGEST: u8 = 0;
+const REQ_INGEST_CSV: u8 = 1;
+const REQ_WEIGHTS: u8 = 2;
+const REQ_TRUTH: u8 = 3;
+const REQ_STATUS: u8 = 4;
+const REQ_SOLVE: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
+
+const RESP_ACK: u8 = 0;
+const RESP_WEIGHTS: u8 = 1;
+const RESP_TRUTH: u8 = 2;
+const RESP_STATUS: u8 = 3;
+const RESP_SOLVED: u8 = 4;
+const RESP_ERROR: u8 = 255;
+
+fn enc_claims(e: &mut Enc, claims: &[ChunkClaim]) {
+    e.u32(claims.len() as u32);
+    for c in claims {
+        e.u32(c.object);
+        e.u32(c.property);
+        e.u32(c.source);
+        e.value(&c.value);
+    }
+}
+
+fn dec_claims(d: &mut Dec) -> Result<Vec<ChunkClaim>, ServeError> {
+    let n = d.u32()? as usize;
+    let mut claims = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        claims.push(ChunkClaim {
+            object: d.u32()?,
+            property: d.u32()?,
+            source: d.u32()?,
+            value: d.value()?,
+        });
+    }
+    Ok(claims)
+}
+
+fn dec_u32s(d: &mut Dec) -> Result<Vec<u32>, ServeError> {
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(d.u32()?);
+    }
+    Ok(out)
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Self::Ingest(claims) => {
+                e.u8(REQ_INGEST);
+                enc_claims(&mut e, claims);
+            }
+            Self::IngestCsv(text) => {
+                e.u8(REQ_INGEST_CSV);
+                e.str(text);
+            }
+            Self::Weights => e.u8(REQ_WEIGHTS),
+            Self::Truth { object, property } => {
+                e.u8(REQ_TRUTH);
+                e.u32(*object);
+                e.u32(*property);
+            }
+            Self::Status => e.u8(REQ_STATUS),
+            Self::Solve {
+                tol,
+                max_iters,
+                claims,
+            } => {
+                e.u8(REQ_SOLVE);
+                e.f64(*tol);
+                e.u64(*max_iters);
+                enc_claims(&mut e, claims);
+            }
+            Self::Shutdown => e.u8(REQ_SHUTDOWN),
+        }
+        e.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let req = match d.u8()? {
+            REQ_INGEST => Self::Ingest(dec_claims(&mut d)?),
+            REQ_INGEST_CSV => Self::IngestCsv(d.str()?),
+            REQ_WEIGHTS => Self::Weights,
+            REQ_TRUTH => Self::Truth {
+                object: d.u32()?,
+                property: d.u32()?,
+            },
+            REQ_STATUS => Self::Status,
+            REQ_SOLVE => Self::Solve {
+                tol: d.f64()?,
+                max_iters: d.u64()?,
+                claims: dec_claims(&mut d)?,
+            },
+            REQ_SHUTDOWN => Self::Shutdown,
+            tag => {
+                return Err(ServeError::Protocol(format!("unknown request tag {tag}")));
+            }
+        };
+        if !d.is_exhausted() {
+            return Err(ServeError::Protocol("trailing bytes after request".into()));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Self::Ack { seq, chunks_seen } => {
+                e.u8(RESP_ACK);
+                e.u64(*seq);
+                e.u64(*chunks_seen);
+            }
+            Self::Weights(w) => {
+                e.u8(RESP_WEIGHTS);
+                e.f64s(w);
+            }
+            Self::Truth(t) => {
+                e.u8(RESP_TRUTH);
+                match t {
+                    None => e.u8(0),
+                    Some(t) => {
+                        e.u8(1);
+                        e.truth(t);
+                    }
+                }
+            }
+            Self::Status {
+                chunks_seen,
+                wal_records,
+                cached_truths,
+                queue_depth,
+                quarantined,
+            } => {
+                e.u8(RESP_STATUS);
+                e.u64(*chunks_seen);
+                e.u64(*wal_records);
+                e.u64(*cached_truths);
+                e.u64(*queue_depth);
+                e.u32(quarantined.len() as u32);
+                for &s in quarantined {
+                    e.u32(s);
+                }
+            }
+            Self::Solved {
+                weights,
+                objective,
+                iterations,
+            } => {
+                e.u8(RESP_SOLVED);
+                e.f64s(weights);
+                e.f64(*objective);
+                e.u64(*iterations);
+            }
+            Self::Error { code, message } => {
+                e.u8(RESP_ERROR);
+                e.u8(*code);
+                e.str(message);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let resp = match d.u8()? {
+            RESP_ACK => Self::Ack {
+                seq: d.u64()?,
+                chunks_seen: d.u64()?,
+            },
+            RESP_WEIGHTS => Self::Weights(d.f64s()?),
+            RESP_TRUTH => match d.u8()? {
+                0 => Self::Truth(None),
+                1 => Self::Truth(Some(d.truth()?)),
+                tag => {
+                    return Err(ServeError::Protocol(format!(
+                        "bad option tag {tag} in truth response"
+                    )));
+                }
+            },
+            RESP_STATUS => Self::Status {
+                chunks_seen: d.u64()?,
+                wal_records: d.u64()?,
+                cached_truths: d.u64()?,
+                queue_depth: d.u64()?,
+                quarantined: dec_u32s(&mut d)?,
+            },
+            RESP_SOLVED => Self::Solved {
+                weights: d.f64s()?,
+                objective: d.f64()?,
+                iterations: d.u64()?,
+            },
+            RESP_ERROR => Self::Error {
+                code: d.u8()?,
+                message: d.str()?,
+            },
+            tag => {
+                return Err(ServeError::Protocol(format!("unknown response tag {tag}")));
+            }
+        };
+        if !d.is_exhausted() {
+            return Err(ServeError::Protocol("trailing bytes after response".into()));
+        }
+        Ok(resp)
+    }
+
+    /// The response the daemon sends for a failed request.
+    pub fn from_error(e: &ServeError) -> Self {
+        Self::Error {
+            code: e.wire_code(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Write one frame (length, CRC, payload) to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(ServeError::Protocol(format!(
+            "frame of {} bytes exceeds the {} byte cap",
+            payload.len(),
+            MAX_FRAME_BYTES
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from `r`, verifying the length cap and CRC.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "peer announced a {len} byte frame (cap {MAX_FRAME_BYTES})"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != stored_crc {
+        return Err(ServeError::Protocol("frame CRC mismatch".into()));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::value::Value;
+
+    fn sample_claims() -> Vec<ChunkClaim> {
+        vec![
+            ChunkClaim::num(0, 0, 1, 21.5),
+            ChunkClaim {
+                object: 3,
+                property: 1,
+                source: 2,
+                value: Value::Cat(1),
+            },
+            ChunkClaim {
+                object: 4,
+                property: 2,
+                source: 0,
+                value: Value::Text("fog".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            Request::Ingest(sample_claims()),
+            Request::IngestCsv("0,temperature,1,21.5\n".into()),
+            Request::Weights,
+            Request::Truth {
+                object: 7,
+                property: 1,
+            },
+            Request::Status,
+            Request::Solve {
+                tol: 1e-6,
+                max_iters: 50,
+                claims: sample_claims(),
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = vec![
+            Response::Ack {
+                seq: 9,
+                chunks_seen: 10,
+            },
+            Response::Weights(vec![1.0, 0.5, f64::MAX]),
+            Response::Truth(None),
+            Response::Truth(Some(Truth::Point(Value::Num(3.25)))),
+            Response::Truth(Some(Truth::Distribution {
+                probs: vec![0.25, 0.75],
+                mode: 1,
+            })),
+            Response::Status {
+                chunks_seen: 5,
+                wal_records: 2,
+                cached_truths: 11,
+                queue_depth: 0,
+                quarantined: vec![3, 8],
+            },
+            Response::Solved {
+                weights: vec![2.0, 1.0],
+                objective: 0.125,
+                iterations: 7,
+            },
+            Response::Error {
+                code: crate::error::code::OVERLOADED,
+                message: "queue full".into(),
+            },
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn garbage_and_truncation_are_typed_protocol_errors() {
+        assert!(matches!(
+            Request::decode(&[200]),
+            Err(ServeError::Protocol(_))
+        ));
+        let mut bytes = Request::Weights.encode();
+        bytes.push(0xAB);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ServeError::Protocol(_))
+        ));
+        let solve = Request::Solve {
+            tol: 1e-6,
+            max_iters: 10,
+            claims: sample_claims(),
+        }
+        .encode();
+        assert!(Request::decode(&solve[..solve.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_corruption() {
+        let payload = Request::Status.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let got = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, payload);
+
+        let mut corrupted = buf.clone();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0x01;
+        let err = read_frame(&mut corrupted.as_slice()).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_frame_announcement_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    }
+}

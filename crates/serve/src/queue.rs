@@ -1,0 +1,176 @@
+//! A bounded MPSC work queue with typed overload rejection.
+//!
+//! The daemon's overload policy is *shed, don't buffer*: when the ingest
+//! queue is full, [`BoundedQueue::try_push`] fails immediately with
+//! [`ServeError::Overloaded`] instead of blocking the connection thread
+//! or growing without bound. Memory held by queued work is therefore
+//! `O(capacity)` no matter how fast clients push. The consumer side
+//! blocks with a condition variable (plus timeout, so a worker can poll
+//! its shutdown flag).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::error::ServeError;
+
+/// A fixed-capacity FIFO queue shared between connection threads
+/// (producers) and the fold worker (consumer).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Create a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Enqueue without blocking. Fails with [`ServeError::Overloaded`]
+    /// when full and [`ServeError::ShuttingDown`] once closed.
+    pub fn try_push(&self, item: T) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(ServeError::Overloaded {
+                capacity: self.capacity,
+            });
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking up to `wait`. Returns `Ok(None)` on timeout (so
+    /// the worker can poll its shutdown flag) and `Err(ShuttingDown)`
+    /// once the queue is closed *and* drained.
+    pub fn pop_timeout(&self, wait: Duration) -> Result<Option<T>, ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Ok(Some(item));
+            }
+            if inner.closed {
+                return Err(ServeError::ShuttingDown);
+            }
+            let (guard, timeout) = self.not_empty.wait_timeout(inner, wait).unwrap();
+            inner = guard;
+            if timeout.timed_out() {
+                // one last check: an item may have landed between the
+                // timeout and re-acquiring the lock
+                return Ok(inner.items.pop_front());
+            }
+        }
+    }
+
+    /// Close the queue: producers are rejected, the consumer drains what
+    /// remains and then sees `ShuttingDown`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_with_typed_overload() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let err = q.try_push(3).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Overloaded { capacity: 2 }),
+            "{err}"
+        );
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn fifo_order_and_timeout() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)).unwrap(), Some("a"));
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)).unwrap(), Some("b"));
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)).unwrap(), None);
+    }
+
+    #[test]
+    fn close_drains_then_shuts_down() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(8), Err(ServeError::ShuttingDown)));
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)).unwrap(), Some(7));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(10)),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match q.pop_timeout(Duration::from_millis(200)) {
+                        Ok(Some(x)) => got.push(x),
+                        Ok(None) => {}
+                        Err(_) => break,
+                    }
+                }
+                got
+            })
+        };
+        for i in 0..20 {
+            // capacity 8: spin until the consumer makes room
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,332 @@
+//! The TCP daemon: bounded ingest pipeline in front of a [`ServeCore`].
+//!
+//! Threading model, chosen for bounded memory and no lock inversions:
+//!
+//! - one **accept loop** (non-blocking poll so shutdown is prompt),
+//!   refusing connections beyond `max_connections` with a typed
+//!   `Overloaded` reply instead of letting them queue invisibly;
+//! - one **connection thread** per client with read/write timeouts, so a
+//!   stalled or vanished peer is dropped instead of pinning a thread
+//!   forever;
+//! - one **fold worker** draining a [`BoundedQueue`] of ingest jobs.
+//!   Connection threads never fold; they enqueue and wait on a reply
+//!   channel with a deadline. A full queue rejects immediately
+//!   ([`ServeError::Overloaded`]), a slow fold turns into
+//!   [`ServeError::DeadlineExceeded`] for the waiting client while the
+//!   fold itself still completes and stays durable.
+//!
+//! Queries (weights/truth/status) take the core lock directly — they are
+//! cheap reads. A batch solve copies the weights under the lock, then
+//! runs unlocked on the connection thread under a [`CancelToken`]
+//! deadline, so a long solve never blocks ingest.
+
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crh_core::cancel::CancelToken;
+use crh_core::schema::Schema;
+
+use crate::core::{claims_from_csv, solve_claims, ChunkClaim, IngestReceipt, ServeCore};
+use crate::error::ServeError;
+use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::queue::BoundedQueue;
+
+/// Tuning for the network front-end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Ingest jobs buffered between connection threads and the fold
+    /// worker; beyond this, pushes fail with `Overloaded`.
+    pub queue_capacity: usize,
+    /// How long a connection thread waits for its ingest to fold before
+    /// answering `DeadlineExceeded`.
+    pub ingest_deadline: Duration,
+    /// Per-connection socket read/write timeout; a peer silent for this
+    /// long is dropped.
+    pub io_timeout: Duration,
+    /// Wall-clock budget for a batch solve.
+    pub solve_deadline: Duration,
+    /// Concurrent client connections; beyond this, connections get an
+    /// immediate `Overloaded` reply and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            ingest_deadline: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(2),
+            solve_deadline: Duration::from_secs(5),
+            max_connections: 32,
+        }
+    }
+}
+
+struct IngestJob {
+    claims: Vec<ChunkClaim>,
+    reply: mpsc::SyncSender<Result<IngestReceipt, ServeError>>,
+}
+
+struct Shared {
+    core: Mutex<ServeCore>,
+    queue: BoundedQueue<IngestJob>,
+    schema: Schema,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+}
+
+/// A running daemon; dropping the handle shuts it down.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and start serving `core`.
+    pub fn start(core: ServeCore, cfg: ServerConfig, addr: &str) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+
+        let schema = core.schema().clone();
+        let shared = Arc::new(Shared {
+            core: Mutex::new(core),
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            schema,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+        });
+
+        let worker_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || fold_worker(&shared))
+        };
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(Self {
+            shared,
+            addr: local,
+            accept_thread: Some(accept_thread),
+            worker_thread: Some(worker_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown, join the daemon threads, and take a final
+    /// snapshot so the next [`ServeCore::open`] starts from a clean disk.
+    pub fn shutdown(mut self) {
+        self.stop();
+        // best-effort final snapshot; a poisoned (chaos) core refuses
+        self.shared.core.lock().unwrap().snapshot_now().ok();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+        if let Some(t) = self.worker_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let active = shared.connections.load(Ordering::SeqCst);
+                if active >= shared.cfg.max_connections {
+                    refuse_connection(stream, shared);
+                    continue;
+                }
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    serve_connection(stream, &shared);
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
+    let err = ServeError::Overloaded {
+        capacity: shared.cfg.max_connections,
+    };
+    stream.set_write_timeout(Some(shared.cfg.io_timeout)).ok();
+    let payload = Response::from_error(&err).encode();
+    write_frame(&mut stream, &payload).ok();
+    stream.flush().ok();
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream
+        .set_read_timeout(Some(shared.cfg.io_timeout))
+        .and(stream.set_write_timeout(Some(shared.cfg.io_timeout)))
+        .is_err()
+    {
+        return;
+    }
+    stream.set_nodelay(true).ok();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // The io timeout is for peers stalled *mid-frame*; a connection
+        // idling between requests is legitimate. Wait for the first byte
+        // of the next frame separately, so an idle timeout just loops
+        // (re-checking shutdown) while a mid-frame stall drops the peer.
+        let mut first = [0u8; 1];
+        match stream.read(&mut first) {
+            Ok(0) => return, // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        let payload = match read_frame(&mut (&first[..]).chain(&mut stream)) {
+            Ok(p) => p,
+            // mid-frame timeout, disconnect, or garbage framing: drop the peer
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => handle_request(req, shared),
+            Err(e) => Response::from_error(&e),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
+    match req {
+        Request::Ingest(claims) => ingest_via_queue(claims, shared),
+        Request::IngestCsv(text) => match claims_from_csv(&shared.schema, &text) {
+            Ok(claims) => ingest_via_queue(claims, shared),
+            Err(e) => Response::from_error(&e),
+        },
+        Request::Weights => {
+            let core = shared.core.lock().unwrap();
+            Response::Weights(core.weights().to_vec())
+        }
+        Request::Truth { object, property } => {
+            let core = shared.core.lock().unwrap();
+            Response::Truth(core.truth(object, property))
+        }
+        Request::Status => {
+            let status = shared.core.lock().unwrap().status();
+            Response::Status {
+                chunks_seen: status.chunks_seen,
+                wal_records: status.wal_records,
+                cached_truths: status.cached_truths,
+                queue_depth: shared.queue.depth() as u64,
+                quarantined: status.quarantined,
+            }
+        }
+        Request::Solve {
+            tol,
+            max_iters,
+            claims,
+        } => {
+            // copy the weights under the lock, solve without it
+            let seed = shared.core.lock().unwrap().weights().to_vec();
+            let cancel = CancelToken::with_deadline(shared.cfg.solve_deadline);
+            match solve_claims(
+                &shared.schema,
+                &claims,
+                &seed,
+                tol,
+                max_iters as usize,
+                &cancel,
+            ) {
+                Ok(out) => Response::Solved {
+                    weights: out.weights,
+                    objective: out.objective,
+                    iterations: out.iterations,
+                },
+                Err(e) => Response::from_error(&e),
+            }
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue.close();
+            let chunks_seen = {
+                let mut core = shared.core.lock().unwrap();
+                core.snapshot_now().ok();
+                core.chunks_seen()
+            };
+            Response::Ack {
+                seq: chunks_seen.saturating_sub(1),
+                chunks_seen,
+            }
+        }
+    }
+}
+
+fn ingest_via_queue(claims: Vec<ChunkClaim>, shared: &Arc<Shared>) -> Response {
+    let (tx, rx) = mpsc::sync_channel(1);
+    let job = IngestJob { claims, reply: tx };
+    if let Err(e) = shared.queue.try_push(job) {
+        return Response::from_error(&e);
+    }
+    match rx.recv_timeout(shared.cfg.ingest_deadline) {
+        Ok(Ok(receipt)) => Response::Ack {
+            seq: receipt.seq,
+            chunks_seen: receipt.chunks_seen,
+        },
+        Ok(Err(e)) => Response::from_error(&e),
+        // the fold may still land durably; the client learns the outcome
+        // from a later Status, exactly like a lost ack after a crash
+        Err(_) => Response::from_error(&ServeError::DeadlineExceeded),
+    }
+}
+
+fn fold_worker(shared: &Arc<Shared>) {
+    loop {
+        match shared.queue.pop_timeout(Duration::from_millis(50)) {
+            Ok(Some(job)) => {
+                let result = shared.core.lock().unwrap().ingest(&job.claims);
+                // the client may have timed out and gone; that's fine
+                job.reply.try_send(result).ok();
+            }
+            Ok(None) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return, // closed and drained
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The append-only write-ahead log for accepted observation chunks.
+//!
+//! Crash-only durability discipline: a chunk is *accepted* the moment its
+//! WAL record is appended and fsync'd — everything downstream (the fold
+//! into [`ICrhState`](crh_stream::ICrhState), the truth cache, the
+//! periodic snapshot) is reconstructible by replay. Records are framed
+//! individually:
+//!
+//! ```text
+//! file   := header record*
+//! header := b"CRHWAL01"                      (8 bytes)
+//! record := len:u32 LE | crc32:u32 LE | payload[len]
+//! ```
+//!
+//! A `kill -9` can tear the last record (partial write, no fsync). On
+//! open, the reader walks the records and **truncates** a torn tail — a
+//! record whose bytes run past end-of-file, or whose CRC fails at the
+//! very end of the file — because that is the expected crash signature,
+//! not an error. A bad record *followed by further data* is genuine
+//! corruption and is surfaced as a typed [`ServeError::WalCorrupt`]; the
+//! daemon refuses to guess which records to trust.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crh_core::persist::crc32;
+
+use crate::error::ServeError;
+
+const WAL_HEADER: [u8; 8] = *b"CRHWAL01";
+const RECORD_HEADER: usize = 8; // len u32 + crc u32
+
+/// What `Wal::open` found on disk.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// The decoded record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of torn tail that were truncated away (0 on a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    records: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, replaying existing records and
+    /// truncating a torn tail. Returns the log positioned for appending
+    /// plus everything recovered.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, WalRecovery), ServeError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        // truncate(false): an existing log is the recovery source, never clobber
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.is_empty() {
+            file.write_all(&WAL_HEADER)?;
+            file.sync_all()?;
+            return Ok((
+                Self {
+                    file,
+                    path,
+                    len: WAL_HEADER.len() as u64,
+                    records: 0,
+                },
+                WalRecovery {
+                    records: Vec::new(),
+                    truncated_bytes: 0,
+                },
+            ));
+        }
+        if bytes.len() < WAL_HEADER.len() || bytes[..WAL_HEADER.len()] != WAL_HEADER {
+            return Err(ServeError::WalCorrupt {
+                offset: 0,
+                reason: "missing or wrong WAL header",
+            });
+        }
+
+        let mut records = Vec::new();
+        let mut pos = WAL_HEADER.len();
+        let mut truncated_bytes = 0u64;
+        while pos < bytes.len() {
+            let rest = &bytes[pos..];
+            // A record header or body running past EOF is a torn tail.
+            if rest.len() < RECORD_HEADER {
+                truncated_bytes = rest.len() as u64;
+                break;
+            }
+            let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+            let stored_crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            if rest.len() - RECORD_HEADER < len {
+                truncated_bytes = rest.len() as u64;
+                break;
+            }
+            let payload = &rest[RECORD_HEADER..RECORD_HEADER + len];
+            if crc32(payload) != stored_crc {
+                let record_end = pos + RECORD_HEADER + len;
+                if record_end == bytes.len() {
+                    // CRC failure on the final record: torn write caught
+                    // before the length field settled — treat as tail.
+                    truncated_bytes = (bytes.len() - pos) as u64;
+                    break;
+                }
+                return Err(ServeError::WalCorrupt {
+                    offset: pos as u64,
+                    reason: "record CRC mismatch mid-log",
+                });
+            }
+            records.push(payload.to_vec());
+            pos += RECORD_HEADER + len;
+        }
+
+        let keep = pos as u64;
+        if truncated_bytes > 0 {
+            file.set_len(keep)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(keep))?;
+        let n = records.len() as u64;
+        Ok((
+            Self {
+                file,
+                path,
+                len: keep,
+                records: n,
+            },
+            WalRecovery {
+                records,
+                truncated_bytes,
+            },
+        ))
+    }
+
+    /// Append one record and fsync. Returns the record's index within
+    /// this log (0-based).
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, ServeError> {
+        let frame = Self::frame(payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.len += frame.len() as u64;
+        let idx = self.records;
+        self.records += 1;
+        Ok(idx)
+    }
+
+    /// Simulate a `kill -9` mid-append: write only `keep_frac` of the
+    /// record's bytes (at least 1, strictly fewer than all) and make the
+    /// partial write visible on disk, leaving a torn tail for the next
+    /// [`open`](Self::open). The log is unusable afterwards — the caller
+    /// must drop it, exactly as a crashed process would.
+    pub fn append_torn(&mut self, payload: &[u8], keep_frac: f64) -> Result<(), ServeError> {
+        let frame = Self::frame(payload);
+        let keep = ((frame.len() as f64 * keep_frac) as usize).clamp(1, frame.len() - 1);
+        self.file.write_all(&frame[..keep])?;
+        // sync so the same-process "recovery" observes the torn bytes
+        self.file.sync_data()?;
+        self.len += keep as u64;
+        Ok(())
+    }
+
+    /// Drop every record: truncate back to the bare header (used after a
+    /// successful snapshot has made the log's contents redundant).
+    pub fn truncate_all(&mut self) -> Result<(), ServeError> {
+        self.file.set_len(WAL_HEADER.len() as u64)?;
+        self.file.sync_all()?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER.len() as u64))?;
+        self.len = WAL_HEADER.len() as u64;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Records appended since the last truncation.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Current file length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("crh_wal_{}_{name}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_records() {
+        let p = tmp("roundtrip");
+        std::fs::remove_file(&p).ok();
+        {
+            let (mut wal, rec) = Wal::open(&p).unwrap();
+            assert!(rec.records.is_empty());
+            assert_eq!(wal.append(b"alpha").unwrap(), 0);
+            assert_eq!(wal.append(b"beta").unwrap(), 1);
+            assert_eq!(wal.record_count(), 2);
+        }
+        let (wal, rec) = Wal::open(&p).unwrap();
+        assert_eq!(rec.records, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(wal.record_count(), 2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let p = tmp("torn");
+        std::fs::remove_file(&p).ok();
+        {
+            let (mut wal, _) = Wal::open(&p).unwrap();
+            wal.append(b"good record").unwrap();
+            wal.append_torn(b"half written record", 0.4).unwrap();
+        }
+        let (mut wal, rec) = Wal::open(&p).unwrap();
+        assert_eq!(rec.records, vec![b"good record".to_vec()]);
+        assert!(rec.truncated_bytes > 0);
+        // the log is immediately appendable again
+        wal.append(b"after recovery").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&p).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![b"good record".to_vec(), b"after recovery".to_vec()]
+        );
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_typed_fatal() {
+        let p = tmp("midlog");
+        std::fs::remove_file(&p).ok();
+        {
+            let (mut wal, _) = Wal::open(&p).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+        }
+        let mut bytes = std::fs::read(&p).unwrap();
+        // flip a byte inside the *first* record's payload
+        let at = WAL_HEADER.len() + RECORD_HEADER + 2;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        let err = Wal::open(&p).unwrap_err();
+        assert!(matches!(err, ServeError::WalCorrupt { .. }), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn crc_failure_on_final_record_is_a_torn_tail() {
+        let p = tmp("tailcrc");
+        std::fs::remove_file(&p).ok();
+        {
+            let (mut wal, _) = Wal::open(&p).unwrap();
+            wal.append(b"keep me").unwrap();
+            wal.append(b"flip me").unwrap();
+        }
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&p, &bytes).unwrap();
+        let (_, rec) = Wal::open(&p).unwrap();
+        assert_eq!(rec.records, vec![b"keep me".to_vec()]);
+        assert!(rec.truncated_bytes > 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wrong_header_is_typed_fatal() {
+        let p = tmp("header");
+        std::fs::write(&p, b"NOTAWALFILE").unwrap();
+        let err = Wal::open(&p).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::WalCorrupt {
+                    offset: 0,
+                    reason: _
+                }
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn truncate_all_resets_the_log() {
+        let p = tmp("truncall");
+        std::fs::remove_file(&p).ok();
+        let (mut wal, _) = Wal::open(&p).unwrap();
+        wal.append(b"x").unwrap();
+        wal.append(b"y").unwrap();
+        wal.truncate_all().unwrap();
+        assert_eq!(wal.record_count(), 0);
+        wal.append(b"fresh").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&p).unwrap();
+        assert_eq!(rec.records, vec![b"fresh".to_vec()]);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -12,6 +12,9 @@ pub enum StreamError {
         /// The rejected value.
         got: f64,
     },
+    /// A time-window size of zero was requested; windows must merge at
+    /// least one bucket.
+    InvalidWindow,
     /// A checkpoint's weight and accumulated-distance vectors disagree
     /// in length.
     CheckpointMismatch {
@@ -35,6 +38,7 @@ impl std::fmt::Display for StreamError {
             Self::InvalidAlpha { got } => {
                 write!(f, "decay rate alpha must be in [0,1], got {got}")
             }
+            Self::InvalidWindow => write!(f, "time-window size must be >= 1 bucket"),
             Self::CheckpointMismatch {
                 weights,
                 accumulated,

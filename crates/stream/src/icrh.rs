@@ -560,6 +560,117 @@ mod tests {
     }
 
     #[test]
+    fn load_rejects_trailing_garbage_and_duplicated_frames() {
+        let path = tmp("dupframe");
+        let ckpt = ICrhCheckpoint {
+            weights: vec![1.0, 0.5],
+            accumulated: vec![0.1, 0.9],
+            chunks_seen: 3,
+        };
+        ckpt.save(&path).unwrap();
+        let frame = std::fs::read(&path).unwrap();
+        // duplicated frame: the whole file written twice
+        let mut doubled = frame.clone();
+        doubled.extend_from_slice(&frame);
+        std::fs::write(&path, &doubled).unwrap();
+        let err = ICrhCheckpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamError::Persist(PersistError::TrailingGarbage { .. })
+            ),
+            "{err}"
+        );
+        // one stray trailing byte
+        let mut one_more = frame.clone();
+        one_more.push(0xAB);
+        std::fs::write(&path, &one_more).unwrap();
+        let err = ICrhCheckpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamError::Persist(PersistError::TrailingGarbage { extra: 1 })
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seeded_corruption_never_panics_and_always_types() {
+        use crh_core::rng::{Pcg64, Rng};
+        let path = tmp("seeded_corruption");
+        let mut state = ICrh::new(0.7).unwrap().start();
+        for day in 0..4 {
+            state.process_chunk(&chunk(day, 6)).unwrap();
+        }
+        let ckpt = state.checkpoint();
+        for seed in 0..32u64 {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            ckpt.save(&path).unwrap();
+            let pristine = std::fs::read(&path).unwrap();
+            let corrupted = match seed % 3 {
+                // truncate at a seeded offset (torn write)
+                0 => {
+                    let cut = 1 + (rng.next_u64() as usize) % (pristine.len() - 1);
+                    pristine[..cut].to_vec()
+                }
+                // flip one seeded byte (bit rot)
+                1 => {
+                    let mut b = pristine.clone();
+                    let at = (rng.next_u64() as usize) % b.len();
+                    let mask = (rng.next_u64() as u8).max(1);
+                    b[at] ^= mask;
+                    b
+                }
+                // duplicate a seeded-length suffix (double write)
+                _ => {
+                    let mut b = pristine.clone();
+                    let n = 1 + (rng.next_u64() as usize) % pristine.len();
+                    let tail = pristine[pristine.len() - n..].to_vec();
+                    b.extend_from_slice(&tail);
+                    b
+                }
+            };
+            std::fs::write(&path, &corrupted).unwrap();
+            match ICrhCheckpoint::load(&path) {
+                Err(_) => {} // a typed error is exactly what we want
+                Ok(loaded) => {
+                    // a byte flip can, rarely, cancel in the CRC; but it must
+                    // then decode to a structurally valid checkpoint
+                    assert!(
+                        loaded.validate().is_ok(),
+                        "seed {seed}: corrupted checkpoint loaded but is invalid"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn alpha_edge_cases_are_typed_and_usable() {
+        // NaN and out-of-range values surface the typed variant
+        for bad in [f64::NAN, -0.0001, 1.0001, f64::INFINITY] {
+            let err = ICrh::new(bad).unwrap_err();
+            assert!(matches!(err, StreamError::InvalidAlpha { .. }), "{bad}");
+        }
+        // the boundary values are valid and produce finite weights
+        for alpha in [0.0, 1.0] {
+            let mut s = ICrh::new(alpha).unwrap().start();
+            for day in 0..3 {
+                s.process_chunk(&chunk(day, 4)).unwrap();
+            }
+            assert!(
+                s.weights().iter().all(|w| w.is_finite()),
+                "alpha {alpha}: {:?}",
+                s.weights()
+            );
+            assert!(s.accumulated_distances().iter().all(|a| a.is_finite()));
+        }
+    }
+
+    #[test]
     fn single_pass_is_deterministic() {
         let chunks: Vec<_> = (0..3).map(|d| chunk(d, 4)).collect();
         let r1 = ICrh::new(0.3).unwrap().run_stream(chunks.iter()).unwrap();

@@ -5,6 +5,8 @@
 //! windows mean fewer, better-grounded updates. [`group_windows`] merges
 //! per-timestamp buckets into window-sized chunks.
 
+use crate::error::StreamError;
+
 /// Merge timestamped buckets into windows of `window` consecutive
 /// *buckets*. Buckets are ordered by timestamp first; each output group
 /// concatenates the payloads of up to `window` adjacent buckets (by
@@ -12,10 +14,16 @@
 /// so days {0, 5, 6} with `window = 2` group as {0, 5} and {6}). The last
 /// group may be smaller.
 ///
-/// # Panics
-/// Panics if `window == 0`.
-pub fn group_windows<T>(mut buckets: Vec<(u32, Vec<T>)>, window: usize) -> Vec<Vec<T>> {
-    assert!(window > 0, "window size must be >= 1");
+/// A zero window is a configuration error and is rejected with
+/// [`StreamError::InvalidWindow`] rather than panicking, so a bad config
+/// can never abort a long-running caller.
+pub fn group_windows<T>(
+    mut buckets: Vec<(u32, Vec<T>)>,
+    window: usize,
+) -> Result<Vec<Vec<T>>, StreamError> {
+    if window == 0 {
+        return Err(StreamError::InvalidWindow);
+    }
     buckets.sort_by_key(|(ts, _)| *ts);
     let mut out: Vec<Vec<T>> = Vec::new();
     for (i, (_, items)) in buckets.into_iter().enumerate() {
@@ -25,7 +33,7 @@ pub fn group_windows<T>(mut buckets: Vec<(u32, Vec<T>)>, window: usize) -> Vec<V
             out.last_mut().expect("group exists").extend(items);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -38,14 +46,14 @@ mod tests {
 
     #[test]
     fn window_one_is_identity() {
-        let g = group_windows(buckets(), 1);
+        let g = group_windows(buckets(), 1).unwrap();
         assert_eq!(g.len(), 6);
         assert_eq!(g[0], vec![0, 1]);
     }
 
     #[test]
     fn window_two_merges_pairs() {
-        let g = group_windows(buckets(), 2);
+        let g = group_windows(buckets(), 2).unwrap();
         assert_eq!(g.len(), 3);
         assert_eq!(g[0], vec![0, 1, 10, 11]);
         assert_eq!(g[2], vec![40, 41, 50, 51]);
@@ -53,7 +61,7 @@ mod tests {
 
     #[test]
     fn ragged_last_window() {
-        let g = group_windows(buckets(), 4);
+        let g = group_windows(buckets(), 4).unwrap();
         assert_eq!(g.len(), 2);
         assert_eq!(g[0].len(), 8);
         assert_eq!(g[1].len(), 4);
@@ -61,7 +69,7 @@ mod tests {
 
     #[test]
     fn window_larger_than_stream() {
-        let g = group_windows(buckets(), 100);
+        let g = group_windows(buckets(), 100).unwrap();
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].len(), 12);
     }
@@ -70,13 +78,17 @@ mod tests {
     fn unsorted_buckets_are_ordered_first() {
         let mut b = buckets();
         b.reverse();
-        let g = group_windows(b, 3);
+        let g = group_windows(b, 3).unwrap();
         assert_eq!(g[0], vec![0, 1, 10, 11, 20, 21]);
     }
 
     #[test]
-    #[should_panic(expected = "window size")]
-    fn zero_window_panics() {
-        group_windows(buckets(), 0);
+    fn zero_window_is_a_typed_error() {
+        let err = group_windows(buckets(), 0).unwrap_err();
+        assert!(matches!(err, StreamError::InvalidWindow), "{err}");
+        assert!(err.to_string().contains("window"));
+        // an empty stream with a zero window is still a config error
+        let err = group_windows(Vec::<(u32, Vec<u32>)>::new(), 0).unwrap_err();
+        assert!(matches!(err, StreamError::InvalidWindow), "{err}");
     }
 }

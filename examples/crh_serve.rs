@@ -1,0 +1,137 @@
+//! Conflict resolution as a service: the `crh-serve` daemon end to end.
+//!
+//! A `ServeCore` folds observation chunks into incremental CRH state
+//! (Algorithm 2) behind a write-ahead log, so a crash — modelled here by
+//! dropping the core without a clean shutdown — loses nothing that was
+//! acknowledged. The example then restarts the daemon from the same
+//! state directory, serves it over TCP, and drives it with the
+//! length-prefixed binary client: ingest, truth/weight queries, a batch
+//! solve, and a malformed feed that trips the per-source circuit breaker.
+//!
+//! Run with: `cargo run --release --example crh_serve`
+
+use std::time::Duration;
+
+use crh::core::schema::Schema;
+use crh::serve::{ChunkClaim, Client, ServeConfig, ServeCore, ServeError, Server, ServerConfig};
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_continuous("temperature");
+    let p = s.add_categorical("condition");
+    for label in ["sunny", "rainy", "foggy"] {
+        s.intern(p, label).expect("fresh label");
+    }
+    s
+}
+
+/// Three sources report on object 0; source 2 is consistently off.
+fn chunk(day: u32) -> Vec<ChunkClaim> {
+    let base = 20.0 + day as f64;
+    vec![
+        ChunkClaim::num(0, 0, 0, base + 0.1),
+        ChunkClaim::num(0, 0, 1, base - 0.2),
+        ChunkClaim::num(0, 0, 2, base + 6.0),
+        ChunkClaim {
+            object: 0,
+            property: 1,
+            source: day % 3,
+            value: crh::core::value::Value::Cat(day % 3),
+        },
+    ]
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("crh_serve_example_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = || ServeConfig::new(schema(), 0.7, &dir).snapshot_every(4);
+
+    // --- 1. durable ingest, then a crash -------------------------------
+    {
+        let (mut core, _) = ServeCore::open(config()).expect("fresh state dir");
+        for day in 0..6 {
+            let receipt = core.ingest(&chunk(day)).expect("valid chunk");
+            println!(
+                "ingested chunk {} (chunks_seen = {})",
+                receipt.seq, receipt.chunks_seen
+            );
+        }
+        println!("daemon state: {:?}\n-- simulated kill -9 --", core.status());
+        // dropped here WITHOUT a snapshot: chunks 4..6 live only in the WAL
+    }
+
+    // --- 2. recovery: snapshot + WAL replay ----------------------------
+    let (core, report) = ServeCore::open(config()).expect("recoverable state dir");
+    println!(
+        "recovered {} chunks (snapshot held {}, WAL replayed {}, torn bytes {})",
+        core.chunks_seen(),
+        report.snapshot_chunks,
+        report.wal_replayed,
+        report.torn_bytes
+    );
+    assert_eq!(core.chunks_seen(), 6, "acknowledged chunks must survive");
+
+    // --- 3. serve the recovered state over TCP -------------------------
+    let server =
+        Server::start(core, ServerConfig::default(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+    println!("daemon listening on {addr}");
+
+    let mut client = Client::connect(addr, Duration::from_secs(2)).expect("connect");
+    for day in 6..10 {
+        client.ingest(chunk(day)).expect("remote ingest");
+    }
+    // CSV feeds work too: rows are `object,property_name,source,value`
+    client
+        .ingest_csv("0,temperature,0,29.9\n0,temperature,1,29.7\n0,condition,2,foggy\n")
+        .expect("csv ingest");
+
+    let weights = client.weights().expect("weights query");
+    println!("source weights after 11 chunks: {weights:.3?}");
+    assert!(
+        weights[2] < weights[0] && weights[2] < weights[1],
+        "the biased source must rank last"
+    );
+    let truth = client.truth(0, 0).expect("truth query");
+    println!("current temperature truth for object 0: {truth:?}");
+
+    // ad-hoc batch solve on the daemon, independent of streamed state
+    let solve = client
+        .solve(1e-6, 50, chunk(0))
+        .expect("remote batch solve");
+    println!(
+        "batch solve: objective {:.4} after {} iterations",
+        solve.objective, solve.iterations
+    );
+
+    // --- 4. bad-feed containment ---------------------------------------
+    // Source 9 streams NaNs; each is rejected with a typed error and a
+    // strike, and the third strike opens its circuit breaker.
+    for _ in 0..3 {
+        let err = client
+            .ingest(vec![ChunkClaim::num(0, 0, 9, f64::NAN)])
+            .expect_err("NaN must be rejected");
+        println!("bad feed rejected: {err}");
+    }
+    let err = client
+        .ingest(vec![ChunkClaim::num(0, 0, 9, 21.0)])
+        .expect_err("quarantined source is refused even with clean data");
+    assert!(
+        matches!(err, ServeError::Remote { .. }),
+        "typed quarantine: {err}"
+    );
+    let status = client.status().expect("status query");
+    println!("quarantined sources: {:?}", status.quarantined);
+    assert_eq!(status.quarantined, vec![9]);
+
+    // --- 5. clean shutdown: snapshot absorbs the WAL -------------------
+    drop(client);
+    server.shutdown();
+    let (core, report) = ServeCore::open(config()).expect("reopen after shutdown");
+    println!(
+        "after clean shutdown: {} chunks on disk, {} WAL records to replay",
+        core.chunks_seen(),
+        report.wal_replayed
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -293,7 +293,7 @@ fn stream(args: &Args) -> Result<(), String> {
     let by_day = ds
         .split_by_day()
         .ok_or("dataset is not temporal (no days.csv)")?;
-    let groups = crh::stream::group_windows(by_day, window);
+    let groups = crh::stream::group_windows(by_day, window).map_err(|e| e.to_string())?;
     let mut state = ICrh::new(alpha).map_err(|e| e.to_string())?.start();
     for (i, claims) in groups.into_iter().enumerate() {
         let mut b = TableBuilder::new(ds.table.schema().clone());

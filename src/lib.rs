@@ -18,6 +18,9 @@
 //!   (Algorithm 2) with decay and time windows;
 //! * [`mapreduce`] ([`crh_mapreduce`]) — an in-process MapReduce engine and
 //!   the parallel CRH jobs (§2.7);
+//! * [`serve`] ([`crh_serve`]) — a crash-only daemon that keeps an I-CRH
+//!   session standing: WAL + snapshot durability, bounded-queue overload
+//!   shedding, per-source circuit breakers, seeded chaos testing;
 //! * [`data`] ([`crh_data`]) — CSV I/O, dataset generators, metrics
 //!   (Error Rate / MNAD), and reliability scoring.
 //!
@@ -33,6 +36,7 @@ pub use crh_baselines as baselines;
 pub use crh_core as core;
 pub use crh_data as data;
 pub use crh_mapreduce as mapreduce;
+pub use crh_serve as serve;
 pub use crh_stream as stream;
 
 pub use crh_core::prelude;
