@@ -132,6 +132,22 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+/// A cheap 64-bit state digest (FNV-1a), for replica divergence checks.
+///
+/// Replication asserts compare whole-state fingerprints across nodes
+/// constantly; shipping the full snapshot payload for every comparison
+/// would dominate the heartbeat traffic. This digest is NOT
+/// cryptographic — it detects accidental divergence (a missed fold, a
+/// reordered record), not an adversary forging a matching state.
+pub fn digest64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// Little-endian encoder appending to a byte buffer.
 #[derive(Debug, Default)]
 pub struct Enc {
@@ -173,6 +189,12 @@ impl Enc {
     pub fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed raw byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
     }
 
     /// Append a length-prefixed `f64` slice.
@@ -271,6 +293,12 @@ impl<'a> Dec<'a> {
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| PersistError::Malformed("string is not valid UTF-8"))
+    }
+
+    /// Read a length-prefixed raw byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, PersistError> {
+        let n = self.u64()? as usize;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Read a length-prefixed `f64` vector.
@@ -406,6 +434,15 @@ mod tests {
         // standard test vector
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn digest64_is_stable_and_sensitive() {
+        // FNV-1a 64 offset basis for the empty input
+        assert_eq!(digest64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(digest64(b"state"), digest64(b"state"));
+        assert_ne!(digest64(b"state"), digest64(b"statf"));
+        assert_ne!(digest64(b"ab"), digest64(b"ba"));
     }
 
     #[test]

@@ -43,9 +43,22 @@ impl Default for BreakerConfig {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
-    Closed { strikes: u32 },
-    Open { until_tick: u64 },
-    HalfOpen,
+    Closed {
+        strikes: u32,
+    },
+    Open {
+        until_tick: u64,
+    },
+    /// Exactly one probe chunk is in flight; further chunks are rejected
+    /// until the probe resolves ([`SourceBreakers::record_ok`] /
+    /// [`SourceBreakers::record_bad`]) or the token expires at
+    /// `probe_expires`. Without the token, two concurrent probes could
+    /// race: the first fails and re-opens the breaker, then the second
+    /// succeeds and closes it again — a bad source healing off the back
+    /// of a single lucky chunk.
+    HalfOpen {
+        probe_expires: u64,
+    },
 }
 
 /// The set of per-source breakers.
@@ -66,16 +79,42 @@ impl SourceBreakers {
 
     /// Gate a chunk from `source` at logical time `tick`. Passing the gate
     /// does not clear strikes — only [`record_ok`](Self::record_ok) does.
+    /// After a cool-down, exactly one probe chunk is admitted at a time;
+    /// a second chunk arriving while the probe is unresolved is rejected.
     pub fn admit(&mut self, source: u32, tick: u64) -> Result<(), ServeError> {
         match self.states.get(&source).copied() {
-            None | Some(State::Closed { .. }) | Some(State::HalfOpen) => Ok(()),
+            None | Some(State::Closed { .. }) => Ok(()),
             Some(State::Open { until_tick }) => {
                 if tick >= until_tick {
-                    // cool-down over: allow one probe chunk through
-                    self.states.insert(source, State::HalfOpen);
+                    // cool-down over: issue the single probe token
+                    self.states.insert(
+                        source,
+                        State::HalfOpen {
+                            probe_expires: tick + self.cfg.cooldown_ticks,
+                        },
+                    );
                     Ok(())
                 } else {
                     Err(ServeError::Quarantined { source, until_tick })
+                }
+            }
+            Some(State::HalfOpen { probe_expires }) => {
+                if tick >= probe_expires {
+                    // the outstanding probe's reply never arrived (its
+                    // ingest died mid-pipeline); let a fresh probe in
+                    // instead of quarantining the source forever
+                    self.states.insert(
+                        source,
+                        State::HalfOpen {
+                            probe_expires: tick + self.cfg.cooldown_ticks,
+                        },
+                    );
+                    Ok(())
+                } else {
+                    Err(ServeError::Quarantined {
+                        source,
+                        until_tick: probe_expires,
+                    })
                 }
             }
         }
@@ -101,7 +140,7 @@ impl SourceBreakers {
                     None
                 }
             }
-            State::HalfOpen => {
+            State::HalfOpen { .. } => {
                 // the probe failed: straight back to quarantine
                 let until_tick = tick + self.cfg.cooldown_ticks;
                 *state = State::Open { until_tick };
@@ -197,6 +236,48 @@ mod tests {
         // one bad probe chunk is enough — no three-strike grace
         assert_eq!(b.record_bad(2, 12), Some(22));
         assert!(b.is_quarantined(2, 13));
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let mut b = SourceBreakers::new(cfg());
+        for t in 0..3 {
+            b.record_bad(4, t);
+        }
+        // cool-down over: the first chunk takes the probe token…
+        b.admit(4, 12).unwrap();
+        // …and a concurrent second chunk is rejected, not admitted
+        let err = b.admit(4, 12).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Quarantined { source: 4, .. }),
+            "{err}"
+        );
+        // double-close regression: the in-flight probe fails, re-opening
+        // the breaker; had a second probe been admitted above, its later
+        // record_ok would now close the breaker off one lucky chunk
+        assert!(b.record_bad(4, 13).is_some());
+        assert!(b.is_quarantined(4, 14));
+        let err = b.admit(4, 14).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Quarantined { source: 4, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unresolved_probe_token_expires() {
+        let mut b = SourceBreakers::new(cfg());
+        for t in 0..3 {
+            b.record_bad(8, t);
+        }
+        b.admit(8, 12).unwrap();
+        // the probe's ingest died without record_ok/record_bad; once the
+        // token expires a fresh probe is admitted instead of a permanent
+        // lock-out
+        assert!(b.admit(8, 15).is_err());
+        b.admit(8, 22).unwrap();
+        b.record_ok(8);
+        assert!(!b.is_quarantined(8, 23));
     }
 
     #[test]

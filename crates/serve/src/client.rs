@@ -1,15 +1,24 @@
-//! A small synchronous client for the daemon protocol.
+//! Synchronous clients for the daemon protocol.
 //!
-//! One request/response round-trip per call over a persistent
-//! connection, with a socket timeout so a dead daemon surfaces as a
-//! typed error instead of a hang. Wire error codes the client can act on
-//! (`Overloaded`, `DeadlineExceeded`, `ShuttingDown`) are mapped back to
-//! their [`ServeError`] variants; everything else stays a
-//! [`ServeError::Remote`] with the daemon's message attached.
+//! [`Client`] is one request/response round-trip per call over a
+//! persistent connection, with a socket timeout so a dead daemon
+//! surfaces as a typed error instead of a hang. Wire error codes the
+//! client can act on (`Overloaded`, `DeadlineExceeded`, `ShuttingDown`)
+//! are mapped back to their [`ServeError`] variants; everything else
+//! stays a [`ServeError::Remote`] with the daemon's message attached.
+//!
+//! [`ClusterClient`] fronts a replicated cluster: it retries transient
+//! failures (dead node, follower redirect, commit-quorum timeout) across
+//! the member list under a capped-exponential-backoff-with-jitter
+//! [`RetryPolicy`], follows `NotPrimary` redirects, and transparently
+//! unwraps staleness-bounded [`Response::FollowerRead`] answers. When
+//! every attempt fails it returns [`ServeError::RetriesExhausted`]
+//! carrying the per-attempt error log.
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use crh_core::rng::{hash_rng, Rng as _};
 use crh_core::value::Truth;
 
 use crate::core::ChunkClaim;
@@ -58,17 +67,19 @@ impl Client {
         Ok(Self { stream })
     }
 
-    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+    /// One round-trip with no interpretation of `Response::Error` — the
+    /// replication ticker needs the raw frame (a peer's error *is* the
+    /// protocol answer, e.g. `StaleEpoch` deposing the sender).
+    pub(crate) fn call_raw(&mut self, req: &Request) -> Result<Response, ServeError> {
         write_frame(&mut self.stream, &req.encode())?;
         let payload = read_frame(&mut self.stream)?;
-        let resp = Response::decode(&payload)?;
+        Response::decode(&payload)
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let resp = self.call_raw(req)?;
         if let Response::Error { code: c, message } = resp {
-            return Err(match c {
-                code::OVERLOADED => ServeError::Overloaded { capacity: 0 },
-                code::DEADLINE => ServeError::DeadlineExceeded,
-                code::SHUTTING_DOWN => ServeError::ShuttingDown,
-                _ => ServeError::Remote { code: c, message },
-            });
+            return Err(map_wire_error(c, message));
         }
         Ok(resp)
     }
@@ -161,4 +172,323 @@ impl Client {
 
 fn unexpected(resp: &Response) -> ServeError {
     ServeError::Protocol(format!("unexpected response variant: {resp:?}"))
+}
+
+fn map_wire_error(c: u8, message: String) -> ServeError {
+    match c {
+        code::OVERLOADED => ServeError::Overloaded { capacity: 0 },
+        code::DEADLINE => ServeError::DeadlineExceeded,
+        code::SHUTTING_DOWN => ServeError::ShuttingDown,
+        _ => ServeError::Remote { code: c, message },
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Attempt `k` sleeps a duration drawn uniformly from
+/// `[d/2, d]` where `d = min(base * 2^k, cap)`; the draw comes from the
+/// workspace's own [`hash_rng`] keyed on `(seed, k)`, so a given client
+/// configuration always produces the same schedule (reproducible chaos
+/// tests) while distinct seeds decorrelate competing clients.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries (the first, un-delayed one included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Jitter seed; clients sharing a seed share a schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before attempt `attempt + 1` (so `backoff(0)`
+    /// is the sleep after the first failure).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let uncapped = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        let full = uncapped.min(self.cap).max(Duration::from_nanos(2));
+        let nanos = full.as_nanos() as u64;
+        let mut rng = hash_rng(self.seed, &[u64::from(attempt)]);
+        let jittered = nanos / 2 + rng.next_u64() % (nanos - nanos / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+/// Where the next attempt should go after a retryable failure.
+enum Goto {
+    /// Same member (transient local condition: overload, quorum wait).
+    Same,
+    /// Rotate to the next member (dead or shutting-down node).
+    Next,
+    /// A `NotPrimary` redirect named the primary.
+    Node(u32),
+}
+
+enum Outcome {
+    Done(Response),
+    Fatal(ServeError),
+    Retry { why: String, goto: Goto },
+}
+
+/// A client for a replicated cluster: transparent failover, primary
+/// redirects, and staleness-bounded follower reads.
+///
+/// Reads may land on a follower; they return the answer *plus* the
+/// follower's staleness bound in chunks (0 when the primary answered).
+/// Writes that fail transiently — connection refused, `NotPrimary`,
+/// `NotReplicated` (commit-quorum timeout), `ShuttingDown` — are retried
+/// under the [`RetryPolicy`]; a retried write may be folded twice if the
+/// lost ack had in fact committed, exactly like any at-least-once ingest
+/// pipeline, which is why callers that need exactly-once feed the daemon
+/// idempotent chunk streams.
+#[derive(Debug)]
+pub struct ClusterClient {
+    /// `(node_id, address)` for every member.
+    members: Vec<(u32, String)>,
+    timeout: Duration,
+    policy: RetryPolicy,
+    /// Index into `members` to try next.
+    next: usize,
+    conn: Option<Client>,
+}
+
+impl ClusterClient {
+    /// A client over `members` (`(node_id, address)` pairs; order is the
+    /// rotation order on failover).
+    pub fn new(members: Vec<(u32, String)>, timeout: Duration, policy: RetryPolicy) -> Self {
+        assert!(!members.is_empty(), "a cluster needs at least one member");
+        Self {
+            members,
+            timeout,
+            policy,
+            next: 0,
+            conn: None,
+        }
+    }
+
+    fn try_once(&mut self, req: &Request) -> Outcome {
+        let (node_id, addr) = self.members[self.next].clone();
+        if self.conn.is_none() {
+            match Client::connect(&addr, self.timeout) {
+                Ok(c) => self.conn = Some(c),
+                Err(e) => {
+                    return Outcome::Retry {
+                        why: format!("node {node_id} ({addr}): connect failed: {e}"),
+                        goto: Goto::Next,
+                    };
+                }
+            }
+        }
+        let resp = match self.conn.as_mut().unwrap().call_raw(req) {
+            Ok(r) => r,
+            Err(e) => {
+                return Outcome::Retry {
+                    why: format!("node {node_id} ({addr}): {e}"),
+                    goto: Goto::Next,
+                };
+            }
+        };
+        let Response::Error { code: c, message } = resp else {
+            return Outcome::Done(resp);
+        };
+        match c {
+            code::NOT_PRIMARY => Outcome::Retry {
+                goto: primary_hint(&message).map_or(Goto::Next, Goto::Node),
+                why: format!("node {node_id}: {message}"),
+            },
+            // durable locally but quorum not yet confirmed: the same
+            // (possibly re-elected) cluster will accept the retry
+            code::NOT_REPLICATED | code::OVERLOADED | code::DEADLINE => Outcome::Retry {
+                why: format!("node {node_id}: {message}"),
+                goto: Goto::Same,
+            },
+            code::SHUTTING_DOWN | code::STALE_EPOCH => Outcome::Retry {
+                why: format!("node {node_id}: {message}"),
+                goto: Goto::Next,
+            },
+            _ => Outcome::Fatal(map_wire_error(c, message)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let mut log = Vec::new();
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt - 1));
+            }
+            match self.try_once(req) {
+                Outcome::Done(resp) => return Ok(resp),
+                Outcome::Fatal(e) => return Err(e),
+                Outcome::Retry { why, goto } => {
+                    log.push(why);
+                    self.conn = None;
+                    self.next = match goto {
+                        Goto::Same => self.next,
+                        Goto::Next => (self.next + 1) % self.members.len(),
+                        Goto::Node(id) => self
+                            .members
+                            .iter()
+                            .position(|(n, _)| *n == id)
+                            .unwrap_or((self.next + 1) % self.members.len()),
+                    };
+                }
+            }
+        }
+        Err(ServeError::RetriesExhausted {
+            attempts: self.policy.max_attempts,
+            log,
+        })
+    }
+
+    /// Unwrap a possible follower answer into `(inner, lag)`.
+    fn read(&mut self, req: &Request) -> Result<(Response, u64), ServeError> {
+        match self.call(req)? {
+            Response::FollowerRead { lag, inner } => {
+                let inner = Response::decode(&inner)?;
+                if let Response::Error { code: c, message } = inner {
+                    return Err(map_wire_error(c, message));
+                }
+                Ok((inner, lag))
+            }
+            resp => Ok((resp, 0)),
+        }
+    }
+
+    /// Fold one chunk; acknowledged only after the commit quorum.
+    /// Returns `(seq, committed_chunks)`.
+    pub fn ingest(&mut self, claims: Vec<ChunkClaim>) -> Result<(u64, u64), ServeError> {
+        match self.call(&Request::Ingest(claims))? {
+            Response::Ack { seq, chunks_seen } => Ok((seq, chunks_seen)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Current source weights plus the answering node's staleness bound.
+    pub fn weights(&mut self) -> Result<(Vec<f64>, u64), ServeError> {
+        match self.read(&Request::Weights)? {
+            (Response::Weights(w), lag) => Ok((w, lag)),
+            (other, _) => Err(unexpected(&other)),
+        }
+    }
+
+    /// Cached truth for one cell plus the staleness bound.
+    pub fn truth(
+        &mut self,
+        object: u32,
+        property: u32,
+    ) -> Result<(Option<Truth>, u64), ServeError> {
+        match self.read(&Request::Truth { object, property })? {
+            (Response::Truth(t), lag) => Ok((t, lag)),
+            (other, _) => Err(unexpected(&other)),
+        }
+    }
+
+    /// Operational status of whichever member answered, plus its lag.
+    pub fn status(&mut self) -> Result<(DaemonStatus, u64), ServeError> {
+        match self.read(&Request::Status)? {
+            (
+                Response::Status {
+                    chunks_seen,
+                    wal_records,
+                    cached_truths,
+                    queue_depth,
+                    quarantined,
+                },
+                lag,
+            ) => Ok((
+                DaemonStatus {
+                    chunks_seen,
+                    wal_records,
+                    cached_truths,
+                    queue_depth,
+                    quarantined,
+                },
+                lag,
+            )),
+            (other, _) => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// Best-effort extraction of the redirect target from a `NotPrimary`
+/// message (`… retry against node N`). Both ends of this protocol live
+/// in this crate, so the format is stable; an unparsable message just
+/// degrades to rotating through the member list.
+fn primary_hint(message: &str) -> Option<u32> {
+    message.rsplit("node ").next()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 7,
+        };
+        for k in 0..8 {
+            let d = p.backoff(k);
+            assert_eq!(d, p.backoff(k), "same (seed, attempt) must repeat");
+            let full = (Duration::from_millis(10) * 2u32.pow(k)).min(p.cap);
+            assert!(d <= full, "attempt {k}: {d:?} above {full:?}");
+            assert!(d >= full / 2, "attempt {k}: {d:?} below half of {full:?}");
+        }
+        // deep attempts saturate at the cap instead of overflowing
+        assert!(p.backoff(63) <= p.cap);
+        let other = RetryPolicy { seed: 8, ..p };
+        assert!(
+            (0..8).any(|k| p.backoff(k) != other.backoff(k)),
+            "different seeds should produce different schedules"
+        );
+    }
+
+    #[test]
+    fn primary_hint_parses_the_daemon_message() {
+        let msg = ServeError::NotPrimary { hint: Some(2) }.to_string();
+        assert_eq!(primary_hint(&msg), Some(2));
+        let msg = ServeError::NotPrimary { hint: None }.to_string();
+        assert_eq!(primary_hint(&msg), None);
+    }
+
+    #[test]
+    fn cluster_client_reports_the_attempt_log_when_every_node_is_down() {
+        // ports from the TEST-NET-ish reserved range: nothing listens
+        let mut c = ClusterClient::new(
+            vec![(0, "127.0.0.1:1".into()), (1, "127.0.0.1:2".into())],
+            Duration::from_millis(100),
+            RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                seed: 1,
+            },
+        );
+        let err = c.weights().unwrap_err();
+        match err {
+            ServeError::RetriesExhausted { attempts, log } => {
+                assert_eq!(attempts, 3);
+                assert_eq!(log.len(), 3);
+                assert!(log[0].contains("connect failed"), "{log:?}");
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
 }

@@ -74,7 +74,7 @@ impl ChunkClaim {
 }
 
 /// Daemon configuration.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// The fixed schema every chunk is validated against.
     pub schema: Schema,
@@ -169,6 +169,21 @@ pub struct CoreStatus {
     pub quarantined: Vec<u32>,
     /// Whether an injected crash has poisoned this core.
     pub poisoned: bool,
+}
+
+/// What [`ServeCore::apply_replicated`] did with a shipped record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The record was appended, fsync'd, and folded.
+    Applied(IngestReceipt),
+    /// The record's sequence was already folded (duplicate delivery).
+    AlreadyApplied,
+    /// The record skips ahead of this replica's contiguous prefix; the
+    /// replica must catch up from `expected` before applying it.
+    Gap {
+        /// The sequence this replica needs next.
+        expected: u64,
+    },
 }
 
 /// Result of a batch solve.
@@ -449,6 +464,70 @@ impl ServeCore {
         Ok(IngestReceipt { seq, chunks_seen })
     }
 
+    /// Apply one replicated WAL record shipped by a primary: append +
+    /// fsync + fold + snapshot cadence, exactly like [`ingest`](Self::ingest)
+    /// but without the breaker gate or re-validation (the primary
+    /// validated before committing) and without fault injection.
+    /// Duplicate and out-of-order deliveries are typed outcomes, never
+    /// double-folds.
+    pub fn apply_replicated(&mut self, payload: &[u8]) -> Result<ApplyOutcome, ServeError> {
+        if self.poisoned {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (seq, claims) = decode_chunk(payload)?;
+        let applied = self.state.chunks_seen() as u64;
+        if seq < applied {
+            return Ok(ApplyOutcome::AlreadyApplied);
+        }
+        if seq > applied {
+            return Ok(ApplyOutcome::Gap { expected: applied });
+        }
+        self.wal.append(payload)?;
+        self.fold(&claims)?;
+        let chunks_seen = self.state.chunks_seen() as u64;
+        if chunks_seen.is_multiple_of(self.snapshot_every) {
+            self.write_snapshot()?;
+            self.wal.truncate_all()?;
+        }
+        Ok(ApplyOutcome::Applied(IngestReceipt { seq, chunks_seen }))
+    }
+
+    /// Replace this core's entire state with a snapshot payload shipped
+    /// by a primary (catch-up fallback when the requested records have
+    /// aged out of the primary's retention window). The payload is
+    /// persisted locally (snapshot file + WAL truncation) before the
+    /// in-memory state switches, so a crash mid-install recovers to
+    /// either the old or the new state, never a mix.
+    pub fn install_snapshot(&mut self, payload: &[u8]) -> Result<(), ServeError> {
+        if self.poisoned {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (ckpt, cached) = decode_snapshot_payload(payload)?;
+        let state = ICrhState::resume(ICrh::new(self.alpha)?, ckpt)?;
+        write_frame(
+            &self.snapshot_path,
+            SNAPSHOT_MAGIC,
+            SNAPSHOT_VERSION,
+            payload,
+        )?;
+        crate::wal::sync_parent_dir(&self.snapshot_path)?;
+        self.wal.truncate_all()?;
+        let mut cache = TruthCache::new(self.cache.cap);
+        for (key, truth) in cached {
+            cache.insert(key, truth);
+        }
+        self.state = state;
+        self.cache = cache;
+        Ok(())
+    }
+
+    /// A cheap whole-state fingerprint ([`digest64`] of
+    /// [`checkpoint_bytes`](Self::checkpoint_bytes)) for replica
+    /// divergence checks.
+    pub fn state_digest(&self) -> u64 {
+        crh_core::persist::digest64(&self.checkpoint_bytes())
+    }
+
     /// Force a snapshot now (and truncate the WAL). Used at clean
     /// shutdown and by tests.
     pub fn snapshot_now(&mut self) -> Result<(), ServeError> {
@@ -507,6 +586,9 @@ impl ServeCore {
             SNAPSHOT_VERSION,
             &payload,
         )?;
+        // the rename inside write_frame is atomic but not durable until
+        // the directory entry itself is fsync'd
+        crate::wal::sync_parent_dir(&self.snapshot_path)?;
         Ok(())
     }
 
@@ -518,7 +600,10 @@ impl ServeCore {
 
 /// Validate every claim against the schema: known property, matching
 /// type, finite numbers, categorical ids inside the declared domain.
-fn validate_claims(schema: &Schema, claims: &[ChunkClaim]) -> Result<(), (Option<u32>, String)> {
+pub(crate) fn validate_claims(
+    schema: &Schema,
+    claims: &[ChunkClaim],
+) -> Result<(), (Option<u32>, String)> {
     for c in claims {
         let m = PropertyId(c.property);
         schema
@@ -699,7 +784,14 @@ fn snapshot_payload(ckpt: &ICrhCheckpoint, cache: &TruthCache) -> Vec<u8> {
 #[allow(clippy::type_complexity)]
 fn read_snapshot(path: &Path) -> Result<(ICrhCheckpoint, Vec<((u32, u32), Truth)>), ServeError> {
     let (_version, payload) = read_frame(path, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
-    let mut d = Dec::new(&payload);
+    decode_snapshot_payload(&payload)
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_snapshot_payload(
+    payload: &[u8],
+) -> Result<(ICrhCheckpoint, Vec<((u32, u32), Truth)>), ServeError> {
+    let mut d = Dec::new(payload);
     let chunks_seen = d.u64()? as usize;
     let weights = d.f64s()?;
     let accumulated = d.f64s()?;
@@ -850,6 +942,66 @@ mod tests {
         let err = core.solve(&claims, 1e-9, 100, &cancelled).unwrap_err();
         assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
         std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn apply_replicated_matches_local_ingest_and_dedups() {
+        let da = dir("repl_a");
+        let db = dir("repl_b");
+        let (mut a, _) = ServeCore::open(ServeConfig::new(schema(), 0.5, &da)).unwrap();
+        let (mut b, _) = ServeCore::open(ServeConfig::new(schema(), 0.5, &db)).unwrap();
+        let mut records = Vec::new();
+        for step in 0..4 {
+            let claims = chunk(step);
+            let r = a.ingest(&claims).unwrap();
+            records.push(encode_chunk(r.seq, &claims));
+        }
+        for rec in &records {
+            let out = b.apply_replicated(rec).unwrap();
+            assert!(matches!(out, ApplyOutcome::Applied(_)), "{out:?}");
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.checkpoint_bytes(), b.checkpoint_bytes());
+        // duplicate delivery is a no-op outcome, not a double fold
+        assert_eq!(
+            b.apply_replicated(&records[1]).unwrap(),
+            ApplyOutcome::AlreadyApplied
+        );
+        // skipping ahead is a typed gap, not a silent hole
+        let ahead = encode_chunk(9, &chunk(9));
+        assert_eq!(
+            b.apply_replicated(&ahead).unwrap(),
+            ApplyOutcome::Gap { expected: 4 }
+        );
+        assert_eq!(a.state_digest(), b.state_digest());
+        std::fs::remove_dir_all(&da).ok();
+        std::fs::remove_dir_all(&db).ok();
+    }
+
+    #[test]
+    fn install_snapshot_transfers_state_durably() {
+        let da = dir("install_a");
+        let db = dir("install_b");
+        let (mut a, _) = ServeCore::open(ServeConfig::new(schema(), 0.5, &da)).unwrap();
+        for step in 0..5 {
+            a.ingest(&chunk(step)).unwrap();
+        }
+        let (mut b, _) = ServeCore::open(ServeConfig::new(schema(), 0.5, &db)).unwrap();
+        b.ingest(&chunk(99)).unwrap(); // divergent state to overwrite
+        b.install_snapshot(&a.checkpoint_bytes()).unwrap();
+        assert_eq!(b.chunks_seen(), 5);
+        assert_eq!(b.state_digest(), a.state_digest());
+        // the install is durable: a restart recovers the installed state
+        drop(b);
+        let (b, rec) = ServeCore::open(ServeConfig::new(schema(), 0.5, &db)).unwrap();
+        assert!(rec.snapshot_loaded);
+        assert_eq!(b.state_digest(), a.state_digest());
+        // garbage payloads are typed errors and leave state untouched
+        let mut c = b;
+        assert!(c.install_snapshot(b"not a snapshot").is_err());
+        assert_eq!(c.state_digest(), a.state_digest());
+        std::fs::remove_dir_all(&da).ok();
+        std::fs::remove_dir_all(&db).ok();
     }
 
     #[test]

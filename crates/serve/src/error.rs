@@ -63,6 +63,47 @@ pub enum ServeError {
     /// The daemon is shutting down (or a prior injected crash poisoned
     /// this core) and no longer accepts work.
     ShuttingDown,
+    /// The snapshot directory could not be fsync'd after the atomic
+    /// rename, so the rename itself may not survive power loss.
+    SnapshotDirSync {
+        /// The directory that failed to sync.
+        dir: std::path::PathBuf,
+        /// The underlying I/O error, stringified.
+        reason: String,
+    },
+    /// Every retry attempt failed; the log records each attempt's error.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// One entry per attempt, in order.
+        log: Vec<String>,
+    },
+    /// This node is a follower (or mid-election) and cannot accept
+    /// writes; retry against the primary.
+    NotPrimary {
+        /// The node id of the primary, if this node knows it.
+        hint: Option<u32>,
+    },
+    /// The chunk is durable on this node but fewer than `quorum` replicas
+    /// acknowledged the fsync before the deadline. The client must treat
+    /// the write as unacknowledged and retry; the sequence-idempotent
+    /// protocol makes the retry safe.
+    NotReplicated {
+        /// The sequence number of the un-acked chunk.
+        seq: u64,
+        /// Replicas (including the primary) that had fsync'd it.
+        acked: usize,
+        /// The configured quorum.
+        quorum: usize,
+    },
+    /// A replication message carried an epoch older than this node's;
+    /// the sender is a deposed primary and must step down.
+    StaleEpoch {
+        /// The epoch the message carried.
+        got: u64,
+        /// This node's current epoch.
+        current: u64,
+    },
     /// A seeded fault-plan crash fired at this point. Chaos tests treat
     /// this exactly like `kill -9`: drop the core and recover from disk.
     InjectedCrash(ServePoint),
@@ -102,6 +143,34 @@ impl std::fmt::Display for ServeError {
                 write!(f, "WAL corrupt at offset {offset}: {reason}")
             }
             Self::ShuttingDown => write!(f, "daemon is shutting down"),
+            Self::SnapshotDirSync { dir, reason } => {
+                write!(
+                    f,
+                    "snapshot directory {} failed to fsync: {reason}",
+                    dir.display()
+                )
+            }
+            Self::RetriesExhausted { attempts, log } => {
+                write!(
+                    f,
+                    "all {attempts} attempts failed (last: {})",
+                    log.last().map(String::as_str).unwrap_or("none")
+                )
+            }
+            Self::NotPrimary { hint } => match hint {
+                Some(n) => write!(f, "not the primary; retry against node {n}"),
+                None => write!(f, "not the primary; no known primary to redirect to"),
+            },
+            Self::NotReplicated { seq, acked, quorum } => write!(
+                f,
+                "chunk seq {seq} reached only {acked}/{quorum} replicas before the deadline; retry"
+            ),
+            Self::StaleEpoch { got, current } => {
+                write!(
+                    f,
+                    "message from stale epoch {got} (current epoch {current})"
+                )
+            }
             Self::InjectedCrash(p) => write!(f, "injected crash at {p:?}"),
             Self::Stream(e) => write!(f, "stream error: {e}"),
             Self::Core(e) => write!(f, "solver error: {e}"),
@@ -167,6 +236,12 @@ pub mod code {
     pub const SHUTTING_DOWN: u8 = 6;
     /// Anything else (durability, solver internals).
     pub const INTERNAL: u8 = 7;
+    /// This node is a follower; writes must go to the primary.
+    pub const NOT_PRIMARY: u8 = 8;
+    /// Durable locally but the replication quorum was not reached.
+    pub const NOT_REPLICATED: u8 = 9;
+    /// Replication message from a deposed epoch.
+    pub const STALE_EPOCH: u8 = 10;
 }
 
 impl ServeError {
@@ -179,6 +254,9 @@ impl ServeError {
             Self::InvalidChunk { .. } => code::INVALID_CHUNK,
             Self::Protocol(_) => code::PROTOCOL,
             Self::ShuttingDown => code::SHUTTING_DOWN,
+            Self::NotPrimary { .. } => code::NOT_PRIMARY,
+            Self::NotReplicated { .. } => code::NOT_REPLICATED,
+            Self::StaleEpoch { .. } => code::STALE_EPOCH,
             Self::Remote { code, .. } => *code,
             _ => code::INTERNAL,
         }
@@ -212,6 +290,33 @@ mod tests {
         let e = ServeError::from(CrhError::Cancelled);
         assert!(matches!(e, ServeError::DeadlineExceeded));
         assert_eq!(e.wire_code(), code::DEADLINE);
+    }
+
+    #[test]
+    fn replication_errors_display_and_code() {
+        let e = ServeError::NotReplicated {
+            seq: 7,
+            acked: 1,
+            quorum: 2,
+        };
+        assert!(e.to_string().contains("1/2"));
+        assert_eq!(e.wire_code(), code::NOT_REPLICATED);
+        let e = ServeError::NotPrimary { hint: Some(2) };
+        assert!(e.to_string().contains("node 2"));
+        assert_eq!(e.wire_code(), code::NOT_PRIMARY);
+        let e = ServeError::StaleEpoch { got: 1, current: 3 };
+        assert!(e.to_string().contains("epoch 1"));
+        assert_eq!(e.wire_code(), code::STALE_EPOCH);
+        let e = ServeError::RetriesExhausted {
+            attempts: 3,
+            log: vec!["a".into(), "connection refused".into()],
+        };
+        assert!(e.to_string().contains("connection refused"));
+        let e = ServeError::SnapshotDirSync {
+            dir: "/tmp/x".into(),
+            reason: "EIO".into(),
+        };
+        assert!(e.to_string().contains("EIO"));
     }
 
     #[test]

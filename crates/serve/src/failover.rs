@@ -1,0 +1,355 @@
+//! Deterministic failover: the election rule and a simulated cluster
+//! for exercising it under seeded network chaos.
+//!
+//! Failure *detection* lives in [`ReplicaNode::tick`] (a follower that
+//! misses heartbeats for its node-id-staggered timeout campaigns); this
+//! module holds the *decision* — [`elect`], a pure function from the
+//! collected votes to the winner — and [`SimCluster`], a synchronous
+//! stepped simulation that drives a set of real `ReplicaNode`s (real
+//! `ServeCore`s, real WALs on disk) over a fault-injected in-memory
+//! network ([`NetFaultPlan`]). Because every link fate, kill, and
+//! restart is a pure function of the plan's seed and the step number,
+//! a chaotic run replays exactly — the partition chaos suite leans on
+//! this to compare post-heal replica digests against a never-partitioned
+//! reference run.
+//!
+//! [`ReplicaNode::tick`]: crate::replicate::ReplicaNode::tick
+
+use std::collections::HashMap;
+
+use crate::core::{ChunkClaim, ServeConfig};
+use crate::error::ServeError;
+use crate::faults::{LinkFate, NetFaultPlan};
+use crate::replicate::{ReplicaConfig, ReplicaNode, Role};
+
+/// Pick the election winner from `votes`: node id → `(last_epoch,
+/// durable)`. The best `(last_epoch, durable)` wins — a log extended by
+/// a newer primary beats a longer stale one — and ties break to the
+/// *lowest* node id, so any two candidates looking at the same votes
+/// reach the same verdict.
+///
+/// # Panics
+/// Panics if `votes` is empty (a candidate always votes for itself).
+pub fn elect(votes: &HashMap<u32, (u64, u64)>) -> u32 {
+    assert!(!votes.is_empty(), "an election needs at least one vote");
+    let mut best: Option<(u64, u64, u32)> = None;
+    for (&node, &(last_epoch, durable)) in votes {
+        let better = match best {
+            None => true,
+            Some((le, d, n)) => {
+                (last_epoch, durable) > (le, d) || ((last_epoch, durable) == (le, d) && node < n)
+            }
+        };
+        if better {
+            best = Some((last_epoch, durable, node));
+        }
+    }
+    best.expect("non-empty votes").2
+}
+
+/// A synchronous, deterministically chaotic cluster of [`ReplicaNode`]s.
+///
+/// Each [`step`](Self::step) advances logical time by one: scheduled
+/// kills fire (the node is dropped mid-flight, exactly like `kill -9`),
+/// downed nodes restart from their state directories, then every alive
+/// node ticks and its outgoing frames are routed through the
+/// [`NetFaultPlan`] — delivered, dropped, duplicated, or processed with
+/// the reply lost.
+pub struct SimCluster {
+    nodes: Vec<Option<ReplicaNode>>,
+    setups: Vec<(ReplicaConfig, ServeConfig)>,
+    down_until: Vec<u64>,
+    plan: NetFaultPlan,
+    step: u64,
+    frames_sent: u64,
+}
+
+impl SimCluster {
+    /// Build an `n`-node cluster over the state directories
+    /// `dirs[0..n]`, wired with `plan`'s chaos. `serve_for` maps a node
+    /// id to its daemon configuration (schema, alpha, state dir).
+    pub fn new(
+        n: usize,
+        serve_for: impl Fn(u32) -> ServeConfig,
+        plan: NetFaultPlan,
+    ) -> Result<Self, ServeError> {
+        let all: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity(n);
+        let mut setups = Vec::with_capacity(n);
+        for &id in &all {
+            let rcfg = ReplicaConfig::new(id, &all);
+            let scfg = serve_for(id);
+            let (node, _) = ReplicaNode::open(rcfg.clone(), scfg.clone())?;
+            nodes.push(Some(node));
+            setups.push((rcfg, scfg));
+        }
+        Ok(Self {
+            down_until: vec![0; n],
+            nodes,
+            setups,
+            plan,
+            step: 0,
+            frames_sent: 0,
+        })
+    }
+
+    /// The current step number.
+    pub fn now(&self) -> u64 {
+        self.step
+    }
+
+    /// Borrow node `i`, if it is alive.
+    pub fn node(&self, i: usize) -> Option<&ReplicaNode> {
+        self.nodes[i].as_ref()
+    }
+
+    /// Number of member slots (alive or not).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The index of the alive primary with the highest epoch, if any.
+    pub fn primary(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (i, n)))
+            .filter(|(_, n)| n.role() == Role::Primary)
+            .max_by_key(|(_, n)| n.epoch())
+            .map(|(i, _)| i)
+    }
+
+    /// Submit a client chunk to the current primary. Returns the node it
+    /// landed on and the assigned sequence, or the node's typed refusal.
+    pub fn client_ingest(&mut self, claims: &[ChunkClaim]) -> Result<(usize, u64), ServeError> {
+        let Some(i) = self.primary() else {
+            return Err(ServeError::NotPrimary { hint: None });
+        };
+        let node = self.nodes[i].as_mut().expect("primary() checked alive");
+        let seq = node.client_ingest(claims)?;
+        Ok((i, seq))
+    }
+
+    /// Whether chunk `seq` is quorum-committed according to any alive
+    /// node (commit knowledge propagates, so the primary learns first).
+    pub fn is_committed(&self, seq: u64) -> bool {
+        self.nodes.iter().flatten().any(|n| n.is_committed(seq))
+    }
+
+    /// Advance one step: kills, restarts, then a full tick-and-route
+    /// round for every alive node (in node-id order — determinism).
+    pub fn step(&mut self) -> Result<(), ServeError> {
+        self.step += 1;
+        let now = self.step;
+
+        for node in self.plan.kills_at(now) {
+            let i = node as usize;
+            if self.nodes[i].take().is_some() {
+                // dropped without snapshot_now(): a crash, not a shutdown
+                self.down_until[i] = now + self.plan.restart_after;
+            }
+        }
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].is_none() && self.down_until[i] != 0 && now >= self.down_until[i] {
+                let (rcfg, scfg) = self.setups[i].clone();
+                let (node, _) = ReplicaNode::open(rcfg, scfg)?;
+                self.nodes[i] = Some(node);
+                self.down_until[i] = 0;
+            }
+        }
+
+        for i in 0..self.nodes.len() {
+            let Some(mut sender) = self.nodes[i].take() else {
+                continue;
+            };
+            let frames = sender.tick(now)?;
+            for (dest, req) in frames {
+                self.route(&mut sender, dest, &req, now)?;
+            }
+            self.nodes[i] = Some(sender);
+        }
+        Ok(())
+    }
+
+    fn route(
+        &mut self,
+        sender: &mut ReplicaNode,
+        dest: u32,
+        req: &crate::proto::Request,
+        now: u64,
+    ) -> Result<(), ServeError> {
+        self.frames_sent += 1;
+        let fate = self
+            .plan
+            .link_fate(sender.node_id(), dest, now, self.frames_sent);
+        let deliveries = match fate {
+            LinkFate::Drop => return Ok(()),
+            LinkFate::Deliver | LinkFate::DropReply => 1,
+            LinkFate::Duplicate => 2,
+        };
+        for _ in 0..deliveries {
+            let Some(receiver) = self.nodes[dest as usize].as_mut() else {
+                return Ok(()); // dead peer: silence
+            };
+            let resp = receiver.handle(sender.node_id(), req, now);
+            if fate != LinkFate::DropReply {
+                sender.on_reply(dest, &resp, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run steps until every alive node reports the same folded state
+    /// digest (and at least `min_steps` have run), or panic after
+    /// `max_steps`. Returns the converged digest.
+    pub fn settle(&mut self, min_steps: u64, max_steps: u64) -> Result<u64, ServeError> {
+        let target = self.step + max_steps;
+        let floor = self.step + min_steps;
+        loop {
+            self.step()?;
+            if self.step >= floor {
+                let digests: Vec<u64> = self
+                    .nodes
+                    .iter()
+                    .flatten()
+                    .map(|n| n.state_digest())
+                    .collect();
+                let all_alive = self.nodes.iter().all(Option::is_some);
+                if all_alive && !digests.is_empty() && digests.windows(2).all(|w| w[0] == w[1]) {
+                    // converged *and* drained: every durable record folded
+                    let drained = self
+                        .nodes
+                        .iter()
+                        .flatten()
+                        .all(|n| n.commit() == n.durable());
+                    if drained {
+                        return Ok(digests[0]);
+                    }
+                }
+            }
+            assert!(
+                self.step < target,
+                "cluster failed to settle within {max_steps} steps"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::schema::Schema;
+    use crh_core::value::Value;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_continuous("temperature");
+        s.add_continuous("humidity");
+        s
+    }
+
+    fn chunk(step: u64) -> Vec<ChunkClaim> {
+        (0..3u32)
+            .map(|s| ChunkClaim {
+                object: (step % 4) as u32,
+                property: s % 2,
+                source: s,
+                value: Value::Num(5.0 + step as f64 + f64::from(s) * 0.5),
+            })
+            .collect()
+    }
+
+    fn cluster(tag: &str, n: usize, plan: NetFaultPlan) -> SimCluster {
+        let base = std::env::temp_dir().join(format!("crh_sim_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let b = base.clone();
+        SimCluster::new(
+            n,
+            move |id| ServeConfig::new(schema(), 0.5, b.join(format!("node{id}"))),
+            plan,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn elect_prefers_newer_epoch_then_longer_log_then_lower_id() {
+        let votes: HashMap<u32, (u64, u64)> = [(0, (1, 10)), (1, (2, 3)), (2, (1, 50))]
+            .into_iter()
+            .collect();
+        assert_eq!(elect(&votes), 1, "newest epoch beats longest log");
+        let votes: HashMap<u32, (u64, u64)> = [(0, (1, 10)), (1, (1, 12)), (2, (1, 50))]
+            .into_iter()
+            .collect();
+        assert_eq!(elect(&votes), 2, "longest log wins within an epoch");
+        let votes: HashMap<u32, (u64, u64)> = [(2, (1, 10)), (1, (1, 10)), (0, (1, 9))]
+            .into_iter()
+            .collect();
+        assert_eq!(elect(&votes), 1, "exact ties break to the lowest id");
+    }
+
+    #[test]
+    fn healthy_cluster_elects_and_replicates() {
+        let mut c = cluster("healthy", 3, NetFaultPlan::new(1));
+        for _ in 0..12 {
+            c.step().unwrap();
+        }
+        let p = c.primary().expect("a primary emerges unprompted");
+        let (_, seq) = c.client_ingest(&chunk(0)).unwrap();
+        for _ in 0..6 {
+            c.step().unwrap();
+        }
+        assert!(c.is_committed(seq));
+        let digest = c.settle(0, 64).unwrap();
+        for i in 0..c.len() {
+            assert_eq!(c.node(i).unwrap().state_digest(), digest);
+        }
+        // the follower lag bound is honest: everyone drained, lag 0
+        for i in 0..c.len() {
+            assert_eq!(c.node(i).unwrap().lag(), 0, "node {i} (primary {p})");
+        }
+    }
+
+    #[test]
+    fn killing_the_primary_promotes_a_survivor() {
+        let mut c = cluster("failover", 3, NetFaultPlan::new(2).restart_after(1_000_000));
+        for _ in 0..12 {
+            c.step().unwrap();
+        }
+        let old = c.primary().expect("initial primary");
+        let old_epoch = c.node(old).unwrap().epoch();
+        // feed some committed data first
+        let (_, seq) = c.client_ingest(&chunk(0)).unwrap();
+        for _ in 0..6 {
+            c.step().unwrap();
+        }
+        assert!(c.is_committed(seq));
+
+        // kill it (restart far beyond the test horizon)
+        c.plan = std::mem::take(&mut c.plan).kill(c.now() + 1, old as u32);
+        let mut promoted = None;
+        for _ in 0..64 {
+            c.step().unwrap();
+            if let Some(p) = c.primary() {
+                if p != old {
+                    promoted = Some(p);
+                    break;
+                }
+            }
+        }
+        let p = promoted.expect("a survivor takes over");
+        assert!(c.node(p).unwrap().epoch() > old_epoch);
+        // and the committed chunk survived the failover
+        assert!(c.node(p).unwrap().is_committed(seq));
+        // new primary accepts writes
+        let (_, seq2) = c.client_ingest(&chunk(1)).unwrap();
+        for _ in 0..8 {
+            c.step().unwrap();
+        }
+        assert!(c.is_committed(seq2));
+    }
+}

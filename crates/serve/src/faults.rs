@@ -256,6 +256,171 @@ impl ServeFaultInjector {
     }
 }
 
+/// The resolved fate of one replication frame on one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Request and reply both arrive.
+    Deliver,
+    /// The request never arrives (the sender sees silence).
+    Drop,
+    /// The request arrives and is processed, but the reply is lost — the
+    /// receiver's state advanced while the sender saw a timeout, the
+    /// classic at-least-once ambiguity.
+    DropReply,
+    /// The request arrives twice (network-level duplication); both copies
+    /// are processed, both replies return.
+    Duplicate,
+}
+
+/// A scheduled partition: between `from_step` (inclusive) and `to_step`
+/// (exclusive), links crossing the node-set boundary are cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First simulation step the partition is active.
+    pub from_step: u64,
+    /// First step after healing.
+    pub to_step: u64,
+    /// Bitmask of node ids on side A (bit `n` set ⇒ node `n` in A).
+    pub side_a: u64,
+    /// `false`: a full partition (nothing crosses either way).
+    /// `true`: one-way — frames from side A reach side B, but nothing
+    /// returns (requests from B and all replies to A are dropped), the
+    /// asymmetric failure that breaks naive heartbeat schemes.
+    pub one_way: bool,
+}
+
+impl PartitionWindow {
+    fn severs(&self, from: u32, to: u32, step: u64) -> bool {
+        if step < self.from_step || step >= self.to_step {
+            return false;
+        }
+        let a = |n: u32| self.side_a >> n & 1 == 1;
+        if a(from) == a(to) {
+            return false;
+        }
+        // one-way: only B→A requests are cut here; the A→B *reply* loss
+        // is resolved by the caller asking for the reply fate separately
+        !self.one_way || !a(from)
+    }
+
+    fn severs_reply(&self, from: u32, to: u32, step: u64) -> bool {
+        if step < self.from_step || step >= self.to_step {
+            return false;
+        }
+        let a = |n: u32| self.side_a >> n & 1 == 1;
+        // a reply travels to→from; under one-way A→B delivery, replies
+        // from B never make it back into A
+        a(from) != a(to) && self.one_way && a(from)
+    }
+}
+
+/// A seeded chaos schedule for the replication fabric: random link-level
+/// drops/duplications, scheduled (possibly one-way) partitions, and
+/// primary kills. Fates are pure in `(seed, from, to, step, frame)`, so a
+/// chaotic cluster run replays exactly.
+#[derive(Debug, Clone, Default)]
+pub struct NetFaultPlan {
+    /// Seed from which every link fate is derived.
+    pub seed: u64,
+    /// Probability a frame is dropped outright.
+    pub drop_prob: f64,
+    /// Probability a frame is processed but its reply is lost.
+    pub drop_reply_prob: f64,
+    /// Probability a frame is delivered twice.
+    pub dup_prob: f64,
+    /// Scheduled partitions.
+    pub partitions: Vec<PartitionWindow>,
+    /// `(step, node)` pairs: kill `node` at the start of `step`.
+    pub kills: Vec<(u64, u32)>,
+    /// Steps a killed node stays down before restarting from its disk.
+    pub restart_after: u64,
+}
+
+impl NetFaultPlan {
+    /// A plan with the given seed and no faults.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            restart_after: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Set the random frame-drop probability.
+    pub fn drops(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Set the lost-reply probability.
+    pub fn dropped_replies(mut self, p: f64) -> Self {
+        self.drop_reply_prob = p;
+        self
+    }
+
+    /// Set the frame-duplication probability.
+    pub fn dups(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Add a partition window.
+    pub fn partition(mut self, w: PartitionWindow) -> Self {
+        self.partitions.push(w);
+        self
+    }
+
+    /// Kill `node` at `step` (it restarts `restart_after` steps later).
+    pub fn kill(mut self, step: u64, node: u32) -> Self {
+        self.kills.push((step, node));
+        self
+    }
+
+    /// Set how long killed nodes stay down.
+    pub fn restart_after(mut self, steps: u64) -> Self {
+        self.restart_after = steps;
+        self
+    }
+
+    /// The fate of the `frame`-th frame sent `from → to` during `step`.
+    /// Pure in its arguments: replaying the same plan yields the same
+    /// chaos, byte for byte.
+    pub fn link_fate(&self, from: u32, to: u32, step: u64, frame: u64) -> LinkFate {
+        for w in &self.partitions {
+            if w.severs(from, to, step) {
+                return LinkFate::Drop;
+            }
+            if w.severs_reply(from, to, step) {
+                return LinkFate::DropReply;
+            }
+        }
+        let mut rng = hash_rng(self.seed, &[u64::from(from), u64::from(to), step, frame]);
+        let x: f64 = rng.random();
+        if x < self.drop_prob {
+            LinkFate::Drop
+        } else if x < self.drop_prob + self.drop_reply_prob {
+            LinkFate::DropReply
+        } else if x < self.drop_prob + self.drop_reply_prob + self.dup_prob {
+            LinkFate::Duplicate
+        } else {
+            LinkFate::Deliver
+        }
+    }
+
+    /// Nodes scheduled to die at the start of `step`.
+    pub fn kills_at(&self, step: u64) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .kills
+            .iter()
+            .filter(|(s, _)| *s == step)
+            .map(|&(_, n)| n)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +495,75 @@ mod tests {
     #[should_panic(expected = "sum to <= 1")]
     fn overfull_probabilities_rejected() {
         ServeFaultInjector::new(ServeFaultPlan::new(0).torn_wal(0.7).before_fold(0.7));
+    }
+
+    #[test]
+    fn link_fates_are_deterministic_and_seed_sensitive() {
+        let a = NetFaultPlan::new(11)
+            .drops(0.2)
+            .dropped_replies(0.1)
+            .dups(0.1);
+        let b = NetFaultPlan::new(11)
+            .drops(0.2)
+            .dropped_replies(0.1)
+            .dups(0.1);
+        let c = NetFaultPlan::new(12)
+            .drops(0.2)
+            .dropped_replies(0.1)
+            .dups(0.1);
+        let run = |p: &NetFaultPlan| {
+            let mut v = Vec::new();
+            for step in 0..40 {
+                for from in 0..3u32 {
+                    for to in 0..3u32 {
+                        v.push(p.link_fate(from, to, step, 0));
+                    }
+                }
+            }
+            v
+        };
+        assert_eq!(run(&a), run(&b));
+        assert_ne!(run(&a), run(&c));
+    }
+
+    #[test]
+    fn full_partition_cuts_both_directions() {
+        let p = NetFaultPlan::new(0).partition(PartitionWindow {
+            from_step: 10,
+            to_step: 20,
+            side_a: 0b001, // node 0 alone
+            one_way: false,
+        });
+        assert_eq!(p.link_fate(0, 1, 15, 0), LinkFate::Drop);
+        assert_eq!(p.link_fate(1, 0, 15, 0), LinkFate::Drop);
+        // same side unaffected; outside the window everything flows
+        assert_eq!(p.link_fate(1, 2, 15, 0), LinkFate::Deliver);
+        assert_eq!(p.link_fate(0, 1, 9, 0), LinkFate::Deliver);
+        assert_eq!(p.link_fate(1, 0, 20, 0), LinkFate::Deliver);
+    }
+
+    #[test]
+    fn one_way_partition_is_asymmetric() {
+        let p = NetFaultPlan::new(0).partition(PartitionWindow {
+            from_step: 0,
+            to_step: 10,
+            side_a: 0b001,
+            one_way: true,
+        });
+        // A→B requests arrive but the reply is lost; B→A requests vanish
+        assert_eq!(p.link_fate(0, 1, 5, 0), LinkFate::DropReply);
+        assert_eq!(p.link_fate(1, 0, 5, 0), LinkFate::Drop);
+    }
+
+    #[test]
+    fn kill_schedule_is_sorted_and_deduped() {
+        let p = NetFaultPlan::new(0)
+            .kill(5, 2)
+            .kill(5, 0)
+            .kill(5, 2)
+            .kill(9, 1);
+        assert_eq!(p.kills_at(5), vec![0, 2]);
+        assert_eq!(p.kills_at(9), vec![1]);
+        assert_eq!(p.kills_at(6), Vec::<u32>::new());
     }
 }

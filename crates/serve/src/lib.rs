@@ -4,7 +4,7 @@
 //! The batch and streaming crates answer "what is true?" for data you
 //! already have; this crate keeps the answer *standing* while new
 //! observations keep arriving and the machine keeps failing. It layers
-//! four robustness mechanisms over [`crh_stream`]'s I-CRH state:
+//! five robustness mechanisms over [`crh_stream`]'s I-CRH state:
 //!
 //! 1. **Crash-only durability** ([`wal`], [`core`]) — every accepted
 //!    chunk is CRC-framed into an append-only WAL before it is folded;
@@ -24,7 +24,16 @@
 //! 4. **Deterministic chaos** ([`faults`]) — a seeded
 //!    [`ServeFaultPlan`] resolves crash/stall fates as a pure function
 //!    of `(seed, chunk, attempt)`, letting the test suite prove recovery
-//!    equivalence for every fault interleaving it schedules.
+//!    equivalence for every fault interleaving it schedules; a seeded
+//!    [`NetFaultPlan`] does the same for the replication fabric (link
+//!    drops, one-way partitions, duplicated frames, timed kills).
+//! 5. **Replication and failover** ([`replicate`], [`failover`],
+//!    [`server::HaServer`]) — the primary ships every WAL record to
+//!    followers and acks a write only after a quorum has fsynced it;
+//!    followers serve staleness-bounded reads, promotion after a
+//!    heartbeat loss is deterministic (highest replicated sequence,
+//!    ties to the lowest node id), and [`ClusterClient`] fails over
+//!    transparently with capped, jittered backoff.
 //!
 //! The wire protocol ([`proto`]) is the workspace's own length-prefixed
 //! CRC-framed format; [`client`] is a small synchronous client. Nothing
@@ -34,20 +43,27 @@ pub mod breaker;
 pub mod client;
 pub mod core;
 pub mod error;
+pub mod failover;
 pub mod faults;
 pub mod proto;
 pub mod queue;
+pub mod replicate;
 pub mod server;
 pub mod wal;
 
 pub use breaker::BreakerConfig;
-pub use client::{Client, DaemonStatus, RemoteSolve};
+pub use client::{Client, ClusterClient, DaemonStatus, RemoteSolve, RetryPolicy};
 pub use core::{
     claims_from_csv, solve_claims, ChunkClaim, CoreStatus, IngestReceipt, RecoveryReport,
     ServeConfig, ServeCore, SolveOutcome,
 };
 pub use error::ServeError;
-pub use faults::{ServeFate, ServeFaultInjector, ServeFaultPlan, ServePoint};
+pub use failover::{elect, SimCluster};
+pub use faults::{
+    LinkFate, NetFaultPlan, PartitionWindow, ServeFate, ServeFaultInjector, ServeFaultPlan,
+    ServePoint,
+};
 pub use queue::BoundedQueue;
-pub use server::{Server, ServerConfig};
+pub use replicate::{ReplicaConfig, ReplicaNode, ReplicaRecovery, Role};
+pub use server::{HaConfig, HaServer, Server, ServerConfig};
 pub use wal::{Wal, WalRecovery};

@@ -57,6 +57,56 @@ pub enum Request {
     },
     /// Ask the daemon to snapshot and exit cleanly.
     Shutdown,
+    /// Primary → follower: ship one WAL record. `record` is the same
+    /// CRC-framed chunk payload the primary appended to its own log;
+    /// `commit` lets the follower fold everything the quorum has fsync'd.
+    Replicate {
+        /// The primary's election epoch.
+        epoch: u64,
+        /// The sending primary's node id.
+        node: u32,
+        /// The record's sequence number.
+        seq: u64,
+        /// Highest quorum-fsync'd sequence (exclusive fold bound).
+        commit: u64,
+        /// The WAL record payload.
+        record: Vec<u8>,
+    },
+    /// Primary → follower: liveness + commit propagation when there is
+    /// nothing to ship.
+    Heartbeat {
+        /// The primary's election epoch.
+        epoch: u64,
+        /// The sending primary's node id.
+        node: u32,
+        /// Highest quorum-fsync'd sequence.
+        commit: u64,
+        /// The primary's own durable sequence (for follower lag).
+        head: u64,
+    },
+    /// Follower → primary: request records from `from` onward (the
+    /// follower detected a gap or is rejoining after a partition).
+    CatchUp {
+        /// The requester's epoch.
+        epoch: u64,
+        /// First missing sequence number.
+        from: u64,
+    },
+    /// Election winner → everyone: announce the new primary for `epoch`.
+    Promote {
+        /// The new (strictly higher) epoch.
+        epoch: u64,
+        /// The winning node id.
+        node: u32,
+        /// The winner's durable sequence at promotion.
+        head: u64,
+    },
+    /// Election probe: ask a peer for its durable sequence so the
+    /// candidate set can be ranked deterministically.
+    SeqQuery {
+        /// The candidate's current epoch.
+        epoch: u64,
+    },
 }
 
 /// A daemon response.
@@ -102,6 +152,46 @@ pub enum Response {
         /// Human-readable message.
         message: String,
     },
+    /// Acknowledgement of a replication message (`Replicate`,
+    /// `Heartbeat`, `SeqQuery`, or `Promote`): the responder's identity,
+    /// epoch, and durable sequence.
+    ReplAck {
+        /// The responding node id.
+        node: u32,
+        /// The responder's epoch (a higher epoch deposes the sender).
+        epoch: u64,
+        /// The responder's durable (fsync'd) sequence — for a replication
+        /// ack this is how far the log is verified consistent with the
+        /// current primary; for an election probe it is the raw durable
+        /// count.
+        durable: u64,
+        /// The epoch of the responder's last durable record (election
+        /// ranking: a log from a newer epoch beats a longer stale one).
+        last_epoch: u64,
+    },
+    /// Catch-up payload: records from the requested sequence onward,
+    /// preceded by a full snapshot when the request predates the
+    /// primary's retention window.
+    CatchUpRecords {
+        /// The primary's epoch.
+        epoch: u64,
+        /// Highest quorum-fsync'd sequence.
+        commit: u64,
+        /// Full-state snapshot payload, when retention cannot cover the
+        /// request; the follower installs it before applying `records`.
+        snapshot: Option<Vec<u8>>,
+        /// WAL record payloads, consecutive by sequence.
+        records: Vec<Vec<u8>>,
+    },
+    /// A follower's answer to a read: the inner encoded [`Response`] plus
+    /// the staleness bound (how many chunks the follower lags the
+    /// primary's last advertised head).
+    FollowerRead {
+        /// Staleness bound in chunks.
+        lag: u64,
+        /// The encoded inner response.
+        inner: Vec<u8>,
+    },
 }
 
 const REQ_INGEST: u8 = 0;
@@ -111,12 +201,20 @@ const REQ_TRUTH: u8 = 3;
 const REQ_STATUS: u8 = 4;
 const REQ_SOLVE: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_REPLICATE: u8 = 7;
+const REQ_HEARTBEAT: u8 = 8;
+const REQ_CATCH_UP: u8 = 9;
+const REQ_PROMOTE: u8 = 10;
+const REQ_SEQ_QUERY: u8 = 11;
 
 const RESP_ACK: u8 = 0;
 const RESP_WEIGHTS: u8 = 1;
 const RESP_TRUTH: u8 = 2;
 const RESP_STATUS: u8 = 3;
 const RESP_SOLVED: u8 = 4;
+const RESP_REPL_ACK: u8 = 5;
+const RESP_CATCH_UP_RECORDS: u8 = 6;
+const RESP_FOLLOWER_READ: u8 = 7;
 const RESP_ERROR: u8 = 255;
 
 fn enc_claims(e: &mut Enc, claims: &[ChunkClaim]) {
@@ -183,6 +281,47 @@ impl Request {
                 enc_claims(&mut e, claims);
             }
             Self::Shutdown => e.u8(REQ_SHUTDOWN),
+            Self::Replicate {
+                epoch,
+                node,
+                seq,
+                commit,
+                record,
+            } => {
+                e.u8(REQ_REPLICATE);
+                e.u64(*epoch);
+                e.u32(*node);
+                e.u64(*seq);
+                e.u64(*commit);
+                e.bytes(record);
+            }
+            Self::Heartbeat {
+                epoch,
+                node,
+                commit,
+                head,
+            } => {
+                e.u8(REQ_HEARTBEAT);
+                e.u64(*epoch);
+                e.u32(*node);
+                e.u64(*commit);
+                e.u64(*head);
+            }
+            Self::CatchUp { epoch, from } => {
+                e.u8(REQ_CATCH_UP);
+                e.u64(*epoch);
+                e.u64(*from);
+            }
+            Self::Promote { epoch, node, head } => {
+                e.u8(REQ_PROMOTE);
+                e.u64(*epoch);
+                e.u32(*node);
+                e.u64(*head);
+            }
+            Self::SeqQuery { epoch } => {
+                e.u8(REQ_SEQ_QUERY);
+                e.u64(*epoch);
+            }
         }
         e.into_bytes()
     }
@@ -205,6 +344,29 @@ impl Request {
                 claims: dec_claims(&mut d)?,
             },
             REQ_SHUTDOWN => Self::Shutdown,
+            REQ_REPLICATE => Self::Replicate {
+                epoch: d.u64()?,
+                node: d.u32()?,
+                seq: d.u64()?,
+                commit: d.u64()?,
+                record: d.bytes()?,
+            },
+            REQ_HEARTBEAT => Self::Heartbeat {
+                epoch: d.u64()?,
+                node: d.u32()?,
+                commit: d.u64()?,
+                head: d.u64()?,
+            },
+            REQ_CATCH_UP => Self::CatchUp {
+                epoch: d.u64()?,
+                from: d.u64()?,
+            },
+            REQ_PROMOTE => Self::Promote {
+                epoch: d.u64()?,
+                node: d.u32()?,
+                head: d.u64()?,
+            },
+            REQ_SEQ_QUERY => Self::SeqQuery { epoch: d.u64()? },
             tag => {
                 return Err(ServeError::Protocol(format!("unknown request tag {tag}")));
             }
@@ -272,6 +434,44 @@ impl Response {
                 e.u8(*code);
                 e.str(message);
             }
+            Self::ReplAck {
+                node,
+                epoch,
+                durable,
+                last_epoch,
+            } => {
+                e.u8(RESP_REPL_ACK);
+                e.u32(*node);
+                e.u64(*epoch);
+                e.u64(*durable);
+                e.u64(*last_epoch);
+            }
+            Self::CatchUpRecords {
+                epoch,
+                commit,
+                snapshot,
+                records,
+            } => {
+                e.u8(RESP_CATCH_UP_RECORDS);
+                e.u64(*epoch);
+                e.u64(*commit);
+                match snapshot {
+                    None => e.u8(0),
+                    Some(s) => {
+                        e.u8(1);
+                        e.bytes(s);
+                    }
+                }
+                e.u32(records.len() as u32);
+                for r in records {
+                    e.bytes(r);
+                }
+            }
+            Self::FollowerRead { lag, inner } => {
+                e.u8(RESP_FOLLOWER_READ);
+                e.u64(*lag);
+                e.bytes(inner);
+            }
         }
         e.into_bytes()
     }
@@ -309,6 +509,40 @@ impl Response {
             RESP_ERROR => Self::Error {
                 code: d.u8()?,
                 message: d.str()?,
+            },
+            RESP_REPL_ACK => Self::ReplAck {
+                node: d.u32()?,
+                epoch: d.u64()?,
+                durable: d.u64()?,
+                last_epoch: d.u64()?,
+            },
+            RESP_CATCH_UP_RECORDS => {
+                let epoch = d.u64()?;
+                let commit = d.u64()?;
+                let snapshot = match d.u8()? {
+                    0 => None,
+                    1 => Some(d.bytes()?),
+                    tag => {
+                        return Err(ServeError::Protocol(format!(
+                            "bad option tag {tag} in catch-up snapshot"
+                        )));
+                    }
+                };
+                let n = d.u32()? as usize;
+                let mut records = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    records.push(d.bytes()?);
+                }
+                Self::CatchUpRecords {
+                    epoch,
+                    commit,
+                    snapshot,
+                    records,
+                }
+            }
+            RESP_FOLLOWER_READ => Self::FollowerRead {
+                lag: d.u64()?,
+                inner: d.bytes()?,
             },
             tag => {
                 return Err(ServeError::Protocol(format!("unknown response tag {tag}")));
@@ -404,6 +638,26 @@ mod tests {
                 claims: sample_claims(),
             },
             Request::Shutdown,
+            Request::Replicate {
+                epoch: 3,
+                node: 0,
+                seq: 17,
+                commit: 15,
+                record: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
+            Request::Heartbeat {
+                epoch: 3,
+                node: 1,
+                commit: 17,
+                head: 18,
+            },
+            Request::CatchUp { epoch: 3, from: 12 },
+            Request::Promote {
+                epoch: 4,
+                node: 2,
+                head: 18,
+            },
+            Request::SeqQuery { epoch: 4 },
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -440,6 +694,28 @@ mod tests {
             Response::Error {
                 code: crate::error::code::OVERLOADED,
                 message: "queue full".into(),
+            },
+            Response::ReplAck {
+                node: 1,
+                epoch: 4,
+                durable: 18,
+                last_epoch: 3,
+            },
+            Response::CatchUpRecords {
+                epoch: 4,
+                commit: 17,
+                snapshot: None,
+                records: vec![vec![1, 2, 3], vec![]],
+            },
+            Response::CatchUpRecords {
+                epoch: 4,
+                commit: 17,
+                snapshot: Some(vec![9; 32]),
+                records: vec![],
+            },
+            Response::FollowerRead {
+                lag: 2,
+                inner: Response::Weights(vec![1.0, 0.5]).encode(),
             },
         ];
         for resp in resps {

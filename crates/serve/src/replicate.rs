@@ -1,0 +1,1146 @@
+//! WAL-shipping replication: a primary streams its log to followers and
+//! acknowledges clients only after a quorum has fsync'd.
+//!
+//! A [`ReplicaNode`] is the transport-agnostic brain of one cluster
+//! member. It is driven entirely by three entry points — [`handle`]
+//! (an incoming replication frame), [`on_reply`] (the response to a
+//! frame this node sent), and [`tick`] (the passage of logical time,
+//! which emits the frames to send next) — so the same state machine runs
+//! under the deterministic simulated network
+//! ([`crate::failover::SimCluster`]) and the real TCP daemon
+//! ([`crate::server::HaServer`]).
+//!
+//! The protocol is a deliberately small Raft-shaped design specialised
+//! to the daemon's append-only chunk log:
+//!
+//! - **Log.** Chunk `seq` numbers are dense (`0, 1, 2, …`). Every node
+//!   splits its log into a *folded* prefix (absorbed into [`ServeCore`],
+//!   irreversible) and a *staged* tail (fsync'd in a separate staging
+//!   WAL, still revocable). `durable = folded + staged`.
+//! - **Commit.** The primary folds and acknowledges a chunk only once a
+//!   quorum of nodes (itself included) reports the chunk durable *and
+//!   verified consistent with its log* — so a fold can never later be
+//!   contradicted. Followers fold only up to the commit bound the
+//!   primary advertises, clamped to their verified prefix.
+//! - **Election.** A follower that misses heartbeats for its (node-id
+//!   staggered) timeout campaigns with a proposed `epoch`. Peers grant
+//!   at most one campaign per epoch, reporting `(last_epoch, durable)`;
+//!   the winner is the best `(last_epoch, durable)` with ties broken by
+//!   the *lowest* node id ([`crate::failover::elect`]), which makes the
+//!   promotion decision a pure function of the votes. Quorum
+//!   intersection then gives the Raft leader-completeness property:
+//!   every quorum-acked chunk is in the winner's log.
+//! - **Repair.** A deposed primary's unreplicated staged tail conflicts
+//!   with the new primary's shipments at the same sequence numbers; the
+//!   follower truncates the stale tail and accepts the authoritative
+//!   bytes. A follower too far behind the primary's retention window is
+//!   healed by a full snapshot transfer
+//!   ([`ServeCore::install_snapshot`]) followed by the retained tail.
+//!
+//! [`handle`]: ReplicaNode::handle
+//! [`on_reply`]: ReplicaNode::on_reply
+//! [`tick`]: ReplicaNode::tick
+
+use std::collections::{HashMap, VecDeque};
+
+use crh_core::persist::{Dec, Enc};
+
+use crate::core::{decode_chunk, encode_chunk, validate_claims, ApplyOutcome, ChunkClaim};
+use crate::core::{ServeConfig, ServeCore};
+use crate::error::ServeError;
+use crate::failover::elect;
+use crate::proto::{Request, Response};
+use crate::wal::Wal;
+
+/// What this node currently believes it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts client writes, assigns sequence numbers, ships the log.
+    Primary,
+    /// Applies shipped records, serves staleness-bounded reads.
+    Follower,
+    /// Campaigning after a heartbeat timeout.
+    Candidate,
+}
+
+/// Cluster-membership and timing knobs for one replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// This node's id (ids also break election ties — lower wins).
+    pub node_id: u32,
+    /// The other members' ids.
+    pub peers: Vec<u32>,
+    /// Nodes (including the primary) that must hold a chunk durable
+    /// before it commits. `1` with no peers degenerates to the
+    /// standalone daemon.
+    pub quorum: usize,
+    /// Ticks between primary heartbeats / replication pushes.
+    pub heartbeat_every: u64,
+    /// Ticks of primary silence before a follower campaigns.
+    pub heartbeat_timeout: u64,
+    /// Records the primary retains for follower catch-up; beyond this a
+    /// straggler gets a full snapshot instead.
+    pub retention_cap: usize,
+    /// Records shipped per peer per push.
+    pub replicate_window: usize,
+}
+
+impl ReplicaConfig {
+    /// Sensible defaults for `node_id` in a cluster of `all` ids.
+    pub fn new(node_id: u32, all: &[u32]) -> Self {
+        let peers: Vec<u32> = all.iter().copied().filter(|&n| n != node_id).collect();
+        let quorum = all.len() / 2 + 1;
+        Self {
+            node_id,
+            peers,
+            quorum,
+            heartbeat_every: 1,
+            heartbeat_timeout: 5,
+            retention_cap: 64,
+            replicate_window: 4,
+        }
+    }
+}
+
+/// One log record: its sequence number, the epoch of the primary that
+/// (most recently) shipped it, and the exact WAL payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Staged {
+    seq: u64,
+    epoch: u64,
+    payload: Vec<u8>,
+}
+
+fn staging_record(s: &Staged) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(s.seq);
+    e.u64(s.epoch);
+    e.bytes(&s.payload);
+    e.into_bytes()
+}
+
+fn decode_staging_record(bytes: &[u8]) -> Result<Staged, ServeError> {
+    let mut d = Dec::new(bytes);
+    let seq = d.u64()?;
+    let epoch = d.u64()?;
+    let payload = d.bytes()?;
+    if !d.is_exhausted() {
+        return Err(ServeError::Protocol(
+            "trailing bytes in staging record".into(),
+        ));
+    }
+    Ok(Staged {
+        seq,
+        epoch,
+        payload,
+    })
+}
+
+/// One member of a replicated `crh-serve` cluster. See the module docs
+/// for the protocol.
+#[derive(Debug)]
+pub struct ReplicaNode {
+    cfg: ReplicaConfig,
+    core: ServeCore,
+    /// Durable-but-unfolded log tail, mirrored in `staging`.
+    staged: VecDeque<Staged>,
+    staging: Wal,
+    /// Recent records (folded included) kept for follower catch-up.
+    retention: VecDeque<Staged>,
+    epoch: u64,
+    role: Role,
+    leader: Option<u32>,
+    /// Highest quorum-committed sequence count (chunks `0..commit`).
+    commit: u64,
+    /// Prefix verified byte-consistent with the current primary's log
+    /// (`== durable` on the primary itself).
+    synced: u64,
+    /// Epoch of the last folded record (in-memory; conservative 0 after
+    /// a restart, which only weakens this node's election rank).
+    last_folded_epoch: u64,
+    last_heartbeat: u64,
+    last_push: u64,
+    /// The primary's advertised durable head (staleness bound for reads).
+    primary_head: u64,
+    /// Set when a frame revealed records this node is missing; cleared
+    /// once the log is contiguous again.
+    needs_catchup: bool,
+    // primary-only
+    match_synced: HashMap<u32, u64>,
+    next_send: HashMap<u32, u64>,
+    promote_pending: Vec<u32>,
+    // candidate-only
+    votes: HashMap<u32, (u64, u64)>,
+    election_epoch: u64,
+    election_deadline: u64,
+}
+
+/// What a node reopened from disk recovered.
+#[derive(Debug)]
+pub struct ReplicaRecovery {
+    /// The underlying core's recovery report.
+    pub core: crate::core::RecoveryReport,
+    /// Staged (durable, unfolded) records recovered from the staging WAL.
+    pub staged_records: u64,
+}
+
+impl ReplicaNode {
+    /// Open (or create) a replica over the state directory in `serve`.
+    /// The node always rejoins as a follower at epoch 0; a live cluster
+    /// teaches it the current epoch with its first frame.
+    pub fn open(
+        cfg: ReplicaConfig,
+        serve: ServeConfig,
+    ) -> Result<(Self, ReplicaRecovery), ServeError> {
+        let staging_path = serve.dir.join("staging.wal");
+        let (core, core_report) = ServeCore::open(serve)?;
+        let (mut staging, rec) = Wal::open(&staging_path)?;
+
+        // Keep only the contiguous staged tail that extends the folded
+        // prefix; anything else (already folded, or beyond a gap torn by
+        // a crash mid-rebuild) is dropped and the file rewritten.
+        let mut staged: VecDeque<Staged> = VecDeque::new();
+        let mut expected = core.chunks_seen();
+        let mut dropped = false;
+        for bytes in &rec.records {
+            let s = decode_staging_record(bytes)?;
+            if s.seq < expected {
+                dropped = true;
+                continue;
+            }
+            if s.seq > expected {
+                dropped = true;
+                break;
+            }
+            expected += 1;
+            staged.push_back(s);
+        }
+        if dropped {
+            staging.truncate_all()?;
+            for s in &staged {
+                staging.append(&staging_record(s))?;
+            }
+        }
+
+        let staged_records = staged.len() as u64;
+        let commit = core.chunks_seen();
+        let node = Self {
+            retention: staged.iter().cloned().collect(),
+            synced: commit,
+            commit,
+            staged,
+            staging,
+            core,
+            epoch: 0,
+            role: Role::Follower,
+            leader: None,
+            last_folded_epoch: 0,
+            last_heartbeat: 0,
+            last_push: 0,
+            primary_head: 0,
+            needs_catchup: false,
+            match_synced: HashMap::new(),
+            next_send: HashMap::new(),
+            promote_pending: Vec::new(),
+            votes: HashMap::new(),
+            election_epoch: 0,
+            election_deadline: 0,
+            cfg,
+        };
+        Ok((
+            node,
+            ReplicaRecovery {
+                core: core_report,
+                staged_records,
+            },
+        ))
+    }
+
+    // ---- accessors -----------------------------------------------------
+
+    /// This node's id.
+    pub fn node_id(&self) -> u32 {
+        self.cfg.node_id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Chunks known quorum-committed (`0..commit`).
+    pub fn commit(&self) -> u64 {
+        self.commit
+    }
+
+    /// Chunks durable on this node (folded + staged).
+    pub fn durable(&self) -> u64 {
+        self.core.chunks_seen() + self.staged.len() as u64
+    }
+
+    /// Whether chunk `seq` is quorum-committed (safe to acknowledge).
+    pub fn is_committed(&self, seq: u64) -> bool {
+        seq < self.commit
+    }
+
+    /// Where a rejected client should try instead, if known.
+    pub fn leader_hint(&self) -> Option<u32> {
+        self.leader.filter(|&l| l != self.cfg.node_id)
+    }
+
+    /// Staleness bound for reads served here: how many chunks this node
+    /// lags the primary's last advertised durable head (0 on a primary).
+    pub fn lag(&self) -> u64 {
+        if self.role == Role::Primary {
+            0
+        } else {
+            self.primary_head.saturating_sub(self.core.chunks_seen())
+        }
+    }
+
+    /// The folded truth-discovery state (for reads).
+    pub fn core(&self) -> &ServeCore {
+        &self.core
+    }
+
+    /// How many cluster members are known to hold chunk `seq` durable
+    /// and leader-consistent (this node's own log included).
+    pub fn ack_count(&self, seq: u64) -> usize {
+        let own = usize::from(self.synced > seq);
+        own + self
+            .cfg
+            .peers
+            .iter()
+            .filter(|p| self.match_synced.get(p).is_some_and(|&m| m > seq))
+            .count()
+    }
+
+    /// The configured commit quorum.
+    pub fn quorum(&self) -> usize {
+        self.cfg.quorum
+    }
+
+    /// Force a snapshot of the folded state (clean-shutdown path).
+    pub fn snapshot_now(&mut self) -> Result<(), ServeError> {
+        self.core.snapshot_now()
+    }
+
+    /// Digest of the folded state (replica-divergence checks).
+    pub fn state_digest(&self) -> u64 {
+        self.core.state_digest()
+    }
+
+    fn last_epoch(&self) -> u64 {
+        self.staged
+            .back()
+            .map_or(self.last_folded_epoch, |s| s.epoch)
+    }
+
+    fn election_timeout(&self) -> u64 {
+        // deterministic node-id stagger: lower ids campaign first, so
+        // concurrent elections are the exception, not the rule
+        self.cfg.heartbeat_timeout + 2 * u64::from(self.cfg.node_id)
+    }
+
+    // ---- client path ---------------------------------------------------
+
+    /// Accept a client chunk: validate, assign the next sequence number,
+    /// stage it durably, and return the sequence. The chunk is *not yet
+    /// committed* — poll [`is_committed`](Self::is_committed) (the
+    /// commit advances as acks arrive) before acknowledging the client.
+    pub fn client_ingest(&mut self, claims: &[ChunkClaim]) -> Result<u64, ServeError> {
+        if self.role != Role::Primary {
+            return Err(ServeError::NotPrimary {
+                hint: self.leader_hint(),
+            });
+        }
+        if claims.is_empty() {
+            return Err(ServeError::InvalidChunk {
+                source: None,
+                reason: "empty chunk".into(),
+            });
+        }
+        validate_claims(self.core.schema(), claims)
+            .map_err(|(source, reason)| ServeError::InvalidChunk { source, reason })?;
+        let seq = self.durable();
+        let entry = Staged {
+            seq,
+            epoch: self.epoch,
+            payload: encode_chunk(seq, claims),
+        };
+        self.staging.append(&staging_record(&entry))?;
+        self.push_retention(entry.clone());
+        self.staged.push_back(entry);
+        self.synced = seq + 1;
+        self.advance_commit()?;
+        Ok(seq)
+    }
+
+    // ---- time ----------------------------------------------------------
+
+    /// Advance logical time to `now` and return the frames to send.
+    pub fn tick(&mut self, now: u64) -> Result<Vec<(u32, Request)>, ServeError> {
+        let mut out = Vec::new();
+        match self.role {
+            Role::Primary => {
+                for p in std::mem::take(&mut self.promote_pending) {
+                    out.push((
+                        p,
+                        Request::Promote {
+                            epoch: self.epoch,
+                            node: self.cfg.node_id,
+                            head: self.durable(),
+                        },
+                    ));
+                }
+                if now.saturating_sub(self.last_push) >= self.cfg.heartbeat_every {
+                    self.last_push = now;
+                    for &p in &self.cfg.peers {
+                        let from = *self.next_send.get(&p).unwrap_or(&self.commit);
+                        let recs = self.retained_from(from, self.cfg.replicate_window);
+                        if recs.is_empty() {
+                            out.push((
+                                p,
+                                Request::Heartbeat {
+                                    epoch: self.epoch,
+                                    node: self.cfg.node_id,
+                                    commit: self.commit,
+                                    head: self.durable(),
+                                },
+                            ));
+                        } else {
+                            for s in recs {
+                                out.push((
+                                    p,
+                                    Request::Replicate {
+                                        epoch: self.epoch,
+                                        node: self.cfg.node_id,
+                                        seq: s.seq,
+                                        commit: self.commit,
+                                        record: s.payload,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Role::Follower => {
+                if self.needs_catchup {
+                    if let Some(l) = self.leader_hint() {
+                        out.push((
+                            l,
+                            Request::CatchUp {
+                                epoch: self.epoch,
+                                from: self.synced,
+                            },
+                        ));
+                    }
+                }
+                if now.saturating_sub(self.last_heartbeat) > self.election_timeout() {
+                    self.start_election(now, &mut out)?;
+                }
+            }
+            Role::Candidate => {
+                if now >= self.election_deadline {
+                    self.start_election(now, &mut out)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- incoming frames -----------------------------------------------
+
+    /// Process one replication frame from peer `from` at time `now`.
+    /// Non-replication frames get a typed protocol error.
+    pub fn handle(&mut self, from: u32, req: &Request, now: u64) -> Response {
+        let result = match req {
+            Request::Replicate {
+                epoch,
+                node,
+                seq,
+                commit,
+                record,
+            } => {
+                debug_assert_eq!(*node, from, "frame relayed from the wrong peer");
+                self.on_replicate(from, *epoch, *seq, *commit, record, now)
+            }
+            Request::Heartbeat {
+                epoch,
+                node,
+                commit,
+                head,
+            } => {
+                debug_assert_eq!(*node, from, "frame relayed from the wrong peer");
+                self.on_heartbeat(from, *epoch, *commit, *head, now)
+            }
+            Request::CatchUp { epoch, from: seq } => return self.on_catch_up(*epoch, *seq),
+            Request::Promote { epoch, node, head } => self.on_promote(*epoch, *node, *head, now),
+            Request::SeqQuery { epoch } => return self.on_seq_query(*epoch, now),
+            _ => Err(ServeError::Protocol(
+                "client frame routed to the replication handler".into(),
+            )),
+        };
+        match result {
+            Ok(()) => self.ack(),
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    fn ack(&self) -> Response {
+        Response::ReplAck {
+            node: self.cfg.node_id,
+            epoch: self.epoch,
+            durable: self.synced,
+            last_epoch: self.last_epoch(),
+        }
+    }
+
+    /// Accept `from` as the epoch-`epoch` leader, or refuse with
+    /// `StaleEpoch`. Same-epoch primary/primary conflicts resolve to the
+    /// lower node id.
+    fn observe_leader(&mut self, from: u32, epoch: u64, now: u64) -> Result<(), ServeError> {
+        if epoch < self.epoch
+            || (epoch == self.epoch && self.role == Role::Primary && self.cfg.node_id < from)
+        {
+            return Err(ServeError::StaleEpoch {
+                got: epoch,
+                current: self.epoch,
+            });
+        }
+        if epoch > self.epoch || self.leader != Some(from) || self.role != Role::Follower {
+            self.epoch = epoch;
+            self.step_down(Some(from));
+            // the verified prefix must be re-established per leader; the
+            // folded prefix is committed and therefore always consistent
+            self.synced = self.core.chunks_seen();
+        }
+        self.last_heartbeat = now;
+        Ok(())
+    }
+
+    fn step_down(&mut self, leader: Option<u32>) {
+        self.role = Role::Follower;
+        self.leader = leader;
+        self.votes.clear();
+        self.match_synced.clear();
+        self.next_send.clear();
+        self.promote_pending.clear();
+    }
+
+    fn on_replicate(
+        &mut self,
+        from: u32,
+        epoch: u64,
+        seq: u64,
+        commit: u64,
+        record: &[u8],
+        now: u64,
+    ) -> Result<(), ServeError> {
+        self.observe_leader(from, epoch, now)?;
+        self.primary_head = self.primary_head.max(seq + 1);
+        self.accept_record(epoch, seq, record)?;
+        self.advance_follower_commit(commit)
+    }
+
+    fn on_heartbeat(
+        &mut self,
+        from: u32,
+        epoch: u64,
+        commit: u64,
+        head: u64,
+        now: u64,
+    ) -> Result<(), ServeError> {
+        self.observe_leader(from, epoch, now)?;
+        self.primary_head = head;
+        if head > self.durable() {
+            self.needs_catchup = true;
+        }
+        self.advance_follower_commit(commit)
+    }
+
+    fn on_promote(&mut self, epoch: u64, node: u32, head: u64, now: u64) -> Result<(), ServeError> {
+        self.observe_leader(node, epoch, now)?;
+        self.primary_head = head;
+        if head > self.durable() {
+            self.needs_catchup = true;
+        }
+        Ok(())
+    }
+
+    fn on_seq_query(&mut self, epoch: u64, now: u64) -> Response {
+        // grant at most one campaign per epoch, and none while the
+        // current leader is still audible (pre-vote-style stability)
+        let leader_live = self.role == Role::Primary
+            || (self.leader.is_some()
+                && now.saturating_sub(self.last_heartbeat) <= self.cfg.heartbeat_timeout);
+        if epoch <= self.epoch || leader_live {
+            return Response::from_error(&ServeError::StaleEpoch {
+                got: epoch,
+                current: self.epoch,
+            });
+        }
+        self.epoch = epoch;
+        self.step_down(None);
+        Response::ReplAck {
+            node: self.cfg.node_id,
+            epoch: self.epoch,
+            durable: self.durable(),
+            last_epoch: self.last_epoch(),
+        }
+    }
+
+    fn on_catch_up(&mut self, epoch: u64, from_seq: u64) -> Response {
+        if self.role != Role::Primary {
+            return Response::from_error(&ServeError::NotPrimary {
+                hint: self.leader_hint(),
+            });
+        }
+        if epoch != self.epoch {
+            return Response::from_error(&ServeError::StaleEpoch {
+                got: epoch,
+                current: self.epoch,
+            });
+        }
+        let base = self.retention.front().map_or(self.durable(), |s| s.seq);
+        let (snapshot, from_seq) = if from_seq >= base {
+            (None, from_seq)
+        } else {
+            // the request predates retention: ship the full folded state,
+            // then every retained record past it
+            (Some(self.core.checkpoint_bytes()), self.core.chunks_seen())
+        };
+        let records = self
+            .retention
+            .iter()
+            .filter(|s| s.seq >= from_seq)
+            .take(self.cfg.retention_cap)
+            .map(|s| s.payload.clone())
+            .collect();
+        Response::CatchUpRecords {
+            epoch: self.epoch,
+            commit: self.commit,
+            snapshot,
+            records,
+        }
+    }
+
+    // ---- replies to frames this node sent ------------------------------
+
+    /// Feed back the response peer `responder` gave to a frame this node
+    /// sent (via [`tick`](Self::tick)).
+    pub fn on_reply(
+        &mut self,
+        responder: u32,
+        resp: &Response,
+        now: u64,
+    ) -> Result<(), ServeError> {
+        match resp {
+            Response::ReplAck {
+                node,
+                epoch,
+                durable,
+                last_epoch,
+            } => {
+                debug_assert_eq!(*node, responder, "reply relayed from the wrong peer");
+                // a vote grant echoes the *proposed* epoch — only an
+                // epoch beyond what this node has put in play deposes it
+                let in_play = if self.role == Role::Candidate {
+                    self.epoch.max(self.election_epoch)
+                } else {
+                    self.epoch
+                };
+                if *epoch > in_play {
+                    self.epoch = *epoch;
+                    self.step_down(None);
+                    return Ok(());
+                }
+                match self.role {
+                    Role::Primary => {
+                        let m = self.match_synced.entry(responder).or_insert(0);
+                        *m = (*m).max(*durable);
+                        self.next_send.insert(responder, *durable);
+                        self.advance_commit()?;
+                    }
+                    Role::Candidate => {
+                        if *epoch == self.election_epoch {
+                            self.votes.insert(responder, (*last_epoch, *durable));
+                            self.maybe_win(now)?;
+                        }
+                    }
+                    Role::Follower => {}
+                }
+            }
+            Response::CatchUpRecords {
+                epoch,
+                commit,
+                snapshot,
+                records,
+            } => {
+                if *epoch != self.epoch || self.role != Role::Follower {
+                    return Ok(());
+                }
+                if let Some(snap) = snapshot {
+                    self.core.install_snapshot(snap)?;
+                    self.staged.clear();
+                    self.staging.truncate_all()?;
+                    self.retention.clear();
+                    self.synced = self.core.chunks_seen();
+                    self.commit = self.core.chunks_seen();
+                    self.last_folded_epoch = *epoch;
+                }
+                self.needs_catchup = false;
+                for r in records {
+                    let (seq, _) = decode_chunk(r)?;
+                    self.accept_record(*epoch, seq, r)?;
+                }
+                self.advance_follower_commit(*commit)?;
+            }
+            Response::Error { code, .. }
+                if *code == crate::error::code::STALE_EPOCH && self.role != Role::Follower =>
+            {
+                // a peer knows a newer epoch than ours; stop acting
+                // on stale authority and wait to be taught
+                self.step_down(None);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    // ---- log maintenance -----------------------------------------------
+
+    /// Integrate the record for `seq` (shipped under `epoch`) into the
+    /// staged tail: duplicate deliveries are no-ops, gaps flag catch-up,
+    /// and a conflicting stale tail is truncated in favour of the
+    /// current primary's bytes.
+    fn accept_record(&mut self, epoch: u64, seq: u64, payload: &[u8]) -> Result<(), ServeError> {
+        if seq < self.synced {
+            return Ok(()); // duplicate of a verified record
+        }
+        if seq > self.synced {
+            self.needs_catchup = true;
+            return Ok(());
+        }
+        let idx = (seq - self.core.chunks_seen()) as usize;
+        if idx < self.staged.len() {
+            if self.staged[idx].payload == payload {
+                self.staged[idx].epoch = epoch;
+                self.synced = seq + 1;
+                self.needs_catchup = false;
+                return Ok(());
+            }
+            // stale tail from a deposed primary: truncate it (staging
+            // WAL and catch-up retention included) before accepting the
+            // authoritative record
+            self.staged.truncate(idx);
+            self.retention.retain(|s| s.seq < seq);
+            self.rebuild_staging()?;
+        }
+        debug_assert_eq!(idx, self.staged.len());
+        let entry = Staged {
+            seq,
+            epoch,
+            payload: payload.to_vec(),
+        };
+        self.staging.append(&staging_record(&entry))?;
+        self.push_retention(entry.clone());
+        self.staged.push_back(entry);
+        self.synced = seq + 1;
+        self.needs_catchup = false;
+        Ok(())
+    }
+
+    fn rebuild_staging(&mut self) -> Result<(), ServeError> {
+        self.staging.truncate_all()?;
+        for s in &self.staged {
+            self.staging.append(&staging_record(s))?;
+        }
+        Ok(())
+    }
+
+    fn push_retention(&mut self, entry: Staged) {
+        self.retention.push_back(entry);
+        let folded = self.core.chunks_seen();
+        while self.retention.len() > self.cfg.retention_cap
+            && self.retention.front().is_some_and(|s| s.seq < folded)
+        {
+            self.retention.pop_front();
+        }
+    }
+
+    /// Fold staged records into the core up to the commit bound. Only
+    /// ever called with `commit <= synced`, so a fold is final.
+    fn fold_to_commit(&mut self) -> Result<(), ServeError> {
+        let mut folded = false;
+        while self.core.chunks_seen() < self.commit {
+            let Some(entry) = self.staged.front() else {
+                break;
+            };
+            debug_assert_eq!(entry.seq, self.core.chunks_seen());
+            match self.core.apply_replicated(&entry.payload)? {
+                ApplyOutcome::Applied(_) | ApplyOutcome::AlreadyApplied => {}
+                ApplyOutcome::Gap { .. } => break,
+            }
+            let entry = self.staged.pop_front().expect("front checked above");
+            self.last_folded_epoch = entry.epoch;
+            folded = true;
+        }
+        if folded {
+            self.rebuild_staging()?;
+        }
+        Ok(())
+    }
+
+    /// Primary: recompute the commit bound as the quorum-th largest
+    /// verified-durable count (its own log counts as one vote).
+    fn advance_commit(&mut self) -> Result<(), ServeError> {
+        let mut counts: Vec<u64> = vec![self.durable()];
+        for p in &self.cfg.peers {
+            counts.push(*self.match_synced.get(p).unwrap_or(&0));
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let q = self.cfg.quorum.clamp(1, counts.len());
+        let candidate = counts[q - 1].min(self.durable());
+        if candidate > self.commit {
+            self.commit = candidate;
+        }
+        self.fold_to_commit()
+    }
+
+    /// Follower: adopt the primary's commit bound, clamped to the
+    /// verified prefix (never fold an unverified record).
+    fn advance_follower_commit(&mut self, commit: u64) -> Result<(), ServeError> {
+        let bounded = commit.min(self.synced);
+        if bounded > self.commit {
+            self.commit = bounded;
+        }
+        self.fold_to_commit()
+    }
+
+    // ---- elections -----------------------------------------------------
+
+    fn start_election(
+        &mut self,
+        now: u64,
+        out: &mut Vec<(u32, Request)>,
+    ) -> Result<(), ServeError> {
+        self.role = Role::Candidate;
+        self.leader = None;
+        self.election_epoch = self.epoch.max(self.election_epoch) + 1;
+        self.election_deadline = now + self.election_timeout();
+        self.last_heartbeat = now;
+        self.votes.clear();
+        self.votes
+            .insert(self.cfg.node_id, (self.last_epoch(), self.durable()));
+        for &p in &self.cfg.peers {
+            out.push((
+                p,
+                Request::SeqQuery {
+                    epoch: self.election_epoch,
+                },
+            ));
+        }
+        self.maybe_win(now)
+    }
+
+    fn maybe_win(&mut self, now: u64) -> Result<(), ServeError> {
+        if self.role != Role::Candidate || self.votes.len() < self.cfg.quorum {
+            return Ok(());
+        }
+        if elect(&self.votes) == self.cfg.node_id {
+            self.become_primary(now)?;
+        }
+        Ok(())
+    }
+
+    fn become_primary(&mut self, now: u64) -> Result<(), ServeError> {
+        self.epoch = self.election_epoch;
+        self.role = Role::Primary;
+        self.leader = Some(self.cfg.node_id);
+        self.synced = self.durable();
+        // the winner's log is now the authoritative history; staged
+        // records are re-shipped (and re-counted towards commit) under
+        // the new epoch rather than folded outright, so commitment still
+        // always flows through a quorum
+        for s in &mut self.staged {
+            s.epoch = self.epoch;
+        }
+        self.votes.clear();
+        self.match_synced.clear();
+        for &p in &self.cfg.peers {
+            self.next_send.insert(p, self.commit);
+        }
+        self.promote_pending = self.cfg.peers.clone();
+        self.needs_catchup = false;
+        self.last_push = now;
+        self.advance_commit()
+    }
+
+    fn retained_from(&self, from: u64, cap: usize) -> Vec<Staged> {
+        self.retention
+            .iter()
+            .filter(|s| s.seq >= from)
+            .take(cap)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crh_core::schema::Schema;
+    use crh_core::value::Value;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_continuous("temperature");
+        s.add_continuous("humidity");
+        s
+    }
+
+    fn dir(tag: &str, node: u32) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("crh_repl_{tag}_{node}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn chunk(step: u64) -> Vec<ChunkClaim> {
+        (0..3u32)
+            .map(|s| ChunkClaim {
+                object: (step % 5) as u32,
+                property: (s % 2),
+                source: s,
+                value: Value::Num(10.0 + step as f64 + f64::from(s) * 0.25),
+            })
+            .collect()
+    }
+
+    fn node(tag: &str, id: u32, all: &[u32]) -> ReplicaNode {
+        let d = dir(tag, id);
+        ReplicaNode::open(
+            ReplicaConfig::new(id, all),
+            ServeConfig::new(schema(), 0.5, d),
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn standalone_quorum_of_one_commits_immediately() {
+        let mut n = node("solo", 0, &[0]);
+        // no peers: a single open() follower must still self-promote
+        let frames = n.tick(100).unwrap();
+        assert!(frames.is_empty(), "no peers to talk to: {frames:?}");
+        assert_eq!(n.role(), Role::Primary);
+        let seq = n.client_ingest(&chunk(0)).unwrap();
+        assert!(n.is_committed(seq));
+        assert_eq!(n.core().chunks_seen(), 1);
+    }
+
+    #[test]
+    fn follower_rejects_client_writes_with_leader_hint() {
+        let mut f = node("hint", 2, &[0, 1, 2]);
+        let resp = f.handle(
+            0,
+            &Request::Heartbeat {
+                epoch: 3,
+                node: 0,
+                commit: 0,
+                head: 0,
+            },
+            1,
+        );
+        assert!(
+            matches!(resp, Response::ReplAck { epoch: 3, .. }),
+            "{resp:?}"
+        );
+        let err = f.client_ingest(&chunk(0)).unwrap_err();
+        assert!(
+            matches!(err, ServeError::NotPrimary { hint: Some(0) }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn replicate_then_commit_folds_on_the_follower() {
+        let mut p = node("ship_p", 0, &[0, 1]);
+        let mut f = node("ship_f", 1, &[0, 1]);
+        // election timeout → self-campaign, probing the peer
+        let frames = p.tick(100).unwrap();
+        let q = frames
+            .iter()
+            .find(|(_, r)| matches!(r, Request::SeqQuery { .. }));
+        let (_, query) = q.expect("candidate probes its peer");
+        let vote = f.handle(0, query, 100);
+        p.on_reply(1, &vote, 100).unwrap();
+        assert_eq!(p.role(), Role::Primary);
+
+        let seq = p.client_ingest(&chunk(0)).unwrap();
+        assert!(!p.is_committed(seq), "quorum of 2 needs the follower");
+
+        // one push/ack round replicates; a second propagates the commit
+        for now in 101..104 {
+            for (dest, req) in p.tick(now).unwrap() {
+                assert_eq!(dest, 1);
+                let resp = f.handle(0, &req, now);
+                p.on_reply(1, &resp, now).unwrap();
+            }
+        }
+        assert!(p.is_committed(seq));
+        assert_eq!(p.core().chunks_seen(), 1);
+        assert_eq!(f.core().chunks_seen(), 1);
+        assert_eq!(p.state_digest(), f.state_digest());
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_rejected() {
+        let mut f = node("stale", 1, &[0, 1, 2]);
+        f.handle(
+            0,
+            &Request::Heartbeat {
+                epoch: 5,
+                node: 0,
+                commit: 0,
+                head: 0,
+            },
+            1,
+        );
+        let resp = f.handle(
+            2,
+            &Request::Replicate {
+                epoch: 4,
+                node: 2,
+                seq: 0,
+                commit: 0,
+                record: encode_chunk(0, &chunk(0)),
+            },
+            2,
+        );
+        match resp {
+            Response::Error { code, .. } => {
+                assert_eq!(code, crate::error::code::STALE_EPOCH);
+            }
+            other => panic!("expected stale-epoch error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_query_grants_at_most_once_per_epoch() {
+        let mut f = node("grant", 2, &[0, 1, 2]);
+        // leader long silent (never heard one), so grants are allowed
+        let first = f.handle(0, &Request::SeqQuery { epoch: 7 }, 50);
+        assert!(matches!(first, Response::ReplAck { .. }), "{first:?}");
+        let second = f.handle(1, &Request::SeqQuery { epoch: 7 }, 50);
+        assert!(
+            matches!(second, Response::Error { code, .. }
+                if code == crate::error::code::STALE_EPOCH),
+            "{second:?}"
+        );
+    }
+
+    #[test]
+    fn staged_tail_survives_restart() {
+        let all = [0u32, 1];
+        let d = dir("restage", 1);
+        let serve = ServeConfig::new(schema(), 0.5, &d);
+        {
+            let (mut f, _) = ReplicaNode::open(ReplicaConfig::new(1, &all), serve.clone()).unwrap();
+            // two records arrive but only the first commits
+            for seq in 0..2 {
+                let r = Request::Replicate {
+                    epoch: 1,
+                    node: 0,
+                    seq,
+                    commit: 1,
+                    record: encode_chunk(seq, &chunk(seq)),
+                };
+                f.handle(0, &r, seq + 1);
+            }
+            assert_eq!(f.core().chunks_seen(), 1);
+            assert_eq!(f.durable(), 2);
+        }
+        let (f, rec) = ReplicaNode::open(ReplicaConfig::new(1, &all), serve).unwrap();
+        assert_eq!(rec.staged_records, 1, "the unfolded record came back");
+        assert_eq!(f.durable(), 2);
+        assert_eq!(f.core().chunks_seen(), 1);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn conflicting_stale_tail_is_truncated() {
+        let mut f = node("trunc", 1, &[0, 1, 2]);
+        // old primary (epoch 1) stages a record that never commits
+        let stale = encode_chunk(0, &chunk(7));
+        f.handle(
+            0,
+            &Request::Replicate {
+                epoch: 1,
+                node: 0,
+                seq: 0,
+                commit: 0,
+                record: stale.clone(),
+            },
+            1,
+        );
+        assert_eq!(f.durable(), 1);
+        // new primary (epoch 2) ships different bytes for seq 0
+        let fresh = encode_chunk(0, &chunk(8));
+        assert_ne!(stale, fresh);
+        let resp = f.handle(
+            2,
+            &Request::Replicate {
+                epoch: 2,
+                node: 2,
+                seq: 0,
+                commit: 1,
+                record: fresh.clone(),
+            },
+            2,
+        );
+        assert!(
+            matches!(resp, Response::ReplAck { durable: 1, .. }),
+            "{resp:?}"
+        );
+        assert_eq!(f.core().chunks_seen(), 1, "authoritative record folded");
+        // the folded bytes are the new primary's, not the stale ones
+        let mut solo = node("trunc_ref", 9, &[9]);
+        solo.tick(100).unwrap();
+        solo.client_ingest(&chunk(8)).unwrap();
+        assert_eq!(f.state_digest(), solo.state_digest());
+    }
+
+    #[test]
+    fn catch_up_beyond_retention_ships_a_snapshot() {
+        let mut p = node("snapcat", 0, &[0, 1]);
+        // force tiny retention so early records age out
+        p.cfg.retention_cap = 2;
+        p.cfg.quorum = 1; // commit immediately for this test
+        p.tick(100).unwrap();
+        assert_eq!(p.role(), Role::Primary);
+        for step in 0..6 {
+            p.client_ingest(&chunk(step)).unwrap();
+        }
+        let resp = p.handle(
+            1,
+            &Request::CatchUp {
+                epoch: p.epoch(),
+                from: 0,
+            },
+            101,
+        );
+        match resp {
+            Response::CatchUpRecords { snapshot, .. } => {
+                assert!(snapshot.is_some(), "request predates retention");
+            }
+            other => panic!("expected catch-up payload, got {other:?}"),
+        }
+    }
+}

@@ -22,18 +22,21 @@
 
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crh_core::cancel::CancelToken;
 use crh_core::schema::Schema;
 
+use crate::client::Client;
+use crate::core::ServeConfig;
 use crate::core::{claims_from_csv, solve_claims, ChunkClaim, IngestReceipt, ServeCore};
 use crate::error::ServeError;
 use crate::proto::{read_frame, write_frame, Request, Response};
 use crate::queue::BoundedQueue;
+use crate::replicate::{ReplicaConfig, ReplicaNode, Role};
 
 /// Tuning for the network front-end.
 #[derive(Debug, Clone)]
@@ -153,20 +156,45 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
+/// The pieces of server state the accept/connection machinery needs;
+/// implemented by both the standalone [`Shared`] core and the
+/// replicated [`HaShared`] node so they share one front-end.
+trait FrontEnd: Send + Sync + 'static {
+    fn server_cfg(&self) -> &ServerConfig;
+    fn is_shutdown(&self) -> bool;
+    fn connection_count(&self) -> &AtomicUsize;
+    fn handle(self: &Arc<Self>, req: Request) -> Response;
+}
+
+impl FrontEnd for Shared {
+    fn server_cfg(&self) -> &ServerConfig {
+        &self.cfg
+    }
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+    fn connection_count(&self) -> &AtomicUsize {
+        &self.connections
+    }
+    fn handle(self: &Arc<Self>, req: Request) -> Response {
+        handle_request(req, self)
+    }
+}
+
+fn accept_loop<F: FrontEnd>(listener: &TcpListener, shared: &Arc<F>) {
+    while !shared.is_shutdown() {
         match listener.accept() {
             Ok((stream, _)) => {
-                let active = shared.connections.load(Ordering::SeqCst);
-                if active >= shared.cfg.max_connections {
-                    refuse_connection(stream, shared);
+                let active = shared.connection_count().load(Ordering::SeqCst);
+                if active >= shared.server_cfg().max_connections {
+                    refuse_connection(stream, shared.server_cfg());
                     continue;
                 }
-                shared.connections.fetch_add(1, Ordering::SeqCst);
+                shared.connection_count().fetch_add(1, Ordering::SeqCst);
                 let shared = Arc::clone(shared);
                 std::thread::spawn(move || {
                     serve_connection(stream, &shared);
-                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    shared.connection_count().fetch_sub(1, Ordering::SeqCst);
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -177,26 +205,27 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
+fn refuse_connection(mut stream: TcpStream, cfg: &ServerConfig) {
     let err = ServeError::Overloaded {
-        capacity: shared.cfg.max_connections,
+        capacity: cfg.max_connections,
     };
-    stream.set_write_timeout(Some(shared.cfg.io_timeout)).ok();
+    stream.set_write_timeout(Some(cfg.io_timeout)).ok();
     let payload = Response::from_error(&err).encode();
     write_frame(&mut stream, &payload).ok();
     stream.flush().ok();
 }
 
-fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+fn serve_connection<F: FrontEnd>(mut stream: TcpStream, shared: &Arc<F>) {
+    let io_timeout = shared.server_cfg().io_timeout;
     if stream
-        .set_read_timeout(Some(shared.cfg.io_timeout))
-        .and(stream.set_write_timeout(Some(shared.cfg.io_timeout)))
+        .set_read_timeout(Some(io_timeout))
+        .and(stream.set_write_timeout(Some(io_timeout)))
         .is_err()
     {
         return;
     }
     stream.set_nodelay(true).ok();
-    while !shared.shutdown.load(Ordering::SeqCst) {
+    while !shared.is_shutdown() {
         // The io timeout is for peers stalled *mid-frame*; a connection
         // idling between requests is legitimate. Wait for the first byte
         // of the next frame separately, so an idle timeout just loops
@@ -221,7 +250,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             Err(_) => return,
         };
         let response = match Request::decode(&payload) {
-            Ok(req) => handle_request(req, shared),
+            Ok(req) => shared.handle(req),
             Err(e) => Response::from_error(&e),
         };
         if write_frame(&mut stream, &response.encode()).is_err() {
@@ -279,6 +308,13 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
                 Err(e) => Response::from_error(&e),
             }
         }
+        Request::Replicate { .. }
+        | Request::Heartbeat { .. }
+        | Request::CatchUp { .. }
+        | Request::Promote { .. }
+        | Request::SeqQuery { .. } => Response::from_error(&ServeError::Protocol(
+            "replication frame sent to a standalone daemon".into(),
+        )),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue.close();
@@ -327,6 +363,347 @@ fn fold_worker(shared: &Arc<Shared>) {
                 }
             }
             Err(_) => return, // closed and drained
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replicated daemon
+// ---------------------------------------------------------------------
+
+/// Tuning for one member of a replicated cluster.
+#[derive(Debug, Clone)]
+pub struct HaConfig {
+    /// Front-end knobs shared with the standalone server.
+    pub server: ServerConfig,
+    /// Wall-clock duration of one logical replication tick (heartbeats,
+    /// election timeouts, and retention pushes are all counted in ticks).
+    pub tick: Duration,
+    /// `(node_id, address)` of every *other* member.
+    pub peer_addrs: Vec<(u32, String)>,
+    /// How long an ingest waits for the commit quorum before answering
+    /// [`ServeError::NotReplicated`].
+    pub commit_wait: Duration,
+}
+
+impl Default for HaConfig {
+    fn default() -> Self {
+        Self {
+            server: ServerConfig::default(),
+            tick: Duration::from_millis(20),
+            peer_addrs: Vec::new(),
+            commit_wait: Duration::from_secs(2),
+        }
+    }
+}
+
+struct HaShared {
+    node: Mutex<ReplicaNode>,
+    schema: Schema,
+    cfg: HaConfig,
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+    /// Logical replication time, advanced only by the ticker thread.
+    ticks: AtomicU64,
+}
+
+/// One member of a replicated `crh-serve` cluster: a [`ReplicaNode`]
+/// state machine behind the same TCP front-end as the standalone
+/// [`Server`], plus a ticker thread that drives replication.
+///
+/// Threading model:
+///
+/// - connection threads (shared with [`Server`]) decode frames and call
+///   into the node under its mutex — client writes stage and then *poll*
+///   for quorum commit, replication frames are answered synchronously;
+/// - one **ticker** thread advances logical time every
+///   [`HaConfig::tick`], collects the frames the node wants to send
+///   under the lock, and ships them to peers over persistent [`Client`]
+///   connections *without* the lock (a stalled peer stalls replication
+///   to that peer, never local reads or writes), feeding each reply back
+///   into the node.
+pub struct HaServer {
+    shared: Arc<HaShared>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    ticker_thread: Option<JoinHandle<()>>,
+}
+
+impl HaServer {
+    /// Open the replica state in `serve` and start serving on `addr`.
+    pub fn start(
+        replica: ReplicaConfig,
+        serve: ServeConfig,
+        cfg: HaConfig,
+        addr: &str,
+    ) -> Result<Self, ServeError> {
+        let (node, _recovery) = ReplicaNode::open(replica, serve)?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+
+        let schema = node.core().schema().clone();
+        let shared = Arc::new(HaShared {
+            node: Mutex::new(node),
+            schema,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            ticks: AtomicU64::new(0),
+        });
+
+        let ticker_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || ticker(&shared))
+        };
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(Self {
+            shared,
+            addr: local,
+            accept_thread: Some(accept_thread),
+            ticker_thread: Some(ticker_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// This member's current role.
+    pub fn role(&self) -> Role {
+        self.shared.node.lock().unwrap().role()
+    }
+
+    /// This member's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.node.lock().unwrap().epoch()
+    }
+
+    /// Chunks known quorum-committed here.
+    pub fn commit(&self) -> u64 {
+        self.shared.node.lock().unwrap().commit()
+    }
+
+    /// Digest of the folded state (replica-divergence checks).
+    pub fn state_digest(&self) -> u64 {
+        self.shared.node.lock().unwrap().state_digest()
+    }
+
+    /// Signal shutdown, join the daemon threads, and take a final
+    /// snapshot so the next open starts from a clean disk.
+    pub fn shutdown(mut self) {
+        self.stop();
+        self.shared.node.lock().unwrap().snapshot_now().ok();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+        if let Some(t) = self.ticker_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for HaServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl FrontEnd for HaShared {
+    fn server_cfg(&self) -> &ServerConfig {
+        &self.cfg.server
+    }
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+    fn connection_count(&self) -> &AtomicUsize {
+        &self.connections
+    }
+    fn handle(self: &Arc<Self>, req: Request) -> Response {
+        let now = self.ticks.load(Ordering::SeqCst);
+        match req {
+            Request::Ingest(claims) => ingest_replicated(claims, self),
+            Request::IngestCsv(text) => match claims_from_csv(&self.schema, &text) {
+                Ok(claims) => ingest_replicated(claims, self),
+                Err(e) => Response::from_error(&e),
+            },
+            Request::Weights | Request::Truth { .. } | Request::Status => {
+                replicated_read(&req, self)
+            }
+            Request::Solve { .. } => replicated_solve(&req, self),
+            // the frame names its sender; CatchUp/SeqQuery are answered
+            // over this connection, so the handler needs no sender id
+            Request::Replicate { node, .. }
+            | Request::Heartbeat { node, .. }
+            | Request::Promote { node, .. } => self.node.lock().unwrap().handle(node, &req, now),
+            Request::CatchUp { .. } | Request::SeqQuery { .. } => {
+                self.node.lock().unwrap().handle(0, &req, now)
+            }
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                let mut node = self.node.lock().unwrap();
+                node.snapshot_now().ok();
+                let chunks_seen = node.core().chunks_seen();
+                Response::Ack {
+                    seq: chunks_seen.saturating_sub(1),
+                    chunks_seen,
+                }
+            }
+        }
+    }
+}
+
+/// Stage a client chunk, then poll until the replication quorum commits
+/// it (the ticker advances the commit as peer acks arrive) or the
+/// commit-wait deadline passes.
+fn ingest_replicated(claims: Vec<ChunkClaim>, shared: &Arc<HaShared>) -> Response {
+    let seq = match shared.node.lock().unwrap().client_ingest(&claims) {
+        Ok(seq) => seq,
+        Err(e) => return Response::from_error(&e),
+    };
+    let deadline = Instant::now() + shared.cfg.commit_wait;
+    loop {
+        {
+            let node = shared.node.lock().unwrap();
+            if node.is_committed(seq) {
+                return Response::Ack {
+                    seq,
+                    chunks_seen: node.commit(),
+                };
+            }
+            if Instant::now() >= deadline || shared.is_shutdown() {
+                // durable here, but the client must treat it as un-acked
+                return Response::from_error(&ServeError::NotReplicated {
+                    seq,
+                    acked: node.ack_count(seq),
+                    quorum: node.quorum(),
+                });
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Serve a cheap read; a non-primary wraps the answer with its staleness
+/// bound so the client knows how far behind the primary it may be.
+fn replicated_read(req: &Request, shared: &Arc<HaShared>) -> Response {
+    let node = shared.node.lock().unwrap();
+    let inner = match req {
+        Request::Weights => Response::Weights(node.core().weights().to_vec()),
+        Request::Truth { object, property } => {
+            Response::Truth(node.core().truth(*object, *property))
+        }
+        Request::Status => {
+            let status = node.core().status();
+            Response::Status {
+                chunks_seen: status.chunks_seen,
+                wal_records: status.wal_records,
+                cached_truths: status.cached_truths,
+                queue_depth: 0,
+                quarantined: status.quarantined,
+            }
+        }
+        _ => unreachable!("replicated_read only sees read requests"),
+    };
+    wrap_follower_read(&node, inner)
+}
+
+/// A batch solve copies the weight seed under the lock, solves without
+/// it, and wraps the result with the staleness bound observed *at seed
+/// time* (the seed is what the answer actually depends on).
+fn replicated_solve(req: &Request, shared: &Arc<HaShared>) -> Response {
+    let Request::Solve {
+        tol,
+        max_iters,
+        claims,
+    } = req
+    else {
+        unreachable!("replicated_solve only sees solve requests");
+    };
+    let (seed, role, lag) = {
+        let node = shared.node.lock().unwrap();
+        (node.core().weights().to_vec(), node.role(), node.lag())
+    };
+    let cancel = CancelToken::with_deadline(shared.cfg.server.solve_deadline);
+    let inner = match solve_claims(
+        &shared.schema,
+        claims,
+        &seed,
+        *tol,
+        *max_iters as usize,
+        &cancel,
+    ) {
+        Ok(out) => Response::Solved {
+            weights: out.weights,
+            objective: out.objective,
+            iterations: out.iterations,
+        },
+        Err(e) => Response::from_error(&e),
+    };
+    if role == Role::Primary {
+        inner
+    } else {
+        Response::FollowerRead {
+            lag,
+            inner: inner.encode(),
+        }
+    }
+}
+
+fn wrap_follower_read(node: &ReplicaNode, inner: Response) -> Response {
+    if node.role() == Role::Primary {
+        inner
+    } else {
+        Response::FollowerRead {
+            lag: node.lag(),
+            inner: inner.encode(),
+        }
+    }
+}
+
+/// The replication engine: advance logical time, ship the frames the
+/// node emits to its peers, and feed replies back in.
+fn ticker(shared: &Arc<HaShared>) {
+    let mut conns: std::collections::HashMap<u32, Client> = std::collections::HashMap::new();
+    let addr_of: std::collections::HashMap<u32, String> =
+        shared.cfg.peer_addrs.iter().cloned().collect();
+    while !shared.is_shutdown() {
+        std::thread::sleep(shared.cfg.tick);
+        let now = shared.ticks.fetch_add(1, Ordering::SeqCst) + 1;
+        // a failed fold inside tick() leaves nothing to ship this round
+        let frames = shared.node.lock().unwrap().tick(now).unwrap_or_default();
+        for (dest, req) in frames {
+            let Some(addr) = addr_of.get(&dest) else {
+                continue;
+            };
+            if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(dest) {
+                match Client::connect(addr, shared.cfg.server.io_timeout) {
+                    Ok(c) => {
+                        e.insert(c);
+                    }
+                    // dead peer: silence, exactly like the simulator
+                    Err(_) => continue,
+                }
+            }
+            let reply = conns.get_mut(&dest).unwrap().call_raw(&req);
+            match reply {
+                Ok(resp) => {
+                    shared.node.lock().unwrap().on_reply(dest, &resp, now).ok();
+                }
+                Err(_) => {
+                    // drop the broken connection; reconnect next tick
+                    conns.remove(&dest);
+                }
+            }
         }
     }
 }

@@ -31,6 +31,28 @@ use crate::error::ServeError;
 const WAL_HEADER: [u8; 8] = *b"CRHWAL01";
 const RECORD_HEADER: usize = 8; // len u32 + crc u32
 
+/// Fsync the directory containing `path`.
+///
+/// An atomic rename (or a file creation) updates the *directory entry*,
+/// and that entry has its own page cache: `rename(2)` followed by power
+/// loss can resurrect the old file even though the new file's contents
+/// were fsync'd. Every snapshot rename and WAL creation must therefore
+/// be followed by a directory fsync before the operation counts as
+/// durable. Failure is a typed [`ServeError::SnapshotDirSync`] — the
+/// caller must treat the preceding rename as not-yet-durable.
+pub fn sync_parent_dir(path: &Path) -> Result<(), ServeError> {
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(Path::new("."));
+    let err = |e: std::io::Error| ServeError::SnapshotDirSync {
+        dir: dir.to_path_buf(),
+        reason: e.to_string(),
+    };
+    let f = File::open(dir).map_err(err)?;
+    f.sync_all().map_err(err)
+}
+
 /// What `Wal::open` found on disk.
 #[derive(Debug)]
 pub struct WalRecovery {
@@ -71,6 +93,8 @@ impl Wal {
         if bytes.is_empty() {
             file.write_all(&WAL_HEADER)?;
             file.sync_all()?;
+            // a freshly created log's directory entry must also survive
+            sync_parent_dir(&path)?;
             return Ok((
                 Self {
                     file,
@@ -311,6 +335,23 @@ mod tests {
             "{err}"
         );
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn parent_dir_sync_succeeds_on_real_dirs_and_types_failures() {
+        let p = tmp("dirsync");
+        std::fs::write(&p, b"x").unwrap();
+        sync_parent_dir(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+
+        let missing = std::env::temp_dir()
+            .join(format!("crh_wal_no_such_dir_{}", std::process::id()))
+            .join("file.wal");
+        let err = sync_parent_dir(&missing).unwrap_err();
+        assert!(
+            matches!(err, ServeError::SnapshotDirSync { .. }),
+            "expected SnapshotDirSync, got {err}"
+        );
     }
 
     #[test]
