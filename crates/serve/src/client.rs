@@ -78,8 +78,13 @@ impl Client {
 
     fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
         let resp = self.call_raw(req)?;
-        if let Response::Error { code: c, message } = resp {
-            return Err(map_wire_error(c, message));
+        if let Response::Error {
+            code: c,
+            message,
+            hint,
+        } = resp
+        {
+            return Err(map_wire_error(c, message, hint));
         }
         Ok(resp)
     }
@@ -174,11 +179,12 @@ fn unexpected(resp: &Response) -> ServeError {
     ServeError::Protocol(format!("unexpected response variant: {resp:?}"))
 }
 
-fn map_wire_error(c: u8, message: String) -> ServeError {
+fn map_wire_error(c: u8, message: String, hint: Option<u32>) -> ServeError {
     match c {
         code::OVERLOADED => ServeError::Overloaded { capacity: 0 },
         code::DEADLINE => ServeError::DeadlineExceeded,
         code::SHUTTING_DOWN => ServeError::ShuttingDown,
+        code::NOT_PRIMARY => ServeError::NotPrimary { hint },
         _ => ServeError::Remote { code: c, message },
     }
 }
@@ -302,12 +308,19 @@ impl ClusterClient {
                 };
             }
         };
-        let Response::Error { code: c, message } = resp else {
+        let Response::Error {
+            code: c,
+            message,
+            hint,
+        } = resp
+        else {
             return Outcome::Done(resp);
         };
         match c {
+            // the redirect target rides the wire as a structured field,
+            // so rewording the error text can never break failover
             code::NOT_PRIMARY => Outcome::Retry {
-                goto: primary_hint(&message).map_or(Goto::Next, Goto::Node),
+                goto: hint.map_or(Goto::Next, Goto::Node),
                 why: format!("node {node_id}: {message}"),
             },
             // durable locally but quorum not yet confirmed: the same
@@ -320,7 +333,7 @@ impl ClusterClient {
                 why: format!("node {node_id}: {message}"),
                 goto: Goto::Next,
             },
-            _ => Outcome::Fatal(map_wire_error(c, message)),
+            _ => Outcome::Fatal(map_wire_error(c, message, hint)),
         }
     }
 
@@ -359,8 +372,13 @@ impl ClusterClient {
         match self.call(req)? {
             Response::FollowerRead { lag, inner } => {
                 let inner = Response::decode(&inner)?;
-                if let Response::Error { code: c, message } = inner {
-                    return Err(map_wire_error(c, message));
+                if let Response::Error {
+                    code: c,
+                    message,
+                    hint,
+                } = inner
+                {
+                    return Err(map_wire_error(c, message, hint));
                 }
                 Ok((inner, lag))
             }
@@ -424,14 +442,6 @@ impl ClusterClient {
     }
 }
 
-/// Best-effort extraction of the redirect target from a `NotPrimary`
-/// message (`… retry against node N`). Both ends of this protocol live
-/// in this crate, so the format is stable; an unparsable message just
-/// degrades to rotating through the member list.
-fn primary_hint(message: &str) -> Option<u32> {
-    message.rsplit("node ").next()?.trim().parse().ok()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,11 +471,30 @@ mod tests {
     }
 
     #[test]
-    fn primary_hint_parses_the_daemon_message() {
-        let msg = ServeError::NotPrimary { hint: Some(2) }.to_string();
-        assert_eq!(primary_hint(&msg), Some(2));
-        let msg = ServeError::NotPrimary { hint: None }.to_string();
-        assert_eq!(primary_hint(&msg), None);
+    fn not_primary_redirects_carry_a_structured_hint() {
+        // the hint survives the wire as a typed field — no string parsing
+        let resp = Response::from_error(&ServeError::NotPrimary { hint: Some(2) });
+        let resp = Response::decode(&resp.encode()).unwrap();
+        let Response::Error {
+            code: c,
+            message,
+            hint,
+        } = resp
+        else {
+            panic!("expected an error response");
+        };
+        assert_eq!(hint, Some(2));
+        let mapped = map_wire_error(c, message, hint);
+        assert!(
+            matches!(mapped, ServeError::NotPrimary { hint: Some(2) }),
+            "{mapped}"
+        );
+        // and a reworded message cannot break it: the field is authoritative
+        let resp = Response::from_error(&ServeError::NotPrimary { hint: None });
+        assert!(
+            matches!(resp, Response::Error { hint: None, .. }),
+            "{resp:?}"
+        );
     }
 
     #[test]

@@ -96,6 +96,10 @@ pub enum ServeError {
         /// The configured quorum.
         quorum: usize,
     },
+    /// A replication frame carried the wrong cluster key. The frame was
+    /// not acted on: any client that can reach the port must not be able
+    /// to depose the primary, force elections, or inject log records.
+    Unauthenticated,
     /// A replication message carried an epoch older than this node's;
     /// the sender is a deposed primary and must step down.
     StaleEpoch {
@@ -165,6 +169,9 @@ impl std::fmt::Display for ServeError {
                 f,
                 "chunk seq {seq} reached only {acked}/{quorum} replicas before the deadline; retry"
             ),
+            Self::Unauthenticated => {
+                write!(f, "replication frame rejected: wrong cluster key")
+            }
             Self::StaleEpoch { got, current } => {
                 write!(
                     f,
@@ -242,6 +249,8 @@ pub mod code {
     pub const NOT_REPLICATED: u8 = 9;
     /// Replication message from a deposed epoch.
     pub const STALE_EPOCH: u8 = 10;
+    /// Replication frame carried the wrong cluster key.
+    pub const UNAUTHENTICATED: u8 = 11;
 }
 
 impl ServeError {
@@ -257,6 +266,7 @@ impl ServeError {
             Self::NotPrimary { .. } => code::NOT_PRIMARY,
             Self::NotReplicated { .. } => code::NOT_REPLICATED,
             Self::StaleEpoch { .. } => code::STALE_EPOCH,
+            Self::Unauthenticated => code::UNAUTHENTICATED,
             Self::Remote { code, .. } => *code,
             _ => code::INTERNAL,
         }
@@ -307,6 +317,9 @@ mod tests {
         let e = ServeError::StaleEpoch { got: 1, current: 3 };
         assert!(e.to_string().contains("epoch 1"));
         assert_eq!(e.wire_code(), code::STALE_EPOCH);
+        let e = ServeError::Unauthenticated;
+        assert!(e.to_string().contains("cluster key"));
+        assert_eq!(e.wire_code(), code::UNAUTHENTICATED);
         let e = ServeError::RetriesExhausted {
             attempts: 3,
             log: vec!["a".into(), "connection refused".into()],

@@ -314,6 +314,101 @@ mod tests {
         }
     }
 
+    /// The review-scenario regression: commit on {P, R} at epoch 2 while
+    /// S holds only an uncommitted epoch-1 tail, P dies, R crash-restarts,
+    /// S campaigns. R's persisted election rank (last folded epoch 2)
+    /// must out-rank S's stale tail — a restart that regressed the rank
+    /// to zero would let S win and commit conflicting bytes at an
+    /// already-folded sequence.
+    #[test]
+    fn restarted_voter_still_outranks_a_stale_uncommitted_tail() {
+        use crate::core::encode_chunk;
+        use crate::proto::{Request, Response};
+
+        let base = std::env::temp_dir().join(format!("crh_sim_rankreg_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let all = [0u32, 1, 2];
+        let open = |id: u32| {
+            ReplicaNode::open(
+                ReplicaConfig::new(id, &all),
+                ServeConfig::new(schema(), 0.5, base.join(format!("node{id}"))),
+            )
+            .unwrap()
+            .0
+        };
+        let mut r = open(1);
+        let mut s = open(2);
+
+        // epoch-1 primary P ships a record to S only; it never commits
+        let stale = encode_chunk(0, &chunk(7));
+        s.handle(
+            0,
+            &Request::Replicate {
+                token: 0,
+                epoch: 1,
+                node: 0,
+                seq: 0,
+                commit: 0,
+                record: stale,
+            },
+            1,
+        );
+        assert_eq!((s.last_epoch(), s.durable()), (1, 1));
+
+        // P is re-elected at epoch 2 and commits different bytes with R
+        let fresh = encode_chunk(0, &chunk(8));
+        r.handle(
+            0,
+            &Request::Replicate {
+                token: 0,
+                epoch: 2,
+                node: 0,
+                seq: 0,
+                commit: 1,
+                record: fresh,
+            },
+            2,
+        );
+        assert_eq!(r.core().chunks_seen(), 1, "R folded the committed record");
+
+        // P dies; R crash-restarts (no clean shutdown)
+        drop(r);
+        let mut r = open(1);
+        assert_eq!(
+            (r.last_epoch(), r.durable()),
+            (2, 1),
+            "the election rank survives the restart"
+        );
+
+        // S campaigns. Its first proposal (epoch 2) is refused — R
+        // already adopted epoch 2 — and the retry at epoch 3 collects
+        // R's honest rank, which must beat S's stale tail.
+        let mut now = 100;
+        loop {
+            let frames = s.tick(now).unwrap();
+            for (dest, req) in frames {
+                if dest == 1 {
+                    let resp = r.handle(2, &req, now);
+                    if let Response::ReplAck { .. } = resp {
+                        s.on_reply(1, &resp, now).unwrap();
+                        assert_ne!(
+                            s.role(),
+                            Role::Primary,
+                            "a stale uncommitted tail must not win away committed writes"
+                        );
+                        // the committed bytes are still the folded truth
+                        assert_eq!(r.core().chunks_seen(), 1);
+                        std::fs::remove_dir_all(&base).ok();
+                        return;
+                    }
+                    s.on_reply(1, &resp, now).unwrap();
+                }
+            }
+            now += 50;
+            assert!(now < 2_000, "S never collected R's vote");
+        }
+    }
+
     #[test]
     fn killing_the_primary_promotes_a_survivor() {
         let mut c = cluster("failover", 3, NetFaultPlan::new(2).restart_after(1_000_000));

@@ -61,6 +61,8 @@ pub enum Request {
     /// CRC-framed chunk payload the primary appended to its own log;
     /// `commit` lets the follower fold everything the quorum has fsync'd.
     Replicate {
+        /// Shared cluster key; frames with the wrong key are refused.
+        token: u64,
         /// The primary's election epoch.
         epoch: u64,
         /// The sending primary's node id.
@@ -75,6 +77,8 @@ pub enum Request {
     /// Primary → follower: liveness + commit propagation when there is
     /// nothing to ship.
     Heartbeat {
+        /// Shared cluster key; frames with the wrong key are refused.
+        token: u64,
         /// The primary's election epoch.
         epoch: u64,
         /// The sending primary's node id.
@@ -87,6 +91,8 @@ pub enum Request {
     /// Follower → primary: request records from `from` onward (the
     /// follower detected a gap or is rejoining after a partition).
     CatchUp {
+        /// Shared cluster key; frames with the wrong key are refused.
+        token: u64,
         /// The requester's epoch.
         epoch: u64,
         /// First missing sequence number.
@@ -94,6 +100,8 @@ pub enum Request {
     },
     /// Election winner → everyone: announce the new primary for `epoch`.
     Promote {
+        /// Shared cluster key; frames with the wrong key are refused.
+        token: u64,
         /// The new (strictly higher) epoch.
         epoch: u64,
         /// The winning node id.
@@ -104,6 +112,8 @@ pub enum Request {
     /// Election probe: ask a peer for its durable sequence so the
     /// candidate set can be ranked deterministically.
     SeqQuery {
+        /// Shared cluster key; frames with the wrong key are refused.
+        token: u64,
         /// The candidate's current epoch.
         epoch: u64,
     },
@@ -151,6 +161,11 @@ pub enum Response {
         code: u8,
         /// Human-readable message.
         message: String,
+        /// Structured redirect target for `NOT_PRIMARY`: the node id of
+        /// the primary, when the refusing node knows it. Carried here —
+        /// not parsed out of `message` — so rewording the error text can
+        /// never break failover redirects.
+        hint: Option<u32>,
     },
     /// Acknowledgement of a replication message (`Replicate`,
     /// `Heartbeat`, `SeqQuery`, or `Promote`): the responder's identity,
@@ -282,6 +297,7 @@ impl Request {
             }
             Self::Shutdown => e.u8(REQ_SHUTDOWN),
             Self::Replicate {
+                token,
                 epoch,
                 node,
                 seq,
@@ -289,6 +305,7 @@ impl Request {
                 record,
             } => {
                 e.u8(REQ_REPLICATE);
+                e.u64(*token);
                 e.u64(*epoch);
                 e.u32(*node);
                 e.u64(*seq);
@@ -296,30 +313,40 @@ impl Request {
                 e.bytes(record);
             }
             Self::Heartbeat {
+                token,
                 epoch,
                 node,
                 commit,
                 head,
             } => {
                 e.u8(REQ_HEARTBEAT);
+                e.u64(*token);
                 e.u64(*epoch);
                 e.u32(*node);
                 e.u64(*commit);
                 e.u64(*head);
             }
-            Self::CatchUp { epoch, from } => {
+            Self::CatchUp { token, epoch, from } => {
                 e.u8(REQ_CATCH_UP);
+                e.u64(*token);
                 e.u64(*epoch);
                 e.u64(*from);
             }
-            Self::Promote { epoch, node, head } => {
+            Self::Promote {
+                token,
+                epoch,
+                node,
+                head,
+            } => {
                 e.u8(REQ_PROMOTE);
+                e.u64(*token);
                 e.u64(*epoch);
                 e.u32(*node);
                 e.u64(*head);
             }
-            Self::SeqQuery { epoch } => {
+            Self::SeqQuery { token, epoch } => {
                 e.u8(REQ_SEQ_QUERY);
+                e.u64(*token);
                 e.u64(*epoch);
             }
         }
@@ -345,6 +372,7 @@ impl Request {
             },
             REQ_SHUTDOWN => Self::Shutdown,
             REQ_REPLICATE => Self::Replicate {
+                token: d.u64()?,
                 epoch: d.u64()?,
                 node: d.u32()?,
                 seq: d.u64()?,
@@ -352,21 +380,27 @@ impl Request {
                 record: d.bytes()?,
             },
             REQ_HEARTBEAT => Self::Heartbeat {
+                token: d.u64()?,
                 epoch: d.u64()?,
                 node: d.u32()?,
                 commit: d.u64()?,
                 head: d.u64()?,
             },
             REQ_CATCH_UP => Self::CatchUp {
+                token: d.u64()?,
                 epoch: d.u64()?,
                 from: d.u64()?,
             },
             REQ_PROMOTE => Self::Promote {
+                token: d.u64()?,
                 epoch: d.u64()?,
                 node: d.u32()?,
                 head: d.u64()?,
             },
-            REQ_SEQ_QUERY => Self::SeqQuery { epoch: d.u64()? },
+            REQ_SEQ_QUERY => Self::SeqQuery {
+                token: d.u64()?,
+                epoch: d.u64()?,
+            },
             tag => {
                 return Err(ServeError::Protocol(format!("unknown request tag {tag}")));
             }
@@ -429,10 +463,21 @@ impl Response {
                 e.f64(*objective);
                 e.u64(*iterations);
             }
-            Self::Error { code, message } => {
+            Self::Error {
+                code,
+                message,
+                hint,
+            } => {
                 e.u8(RESP_ERROR);
                 e.u8(*code);
                 e.str(message);
+                match hint {
+                    None => e.u8(0),
+                    Some(n) => {
+                        e.u8(1);
+                        e.u32(*n);
+                    }
+                }
             }
             Self::ReplAck {
                 node,
@@ -506,10 +551,24 @@ impl Response {
                 objective: d.f64()?,
                 iterations: d.u64()?,
             },
-            RESP_ERROR => Self::Error {
-                code: d.u8()?,
-                message: d.str()?,
-            },
+            RESP_ERROR => {
+                let code = d.u8()?;
+                let message = d.str()?;
+                let hint = match d.u8()? {
+                    0 => None,
+                    1 => Some(d.u32()?),
+                    tag => {
+                        return Err(ServeError::Protocol(format!(
+                            "bad option tag {tag} in error hint"
+                        )));
+                    }
+                };
+                Self::Error {
+                    code,
+                    message,
+                    hint,
+                }
+            }
             RESP_REPL_ACK => Self::ReplAck {
                 node: d.u32()?,
                 epoch: d.u64()?,
@@ -554,11 +613,18 @@ impl Response {
         Ok(resp)
     }
 
-    /// The response the daemon sends for a failed request.
+    /// The response the daemon sends for a failed request. A
+    /// `NotPrimary` refusal carries its redirect target as the
+    /// structured `hint` field, never just prose.
     pub fn from_error(e: &ServeError) -> Self {
+        let hint = match e {
+            ServeError::NotPrimary { hint } => *hint,
+            _ => None,
+        };
         Self::Error {
             code: e.wire_code(),
             message: e.to_string(),
+            hint,
         }
     }
 }
@@ -639,6 +705,7 @@ mod tests {
             },
             Request::Shutdown,
             Request::Replicate {
+                token: 0xC1A5,
                 epoch: 3,
                 node: 0,
                 seq: 17,
@@ -646,18 +713,27 @@ mod tests {
                 record: vec![0xDE, 0xAD, 0xBE, 0xEF],
             },
             Request::Heartbeat {
+                token: 0xC1A5,
                 epoch: 3,
                 node: 1,
                 commit: 17,
                 head: 18,
             },
-            Request::CatchUp { epoch: 3, from: 12 },
+            Request::CatchUp {
+                token: 0xC1A5,
+                epoch: 3,
+                from: 12,
+            },
             Request::Promote {
+                token: 0xC1A5,
                 epoch: 4,
                 node: 2,
                 head: 18,
             },
-            Request::SeqQuery { epoch: 4 },
+            Request::SeqQuery {
+                token: 0xC1A5,
+                epoch: 4,
+            },
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -694,6 +770,12 @@ mod tests {
             Response::Error {
                 code: crate::error::code::OVERLOADED,
                 message: "queue full".into(),
+                hint: None,
+            },
+            Response::Error {
+                code: crate::error::code::NOT_PRIMARY,
+                message: "not the primary".into(),
+                hint: Some(2),
             },
             Response::ReplAck {
                 node: 1,

@@ -30,6 +30,18 @@
 //!   promotion decision a pure function of the votes. Quorum
 //!   intersection then gives the Raft leader-completeness property:
 //!   every quorum-acked chunk is in the winner's log.
+//! - **Durable election state.** The adopted epoch and the epoch of the
+//!   last folded record are persisted atomically (`election.meta`)
+//!   *before* any vote grant leaves the node and *before* any fold is
+//!   irreversible — Raft's `currentTerm`/`votedFor`/entry-term rules.
+//!   A crash-restart therefore can neither re-grant a vote in an epoch
+//!   it already voted in nor under-report the election rank of records
+//!   it committed.
+//! - **Authentication.** Every replication frame carries the shared
+//!   [`cluster_key`](ReplicaConfig::cluster_key) and is refused with a
+//!   typed `Unauthenticated` error when the key is wrong, so a stray
+//!   client that can reach the port cannot depose the primary, force
+//!   elections, or inject log records.
 //! - **Repair.** A deposed primary's unreplicated staged tail conflicts
 //!   with the new primary's shipments at the same sequence numbers; the
 //!   follower truncates the stale tail and accepts the authoritative
@@ -42,15 +54,16 @@
 //! [`tick`]: ReplicaNode::tick
 
 use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 
-use crh_core::persist::{Dec, Enc};
+use crh_core::persist::{crc32, Dec, Enc};
 
 use crate::core::{decode_chunk, encode_chunk, validate_claims, ApplyOutcome, ChunkClaim};
 use crate::core::{ServeConfig, ServeCore};
 use crate::error::ServeError;
 use crate::failover::elect;
 use crate::proto::{Request, Response};
-use crate::wal::Wal;
+use crate::wal::{sync_parent_dir, Wal};
 
 /// What this node currently believes it is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +96,12 @@ pub struct ReplicaConfig {
     pub retention_cap: usize,
     /// Records shipped per peer per push.
     pub replicate_window: usize,
+    /// Shared cluster key stamped on every replication frame this node
+    /// sends and required on every replication frame it accepts, so a
+    /// stray client that can reach the port cannot depose the primary,
+    /// force elections, or inject log records. Every member of a
+    /// cluster must use the same key.
+    pub cluster_key: u64,
 }
 
 impl ReplicaConfig {
@@ -98,7 +117,91 @@ impl ReplicaConfig {
             heartbeat_timeout: 5,
             retention_cap: 64,
             replicate_window: 4,
+            cluster_key: 0,
         }
+    }
+
+    /// Set the shared cluster key (all members must agree).
+    pub fn cluster_key(mut self, key: u64) -> Self {
+        self.cluster_key = key;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Durable election state
+// ---------------------------------------------------------------------
+
+const META_MAGIC: [u8; 8] = *b"CRHELEC1";
+
+/// The election state that must survive a crash, per Raft's persistence
+/// rules: the highest epoch this node has ever adopted *or granted a
+/// vote in* (`currentTerm`/`votedFor` — here a grant always bumps the
+/// epoch, so one field covers both), and the epoch of the last record
+/// folded into the core (the per-entry term of the log head, needed so
+/// a restarted node's `(last_epoch, durable)` election rank reflects
+/// what it actually committed instead of a conservative zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct ElectionMeta {
+    epoch: u64,
+    last_folded_epoch: u64,
+}
+
+impl ElectionMeta {
+    /// Load from `path`; a missing file is a genuinely new node (all
+    /// zeros), but an unreadable or corrupt one is a typed refusal —
+    /// guessing an epoch can grant a double vote.
+    fn load(path: &Path) -> Result<Self, ServeError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Self::default());
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        };
+        let corrupt = |reason| ServeError::WalCorrupt { offset: 0, reason };
+        if bytes.len() < META_MAGIC.len() + 4 || bytes[..META_MAGIC.len()] != META_MAGIC {
+            return Err(corrupt("missing or wrong election meta header"));
+        }
+        let crc_at = META_MAGIC.len();
+        let stored_crc = u32::from_le_bytes(bytes[crc_at..crc_at + 4].try_into().unwrap());
+        let payload = &bytes[crc_at + 4..];
+        if crc32(payload) != stored_crc {
+            return Err(corrupt("election meta CRC mismatch"));
+        }
+        let mut d = Dec::new(payload);
+        let meta = Self {
+            epoch: d.u64()?,
+            last_folded_epoch: d.u64()?,
+        };
+        if !d.is_exhausted() {
+            return Err(corrupt("trailing bytes in election meta"));
+        }
+        Ok(meta)
+    }
+
+    /// Durably replace the file at `path`: write-to-temp, fsync, atomic
+    /// rename, directory fsync — the same discipline as snapshots, so a
+    /// torn write can never surface as a half-updated epoch.
+    fn save(self, path: &Path) -> Result<(), ServeError> {
+        let mut e = Enc::new();
+        e.u64(self.epoch);
+        e.u64(self.last_folded_epoch);
+        let payload = e.into_bytes();
+        let mut bytes = Vec::with_capacity(META_MAGIC.len() + 4 + payload.len());
+        bytes.extend_from_slice(&META_MAGIC);
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let tmp = path.with_extension("meta.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            use std::io::Write as _;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
     }
 }
 
@@ -155,9 +258,13 @@ pub struct ReplicaNode {
     /// Prefix verified byte-consistent with the current primary's log
     /// (`== durable` on the primary itself).
     synced: u64,
-    /// Epoch of the last folded record (in-memory; conservative 0 after
-    /// a restart, which only weakens this node's election rank).
+    /// Epoch of the last folded record, persisted in the election meta
+    /// file so a restarted node's election rank still reflects what it
+    /// committed (mirrored in [`ElectionMeta::last_folded_epoch`]).
     last_folded_epoch: u64,
+    /// Where the durable election state lives (`election.meta` in the
+    /// node's state directory).
+    meta_path: PathBuf,
     last_heartbeat: u64,
     last_push: u64,
     /// The primary's advertised durable head (staleness bound for reads).
@@ -186,15 +293,18 @@ pub struct ReplicaRecovery {
 
 impl ReplicaNode {
     /// Open (or create) a replica over the state directory in `serve`.
-    /// The node always rejoins as a follower at epoch 0; a live cluster
-    /// teaches it the current epoch with its first frame.
+    /// The node rejoins as a follower at its *persisted* epoch — never
+    /// lower, so it can neither re-grant a vote in an epoch it already
+    /// voted in nor under-report the epoch of records it folded.
     pub fn open(
         cfg: ReplicaConfig,
         serve: ServeConfig,
     ) -> Result<(Self, ReplicaRecovery), ServeError> {
         let staging_path = serve.dir.join("staging.wal");
+        let meta_path = serve.dir.join("election.meta");
         let (core, core_report) = ServeCore::open(serve)?;
         let (mut staging, rec) = Wal::open(&staging_path)?;
+        let meta = ElectionMeta::load(&meta_path)?;
 
         // Keep only the contiguous staged tail that extends the folded
         // prefix; anything else (already folded, or beyond a gap torn by
@@ -231,10 +341,11 @@ impl ReplicaNode {
             staged,
             staging,
             core,
-            epoch: 0,
+            epoch: meta.epoch,
             role: Role::Follower,
             leader: None,
-            last_folded_epoch: 0,
+            last_folded_epoch: meta.last_folded_epoch,
+            meta_path,
             last_heartbeat: 0,
             last_push: 0,
             primary_head: 0,
@@ -335,10 +446,38 @@ impl ReplicaNode {
         self.core.state_digest()
     }
 
-    fn last_epoch(&self) -> u64 {
+    /// The epoch of this node's newest durable record (its election
+    /// rank, together with [`durable`](Self::durable)). Derived from the
+    /// staged tail when there is one, else from the persisted epoch of
+    /// the last folded record — so it survives restarts.
+    pub fn last_epoch(&self) -> u64 {
         self.staged
             .back()
             .map_or(self.last_folded_epoch, |s| s.epoch)
+    }
+
+    /// Whether it is safe to acknowledge the write this node staged at
+    /// `seq` while it was primary in `epoch`. Quorum commit alone is not
+    /// enough: if the node was deposed after staging, a new primary may
+    /// have committed a *different* record at the same sequence — the
+    /// client's bytes were discarded and must be retried, not acked. A
+    /// primary's own log can only be truncated by deposition, so "still
+    /// primary in the same epoch" guarantees the committed record at
+    /// `seq` is the one the client staged.
+    pub fn ack_safe(&self, seq: u64, epoch: u64) -> bool {
+        self.role == Role::Primary && self.epoch == epoch && self.is_committed(seq)
+    }
+
+    /// Durably record the current `(epoch, last_folded_epoch)` pair.
+    /// Every call site completes this *before* releasing a frame or
+    /// reply that acts on the new value — the Raft persistence rule for
+    /// `currentTerm`/`votedFor`.
+    fn persist_meta(&self) -> Result<(), ServeError> {
+        ElectionMeta {
+            epoch: self.epoch,
+            last_folded_epoch: self.last_folded_epoch,
+        }
+        .save(&self.meta_path)
     }
 
     fn election_timeout(&self) -> u64 {
@@ -392,6 +531,7 @@ impl ReplicaNode {
                     out.push((
                         p,
                         Request::Promote {
+                            token: self.cfg.cluster_key,
                             epoch: self.epoch,
                             node: self.cfg.node_id,
                             head: self.durable(),
@@ -407,6 +547,7 @@ impl ReplicaNode {
                             out.push((
                                 p,
                                 Request::Heartbeat {
+                                    token: self.cfg.cluster_key,
                                     epoch: self.epoch,
                                     node: self.cfg.node_id,
                                     commit: self.commit,
@@ -418,6 +559,7 @@ impl ReplicaNode {
                                 out.push((
                                     p,
                                     Request::Replicate {
+                                        token: self.cfg.cluster_key,
                                         epoch: self.epoch,
                                         node: self.cfg.node_id,
                                         seq: s.seq,
@@ -436,6 +578,7 @@ impl ReplicaNode {
                         out.push((
                             l,
                             Request::CatchUp {
+                                token: self.cfg.cluster_key,
                                 epoch: self.epoch,
                                 from: self.synced,
                             },
@@ -458,8 +601,22 @@ impl ReplicaNode {
     // ---- incoming frames -----------------------------------------------
 
     /// Process one replication frame from peer `from` at time `now`.
-    /// Non-replication frames get a typed protocol error.
+    /// Frames carrying the wrong cluster key are refused before any
+    /// state is touched; non-replication frames get a typed protocol
+    /// error.
     pub fn handle(&mut self, from: u32, req: &Request, now: u64) -> Response {
+        match req {
+            Request::Replicate { token, .. }
+            | Request::Heartbeat { token, .. }
+            | Request::CatchUp { token, .. }
+            | Request::Promote { token, .. }
+            | Request::SeqQuery { token, .. }
+                if *token != self.cfg.cluster_key =>
+            {
+                return Response::from_error(&ServeError::Unauthenticated);
+            }
+            _ => {}
+        }
         let result = match req {
             Request::Replicate {
                 epoch,
@@ -467,6 +624,7 @@ impl ReplicaNode {
                 seq,
                 commit,
                 record,
+                ..
             } => {
                 debug_assert_eq!(*node, from, "frame relayed from the wrong peer");
                 self.on_replicate(from, *epoch, *seq, *commit, record, now)
@@ -476,13 +634,18 @@ impl ReplicaNode {
                 node,
                 commit,
                 head,
+                ..
             } => {
                 debug_assert_eq!(*node, from, "frame relayed from the wrong peer");
                 self.on_heartbeat(from, *epoch, *commit, *head, now)
             }
-            Request::CatchUp { epoch, from: seq } => return self.on_catch_up(*epoch, *seq),
-            Request::Promote { epoch, node, head } => self.on_promote(*epoch, *node, *head, now),
-            Request::SeqQuery { epoch } => return self.on_seq_query(*epoch, now),
+            Request::CatchUp {
+                epoch, from: seq, ..
+            } => return self.on_catch_up(*epoch, *seq),
+            Request::Promote {
+                epoch, node, head, ..
+            } => self.on_promote(*epoch, *node, *head, now),
+            Request::SeqQuery { epoch, .. } => return self.on_seq_query(*epoch, now),
             _ => Err(ServeError::Protocol(
                 "client frame routed to the replication handler".into(),
             )),
@@ -515,11 +678,17 @@ impl ReplicaNode {
             });
         }
         if epoch > self.epoch || self.leader != Some(from) || self.role != Role::Follower {
+            let adopted = epoch > self.epoch;
             self.epoch = epoch;
             self.step_down(Some(from));
             // the verified prefix must be re-established per leader; the
             // folded prefix is committed and therefore always consistent
             self.synced = self.core.chunks_seen();
+            if adopted {
+                // durable before the ack leaves: a restart must never
+                // regress the epoch and re-enable a vote below it
+                self.persist_meta()?;
+            }
         }
         self.last_heartbeat = now;
         Ok(())
@@ -588,6 +757,13 @@ impl ReplicaNode {
         }
         self.epoch = epoch;
         self.step_down(None);
+        // the grant IS the vote: it must hit disk before the reply, or a
+        // crash-restart could grant again in the same epoch (two
+        // primaries per epoch). On a failed write, refuse the vote — the
+        // in-memory epoch stays bumped, which is only ever conservative.
+        if let Err(e) = self.persist_meta() {
+            return Response::from_error(&e);
+        }
         Response::ReplAck {
             node: self.cfg.node_id,
             epoch: self.epoch,
@@ -659,6 +835,7 @@ impl ReplicaNode {
                 if *epoch > in_play {
                     self.epoch = *epoch;
                     self.step_down(None);
+                    self.persist_meta()?;
                     return Ok(());
                 }
                 match self.role {
@@ -694,6 +871,7 @@ impl ReplicaNode {
                     self.synced = self.core.chunks_seen();
                     self.commit = self.core.chunks_seen();
                     self.last_folded_epoch = *epoch;
+                    self.persist_meta()?;
                 }
                 self.needs_catchup = false;
                 for r in records {
@@ -778,6 +956,25 @@ impl ReplicaNode {
     /// Fold staged records into the core up to the commit bound. Only
     /// ever called with `commit <= synced`, so a fold is final.
     fn fold_to_commit(&mut self) -> Result<(), ServeError> {
+        // The election rank this fold establishes must be durable
+        // *before* the fold is: fold first and crash, and the node
+        // restarts holding committed records from epoch E while claiming
+        // an older last_epoch — a stale shorter log could then out-rank
+        // it and win away quorum-acked writes. Claiming first is safe
+        // because the records stay in the staging WAL until the rebuild
+        // below, so `last_epoch()` still reports E either way.
+        let will_fold =
+            (self.commit.saturating_sub(self.core.chunks_seen()) as usize).min(self.staged.len());
+        if will_fold > 0 {
+            let target = self.staged[will_fold - 1].epoch;
+            if target != self.last_folded_epoch {
+                ElectionMeta {
+                    epoch: self.epoch,
+                    last_folded_epoch: target,
+                }
+                .save(&self.meta_path)?;
+            }
+        }
         let mut folded = false;
         while self.core.chunks_seen() < self.commit {
             let Some(entry) = self.staged.front() else {
@@ -843,6 +1040,7 @@ impl ReplicaNode {
             out.push((
                 p,
                 Request::SeqQuery {
+                    token: self.cfg.cluster_key,
                     epoch: self.election_epoch,
                 },
             ));
@@ -865,6 +1063,9 @@ impl ReplicaNode {
         self.role = Role::Primary;
         self.leader = Some(self.cfg.node_id);
         self.synced = self.durable();
+        // the won epoch must be durable before the first frame of this
+        // reign leaves the node
+        self.persist_meta()?;
         // the winner's log is now the authoritative history; staged
         // records are re-shipped (and re-counted towards commit) under
         // the new epoch rather than folded outright, so commitment still
@@ -872,6 +1073,9 @@ impl ReplicaNode {
         for s in &mut self.staged {
             s.epoch = self.epoch;
         }
+        // the re-stamp must reach the staging WAL too, or a restart
+        // would recover the tail under its pre-election epochs
+        self.rebuild_staging()?;
         self.votes.clear();
         self.match_synced.clear();
         for &p in &self.cfg.peers {
@@ -951,6 +1155,7 @@ mod tests {
         let resp = f.handle(
             0,
             &Request::Heartbeat {
+                token: 0,
                 epoch: 3,
                 node: 0,
                 commit: 0,
@@ -1006,6 +1211,7 @@ mod tests {
         f.handle(
             0,
             &Request::Heartbeat {
+                token: 0,
                 epoch: 5,
                 node: 0,
                 commit: 0,
@@ -1016,6 +1222,7 @@ mod tests {
         let resp = f.handle(
             2,
             &Request::Replicate {
+                token: 0,
                 epoch: 4,
                 node: 2,
                 seq: 0,
@@ -1036,9 +1243,9 @@ mod tests {
     fn seq_query_grants_at_most_once_per_epoch() {
         let mut f = node("grant", 2, &[0, 1, 2]);
         // leader long silent (never heard one), so grants are allowed
-        let first = f.handle(0, &Request::SeqQuery { epoch: 7 }, 50);
+        let first = f.handle(0, &Request::SeqQuery { token: 0, epoch: 7 }, 50);
         assert!(matches!(first, Response::ReplAck { .. }), "{first:?}");
-        let second = f.handle(1, &Request::SeqQuery { epoch: 7 }, 50);
+        let second = f.handle(1, &Request::SeqQuery { token: 0, epoch: 7 }, 50);
         assert!(
             matches!(second, Response::Error { code, .. }
                 if code == crate::error::code::STALE_EPOCH),
@@ -1056,6 +1263,7 @@ mod tests {
             // two records arrive but only the first commits
             for seq in 0..2 {
                 let r = Request::Replicate {
+                    token: 0,
                     epoch: 1,
                     node: 0,
                     seq,
@@ -1082,6 +1290,7 @@ mod tests {
         f.handle(
             0,
             &Request::Replicate {
+                token: 0,
                 epoch: 1,
                 node: 0,
                 seq: 0,
@@ -1097,6 +1306,7 @@ mod tests {
         let resp = f.handle(
             2,
             &Request::Replicate {
+                token: 0,
                 epoch: 2,
                 node: 2,
                 seq: 0,
@@ -1118,6 +1328,141 @@ mod tests {
     }
 
     #[test]
+    fn vote_grant_survives_restart() {
+        let all = [0u32, 1, 2];
+        let d = dir("regrant", 2);
+        let serve = ServeConfig::new(schema(), 0.5, &d);
+        {
+            let (mut f, _) = ReplicaNode::open(ReplicaConfig::new(2, &all), serve.clone()).unwrap();
+            let first = f.handle(0, &Request::SeqQuery { token: 0, epoch: 7 }, 50);
+            assert!(matches!(first, Response::ReplAck { epoch: 7, .. }), "{first:?}");
+        } // crash: the node drops without a clean shutdown
+        let (mut f, _) = ReplicaNode::open(ReplicaConfig::new(2, &all), serve).unwrap();
+        assert_eq!(f.epoch(), 7, "granted epoch survived the restart");
+        // a rival campaigning in the same epoch must NOT get a second
+        // grant — that is exactly the two-primaries-per-epoch hazard
+        let second = f.handle(1, &Request::SeqQuery { token: 0, epoch: 7 }, 51);
+        assert!(
+            matches!(second, Response::Error { code, .. }
+                if code == crate::error::code::STALE_EPOCH),
+            "{second:?}"
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn folded_epoch_survives_restart_for_election_rank() {
+        let all = [0u32, 1];
+        let d = dir("rank", 1);
+        let serve = ServeConfig::new(schema(), 0.5, &d);
+        {
+            let (mut f, _) = ReplicaNode::open(ReplicaConfig::new(1, &all), serve.clone()).unwrap();
+            // an epoch-3 primary ships and commits one record; the
+            // follower folds it (nothing left staged)
+            let r = Request::Replicate {
+                token: 0,
+                epoch: 3,
+                node: 0,
+                seq: 0,
+                commit: 1,
+                record: encode_chunk(0, &chunk(0)),
+            };
+            f.handle(0, &r, 1);
+            assert_eq!(f.core().chunks_seen(), 1);
+            assert_eq!(f.durable(), 1);
+            assert_eq!(f.last_epoch(), 3);
+        } // crash
+        let (f, _) = ReplicaNode::open(ReplicaConfig::new(1, &all), serve).unwrap();
+        assert_eq!(
+            f.last_epoch(),
+            3,
+            "election rank must reflect the folded record's epoch, not zero — \
+             otherwise a stale shorter log at a higher epoch out-ranks it"
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn ack_safe_only_while_primary_in_the_same_epoch() {
+        let mut p = node("acksafe", 0, &[0]);
+        p.tick(100).unwrap(); // self-promote (quorum of one)
+        let epoch = p.epoch();
+        let seq = p.client_ingest(&chunk(0)).unwrap();
+        assert!(p.is_committed(seq));
+        assert!(p.ack_safe(seq, epoch));
+        assert!(!p.ack_safe(seq, epoch + 1), "wrong epoch must not ack");
+        // a newer primary deposes this node: committed-or-not, the
+        // staged write's fate is no longer this node's to vouch for
+        p.handle(
+            1,
+            &Request::Heartbeat {
+                token: 0,
+                epoch: epoch + 1,
+                node: 1,
+                commit: 0,
+                head: 0,
+            },
+            101,
+        );
+        assert_eq!(p.role(), Role::Follower);
+        assert!(!p.ack_safe(seq, epoch), "deposed node must not ack");
+    }
+
+    #[test]
+    fn wrong_cluster_key_is_rejected_before_any_state_change() {
+        let d = dir("auth", 1);
+        let (mut f, _) = ReplicaNode::open(
+            ReplicaConfig::new(1, &[0, 1, 2]).cluster_key(0xDEAD_BEEF),
+            ServeConfig::new(schema(), 0.5, d),
+        )
+        .unwrap();
+        let forged = Request::Heartbeat {
+            token: 0,
+            epoch: 9,
+            node: 0,
+            commit: 0,
+            head: 0,
+        };
+        let resp = f.handle(0, &forged, 1);
+        assert!(
+            matches!(resp, Response::Error { code, .. }
+                if code == crate::error::code::UNAUTHENTICATED),
+            "{resp:?}"
+        );
+        assert_eq!(f.epoch(), 0, "forged frame must not move the epoch");
+        let genuine = Request::Heartbeat {
+            token: 0xDEAD_BEEF,
+            epoch: 9,
+            node: 0,
+            commit: 0,
+            head: 0,
+        };
+        let resp = f.handle(0, &genuine, 2);
+        assert!(matches!(resp, Response::ReplAck { epoch: 9, .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn corrupt_election_meta_refuses_to_open() {
+        let all = [0u32, 1];
+        let d = dir("metacorrupt", 1);
+        let serve = ServeConfig::new(schema(), 0.5, &d);
+        {
+            let (mut f, _) = ReplicaNode::open(ReplicaConfig::new(1, &all), serve.clone()).unwrap();
+            f.handle(0, &Request::SeqQuery { token: 0, epoch: 4 }, 50);
+        }
+        let meta = d.join("election.meta");
+        let mut bytes = std::fs::read(&meta).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        std::fs::write(&meta, &bytes).unwrap();
+        let err = ReplicaNode::open(ReplicaConfig::new(1, &all), serve).unwrap_err();
+        assert!(
+            matches!(err, ServeError::WalCorrupt { .. }),
+            "guessing an epoch can double-vote: {err}"
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
     fn catch_up_beyond_retention_ships_a_snapshot() {
         let mut p = node("snapcat", 0, &[0, 1]);
         // force tiny retention so early records age out
@@ -1131,6 +1476,7 @@ mod tests {
         let resp = p.handle(
             1,
             &Request::CatchUp {
+                token: 0,
                 epoch: p.epoch(),
                 from: 0,
             },

@@ -417,11 +417,18 @@ struct HaShared {
 ///   into the node under its mutex — client writes stage and then *poll*
 ///   for quorum commit, replication frames are answered synchronously;
 /// - one **ticker** thread advances logical time every
-///   [`HaConfig::tick`], collects the frames the node wants to send
-///   under the lock, and ships them to peers over persistent [`Client`]
-///   connections *without* the lock (a stalled peer stalls replication
-///   to that peer, never local reads or writes), feeding each reply back
-///   into the node.
+///   [`HaConfig::tick`] and collects the frames the node wants to send
+///   under the lock, then hands each frame to a bounded per-peer queue
+///   with a non-blocking push;
+/// - one **peer sender** thread per peer owns that peer's persistent
+///   [`Client`] connection, drains its queue, ships frames, and feeds
+///   each reply back into the node. A stalled or black-holing peer
+///   therefore delays only its own queue — never heartbeats to the
+///   other peers, the tick cadence, or local reads and writes — so one
+///   bad peer cannot cause cluster-wide spurious failovers. A full
+///   queue simply drops the frame: the protocol retransmits from the
+///   follower's acked position on every heartbeat interval, so a drop
+///   costs latency, never correctness.
 pub struct HaServer {
     shared: Arc<HaShared>,
     addr: std::net::SocketAddr,
@@ -541,7 +548,9 @@ impl FrontEnd for HaShared {
             }
             Request::Solve { .. } => replicated_solve(&req, self),
             // the frame names its sender; CatchUp/SeqQuery are answered
-            // over this connection, so the handler needs no sender id
+            // over this connection, so the handler needs no sender id.
+            // The node verifies the frame's cluster key before trusting
+            // any of it, so a stray client cannot forge these.
             Request::Replicate { node, .. }
             | Request::Heartbeat { node, .. }
             | Request::Promote { node, .. } => self.node.lock().unwrap().handle(node, &req, now),
@@ -565,20 +574,38 @@ impl FrontEnd for HaShared {
 /// Stage a client chunk, then poll until the replication quorum commits
 /// it (the ticker advances the commit as peer acks arrive) or the
 /// commit-wait deadline passes.
+///
+/// The ack condition is [`ReplicaNode::ack_safe`], not bare
+/// `is_committed`: if this node is deposed during the wait, its staged
+/// record is truncated and the new primary may commit *different* bytes
+/// at the same sequence — a commit bound passing `seq` then says nothing
+/// about the client's write. Acking it would report a discarded write as
+/// durable, so a deposed node answers `NotPrimary` instead and the
+/// client retries against the new primary.
 fn ingest_replicated(claims: Vec<ChunkClaim>, shared: &Arc<HaShared>) -> Response {
-    let seq = match shared.node.lock().unwrap().client_ingest(&claims) {
-        Ok(seq) => seq,
-        Err(e) => return Response::from_error(&e),
+    // the staged epoch is captured under the same lock as the staging
+    // itself, so it names exactly the reign the record belongs to
+    let (seq, epoch) = {
+        let mut node = shared.node.lock().unwrap();
+        match node.client_ingest(&claims) {
+            Ok(seq) => (seq, node.epoch()),
+            Err(e) => return Response::from_error(&e),
+        }
     };
     let deadline = Instant::now() + shared.cfg.commit_wait;
     loop {
         {
             let node = shared.node.lock().unwrap();
-            if node.is_committed(seq) {
+            if node.ack_safe(seq, epoch) {
                 return Response::Ack {
                     seq,
                     chunks_seen: node.commit(),
                 };
+            }
+            if node.role() != Role::Primary || node.epoch() != epoch {
+                return Response::from_error(&ServeError::NotPrimary {
+                    hint: node.leader_hint(),
+                });
             }
             if Instant::now() >= deadline || shared.is_shutdown() {
                 // durable here, but the client must treat it as un-acked
@@ -670,39 +697,85 @@ fn wrap_follower_read(node: &ReplicaNode, inner: Response) -> Response {
     }
 }
 
-/// The replication engine: advance logical time, ship the frames the
-/// node emits to its peers, and feed replies back in.
+/// Frames buffered per peer between the ticker and that peer's sender
+/// thread. Sized to ride out a few slow ticks; overflow drops frames,
+/// which the heartbeat-driven retransmit protocol absorbs.
+const PEER_QUEUE_CAP: usize = 64;
+
+/// The replication engine's clock: advance logical time every tick and
+/// fan the frames the node emits out to the per-peer sender threads.
+/// This thread never touches a socket, so no peer can stall it.
 fn ticker(shared: &Arc<HaShared>) {
-    let mut conns: std::collections::HashMap<u32, Client> = std::collections::HashMap::new();
-    let addr_of: std::collections::HashMap<u32, String> =
-        shared.cfg.peer_addrs.iter().cloned().collect();
+    let mut senders: std::collections::HashMap<u32, mpsc::SyncSender<(u64, Request)>> =
+        std::collections::HashMap::new();
+    let mut handles = Vec::new();
+    for (dest, addr) in shared.cfg.peer_addrs.clone() {
+        let (tx, rx) = mpsc::sync_channel::<(u64, Request)>(PEER_QUEUE_CAP);
+        let shared = Arc::clone(shared);
+        handles.push(std::thread::spawn(move || {
+            peer_sender(&shared, dest, &addr, &rx);
+        }));
+        senders.insert(dest, tx);
+    }
     while !shared.is_shutdown() {
         std::thread::sleep(shared.cfg.tick);
         let now = shared.ticks.fetch_add(1, Ordering::SeqCst) + 1;
         // a failed fold inside tick() leaves nothing to ship this round
         let frames = shared.node.lock().unwrap().tick(now).unwrap_or_default();
         for (dest, req) in frames {
-            let Some(addr) = addr_of.get(&dest) else {
-                continue;
-            };
-            if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(dest) {
-                match Client::connect(addr, shared.cfg.server.io_timeout) {
-                    Ok(c) => {
-                        e.insert(c);
-                    }
-                    // dead peer: silence, exactly like the simulator
-                    Err(_) => continue,
-                }
+            if let Some(tx) = senders.get(&dest) {
+                // non-blocking: a stalled peer's full queue drops the
+                // frame; the next heartbeat interval re-ships from the
+                // follower's acked position
+                tx.try_send((now, req)).ok();
             }
-            let reply = conns.get_mut(&dest).unwrap().call_raw(&req);
-            match reply {
-                Ok(resp) => {
-                    shared.node.lock().unwrap().on_reply(dest, &resp, now).ok();
+        }
+    }
+    // closing the queues wakes the sender threads so they can exit
+    drop(senders);
+    for h in handles {
+        h.join().ok();
+    }
+}
+
+/// Own one peer's connection: drain its frame queue, ship each frame,
+/// and feed the reply back into the node. Connection failures are
+/// silence (exactly like the simulator's dropped frames); the thread
+/// reconnects on the next frame.
+fn peer_sender(
+    shared: &Arc<HaShared>,
+    dest: u32,
+    addr: &str,
+    rx: &mpsc::Receiver<(u64, Request)>,
+) {
+    let mut conn: Option<Client> = None;
+    loop {
+        let (now, req) = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(x) => x,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.is_shutdown() {
+                    return;
                 }
-                Err(_) => {
-                    // drop the broken connection; reconnect next tick
-                    conns.remove(&dest);
-                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        if shared.is_shutdown() {
+            return;
+        }
+        if conn.is_none() {
+            conn = Client::connect(addr, shared.cfg.server.io_timeout).ok();
+        }
+        let Some(c) = conn.as_mut() else {
+            continue; // dead peer: drop the frame, retry on the next one
+        };
+        match c.call_raw(&req) {
+            Ok(resp) => {
+                shared.node.lock().unwrap().on_reply(dest, &resp, now).ok();
+            }
+            Err(_) => {
+                // broken connection; reconnect for the next frame
+                conn = None;
             }
         }
     }

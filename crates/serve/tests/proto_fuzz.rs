@@ -53,6 +53,7 @@ fn sample_requests() -> Vec<Request> {
         },
         Request::Shutdown,
         Request::Replicate {
+            token: 0xC1A5,
             epoch: 3,
             node: 0,
             seq: 17,
@@ -60,18 +61,27 @@ fn sample_requests() -> Vec<Request> {
             record: vec![0xDE, 0xAD, 0xBE, 0xEF],
         },
         Request::Heartbeat {
+            token: 0xC1A5,
             epoch: 3,
             node: 1,
             commit: 17,
             head: 18,
         },
-        Request::CatchUp { epoch: 3, from: 12 },
+        Request::CatchUp {
+            token: 0xC1A5,
+            epoch: 3,
+            from: 12,
+        },
         Request::Promote {
+            token: 0xC1A5,
             epoch: 4,
             node: 2,
             head: 18,
         },
-        Request::SeqQuery { epoch: 4 },
+        Request::SeqQuery {
+            token: 0xC1A5,
+            epoch: 4,
+        },
     ]
 }
 
@@ -104,6 +114,12 @@ fn sample_responses() -> Vec<Response> {
         Response::Error {
             code: 1,
             message: "queue full".into(),
+            hint: None,
+        },
+        Response::Error {
+            code: 8,
+            message: "not the primary; retry against node 2".into(),
+            hint: Some(2),
         },
         Response::ReplAck {
             node: 1,
