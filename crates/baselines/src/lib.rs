@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod accusim;
 pub mod crh_adapter;

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod datasets;
 pub mod experiments;

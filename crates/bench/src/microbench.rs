@@ -120,6 +120,7 @@ impl Harness {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
         let name = name.into();
+        // crh-lint: allow(print-stdout) — a bench harness's job is printing its report; stdout is the deliverable
         println!("\n== {name} ==");
         Group {
             quick: self.quick,
@@ -152,6 +153,7 @@ impl Drop for Harness {
     fn drop(&mut self) {
         if let Some(path) = &self.json_path {
             match std::fs::write(path, self.render_json()) {
+                // crh-lint: allow(print-stdout) — a bench harness's job is printing its report; stdout is the deliverable
                 Ok(()) => println!(
                     "\nwrote {} records to {}",
                     self.records.len(),
@@ -269,6 +271,7 @@ impl Group<'_> {
             let eps = elems as f64 / (median / 1_000_000_000.0);
             line.push_str(&format!("   {:.2} Melem/s", eps / 1e6));
         }
+        // crh-lint: allow(print-stdout) — a bench harness's job is printing its report; stdout is the deliverable
         println!("  {line}");
 
         self.harness.records.push(BenchRecord {

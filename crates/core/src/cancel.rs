@@ -32,6 +32,7 @@ impl CancelToken {
     pub fn with_deadline(budget: Duration) -> Self {
         Self {
             flag: Arc::new(AtomicBool::new(false)),
+            // crh-lint: allow(nondet-clock) — wall-clock deadlines ARE this type's contract; chaos fates never branch on cancellation timing
             deadline: Instant::now().checked_add(budget),
         }
     }
@@ -47,6 +48,7 @@ impl CancelToken {
             return true;
         }
         match self.deadline {
+            // crh-lint: allow(nondet-clock) — wall-clock deadlines ARE this type's contract; cancellation aborts work, it never selects results
             Some(d) => Instant::now() >= d,
             None => false,
         }
@@ -56,6 +58,7 @@ impl CancelToken {
     /// deadline; zero if it has already passed).
     pub fn remaining(&self) -> Option<Duration> {
         self.deadline
+            // crh-lint: allow(nondet-clock) — wall-clock deadlines ARE this type's contract; remaining() only feeds sleep/poll intervals
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
 }

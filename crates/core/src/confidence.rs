@@ -36,6 +36,7 @@ pub fn entry_confidences(
             .table
             .schema()
             .property_type(entry.property)
+            // crh-lint: allow(panic-expect) — PreparedProblem builds every entry from this same schema, so the property id always resolves
             .expect("entry property in schema");
         let total_w: f64 = obs.iter().map(|(s, _)| weights[s.index()]).sum();
         if total_w <= 0.0 {
@@ -89,7 +90,7 @@ pub fn contested_entries(confidences: &[f64], threshold: f64) -> Vec<(usize, f64
         .filter(|(_, &c)| c < threshold)
         .map(|(i, &c)| (i, c))
         .collect();
-    v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite confidence"));
+    v.sort_by(|a, b| a.1.total_cmp(&b.1));
     v
 }
 

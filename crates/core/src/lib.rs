@@ -69,6 +69,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cancel;
 pub mod confidence;

@@ -27,7 +27,7 @@ pub fn weighted_median(pairs: &[(f64, f64)]) -> f64 {
         }
     }
     let total: f64 = sorted.iter().map(|(_, w)| w).sum();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN value in weighted_median"));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let half = total / 2.0;
     let mut below = 0.0; // Σ w_k over v_k strictly before the candidate run
@@ -49,6 +49,7 @@ pub fn weighted_median(pairs: &[(f64, f64)]) -> f64 {
         i = j;
     }
     // Numerical slack can skip the condition; return the largest value.
+    // crh-lint: allow(panic-expect) — resolver contract: weighted_median is called with ≥1 observation, so `sorted` is non-empty
     sorted.last().expect("non-empty").0
 }
 

@@ -267,19 +267,27 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
 
+    /// Read exactly `N` bytes into a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], PersistError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s); // lengths equal by construction of `take`
+        Ok(out)
+    }
+
     /// Read one byte.
     pub fn u8(&mut self) -> Result<u8, PersistError> {
-        Ok(self.take(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
 
     /// Read a `u32`.
     pub fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Read a `u64`.
     pub fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Read an `f64` bit-exactly.
@@ -385,19 +393,20 @@ pub fn read_frame(
             got: bytes.len() as u64,
         });
     }
-    let got_magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+    let mut header = Dec::new(&bytes);
+    let got_magic: [u8; 4] = header.array()?;
     if got_magic != magic {
         return Err(PersistError::BadMagic {
             expected: magic,
             got: got_magic,
         });
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let version = header.u32()?;
     if version > max_version {
         return Err(PersistError::UnsupportedVersion(version));
     }
-    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let len = header.u64()?;
+    let stored_crc = header.u32()?;
     let payload = &bytes[FRAME_HEADER..];
     if (payload.len() as u64) < len {
         return Err(PersistError::Truncated {

@@ -149,12 +149,7 @@ impl WeightAssigner for TopJ {
 
     fn assign(&self, losses: &[f64]) -> Vec<f64> {
         let mut order: Vec<usize> = (0..losses.len()).collect();
-        order.sort_by(|&a, &b| {
-            losses[a]
-                .partial_cmp(&losses[b])
-                .expect("NaN loss")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| losses[a].total_cmp(&losses[b]).then(a.cmp(&b)));
         let mut w = vec![0.0; losses.len()];
         for &k in order.iter().take(self.j) {
             w[k] = 1.0;
@@ -231,12 +226,7 @@ impl WeightAssigner for BudgetedSelection {
         );
         let n = losses.len().min(self.costs.len());
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            losses[a]
-                .partial_cmp(&losses[b])
-                .expect("NaN loss")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| losses[a].total_cmp(&losses[b]).then(a.cmp(&b)));
         let mut w = vec![0.0; losses.len()];
         let mut spent = 0.0;
         for &k in &order {

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod csv;
 pub mod dataset;

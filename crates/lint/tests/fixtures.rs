@@ -1,0 +1,177 @@
+//! Fixture-driven end-to-end tests for every lint id.
+//!
+//! Each fixture under `tests/fixtures/` is a standalone `.rs` source that
+//! is **never compiled** (the directory is not a direct child of `tests/`
+//! and the workspace walker skips it). We feed each one to
+//! [`crh_lint::lint_source`] under a simulated workspace-relative path so
+//! the scope rules see it as real daemon code, then assert on the exact
+//! lint ids and line numbers that come back.
+
+use crh_lint::{lint_source, Finding};
+
+/// Sorted `(lint-id, line)` pairs — order-insensitive comparison.
+fn hits(findings: &[Finding]) -> Vec<(&str, u32)> {
+    let mut v: Vec<(&str, u32)> = findings.iter().map(|f| (f.lint, f.line)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn panic_lints_each_fire_once() {
+    let src = include_str!("fixtures/panic_hits.rs");
+    let found = lint_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![
+            ("index-slice", 11),
+            ("panic-expect", 7),
+            ("panic-macro", 9),
+            ("panic-macro", 13),
+            ("panic-unwrap", 6),
+        ],
+        "full diagnostics: {found:#?}"
+    );
+}
+
+#[test]
+fn justified_pragma_suppresses_but_malformed_ones_do_not() {
+    let src = include_str!("fixtures/pragma_suppressed.rs");
+    let found = lint_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![
+            // line 9: pragma with no justification; line 14: unknown lint id
+            ("bad-pragma", 9),
+            ("bad-pragma", 14),
+            // the unwraps those broken pragmas sat near still fire
+            ("panic-unwrap", 11),
+            ("panic-unwrap", 16),
+        ],
+        "full diagnostics: {found:#?}"
+    );
+    let no_justification = found.iter().find(|f| f.line == 9).expect("line 9 finding");
+    assert!(
+        no_justification.message.contains("justification"),
+        "message should demand a justification: {no_justification:?}"
+    );
+    let unknown_id = found
+        .iter()
+        .find(|f| f.line == 14)
+        .expect("line 14 finding");
+    assert!(
+        unknown_id.message.contains("no-such-lint"),
+        "message should name the bogus id: {unknown_id:?}"
+    );
+}
+
+#[test]
+fn test_code_is_exempt_but_cfg_not_test_is_not() {
+    let src = include_str!("fixtures/test_exempt.rs");
+    let found = lint_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![("panic-unwrap", 19)],
+        "only the `#[cfg(not(test))]` unwrap may fire: {found:#?}"
+    );
+}
+
+#[test]
+fn strings_raw_strings_comments_and_char_literals_never_fire() {
+    let src = include_str!("fixtures/tricky_tokens.rs");
+    let found = lint_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![("panic-unwrap", 17)],
+        "only the genuine unwrap outside literals may fire: {found:#?}"
+    );
+}
+
+#[test]
+fn determinism_lints_fire_in_clock_and_hash_scope() {
+    let src = include_str!("fixtures/clock_hash.rs");
+    let found = lint_source("crates/serve/src/faults.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![
+            ("nondet-clock", 8),
+            // HashMap is flagged per occurrence: the import and both
+            // mentions on the construction line
+            ("nondet-hash-iter", 4),
+            ("nondet-hash-iter", 9),
+            ("nondet-hash-iter", 9),
+            ("nondet-rng", 10),
+        ],
+        "full diagnostics: {found:#?}"
+    );
+}
+
+#[test]
+fn determinism_lints_stay_quiet_outside_their_scope() {
+    let src = include_str!("fixtures/clock_hash.rs");
+    // stream code is panic-scoped but not determinism-scoped
+    let found = lint_source("crates/stream/src/fixture.rs", src);
+    assert!(
+        found.is_empty(),
+        "no determinism findings outside CLOCK/HASH scope: {found:#?}"
+    );
+}
+
+#[test]
+fn ack_before_sync_flags_only_the_unsynced_path() {
+    let src = include_str!("fixtures/durability.rs");
+    let found = lint_source("crates/serve/src/wal.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![("ack-before-sync", 24)],
+        "direct and transitive sync-then-ack are clean; the bare ack is not: {found:#?}"
+    );
+    let f = &found[0];
+    assert!(
+        f.message.contains("ack_without_sync"),
+        "diagnostic should name the offending function: {f:?}"
+    );
+}
+
+#[test]
+fn crate_roots_must_carry_hygiene_headers() {
+    let src = include_str!("fixtures/no_headers.rs");
+    let found = lint_source("crates/serve/src/lib.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![("missing-deny-docs", 1), ("missing-forbid-unsafe", 1)],
+        "full diagnostics: {found:#?}"
+    );
+    // the same source as a non-root module is not a header violation
+    let found = lint_source("crates/serve/src/other.rs", src);
+    assert!(
+        found.is_empty(),
+        "non-root files need no headers: {found:#?}"
+    );
+}
+
+#[test]
+fn stdout_writes_fire_in_library_code_only() {
+    let src = include_str!("fixtures/print.rs");
+    let found = lint_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![("print-stdout", 6), ("print-stdout", 7)],
+        "full diagnostics: {found:#?}"
+    );
+    for path in ["crates/serve/src/main.rs", "crates/serve/src/bin/tool.rs"] {
+        let found = lint_source(path, src);
+        assert!(found.is_empty(), "binaries may print ({path}): {found:#?}");
+    }
+}
+
+#[test]
+fn fixture_corpus_itself_is_never_linted() {
+    // The walker skips `fixtures/` directories, and Scope::for_path
+    // additionally maps the path to an empty scope — belt and braces.
+    let src = include_str!("fixtures/panic_hits.rs");
+    let found = lint_source("crates/lint/tests/fixtures/panic_hits.rs", src);
+    assert!(
+        found.is_empty(),
+        "fixtures must never self-flag: {found:#?}"
+    );
+}

@@ -1,0 +1,13 @@
+// Fixture: determinism lints.
+// Linted as `crates/serve/src/faults.rs` (clock + hash scope).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn fate() -> u64 {
+    let t = Instant::now();
+    let m: HashMap<u32, u32> = HashMap::new();
+    let r = thread_rng();
+    let _ = (t, m, r);
+    0
+}

@@ -1,0 +1,30 @@
+// Fixture: fsync-before-ack ordering.
+// Linted as `crates/serve/src/wal.rs` (durability scope).
+
+pub struct W;
+
+impl W {
+    fn sync_all(&self) {}
+
+    fn flush(&self) {
+        self.sync_all();
+    }
+
+    pub fn direct_sync_then_ack(&self) -> &'static str {
+        self.sync_all();
+        self.ack()
+    }
+
+    pub fn transitive_sync_then_ack(&self) -> &'static str {
+        self.flush();
+        self.ack()
+    }
+
+    pub fn ack_without_sync(&self) -> &'static str {
+        self.ack()
+    }
+
+    fn ack(&self) -> &'static str {
+        "acked"
+    }
+}

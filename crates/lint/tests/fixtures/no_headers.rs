@@ -1,0 +1,5 @@
+// Fixture: a crate root missing both hygiene headers.
+// Linted as `crates/serve/src/lib.rs` (headers scope) and again as
+// `crates/serve/src/other.rs` (no headers scope).
+
+pub mod something {}

@@ -1,0 +1,14 @@
+// Fixture: one positive hit for each panic-freedom lint.
+// Linted as `crates/serve/src/fixture.rs` (panic + index scope).
+
+pub fn parse(buf: &[u8]) -> u8 {
+    let x: Option<u8> = None;
+    let a = x.unwrap();
+    let b = x.expect("always");
+    if buf.is_empty() {
+        panic!("boom");
+    }
+    let c = buf[0];
+    let _ = (a, b, c);
+    todo!()
+}

@@ -1,0 +1,17 @@
+// Fixture: pragma suppression semantics.
+// Linted as `crates/serve/src/fixture.rs`.
+
+pub fn recover(x: Option<u8>) -> u8 {
+    // crh-lint: allow(panic-unwrap) — fixture: the invariant is documented right here
+    x.unwrap()
+}
+
+// crh-lint: allow(panic-unwrap)
+pub fn justification_missing(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+// crh-lint: allow(no-such-lint) — the id does not exist
+pub fn unknown_id(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,8 @@
+// Fixture: stdout writes in library code.
+// Linted as `crates/serve/src/fixture.rs` (print scope) and again as
+// `crates/serve/src/main.rs` / `crates/serve/src/bin/tool.rs` (exempt).
+
+pub fn noisy(x: u32) -> u32 {
+    println!("x = {x}");
+    dbg!(x)
+}

@@ -1,0 +1,20 @@
+// Fixture: test-code exemption boundaries.
+// Linted as `crates/serve/src/fixture.rs`.
+
+#[test]
+fn in_test() {
+    let x: Option<u8> = None;
+    x.unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn helper(x: Option<u8>) -> u8 {
+        x.unwrap()
+    }
+}
+
+#[cfg(not(test))]
+pub fn prod(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

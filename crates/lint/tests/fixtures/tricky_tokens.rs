@@ -1,0 +1,18 @@
+// Fixture: token soup that must NOT fire — strings, raw strings,
+// nested comments, char literals, lifetimes — plus one real hit.
+// Linted as `crates/serve/src/fixture.rs`.
+
+pub fn tricky<'a>(input: &'a str) -> &'a str {
+    let s = "call .unwrap() and panic!() inside a string";
+    let r = r#"raw with .expect("x") and buf[0] and todo!()"#;
+    /* nested /* comment with .unwrap() and HashMap */ still comment */
+    // line comment: Instant::now() and buf[1]
+    let c = '[';
+    let q = '\'';
+    let _ = (s, r, c, q);
+    input
+}
+
+pub fn real(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

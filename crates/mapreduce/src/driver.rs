@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crh_core::ids::SourceId;
 use crh_core::persist::{read_frame, write_frame, Dec, Enc, PersistError};
@@ -272,7 +272,7 @@ impl ParallelCrh {
         table: &ObservationTable,
         resume: Option<CheckpointState>,
     ) -> Result<ParallelCrhResult, MapReduceError> {
-        let start = Instant::now();
+        let start = crate::engine::sched_now();
         self.validate()?;
 
         let k = table.num_sources();

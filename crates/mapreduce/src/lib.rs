@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod driver;
 pub mod engine;

@@ -287,7 +287,12 @@ impl ClusterClient {
     }
 
     fn try_once(&mut self, req: &Request) -> Outcome {
-        let (node_id, addr) = self.members[self.next].clone();
+        let Some((node_id, addr)) = self.members.get(self.next).cloned() else {
+            return Outcome::Retry {
+                why: format!("member index {} out of range", self.next),
+                goto: Goto::Next,
+            };
+        };
         if self.conn.is_none() {
             match Client::connect(&addr, self.timeout) {
                 Ok(c) => self.conn = Some(c),
@@ -299,7 +304,13 @@ impl ClusterClient {
                 }
             }
         }
-        let resp = match self.conn.as_mut().unwrap().call_raw(req) {
+        let Some(conn) = self.conn.as_mut() else {
+            return Outcome::Retry {
+                why: format!("node {node_id} ({addr}): connection unavailable"),
+                goto: Goto::Next,
+            };
+        };
+        let resp = match conn.call_raw(req) {
             Ok(r) => r,
             Err(e) => {
                 return Outcome::Retry {

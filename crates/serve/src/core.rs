@@ -23,7 +23,7 @@
 //! [`ServeError::ShuttingDown`] — so chaos tests cannot accidentally keep
 //! using state that a real `kill -9` would have destroyed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fs::OpenOptions;
 use std::io::Write as _;
@@ -203,7 +203,7 @@ pub struct SolveOutcome {
 /// recovered core serves byte-identical snapshots.
 #[derive(Debug, Default)]
 struct TruthCache {
-    map: HashMap<(u32, u32), Truth>,
+    map: BTreeMap<(u32, u32), Truth>,
     order: VecDeque<(u32, u32)>,
     cap: usize,
 }
@@ -211,7 +211,7 @@ struct TruthCache {
 impl TruthCache {
     fn new(cap: usize) -> Self {
         Self {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
             cap: cap.max(1),
         }
@@ -233,7 +233,9 @@ impl TruthCache {
     }
 
     fn iter_fifo(&self) -> impl Iterator<Item = ((u32, u32), &Truth)> {
-        self.order.iter().map(|k| (*k, &self.map[k]))
+        self.order
+            .iter()
+            .filter_map(|k| self.map.get(k).map(|t| (*k, t)))
     }
 
     fn len(&self) -> usize {
@@ -688,38 +690,38 @@ pub fn claims_from_csv(schema: &Schema, text: &str) -> Result<Vec<ChunkClaim>, S
             source: None,
             reason: format!("row {}: {reason}", i + 1),
         };
-        if row.len() != 4 {
+        let [object_field, property_field, source_field, value_field] = row.as_slice() else {
             return Err(bad(format!("expected 4 fields, got {}", row.len())));
-        }
-        let object: u32 = row[0]
+        };
+        let object: u32 = object_field
             .trim()
             .parse()
-            .map_err(|_| bad(format!("bad object id {:?}", row[0])))?;
+            .map_err(|_| bad(format!("bad object id {object_field:?}")))?;
         let property = schema
-            .property_by_name(row[1].trim())
-            .ok_or_else(|| bad(format!("unknown property {:?}", row[1])))?;
-        let source: u32 = row[2]
+            .property_by_name(property_field.trim())
+            .ok_or_else(|| bad(format!("unknown property {property_field:?}")))?;
+        let source: u32 = source_field
             .trim()
             .parse()
-            .map_err(|_| bad(format!("bad source id {:?}", row[2])))?;
+            .map_err(|_| bad(format!("bad source id {source_field:?}")))?;
         let value = match schema
             .property_type(property)
             .map_err(|e| bad(e.to_string()))?
         {
             crh_core::value::PropertyType::Continuous => {
-                let x: f64 = row[3]
+                let x: f64 = value_field
                     .trim()
                     .parse()
-                    .map_err(|_| bad(format!("bad number {:?}", row[3])))?;
+                    .map_err(|_| bad(format!("bad number {value_field:?}")))?;
                 Value::Num(x)
             }
             crh_core::value::PropertyType::Categorical => schema
-                .lookup(property, row[3].trim())
+                .lookup(property, value_field.trim())
                 .map_err(|e| ServeError::InvalidChunk {
                     source: Some(source),
                     reason: format!("row {}: {e}", i + 1),
                 })?,
-            crh_core::value::PropertyType::Text => Value::Text(row[3].clone()),
+            crh_core::value::PropertyType::Text => Value::Text(value_field.clone()),
         };
         claims.push(ChunkClaim {
             object,

@@ -15,7 +15,7 @@
 //!
 //! [`ReplicaNode::tick`]: crate::replicate::ReplicaNode::tick
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::core::{ChunkClaim, ServeConfig};
 use crate::error::ServeError;
@@ -26,25 +26,15 @@ use crate::replicate::{ReplicaConfig, ReplicaNode, Role};
 /// durable)`. The best `(last_epoch, durable)` wins — a log extended by
 /// a newer primary beats a longer stale one — and ties break to the
 /// *lowest* node id, so any two candidates looking at the same votes
-/// reach the same verdict.
-///
-/// # Panics
-/// Panics if `votes` is empty (a candidate always votes for itself).
-pub fn elect(votes: &HashMap<u32, (u64, u64)>) -> u32 {
-    assert!(!votes.is_empty(), "an election needs at least one vote");
-    let mut best: Option<(u64, u64, u32)> = None;
-    for (&node, &(last_epoch, durable)) in votes {
-        let better = match best {
-            None => true,
-            Some((le, d, n)) => {
-                (last_epoch, durable) > (le, d) || ((last_epoch, durable) == (le, d) && node < n)
-            }
-        };
-        if better {
-            best = Some((last_epoch, durable, node));
-        }
-    }
-    best.expect("non-empty votes").2
+/// reach the same verdict. Returns `None` only for an empty vote set
+/// (a candidate always votes for itself, so this never decides a real
+/// election).
+pub fn elect(votes: &BTreeMap<u32, (u64, u64)>) -> Option<u32> {
+    votes
+        .iter()
+        .map(|(&node, &(last_epoch, durable))| (last_epoch, durable, std::cmp::Reverse(node)))
+        .max()
+        .map(|(_, _, std::cmp::Reverse(node))| node)
 }
 
 /// A synchronous, deterministically chaotic cluster of [`ReplicaNode`]s.
@@ -100,7 +90,7 @@ impl SimCluster {
 
     /// Borrow node `i`, if it is alive.
     pub fn node(&self, i: usize) -> Option<&ReplicaNode> {
-        self.nodes[i].as_ref()
+        self.nodes.get(i).and_then(Option::as_ref)
     }
 
     /// Number of member slots (alive or not).
@@ -130,7 +120,9 @@ impl SimCluster {
         let Some(i) = self.primary() else {
             return Err(ServeError::NotPrimary { hint: None });
         };
-        let node = self.nodes[i].as_mut().expect("primary() checked alive");
+        let Some(node) = self.nodes.get_mut(i).and_then(Option::as_mut) else {
+            return Err(ServeError::NotPrimary { hint: None });
+        };
         let seq = node.client_ingest(claims)?;
         Ok((i, seq))
     }
@@ -149,29 +141,37 @@ impl SimCluster {
 
         for node in self.plan.kills_at(now) {
             let i = node as usize;
-            if self.nodes[i].take().is_some() {
-                // dropped without snapshot_now(): a crash, not a shutdown
-                self.down_until[i] = now + self.plan.restart_after;
+            if let (Some(slot), Some(down)) = (self.nodes.get_mut(i), self.down_until.get_mut(i)) {
+                if slot.take().is_some() {
+                    // dropped without snapshot_now(): a crash, not a shutdown
+                    *down = now + self.plan.restart_after;
+                }
             }
         }
-        for i in 0..self.nodes.len() {
-            if self.nodes[i].is_none() && self.down_until[i] != 0 && now >= self.down_until[i] {
-                let (rcfg, scfg) = self.setups[i].clone();
-                let (node, _) = ReplicaNode::open(rcfg, scfg)?;
-                self.nodes[i] = Some(node);
-                self.down_until[i] = 0;
+        for ((slot, down), (rcfg, scfg)) in self
+            .nodes
+            .iter_mut()
+            .zip(self.down_until.iter_mut())
+            .zip(self.setups.iter())
+        {
+            if slot.is_none() && *down != 0 && now >= *down {
+                let (node, _) = ReplicaNode::open(rcfg.clone(), scfg.clone())?;
+                *slot = Some(node);
+                *down = 0;
             }
         }
 
         for i in 0..self.nodes.len() {
-            let Some(mut sender) = self.nodes[i].take() else {
+            let Some(mut sender) = self.nodes.get_mut(i).and_then(Option::take) else {
                 continue;
             };
             let frames = sender.tick(now)?;
             for (dest, req) in frames {
                 self.route(&mut sender, dest, &req, now)?;
             }
-            self.nodes[i] = Some(sender);
+            if let Some(slot) = self.nodes.get_mut(i) {
+                *slot = Some(sender);
+            }
         }
         Ok(())
     }
@@ -193,8 +193,8 @@ impl SimCluster {
             LinkFate::Duplicate => 2,
         };
         for _ in 0..deliveries {
-            let Some(receiver) = self.nodes[dest as usize].as_mut() else {
-                return Ok(()); // dead peer: silence
+            let Some(receiver) = self.nodes.get_mut(dest as usize).and_then(Option::as_mut) else {
+                return Ok(()); // dead (or unknown) peer: silence
             };
             let resp = receiver.handle(sender.node_id(), req, now);
             if fate != LinkFate::DropReply {
@@ -220,15 +220,17 @@ impl SimCluster {
                     .map(|n| n.state_digest())
                     .collect();
                 let all_alive = self.nodes.iter().all(Option::is_some);
-                if all_alive && !digests.is_empty() && digests.windows(2).all(|w| w[0] == w[1]) {
-                    // converged *and* drained: every durable record folded
-                    let drained = self
-                        .nodes
-                        .iter()
-                        .flatten()
-                        .all(|n| n.commit() == n.durable());
-                    if drained {
-                        return Ok(digests[0]);
+                if let (true, Some((&first, rest))) = (all_alive, digests.split_first()) {
+                    if rest.iter().all(|&d| d == first) {
+                        // converged *and* drained: every durable record folded
+                        let drained = self
+                            .nodes
+                            .iter()
+                            .flatten()
+                            .all(|n| n.commit() == n.durable());
+                        if drained {
+                            return Ok(first);
+                        }
                     }
                 }
             }
@@ -278,18 +280,19 @@ mod tests {
 
     #[test]
     fn elect_prefers_newer_epoch_then_longer_log_then_lower_id() {
-        let votes: HashMap<u32, (u64, u64)> = [(0, (1, 10)), (1, (2, 3)), (2, (1, 50))]
+        let votes: BTreeMap<u32, (u64, u64)> = [(0, (1, 10)), (1, (2, 3)), (2, (1, 50))]
             .into_iter()
             .collect();
-        assert_eq!(elect(&votes), 1, "newest epoch beats longest log");
-        let votes: HashMap<u32, (u64, u64)> = [(0, (1, 10)), (1, (1, 12)), (2, (1, 50))]
+        assert_eq!(elect(&votes), Some(1), "newest epoch beats longest log");
+        let votes: BTreeMap<u32, (u64, u64)> = [(0, (1, 10)), (1, (1, 12)), (2, (1, 50))]
             .into_iter()
             .collect();
-        assert_eq!(elect(&votes), 2, "longest log wins within an epoch");
-        let votes: HashMap<u32, (u64, u64)> = [(2, (1, 10)), (1, (1, 10)), (0, (1, 9))]
+        assert_eq!(elect(&votes), Some(2), "longest log wins within an epoch");
+        let votes: BTreeMap<u32, (u64, u64)> = [(2, (1, 10)), (1, (1, 10)), (0, (1, 9))]
             .into_iter()
             .collect();
-        assert_eq!(elect(&votes), 1, "exact ties break to the lowest id");
+        assert_eq!(elect(&votes), Some(1), "exact ties break to the lowest id");
+        assert_eq!(elect(&BTreeMap::new()), None, "no votes, no winner");
     }
 
     #[test]

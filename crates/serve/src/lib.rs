@@ -39,6 +39,9 @@
 //! CRC-framed format; [`client`] is a small synchronous client. Nothing
 //! here needs a dependency outside the workspace.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod breaker;
 pub mod client;
 pub mod core;

@@ -647,10 +647,12 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError>
 
 /// Read one frame from `r`, verifying the length cap and CRC.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
-    let mut header = [0u8; 8];
-    r.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    let stored_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let stored_crc = u32::from_le_bytes(crc_bytes);
     if len > MAX_FRAME_BYTES {
         return Err(ServeError::Protocol(format!(
             "peer announced a {len} byte frame (cap {MAX_FRAME_BYTES})"

@@ -9,7 +9,7 @@
 //! its shutdown flag).
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use crate::error::ServeError;
@@ -30,6 +30,17 @@ struct Inner<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    /// Lock the queue state, recovering from poisoning. A poisoned
+    /// mutex means a producer/consumer thread panicked mid-operation;
+    /// the queue's state (a `VecDeque` plus a flag) is valid after any
+    /// interrupted operation, and the daemon is crash-only — durable
+    /// state lives in the WAL, so shedding a possibly part-enqueued
+    /// item is strictly better than cascading the panic to every
+    /// connection thread.
+    fn locked(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Create a queue holding at most `capacity` items (min 1).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
@@ -50,13 +61,13 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        self.locked().items.len()
     }
 
     /// Enqueue without blocking. Fails with [`ServeError::Overloaded`]
     /// when full and [`ServeError::ShuttingDown`] once closed.
     pub fn try_push(&self, item: T) -> Result<(), ServeError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         if inner.closed {
             return Err(ServeError::ShuttingDown);
         }
@@ -75,7 +86,7 @@ impl<T> BoundedQueue<T> {
     /// the worker can poll its shutdown flag) and `Err(ShuttingDown)`
     /// once the queue is closed *and* drained.
     pub fn pop_timeout(&self, wait: Duration) -> Result<Option<T>, ServeError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Ok(Some(item));
@@ -83,7 +94,10 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return Err(ServeError::ShuttingDown);
             }
-            let (guard, timeout) = self.not_empty.wait_timeout(inner, wait).unwrap();
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(inner, wait)
+                .unwrap_or_else(PoisonError::into_inner);
             inner = guard;
             if timeout.timed_out() {
                 // one last check: an item may have landed between the
@@ -96,7 +110,7 @@ impl<T> BoundedQueue<T> {
     /// Close the queue: producers are rejected, the consumer drains what
     /// remains and then sees `ShuttingDown`.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.locked().closed = true;
         self.not_empty.notify_all();
     }
 }

@@ -23,7 +23,7 @@
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -83,6 +83,19 @@ struct Shared {
     connections: AtomicUsize,
 }
 
+impl Shared {
+    /// Lock the core, recovering from mutex poisoning. A poisoned mutex
+    /// means some handler thread panicked; the daemon is crash-only —
+    /// durable state is WAL-first and [`ServeCore`] carries its own
+    /// application-level `poisoned` flag for injected crashes — so
+    /// recovering the guard and letting the core's own refusal logic
+    /// answer is strictly better than cascading the panic to every
+    /// connection.
+    fn core(&self) -> MutexGuard<'_, ServeCore> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// A running daemon; dropping the handle shuts it down.
 pub struct Server {
     shared: Arc<Shared>,
@@ -135,7 +148,7 @@ impl Server {
     pub fn shutdown(mut self) {
         self.stop();
         // best-effort final snapshot; a poisoned (chaos) core refuses
-        self.shared.core.lock().unwrap().snapshot_now().ok();
+        self.shared.core().snapshot_now().ok();
     }
 
     fn stop(&mut self) {
@@ -244,7 +257,7 @@ fn serve_connection<F: FrontEnd>(mut stream: TcpStream, shared: &Arc<F>) {
             }
             Err(_) => return,
         }
-        let payload = match read_frame(&mut (&first[..]).chain(&mut stream)) {
+        let payload = match read_frame(&mut first.as_slice().chain(&mut stream)) {
             Ok(p) => p,
             // mid-frame timeout, disconnect, or garbage framing: drop the peer
             Err(_) => return,
@@ -267,15 +280,15 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
             Err(e) => Response::from_error(&e),
         },
         Request::Weights => {
-            let core = shared.core.lock().unwrap();
+            let core = shared.core();
             Response::Weights(core.weights().to_vec())
         }
         Request::Truth { object, property } => {
-            let core = shared.core.lock().unwrap();
+            let core = shared.core();
             Response::Truth(core.truth(object, property))
         }
         Request::Status => {
-            let status = shared.core.lock().unwrap().status();
+            let status = shared.core().status();
             Response::Status {
                 chunks_seen: status.chunks_seen,
                 wal_records: status.wal_records,
@@ -290,7 +303,7 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
             claims,
         } => {
             // copy the weights under the lock, solve without it
-            let seed = shared.core.lock().unwrap().weights().to_vec();
+            let seed = shared.core().weights().to_vec();
             let cancel = CancelToken::with_deadline(shared.cfg.solve_deadline);
             match solve_claims(
                 &shared.schema,
@@ -319,7 +332,7 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue.close();
             let chunks_seen = {
-                let mut core = shared.core.lock().unwrap();
+                let mut core = shared.core();
                 core.snapshot_now().ok();
                 core.chunks_seen()
             };
@@ -353,7 +366,7 @@ fn fold_worker(shared: &Arc<Shared>) {
     loop {
         match shared.queue.pop_timeout(Duration::from_millis(50)) {
             Ok(Some(job)) => {
-                let result = shared.core.lock().unwrap().ingest(&job.claims);
+                let result = shared.core().ingest(&job.claims);
                 // the client may have timed out and gone; that's fine
                 job.reply.try_send(result).ok();
             }
@@ -405,6 +418,16 @@ struct HaShared {
     connections: AtomicUsize,
     /// Logical replication time, advanced only by the ticker thread.
     ticks: AtomicU64,
+}
+
+impl HaShared {
+    /// Lock the replica node, recovering from mutex poisoning — same
+    /// rationale as [`Shared::core`]: the node's durable state (WAL +
+    /// election meta) is fsynced before any ack, so a panicked handler
+    /// thread leaves nothing worth protecting behind the poison bit.
+    fn node(&self) -> MutexGuard<'_, ReplicaNode> {
+        self.node.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// One member of a replicated `crh-serve` cluster: a [`ReplicaNode`]
@@ -483,29 +506,29 @@ impl HaServer {
 
     /// This member's current role.
     pub fn role(&self) -> Role {
-        self.shared.node.lock().unwrap().role()
+        self.shared.node().role()
     }
 
     /// This member's current epoch.
     pub fn epoch(&self) -> u64 {
-        self.shared.node.lock().unwrap().epoch()
+        self.shared.node().epoch()
     }
 
     /// Chunks known quorum-committed here.
     pub fn commit(&self) -> u64 {
-        self.shared.node.lock().unwrap().commit()
+        self.shared.node().commit()
     }
 
     /// Digest of the folded state (replica-divergence checks).
     pub fn state_digest(&self) -> u64 {
-        self.shared.node.lock().unwrap().state_digest()
+        self.shared.node().state_digest()
     }
 
     /// Signal shutdown, join the daemon threads, and take a final
     /// snapshot so the next open starts from a clean disk.
     pub fn shutdown(mut self) {
         self.stop();
-        self.shared.node.lock().unwrap().snapshot_now().ok();
+        self.shared.node().snapshot_now().ok();
     }
 
     fn stop(&mut self) {
@@ -553,13 +576,11 @@ impl FrontEnd for HaShared {
             // any of it, so a stray client cannot forge these.
             Request::Replicate { node, .. }
             | Request::Heartbeat { node, .. }
-            | Request::Promote { node, .. } => self.node.lock().unwrap().handle(node, &req, now),
-            Request::CatchUp { .. } | Request::SeqQuery { .. } => {
-                self.node.lock().unwrap().handle(0, &req, now)
-            }
+            | Request::Promote { node, .. } => self.node().handle(node, &req, now),
+            Request::CatchUp { .. } | Request::SeqQuery { .. } => self.node().handle(0, &req, now),
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
-                let mut node = self.node.lock().unwrap();
+                let mut node = self.node();
                 node.snapshot_now().ok();
                 let chunks_seen = node.core().chunks_seen();
                 Response::Ack {
@@ -586,7 +607,7 @@ fn ingest_replicated(claims: Vec<ChunkClaim>, shared: &Arc<HaShared>) -> Respons
     // the staged epoch is captured under the same lock as the staging
     // itself, so it names exactly the reign the record belongs to
     let (seq, epoch) = {
-        let mut node = shared.node.lock().unwrap();
+        let mut node = shared.node();
         match node.client_ingest(&claims) {
             Ok(seq) => (seq, node.epoch()),
             Err(e) => return Response::from_error(&e),
@@ -595,7 +616,7 @@ fn ingest_replicated(claims: Vec<ChunkClaim>, shared: &Arc<HaShared>) -> Respons
     let deadline = Instant::now() + shared.cfg.commit_wait;
     loop {
         {
-            let node = shared.node.lock().unwrap();
+            let node = shared.node();
             if node.ack_safe(seq, epoch) {
                 return Response::Ack {
                     seq,
@@ -623,7 +644,7 @@ fn ingest_replicated(claims: Vec<ChunkClaim>, shared: &Arc<HaShared>) -> Respons
 /// Serve a cheap read; a non-primary wraps the answer with its staleness
 /// bound so the client knows how far behind the primary it may be.
 fn replicated_read(req: &Request, shared: &Arc<HaShared>) -> Response {
-    let node = shared.node.lock().unwrap();
+    let node = shared.node();
     let inner = match req {
         Request::Weights => Response::Weights(node.core().weights().to_vec()),
         Request::Truth { object, property } => {
@@ -639,7 +660,13 @@ fn replicated_read(req: &Request, shared: &Arc<HaShared>) -> Response {
                 quarantined: status.quarantined,
             }
         }
-        _ => unreachable!("replicated_read only sees read requests"),
+        // the dispatcher routes only the three read variants here; answer
+        // a protocol error rather than panicking if that ever changes
+        _ => {
+            return Response::from_error(&ServeError::Protocol(
+                "replicated_read called with a non-read request".into(),
+            ))
+        }
     };
     wrap_follower_read(&node, inner)
 }
@@ -654,10 +681,14 @@ fn replicated_solve(req: &Request, shared: &Arc<HaShared>) -> Response {
         claims,
     } = req
     else {
-        unreachable!("replicated_solve only sees solve requests");
+        // the dispatcher routes only Solve here; answer a protocol error
+        // rather than panicking if that ever changes
+        return Response::from_error(&ServeError::Protocol(
+            "replicated_solve called with a non-solve request".into(),
+        ));
     };
     let (seed, role, lag) = {
-        let node = shared.node.lock().unwrap();
+        let node = shared.node();
         (node.core().weights().to_vec(), node.role(), node.lag())
     };
     let cancel = CancelToken::with_deadline(shared.cfg.server.solve_deadline);
@@ -721,7 +752,7 @@ fn ticker(shared: &Arc<HaShared>) {
         std::thread::sleep(shared.cfg.tick);
         let now = shared.ticks.fetch_add(1, Ordering::SeqCst) + 1;
         // a failed fold inside tick() leaves nothing to ship this round
-        let frames = shared.node.lock().unwrap().tick(now).unwrap_or_default();
+        let frames = shared.node().tick(now).unwrap_or_default();
         for (dest, req) in frames {
             if let Some(tx) = senders.get(&dest) {
                 // non-blocking: a stalled peer's full queue drops the
@@ -742,12 +773,7 @@ fn ticker(shared: &Arc<HaShared>) {
 /// and feed the reply back into the node. Connection failures are
 /// silence (exactly like the simulator's dropped frames); the thread
 /// reconnects on the next frame.
-fn peer_sender(
-    shared: &Arc<HaShared>,
-    dest: u32,
-    addr: &str,
-    rx: &mpsc::Receiver<(u64, Request)>,
-) {
+fn peer_sender(shared: &Arc<HaShared>, dest: u32, addr: &str, rx: &mpsc::Receiver<(u64, Request)>) {
     let mut conn: Option<Client> = None;
     loop {
         let (now, req) = match rx.recv_timeout(Duration::from_millis(50)) {
@@ -771,7 +797,7 @@ fn peer_sender(
         };
         match c.call_raw(&req) {
             Ok(resp) => {
-                shared.node.lock().unwrap().on_reply(dest, &resp, now).ok();
+                shared.node().on_reply(dest, &resp, now).ok();
             }
             Err(_) => {
                 // broken connection; reconnect for the next frame

@@ -31,6 +31,13 @@ use crate::error::ServeError;
 const WAL_HEADER: [u8; 8] = *b"CRHWAL01";
 const RECORD_HEADER: usize = 8; // len u32 + crc u32
 
+/// Bounds-checked little-endian `u32` read; `None` when `bytes` is too
+/// short (a torn tail), so log recovery never indexes past EOF.
+fn le_u32_at(bytes: &[u8], at: usize) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(at..at + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
 /// Fsync the directory containing `path`.
 ///
 /// An atomic rename (or a file creation) updates the *directory entry*,
@@ -108,7 +115,7 @@ impl Wal {
                 },
             ));
         }
-        if bytes.len() < WAL_HEADER.len() || bytes[..WAL_HEADER.len()] != WAL_HEADER {
+        if !bytes.starts_with(&WAL_HEADER) {
             return Err(ServeError::WalCorrupt {
                 offset: 0,
                 reason: "missing or wrong WAL header",
@@ -119,19 +126,19 @@ impl Wal {
         let mut pos = WAL_HEADER.len();
         let mut truncated_bytes = 0u64;
         while pos < bytes.len() {
-            let rest = &bytes[pos..];
-            // A record header or body running past EOF is a torn tail.
-            if rest.len() < RECORD_HEADER {
+            let rest = bytes.get(pos..).unwrap_or(&[]);
+            // A record header or body running past EOF is a torn tail;
+            // every read below is bounds-checked so a torn byte count
+            // can never panic the recovery path.
+            let (Some(len), Some(stored_crc)) = (le_u32_at(rest, 0), le_u32_at(rest, 4)) else {
                 truncated_bytes = rest.len() as u64;
                 break;
-            }
-            let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
-            let stored_crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
-            if rest.len() - RECORD_HEADER < len {
+            };
+            let len = len as usize;
+            let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + len) else {
                 truncated_bytes = rest.len() as u64;
                 break;
-            }
-            let payload = &rest[RECORD_HEADER..RECORD_HEADER + len];
+            };
             if crc32(payload) != stored_crc {
                 let record_end = pos + RECORD_HEADER + len;
                 if record_end == bytes.len() {
@@ -190,7 +197,7 @@ impl Wal {
     pub fn append_torn(&mut self, payload: &[u8], keep_frac: f64) -> Result<(), ServeError> {
         let frame = Self::frame(payload);
         let keep = ((frame.len() as f64 * keep_frac) as usize).clamp(1, frame.len() - 1);
-        self.file.write_all(&frame[..keep])?;
+        self.file.write_all(frame.get(..keep).unwrap_or(&frame))?;
         // sync so the same-process "recovery" observes the torn bytes
         self.file.sync_data()?;
         self.len += keep as u64;

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod error;
 pub mod icrh;

@@ -27,10 +27,9 @@ pub fn group_windows<T>(
     buckets.sort_by_key(|(ts, _)| *ts);
     let mut out: Vec<Vec<T>> = Vec::new();
     for (i, (_, items)) in buckets.into_iter().enumerate() {
-        if i % window == 0 {
-            out.push(items);
-        } else {
-            out.last_mut().expect("group exists").extend(items);
+        match out.last_mut() {
+            Some(last) if i % window != 0 => last.extend(items),
+            _ => out.push(items),
         }
     }
     Ok(out)

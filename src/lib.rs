@@ -29,6 +29,7 @@
 //! the paper.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cli;
 
