@@ -1,0 +1,188 @@
+//! The solver-core performance gate: entry-sharded kernels and the fused
+//! iteration loop must actually pay for themselves.
+//!
+//! Three claims are checked, not just timed:
+//!
+//! 1. **Determinism** — the result digest at every thread count equals
+//!    the sequential digest (asserted unconditionally; a perf win that
+//!    changes bits is a bug, not a win).
+//! 2. **Fusion** — the fused loop beats the two-pass `run_unfused`
+//!    reference single-threaded (asserted unconditionally: fusion saves
+//!    a whole deviation sweep per iteration regardless of core count).
+//! 3. **Scaling** — ≥1.5× at 4 threads over 1 thread, asserted only
+//!    when the machine actually has ≥4 cores; on smaller hosts the
+//!    timings are still recorded so the JSON artifact shows honest
+//!    numbers for that hardware.
+//!
+//! CI runs this with `CRH_BENCH_JSON=BENCH_core.json` and uploads the
+//! artifact.
+
+use crh_bench::microbench::{BenchmarkId, Harness, Throughput};
+use crh_core::ids::{ObjectId, SourceId};
+use crh_core::persist::{digest64, Enc};
+use crh_core::rng::{Pcg64, Rng};
+use crh_core::schema::Schema;
+use crh_core::solver::{CrhBuilder, CrhResult};
+use crh_core::table::{ObservationTable, TableBuilder};
+use crh_core::value::Value;
+
+const OBJECTS: u32 = 3000;
+const SOURCES: u32 = 10;
+const MAX_ITERS: usize = 12;
+
+/// Large seeded mixed table: 3000 objects × (2 continuous + 2
+/// categorical) properties × 10 sources at ~85% density — ~12k entries,
+/// far past one 256-entry kernel chunk, ~100k observations.
+fn large_table() -> ObservationTable {
+    let mut rng = Pcg64::seed_from_u64(0xC0FFEE);
+    let mut schema = Schema::new();
+    let temp = schema.add_continuous("temp");
+    let hum = schema.add_continuous("humidity");
+    let cond = schema.add_categorical("cond");
+    let wind = schema.add_categorical("wind");
+    let mut b = TableBuilder::new(schema);
+    let conds = ["clear", "cloudy", "storm", "fog"];
+    let winds = ["calm", "breeze", "gale"];
+    for i in 0..OBJECTS {
+        for s in 0..SOURCES {
+            let bias = s as f64 * 0.4;
+            for (pid, base) in [(temp, (i % 90) as f64), (hum, (i % 100) as f64)] {
+                if rng.next_u64() % 100 < 85 {
+                    let noise = (rng.next_u64() % 1000) as f64 / 250.0;
+                    b.add(
+                        ObjectId(i),
+                        pid,
+                        SourceId(s),
+                        Value::Num(base + bias + noise),
+                    )
+                    .unwrap();
+                }
+            }
+            for (pid, labels) in [(cond, &conds[..]), (wind, &winds[..])] {
+                if rng.next_u64() % 100 < 85 {
+                    let truthful = rng.next_u64() % 10 < 10 - s as u64;
+                    let l = if truthful {
+                        labels[i as usize % labels.len()]
+                    } else {
+                        labels[(rng.next_u64() as usize) % labels.len()]
+                    };
+                    b.add_label(ObjectId(i), pid, SourceId(s), l).unwrap();
+                }
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn solver(threads: usize) -> crh_core::solver::Crh {
+    CrhBuilder::new()
+        .threads(threads)
+        .max_iters(MAX_ITERS)
+        .tolerance(1e-12)
+        .build()
+        .unwrap()
+}
+
+fn digest(res: &CrhResult) -> u64 {
+    let mut e = Enc::new();
+    e.f64s(&res.weights);
+    e.f64s(&res.objective_trace);
+    e.u64(res.iterations as u64);
+    for (_, t) in res.truths.iter() {
+        e.truth(t);
+    }
+    digest64(&e.into_bytes())
+}
+
+fn median_ns(h: &Harness, group: &str, id: &str) -> f64 {
+    h.records()
+        .iter()
+        .find(|r| r.group == group && r.id == id)
+        .unwrap_or_else(|| panic!("no record for {group}/{id}"))
+        .median_ns
+}
+
+fn bench_core(c: &mut Harness) {
+    let table = large_table();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reference = solver(1).run(&table).unwrap();
+    let iters = reference.iterations;
+    // crh-lint: allow(print-stdout) — bench binaries report on stdout
+    println!(
+        "table: {} entries, {} observations; {} iterations/run; {} cores",
+        table.num_entries(),
+        table.num_observations(),
+        iters,
+        cores
+    );
+
+    // Claim 1: bit-identical results at every thread count.
+    let seq = digest(&reference);
+    for threads in [2usize, 4, 8, cores.max(1)] {
+        let res = solver(threads).run(&table).unwrap();
+        assert_eq!(
+            digest(&res),
+            seq,
+            "threads={threads} changed the result bits"
+        );
+    }
+    let unfused = solver(1).run_unfused(&table).unwrap();
+    assert_eq!(
+        digest(&unfused),
+        seq,
+        "the unfused reference diverged from the fused loop"
+    );
+
+    // Solver iterations per wall-clock second at each thread count.
+    let mut g = c.benchmark_group("core_threads");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(iters as u64));
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&cores) {
+        counts.push(cores);
+    }
+    for threads in counts {
+        g.bench_with_input(BenchmarkId::new("run", threads), &table, |b, t| {
+            b.iter(|| solver(threads).run(t).unwrap())
+        });
+    }
+    g.finish();
+
+    // Fused loop vs the two-deviation-pass reference, single-threaded.
+    let mut g = c.benchmark_group("core_fusion");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(iters as u64));
+    g.bench_function("fused/1", |b| b.iter(|| solver(1).run(&table).unwrap()));
+    g.bench_function("unfused/1", |b| {
+        b.iter(|| solver(1).run_unfused(&table).unwrap())
+    });
+    g.finish();
+
+    // Claim 2: fusion wins single-threaded, everywhere.
+    let fused_ns = median_ns(c, "core_fusion", "fused/1");
+    let unfused_ns = median_ns(c, "core_fusion", "unfused/1");
+    // crh-lint: allow(print-stdout) — bench binaries report on stdout
+    println!("fusion speedup (1 thread): {:.2}x", unfused_ns / fused_ns);
+    assert!(
+        fused_ns < unfused_ns,
+        "fused loop ({fused_ns:.0} ns) must beat unfused ({unfused_ns:.0} ns)"
+    );
+
+    // Claim 3: parallel speedup, only meaningful with real cores.
+    let t1 = median_ns(c, "core_threads", "run/1");
+    let t4 = median_ns(c, "core_threads", "run/4");
+    // crh-lint: allow(print-stdout) — bench binaries report on stdout
+    println!("4-thread speedup: {:.2}x (on {cores} cores)", t1 / t4);
+    if cores >= 4 {
+        assert!(
+            t1 / t4 >= 1.5,
+            "expected >=1.5x at 4 threads on {cores} cores, got {:.2}x",
+            t1 / t4
+        );
+    }
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    bench_core(&mut h);
+}

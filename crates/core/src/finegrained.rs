@@ -16,11 +16,12 @@ use std::collections::HashMap;
 
 use crate::error::{CrhError, Result};
 use crate::ids::{ObjectId, PropertyId};
+use crate::par::Pool;
 use crate::solver::{
-    deviation_matrix, fit_all_grouped, objective, source_losses, PreparedProblem, PropertyNorm,
+    dev_kernel, fit_kernel, fused_fit_dev, objective, source_losses_rows, KernelSpec,
+    KernelWeights, PreparedProblem, PropertyNorm, SolverScratch,
 };
 use crate::table::{ObservationTable, TruthTable};
-use crate::value::Truth;
 use crate::weights::{LogMax, WeightAssigner};
 
 /// CRH with per-property-group source weights.
@@ -31,6 +32,7 @@ pub struct FineGrainedCrh {
     tol: f64,
     property_norm: PropertyNorm,
     count_normalize: bool,
+    threads: usize,
 }
 
 /// Result of a fine-grained run.
@@ -74,6 +76,7 @@ impl FineGrainedCrh {
             tol: 1e-6,
             property_norm: PropertyNorm::SumToOne,
             count_normalize: true,
+            threads: 0,
         })
     }
 
@@ -98,7 +101,18 @@ impl FineGrainedCrh {
         self
     }
 
-    /// Run the grouped block coordinate descent.
+    /// Kernel thread count: `0` (default) = available parallelism, `1` =
+    /// the exact sequential path; results are bit-identical for every
+    /// value.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Run the grouped block coordinate descent. The loop is fused like
+    /// [`Crh::run`](crate::solver::Crh::run): one entry-sharded fit +
+    /// deviation sweep per iteration, with the post-fit deviations carried
+    /// forward as the next iteration's per-group Step-I input.
     pub fn run(&self, table: &ObservationTable) -> Result<FineGrainedResult> {
         for g in &self.groups {
             for &p in g {
@@ -120,37 +134,63 @@ impl FineGrainedCrh {
             }
         }
 
+        let pool = Pool::new(self.threads);
+        let mut scratch = SolverScratch::for_table(table);
+        let mut truths = TruthTable::new(Vec::new());
         let uniform = vec![1.0f64; k];
         let mut weights: Vec<Vec<f64>> = vec![uniform.clone(); self.groups.len()];
-        let mut truths = fit_all_grouped(&prepared, &weights, &group_of);
+
+        // Initialize with the uniform grouped fit; the fused pass also
+        // prices the initial truths for the first Step I.
+        fn spec<'a>(w: &'a [Vec<f64>], g: &'a [usize]) -> KernelSpec<'a> {
+            KernelSpec {
+                weights: KernelWeights::ByProperty {
+                    per_group: w,
+                    group_of: g,
+                },
+                anchors: None,
+                dev_block_of: None,
+                num_dev_blocks: 1,
+            }
+        }
+        fused_fit_dev(
+            &prepared,
+            &spec(&weights, &group_of),
+            &pool,
+            &mut truths,
+            &mut scratch,
+        );
 
         let mut trace = Vec::new();
         let mut converged = false;
         let mut iterations = 0;
         for it in 0..self.max_iters {
             iterations = it + 1;
-            // Step I per group.
-            let dev = deviation_matrix(&prepared, &truths);
+            // Step I per group from the carried deviations.
             for (g, group) in self.groups.iter().enumerate() {
-                let rows: Vec<Vec<f64>> = group.iter().map(|p| dev[p.index()].clone()).collect();
-                let losses = source_losses(
-                    &rows,
+                let losses = source_losses_rows(
+                    group.iter().map(|p| scratch.dev().row(p.index())),
                     &group_counts[g],
                     self.property_norm,
                     self.count_normalize,
                 );
                 weights[g] = self.assigner.assign(&losses);
             }
-            // Step II with the property's group weights.
-            truths = fit_all_grouped(&prepared, &weights, &group_of);
+            // Step II with the property's group weights, fused with the
+            // deviation pass for the convergence check.
+            fused_fit_dev(
+                &prepared,
+                &spec(&weights, &group_of),
+                &pool,
+                &mut truths,
+                &mut scratch,
+            );
 
             // Convergence: summed per-group objective.
-            let dev = deviation_matrix(&prepared, &truths);
             let mut f = 0.0;
             for (g, group) in self.groups.iter().enumerate() {
-                let rows: Vec<Vec<f64>> = group.iter().map(|p| dev[p.index()].clone()).collect();
-                let losses = source_losses(
-                    &rows,
+                let losses = source_losses_rows(
+                    group.iter().map(|p| scratch.dev().row(p.index())),
                     &group_counts[g],
                     self.property_norm,
                     self.count_normalize,
@@ -219,6 +259,7 @@ pub struct ObjectGroupedCrh {
     tol: f64,
     property_norm: PropertyNorm,
     count_normalize: bool,
+    threads: usize,
 }
 
 impl std::fmt::Debug for ObjectGroupedCrh {
@@ -250,6 +291,7 @@ impl ObjectGroupedCrh {
             tol: 1e-6,
             property_norm: PropertyNorm::SumToOne,
             count_normalize: true,
+            threads: 0,
         })
     }
 
@@ -262,6 +304,14 @@ impl ObjectGroupedCrh {
     /// Cap the number of iterations.
     pub fn max_iters(mut self, n: usize) -> Self {
         self.max_iters = n;
+        self
+    }
+
+    /// Kernel thread count: `0` (default) = available parallelism, `1` =
+    /// the exact sequential path; results are bit-identical for every
+    /// value.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
         self
     }
 
@@ -293,41 +343,39 @@ impl ObjectGroupedCrh {
             }
         }
 
+        let m = table.num_properties();
+        let pool = Pool::new(self.threads);
+        let mut scratch = SolverScratch::new(table.num_entries(), g_count * m, k);
+        let mut truths = TruthTable::new(Vec::new());
         let mut weights = vec![vec![1.0f64; k]; g_count];
-        let fit = |weights: &Vec<Vec<f64>>| -> TruthTable {
-            let cells: Vec<Truth> = table
-                .iter_entries()
-                .map(|(e, entry, obs)| {
-                    let loss = prepared.loss(entry.property);
-                    let w = &weights[entry_group[e.index()]];
-                    loss.fit(obs, w, &prepared.stats[e.index()])
-                })
-                .collect();
-            TruthTable::new(cells)
-        };
-        let mut truths = fit(&weights);
+        fit_kernel(
+            &prepared,
+            &KernelWeights::ByEntry {
+                per_group: &weights,
+                entry_group: &entry_group,
+            },
+            &pool,
+            &mut truths,
+        );
 
         let mut trace: Vec<f64> = Vec::new();
         let mut converged = false;
         let mut iterations = 0;
         for it in 0..self.max_iters {
             iterations = it + 1;
-            // per-group deviation matrices
-            let m = table.num_properties();
-            let mut dev = vec![vec![vec![0.0f64; k]; m]; g_count];
-            for (e, entry, obs) in table.iter_entries() {
-                let g = entry_group[e.index()];
-                let loss = prepared.loss(entry.property);
-                let truth = truths.get(e);
-                let row = &mut dev[g][entry.property.index()];
-                for (s, v) in obs {
-                    row[s.index()] += loss.loss(truth, v, &prepared.stats[e.index()]);
-                }
-            }
+            // Per-group deviation blocks in one entry-sharded pass: group
+            // `g` owns rows `g*m .. (g+1)*m` of the scratch matrix.
+            dev_kernel(
+                &prepared,
+                &truths,
+                Some((&entry_group, g_count)),
+                &pool,
+                &mut scratch,
+            );
             let mut f = 0.0;
             for g in 0..g_count {
-                let losses = source_losses(
-                    &dev[g],
+                let losses = source_losses_rows(
+                    (g * m..(g + 1) * m).map(|r| scratch.dev().row(r)),
                     &counts[g],
                     self.property_norm,
                     self.count_normalize,
@@ -335,7 +383,15 @@ impl ObjectGroupedCrh {
                 weights[g] = self.assigner.assign(&losses);
                 f += objective(&weights[g], &losses);
             }
-            truths = fit(&weights);
+            fit_kernel(
+                &prepared,
+                &KernelWeights::ByEntry {
+                    per_group: &weights,
+                    entry_group: &entry_group,
+                },
+                &pool,
+                &mut truths,
+            );
 
             if let Some(&prev) = trace.last() {
                 let prev: f64 = prev;

@@ -77,6 +77,7 @@ pub mod error;
 pub mod finegrained;
 pub mod ids;
 pub mod loss;
+pub mod par;
 pub mod persist;
 pub mod rng;
 pub mod schema;
@@ -97,8 +98,11 @@ pub mod prelude {
         AbsoluteLoss, EditDistanceLoss, EnsembleLoss, KlDivergenceLoss, Loss, ProbVectorLoss,
         SimilarityLoss, SquaredLoss, ZeroOneLoss,
     };
+    pub use crate::par::Pool;
     pub use crate::schema::Schema;
-    pub use crate::solver::{Crh, CrhBuilder, CrhResult, InitStrategy, PropertyNorm};
+    pub use crate::solver::{
+        Crh, CrhBuilder, CrhResult, DevMatrix, InitStrategy, PropertyNorm, SolverScratch,
+    };
     pub use crate::table::{Claim, Entry, ObservationTable, TableBuilder, TruthTable};
     pub use crate::value::{PropertyType, Truth, Value};
     pub use crate::weights::{

@@ -13,9 +13,13 @@ use std::collections::HashMap;
 
 use crate::error::{CrhError, Result};
 use crate::ids::{ObjectId, PropertyId};
-use crate::solver::{fit_all, objective, source_losses, CrhResult, PreparedProblem, PropertyNorm};
+use crate::par::Pool;
+use crate::solver::{
+    fused_fit_dev, objective, source_losses_mat, AnchorBoost, CrhResult, KernelSpec, KernelWeights,
+    PreparedProblem, PropertyNorm, SolverScratch,
+};
 use crate::table::{ObservationTable, TruthTable};
-use crate::value::{Truth, Value};
+use crate::value::Value;
 use crate::weights::{LogMax, WeightAssigner};
 
 /// CRH with a set of anchored (known) entry truths.
@@ -34,6 +38,7 @@ pub struct SemiSupervisedCrh {
     tol: f64,
     property_norm: PropertyNorm,
     count_normalize: bool,
+    threads: usize,
 }
 
 impl std::fmt::Debug for SemiSupervisedCrh {
@@ -62,7 +67,16 @@ impl SemiSupervisedCrh {
             tol: 1e-6,
             property_norm: PropertyNorm::SumToOne,
             count_normalize: true,
+            threads: 0,
         })
+    }
+
+    /// Kernel thread count: `0` (default) = available parallelism, `1` =
+    /// the exact sequential path; results are bit-identical for every
+    /// value.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
     }
 
     /// Replace the weight assigner.
@@ -89,45 +103,13 @@ impl SemiSupervisedCrh {
         self
     }
 
-    /// Pin the anchored entries of `truths` to their known values.
-    fn apply_anchors(&self, table: &ObservationTable, truths: &mut TruthTable) {
-        for ((o, p), v) in &self.anchors {
-            if let Some(e) = table.entry_id(*o, *p) {
-                *truths.get_mut(e) = Truth::Point(v.clone());
-            }
-        }
-    }
-
-    /// Per-source deviations with anchored-entry losses boosted by `λ`.
-    fn boosted_deviation(
-        &self,
-        table: &ObservationTable,
-        prepared: &PreparedProblem<'_>,
-        truths: &TruthTable,
-        boost: f64,
-    ) -> Vec<Vec<f64>> {
-        let k = table.num_sources();
-        let m = table.num_properties();
-        let mut dev = vec![vec![0.0f64; k]; m];
-        for (e, entry, obs) in table.iter_entries() {
-            let loss = prepared.loss(entry.property);
-            let stats = &prepared.stats[e.index()];
-            let truth = truths.get(e);
-            let scale = if self.anchors.contains_key(&(entry.object, entry.property)) {
-                boost
-            } else {
-                1.0
-            };
-            let row = &mut dev[entry.property.index()];
-            for (s, v) in obs {
-                row[s.index()] += scale * loss.loss(truth, v, stats);
-            }
-        }
-        dev
-    }
-
     /// Run Algorithm 1 with the anchored entries held fixed and their loss
     /// terms boosted.
+    ///
+    /// The loop is fused like [`Crh::run`](crate::solver::Crh::run): one
+    /// entry-sharded sweep per iteration fits (and pins) the truths and
+    /// accumulates the boosted deviations that price the convergence check
+    /// and feed the next iteration's weight update.
     pub fn run(&self, table: &ObservationTable) -> Result<CrhResult> {
         // validate anchor types against the schema
         for ((_, p), v) in &self.anchors {
@@ -138,9 +120,29 @@ impl SemiSupervisedCrh {
         let boost = self
             .anchor_boost
             .unwrap_or_else(|| (table.num_entries() as f64 / self.anchors.len() as f64).max(1.0));
+        let pool = Pool::new(self.threads);
+        let mut scratch = SolverScratch::for_table(table);
+        let mut truths = TruthTable::new(Vec::new());
+        fn spec<'a>(
+            w: &'a [f64],
+            anchors: &'a HashMap<(ObjectId, PropertyId), Value>,
+            boost: f64,
+        ) -> KernelSpec<'a> {
+            KernelSpec {
+                weights: KernelWeights::Shared(w),
+                anchors: Some(AnchorBoost { anchors, boost }),
+                dev_block_of: None,
+                num_dev_blocks: 1,
+            }
+        }
         let uniform = vec![1.0f64; k];
-        let mut truths = fit_all(&prepared, &uniform);
-        self.apply_anchors(table, &mut truths);
+        fused_fit_dev(
+            &prepared,
+            &spec(&uniform, &self.anchors, boost),
+            &pool,
+            &mut truths,
+            &mut scratch,
+        );
 
         let mut weights = uniform;
         let mut trace = Vec::new();
@@ -148,21 +150,26 @@ impl SemiSupervisedCrh {
         let mut iterations = 0;
         for it in 0..self.max_iters {
             iterations = it + 1;
-            let dev = self.boosted_deviation(table, &prepared, &truths, boost);
-            let losses = source_losses(
-                &dev,
+            // Step I from the carried boosted deviations.
+            let losses = source_losses_mat(
+                scratch.dev(),
                 table.source_counts(),
                 self.property_norm,
                 self.count_normalize,
             );
             weights = self.assigner.assign(&losses);
 
-            truths = fit_all(&prepared, &weights);
-            self.apply_anchors(table, &mut truths);
+            // Step II (with anchor pinning) fused with the deviation pass.
+            fused_fit_dev(
+                &prepared,
+                &spec(&weights, &self.anchors, boost),
+                &pool,
+                &mut truths,
+                &mut scratch,
+            );
 
-            let dev = self.boosted_deviation(table, &prepared, &truths, boost);
-            let losses = source_losses(
-                &dev,
+            let losses = source_losses_mat(
+                scratch.dev(),
                 table.source_counts(),
                 self.property_norm,
                 self.count_normalize,

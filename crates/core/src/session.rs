@@ -13,8 +13,10 @@ use crate::cancel::CancelToken;
 use crate::error::{CrhError, Result};
 use crate::ids::PropertyId;
 use crate::loss::Loss;
+use crate::par::Pool;
 use crate::solver::{
-    deviation_matrix, fit_all, objective, source_losses, PreparedProblem, PropertyNorm,
+    deviation_matrix, deviation_matrix_into, fit_all_into, fit_and_deviations_into, objective,
+    source_losses, source_losses_mat, PreparedProblem, PropertyNorm, SolverScratch,
 };
 use crate::table::{ObservationTable, TruthTable};
 use crate::weights::{LogMax, WeightAssigner};
@@ -28,6 +30,8 @@ pub struct CrhSession<'t> {
     weights: Vec<f64>,
     truths: TruthTable,
     iterations: usize,
+    pool: Pool,
+    scratch: SolverScratch,
 }
 
 impl std::fmt::Debug for CrhSession<'_> {
@@ -53,7 +57,10 @@ impl<'t> CrhSession<'t> {
     ) -> Result<Self> {
         let prepared = PreparedProblem::new(table, overrides)?;
         let weights = vec![1.0; table.num_sources()];
-        let truths = fit_all(&prepared, &weights);
+        let pool = Pool::default();
+        let mut truths = TruthTable::new(Vec::new());
+        fit_all_into(&prepared, &weights, &pool, &mut truths);
+        let scratch = SolverScratch::for_table(table);
         Ok(Self {
             prepared,
             assigner: Box::new(LogMax),
@@ -62,7 +69,16 @@ impl<'t> CrhSession<'t> {
             weights,
             truths,
             iterations: 0,
+            pool,
+            scratch,
         })
+    }
+
+    /// Set the kernel thread count: `0` = available parallelism, `1` = the
+    /// exact sequential path. The knob trades wall clock only — results are
+    /// bit-identical for every value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = Pool::new(threads);
     }
 
     /// Replace the weight assigner (may be called between steps).
@@ -84,9 +100,9 @@ impl<'t> CrhSession<'t> {
     /// Returns the per-source (normalized) losses the weights were derived
     /// from.
     pub fn step_weights(&mut self) -> Vec<f64> {
-        let dev = deviation_matrix(&self.prepared, &self.truths);
-        let losses = source_losses(
-            &dev,
+        deviation_matrix_into(&self.prepared, &self.truths, &self.pool, &mut self.scratch);
+        let losses = source_losses_mat(
+            self.scratch.dev(),
             self.prepared.table.source_counts(),
             self.property_norm,
             self.count_normalize,
@@ -97,7 +113,7 @@ impl<'t> CrhSession<'t> {
 
     /// Step II (Eq 3): refresh every entry's truth from the current weights.
     pub fn step_truths(&mut self) {
-        self.truths = fit_all(&self.prepared, &self.weights);
+        fit_all_into(&self.prepared, &self.weights, &self.pool, &mut self.truths);
         self.iterations += 1;
     }
 
@@ -126,6 +142,13 @@ impl<'t> CrhSession<'t> {
     /// tripped token (explicit cancel or expired deadline) stops the solve
     /// with [`CrhError::Cancelled`], leaving the session's partial state
     /// intact and reusable.
+    ///
+    /// The loop is fused the same way as [`Crh::run`](crate::solver::Crh::run):
+    /// each iteration performs one fit + deviation sweep, and the losses
+    /// that price the convergence check feed the next iteration's weight
+    /// update. Results are identical to driving [`step`](Self::step) in a
+    /// loop (pinned by test); only the redundant second deviation pass per
+    /// iteration is gone.
     pub fn run_to_convergence_with(
         &mut self,
         tol: f64,
@@ -137,13 +160,39 @@ impl<'t> CrhSession<'t> {
                 "convergence tolerance must be >= 0, got {tol}"
             )));
         }
+        // Price the current truths once — the initial objective and the
+        // first iteration's Step-I input.
+        deviation_matrix_into(&self.prepared, &self.truths, &self.pool, &mut self.scratch);
+        let mut losses = source_losses_mat(
+            self.scratch.dev(),
+            self.prepared.table.source_counts(),
+            self.property_norm,
+            self.count_normalize,
+        );
+        let mut f = objective(&self.weights, &losses);
         let mut prev = f64::INFINITY;
-        let mut f = self.objective();
         for _ in 0..max_iters {
             if cancel.is_cancelled() {
                 return Err(CrhError::Cancelled);
             }
-            f = self.step();
+            // Step I from the carried deviations.
+            self.weights = self.assigner.assign(&losses);
+            // Step II fused with the deviation pass for the next check.
+            fit_and_deviations_into(
+                &self.prepared,
+                &self.weights,
+                &self.pool,
+                &mut self.truths,
+                &mut self.scratch,
+            );
+            self.iterations += 1;
+            losses = source_losses_mat(
+                self.scratch.dev(),
+                self.prepared.table.source_counts(),
+                self.property_norm,
+                self.count_normalize,
+            );
+            f = objective(&self.weights, &losses);
             if (prev - f).abs() <= tol * prev.abs().max(1.0) {
                 break;
             }
@@ -232,6 +281,35 @@ mod tests {
         }
         for (e, t) in batch.truths.iter() {
             assert!(t.point().matches(&session.truths().get(e).point()));
+        }
+    }
+
+    #[test]
+    fn fused_convergence_loop_matches_manual_stepping() {
+        // run_to_convergence's fused loop must be indistinguishable from
+        // driving step() by hand with the same stopping rule.
+        let tab = table();
+        let mut fused = CrhSession::new(&tab).unwrap();
+        let f_fused = fused.run_to_convergence(1e-8, 50).unwrap();
+
+        let mut manual = CrhSession::new(&tab).unwrap();
+        let mut prev = f64::INFINITY;
+        let mut f_manual = manual.objective();
+        for _ in 0..50 {
+            f_manual = manual.step();
+            if (prev - f_manual).abs() <= 1e-8 * prev.abs().max(1.0) {
+                break;
+            }
+            prev = f_manual;
+        }
+
+        assert_eq!(fused.iterations(), manual.iterations());
+        assert_eq!(f_fused.to_bits(), f_manual.to_bits());
+        let fw: Vec<u64> = fused.weights().iter().map(|w| w.to_bits()).collect();
+        let mw: Vec<u64> = manual.weights().iter().map(|w| w.to_bits()).collect();
+        assert_eq!(fw, mw);
+        for (e, t) in manual.truths().iter() {
+            assert_eq!(t, fused.truths().get(e));
         }
     }
 

@@ -13,16 +13,32 @@
 //! Iteration stops when the relative decrease of the objective falls below
 //! the tolerance ("the decrease in the objective function is small enough
 //! compared with the previous iteration", §2.5) or `max_iters` is reached.
+//!
+//! ## Execution model
+//!
+//! Both steps decompose over entries (§2.7), so the hot path runs as
+//! **entry-sharded kernels** on a deterministic [`Pool`]: each chunk of the
+//! entry range fits its truths and accumulates its per-source deviations
+//! into a private partial buffer, and the partials are merged in chunk
+//! order — bit-identical output for every thread count (see
+//! [`par`](crate::par)). The iteration loop is **fused**: the deviation
+//! pass that prices the freshly-fitted truths for the convergence check is
+//! the same pass whose losses feed the next iteration's weight update, so
+//! deviations are computed once per iteration instead of twice. All
+//! per-iteration state lives in a [`SolverScratch`] (flat row-major
+//! deviation matrix + per-chunk partials) and a reusable [`TruthTable`]
+//! buffer, both allocated once per run.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::error::{CrhError, Result};
-use crate::ids::PropertyId;
+use crate::ids::{EntryId, ObjectId, PropertyId};
 use crate::loss::{default_loss_for, Loss};
+use crate::par::Pool;
 use crate::stats::{compute_entry_stats, EntryStats};
 use crate::table::{ObservationTable, TruthTable};
-use crate::value::Truth;
+use crate::value::{Truth, Value};
 use crate::weights::{LogMax, WeightAssigner};
 
 /// How truths are initialized (§2.5: "the results from Voting/Averaging
@@ -63,6 +79,7 @@ pub struct CrhBuilder {
     property_norm: PropertyNorm,
     count_normalize: bool,
     loss_overrides: HashMap<PropertyId, Arc<dyn Loss>>,
+    threads: usize,
 }
 
 impl Default for CrhBuilder {
@@ -74,7 +91,7 @@ impl Default for CrhBuilder {
 impl CrhBuilder {
     /// Paper defaults: 0-1 loss / weighted median (chosen per property type),
     /// log-max weights, per-property sum normalization, count normalization,
-    /// 100-iteration cap, 1e-6 relative tolerance.
+    /// 100-iteration cap, 1e-6 relative tolerance, all available cores.
     pub fn new() -> Self {
         Self {
             max_iters: 100,
@@ -84,6 +101,7 @@ impl CrhBuilder {
             property_norm: PropertyNorm::SumToOne,
             count_normalize: true,
             loss_overrides: HashMap::new(),
+            threads: 0,
         }
     }
 
@@ -124,6 +142,15 @@ impl CrhBuilder {
         self
     }
 
+    /// Worker threads for the entry-sharded kernels: `0` (default) uses the
+    /// machine's available parallelism, `1` is the exact sequential path.
+    /// Results are bit-identical for every value — the knob trades wall
+    /// clock only (see [`Pool`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
     /// Override the loss for one property (defaults are chosen by type:
     /// 0-1 for categorical, normalized absolute for continuous,
     /// edit distance for text).
@@ -152,6 +179,7 @@ impl std::fmt::Debug for CrhBuilder {
             .field("assigner", &self.assigner.name())
             .field("property_norm", &self.property_norm)
             .field("count_normalize", &self.count_normalize)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -225,42 +253,428 @@ impl<'t> PreparedProblem<'t> {
     }
 }
 
-/// Per-source, per-property deviation matrix `D[m][k] = Σ_i d_m(v*_im, v_im^(k))`.
-pub fn deviation_matrix(prepared: &PreparedProblem<'_>, truths: &TruthTable) -> Vec<Vec<f64>> {
-    let k = prepared.table.num_sources();
-    let m = prepared.table.num_properties();
-    let mut dev = vec![vec![0.0f64; k]; m];
-    for (e, entry, obs) in prepared.table.iter_entries() {
-        let loss = prepared.loss(entry.property);
-        let stats = &prepared.stats[e.index()];
-        let truth = truths.get(e);
-        let row = &mut dev[entry.property.index()];
-        for (s, v) in obs {
-            row[s.index()] += loss.loss(truth, v, stats);
-        }
-    }
-    dev
+/// Row-major flat deviation matrix `D[r][k] = Σ_i d(v*_i, v_i^(k))`.
+///
+/// For the plain solver a row is a property; the object-grouped variant
+/// stacks one `M`-row block per group. The flat layout keeps the whole
+/// matrix in one allocation that a [`SolverScratch`] reuses across
+/// iterations (the old `Vec<Vec<f64>>` reallocated `M + 1` vectors per
+/// pass).
+#[derive(Debug, Clone)]
+pub struct DevMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
 }
 
-/// Collapse the deviation matrix to per-source losses `L_k`, applying the
+impl DevMatrix {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows (properties, or groups × properties).
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (sources).
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate the rows in order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Copy out to the nested layout (compatibility with the MapReduce
+    /// wrapper format and older call sites).
+    pub fn to_nested(&self) -> Vec<Vec<f64>> {
+        self.iter_rows().map(<[f64]>::to_vec).collect()
+    }
+
+    fn reset(&mut self) {
+        for x in &mut self.data {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Reusable per-run solver state: the merged flat [`DevMatrix`] plus one
+/// private partial buffer per deterministic chunk. Allocated once per
+/// `run()` (or session) and reused by every iteration — the steady-state
+/// iteration loop performs no heap allocation in the kernels.
+#[derive(Debug)]
+pub struct SolverScratch {
+    dev: DevMatrix,
+    /// Chunk-major partial deviations: chunk `c` owns
+    /// `partials[c * rows * cols ..][.. rows * cols]`.
+    partials: Vec<f64>,
+}
+
+impl SolverScratch {
+    /// Scratch for `entries` items and a `dev_rows × sources` deviation
+    /// matrix.
+    pub fn new(entries: usize, dev_rows: usize, sources: usize) -> Self {
+        let cell = dev_rows * sources;
+        Self {
+            dev: DevMatrix::zeros(dev_rows, sources),
+            partials: vec![0.0; Pool::num_chunks(entries) * cell],
+        }
+    }
+
+    /// Scratch sized for a plain (per-property) solve over `table`.
+    pub fn for_table(table: &ObservationTable) -> Self {
+        Self::new(
+            table.num_entries(),
+            table.num_properties(),
+            table.num_sources(),
+        )
+    }
+
+    /// The most recently merged deviation matrix.
+    pub fn dev(&self) -> &DevMatrix {
+        &self.dev
+    }
+
+    /// Grow/shrink for a (possibly) different problem shape. A no-op when
+    /// the shape is unchanged, so per-iteration calls are free.
+    fn ensure(&mut self, entries: usize, dev_rows: usize, sources: usize) {
+        if self.dev.rows != dev_rows || self.dev.cols != sources {
+            self.dev = DevMatrix::zeros(dev_rows, sources);
+        }
+        let want = Pool::num_chunks(entries) * dev_rows * sources;
+        if self.partials.len() != want {
+            self.partials.resize(want, 0.0);
+        }
+    }
+
+    /// Fold the per-chunk partials into `dev` **in chunk order** — the
+    /// deterministic reduction that makes output independent of scheduling.
+    fn merge_partials(&mut self) {
+        self.dev.reset();
+        let cell = self.dev.data.len();
+        for partial in self.partials.chunks(cell.max(1)) {
+            for (d, p) in self.dev.data.iter_mut().zip(partial) {
+                *d += p;
+            }
+        }
+    }
+}
+
+/// How a kernel resolves the weight vector for an entry.
+pub(crate) enum KernelWeights<'a> {
+    /// One shared weight vector (plain CRH).
+    Shared(&'a [f64]),
+    /// Per-property-group weights (fine-grained variant).
+    ByProperty {
+        /// `per_group[g][k]`.
+        per_group: &'a [Vec<f64>],
+        /// property index → group index.
+        group_of: &'a [usize],
+    },
+    /// Per-entry-group weights (object-grouped variant).
+    ByEntry {
+        /// `per_group[g][k]`.
+        per_group: &'a [Vec<f64>],
+        /// entry index → group index.
+        entry_group: &'a [usize],
+    },
+}
+
+impl<'a> KernelWeights<'a> {
+    fn for_entry(&self, entry_idx: usize, prop_idx: usize) -> &'a [f64] {
+        match self {
+            KernelWeights::Shared(w) => w,
+            KernelWeights::ByProperty {
+                per_group,
+                group_of,
+            } => per_group[group_of[prop_idx]].as_slice(),
+            KernelWeights::ByEntry {
+                per_group,
+                entry_group,
+            } => per_group[entry_group[entry_idx]].as_slice(),
+        }
+    }
+}
+
+/// Semi-supervised anchoring: entries present in `anchors` have their truth
+/// pinned to the known value and their loss terms scaled by `boost`.
+pub(crate) struct AnchorBoost<'a> {
+    pub(crate) anchors: &'a HashMap<(ObjectId, PropertyId), Value>,
+    pub(crate) boost: f64,
+}
+
+/// Full parameterization of the fused fit + deviation kernel.
+pub(crate) struct KernelSpec<'a> {
+    pub(crate) weights: KernelWeights<'a>,
+    pub(crate) anchors: Option<AnchorBoost<'a>>,
+    /// entry index → deviation block; `None` = single block.
+    pub(crate) dev_block_of: Option<&'a [usize]>,
+    /// Number of deviation blocks (≥ 1); the dev matrix holds
+    /// `num_dev_blocks × M` rows.
+    pub(crate) num_dev_blocks: usize,
+}
+
+impl<'a> KernelSpec<'a> {
+    pub(crate) fn shared(weights: &'a [f64]) -> Self {
+        Self {
+            weights: KernelWeights::Shared(weights),
+            anchors: None,
+            dev_block_of: None,
+            num_dev_blocks: 1,
+        }
+    }
+}
+
+/// The fused Step II + deviation pass: one entry-sharded sweep fits every
+/// entry's truth under `spec.weights` *and* accumulates the new truths'
+/// per-source losses into `scratch` (merged in chunk order). The losses it
+/// leaves in `scratch.dev()` price exactly the truths it leaves in
+/// `truths`, so they serve both the convergence check and the next
+/// iteration's Step I.
+pub(crate) fn fused_fit_dev(
+    prepared: &PreparedProblem<'_>,
+    spec: &KernelSpec<'_>,
+    pool: &Pool,
+    truths: &mut TruthTable,
+    scratch: &mut SolverScratch,
+) {
+    let table = prepared.table;
+    let n = table.num_entries();
+    let m = table.num_properties();
+    let k = table.num_sources();
+    scratch.ensure(n, spec.num_dev_blocks.max(1) * m, k);
+    truths.resize_for_fit(n);
+
+    struct Job<'j> {
+        range: std::ops::Range<usize>,
+        cells: &'j mut [Truth],
+        partial: &'j mut [f64],
+    }
+    let cell = scratch.dev.data.len();
+    let ranges = Pool::chunk_ranges(n);
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(ranges.len());
+    let mut rest = truths.as_mut_slice();
+    for (range, partial) in ranges
+        .into_iter()
+        .zip(scratch.partials.chunks_mut(cell.max(1)))
+    {
+        let (cells, tail) = std::mem::take(&mut rest).split_at_mut(range.len());
+        rest = tail;
+        jobs.push(Job {
+            range,
+            cells,
+            partial,
+        });
+    }
+
+    pool.run_jobs(&mut jobs, |job| {
+        for x in job.partial.iter_mut() {
+            *x = 0.0;
+        }
+        for (offset, i) in job.range.clone().enumerate() {
+            let e = EntryId::from_index(i);
+            let entry = table.entry(e);
+            let obs = table.observations(e);
+            let loss = prepared.loss(entry.property);
+            let stats = &prepared.stats[i];
+            let w = spec.weights.for_entry(i, entry.property.index());
+            let mut truth = loss.fit(obs, w, stats);
+            let mut scale = 1.0;
+            if let Some(a) = &spec.anchors {
+                if let Some(v) = a.anchors.get(&(entry.object, entry.property)) {
+                    truth = Truth::Point(v.clone());
+                    scale = a.boost;
+                }
+            }
+            let block = spec.dev_block_of.map_or(0, |b| b[i]);
+            let start = (block * m + entry.property.index()) * k;
+            let row = &mut job.partial[start..start + k];
+            for (s, v) in obs {
+                row[s.index()] += scale * loss.loss(&truth, v, stats);
+            }
+            job.cells[offset] = truth;
+        }
+    });
+    scratch.merge_partials();
+}
+
+/// Deviation-only pass over existing truths (Step I input when the truths
+/// were produced elsewhere): entry-sharded, merged in chunk order into
+/// `scratch.dev()`. `blocks` optionally routes each entry's row into a
+/// per-group block of the matrix (object-grouped variant).
+pub(crate) fn dev_kernel(
+    prepared: &PreparedProblem<'_>,
+    truths: &TruthTable,
+    blocks: Option<(&[usize], usize)>,
+    pool: &Pool,
+    scratch: &mut SolverScratch,
+) {
+    let table = prepared.table;
+    let n = table.num_entries();
+    let m = table.num_properties();
+    let k = table.num_sources();
+    let (block_of, num_blocks) = match blocks {
+        Some((b, g)) => (Some(b), g.max(1)),
+        None => (None, 1),
+    };
+    scratch.ensure(n, num_blocks * m, k);
+
+    let cell = scratch.dev.data.len();
+    let ranges = Pool::chunk_ranges(n);
+    let mut jobs: Vec<(std::ops::Range<usize>, &mut [f64])> = ranges
+        .into_iter()
+        .zip(scratch.partials.chunks_mut(cell.max(1)))
+        .collect();
+
+    pool.run_jobs(&mut jobs, |(range, partial)| {
+        for x in partial.iter_mut() {
+            *x = 0.0;
+        }
+        for i in range.clone() {
+            let e = EntryId::from_index(i);
+            let entry = table.entry(e);
+            let obs = table.observations(e);
+            let loss = prepared.loss(entry.property);
+            let stats = &prepared.stats[i];
+            let truth = truths.get(e);
+            let block = block_of.map_or(0, |b| b[i]);
+            let start = (block * m + entry.property.index()) * k;
+            let row = &mut partial[start..start + k];
+            for (s, v) in obs {
+                row[s.index()] += loss.loss(truth, v, stats);
+            }
+        }
+    });
+    scratch.merge_partials();
+}
+
+/// Fit-only pass (Eq 3): entry-sharded truth update into the reusable
+/// `truths` buffer.
+pub(crate) fn fit_kernel(
+    prepared: &PreparedProblem<'_>,
+    weights: &KernelWeights<'_>,
+    pool: &Pool,
+    truths: &mut TruthTable,
+) {
+    let table = prepared.table;
+    let n = table.num_entries();
+    truths.resize_for_fit(n);
+
+    let ranges = Pool::chunk_ranges(n);
+    let mut jobs: Vec<(std::ops::Range<usize>, &mut [Truth])> = Vec::with_capacity(ranges.len());
+    let mut rest = truths.as_mut_slice();
+    for range in ranges {
+        let (cells, tail) = std::mem::take(&mut rest).split_at_mut(range.len());
+        rest = tail;
+        jobs.push((range, cells));
+    }
+
+    pool.run_jobs(&mut jobs, |(range, cells)| {
+        for (offset, i) in range.clone().enumerate() {
+            let e = EntryId::from_index(i);
+            let entry = table.entry(e);
+            let obs = table.observations(e);
+            let loss = prepared.loss(entry.property);
+            let w = weights.for_entry(i, entry.property.index());
+            cells[offset] = loss.fit(obs, w, &prepared.stats[i]);
+        }
+    });
+}
+
+/// Per-source, per-property deviation matrix `D[m][k] = Σ_i d_m(v*_im, v_im^(k))`
+/// in the nested compatibility layout. Allocating wrapper around
+/// [`deviation_matrix_into`]; hot paths should hold a [`SolverScratch`]
+/// and call the `_into` form instead.
+pub fn deviation_matrix(prepared: &PreparedProblem<'_>, truths: &TruthTable) -> Vec<Vec<f64>> {
+    let mut scratch = SolverScratch::for_table(prepared.table);
+    deviation_matrix_into(prepared, truths, &Pool::sequential(), &mut scratch);
+    scratch.dev().to_nested()
+}
+
+/// Entry-sharded deviation pass into a reusable scratch; the result is in
+/// `scratch.dev()`. Bit-identical for every `pool` thread count.
+pub fn deviation_matrix_into(
+    prepared: &PreparedProblem<'_>,
+    truths: &TruthTable,
+    pool: &Pool,
+    scratch: &mut SolverScratch,
+) {
+    dev_kernel(prepared, truths, None, pool, scratch);
+}
+
+/// The fused Step II + deviation pass with one shared weight vector: fits
+/// every entry's truth under `weights` into `truths` and leaves the new
+/// truths' deviation matrix in `scratch.dev()` — one sweep instead of a
+/// fit pass plus a deviation pass.
+pub fn fit_and_deviations_into(
+    prepared: &PreparedProblem<'_>,
+    weights: &[f64],
+    pool: &Pool,
+    truths: &mut TruthTable,
+    scratch: &mut SolverScratch,
+) {
+    fused_fit_dev(
+        prepared,
+        &KernelSpec::shared(weights),
+        pool,
+        truths,
+        scratch,
+    );
+}
+
+/// Collapse deviation rows to per-source losses `L_k`, applying the
 /// configured property normalization and count normalization (§2.5).
-pub fn source_losses(
-    dev: &[Vec<f64>],
+/// Generic over any row iterator so flat, nested and row-selected layouts
+/// share one implementation. The normalization `match` is hoisted out of
+/// the row loop; `PropertyNorm::None` skips factor computation entirely.
+pub fn source_losses_rows<'a, I>(
+    rows: I,
     source_counts: &[usize],
     norm: PropertyNorm,
     count_normalize: bool,
-) -> Vec<f64> {
+) -> Vec<f64>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
     let k = source_counts.len();
     let mut total = vec![0.0f64; k];
-    for row in dev {
-        let factor = match norm {
-            PropertyNorm::None => 1.0,
-            PropertyNorm::SumToOne => row.iter().sum::<f64>(),
-            PropertyNorm::MaxToOne => row.iter().cloned().fold(0.0f64, f64::max),
-        };
-        let factor = if factor > 0.0 { factor } else { 1.0 };
-        for (t, &d) in total.iter_mut().zip(row.iter()) {
-            *t += d / factor;
+    match norm {
+        PropertyNorm::None => {
+            for row in rows {
+                for (t, &d) in total.iter_mut().zip(row.iter()) {
+                    *t += d;
+                }
+            }
+        }
+        PropertyNorm::SumToOne => {
+            for row in rows {
+                let factor = row.iter().sum::<f64>();
+                let factor = if factor > 0.0 { factor } else { 1.0 };
+                for (t, &d) in total.iter_mut().zip(row.iter()) {
+                    *t += d / factor;
+                }
+            }
+        }
+        PropertyNorm::MaxToOne => {
+            for row in rows {
+                let factor = row.iter().cloned().fold(0.0f64, f64::max);
+                let factor = if factor > 0.0 { factor } else { 1.0 };
+                for (t, &d) in total.iter_mut().zip(row.iter()) {
+                    *t += d / factor;
+                }
+            }
         }
     }
     if count_normalize {
@@ -273,6 +687,31 @@ pub fn source_losses(
     total
 }
 
+/// [`source_losses_rows`] over the nested deviation layout.
+pub fn source_losses(
+    dev: &[Vec<f64>],
+    source_counts: &[usize],
+    norm: PropertyNorm,
+    count_normalize: bool,
+) -> Vec<f64> {
+    source_losses_rows(
+        dev.iter().map(Vec::as_slice),
+        source_counts,
+        norm,
+        count_normalize,
+    )
+}
+
+/// [`source_losses_rows`] over a flat [`DevMatrix`].
+pub fn source_losses_mat(
+    dev: &DevMatrix,
+    source_counts: &[usize],
+    norm: PropertyNorm,
+    count_normalize: bool,
+) -> Vec<f64> {
+    source_losses_rows(dev.iter_rows(), source_counts, norm, count_normalize)
+}
+
 /// The objective `f(X*, W) = Σ_k w_k L_k` over (normalized) per-source losses.
 pub fn objective(weights: &[f64], per_source_loss: &[f64]) -> f64 {
     weights
@@ -283,18 +722,29 @@ pub fn objective(weights: &[f64], per_source_loss: &[f64]) -> f64 {
 }
 
 impl Crh {
-    /// Run Algorithm 1 on `table`.
+    /// Run Algorithm 1 on `table` with the fused iteration loop: each
+    /// iteration performs exactly one entry-sharded fit + deviation sweep;
+    /// the losses that price the convergence check are carried forward as
+    /// the next iteration's Step-I input. The objective trace and
+    /// convergence semantics are identical to [`run_unfused`](Self::run_unfused)
+    /// (pinned by test), which computes the deviation pass twice per
+    /// iteration the way the original transcription did.
     pub fn run(&self, table: &ObservationTable) -> Result<CrhResult> {
         let prepared = PreparedProblem::new(table, &self.cfg.loss_overrides)?;
         let k = table.num_sources();
         if k == 0 {
             return Err(CrhError::EmptyTable);
         }
+        let pool = Pool::new(self.cfg.threads);
+        let mut scratch = SolverScratch::for_table(table);
+        let mut truths = TruthTable::new(Vec::new());
 
         // Line 1: initialize truths with a uniform-weight fit
-        // (voting / averaging / median depending on the loss).
+        // (voting / averaging / median depending on the loss). The fused
+        // pass also prices the initial truths — the first iteration's
+        // Step-I input.
         let uniform = vec![1.0f64; k];
-        let mut truths = fit_all(&prepared, &uniform);
+        fit_and_deviations_into(&prepared, &uniform, &pool, &mut truths, &mut scratch);
 
         let mut weights = uniform;
         let mut trace: Vec<f64> = Vec::new();
@@ -304,23 +754,102 @@ impl Crh {
         for it in 0..self.cfg.max_iters {
             iterations = it + 1;
 
-            // Step I (line 3): weight update from current truths.
-            let dev = deviation_matrix(&prepared, &truths);
-            let losses = source_losses(
-                &dev,
+            // Step I (line 3): weight update from the carried deviations of
+            // the current truths.
+            let losses = source_losses_mat(
+                scratch.dev(),
                 table.source_counts(),
                 self.cfg.property_norm,
                 self.cfg.count_normalize,
             );
             weights = self.cfg.assigner.assign(&losses);
 
-            // Step II (lines 4-8): truth update from current weights.
-            truths = fit_all(&prepared, &weights);
+            // Step II (lines 4-8) fused with the deviation pass for the
+            // convergence check.
+            fit_and_deviations_into(&prepared, &weights, &pool, &mut truths, &mut scratch);
 
             // Convergence check (line 9): relative objective decrease.
-            let dev = deviation_matrix(&prepared, &truths);
-            let losses = source_losses(
-                &dev,
+            let losses = source_losses_mat(
+                scratch.dev(),
+                table.source_counts(),
+                self.cfg.property_norm,
+                self.cfg.count_normalize,
+            );
+            let f = objective(&weights, &losses);
+            if let Some(&prev) = trace.last() {
+                let rel = (prev - f).abs() / prev.abs().max(1.0);
+                trace.push(f);
+                if rel <= self.cfg.tol {
+                    converged = true;
+                    break;
+                }
+            } else {
+                trace.push(f);
+            }
+        }
+
+        Ok(CrhResult {
+            truths,
+            weights,
+            objective_trace: trace,
+            iterations,
+            converged,
+        })
+    }
+
+    /// The pre-fusion reference loop: identical kernels, chunk geometry and
+    /// convergence logic, but a separate deviation pass for the weight
+    /// update and for the convergence check — two sweeps per iteration
+    /// instead of one. Retained to pin the fused loop's trace equality and
+    /// to benchmark the fusion win; prefer [`run`](Self::run).
+    pub fn run_unfused(&self, table: &ObservationTable) -> Result<CrhResult> {
+        let prepared = PreparedProblem::new(table, &self.cfg.loss_overrides)?;
+        let k = table.num_sources();
+        if k == 0 {
+            return Err(CrhError::EmptyTable);
+        }
+        let pool = Pool::new(self.cfg.threads);
+        let mut scratch = SolverScratch::for_table(table);
+        let mut truths = TruthTable::new(Vec::new());
+
+        let uniform = vec![1.0f64; k];
+        fit_kernel(
+            &prepared,
+            &KernelWeights::Shared(&uniform),
+            &pool,
+            &mut truths,
+        );
+
+        let mut weights = uniform;
+        let mut trace: Vec<f64> = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for it in 0..self.cfg.max_iters {
+            iterations = it + 1;
+
+            // Step I: a dedicated deviation pass over the current truths.
+            dev_kernel(&prepared, &truths, None, &pool, &mut scratch);
+            let losses = source_losses_mat(
+                scratch.dev(),
+                table.source_counts(),
+                self.cfg.property_norm,
+                self.cfg.count_normalize,
+            );
+            weights = self.cfg.assigner.assign(&losses);
+
+            // Step II.
+            fit_kernel(
+                &prepared,
+                &KernelWeights::Shared(&weights),
+                &pool,
+                &mut truths,
+            );
+
+            // Convergence check: a second, throwaway deviation pass.
+            dev_kernel(&prepared, &truths, None, &pool, &mut scratch);
+            let losses = source_losses_mat(
+                scratch.dev(),
                 table.source_counts(),
                 self.cfg.property_norm,
                 self.cfg.count_normalize,
@@ -349,30 +878,61 @@ impl Crh {
 }
 
 /// Eq (3) over every entry: fit each entry's truth under `weights`.
+/// Allocating wrapper around [`fit_all_into`].
 pub fn fit_all(prepared: &PreparedProblem<'_>, weights: &[f64]) -> TruthTable {
-    let mut cells: Vec<Truth> = Vec::with_capacity(prepared.table.num_entries());
-    for (e, entry, obs) in prepared.table.iter_entries() {
-        let loss = prepared.loss(entry.property);
-        cells.push(loss.fit(obs, weights, &prepared.stats[e.index()]));
-    }
-    TruthTable::new(cells)
+    let mut truths = TruthTable::new(Vec::new());
+    fit_all_into(prepared, weights, &Pool::sequential(), &mut truths);
+    truths
+}
+
+/// Eq (3) over every entry into a reusable buffer, entry-sharded on `pool`.
+pub fn fit_all_into(
+    prepared: &PreparedProblem<'_>,
+    weights: &[f64],
+    pool: &Pool,
+    truths: &mut TruthTable,
+) {
+    fit_kernel(prepared, &KernelWeights::Shared(weights), pool, truths);
 }
 
 /// Eq (3) with per-group weights (fine-grained variant, §2.5): fit each
 /// entry under the weight vector of its property's group.
 /// `group_of[m]` maps a property index to its group index.
+/// Allocating wrapper around [`fit_all_grouped_into`].
 pub fn fit_all_grouped(
     prepared: &PreparedProblem<'_>,
     weights: &[Vec<f64>],
     group_of: &[usize],
 ) -> TruthTable {
-    let mut cells: Vec<Truth> = Vec::with_capacity(prepared.table.num_entries());
-    for (e, entry, obs) in prepared.table.iter_entries() {
-        let loss = prepared.loss(entry.property);
-        let w = &weights[group_of[entry.property.index()]];
-        cells.push(loss.fit(obs, w, &prepared.stats[e.index()]));
-    }
-    TruthTable::new(cells)
+    let mut truths = TruthTable::new(Vec::new());
+    fit_all_grouped_into(
+        prepared,
+        weights,
+        group_of,
+        &Pool::sequential(),
+        &mut truths,
+    );
+    truths
+}
+
+/// Eq (3) with per-group weights into a reusable buffer, entry-sharded on
+/// `pool`.
+pub fn fit_all_grouped_into(
+    prepared: &PreparedProblem<'_>,
+    weights: &[Vec<f64>],
+    group_of: &[usize],
+    pool: &Pool,
+    truths: &mut TruthTable,
+) {
+    fit_kernel(
+        prepared,
+        &KernelWeights::ByProperty {
+            per_group: weights,
+            group_of,
+        },
+        pool,
+        truths,
+    );
 }
 
 #[cfg(test)]
@@ -405,6 +965,32 @@ mod tests {
             b.add_label(ObjectId(i), cond, SourceId(1), "sunny")
                 .unwrap();
             b.add_label(ObjectId(i), cond, SourceId(2), "rain").unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// A larger randomized mixed table (spans several kernel chunks).
+    fn random_table(seed: u64, objects: u32) -> ObservationTable {
+        use crate::rng::{Pcg64, Rng};
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut schema = Schema::new();
+        let temp = schema.add_continuous("t");
+        let cond = schema.add_categorical("c");
+        let mut b = TableBuilder::new(schema);
+        let labels = ["a", "b", "c"];
+        for i in 0..objects {
+            let truth_t = (i % 50) as f64;
+            for s in 0..6u32 {
+                let noise = (rng.next_u64() % 1000) as f64 / 100.0;
+                if rng.next_u64() % 10 < 8 {
+                    b.add(ObjectId(i), temp, SourceId(s), Value::Num(truth_t + noise))
+                        .unwrap();
+                }
+                if rng.next_u64() % 10 < 8 {
+                    let l = labels[(rng.next_u64() % 3) as usize];
+                    b.add_label(ObjectId(i), cond, SourceId(s), l).unwrap();
+                }
+            }
         }
         b.build().unwrap()
     }
@@ -470,6 +1056,69 @@ mod tests {
                 w[0],
                 w[1]
             );
+        }
+    }
+
+    /// The tentpole pin: the fused loop must reproduce the pre-fusion loop's
+    /// trace, weights, truths and convergence flags to the bit, across
+    /// configurations and thread counts.
+    #[test]
+    fn fused_loop_matches_unfused_reference_exactly() {
+        let tables = [lying_source_table(), random_table(7, 300)];
+        for table in &tables {
+            for threads in [1usize, 3] {
+                let build = || {
+                    CrhBuilder::new()
+                        .max_iters(40)
+                        .tolerance(1e-8)
+                        .threads(threads)
+                };
+                let fused = build().build().unwrap().run(table).unwrap();
+                let unfused = build().build().unwrap().run_unfused(table).unwrap();
+                assert_eq!(fused.iterations, unfused.iterations);
+                assert_eq!(fused.converged, unfused.converged);
+                let fb: Vec<u64> = fused.objective_trace.iter().map(|f| f.to_bits()).collect();
+                let ub: Vec<u64> = unfused
+                    .objective_trace
+                    .iter()
+                    .map(|f| f.to_bits())
+                    .collect();
+                assert_eq!(fb, ub, "trace diverged (threads={threads})");
+                let fw: Vec<u64> = fused.weights.iter().map(|f| f.to_bits()).collect();
+                let uw: Vec<u64> = unfused.weights.iter().map(|f| f.to_bits()).collect();
+                assert_eq!(fw, uw, "weights diverged (threads={threads})");
+                for (e, t) in fused.truths.iter() {
+                    assert_eq!(t, unfused.truths.get(e), "truth diverged at {e:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let table = random_table(11, 400);
+        let run = |threads: usize| {
+            CrhBuilder::new()
+                .threads(threads)
+                .max_iters(25)
+                .build()
+                .unwrap()
+                .run(&table)
+                .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 8] {
+            let got = run(threads);
+            let rb: Vec<u64> = reference.weights.iter().map(|f| f.to_bits()).collect();
+            let gb: Vec<u64> = got.weights.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(rb, gb, "weights diverged at threads={threads}");
+            let rt: Vec<u64> = reference
+                .objective_trace
+                .iter()
+                .map(|f| f.to_bits())
+                .collect();
+            let gt: Vec<u64> = got.objective_trace.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(rt, gt, "trace diverged at threads={threads}");
         }
     }
 
@@ -549,6 +1198,25 @@ mod tests {
     }
 
     #[test]
+    fn flat_dev_matrix_matches_nested_wrapper() {
+        let table = random_table(3, 300);
+        let prepared = PreparedProblem::new(&table, &HashMap::new()).unwrap();
+        let truths = fit_all(&prepared, &[1.0; 6]);
+        let nested = deviation_matrix(&prepared, &truths);
+        let mut scratch = SolverScratch::for_table(&table);
+        for threads in [1usize, 4] {
+            deviation_matrix_into(&prepared, &truths, &Pool::new(threads), &mut scratch);
+            let flat = scratch.dev();
+            assert_eq!(flat.num_rows(), nested.len());
+            for (r, row) in nested.iter().enumerate() {
+                let fr: Vec<u64> = flat.row(r).iter().map(|f| f.to_bits()).collect();
+                let nr: Vec<u64> = row.iter().map(|f| f.to_bits()).collect();
+                assert_eq!(fr, nr, "row {r} diverged (threads={threads})");
+            }
+        }
+    }
+
+    #[test]
     fn source_losses_normalizations() {
         let dev = vec![vec![1.0, 3.0], vec![10.0, 30.0]];
         let counts = vec![2usize, 2usize];
@@ -561,6 +1229,31 @@ mod tests {
         assert!((max[0] - (1.0 / 3.0 + 10.0 / 30.0)).abs() < 1e-12);
         let counted = source_losses(&dev, &counts, PropertyNorm::None, true);
         assert_eq!(counted, vec![5.5, 16.5]);
+    }
+
+    #[test]
+    fn source_losses_rows_and_mat_agree_with_nested() {
+        let nested = vec![vec![1.0, 3.0, 0.5], vec![10.0, 30.0, 2.0]];
+        let mut flat = DevMatrix::zeros(2, 3);
+        for (r, row) in nested.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                flat.data[r * 3 + c] = v;
+            }
+        }
+        let counts = vec![2usize, 2, 2];
+        for norm in [
+            PropertyNorm::None,
+            PropertyNorm::SumToOne,
+            PropertyNorm::MaxToOne,
+        ] {
+            for cn in [false, true] {
+                let a = source_losses(&nested, &counts, norm, cn);
+                let b = source_losses_mat(&flat, &counts, norm, cn);
+                let c = source_losses_rows(nested.iter().map(Vec::as_slice), &counts, norm, cn);
+                assert_eq!(a, b, "{norm:?} cn={cn}");
+                assert_eq!(a, c, "{norm:?} cn={cn}");
+            }
+        }
     }
 
     #[test]

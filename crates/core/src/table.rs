@@ -292,6 +292,19 @@ impl TruthTable {
         &mut self.cells[e.index()]
     }
 
+    /// The dense cell storage, for entry-sharded kernels that write truths
+    /// in place (cell `i` is entry `i`).
+    pub fn as_mut_slice(&mut self) -> &mut [Truth] {
+        &mut self.cells
+    }
+
+    /// Resize to exactly `n` cells so a kernel can overwrite them in place,
+    /// reusing the existing allocation (and each cell's own allocations)
+    /// across iterations. New cells get a placeholder value.
+    pub fn resize_for_fit(&mut self, n: usize) {
+        self.cells.resize(n, Truth::Point(Value::Num(0.0)));
+    }
+
     /// Number of cells.
     pub fn len(&self) -> usize {
         self.cells.len()

@@ -103,8 +103,9 @@ pub struct Scope {
 
 /// Files where a stray wall-clock read would break seeded replay:
 /// chaos plans, the failover simulator, the deterministic scheduler
-/// core, digest/checkpoint construction, and cancellation deadlines
-/// threaded through chaos tests.
+/// core, digest/checkpoint construction, cancellation deadlines
+/// threaded through chaos tests, and the solver's deterministic thread
+/// pool (whose scheduling must depend on nothing but the input size).
 const CLOCK_SCOPE: &[&str] = &[
     "crates/serve/src/faults.rs",
     "crates/serve/src/failover.rs",
@@ -115,19 +116,23 @@ const CLOCK_SCOPE: &[&str] = &[
     "crates/mapreduce/src/driver.rs",
     "crates/mapreduce/src/engine.rs",
     "crates/core/src/cancel.rs",
+    "crates/core/src/par.rs",
     "crates/core/src/persist.rs",
     "crates/core/src/rng.rs",
 ];
 
 /// Files whose in-memory maps feed digests, checkpoints, or simulated
 /// cluster state: unstable iteration order there shows up as
-/// replica-digest divergence.
+/// replica-digest divergence. Includes the solver's thread pool, where a
+/// map-ordered merge would silently break the bit-identical-reduction
+/// contract.
 const HASH_SCOPE: &[&str] = &[
     "crates/serve/src/faults.rs",
     "crates/serve/src/failover.rs",
     "crates/serve/src/core.rs",
     "crates/serve/src/replicate.rs",
     "crates/mapreduce/src/faults.rs",
+    "crates/core/src/par.rs",
     "crates/core/src/persist.rs",
     "crates/core/src/rng.rs",
 ];
@@ -715,6 +720,11 @@ mod tests {
         assert!(!s.exempt_file && !s.panic); // fixtures: no lints at all
         let s = Scope::for_path("crates/core/src/lib.rs");
         assert!(s.headers && s.panic);
+        let s = Scope::for_path("crates/core/src/par.rs");
+        assert!(
+            s.panic && s.clock && s.hash,
+            "the deterministic pool carries panic + determinism rules"
+        );
         let s = Scope::for_path("src/bin/crh.rs");
         assert!(!s.panic && !s.print);
     }

@@ -117,6 +117,27 @@ fn determinism_lints_stay_quiet_outside_their_scope() {
 }
 
 #[test]
+fn completion_order_reduction_in_the_pool_is_flagged() {
+    // The deterministic pool's contract is chunk-ordered merging; a
+    // completion-order reduction funnelled through a HashMap is the
+    // canonical violation, and par.rs sits in HASH_SCOPE so the linter
+    // catches it.
+    let src = include_str!("fixtures/par_completion_order.rs");
+    let found = lint_source("crates/core/src/par.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![("nondet-hash-iter", 9), ("nondet-hash-iter", 25)],
+        "full diagnostics: {found:#?}"
+    );
+    // The same source outside the determinism scope stays quiet.
+    let found = lint_source("crates/stream/src/fixture.rs", src);
+    assert!(
+        found.is_empty(),
+        "no determinism findings outside HASH scope: {found:#?}"
+    );
+}
+
+#[test]
 fn ack_before_sync_flags_only_the_unsynced_path() {
     let src = include_str!("fixtures/durability.rs");
     let found = lint_source("crates/serve/src/wal.rs", src);

@@ -1,0 +1,29 @@
+//! FIXTURE: a thread pool whose reduction merges partial results in
+//! **completion order** — exactly the bug the deterministic pool's
+//! chunk-ordered merge exists to forbid. Partials land in a `HashMap`
+//! keyed by whichever worker finished first and are folded in map
+//! iteration order, so the floating-point association differs run to
+//! run. Linted under `crates/core/src/par.rs`, every `HashMap` mention
+//! must fire `nondet-hash-iter`.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+pub fn completion_order_sum(chunks: Vec<Vec<f64>>) -> f64 {
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        for (id, chunk) in chunks.into_iter().enumerate() {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let partial: f64 = chunk.iter().sum();
+                let _ = tx.send((id, partial));
+            });
+        }
+        drop(tx);
+    });
+    // Arrival order = completion order, not chunk order.
+    let done: HashMap<usize, f64> = rx.iter().collect();
+    // Folding in map iteration order re-associates the sum differently
+    // every process: bit-identical output is lost.
+    done.values().sum()
+}

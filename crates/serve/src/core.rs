@@ -90,11 +90,16 @@ pub struct ServeConfig {
     pub breaker: BreakerConfig,
     /// Fault injection (disabled in production).
     pub injector: ServeFaultInjector,
+    /// Solver kernel threads for ingest and solve: `0` = available
+    /// parallelism, `1` = exact sequential path. Results are bit-identical
+    /// for every value (the solver's determinism contract), so this only
+    /// trades wall clock.
+    pub solve_threads: usize,
 }
 
 impl ServeConfig {
     /// Defaults: snapshot every 8 chunks, 4096 cached truths, default
-    /// breaker, no fault injection.
+    /// breaker, no fault injection, solver threads = available parallelism.
     pub fn new(schema: Schema, alpha: f64, dir: impl Into<PathBuf>) -> Self {
         Self {
             schema,
@@ -104,6 +109,7 @@ impl ServeConfig {
             truth_cache_cap: 4096,
             breaker: BreakerConfig::default(),
             injector: ServeFaultInjector::disabled(),
+            solve_threads: 0,
         }
     }
 
@@ -128,6 +134,13 @@ impl ServeConfig {
     /// Install a fault injector (chaos tests only).
     pub fn injector(mut self, i: ServeFaultInjector) -> Self {
         self.injector = i;
+        self
+    }
+
+    /// Set the solver kernel thread count (`0` = available parallelism,
+    /// `1` = exact sequential).
+    pub fn solve_threads(mut self, n: usize) -> Self {
+        self.solve_threads = n;
         self
     }
 }
@@ -260,6 +273,8 @@ pub struct ServeCore {
     /// Ingest attempts on this core instance (drives fault fates).
     attempts: u64,
     poisoned: bool,
+    /// Solver kernel threads (0 = available parallelism).
+    solve_threads: usize,
 }
 
 impl ServeCore {
@@ -272,7 +287,7 @@ impl ServeCore {
         let snapshot_path = cfg.dir.join("snapshot.crh");
         let wal_path = cfg.dir.join("ingest.wal");
 
-        let icrh = ICrh::new(cfg.alpha)?;
+        let icrh = ICrh::new(cfg.alpha)?.threads(cfg.solve_threads);
         let mut cache = TruthCache::new(cfg.truth_cache_cap);
         let (state, snapshot_loaded, snapshot_chunks) = if snapshot_path.exists() {
             let (ckpt, cached) = read_snapshot(&snapshot_path)?;
@@ -306,6 +321,7 @@ impl ServeCore {
             tick: 0,
             attempts: 0,
             poisoned: false,
+            solve_threads: cfg.solve_threads,
         };
 
         let mut replayed = 0u64;
@@ -505,7 +521,7 @@ impl ServeCore {
             return Err(ServeError::ShuttingDown);
         }
         let (ckpt, cached) = decode_snapshot_payload(payload)?;
-        let state = ICrhState::resume(ICrh::new(self.alpha)?, ckpt)?;
+        let state = ICrhState::resume(ICrh::new(self.alpha)?.threads(self.solve_threads), ckpt)?;
         write_frame(
             &self.snapshot_path,
             SNAPSHOT_MAGIC,
@@ -565,6 +581,7 @@ impl ServeCore {
             self.state.weights(),
             tol,
             max_iters,
+            self.solve_threads,
             cancel,
         )
     }
@@ -592,6 +609,12 @@ impl ServeCore {
         // the directory entry itself is fsync'd
         crate::wal::sync_parent_dir(&self.snapshot_path)?;
         Ok(())
+    }
+
+    /// The configured solver kernel thread count (0 = available
+    /// parallelism).
+    pub fn solve_threads(&self) -> usize {
+        self.solve_threads
     }
 
     /// The configured decay rate.
@@ -641,13 +664,17 @@ fn build_table(schema: &Schema, claims: &[ChunkClaim]) -> Result<ObservationTabl
 }
 
 /// Batch CRH over `claims` seeded from `seed_weights` (free function so
-/// the server can run it without holding the core lock).
+/// the server can run it without holding the core lock). `threads` sets
+/// the solver kernel thread count (`0` = available parallelism, `1` =
+/// exact sequential); results are bit-identical for every value.
+#[allow(clippy::too_many_arguments)]
 pub fn solve_claims(
     schema: &Schema,
     claims: &[ChunkClaim],
     seed_weights: &[f64],
     tol: f64,
     max_iters: usize,
+    threads: usize,
     cancel: &CancelToken,
 ) -> Result<SolveOutcome, ServeError> {
     if claims.is_empty() {
@@ -660,6 +687,7 @@ pub fn solve_claims(
         .map_err(|(source, reason)| ServeError::InvalidChunk { source, reason })?;
     let table = build_table(schema, claims)?;
     let mut session = CrhSession::new(&table)?;
+    session.set_threads(threads);
     let mut w = seed_weights.to_vec();
     w.resize(table.num_sources(), 1.0);
     w.truncate(table.num_sources());

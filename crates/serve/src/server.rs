@@ -303,7 +303,10 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
             claims,
         } => {
             // copy the weights under the lock, solve without it
-            let seed = shared.core().weights().to_vec();
+            let (seed, threads) = {
+                let core = shared.core();
+                (core.weights().to_vec(), core.solve_threads())
+            };
             let cancel = CancelToken::with_deadline(shared.cfg.solve_deadline);
             match solve_claims(
                 &shared.schema,
@@ -311,6 +314,7 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
                 &seed,
                 tol,
                 max_iters as usize,
+                threads,
                 &cancel,
             ) {
                 Ok(out) => Response::Solved {
@@ -687,9 +691,14 @@ fn replicated_solve(req: &Request, shared: &Arc<HaShared>) -> Response {
             "replicated_solve called with a non-solve request".into(),
         ));
     };
-    let (seed, role, lag) = {
+    let (seed, threads, role, lag) = {
         let node = shared.node();
-        (node.core().weights().to_vec(), node.role(), node.lag())
+        (
+            node.core().weights().to_vec(),
+            node.core().solve_threads(),
+            node.role(),
+            node.lag(),
+        )
     };
     let cancel = CancelToken::with_deadline(shared.cfg.server.solve_deadline);
     let inner = match solve_claims(
@@ -698,6 +707,7 @@ fn replicated_solve(req: &Request, shared: &Arc<HaShared>) -> Response {
         &seed,
         *tol,
         *max_iters as usize,
+        threads,
         &cancel,
     ) {
         Ok(out) => Response::Solved {

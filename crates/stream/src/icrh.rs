@@ -4,8 +4,11 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use crh_core::error::Result;
+use crh_core::par::Pool;
 use crh_core::persist::{read_frame, write_frame, Dec, Enc, PersistError};
-use crh_core::solver::{deviation_matrix, fit_all, source_losses, PreparedProblem, PropertyNorm};
+use crh_core::solver::{
+    fit_and_deviations_into, source_losses_mat, PreparedProblem, PropertyNorm, SolverScratch,
+};
 use crh_core::table::{ObservationTable, TruthTable};
 use crh_core::weights::{LogMax, WeightAssigner};
 
@@ -17,6 +20,7 @@ pub struct ICrh {
     assigner: Box<dyn WeightAssigner>,
     property_norm: PropertyNorm,
     count_normalize: bool,
+    threads: usize,
 }
 
 impl std::fmt::Debug for ICrh {
@@ -41,7 +45,16 @@ impl ICrh {
             assigner: Box::new(LogMax),
             property_norm: PropertyNorm::SumToOne,
             count_normalize: true,
+            threads: 0,
         })
+    }
+
+    /// Kernel thread count for the per-chunk fit/deviation pass: `0`
+    /// (default) = available parallelism, `1` = the exact sequential path.
+    /// Results are bit-identical for every value.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
     }
 
     /// Replace the weight-assignment scheme.
@@ -64,12 +77,15 @@ impl ICrh {
 
     /// Begin a streaming session (Algorithm 2 line 1: `w_k = 1`, `a_k = 0`).
     pub fn start(self) -> ICrhState {
+        let pool = Pool::new(self.threads);
         ICrhState {
             cfg: self,
             weights: Vec::new(),
             accumulated: Vec::new(),
             chunks_seen: 0,
             weight_history: Vec::new(),
+            pool,
+            scratch: SolverScratch::new(0, 0, 0),
         }
     }
 
@@ -99,6 +115,8 @@ pub struct ICrhState {
     accumulated: Vec<f64>,
     chunks_seen: usize,
     weight_history: Vec<Vec<f64>>,
+    pool: Pool,
+    scratch: SolverScratch,
 }
 
 impl std::fmt::Debug for ICrhState {
@@ -206,12 +224,15 @@ impl ICrhState {
     /// snapshotted session left off.
     pub fn resume(cfg: ICrh, ckpt: ICrhCheckpoint) -> std::result::Result<Self, StreamError> {
         ckpt.validate()?;
+        let pool = Pool::new(cfg.threads);
         Ok(Self {
             cfg,
             weights: ckpt.weights,
             accumulated: ckpt.accumulated,
             chunks_seen: ckpt.chunks_seen,
             weight_history: Vec::new(),
+            pool,
+            scratch: SolverScratch::new(0, 0, 0),
         })
     }
 
@@ -229,13 +250,18 @@ impl ICrhState {
 
         let prepared = PreparedProblem::new(chunk, &HashMap::new())?;
 
-        // Line 3: truths from current weights.
-        let truths = fit_all(&prepared, &self.weights);
-
-        // Line 4: update accumulated distances.
-        let dev = deviation_matrix(&prepared, &truths);
-        let chunk_losses = source_losses(
-            &dev,
+        // Lines 3-4 fused: one entry-sharded sweep fits the chunk's truths
+        // under the current weights and accumulates their deviations.
+        let mut truths = TruthTable::new(Vec::new());
+        fit_and_deviations_into(
+            &prepared,
+            &self.weights,
+            &self.pool,
+            &mut truths,
+            &mut self.scratch,
+        );
+        let chunk_losses = source_losses_mat(
+            self.scratch.dev(),
             chunk.source_counts(),
             self.cfg.property_norm,
             self.cfg.count_normalize,
