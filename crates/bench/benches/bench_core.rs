@@ -26,13 +26,16 @@ use crh_core::solver::{CrhBuilder, CrhResult};
 use crh_core::table::{ObservationTable, TableBuilder};
 use crh_core::value::Value;
 
-const OBJECTS: u32 = 3000;
+const OBJECTS: u32 = 12_000;
 const SOURCES: u32 = 10;
 const MAX_ITERS: usize = 12;
 
-/// Large seeded mixed table: 3000 objects × (2 continuous + 2
-/// categorical) properties × 10 sources at ~85% density — ~12k entries,
-/// far past one 256-entry kernel chunk, ~100k observations.
+/// Large seeded mixed table: 12k objects × (2 continuous + 2
+/// categorical) properties × 10 sources at ~85% density — ~48k entries,
+/// far past one 256-entry kernel chunk, ~400k observations. Sized so
+/// the per-iteration work dominates thread spawn/join overhead: at the
+/// old 3k-object size, 2- and 4-thread runs barely broke even against
+/// a single thread and the scaling gate measured mostly fixed costs.
 fn large_table() -> ObservationTable {
     let mut rng = Pcg64::seed_from_u64(0xC0FFEE);
     let mut schema = Schema::new();

@@ -167,6 +167,7 @@ fn bench_replication(c: &mut Harness) {
                         .map(|(j, a)| (j as u32, a.clone()))
                         .collect(),
                     commit_wait: Duration::from_secs(5),
+                    shard: None,
                 };
                 let serve = ServeConfig::new(schema(), 0.5, base.join(format!("n{id}")));
                 Some(HaServer::start(rc, serve, ha, &addrs[id]).unwrap())

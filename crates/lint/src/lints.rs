@@ -111,6 +111,7 @@ const CLOCK_SCOPE: &[&str] = &[
     "crates/serve/src/failover.rs",
     "crates/serve/src/core.rs",
     "crates/serve/src/replicate.rs",
+    "crates/serve/src/shard.rs",
     "crates/serve/src/wal.rs",
     "crates/mapreduce/src/faults.rs",
     "crates/mapreduce/src/driver.rs",
@@ -131,6 +132,7 @@ const HASH_SCOPE: &[&str] = &[
     "crates/serve/src/failover.rs",
     "crates/serve/src/core.rs",
     "crates/serve/src/replicate.rs",
+    "crates/serve/src/shard.rs",
     "crates/mapreduce/src/faults.rs",
     "crates/core/src/par.rs",
     "crates/core/src/persist.rs",

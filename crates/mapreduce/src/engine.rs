@@ -247,10 +247,19 @@ impl AttemptCtx {
     }
 }
 
-fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
+/// The deterministic 64-bit hash point every partitioning decision in the
+/// workspace derives from: reducers here, entry-shard ranges in `crh-serve`.
+/// `DefaultHasher::new()` is keyed with fixed constants, so the mapping is
+/// stable across processes and restarts — a requirement for shard maps that
+/// must agree between a router, N shard groups, and a recovery replay.
+pub fn key_hash<K: Hash>(key: &K) -> u64 {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
-    (h.finish() as usize) % parts
+    h.finish()
+}
+
+fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
+    (key_hash(key) as usize) % parts
 }
 
 /// Group a sorted `(K, V)` run into per-key value vectors and fold each with

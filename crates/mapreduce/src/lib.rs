@@ -46,7 +46,7 @@ pub mod outofcore;
 pub mod sidefile;
 
 pub use driver::{CheckpointConfig, ClaimRecord, ParallelCrh, ParallelCrhResult};
-pub use engine::{map_reduce, no_combiner, JobConfig, JobStats};
+pub use engine::{key_hash, map_reduce, no_combiner, JobConfig, JobStats};
 pub use error::MapReduceError;
 pub use external::{Codec, ExternalSorter, MergeIter};
 pub use faults::{AttemptFate, FaultInjector, FaultPlan, Phase};

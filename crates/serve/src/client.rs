@@ -348,7 +348,7 @@ impl ClusterClient {
         }
     }
 
-    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+    pub(crate) fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
         let mut log = Vec::new();
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
@@ -379,7 +379,7 @@ impl ClusterClient {
     }
 
     /// Unwrap a possible follower answer into `(inner, lag)`.
-    fn read(&mut self, req: &Request) -> Result<(Response, u64), ServeError> {
+    pub(crate) fn read(&mut self, req: &Request) -> Result<(Response, u64), ServeError> {
         match self.call(req)? {
             Response::FollowerRead { lag, inner } => {
                 let inner = Response::decode(&inner)?;

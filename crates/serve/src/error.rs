@@ -108,6 +108,36 @@ pub enum ServeError {
         /// This node's current epoch.
         current: u64,
     },
+    /// A scatter-gather read completed on some shard groups but not all
+    /// of them. The payload that *was* gathered is still returned beside
+    /// this error by the router's typed [`Sharded`](crate::router::Sharded)
+    /// wrapper; this variant is what a strict single-shard read reports
+    /// when the owning group is unreachable.
+    Degraded {
+        /// Shard ids whose groups could not answer within the deadline.
+        missing_shards: Vec<u32>,
+    },
+    /// A shard-routed frame landed on a member of a different shard group
+    /// (a misdelivery or a stale route table). The frame was not acted on.
+    WrongShard {
+        /// The shard id the frame was addressed to.
+        shard: u32,
+        /// The shard id the receiving member actually serves.
+        at: u32,
+    },
+    /// A shard-routed frame carried a shard-map version older than the
+    /// receiver's: the sender's route table predates a cutover. Refresh
+    /// the route table and retry.
+    StaleShardMap {
+        /// The map version the frame carried.
+        got: u64,
+        /// The receiver's current map version.
+        current: u64,
+    },
+    /// A fault-plan builder was given an out-of-range probability or the
+    /// variants' probabilities sum past 1.0, which would silently skew
+    /// every seeded fate drawn from the plan.
+    InvalidFaultPlan(String),
     /// A seeded fault-plan crash fired at this point. Chaos tests treat
     /// this exactly like `kill -9`: drop the core and recover from disk.
     InjectedCrash(ServePoint),
@@ -178,6 +208,19 @@ impl std::fmt::Display for ServeError {
                     "message from stale epoch {got} (current epoch {current})"
                 )
             }
+            Self::Degraded { missing_shards } => write!(
+                f,
+                "degraded read: shard group(s) {missing_shards:?} unreachable"
+            ),
+            Self::WrongShard { shard, at } => write!(
+                f,
+                "frame for shard {shard} misdelivered to a member of shard {at}"
+            ),
+            Self::StaleShardMap { got, current } => write!(
+                f,
+                "stale shard map version {got} (current {current}); refresh the route table"
+            ),
+            Self::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             Self::InjectedCrash(p) => write!(f, "injected crash at {p:?}"),
             Self::Stream(e) => write!(f, "stream error: {e}"),
             Self::Core(e) => write!(f, "solver error: {e}"),
@@ -251,6 +294,12 @@ pub mod code {
     pub const STALE_EPOCH: u8 = 10;
     /// Replication frame carried the wrong cluster key.
     pub const UNAUTHENTICATED: u8 = 11;
+    /// Scatter-gather read missing one or more shard groups.
+    pub const DEGRADED: u8 = 12;
+    /// Shard-routed frame delivered to a member of a different shard.
+    pub const WRONG_SHARD: u8 = 13;
+    /// Shard-routed frame carried a pre-cutover shard-map version.
+    pub const STALE_SHARD_MAP: u8 = 14;
 }
 
 impl ServeError {
@@ -267,6 +316,9 @@ impl ServeError {
             Self::NotReplicated { .. } => code::NOT_REPLICATED,
             Self::StaleEpoch { .. } => code::STALE_EPOCH,
             Self::Unauthenticated => code::UNAUTHENTICATED,
+            Self::Degraded { .. } => code::DEGRADED,
+            Self::WrongShard { .. } => code::WRONG_SHARD,
+            Self::StaleShardMap { .. } => code::STALE_SHARD_MAP,
             Self::Remote { code, .. } => *code,
             _ => code::INTERNAL,
         }
@@ -330,6 +382,25 @@ mod tests {
             reason: "EIO".into(),
         };
         assert!(e.to_string().contains("EIO"));
+    }
+
+    #[test]
+    fn shard_errors_display_and_code() {
+        let e = ServeError::Degraded {
+            missing_shards: vec![1, 3],
+        };
+        assert!(e.to_string().contains("[1, 3]"));
+        assert_eq!(e.wire_code(), code::DEGRADED);
+        let e = ServeError::WrongShard { shard: 2, at: 0 };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("shard 0"));
+        assert_eq!(e.wire_code(), code::WRONG_SHARD);
+        let e = ServeError::StaleShardMap { got: 1, current: 2 };
+        assert!(e.to_string().contains("version 1"));
+        assert_eq!(e.wire_code(), code::STALE_SHARD_MAP);
+        let e = ServeError::InvalidFaultPlan("drop_prob = 1.5".into());
+        assert!(e.to_string().contains("1.5"));
+        assert_eq!(e.wire_code(), code::INTERNAL);
     }
 
     #[test]

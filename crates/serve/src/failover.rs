@@ -63,6 +63,7 @@ impl SimCluster {
         serve_for: impl Fn(u32) -> ServeConfig,
         plan: NetFaultPlan,
     ) -> Result<Self, ServeError> {
+        plan.validate()?;
         let all: Vec<u32> = (0..n as u32).collect();
         let mut nodes = Vec::with_capacity(n);
         let mut setups = Vec::with_capacity(n);
@@ -91,6 +92,22 @@ impl SimCluster {
     /// Borrow node `i`, if it is alive.
     pub fn node(&self, i: usize) -> Option<&ReplicaNode> {
         self.nodes.get(i).and_then(Option::as_ref)
+    }
+
+    /// Mutably borrow node `i`, if it is alive. The shard-split
+    /// coordinator uses this to drive the catch-up protocol against a
+    /// donor group's primary directly, outside the stepped tick loop.
+    pub fn node_mut(&mut self, i: usize) -> Option<&mut ReplicaNode> {
+        self.nodes.get_mut(i).and_then(Option::as_mut)
+    }
+
+    /// Indices of the members currently alive.
+    pub fn alive(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| i))
+            .collect()
     }
 
     /// Number of member slots (alive or not).

@@ -23,6 +23,19 @@ use std::time::Duration;
 
 use crh_core::rng::{hash_rng, Rng};
 
+use crate::error::ServeError;
+
+/// `Ok` iff `p` is a usable probability: finite and within `[0, 1]`.
+fn check_prob(name: &str, p: f64) -> Result<(), ServeError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(ServeError::InvalidFaultPlan(format!(
+            "{name} = {p} is not a probability in [0, 1]"
+        )))
+    }
+}
+
 /// Where in the pipeline an injected crash fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServePoint {
@@ -157,6 +170,26 @@ impl ServeFaultPlan {
             + self.snapshot_truncate_prob
             + self.stall_prob
     }
+
+    /// Reject out-of-range probabilities and overfull plans with a typed
+    /// error. The builder setters stay infallible (they are chained in
+    /// test literals); this runs when the plan is installed in an
+    /// injector, so a bad probability cannot silently skew seeded fates.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        check_prob("torn_wal_prob", self.torn_wal_prob)?;
+        check_prob("before_fold_prob", self.before_fold_prob)?;
+        check_prob("after_fold_prob", self.after_fold_prob)?;
+        check_prob("snapshot_write_prob", self.snapshot_write_prob)?;
+        check_prob("snapshot_truncate_prob", self.snapshot_truncate_prob)?;
+        check_prob("stall_prob", self.stall_prob)?;
+        let total = self.total_prob();
+        if total > 1.0 + 1e-12 {
+            return Err(ServeError::InvalidFaultPlan(format!(
+                "fault probabilities must sum to <= 1 (got {total})"
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Resolves attempt fates from a [`ServeFaultPlan`].
@@ -174,16 +207,32 @@ impl ServeFaultInjector {
     /// Wrap a plan.
     ///
     /// # Panics
-    /// Panics if the plan's probabilities sum past 1.
+    /// Panics if the plan's probabilities sum past 1 or any probability
+    /// falls outside `[0, 1]`. Use [`Self::try_new`] for a typed error.
     pub fn new(plan: ServeFaultPlan) -> Self {
         assert!(
             plan.total_prob() <= 1.0 + 1e-12,
             "fault probabilities must sum to <= 1"
         );
+        assert!(
+            plan.validate().is_ok(),
+            "invalid fault plan: {:?}",
+            plan.validate().err()
+        );
         Self {
             plan: Some(Arc::new(plan)),
             fired: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Wrap a plan, reporting an invalid one as a typed error instead of
+    /// panicking.
+    pub fn try_new(plan: ServeFaultPlan) -> Result<Self, ServeError> {
+        plan.validate()?;
+        Ok(Self {
+            plan: Some(Arc::new(plan)),
+            fired: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// An injector that never injects (the production default).
@@ -419,6 +468,163 @@ impl NetFaultPlan {
         out.dedup();
         out
     }
+
+    /// Reject out-of-range or jointly-overfull link probabilities with a
+    /// typed error. [`SimCluster`](crate::failover::SimCluster) runs this
+    /// on construction, so a chaos config cannot silently skew the seeded
+    /// drop/dup split (the three classes share one uniform draw).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        check_prob("drop_prob", self.drop_prob)?;
+        check_prob("drop_reply_prob", self.drop_reply_prob)?;
+        check_prob("dup_prob", self.dup_prob)?;
+        let total = self.drop_prob + self.drop_reply_prob + self.dup_prob;
+        if total > 1.0 + 1e-12 {
+            return Err(ServeError::InvalidFaultPlan(format!(
+                "link fault probabilities must sum to <= 1 (got {total})"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Where a seeded `kill -9` fires inside a shard split. The split
+/// coordinator checks the plan at each stage boundary and abandons the
+/// process there, exactly as a real crash would; recovery then reloads
+/// the durable shard-map store and must land on exactly the pre- or
+/// post-cutover topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitCrash {
+    /// Before any staging I/O: nothing moved, map untouched.
+    PreStage,
+    /// After the donor snapshot is staged on some (not all) new-group
+    /// members, mid catch-up: staged dirs are partial, map untouched.
+    MidCatchUp,
+    /// After the cutover record reached the durable shard-map store but
+    /// before the coordinator adopted it in memory: the split is
+    /// complete on disk.
+    PostCutoverRecord,
+    /// After adoption, before the caller sees the acknowledgement: the
+    /// classic lost-ack ambiguity, resolved post-cutover on recovery.
+    PreAck,
+}
+
+/// A seeded chaos schedule for a *sharded* topology: one link-fault
+/// template stamped out per shard group (re-seeded per group so chaos
+/// differs across groups but stays pure in `(seed, shard)`), per-group
+/// partition windows, timed kills of single members or a shard's whole
+/// quorum, and an optional crash point inside a split.
+#[derive(Debug, Clone, Default)]
+pub struct ShardFaultPlan {
+    /// Seed every group's link fates are derived from.
+    pub seed: u64,
+    /// Per-group random frame-drop probability.
+    pub drop_prob: f64,
+    /// Per-group lost-reply probability.
+    pub drop_reply_prob: f64,
+    /// Per-group frame-duplication probability.
+    pub dup_prob: f64,
+    /// `(shard, window)`: a partition inside that shard's group.
+    pub group_partitions: Vec<(u32, PartitionWindow)>,
+    /// `(step, shard, node)`: kill one member of `shard` at `step`.
+    pub group_kills: Vec<(u64, u32, u32)>,
+    /// `(step, shard)`: kill *every* member of `shard` at `step` — the
+    /// whole-quorum outage the degraded-read contract is tested under.
+    pub quorum_kills: Vec<(u64, u32)>,
+    /// Steps a killed node stays down before restarting from its disk.
+    pub restart_after: u64,
+    /// Crash the split coordinator at this stage boundary.
+    pub split_crash: Option<SplitCrash>,
+}
+
+impl ShardFaultPlan {
+    /// A plan with the given seed and no faults.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            restart_after: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Set the per-group random frame-drop probability.
+    pub fn drops(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Set the per-group lost-reply probability.
+    pub fn dropped_replies(mut self, p: f64) -> Self {
+        self.drop_reply_prob = p;
+        self
+    }
+
+    /// Set the per-group frame-duplication probability.
+    pub fn dups(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Add a partition window inside `shard`'s group.
+    pub fn group_partition(mut self, shard: u32, w: PartitionWindow) -> Self {
+        self.group_partitions.push((shard, w));
+        self
+    }
+
+    /// Kill one member of `shard` at `step`.
+    pub fn kill_node(mut self, step: u64, shard: u32, node: u32) -> Self {
+        self.group_kills.push((step, shard, node));
+        self
+    }
+
+    /// Kill every member of `shard` at `step`.
+    pub fn kill_quorum(mut self, step: u64, shard: u32) -> Self {
+        self.quorum_kills.push((step, shard));
+        self
+    }
+
+    /// Set how long killed nodes stay down.
+    pub fn restart_after(mut self, steps: u64) -> Self {
+        self.restart_after = steps;
+        self
+    }
+
+    /// Crash the split coordinator at `point`.
+    pub fn split_crash(mut self, point: SplitCrash) -> Self {
+        self.split_crash = Some(point);
+        self
+    }
+
+    /// Materialise the per-group [`NetFaultPlan`] for `shard`, a group of
+    /// `replicas` members. Pure in `(seed, shard)`: the same sharded plan
+    /// always yields the same per-group chaos, and two groups under one
+    /// plan draw independent fates.
+    pub fn plan_for(&self, shard: u32, replicas: usize) -> Result<NetFaultPlan, ServeError> {
+        let mut rng = hash_rng(self.seed, &[0x5A4D, u64::from(shard)]);
+        let mut p = NetFaultPlan::new(rng.next_u64())
+            .drops(self.drop_prob)
+            .dropped_replies(self.drop_reply_prob)
+            .dups(self.dup_prob)
+            .restart_after(self.restart_after);
+        for (s, w) in &self.group_partitions {
+            if *s == shard {
+                p = p.partition(*w);
+            }
+        }
+        for &(step, s, node) in &self.group_kills {
+            if s == shard {
+                p = p.kill(step, node);
+            }
+        }
+        for &(step, s) in &self.quorum_kills {
+            if s == shard {
+                for node in 0..replicas as u32 {
+                    p = p.kill(step, node);
+                }
+            }
+        }
+        p.validate()?;
+        Ok(p)
+    }
 }
 
 #[cfg(test)]
@@ -553,6 +759,70 @@ mod tests {
         // A→B requests arrive but the reply is lost; B→A requests vanish
         assert_eq!(p.link_fate(0, 1, 5, 0), LinkFate::DropReply);
         assert_eq!(p.link_fate(1, 0, 5, 0), LinkFate::Drop);
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_typed_errors() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, -f64::INFINITY] {
+            let e = ServeFaultInjector::try_new(ServeFaultPlan::new(0).torn_wal(bad));
+            assert!(
+                matches!(e, Err(ServeError::InvalidFaultPlan(_))),
+                "torn_wal({bad}) accepted"
+            );
+            let e = NetFaultPlan::new(0).drops(bad).validate();
+            assert!(
+                matches!(e, Err(ServeError::InvalidFaultPlan(_))),
+                "drops({bad}) accepted"
+            );
+            let e = ShardFaultPlan::new(0).dups(bad).plan_for(0, 3);
+            assert!(
+                matches!(e, Err(ServeError::InvalidFaultPlan(_))),
+                "shard dups({bad}) accepted"
+            );
+        }
+        // every individual probability in range, but jointly overfull
+        let e = ServeFaultInjector::try_new(ServeFaultPlan::new(0).torn_wal(0.7).before_fold(0.7));
+        assert!(matches!(e, Err(ServeError::InvalidFaultPlan(_))));
+        let e = NetFaultPlan::new(0)
+            .drops(0.5)
+            .dropped_replies(0.4)
+            .dups(0.2)
+            .validate();
+        assert!(matches!(e, Err(ServeError::InvalidFaultPlan(_))));
+        // valid plans pass
+        assert!(ServeFaultInjector::try_new(ServeFaultPlan::new(0).torn_wal(0.5)).is_ok());
+        assert!(NetFaultPlan::new(0).drops(0.5).dups(0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn shard_plan_is_deterministic_and_group_sensitive() {
+        let plan = ShardFaultPlan::new(9)
+            .drops(0.1)
+            .dups(0.05)
+            .group_partition(
+                1,
+                PartitionWindow {
+                    from_step: 5,
+                    to_step: 10,
+                    side_a: 0b001,
+                    one_way: false,
+                },
+            )
+            .kill_node(7, 0, 2)
+            .kill_quorum(20, 1);
+        let g0 = plan.plan_for(0, 3).unwrap();
+        let g0b = plan.plan_for(0, 3).unwrap();
+        let g1 = plan.plan_for(1, 3).unwrap();
+        // pure in (seed, shard); groups draw independent link fates
+        assert_eq!(g0.seed, g0b.seed);
+        assert_ne!(g0.seed, g1.seed);
+        // faults land only on their own group
+        assert_eq!(g0.kills_at(7), vec![2]);
+        assert_eq!(g1.kills_at(7), Vec::<u32>::new());
+        assert_eq!(g1.kills_at(20), vec![0, 1, 2], "quorum kill covers all");
+        assert_eq!(g0.kills_at(20), Vec::<u32>::new());
+        assert!(g0.partitions.is_empty());
+        assert_eq!(g1.partitions.len(), 1);
     }
 
     #[test]

@@ -35,6 +35,16 @@
 //!    ties to the lowest node id), and [`ClusterClient`] fails over
 //!    transparently with capped, jittered backoff.
 //!
+//! 6. **Sharded scale-out** ([`shard`], [`router`]) — a versioned
+//!    hash-range shard map (derived from the same deterministic hash
+//!    seam `crh-mapreduce` partitions with) assigns every entry to one
+//!    of N shard groups, each an independent quorum-replicated cluster;
+//!    [`ShardRouter`] scatter-gathers reads under a typed degraded-read
+//!    contract ([`Sharded`] / [`ServeError::Degraded`]) and shard splits
+//!    stage the moved range via snapshot + WAL catch-up before one
+//!    atomic durable cutover record, so a crash at any point during a
+//!    split recovers to exactly the pre- or post-cutover topology.
+//!
 //! The wire protocol ([`proto`]) is the workspace's own length-prefixed
 //! CRC-framed format; [`client`] is a small synchronous client. Nothing
 //! here needs a dependency outside the workspace.
@@ -51,7 +61,9 @@ pub mod faults;
 pub mod proto;
 pub mod queue;
 pub mod replicate;
+pub mod router;
 pub mod server;
+pub mod shard;
 pub mod wal;
 
 pub use breaker::BreakerConfig;
@@ -64,9 +76,13 @@ pub use error::ServeError;
 pub use failover::{elect, SimCluster};
 pub use faults::{
     LinkFate, NetFaultPlan, PartitionWindow, ServeFate, ServeFaultInjector, ServeFaultPlan,
-    ServePoint,
+    ServePoint, ShardFaultPlan, SplitCrash,
 };
 pub use queue::BoundedQueue;
 pub use replicate::{ReplicaConfig, ReplicaNode, ReplicaRecovery, Role};
+pub use router::{ShardAck, ShardGroup, ShardRouter};
 pub use server::{HaConfig, HaServer, Server, ServerConfig};
+pub use shard::{
+    entry_point, ShardMap, ShardMapStore, ShardRange, Sharded, ShardedSim, SplitOutcome, SplitSpec,
+};
 pub use wal::{Wal, WalRecovery};

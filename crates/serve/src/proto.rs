@@ -21,6 +21,7 @@ use crh_core::value::Truth;
 
 use crate::core::ChunkClaim;
 use crate::error::ServeError;
+use crate::shard::ShardRange;
 
 /// Upper bound on a single frame's payload (16 MiB).
 pub const MAX_FRAME_BYTES: u32 = 16 << 20;
@@ -117,6 +118,60 @@ pub enum Request {
         /// The candidate's current epoch.
         epoch: u64,
     },
+    /// Router → any shard member: fetch the member's current shard map
+    /// so a client with a stale route table can re-route after a
+    /// split/cutover.
+    RouteTable,
+    /// Router → shard primary: fold one chunk of claims, all of which
+    /// hash into `shard`'s entry range. Refused with `WRONG_SHARD` on a
+    /// misdelivery and `STALE_SHARD_MAP` when `map_version` predates the
+    /// member's map, so a routing error can never fold claims into the
+    /// wrong group.
+    ShardIngest {
+        /// The shard the sender believes it is addressing.
+        shard: u32,
+        /// The shard-map version the routing decision was made under.
+        map_version: u64,
+        /// The claims to fold.
+        claims: Vec<ChunkClaim>,
+    },
+    /// Router → shard member: read one cell's truth, shard-checked the
+    /// same way as [`Request::ShardIngest`].
+    ShardTruth {
+        /// The shard the sender believes owns the cell.
+        shard: u32,
+        /// The shard-map version the routing decision was made under.
+        map_version: u64,
+        /// The object id.
+        object: u32,
+        /// The property id.
+        property: u32,
+    },
+    /// Split coordinator → virgin member of a *new* shard group: install
+    /// the donor's snapshot and catch-up records before the group opens.
+    /// Only accepted by an empty replica (nothing staged, nothing
+    /// folded), so a misdelivery can never overwrite live state.
+    SplitStage {
+        /// Shared cluster key; frames with the wrong key are refused.
+        token: u64,
+        /// The shard this member will serve after cutover.
+        shard: u32,
+        /// Donor full-state snapshot, installed first when present.
+        snapshot: Option<Vec<u8>>,
+        /// Donor WAL record payloads, consecutive by sequence.
+        records: Vec<Vec<u8>>,
+    },
+    /// Split coordinator → every member: atomically adopt the
+    /// post-split shard map. Each member persists the map before
+    /// answering, so the cutover survives any crash after the ack.
+    SplitCutover {
+        /// Shared cluster key; frames with the wrong key are refused.
+        token: u64,
+        /// The new map version (must exceed the member's current).
+        version: u64,
+        /// The complete post-split range table.
+        ranges: Vec<ShardRange>,
+    },
 }
 
 /// A daemon response.
@@ -207,6 +262,16 @@ pub enum Response {
         /// The encoded inner response.
         inner: Vec<u8>,
     },
+    /// A shard member's current route table, for
+    /// [`Request::RouteTable`].
+    RouteTable {
+        /// The member's shard-map version.
+        version: u64,
+        /// The shard this member serves.
+        shard: u32,
+        /// The complete range table, sorted and contiguous.
+        ranges: Vec<ShardRange>,
+    },
 }
 
 const REQ_INGEST: u8 = 0;
@@ -221,6 +286,11 @@ const REQ_HEARTBEAT: u8 = 8;
 const REQ_CATCH_UP: u8 = 9;
 const REQ_PROMOTE: u8 = 10;
 const REQ_SEQ_QUERY: u8 = 11;
+const REQ_ROUTE_TABLE: u8 = 12;
+const REQ_SHARD_INGEST: u8 = 13;
+const REQ_SHARD_TRUTH: u8 = 14;
+const REQ_SPLIT_STAGE: u8 = 15;
+const REQ_SPLIT_CUTOVER: u8 = 16;
 
 const RESP_ACK: u8 = 0;
 const RESP_WEIGHTS: u8 = 1;
@@ -230,6 +300,7 @@ const RESP_SOLVED: u8 = 4;
 const RESP_REPL_ACK: u8 = 5;
 const RESP_CATCH_UP_RECORDS: u8 = 6;
 const RESP_FOLLOWER_READ: u8 = 7;
+const RESP_ROUTE_TABLE: u8 = 8;
 const RESP_ERROR: u8 = 255;
 
 fn enc_claims(e: &mut Enc, claims: &[ChunkClaim]) {
@@ -254,6 +325,28 @@ fn dec_claims(d: &mut Dec) -> Result<Vec<ChunkClaim>, ServeError> {
         });
     }
     Ok(claims)
+}
+
+fn enc_ranges(e: &mut Enc, ranges: &[ShardRange]) {
+    e.u32(ranges.len() as u32);
+    for r in ranges {
+        e.u32(r.shard);
+        e.u64(r.start);
+        e.u64(r.end);
+    }
+}
+
+fn dec_ranges(d: &mut Dec) -> Result<Vec<ShardRange>, ServeError> {
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        out.push(ShardRange {
+            shard: d.u32()?,
+            start: d.u64()?,
+            end: d.u64()?,
+        });
+    }
+    Ok(out)
 }
 
 fn dec_u32s(d: &mut Dec) -> Result<Vec<u32>, ServeError> {
@@ -349,6 +442,60 @@ impl Request {
                 e.u64(*token);
                 e.u64(*epoch);
             }
+            Self::RouteTable => e.u8(REQ_ROUTE_TABLE),
+            Self::ShardIngest {
+                shard,
+                map_version,
+                claims,
+            } => {
+                e.u8(REQ_SHARD_INGEST);
+                e.u32(*shard);
+                e.u64(*map_version);
+                enc_claims(&mut e, claims);
+            }
+            Self::ShardTruth {
+                shard,
+                map_version,
+                object,
+                property,
+            } => {
+                e.u8(REQ_SHARD_TRUTH);
+                e.u32(*shard);
+                e.u64(*map_version);
+                e.u32(*object);
+                e.u32(*property);
+            }
+            Self::SplitStage {
+                token,
+                shard,
+                snapshot,
+                records,
+            } => {
+                e.u8(REQ_SPLIT_STAGE);
+                e.u64(*token);
+                e.u32(*shard);
+                match snapshot {
+                    None => e.u8(0),
+                    Some(s) => {
+                        e.u8(1);
+                        e.bytes(s);
+                    }
+                }
+                e.u32(records.len() as u32);
+                for r in records {
+                    e.bytes(r);
+                }
+            }
+            Self::SplitCutover {
+                token,
+                version,
+                ranges,
+            } => {
+                e.u8(REQ_SPLIT_CUTOVER);
+                e.u64(*token);
+                e.u64(*version);
+                enc_ranges(&mut e, ranges);
+            }
         }
         e.into_bytes()
     }
@@ -400,6 +547,47 @@ impl Request {
             REQ_SEQ_QUERY => Self::SeqQuery {
                 token: d.u64()?,
                 epoch: d.u64()?,
+            },
+            REQ_ROUTE_TABLE => Self::RouteTable,
+            REQ_SHARD_INGEST => Self::ShardIngest {
+                shard: d.u32()?,
+                map_version: d.u64()?,
+                claims: dec_claims(&mut d)?,
+            },
+            REQ_SHARD_TRUTH => Self::ShardTruth {
+                shard: d.u32()?,
+                map_version: d.u64()?,
+                object: d.u32()?,
+                property: d.u32()?,
+            },
+            REQ_SPLIT_STAGE => {
+                let token = d.u64()?;
+                let shard = d.u32()?;
+                let snapshot = match d.u8()? {
+                    0 => None,
+                    1 => Some(d.bytes()?),
+                    tag => {
+                        return Err(ServeError::Protocol(format!(
+                            "bad option tag {tag} in split-stage snapshot"
+                        )));
+                    }
+                };
+                let n = d.u32()? as usize;
+                let mut records = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    records.push(d.bytes()?);
+                }
+                Self::SplitStage {
+                    token,
+                    shard,
+                    snapshot,
+                    records,
+                }
+            }
+            REQ_SPLIT_CUTOVER => Self::SplitCutover {
+                token: d.u64()?,
+                version: d.u64()?,
+                ranges: dec_ranges(&mut d)?,
             },
             tag => {
                 return Err(ServeError::Protocol(format!("unknown request tag {tag}")));
@@ -517,6 +705,16 @@ impl Response {
                 e.u64(*lag);
                 e.bytes(inner);
             }
+            Self::RouteTable {
+                version,
+                shard,
+                ranges,
+            } => {
+                e.u8(RESP_ROUTE_TABLE);
+                e.u64(*version);
+                e.u32(*shard);
+                enc_ranges(&mut e, ranges);
+            }
         }
         e.into_bytes()
     }
@@ -602,6 +800,11 @@ impl Response {
             RESP_FOLLOWER_READ => Self::FollowerRead {
                 lag: d.u64()?,
                 inner: d.bytes()?,
+            },
+            RESP_ROUTE_TABLE => Self::RouteTable {
+                version: d.u64()?,
+                shard: d.u32()?,
+                ranges: dec_ranges(&mut d)?,
             },
             tag => {
                 return Err(ServeError::Protocol(format!("unknown response tag {tag}")));
@@ -736,6 +939,46 @@ mod tests {
                 token: 0xC1A5,
                 epoch: 4,
             },
+            Request::RouteTable,
+            Request::ShardIngest {
+                shard: 1,
+                map_version: 2,
+                claims: sample_claims(),
+            },
+            Request::ShardTruth {
+                shard: 0,
+                map_version: 2,
+                object: 7,
+                property: 1,
+            },
+            Request::SplitStage {
+                token: 0xC1A5,
+                shard: 2,
+                snapshot: Some(vec![1, 2, 3]),
+                records: vec![vec![4, 5], vec![]],
+            },
+            Request::SplitStage {
+                token: 0xC1A5,
+                shard: 2,
+                snapshot: None,
+                records: vec![],
+            },
+            Request::SplitCutover {
+                token: 0xC1A5,
+                version: 3,
+                ranges: vec![
+                    ShardRange {
+                        shard: 0,
+                        start: 0,
+                        end: 99,
+                    },
+                    ShardRange {
+                        shard: 1,
+                        start: 100,
+                        end: u64::MAX,
+                    },
+                ],
+            },
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -800,6 +1043,22 @@ mod tests {
             Response::FollowerRead {
                 lag: 2,
                 inner: Response::Weights(vec![1.0, 0.5]).encode(),
+            },
+            Response::RouteTable {
+                version: 3,
+                shard: 1,
+                ranges: vec![
+                    ShardRange {
+                        shard: 0,
+                        start: 0,
+                        end: 7,
+                    },
+                    ShardRange {
+                        shard: 1,
+                        start: 8,
+                        end: u64::MAX,
+                    },
+                ],
             },
         ];
         for resp in resps {

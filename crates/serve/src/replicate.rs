@@ -375,6 +375,11 @@ impl ReplicaNode {
         self.cfg.node_id
     }
 
+    /// The shared secret every trusted frame must carry.
+    pub fn cluster_key(&self) -> u64 {
+        self.cfg.cluster_key
+    }
+
     /// Current role.
     pub fn role(&self) -> Role {
         self.role
@@ -440,6 +445,49 @@ impl ReplicaNode {
     /// Force a snapshot of the folded state (clean-shutdown path).
     pub fn snapshot_now(&mut self) -> Result<(), ServeError> {
         self.core.snapshot_now()
+    }
+
+    /// Seed a *virgin* member of a freshly-split shard group with the
+    /// donor's committed state: install the snapshot (if any), fold each
+    /// committed record, and adopt the result as this node's durable,
+    /// quorum-committed prefix. Returns the seeded head.
+    ///
+    /// Refused with a typed error once the node holds any state — a
+    /// split stages strictly before the new group serves its first
+    /// write, so a crash mid-seed leaves a partially-seeded core the
+    /// coordinator simply wipes and re-stages (the cutover record is
+    /// written only after every member acked its seed).
+    pub fn seed_split(
+        &mut self,
+        snapshot: Option<&[u8]>,
+        records: &[Vec<u8>],
+    ) -> Result<u64, ServeError> {
+        if self.durable() != 0 || self.commit != 0 {
+            return Err(ServeError::Protocol(format!(
+                "split-stage refused: node {} already holds state (durable {}, committed {})",
+                self.cfg.node_id,
+                self.durable(),
+                self.commit
+            )));
+        }
+        if let Some(snap) = snapshot {
+            self.core.install_snapshot(snap)?;
+        }
+        for payload in records {
+            match self.core.apply_replicated(payload)? {
+                ApplyOutcome::Applied(_) | ApplyOutcome::AlreadyApplied => {}
+                ApplyOutcome::Gap { expected } => {
+                    return Err(ServeError::Protocol(format!(
+                        "gap in split-stage records: expected seq {expected}"
+                    )));
+                }
+            }
+        }
+        let head = self.core.chunks_seen();
+        self.synced = head;
+        self.commit = head;
+        self.primary_head = head;
+        Ok(head)
     }
 
     /// Digest of the folded state (replica-divergence checks).

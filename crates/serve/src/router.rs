@@ -1,0 +1,463 @@
+//! The shard router: client-side scatter-gather over N shard groups.
+//!
+//! A [`ShardRouter`] owns one [`ClusterClient`] per shard group, so
+//! every per-shard call inherits the cluster client's whole robustness
+//! ladder — transparent member failover, structured `NOT_PRIMARY`
+//! redirect following, capped-jittered retries, and the
+//! [`RetriesExhausted`](ServeError::RetriesExhausted) attempt log. On
+//! top of that it adds the routing concerns: claims are partitioned by
+//! the shared [`ShardMap`], shard-checked frames catch misdeliveries
+//! (`WRONG_SHARD`) and pre-cutover route tables (`STALE_SHARD_MAP`) as
+//! typed refusals, and a stale router heals itself by re-fetching the
+//! route table and re-routing.
+//!
+//! Reads come in two shapes, both honoring the *degraded-read
+//! contract*:
+//!
+//! - **scatter-gather** ([`scatter_status`](ShardRouter::scatter_status),
+//!   [`scatter_weights`](ShardRouter::scatter_weights)) returns a typed
+//!   [`Sharded`] carrying whatever the reachable groups answered plus
+//!   the `missing_shards` list — never an all-or-nothing error;
+//! - **strict single-shard** ([`truth`](ShardRouter::truth)) converts an
+//!   unreachable owning group into a typed
+//!   [`ServeError::Degraded`] naming the shard.
+//!
+//! Every per-shard call is deadline-bounded by the per-group client's
+//! socket timeout × retry budget, so a dead group delays a scatter by a
+//! bounded amount instead of hanging it.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crh_core::value::Truth;
+
+use crate::client::{ClusterClient, DaemonStatus, RetryPolicy};
+use crate::core::ChunkClaim;
+use crate::error::{code, ServeError};
+use crate::proto::{Request, Response};
+use crate::shard::{ShardMap, Sharded};
+
+/// Stale-map / wrong-shard refreshes one logical operation may spend
+/// before giving up (each refresh re-fetches the route table, so two
+/// covers any single concurrent split).
+const MAX_REFRESHES: u32 = 2;
+
+/// The member addresses of one shard group.
+#[derive(Debug, Clone)]
+pub struct ShardGroup {
+    /// The shard this group serves.
+    pub shard: u32,
+    /// `(node_id, address)` for every member; order is the failover
+    /// rotation order.
+    pub members: Vec<(u32, String)>,
+}
+
+/// One shard's acknowledgement of its slice of an ingested chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAck {
+    /// The shard that folded the sub-chunk.
+    pub shard: u32,
+    /// The sequence the shard's primary assigned.
+    pub seq: u64,
+    /// The shard's committed chunk count after the fold.
+    pub committed: u64,
+}
+
+fn unexpected(resp: &Response) -> ServeError {
+    ServeError::Protocol(format!("unexpected response variant: {resp:?}"))
+}
+
+/// Whether `e` means the router's route table disagrees with the
+/// member's (so a refresh + re-route may fix it).
+fn is_routing_error(e: &ServeError) -> bool {
+    matches!(
+        e,
+        ServeError::StaleShardMap { .. }
+            | ServeError::WrongShard { .. }
+            | ServeError::Remote {
+                code: code::STALE_SHARD_MAP | code::WRONG_SHARD,
+                ..
+            }
+    )
+}
+
+/// A router over a sharded topology.
+#[derive(Debug)]
+pub struct ShardRouter {
+    map: ShardMap,
+    clients: BTreeMap<u32, ClusterClient>,
+    timeout: Duration,
+    policy: RetryPolicy,
+}
+
+impl ShardRouter {
+    /// A router with an explicit initial map (e.g. the deployment's
+    /// known topology). Every shard the map names must have a registered
+    /// group; extra groups (pre-registered split targets) are fine.
+    pub fn new(
+        map: ShardMap,
+        groups: Vec<ShardGroup>,
+        timeout: Duration,
+        policy: RetryPolicy,
+    ) -> Result<Self, ServeError> {
+        let clients = Self::build_clients(groups, timeout, &policy)?;
+        let missing: Vec<u32> = map
+            .shard_ids()
+            .into_iter()
+            .filter(|s| !clients.contains_key(s))
+            .collect();
+        if !missing.is_empty() {
+            return Err(ServeError::Protocol(format!(
+                "shard map names shard(s) {missing:?} with no registered member addresses"
+            )));
+        }
+        Ok(Self {
+            map,
+            clients,
+            timeout,
+            policy,
+        })
+    }
+
+    /// A router that learns the map from the topology itself: it asks
+    /// the registered groups for their route tables and adopts the
+    /// newest one. Needs at least one reachable member.
+    pub fn connect(
+        groups: Vec<ShardGroup>,
+        timeout: Duration,
+        policy: RetryPolicy,
+    ) -> Result<Self, ServeError> {
+        let clients = Self::build_clients(groups, timeout, &policy)?;
+        let mut router = Self {
+            map: ShardMap::uniform(1)?,
+            clients,
+            timeout,
+            policy,
+        };
+        router.refresh_route_table()?;
+        Ok(router)
+    }
+
+    fn build_clients(
+        groups: Vec<ShardGroup>,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> Result<BTreeMap<u32, ClusterClient>, ServeError> {
+        let mut clients = BTreeMap::new();
+        for g in groups {
+            if g.members.is_empty() {
+                return Err(ServeError::Protocol(format!(
+                    "shard {} registered with no member addresses",
+                    g.shard
+                )));
+            }
+            // decorrelate the per-group retry jitter so a router fanning
+            // out to many groups does not synchronize its backoffs
+            let policy = RetryPolicy {
+                seed: policy.seed ^ (u64::from(g.shard) << 32 | 0x51A2),
+                ..policy.clone()
+            };
+            clients.insert(g.shard, ClusterClient::new(g.members, timeout, policy));
+        }
+        if clients.is_empty() {
+            return Err(ServeError::Protocol(
+                "a shard router needs at least one group".into(),
+            ));
+        }
+        Ok(clients)
+    }
+
+    /// The route table currently steering this router.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Register (or replace) one group's member addresses — required
+    /// before a refresh can adopt a map naming a newly-split shard.
+    pub fn add_group(&mut self, group: ShardGroup) -> Result<(), ServeError> {
+        if group.members.is_empty() {
+            return Err(ServeError::Protocol(format!(
+                "shard {} registered with no member addresses",
+                group.shard
+            )));
+        }
+        let policy = RetryPolicy {
+            seed: self.policy.seed ^ (u64::from(group.shard) << 32 | 0x51A2),
+            ..self.policy.clone()
+        };
+        self.clients.insert(
+            group.shard,
+            ClusterClient::new(group.members, self.timeout, policy),
+        );
+        Ok(())
+    }
+
+    /// Re-fetch the route table from the registered groups and adopt the
+    /// newest version (never regressing to an older one). Returns the
+    /// version now in effect.
+    pub fn refresh_route_table(&mut self) -> Result<u64, ServeError> {
+        let mut best: Option<ShardMap> = None;
+        let mut log = Vec::new();
+        let shards: Vec<u32> = self.clients.keys().copied().collect();
+        let attempts = shards.len() as u32;
+        for shard in shards {
+            let Some(c) = self.clients.get_mut(&shard) else {
+                continue;
+            };
+            match c.read(&Request::RouteTable) {
+                Ok((
+                    Response::RouteTable {
+                        version, ranges, ..
+                    },
+                    _lag,
+                )) => match ShardMap::from_ranges(version, ranges) {
+                    Ok(m) => {
+                        if best.as_ref().is_none_or(|b| m.version > b.version) {
+                            best = Some(m);
+                        }
+                    }
+                    Err(e) => log.push(format!("shard {shard}: bad route table: {e}")),
+                },
+                Ok((other, _)) => log.push(format!("shard {shard}: {}", unexpected(&other))),
+                Err(e) => log.push(format!("shard {shard}: {e}")),
+            }
+        }
+        let Some(m) = best else {
+            return Err(ServeError::RetriesExhausted { attempts, log });
+        };
+        if m.version < self.map.version {
+            return Ok(self.map.version);
+        }
+        let missing: Vec<u32> = m
+            .shard_ids()
+            .into_iter()
+            .filter(|s| !self.clients.contains_key(s))
+            .collect();
+        if !missing.is_empty() {
+            return Err(ServeError::Protocol(format!(
+                "route table v{} names shard(s) {missing:?} with no registered member \
+                 addresses; add_group() them first",
+                m.version
+            )));
+        }
+        self.map = m;
+        Ok(self.map.version)
+    }
+
+    fn client(&mut self, shard: u32) -> Result<&mut ClusterClient, ServeError> {
+        self.clients.get_mut(&shard).ok_or(ServeError::Degraded {
+            missing_shards: vec![shard],
+        })
+    }
+
+    /// Fold one chunk: claims are partitioned by owning shard and each
+    /// sub-chunk rides a shard-checked ingest to its group's primary.
+    /// Writes are strict (no degraded mode): the first shard that cannot
+    /// accept its slice fails the call, with any already-acknowledged
+    /// sub-chunks listed in the returned acks being genuinely durable.
+    /// A `STALE_SHARD_MAP`/`WRONG_SHARD` refusal triggers a route-table
+    /// refresh and a re-route of the refused claims.
+    pub fn ingest(&mut self, claims: Vec<ChunkClaim>) -> Result<Vec<ShardAck>, ServeError> {
+        let mut acks = Vec::new();
+        let mut pending = claims;
+        let mut refreshes = 0u32;
+        while !pending.is_empty() {
+            let mut routed: BTreeMap<u32, Vec<ChunkClaim>> = BTreeMap::new();
+            for c in pending.drain(..) {
+                routed
+                    .entry(self.map.shard_of(c.object))
+                    .or_default()
+                    .push(c);
+            }
+            let mut requeue = Vec::new();
+            for (shard, sub) in routed {
+                let req = Request::ShardIngest {
+                    shard,
+                    map_version: self.map.version,
+                    claims: sub.clone(),
+                };
+                match self.client(shard)?.call(&req) {
+                    Ok(Response::Ack { seq, chunks_seen }) => acks.push(ShardAck {
+                        shard,
+                        seq,
+                        committed: chunks_seen,
+                    }),
+                    Ok(other) => return Err(unexpected(&other)),
+                    Err(e) if is_routing_error(&e) && refreshes < MAX_REFRESHES => {
+                        refreshes += 1;
+                        self.refresh_route_table()?;
+                        requeue.extend(sub);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            pending = requeue;
+        }
+        Ok(acks)
+    }
+
+    /// Read one cell's truth from its owning shard, with the answering
+    /// member's staleness bound. The strict single-shard form of the
+    /// degraded-read contract: an owning group that exhausts the retry
+    /// budget surfaces as a typed [`ServeError::Degraded`] naming the
+    /// shard, bounded by the per-group deadline — never a hang.
+    pub fn truth(
+        &mut self,
+        object: u32,
+        property: u32,
+    ) -> Result<(Option<Truth>, u64), ServeError> {
+        for round in 0..=MAX_REFRESHES {
+            let shard = self.map.shard_of(object);
+            let req = Request::ShardTruth {
+                shard,
+                map_version: self.map.version,
+                object,
+                property,
+            };
+            match self.client(shard)?.read(&req) {
+                Ok((Response::Truth(t), lag)) => return Ok((t, lag)),
+                Ok((other, _)) => return Err(unexpected(&other)),
+                Err(e) if is_routing_error(&e) && round < MAX_REFRESHES => {
+                    self.refresh_route_table()?;
+                }
+                Err(ServeError::RetriesExhausted { .. }) => {
+                    return Err(ServeError::Degraded {
+                        missing_shards: vec![shard],
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ServeError::Protocol(
+            "route table kept changing mid-read".into(),
+        ))
+    }
+
+    /// Scatter-gather every group's operational status. Groups that
+    /// cannot answer within their deadline land in `missing_shards`
+    /// instead of failing the read — the scatter-gather form of the
+    /// degraded-read contract.
+    pub fn scatter_status(&mut self) -> Sharded<Vec<(u32, DaemonStatus, u64)>> {
+        let mut value = Vec::new();
+        let mut missing = Vec::new();
+        for shard in self.map.shard_ids() {
+            match self.clients.get_mut(&shard).map(|c| c.status()) {
+                Some(Ok((status, lag))) => value.push((shard, status, lag)),
+                Some(Err(_)) | None => missing.push(shard),
+            }
+        }
+        Sharded {
+            value,
+            missing_shards: missing,
+        }
+    }
+
+    /// Scatter-gather every group's source weights (each group weighs
+    /// its own entry slice). Same partial-failure semantics as
+    /// [`scatter_status`](Self::scatter_status).
+    pub fn scatter_weights(&mut self) -> Sharded<Vec<(u32, Vec<f64>, u64)>> {
+        let mut value = Vec::new();
+        let mut missing = Vec::new();
+        for shard in self.map.shard_ids() {
+            match self.clients.get_mut(&shard).map(|c| c.weights()) {
+                Some(Ok((w, lag))) => value.push((shard, w, lag)),
+                Some(Err(_)) | None => missing.push(shard),
+            }
+        }
+        Sharded {
+            value,
+            missing_shards: missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_refuses_incomplete_topologies() {
+        let map = ShardMap::uniform(2).unwrap();
+        // shard 1 has no addresses
+        let err = ShardRouter::new(
+            map.clone(),
+            vec![ShardGroup {
+                shard: 0,
+                members: vec![(0, "127.0.0.1:1".into())],
+            }],
+            Duration::from_millis(50),
+            RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("[1]"), "{err}");
+        // a group with no members is refused
+        let err = ShardRouter::new(
+            map,
+            vec![
+                ShardGroup {
+                    shard: 0,
+                    members: vec![(0, "127.0.0.1:1".into())],
+                },
+                ShardGroup {
+                    shard: 1,
+                    members: vec![],
+                },
+            ],
+            Duration::from_millis(50),
+            RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no member addresses"), "{err}");
+    }
+
+    #[test]
+    fn routing_errors_are_recognized() {
+        assert!(is_routing_error(&ServeError::StaleShardMap {
+            got: 0,
+            current: 1
+        }));
+        assert!(is_routing_error(&ServeError::WrongShard {
+            shard: 1,
+            at: 0
+        }));
+        assert!(is_routing_error(&ServeError::Remote {
+            code: code::WRONG_SHARD,
+            message: String::new()
+        }));
+        assert!(!is_routing_error(&ServeError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn unreachable_groups_degrade_instead_of_failing() {
+        // nothing listens on these ports: every group is down
+        let map = ShardMap::uniform(2).unwrap();
+        let groups = vec![
+            ShardGroup {
+                shard: 0,
+                members: vec![(0, "127.0.0.1:1".into())],
+            },
+            ShardGroup {
+                shard: 1,
+                members: vec![(0, "127.0.0.1:2".into())],
+            },
+        ];
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 3,
+        };
+        let mut r = ShardRouter::new(map, groups, Duration::from_millis(50), policy).unwrap();
+        let s = r.scatter_status();
+        assert!(s.value.is_empty());
+        assert_eq!(s.missing_shards, vec![0, 1]);
+        assert!(s.is_degraded());
+        // strict single-shard read: typed Degraded naming the owner
+        match r.truth(7, 0) {
+            Err(ServeError::Degraded { missing_shards }) => {
+                assert_eq!(missing_shards.len(), 1);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+}

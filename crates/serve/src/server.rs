@@ -37,6 +37,7 @@ use crate::error::ServeError;
 use crate::proto::{read_frame, write_frame, Request, Response};
 use crate::queue::BoundedQueue;
 use crate::replicate::{ReplicaConfig, ReplicaNode, Role};
+use crate::shard::{ShardMap, ShardMapStore, ShardRange};
 
 /// Tuning for the network front-end.
 #[derive(Debug, Clone)]
@@ -332,6 +333,13 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
         | Request::SeqQuery { .. } => Response::from_error(&ServeError::Protocol(
             "replication frame sent to a standalone daemon".into(),
         )),
+        Request::RouteTable
+        | Request::ShardIngest { .. }
+        | Request::ShardTruth { .. }
+        | Request::SplitStage { .. }
+        | Request::SplitCutover { .. } => Response::from_error(&ServeError::Protocol(
+            "shard frame sent to a standalone daemon".into(),
+        )),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue.close();
@@ -401,6 +409,12 @@ pub struct HaConfig {
     /// How long an ingest waits for the commit quorum before answering
     /// [`ServeError::NotReplicated`].
     pub commit_wait: Duration,
+    /// This member's shard identity in a sharded topology: the shard it
+    /// serves plus the bootstrap route table, adopted (and durably
+    /// persisted) only while the member's shard-map store is still
+    /// empty — after the first cutover the store wins. `None` runs an
+    /// unsharded cluster that refuses shard frames with a typed error.
+    pub shard: Option<(u32, ShardMap)>,
 }
 
 impl Default for HaConfig {
@@ -410,8 +424,18 @@ impl Default for HaConfig {
             tick: Duration::from_millis(20),
             peer_addrs: Vec::new(),
             commit_wait: Duration::from_secs(2),
+            shard: None,
         }
     }
+}
+
+/// A sharded member's routing state: its shard id plus the route table
+/// it enforces, backed by the durable per-member map store (the atomic
+/// cutover record of the split protocol).
+struct ShardState {
+    shard: u32,
+    map: Mutex<ShardMap>,
+    store: ShardMapStore,
 }
 
 struct HaShared {
@@ -422,6 +446,8 @@ struct HaShared {
     connections: AtomicUsize,
     /// Logical replication time, advanced only by the ticker thread.
     ticks: AtomicU64,
+    /// Present iff this member serves a shard of a sharded topology.
+    shard: Option<ShardState>,
 }
 
 impl HaShared {
@@ -431,6 +457,150 @@ impl HaShared {
     /// thread leaves nothing worth protecting behind the poison bit.
     fn node(&self) -> MutexGuard<'_, ReplicaNode> {
         self.node.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn shard_state(&self) -> Result<&ShardState, ServeError> {
+        self.shard
+            .as_ref()
+            .ok_or_else(|| ServeError::Protocol("shard frame sent to an unsharded member".into()))
+    }
+
+    /// Gate a shard-checked frame: it must name this member's shard,
+    /// carry the current map version, and (for writes) every claim must
+    /// route here under that map — each violation is a distinct typed
+    /// refusal the router can act on.
+    fn check_shard(
+        &self,
+        shard: u32,
+        map_version: u64,
+        objects: impl IntoIterator<Item = u32>,
+    ) -> Result<(), ServeError> {
+        let st = self.shard_state()?;
+        if shard != st.shard {
+            return Err(ServeError::WrongShard {
+                shard,
+                at: st.shard,
+            });
+        }
+        let map = st.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if map_version != map.version {
+            return Err(ServeError::StaleShardMap {
+                got: map_version,
+                current: map.version,
+            });
+        }
+        for object in objects {
+            let owner = map.shard_of(object);
+            if owner != st.shard {
+                return Err(ServeError::WrongShard {
+                    shard: owner,
+                    at: st.shard,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn route_table(&self) -> Response {
+        match self.shard_state() {
+            Ok(st) => {
+                let map = st.map.lock().unwrap_or_else(PoisonError::into_inner);
+                Response::RouteTable {
+                    version: map.version,
+                    shard: st.shard,
+                    ranges: map.ranges().to_vec(),
+                }
+            }
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    /// Seed this (virgin) member with the donor's committed state for a
+    /// split. Shard- and cluster-key-checked; the node itself refuses
+    /// once it holds any state.
+    fn split_stage(
+        &self,
+        token: u64,
+        shard: u32,
+        snapshot: Option<&[u8]>,
+        records: &[Vec<u8>],
+    ) -> Response {
+        let st = match self.shard_state() {
+            Ok(st) => st,
+            Err(e) => return Response::from_error(&e),
+        };
+        let mut node = self.node();
+        if token != node.cluster_key() {
+            return Response::from_error(&ServeError::Protocol(
+                "split-stage frame with a foreign cluster key".into(),
+            ));
+        }
+        if shard != st.shard {
+            return Response::from_error(&ServeError::WrongShard {
+                shard,
+                at: st.shard,
+            });
+        }
+        match node.seed_split(snapshot, records) {
+            Ok(head) => Response::Ack {
+                seq: head.saturating_sub(1),
+                chunks_seen: head,
+            },
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    /// Adopt a new route table: validate it, refuse regressions and
+    /// conflicting same-version tables, persist it through the durable
+    /// store (*the* atomic cutover record — a crash before the rename
+    /// recovers the old map, after it the new one), then serve under it.
+    fn split_cutover(&self, token: u64, version: u64, ranges: Vec<ShardRange>) -> Response {
+        let st = match self.shard_state() {
+            Ok(st) => st,
+            Err(e) => return Response::from_error(&e),
+        };
+        if token != self.node().cluster_key() {
+            return Response::from_error(&ServeError::Protocol(
+                "split-cutover frame with a foreign cluster key".into(),
+            ));
+        }
+        let new_map = match ShardMap::from_ranges(version, ranges) {
+            Ok(m) => m,
+            Err(e) => return Response::from_error(&e),
+        };
+        if !new_map.shard_ids().contains(&st.shard) {
+            return Response::from_error(&ServeError::Protocol(format!(
+                "route table v{version} drops this member's shard {}",
+                st.shard
+            )));
+        }
+        let mut map = st.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if new_map.version < map.version {
+            return Response::from_error(&ServeError::StaleShardMap {
+                got: new_map.version,
+                current: map.version,
+            });
+        }
+        if new_map.version == map.version {
+            if new_map.ranges() == map.ranges() {
+                // idempotent retry of an already-adopted cutover
+                return Response::Ack {
+                    seq: map.version,
+                    chunks_seen: map.version,
+                };
+            }
+            return Response::from_error(&ServeError::Protocol(format!(
+                "conflicting route table at version {version}"
+            )));
+        }
+        if let Err(e) = st.store.save(&new_map) {
+            return Response::from_error(&e);
+        }
+        *map = new_map;
+        Response::Ack {
+            seq: version,
+            chunks_seen: version,
+        }
     }
 }
 
@@ -471,10 +641,33 @@ impl HaServer {
         cfg: HaConfig,
         addr: &str,
     ) -> Result<Self, ServeError> {
+        let shard_map_path = serve.dir.join("shard.map");
         let (node, _recovery) = ReplicaNode::open(replica, serve)?;
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+
+        // a sharded member recovers its route table from the durable
+        // store; the bootstrap map only seeds a store that is still
+        // empty (first boot, or a virgin split target)
+        let shard = match cfg.shard.clone() {
+            Some((shard, bootstrap)) => {
+                let store = ShardMapStore::new(shard_map_path);
+                let map = match store.load()? {
+                    Some(m) => m,
+                    None => {
+                        store.save(&bootstrap)?;
+                        bootstrap
+                    }
+                };
+                Some(ShardState {
+                    shard,
+                    map: Mutex::new(map),
+                    store,
+                })
+            }
+            None => None,
+        };
 
         let schema = node.core().schema().clone();
         let shared = Arc::new(HaShared {
@@ -484,6 +677,7 @@ impl HaServer {
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             ticks: AtomicU64::new(0),
+            shard,
         });
 
         let ticker_thread = {
@@ -582,6 +776,35 @@ impl FrontEnd for HaShared {
             | Request::Heartbeat { node, .. }
             | Request::Promote { node, .. } => self.node().handle(node, &req, now),
             Request::CatchUp { .. } | Request::SeqQuery { .. } => self.node().handle(0, &req, now),
+            Request::RouteTable => self.route_table(),
+            Request::ShardIngest {
+                shard,
+                map_version,
+                claims,
+            } => match self.check_shard(shard, map_version, claims.iter().map(|c| c.object)) {
+                Ok(()) => ingest_replicated(claims, self),
+                Err(e) => Response::from_error(&e),
+            },
+            Request::ShardTruth {
+                shard,
+                map_version,
+                object,
+                property,
+            } => match self.check_shard(shard, map_version, [object]) {
+                Ok(()) => replicated_read(&Request::Truth { object, property }, self),
+                Err(e) => Response::from_error(&e),
+            },
+            Request::SplitStage {
+                token,
+                shard,
+                snapshot,
+                records,
+            } => self.split_stage(token, shard, snapshot.as_deref(), &records),
+            Request::SplitCutover {
+                token,
+                version,
+                ranges,
+            } => self.split_cutover(token, version, ranges),
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 let mut node = self.node();

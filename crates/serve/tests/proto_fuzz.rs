@@ -9,8 +9,9 @@
 
 use crh_core::rng::{hash_rng, Rng};
 use crh_core::value::{Truth, Value};
+use crh_serve::error::code;
 use crh_serve::proto::{read_frame, write_frame, Request, Response};
-use crh_serve::ChunkClaim;
+use crh_serve::{ChunkClaim, ShardMap, ShardRange};
 
 fn sample_claims() -> Vec<ChunkClaim> {
     vec![
@@ -82,6 +83,50 @@ fn sample_requests() -> Vec<Request> {
             token: 0xC1A5,
             epoch: 4,
         },
+        Request::RouteTable,
+        Request::ShardIngest {
+            shard: 1,
+            map_version: 3,
+            claims: sample_claims(),
+        },
+        Request::ShardTruth {
+            shard: 2,
+            map_version: 3,
+            object: 7,
+            property: 0,
+        },
+        Request::SplitStage {
+            token: 0xC1A5,
+            shard: 2,
+            snapshot: None,
+            records: vec![vec![4, 5, 6], vec![]],
+        },
+        Request::SplitStage {
+            token: 0xC1A5,
+            shard: 2,
+            snapshot: Some(vec![7; 24]),
+            records: vec![],
+        },
+        Request::SplitCutover {
+            token: 0xC1A5,
+            version: 4,
+            ranges: sample_ranges(),
+        },
+    ]
+}
+
+fn sample_ranges() -> Vec<ShardRange> {
+    vec![
+        ShardRange {
+            shard: 0,
+            start: 0,
+            end: u64::MAX / 2,
+        },
+        ShardRange {
+            shard: 2,
+            start: u64::MAX / 2 + 1,
+            end: u64::MAX,
+        },
     ]
 }
 
@@ -142,6 +187,11 @@ fn sample_responses() -> Vec<Response> {
         Response::FollowerRead {
             lag: 2,
             inner: Response::Weights(vec![1.0, 0.5]).encode(),
+        },
+        Response::RouteTable {
+            version: 4,
+            shard: 2,
+            ranges: sample_ranges(),
         },
     ]
 }
@@ -225,6 +275,40 @@ fn bit_flipped_payloads_never_panic() {
             flip_some(&mut m, 0xF422_0002, &[vi as u64, round]);
             if let Ok(decoded) = Response::decode(&m) {
                 let _ = decoded.encode();
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_route_tables_are_typed_refusals_never_panics() {
+    // A bit-flipped RouteTable frame may still decode — the ranges are
+    // plain integers. The next gate, [`ShardMap::from_ranges`], must
+    // then either accept a table that still satisfies every invariant
+    // (contiguous, covering, unique owners) or refuse with a typed
+    // error. Never a panic, and never a map that misroutes silently.
+    for round in 0..512u64 {
+        let resp = Response::RouteTable {
+            version: 4,
+            shard: 2,
+            ranges: sample_ranges(),
+        };
+        let mut bytes = resp.encode();
+        flip_some(&mut bytes, 0xF422_0005, &[round]);
+        if let Ok(Response::RouteTable {
+            version, ranges, ..
+        }) = Response::decode(&bytes)
+        {
+            match ShardMap::from_ranges(version, ranges) {
+                // a surviving table is total: every object routes somewhere
+                Ok(m) => {
+                    for object in 0..64u32 {
+                        assert!(m.shard_ids().contains(&m.shard_of(object)));
+                    }
+                }
+                // refusals carry the PROTOCOL wire code, so a router
+                // treats a corrupt table exactly like any framing error
+                Err(e) => assert_eq!(e.wire_code(), code::PROTOCOL, "round {round}"),
             }
         }
     }

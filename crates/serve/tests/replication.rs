@@ -247,6 +247,7 @@ fn tcp_cluster_fails_over_and_the_client_follows() {
                     .map(|(j, a)| (j as u32, a.clone()))
                     .collect(),
                 commit_wait: Duration::from_secs(5),
+                shard: None,
             };
             let serve = ServeConfig::new(schema(), 0.5, base.join(format!("n{id}")));
             Some(HaServer::start(rc, serve, ha, &addrs[id]).unwrap())

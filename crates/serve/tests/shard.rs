@@ -1,0 +1,510 @@
+//! End-to-end TCP sharding: a 2-shard × 3-replica topology behind a
+//! [`ShardRouter`], the degraded-read contract over real sockets, typed
+//! refusals for misdelivered and stale shard frames, the redirect-cycle
+//! bound, and a live split driven entirely by `SplitStage`/`SplitCutover`
+//! wire frames.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crh_core::schema::Schema;
+use crh_core::value::Value;
+use crh_serve::error::code;
+use crh_serve::proto::{read_frame, write_frame, Request, Response};
+use crh_serve::{
+    entry_point, ChunkClaim, ClusterClient, HaConfig, HaServer, ReplicaConfig, RetryPolicy, Role,
+    ServeConfig, ServeError, ServerConfig, ShardGroup, ShardMap, ShardRouter,
+};
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_continuous("temperature");
+    s.add_continuous("humidity");
+    s
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("crh_shtcp_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Reserve `n` distinct loopback ports (held simultaneously so the OS
+/// cannot hand one out twice), then release them for daemons to bind.
+fn reserve_ports(n: usize) -> Vec<String> {
+    let held: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    held.iter()
+        .map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port()))
+        .collect()
+}
+
+fn single_object_chunk(object: u32, base: f64) -> Vec<ChunkClaim> {
+    (0..3u32)
+        .map(|s| ChunkClaim {
+            object,
+            property: 0,
+            source: s,
+            value: Value::Num(base + f64::from(s) * 0.25),
+        })
+        .collect()
+}
+
+/// Start one 3-member shard group, all members carrying the same shard
+/// identity and bootstrap map.
+fn start_group(
+    base: &std::path::Path,
+    shard: u32,
+    bootstrap: &ShardMap,
+    addrs: &[String],
+) -> Vec<HaServer> {
+    (0..addrs.len())
+        .map(|id| {
+            let rc = ReplicaConfig::new(id as u32, &(0..addrs.len() as u32).collect::<Vec<_>>());
+            let ha = HaConfig {
+                server: ServerConfig {
+                    io_timeout: Duration::from_millis(500),
+                    ..ServerConfig::default()
+                },
+                tick: Duration::from_millis(10),
+                peer_addrs: addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != id)
+                    .map(|(j, a)| (j as u32, a.clone()))
+                    .collect(),
+                commit_wait: Duration::from_secs(5),
+                shard: Some((shard, bootstrap.clone())),
+            };
+            let serve = ServeConfig::new(schema(), 0.5, base.join(format!("s{shard}_n{id}")));
+            HaServer::start(rc, serve, ha, &addrs[id]).unwrap()
+        })
+        .collect()
+}
+
+fn wait_for_primary(servers: &[HaServer]) -> usize {
+    for _ in 0..500 {
+        if let Some(i) = servers.iter().position(|s| s.role() == Role::Primary) {
+            return i;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("no primary elected");
+}
+
+fn raw_call(addr: &str, req: &Request) -> Response {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(5))).unwrap();
+    write_frame(&mut s, &req.encode()).unwrap();
+    let payload = read_frame(&mut s).unwrap();
+    Response::decode(&payload).unwrap()
+}
+
+/// Unwrap a possibly follower-wrapped error code.
+fn error_code(resp: Response) -> u8 {
+    match resp {
+        Response::Error { code, .. } => code,
+        Response::FollowerRead { inner, .. } => error_code(Response::decode(&inner).unwrap()),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+}
+
+/// An object owned by `shard` under `map` (smallest id, so runs are
+/// deterministic).
+fn object_in(map: &ShardMap, shard: u32) -> u32 {
+    (0..u32::MAX)
+        .find(|&o| map.shard_of(o) == shard)
+        .expect("every shard owns some object")
+}
+
+#[test]
+fn sharded_tcp_topology_routes_reads_writes_and_degrades() {
+    let base = test_dir("topo");
+    let map = ShardMap::uniform(2).unwrap();
+    let addrs0 = reserve_ports(3);
+    let addrs1 = reserve_ports(3);
+    let group0 = start_group(&base, 0, &map, &addrs0);
+    let group1 = start_group(&base, 1, &map, &addrs1);
+    wait_for_primary(&group0);
+    wait_for_primary(&group1);
+
+    let members = |addrs: &[String]| -> Vec<(u32, String)> {
+        addrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i as u32, a.clone()))
+            .collect()
+    };
+    // connect() learns the map over the wire (RouteTable frames)
+    let mut router = ShardRouter::connect(
+        vec![
+            ShardGroup {
+                shard: 0,
+                members: members(&addrs0),
+            },
+            ShardGroup {
+                shard: 1,
+                members: members(&addrs1),
+            },
+        ],
+        Duration::from_secs(5),
+        RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(200),
+            seed: 7,
+        },
+    )
+    .unwrap();
+    assert_eq!(router.map().version, 0);
+    assert_eq!(router.map().num_shards(), 2);
+
+    // a mixed chunk fans out to both shards and both acks come back
+    let obj0 = object_in(router.map(), 0);
+    let obj1 = object_in(router.map(), 1);
+    let mut claims = single_object_chunk(obj0, 10.0);
+    claims.extend(single_object_chunk(obj1, 50.0));
+    let acks = router.ingest(claims).unwrap();
+    assert_eq!(acks.len(), 2, "one sub-chunk ack per shard");
+
+    // strict single-shard reads route to the owners
+    let (t0, _) = router.truth(obj0, 0).unwrap();
+    let (t1, _) = router.truth(obj1, 0).unwrap();
+    assert!(t0.is_some(), "shard 0 truth");
+    assert!(t1.is_some(), "shard 1 truth");
+
+    // scatter-gather sees every group
+    let status = router.scatter_status();
+    assert!(!status.is_degraded());
+    assert_eq!(status.value.len(), 2);
+
+    // --- typed refusals over raw frames -------------------------------
+    // misdelivery: a shard-1 frame landing on a shard-0 member
+    let resp = raw_call(
+        &addrs0[0],
+        &Request::ShardIngest {
+            shard: 1,
+            map_version: 0,
+            claims: single_object_chunk(obj1, 60.0),
+        },
+    );
+    assert_eq!(error_code(resp), code::WRONG_SHARD);
+    // stale route table: wrong map version
+    let resp = raw_call(
+        &addrs0[0],
+        &Request::ShardTruth {
+            shard: 0,
+            map_version: 99,
+            object: obj0,
+            property: 0,
+        },
+    );
+    assert_eq!(error_code(resp), code::STALE_SHARD_MAP);
+    // right shard id, but a claim the map routes elsewhere
+    let resp = raw_call(
+        &addrs0[0],
+        &Request::ShardIngest {
+            shard: 0,
+            map_version: 0,
+            claims: single_object_chunk(obj1, 60.0),
+        },
+    );
+    assert_eq!(error_code(resp), code::WRONG_SHARD);
+    // a split-stage with a foreign cluster key is refused
+    let resp = raw_call(
+        &addrs0[0],
+        &Request::SplitStage {
+            token: 0xBAD,
+            shard: 0,
+            snapshot: None,
+            records: Vec::new(),
+        },
+    );
+    assert_eq!(error_code(resp), code::PROTOCOL);
+
+    // --- the degraded-read contract with one shard's quorum dead ------
+    for s in group1 {
+        drop(s); // kill -9 the whole group: no goodbye, no snapshot
+    }
+    // an already-open connection may serve one last in-flight request
+    // before its thread notices the shutdown; the kill settles within
+    // one io-timeout
+    let mut status = router.scatter_status();
+    for _ in 0..20 {
+        if status.is_degraded() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        status = router.scatter_status();
+    }
+    assert_eq!(status.missing_shards, vec![1]);
+    assert_eq!(status.value.len(), 1, "shard 0 still answers");
+    match router.truth(obj1, 0) {
+        Err(ServeError::Degraded { missing_shards }) => assert_eq!(missing_shards, vec![1]),
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    // the surviving shard serves reads and writes throughout
+    let (t0, _) = router.truth(obj0, 0).unwrap();
+    assert!(t0.is_some());
+    router.ingest(single_object_chunk(obj0, 11.0)).unwrap();
+
+    for s in group0 {
+        s.shutdown();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn shard_frames_to_unsharded_members_are_typed_refusals() {
+    let base = test_dir("unsharded");
+    let addrs = reserve_ports(3);
+    let map = ShardMap::uniform(1).unwrap();
+    // an unsharded HA cluster (shard: None)
+    let servers: Vec<HaServer> = (0..3usize)
+        .map(|id| {
+            let rc = ReplicaConfig::new(id as u32, &[0, 1, 2]);
+            let ha = HaConfig {
+                tick: Duration::from_millis(10),
+                peer_addrs: addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != id)
+                    .map(|(j, a)| (j as u32, a.clone()))
+                    .collect(),
+                ..HaConfig::default()
+            };
+            let serve = ServeConfig::new(schema(), 0.5, base.join(format!("n{id}")));
+            HaServer::start(rc, serve, ha, &addrs[id]).unwrap()
+        })
+        .collect();
+    wait_for_primary(&servers);
+    let resp = raw_call(&addrs[0], &Request::RouteTable);
+    assert_eq!(error_code(resp), code::PROTOCOL);
+    let resp = raw_call(
+        &addrs[0],
+        &Request::SplitCutover {
+            token: 0,
+            version: 1,
+            ranges: map.ranges().to_vec(),
+        },
+    );
+    assert_eq!(error_code(resp), code::PROTOCOL);
+    for s in servers {
+        s.shutdown();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Satellite: two members that each claim the *other* is primary must
+/// terminate in a typed `RetriesExhausted` carrying the attempt log —
+/// the redirect-follower is cycle-bounded, it never spins.
+#[test]
+fn redirect_cycle_terminates_with_the_attempt_log() {
+    let listeners: Vec<TcpListener> = (0..2)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port()))
+        .collect();
+    // node i always answers NotPrimary{hint: the other node}
+    for (i, l) in listeners.into_iter().enumerate() {
+        let hint = 1 - i as u32;
+        std::thread::spawn(move || {
+            for stream in l.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                std::thread::spawn(move || {
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(2)))
+                        .unwrap();
+                    while let Ok(_payload) = read_frame(&mut stream) {
+                        let resp =
+                            Response::from_error(&ServeError::NotPrimary { hint: Some(hint) });
+                        if write_frame(&mut stream, &resp.encode()).is_err() {
+                            return;
+                        }
+                        stream.flush().ok();
+                    }
+                });
+            }
+        });
+    }
+
+    let mut client = ClusterClient::new(
+        addrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i as u32, a.clone()))
+            .collect(),
+        Duration::from_secs(2),
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            seed: 9,
+        },
+    );
+    let started = std::time::Instant::now();
+    match client.ingest(single_object_chunk(1, 1.0)) {
+        Err(ServeError::RetriesExhausted { attempts, log }) => {
+            assert_eq!(attempts, 6);
+            assert_eq!(log.len(), 6, "one log line per attempt");
+            assert!(
+                log.iter().all(|l| l.contains("not the primary")),
+                "every attempt was a redirect: {log:?}"
+            );
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the redirect cycle must terminate promptly"
+    );
+}
+
+/// A live split driven entirely over the wire: catch-up fetch from the
+/// donor primary, `SplitStage` onto a virgin single-member group,
+/// `SplitCutover` to every member, then routed reads through a
+/// refreshed router.
+#[test]
+fn tcp_split_stages_cuts_over_and_reroutes() {
+    let base = test_dir("tcp_split");
+    let v0 = ShardMap::uniform(1).unwrap();
+    let donor_addrs = reserve_ports(3);
+    let new_addrs = reserve_ports(1);
+    let donor = start_group(&base, 0, &v0, &donor_addrs);
+    wait_for_primary(&donor);
+    // the new shard's group: one virgin member, same bootstrap map
+    let fresh = start_group(&base, 1, &v0, &new_addrs);
+
+    // ingest a few cells, all owned by shard 0 (there is only shard 0)
+    let mut client = ClusterClient::new(
+        donor_addrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i as u32, a.clone()))
+            .collect(),
+        Duration::from_secs(5),
+        RetryPolicy::default(),
+    );
+    for i in 0..6u32 {
+        client
+            .ingest(single_object_chunk(100 + i, 5.0 + f64::from(i)))
+            .unwrap();
+    }
+    // quiesce: every record quorum-committed on the donor
+    for _ in 0..500 {
+        if donor.iter().all(|s| s.commit() >= 6) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(donor.iter().all(|s| s.commit() >= 6));
+
+    // fetch the committed state from the donor primary over the wire
+    let p = wait_for_primary(&donor);
+    let resp = raw_call(
+        &donor_addrs[p],
+        &Request::CatchUp {
+            token: 0,
+            epoch: donor[p].epoch(),
+            from: 0,
+        },
+    );
+    let Response::CatchUpRecords {
+        commit,
+        snapshot,
+        records,
+        ..
+    } = resp
+    else {
+        panic!("expected CatchUpRecords, got {resp:?}");
+    };
+    assert_eq!(commit, 6);
+
+    // the moved range: everything hashing at or above the smallest
+    // ingested marker's point goes to shard 1
+    let moved = (100..106u32)
+        .max_by_key(|&o| entry_point(o))
+        .expect("markers exist");
+    let at = entry_point(moved);
+    let v1 = v0.split(0, 1, at).unwrap();
+
+    // stage the virgin member, then cut over every member of both groups
+    let resp = raw_call(
+        &new_addrs[0],
+        &Request::SplitStage {
+            token: 0,
+            shard: 1,
+            snapshot,
+            records,
+        },
+    );
+    assert!(
+        matches!(resp, Response::Ack { chunks_seen, .. } if chunks_seen == 6),
+        "staging acks the seeded head: {resp:?}"
+    );
+    for addr in donor_addrs.iter().chain(new_addrs.iter()) {
+        let resp = raw_call(
+            addr,
+            &Request::SplitCutover {
+                token: 0,
+                version: v1.version,
+                ranges: v1.ranges().to_vec(),
+            },
+        );
+        assert!(matches!(resp, Response::Ack { .. }), "cutover: {resp:?}");
+        // the cutover is idempotent: a duplicated frame re-acks
+        let resp = raw_call(
+            addr,
+            &Request::SplitCutover {
+                token: 0,
+                version: v1.version,
+                ranges: v1.ranges().to_vec(),
+            },
+        );
+        assert!(
+            matches!(resp, Response::Ack { .. }),
+            "dup cutover: {resp:?}"
+        );
+    }
+
+    // a router refreshed over the wire routes the moved entry to the
+    // new shard and reads the value staged there
+    let mut router = ShardRouter::connect(
+        vec![
+            ShardGroup {
+                shard: 0,
+                members: donor_addrs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| (i as u32, a.clone()))
+                    .collect(),
+            },
+            ShardGroup {
+                shard: 1,
+                members: vec![(0, new_addrs[0].clone())],
+            },
+        ],
+        Duration::from_secs(5),
+        RetryPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(router.map().version, 1);
+    assert_eq!(router.map().shard_of(moved), 1);
+    let (t, _) = router.truth(moved, 0).unwrap();
+    assert!(t.is_some(), "the moved truth is served by the new shard");
+    // and the new shard accepts writes for its range
+    let acks = router.ingest(single_object_chunk(moved, 99.0)).unwrap();
+    assert_eq!(acks.len(), 1);
+    assert_eq!(acks[0].shard, 1);
+
+    for s in donor.into_iter().chain(fresh) {
+        s.shutdown();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
