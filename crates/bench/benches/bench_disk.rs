@@ -1,0 +1,107 @@
+//! Storage-layer benchmarks: scrub verification throughput and
+//! crash-recovery time over the `Vfs` seam.
+//!
+//! Run with `CRH_BENCH_JSON=BENCH_disk.json` to capture the results as
+//! a machine-readable artifact (CI does this in the `chaos-disk` job).
+//! Both benches run against real durable artifacts produced by a real
+//! ingest workload, so the numbers track the same code paths the
+//! scrubber and recovery ladder exercise in production.
+
+use std::path::PathBuf;
+
+use crh_bench::microbench::{Harness, Throughput};
+use crh_core::schema::Schema;
+use crh_core::value::Value;
+use crh_serve::{scrub_dir, ChunkClaim, ServeConfig, ServeCore, Vfs};
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_continuous("temperature");
+    s.add_continuous("humidity");
+    s
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("crh_bench_disk_{}_{name}", std::process::id()))
+}
+
+fn chunk(object: u32, i: usize) -> Vec<ChunkClaim> {
+    (0..3u32)
+        .map(|s| ChunkClaim {
+            object,
+            property: s % 2,
+            source: s,
+            value: Value::Num(20.0 + i as f64 + f64::from(s) * 0.5),
+        })
+        .collect()
+}
+
+/// Fill a serve directory with `n` committed chunks and return the
+/// artifact set a scrub or recovery pass will walk. `snapshot_every`
+/// shapes the WAL-to-snapshot balance.
+fn populate(dir: &PathBuf, n: usize, snapshot_every: u64) {
+    std::fs::remove_dir_all(dir).ok();
+    let cfg = ServeConfig::new(schema(), 0.5, dir).snapshot_every(snapshot_every);
+    let (mut core, _) = ServeCore::open(cfg).unwrap();
+    for i in 0..n {
+        core.ingest(&chunk(i as u32 % 16, i)).unwrap();
+    }
+}
+
+/// CRC-walk throughput of the background scrubber over a realistic
+/// artifact set: both snapshot generations plus both WAL generations.
+fn bench_scrub(c: &mut Harness, quick: bool) {
+    let n = if quick { 32 } else { 256 };
+    let dir = bench_dir("scrub");
+    populate(&dir, n, 8);
+    let vfs = Vfs::passthrough();
+    let files = scrub_dir(&dir, &vfs).unwrap().files_checked;
+    assert!(files >= 2, "scrub walked too few artifacts ({files})");
+
+    let mut g = c.benchmark_group("disk_scrub");
+    g.sample_size(if quick { 10 } else { 30 });
+    // one element = one durable artifact fully CRC-verified
+    g.throughput(Throughput::Elements(files as u64));
+    g.bench_function("verify_pass", |b| {
+        b.iter(|| {
+            let report = scrub_dir(&dir, &vfs).unwrap();
+            assert!(report.is_clean(), "bench artifacts rotted: {report:?}");
+            report.files_checked
+        });
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Cold-start recovery time: open a populated directory, replaying the
+/// snapshot plus the WAL tail through the `Vfs` seam. The WAL-heavy
+/// variant measures replay cost; the snapshot-heavy one measures
+/// decode-and-install cost.
+fn bench_recovery(c: &mut Harness, quick: bool) {
+    let n = if quick { 32 } else { 256 };
+    let mut g = c.benchmark_group("disk_recovery");
+    g.sample_size(if quick { 5 } else { 20 });
+    for (label, snapshot_every) in [("wal_heavy", n as u64 + 1), ("snapshot_heavy", 4)] {
+        let dir = bench_dir(label);
+        populate(&dir, n, snapshot_every);
+        let dir2 = dir.clone();
+        g.bench_function(label, move |b| {
+            b.iter(|| {
+                let cfg = ServeConfig::new(schema(), 0.5, &dir2).snapshot_every(snapshot_every);
+                let (core, report) = ServeCore::open(cfg).unwrap();
+                assert_eq!(core.chunks_seen(), n as u64, "recovery lost chunks");
+                assert!(!report.snapshot_fallback, "bench artifacts rotted");
+                core.chunks_seen()
+            });
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    g.finish();
+}
+
+fn main() {
+    let quick = std::env::var("CRH_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let mut h = Harness::from_env();
+    bench_scrub(&mut h, quick);
+    bench_recovery(&mut h, quick);
+}

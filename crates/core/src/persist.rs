@@ -350,6 +350,20 @@ impl<'a> Dec<'a> {
 /// Frame header size: magic(4) + version(4) + payload_len(8) + crc(4).
 const FRAME_HEADER: usize = 20;
 
+/// Encode `payload` as a complete in-memory frame: magic, version,
+/// declared length, CRC32, payload. The byte layout is exactly what
+/// [`write_frame`] puts on disk; fault-injectable storage layers reuse
+/// this so their artifacts stay readable by [`read_frame`].
+pub fn encode_frame(magic: [u8; 4], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
 /// Write `payload` as a complete frame to `path`: temp file in the same
 /// directory, flush + fsync, then atomic rename over the target.
 pub fn write_frame(
@@ -365,11 +379,7 @@ pub fn write_frame(
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(&magic)?;
-        f.write_all(&version.to_le_bytes())?;
-        f.write_all(&(payload.len() as u64).to_le_bytes())?;
-        f.write_all(&crc32(payload).to_le_bytes())?;
-        f.write_all(payload)?;
+        f.write_all(&encode_frame(magic, version, payload))?;
         f.flush()?;
         f.sync_all()?;
     }
@@ -377,23 +387,21 @@ pub fn write_frame(
     Ok(())
 }
 
-/// Read a frame written by [`write_frame`], validating magic, version,
-/// declared length (truncation-safe) and CRC. Returns the payload.
-pub fn read_frame(
-    path: &Path,
+/// Decode a frame produced by [`encode_frame`]/[`write_frame`],
+/// validating magic, version, declared length (truncation-safe) and CRC.
+/// Returns `(version, payload)`.
+pub fn decode_frame(
+    bytes: &[u8],
     magic: [u8; 4],
     max_version: u32,
 ) -> Result<(u32, Vec<u8>), PersistError> {
-    let mut f = File::open(path)?;
-    let mut bytes = Vec::new();
-    f.read_to_end(&mut bytes)?;
     if bytes.len() < FRAME_HEADER {
         return Err(PersistError::Truncated {
             expected: FRAME_HEADER as u64,
             got: bytes.len() as u64,
         });
     }
-    let mut header = Dec::new(&bytes);
+    let mut header = Dec::new(bytes);
     let got_magic: [u8; 4] = header.array()?;
     if got_magic != magic {
         return Err(PersistError::BadMagic {
@@ -428,6 +436,19 @@ pub fn read_frame(
         });
     }
     Ok((version, payload.to_vec()))
+}
+
+/// Read a frame written by [`write_frame`], validating magic, version,
+/// declared length (truncation-safe) and CRC. Returns the payload.
+pub fn read_frame(
+    path: &Path,
+    magic: [u8; 4],
+    max_version: u32,
+) -> Result<(u32, Vec<u8>), PersistError> {
+    let mut f = File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    decode_frame(&bytes, magic, max_version)
 }
 
 #[cfg(test)]

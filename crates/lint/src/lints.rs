@@ -71,6 +71,11 @@ pub const LINTS: &[(&str, &str)] = &[
         "print-stdout",
         "`println!`/`print!`/`dbg!` in library code; return data or use a logger hook",
     ),
+    (
+        "raw-fs-in-serve",
+        "direct `std::fs`/`File::`/`OpenOptions` in `crates/serve` outside `vfs.rs`; \
+         route durable I/O through the `Vfs` seam so disk-fault injection reaches it",
+    ),
     ("bad-pragma", "malformed `crh-lint: allow(...)` pragma"),
 ];
 
@@ -97,6 +102,8 @@ pub struct Scope {
     pub headers: bool,
     /// `print-stdout`.
     pub print: bool,
+    /// `raw-fs-in-serve`.
+    pub rawfs: bool,
     /// Whole file is test/bench/example code — only `bad-pragma` fires.
     pub exempt_file: bool,
 }
@@ -194,6 +201,12 @@ impl Scope {
         // Library code must not write to stdout; binaries and the CLI
         // frontend in the root crate's `src/` are allowed to.
         s.print = rel.starts_with("crates/") && in_lib_code;
+
+        // The daemon's durable I/O must flow through the Vfs seam —
+        // a raw `std::fs` call is a hole the disk-fault plan cannot
+        // reach, i.e. a path chaos testing silently never covers.
+        // `vfs.rs` itself is the one legitimate home of raw fs calls.
+        s.rawfs = rel.starts_with("crates/serve/src/") && in_lib_code && !rel.ends_with("/vfs.rs");
 
         s
     }
@@ -361,7 +374,8 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
         check_headers(&mut cx);
     }
 
-    let any_token_lints = scope.panic || scope.index || scope.clock || scope.hash || scope.print;
+    let any_token_lints =
+        scope.panic || scope.index || scope.clock || scope.hash || scope.print || scope.rawfs;
     if any_token_lints {
         token_lints(&mut cx, scope);
     }
@@ -547,6 +561,42 @@ fn token_lints(cx: &mut FileCx, scope: Scope) {
                     ),
                 );
             }
+            // `std::fs` paths (calls *and* imports — an import is how the
+            // raw calls get in), `File::` associated calls, and
+            // `OpenOptions` builders all bypass the Vfs seam.
+            "fs" if scope.rawfs
+                && cx.punct(i.wrapping_sub(1)) == Some(':')
+                && cx.punct(i.wrapping_sub(2)) == Some(':')
+                && cx.ident(i.wrapping_sub(3)) == Some("std") =>
+            {
+                cx.push(
+                    "raw-fs-in-serve",
+                    line,
+                    "`std::fs` bypasses the `Vfs` seam; the disk-fault plan cannot \
+                     inject here — use `Vfs`/`DiskFile` (crates/serve/src/vfs.rs)"
+                        .to_string(),
+                );
+            }
+            "File"
+                if scope.rawfs && cx.punct(i + 1) == Some(':') && cx.punct(i + 2) == Some(':') =>
+            {
+                cx.push(
+                    "raw-fs-in-serve",
+                    line,
+                    "`File::…` bypasses the `Vfs` seam; open files through \
+                     `Vfs::open_log`/`DiskFile` so fault injection reaches them"
+                        .to_string(),
+                );
+            }
+            "OpenOptions" if scope.rawfs => {
+                cx.push(
+                    "raw-fs-in-serve",
+                    line,
+                    "`OpenOptions` bypasses the `Vfs` seam; open files through \
+                     `Vfs::open_log`/`DiskFile` so fault injection reaches them"
+                        .to_string(),
+                );
+            }
             _ => {}
         }
     }
@@ -562,7 +612,15 @@ fn token_lints(cx: &mut FileCx, scope: Scope) {
 /// by a syncing event. Branch-insensitive by design: it over-approximates
 /// "some path acks un-synced", and genuine pure helpers carry a pragma.
 fn durability_lint(cx: &mut FileCx) {
-    const SYNC_PRIMITIVES: &[&str] = &["sync_all", "sync_data", "sync_parent_dir", "fsync"];
+    // `write_atomic` is the Vfs seam's durable write (tmp + fsync +
+    // rename + dir-fsync by contract), so it counts as a sync.
+    const SYNC_PRIMITIVES: &[&str] = &[
+        "sync_all",
+        "sync_data",
+        "sync_parent_dir",
+        "fsync",
+        "write_atomic",
+    ];
     const ACK_NAMES: &[&str] = &["ack", "reply_ok", "send_ack"];
     const ACK_CONSTRUCTORS: &[&str] = &["ReplAck"];
 
@@ -715,7 +773,11 @@ mod tests {
         let s = Scope::for_path("crates/serve/src/faults.rs");
         assert!(s.panic && s.clock && s.hash);
         let s = Scope::for_path("crates/serve/src/wal.rs");
-        assert!(s.durability);
+        assert!(s.durability && s.rawfs);
+        let s = Scope::for_path("crates/serve/src/vfs.rs");
+        assert!(!s.rawfs, "the seam itself may touch the real filesystem");
+        let s = Scope::for_path("crates/core/src/persist.rs");
+        assert!(!s.rawfs, "raw-fs is scoped to crates/serve");
         let s = Scope::for_path("crates/serve/tests/chaos.rs");
         assert!(s.exempt_file);
         let s = Scope::for_path("crates/lint/tests/fixtures/panic_positive.rs");

@@ -186,6 +186,37 @@ fn stdout_writes_fire_in_library_code_only() {
 }
 
 #[test]
+fn raw_fs_fires_in_serve_outside_vfs_and_test_code() {
+    let src = include_str!("fixtures/raw_fs.rs");
+    let found = lint_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![
+            // line 2: the import; line 5: std::fs::read; line 9: File::create;
+            // line 10: both the std::fs path and the OpenOptions builder
+            ("raw-fs-in-serve", 2),
+            ("raw-fs-in-serve", 5),
+            ("raw-fs-in-serve", 9),
+            ("raw-fs-in-serve", 10),
+            ("raw-fs-in-serve", 10),
+        ],
+        "full diagnostics: {found:#?}"
+    );
+    // vfs.rs is the seam's one legitimate home; nothing fires there
+    let found = lint_source("crates/serve/src/vfs.rs", src);
+    assert!(
+        !found.iter().any(|f| f.lint == "raw-fs-in-serve"),
+        "vfs.rs is exempt: {found:#?}"
+    );
+    // and other crates' raw fs is out of scope entirely
+    let found = lint_source("crates/core/src/persist.rs", src);
+    assert!(
+        !found.iter().any(|f| f.lint == "raw-fs-in-serve"),
+        "non-serve code is out of scope: {found:#?}"
+    );
+}
+
+#[test]
 fn fixture_corpus_itself_is_never_linted() {
     // The walker skips `fixtures/` directories, and Scope::for_path
     // additionally maps the path to an empty scope — belt and braces.

@@ -1,0 +1,24 @@
+//! Fixture: raw filesystem access in serve code (deliberate violations).
+use std::fs::File;
+
+fn bad_read(p: &std::path::Path) -> Vec<u8> {
+    std::fs::read(p).unwrap_or_default()
+}
+
+fn bad_open(p: &std::path::Path) {
+    let _ = File::create(p);
+    let _ = std::fs::OpenOptions::new().append(true).open(p);
+}
+
+fn suppressed(p: &std::path::Path) {
+    // crh-lint: allow(raw-fs-in-serve) — fixture-local justification example
+    let _ = std::fs::remove_file(p);
+}
+
+#[cfg(test)]
+mod tests {
+    // test code may touch the real filesystem freely
+    fn scratch() {
+        let _ = std::fs::remove_dir_all("scratch");
+    }
+}

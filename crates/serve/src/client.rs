@@ -185,6 +185,7 @@ fn map_wire_error(c: u8, message: String, hint: Option<u32>) -> ServeError {
         code::DEADLINE => ServeError::DeadlineExceeded,
         code::SHUTTING_DOWN => ServeError::ShuttingDown,
         code::NOT_PRIMARY => ServeError::NotPrimary { hint },
+        code::DISK_DEGRADED => ServeError::DiskDegraded { op: "remote disk" },
         _ => ServeError::Remote { code: c, message },
     }
 }
@@ -270,6 +271,8 @@ pub struct ClusterClient {
     /// Index into `members` to try next.
     next: usize,
     conn: Option<Client>,
+    /// Node id of the member that produced the last successful answer.
+    last_served: Option<u32>,
 }
 
 impl ClusterClient {
@@ -283,7 +286,26 @@ impl ClusterClient {
             policy,
             next: 0,
             conn: None,
+            last_served: None,
         }
+    }
+
+    /// Point the next attempt at member `node_id` (no-op for an unknown
+    /// id). The shard router uses this to start writes at the member it
+    /// last saw act as primary instead of re-walking the rotation.
+    pub fn prefer(&mut self, node_id: u32) {
+        if let Some(idx) = self.members.iter().position(|(n, _)| *n == node_id) {
+            if idx != self.next {
+                self.conn = None;
+            }
+            self.next = idx;
+        }
+    }
+
+    /// Node id of the member that produced the last successful answer,
+    /// if any request has succeeded yet.
+    pub fn last_served(&self) -> Option<u32> {
+        self.last_served
     }
 
     fn try_once(&mut self, req: &Request) -> Outcome {
@@ -325,6 +347,7 @@ impl ClusterClient {
             hint,
         } = resp
         else {
+            self.last_served = Some(node_id);
             return Outcome::Done(resp);
         };
         match c {
@@ -340,7 +363,9 @@ impl ClusterClient {
                 why: format!("node {node_id}: {message}"),
                 goto: Goto::Same,
             },
-            code::SHUTTING_DOWN | code::STALE_EPOCH => Outcome::Retry {
+            // a dying-disk node has already deposed itself (or is about
+            // to); rotate to a member whose disk can still fsync
+            code::SHUTTING_DOWN | code::STALE_EPOCH | code::DISK_DEGRADED => Outcome::Retry {
                 why: format!("node {node_id}: {message}"),
                 goto: Goto::Next,
             },
@@ -506,6 +531,29 @@ mod tests {
             matches!(resp, Response::Error { hint: None, .. }),
             "{resp:?}"
         );
+    }
+
+    #[test]
+    fn prefer_starts_the_rotation_at_the_named_member() {
+        let mut c = ClusterClient::new(
+            vec![(10, "127.0.0.1:1".into()), (20, "127.0.0.1:2".into())],
+            Duration::from_millis(100),
+            RetryPolicy {
+                max_attempts: 1,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                seed: 1,
+            },
+        );
+        c.prefer(20);
+        let err = c.weights().unwrap_err();
+        let ServeError::RetriesExhausted { log, .. } = err else {
+            panic!("expected RetriesExhausted");
+        };
+        assert!(log[0].contains("node 20"), "{log:?}");
+        // an unknown id leaves the rotation untouched
+        c.prefer(99);
+        assert!(c.last_served().is_none());
     }
 
     #[test]

@@ -19,19 +19,28 @@
 //! records behind; the `seq` prefix makes replay skip them instead of
 //! double-folding.
 //!
+//! Durable artifacts are kept in **two generations**: each snapshot
+//! renames its predecessor to `snapshot.prev.crh` and retires the WAL to
+//! `ingest.prev.wal` instead of truncating it. If the newest snapshot is
+//! corrupt (bit rot, a lying fsync surfacing at power loss), recovery
+//! falls back to the previous generation and bridges the gap by
+//! replaying both WALs — sequence skips make the overlap idempotent, so
+//! the fallback is bit-identical with what a healthy disk would have
+//! recovered. All file I/O flows through the [`Vfs`] seam, which is how
+//! the `chaos_disk` suite injects torn writes, bit rot, lying fsyncs,
+//! and dying disks underneath this exact code path.
+//!
 //! An injected crash *poisons* the core — every later call answers
 //! [`ServeError::ShuttingDown`] — so chaos tests cannot accidentally keep
 //! using state that a real `kill -9` would have destroyed.
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::fs::OpenOptions;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use crh_core::cancel::CancelToken;
 use crh_core::ids::{ObjectId, PropertyId, SourceId};
-use crh_core::persist::{read_frame, write_frame, Dec, Enc};
+use crh_core::persist::{Dec, Enc, PersistError};
 use crh_core::schema::Schema;
 use crh_core::session::CrhSession;
 use crh_core::table::{Claim, ObservationTable};
@@ -41,12 +50,13 @@ use crh_stream::{ICrh, ICrhCheckpoint, ICrhState};
 use crate::breaker::{BreakerConfig, SourceBreakers};
 use crate::error::ServeError;
 use crate::faults::{ServeFate, ServeFaultInjector, ServePoint};
+use crate::vfs::Vfs;
 use crate::wal::{Wal, WalRecovery};
 
 /// Magic bytes of a daemon snapshot frame.
-const SNAPSHOT_MAGIC: [u8; 4] = *b"CRHV";
+pub(crate) const SNAPSHOT_MAGIC: [u8; 4] = *b"CRHV";
 /// Current snapshot format version.
-const SNAPSHOT_VERSION: u32 = 1;
+pub(crate) const SNAPSHOT_VERSION: u32 = 1;
 
 /// One claim as it crosses the wire and the WAL: plain ids plus a value.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +105,10 @@ pub struct ServeConfig {
     /// for every value (the solver's determinism contract), so this only
     /// trades wall clock.
     pub solve_threads: usize,
+    /// The storage seam every durable byte flows through. Production
+    /// uses the zero-cost passthrough; chaos tests install a seeded
+    /// [`DiskFaultPlan`](crate::vfs::DiskFaultPlan).
+    pub vfs: Vfs,
 }
 
 impl ServeConfig {
@@ -110,6 +124,7 @@ impl ServeConfig {
             breaker: BreakerConfig::default(),
             injector: ServeFaultInjector::disabled(),
             solve_threads: 0,
+            vfs: Vfs::passthrough(),
         }
     }
 
@@ -143,6 +158,13 @@ impl ServeConfig {
         self.solve_threads = n;
         self
     }
+
+    /// Install a storage seam (disk chaos tests only; production keeps
+    /// the passthrough default).
+    pub fn vfs(mut self, vfs: Vfs) -> Self {
+        self.vfs = vfs;
+        self
+    }
 }
 
 /// What [`ServeCore::open`] found on disk.
@@ -158,6 +180,11 @@ pub struct RecoveryReport {
     pub wal_skipped: u64,
     /// Torn-tail bytes truncated from the WAL.
     pub torn_bytes: u64,
+    /// Whether recovery fell back to the *previous* snapshot generation
+    /// because the newest snapshot was corrupt or missing mid-rotation.
+    /// The recovered state is still exact (the retired WAL bridges the
+    /// gap), but the corruption deserves an operator's attention.
+    pub snapshot_fallback: bool,
 }
 
 /// Receipt for an accepted chunk.
@@ -263,6 +290,9 @@ pub struct ServeCore {
     alpha: f64,
     snapshot_every: u64,
     snapshot_path: PathBuf,
+    snapshot_prev_path: PathBuf,
+    wal_prev_path: PathBuf,
+    vfs: Vfs,
     state: ICrhState,
     wal: Wal,
     cache: TruthCache,
@@ -283,36 +313,97 @@ impl ServeCore {
     /// replay with snapshot-covered records skipped and torn tails
     /// truncated.
     pub fn open(cfg: ServeConfig) -> Result<(Self, RecoveryReport), ServeError> {
-        std::fs::create_dir_all(&cfg.dir)?;
+        let vfs = cfg.vfs.clone();
+        vfs.create_dir_all(&cfg.dir)?;
         let snapshot_path = cfg.dir.join("snapshot.crh");
+        let snapshot_prev_path = cfg.dir.join("snapshot.prev.crh");
         let wal_path = cfg.dir.join("ingest.wal");
+        let wal_prev_path = cfg.dir.join("ingest.prev.wal");
 
         let icrh = ICrh::new(cfg.alpha)?.threads(cfg.solve_threads);
         let mut cache = TruthCache::new(cfg.truth_cache_cap);
-        let (state, snapshot_loaded, snapshot_chunks) = if snapshot_path.exists() {
-            let (ckpt, cached) = read_snapshot(&snapshot_path)?;
-            let chunks = ckpt.chunks_seen as u64;
-            for (key, truth) in cached {
-                cache.insert(key, truth);
+
+        // Recovery ladder: newest snapshot, else the previous generation
+        // (corruption or a crash mid-rotation), else fresh. Only typed
+        // *corruption* triggers the fallback — a transient I/O error must
+        // surface to the caller, not silently rewind a generation.
+        let mut snapshot_fallback = false;
+        let mut loaded: Option<SnapshotPayload> = None;
+        if vfs.exists(&snapshot_path) {
+            match read_snapshot(&vfs, &snapshot_path) {
+                Ok(ok) => loaded = Some(ok),
+                Err(primary_err) if is_corruption(&primary_err) => {
+                    if vfs.exists(&snapshot_prev_path) {
+                        // map a second corruption back to the primary
+                        // error: both generations gone is unrecoverable
+                        // here (a replica re-syncs from quorum instead)
+                        loaded = Some(
+                            read_snapshot(&vfs, &snapshot_prev_path).map_err(|_| primary_err)?,
+                        );
+                    }
+                    // No previous generation means the corrupt snapshot
+                    // was the first ever written, and the WAL has rotated
+                    // at most once — both generations together still
+                    // cover every record from sequence 0, so fresh state
+                    // plus full replay is complete. (The replay's
+                    // sequence-gap check backstops this: incomplete
+                    // coverage is a typed error, never silent loss.)
+                    snapshot_fallback = true;
+                }
+                Err(e) => return Err(e),
             }
-            (ICrhState::resume(icrh, ckpt)?, true, chunks)
-        } else {
-            (icrh.start(), false, 0)
+        } else if vfs.exists(&snapshot_prev_path) {
+            // crash between the generation rename and the new snapshot
+            // write: the previous generation is the newest intact one
+            loaded = Some(read_snapshot(&vfs, &snapshot_prev_path)?);
+            snapshot_fallback = true;
+        }
+        let (state, snapshot_loaded, snapshot_chunks) = match loaded {
+            Some((ckpt, cached)) => {
+                let chunks = ckpt.chunks_seen as u64;
+                for (key, truth) in cached {
+                    cache.insert(key, truth);
+                }
+                (ICrhState::resume(icrh, ckpt)?, true, chunks)
+            }
+            None => (icrh.start(), false, 0),
         };
 
+        // The retired WAL generation first (records between the previous
+        // snapshot and the newest one), then the live WAL. When the
+        // newest snapshot loaded cleanly the retired records are all
+        // skipped by sequence — so a corrupt *retired* log is ignorable
+        // debris unless the fallback actually needs it to bridge the gap.
+        let mut torn_bytes = 0u64;
+        let prev_records = if vfs.exists(&wal_prev_path) {
+            match Wal::open(&wal_prev_path, &vfs) {
+                Ok((_, rec)) => {
+                    torn_bytes += rec.truncated_bytes;
+                    rec.records
+                }
+                Err(e) if snapshot_fallback || !is_corruption(&e) => return Err(e),
+                Err(_) => Vec::new(),
+            }
+        } else {
+            Vec::new()
+        };
         let (
             wal,
             WalRecovery {
                 records,
                 truncated_bytes,
             },
-        ) = Wal::open(&wal_path)?;
+        ) = Wal::open(&wal_path, &vfs)?;
+        torn_bytes += truncated_bytes;
 
         let mut core = Self {
             schema: cfg.schema,
             alpha: cfg.alpha,
             snapshot_every: cfg.snapshot_every.max(1),
             snapshot_path,
+            snapshot_prev_path,
+            wal_prev_path,
+            vfs,
             state,
             wal,
             cache,
@@ -326,7 +417,7 @@ impl ServeCore {
 
         let mut replayed = 0u64;
         let mut skipped = 0u64;
-        for payload in &records {
+        for payload in prev_records.iter().chain(records.iter()) {
             let (seq, claims) = decode_chunk(payload)?;
             let applied = core.state.chunks_seen() as u64;
             if seq < applied {
@@ -350,7 +441,8 @@ impl ServeCore {
                 snapshot_chunks,
                 wal_replayed: replayed,
                 wal_skipped: skipped,
-                torn_bytes: truncated_bytes,
+                torn_bytes,
+                snapshot_fallback,
             },
         ))
     }
@@ -422,14 +514,21 @@ impl ServeCore {
         let seq = self.state.chunks_seen() as u64;
         let fate = self.injector.fate(seq, attempt);
 
-        // 3. Commit point: WAL append + fsync.
+        // 3. Commit point: WAL append + fsync. An injected *disk* crash
+        // (torn write from the DiskFaultPlan) poisons the core exactly
+        // like the chunk-level TornWal fate: a real kill -9 would have
+        // destroyed this process. A sticky-dead disk (DiskDegraded) or a
+        // transient EIO does not poison — memory is still consistent and
+        // the record, if partially written, is unsynced and idempotent.
         let payload = encode_chunk(seq, claims);
         if let ServeFate::TornWal { keep_frac } = fate {
             self.wal.append_torn(&payload, keep_frac)?;
             self.poisoned = true;
             return Err(ServeError::InjectedCrash(ServePoint::WalAppend));
         }
-        self.wal.append(&payload)?;
+        self.wal
+            .append(&payload)
+            .map_err(|e| self.poison_if_crash(e))?;
         if fate == ServeFate::CrashBeforeFold {
             self.poisoned = true;
             return Err(ServeError::InjectedCrash(ServePoint::BeforeFold));
@@ -449,7 +548,8 @@ impl ServeCore {
             return Err(ServeError::InjectedCrash(ServePoint::AfterFold));
         }
 
-        // 5. Snapshot cadence.
+        // 5. Snapshot cadence: advance the snapshot generation (rename
+        // the old one to .prev, write the new one) and retire the WAL.
         let chunks_seen = self.state.chunks_seen() as u64;
         if chunks_seen.is_multiple_of(self.snapshot_every) {
             match fate {
@@ -457,24 +557,23 @@ impl ServeCore {
                     // abandon a partial temp file, exactly what a kill -9
                     // mid-write leaves behind; recovery must ignore it
                     let tmp = self.snapshot_path.with_extension("crh.tmp");
-                    let mut f = OpenOptions::new()
-                        .create(true)
-                        .write(true)
-                        .truncate(true)
-                        .open(&tmp)?;
-                    f.write_all(b"CRHV\x01partial")?;
+                    self.vfs.write_debris(&tmp, b"CRHV\x01partial")?;
                     self.poisoned = true;
                     return Err(ServeError::InjectedCrash(ServePoint::SnapshotWrite));
                 }
                 ServeFate::CrashAfterSnapshotRename => {
-                    self.write_snapshot()?;
-                    // crash before the WAL truncation: stale records remain
+                    self.advance_snapshot_generation()
+                        .map_err(|e| self.poison_if_crash(e))?;
+                    // crash before the WAL rotation: stale records remain
                     self.poisoned = true;
                     return Err(ServeError::InjectedCrash(ServePoint::SnapshotTruncate));
                 }
                 _ => {
-                    self.write_snapshot()?;
-                    self.wal.truncate_all()?;
+                    self.advance_snapshot_generation()
+                        .map_err(|e| self.poison_if_crash(e))?;
+                    self.wal
+                        .rotate(&self.wal_prev_path)
+                        .map_err(|e| self.poison_if_crash(e))?;
                 }
             }
         }
@@ -500,12 +599,17 @@ impl ServeCore {
         if seq > applied {
             return Ok(ApplyOutcome::Gap { expected: applied });
         }
-        self.wal.append(payload)?;
+        self.wal
+            .append(payload)
+            .map_err(|e| self.poison_if_crash(e))?;
         self.fold(&claims)?;
         let chunks_seen = self.state.chunks_seen() as u64;
         if chunks_seen.is_multiple_of(self.snapshot_every) {
-            self.write_snapshot()?;
-            self.wal.truncate_all()?;
+            self.advance_snapshot_generation()
+                .map_err(|e| self.poison_if_crash(e))?;
+            self.wal
+                .rotate(&self.wal_prev_path)
+                .map_err(|e| self.poison_if_crash(e))?;
         }
         Ok(ApplyOutcome::Applied(IngestReceipt { seq, chunks_seen }))
     }
@@ -522,13 +626,21 @@ impl ServeCore {
         }
         let (ckpt, cached) = decode_snapshot_payload(payload)?;
         let state = ICrhState::resume(ICrh::new(self.alpha)?.threads(self.solve_threads), ckpt)?;
-        write_frame(
+        self.vfs.write_frame(
             &self.snapshot_path,
             SNAPSHOT_MAGIC,
             SNAPSHOT_VERSION,
             payload,
         )?;
-        crate::wal::sync_parent_dir(&self.snapshot_path)?;
+        // the installed snapshot supersedes every local generation:
+        // clear the retired artifacts so recovery can never bridge from
+        // a pre-install state into a post-install one
+        if self.vfs.exists(&self.snapshot_prev_path) {
+            self.vfs.remove_file(&self.snapshot_prev_path)?;
+        }
+        if self.vfs.exists(&self.wal_prev_path) {
+            self.vfs.remove_file(&self.wal_prev_path)?;
+        }
         self.wal.truncate_all()?;
         let mut cache = TruthCache::new(self.cache.cap);
         for (key, truth) in cached {
@@ -552,8 +664,8 @@ impl ServeCore {
         if self.poisoned {
             return Err(ServeError::ShuttingDown);
         }
-        self.write_snapshot()?;
-        self.wal.truncate_all()
+        self.advance_snapshot_generation()?;
+        self.wal.rotate(&self.wal_prev_path)
     }
 
     /// The snapshot payload this core would persist right now — the
@@ -599,16 +711,37 @@ impl ServeCore {
 
     fn write_snapshot(&self) -> Result<(), ServeError> {
         let payload = snapshot_payload(&self.state.checkpoint(), &self.cache);
-        write_frame(
+        // vfs.write_frame is tmp + fsync + atomic rename + parent-dir
+        // fsync: the new snapshot is durable or the old one survives
+        self.vfs.write_frame(
             &self.snapshot_path,
             SNAPSHOT_MAGIC,
             SNAPSHOT_VERSION,
             &payload,
-        )?;
-        // the rename inside write_frame is atomic but not durable until
-        // the directory entry itself is fsync'd
-        crate::wal::sync_parent_dir(&self.snapshot_path)?;
-        Ok(())
+        )
+    }
+
+    /// Retire the current snapshot to the previous generation and write
+    /// a fresh one. Ordering is crash-safe at every point: the rename
+    /// happens first, so a crash before the new snapshot lands leaves
+    /// the previous generation as the newest intact one and recovery
+    /// bridges forward from it through the retained WALs.
+    fn advance_snapshot_generation(&self) -> Result<(), ServeError> {
+        if self.vfs.exists(&self.snapshot_path) {
+            self.vfs
+                .rename(&self.snapshot_path, &self.snapshot_prev_path)?;
+            self.vfs.sync_parent_dir(&self.snapshot_path)?;
+        }
+        self.write_snapshot()
+    }
+
+    /// Poison the core when a disk fault reports the process crashed;
+    /// pass every other error through untouched.
+    fn poison_if_crash(&mut self, e: ServeError) -> ServeError {
+        if matches!(e, ServeError::InjectedCrash(_)) {
+            self.poisoned = true;
+        }
+        e
     }
 
     /// The configured solver kernel thread count (0 = available
@@ -811,16 +944,28 @@ fn snapshot_payload(ckpt: &ICrhCheckpoint, cache: &TruthCache) -> Vec<u8> {
     e.into_bytes()
 }
 
-#[allow(clippy::type_complexity)]
-fn read_snapshot(path: &Path) -> Result<(ICrhCheckpoint, Vec<((u32, u32), Truth)>), ServeError> {
-    let (_version, payload) = read_frame(path, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+/// A decoded snapshot: the solver checkpoint plus the cached truths
+/// keyed by `(object, property)`.
+type SnapshotPayload = (ICrhCheckpoint, Vec<((u32, u32), Truth)>);
+
+fn read_snapshot(vfs: &Vfs, path: &Path) -> Result<SnapshotPayload, ServeError> {
+    let (_version, payload) = vfs.read_frame(path, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
     decode_snapshot_payload(&payload)
 }
 
-#[allow(clippy::type_complexity)]
-fn decode_snapshot_payload(
-    payload: &[u8],
-) -> Result<(ICrhCheckpoint, Vec<((u32, u32), Truth)>), ServeError> {
+/// Whether an error means *the artifact's bytes are wrong* (bit rot, a
+/// torn frame, a stale version) as opposed to the disk merely failing to
+/// serve them. Only corruption may trigger a generation fallback; I/O
+/// errors must surface so a transient `EIO` cannot silently rewind state.
+pub(crate) fn is_corruption(e: &ServeError) -> bool {
+    match e {
+        ServeError::Persist(p) => !matches!(p, PersistError::Io(_)),
+        ServeError::WalCorrupt { .. } => true,
+        _ => false,
+    }
+}
+
+fn decode_snapshot_payload(payload: &[u8]) -> Result<SnapshotPayload, ServeError> {
     let mut d = Dec::new(payload);
     let chunks_seen = d.u64()? as usize;
     let weights = d.f64s()?;

@@ -134,6 +134,16 @@ pub enum ServeError {
         /// The receiver's current map version.
         current: u64,
     },
+    /// This node's disk has gone sticky-bad (ENOSPC or persistent EIO):
+    /// writes and fsyncs no longer succeed, so the node can neither make
+    /// chunks durable nor persist election state. A primary reporting
+    /// this has stopped acknowledging writes and is self-deposing so a
+    /// replica with a healthy disk can win the election; clients retry
+    /// against the rest of the cluster.
+    DiskDegraded {
+        /// The storage operation that failed ("write", "fsync", ...).
+        op: &'static str,
+    },
     /// A fault-plan builder was given an out-of-range probability or the
     /// variants' probabilities sum past 1.0, which would silently skew
     /// every seeded fate drawn from the plan.
@@ -220,6 +230,10 @@ impl std::fmt::Display for ServeError {
                 f,
                 "stale shard map version {got} (current {current}); refresh the route table"
             ),
+            Self::DiskDegraded { op } => write!(
+                f,
+                "disk degraded: {op} failed with a sticky error; this node no longer accepts writes"
+            ),
             Self::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             Self::InjectedCrash(p) => write!(f, "injected crash at {p:?}"),
             Self::Stream(e) => write!(f, "stream error: {e}"),
@@ -300,6 +314,8 @@ pub mod code {
     pub const WRONG_SHARD: u8 = 13;
     /// Shard-routed frame carried a pre-cutover shard-map version.
     pub const STALE_SHARD_MAP: u8 = 14;
+    /// The node's disk is sticky-failed; it cannot accept writes.
+    pub const DISK_DEGRADED: u8 = 15;
 }
 
 impl ServeError {
@@ -319,6 +335,7 @@ impl ServeError {
             Self::Degraded { .. } => code::DEGRADED,
             Self::WrongShard { .. } => code::WRONG_SHARD,
             Self::StaleShardMap { .. } => code::STALE_SHARD_MAP,
+            Self::DiskDegraded { .. } => code::DISK_DEGRADED,
             Self::Remote { code, .. } => *code,
             _ => code::INTERNAL,
         }
@@ -401,6 +418,14 @@ mod tests {
         let e = ServeError::InvalidFaultPlan("drop_prob = 1.5".into());
         assert!(e.to_string().contains("1.5"));
         assert_eq!(e.wire_code(), code::INTERNAL);
+    }
+
+    #[test]
+    fn disk_degraded_displays_and_codes() {
+        let e = ServeError::DiskDegraded { op: "fsync" };
+        assert!(e.to_string().contains("fsync"));
+        assert!(e.to_string().contains("sticky"));
+        assert_eq!(e.wire_code(), code::DISK_DEGRADED);
     }
 
     #[test]

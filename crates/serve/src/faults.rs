@@ -57,6 +57,11 @@ pub enum ServePoint {
     /// During a batch solve (read-only; recovery is trivial but the
     /// daemon must still come back clean).
     Solve,
+    /// Mid-write inside the storage layer: a seeded
+    /// [`DiskFaultPlan`](crate::vfs::DiskFaultPlan) tore the write (a
+    /// prefix of the bytes reached the disk) and the process is treated
+    /// as crashed at that instant.
+    DiskWrite,
 }
 
 /// The resolved fate of one ingest attempt.

@@ -45,6 +45,18 @@
 //!    atomic durable cutover record, so a crash at any point during a
 //!    split recovers to exactly the pre- or post-cutover topology.
 //!
+//! 7. **Disk-fault survival** ([`vfs`], [`scrub`]) — every durable
+//!    artifact (WAL, snapshots, election metadata, shard map, staging
+//!    log) is written through an injectable [`Vfs`] seam; a seeded
+//!    [`DiskFaultPlan`] tears writes at arbitrary offsets, rots bits on
+//!    read, lies about fsync, and latches a dying disk sticky-bad, all
+//!    as a pure function of `(seed, op)`. Recovery falls back to the
+//!    previous snapshot generation on corruption, a primary on a dead
+//!    disk self-deposes with a typed [`ServeError::DiskDegraded`], and
+//!    a background scrubber walks CRCs to catch silent rot early,
+//!    quarantining corrupt replica artifacts and re-syncing them from
+//!    the quorum (read-repair).
+//!
 //! The wire protocol ([`proto`]) is the workspace's own length-prefixed
 //! CRC-framed format; [`client`] is a small synchronous client. Nothing
 //! here needs a dependency outside the workspace.
@@ -62,8 +74,10 @@ pub mod proto;
 pub mod queue;
 pub mod replicate;
 pub mod router;
+pub mod scrub;
 pub mod server;
 pub mod shard;
+pub mod vfs;
 pub mod wal;
 
 pub use breaker::BreakerConfig;
@@ -81,8 +95,10 @@ pub use faults::{
 pub use queue::BoundedQueue;
 pub use replicate::{ReplicaConfig, ReplicaNode, ReplicaRecovery, Role};
 pub use router::{ShardAck, ShardGroup, ShardRouter};
+pub use scrub::{scrub_dir, ScrubFinding, ScrubReport};
 pub use server::{HaConfig, HaServer, Server, ServerConfig};
 pub use shard::{
     entry_point, ShardMap, ShardMapStore, ShardRange, Sharded, ShardedSim, SplitOutcome, SplitSpec,
 };
+pub use vfs::{DiskFaultPlan, DiskFile, Vfs};
 pub use wal::{Wal, WalRecovery};

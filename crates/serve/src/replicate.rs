@@ -63,7 +63,13 @@ use crate::core::{ServeConfig, ServeCore};
 use crate::error::ServeError;
 use crate::failover::elect;
 use crate::proto::{Request, Response};
-use crate::wal::{sync_parent_dir, Wal};
+use crate::vfs::Vfs;
+use crate::wal::Wal;
+
+/// Sentinel `from` value in a catch-up request meaning "ship me the full
+/// snapshot regardless of retention" — the read-repair path after the
+/// scrubber quarantined a corrupt local artifact.
+const FULL_RESYNC: u64 = u64::MAX;
 
 /// What this node currently believes it is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +108,12 @@ pub struct ReplicaConfig {
     /// force elections, or inject log records. Every member of a
     /// cluster must use the same key.
     pub cluster_key: u64,
+    /// Ticks between background scrub passes over the node's durable
+    /// artifacts (WALs, snapshots, election meta). `0` disables the
+    /// scrubber. A corrupt artifact is quarantined and repaired: a
+    /// primary rewrites it from its authoritative in-memory state, a
+    /// follower re-syncs from the quorum (read-repair).
+    pub scrub_every: u64,
 }
 
 impl ReplicaConfig {
@@ -118,12 +130,19 @@ impl ReplicaConfig {
             retention_cap: 64,
             replicate_window: 4,
             cluster_key: 0,
+            scrub_every: 0,
         }
     }
 
     /// Set the shared cluster key (all members must agree).
     pub fn cluster_key(mut self, key: u64) -> Self {
         self.cluster_key = key;
+        self
+    }
+
+    /// Enable the background scrubber with this tick interval (0 = off).
+    pub fn scrub_every(mut self, ticks: u64) -> Self {
+        self.scrub_every = ticks;
         self
     }
 }
@@ -148,42 +167,21 @@ struct ElectionMeta {
 }
 
 impl ElectionMeta {
-    /// Load from `path`; a missing file is a genuinely new node (all
-    /// zeros), but an unreadable or corrupt one is a typed refusal —
-    /// guessing an epoch can grant a double vote.
-    fn load(path: &Path) -> Result<Self, ServeError> {
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(Self::default());
-            }
-            Err(e) => return Err(ServeError::Io(e)),
-        };
-        let corrupt = |reason| ServeError::WalCorrupt { offset: 0, reason };
-        if bytes.len() < META_MAGIC.len() + 4 || !bytes.starts_with(&META_MAGIC) {
-            return Err(corrupt("missing or wrong election meta header"));
+    /// Load from `path` through the storage seam; a missing file is a
+    /// genuinely new node (all zeros), but an unreadable or corrupt one
+    /// is a typed refusal — guessing an epoch can grant a double vote.
+    fn load(vfs: &Vfs, path: &Path) -> Result<Self, ServeError> {
+        if !vfs.exists(path) {
+            return Ok(Self::default());
         }
-        let crc_at = META_MAGIC.len();
-        let stored_crc = Dec::new(bytes.get(crc_at..).unwrap_or(&[])).u32()?;
-        let payload = bytes.get(crc_at + 4..).unwrap_or(&[]);
-        if crc32(payload) != stored_crc {
-            return Err(corrupt("election meta CRC mismatch"));
-        }
-        let mut d = Dec::new(payload);
-        let meta = Self {
-            epoch: d.u64()?,
-            last_folded_epoch: d.u64()?,
-        };
-        if !d.is_exhausted() {
-            return Err(corrupt("trailing bytes in election meta"));
-        }
-        Ok(meta)
+        decode_election_meta(&vfs.read(path)?)
     }
 
     /// Durably replace the file at `path`: write-to-temp, fsync, atomic
-    /// rename, directory fsync — the same discipline as snapshots, so a
-    /// torn write can never surface as a half-updated epoch.
-    fn save(self, path: &Path) -> Result<(), ServeError> {
+    /// rename, directory fsync (all inside [`Vfs::write_atomic`]) — the
+    /// same discipline as snapshots, so a torn write can never surface
+    /// as a half-updated epoch.
+    fn save(self, vfs: &Vfs, path: &Path) -> Result<(), ServeError> {
         let mut e = Enc::new();
         e.u64(self.epoch);
         e.u64(self.last_folded_epoch);
@@ -192,17 +190,37 @@ impl ElectionMeta {
         bytes.extend_from_slice(&META_MAGIC);
         bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
-
-        let tmp = path.with_extension("meta.tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            use std::io::Write as _;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)?;
-        sync_parent_dir(path)
+        vfs.write_atomic(path, &bytes)
     }
+}
+
+/// Decode (and thereby CRC-verify) election-meta bytes.
+fn decode_election_meta(bytes: &[u8]) -> Result<ElectionMeta, ServeError> {
+    let corrupt = |reason| ServeError::WalCorrupt { offset: 0, reason };
+    if bytes.len() < META_MAGIC.len() + 4 || !bytes.starts_with(&META_MAGIC) {
+        return Err(corrupt("missing or wrong election meta header"));
+    }
+    let crc_at = META_MAGIC.len();
+    let stored_crc = Dec::new(bytes.get(crc_at..).unwrap_or(&[])).u32()?;
+    let payload = bytes.get(crc_at + 4..).unwrap_or(&[]);
+    if crc32(payload) != stored_crc {
+        return Err(corrupt("election meta CRC mismatch"));
+    }
+    let mut d = Dec::new(payload);
+    let meta = ElectionMeta {
+        epoch: d.u64()?,
+        last_folded_epoch: d.u64()?,
+    };
+    if !d.is_exhausted() {
+        return Err(corrupt("trailing bytes in election meta"));
+    }
+    Ok(meta)
+}
+
+/// Validate election-meta bytes without exposing the contents (the
+/// scrubber's integrity check).
+pub(crate) fn verify_election_meta(bytes: &[u8]) -> Result<(), ServeError> {
+    decode_election_meta(bytes).map(|_| ())
 }
 
 /// One log record: its sequence number, the epoch of the primary that
@@ -265,6 +283,17 @@ pub struct ReplicaNode {
     /// Where the durable election state lives (`election.meta` in the
     /// node's state directory).
     meta_path: PathBuf,
+    /// The node's state directory (the scrubber's walk root).
+    serve_dir: PathBuf,
+    /// The storage seam shared with the core (and with the chaos plan).
+    vfs: Vfs,
+    /// Tick of the last background scrub pass.
+    last_scrub: u64,
+    /// Set when the scrubber quarantined a local artifact this follower
+    /// cannot rebuild from memory: the next catch-up requests a full
+    /// snapshot from the primary (read-repair), which rewrites every
+    /// durable artifact. Cleared once the snapshot installs.
+    repair_resync: bool,
     last_heartbeat: u64,
     last_push: u64,
     /// The primary's advertised durable head (staleness bound for reads).
@@ -301,11 +330,13 @@ impl ReplicaNode {
         cfg: ReplicaConfig,
         serve: ServeConfig,
     ) -> Result<(Self, ReplicaRecovery), ServeError> {
-        let staging_path = serve.dir.join("staging.wal");
-        let meta_path = serve.dir.join("election.meta");
+        let vfs = serve.vfs.clone();
+        let serve_dir = serve.dir.clone();
+        let staging_path = serve_dir.join("staging.wal");
+        let meta_path = serve_dir.join("election.meta");
         let (core, core_report) = ServeCore::open(serve)?;
-        let (mut staging, rec) = Wal::open(&staging_path)?;
-        let meta = ElectionMeta::load(&meta_path)?;
+        let (mut staging, rec) = Wal::open(&staging_path, &vfs)?;
+        let meta = ElectionMeta::load(&vfs, &meta_path)?;
 
         // Keep only the contiguous staged tail that extends the folded
         // prefix; anything else (already folded, or beyond a gap torn by
@@ -347,6 +378,10 @@ impl ReplicaNode {
             leader: None,
             last_folded_epoch: meta.last_folded_epoch,
             meta_path,
+            serve_dir,
+            vfs,
+            last_scrub: 0,
+            repair_resync: false,
             last_heartbeat: 0,
             last_push: 0,
             primary_head: 0,
@@ -526,7 +561,7 @@ impl ReplicaNode {
             epoch: self.epoch,
             last_folded_epoch: self.last_folded_epoch,
         }
-        .save(&self.meta_path)
+        .save(&self.vfs, &self.meta_path)
     }
 
     fn election_timeout(&self) -> u64 {
@@ -561,11 +596,14 @@ impl ReplicaNode {
             epoch: self.epoch,
             payload: encode_chunk(seq, claims),
         };
-        self.staging.append(&staging_record(&entry))?;
+        self.staging
+            .append(&staging_record(&entry))
+            .map_err(|e| self.depose_if_degraded(e))?;
         self.push_retention(entry.clone());
         self.staged.push_back(entry);
         self.synced = seq + 1;
-        self.advance_commit()?;
+        self.advance_commit()
+            .map_err(|e| self.depose_if_degraded(e))?;
         Ok(seq)
     }
 
@@ -574,6 +612,14 @@ impl ReplicaNode {
     /// Advance logical time to `now` and return the frames to send.
     pub fn tick(&mut self, now: u64) -> Result<Vec<(u32, Request)>, ServeError> {
         let mut out = Vec::new();
+        if self.cfg.scrub_every > 0 && now.saturating_sub(self.last_scrub) >= self.cfg.scrub_every {
+            self.last_scrub = now;
+            // Scrub failures are advisory (the pass re-runs next interval),
+            // but a dying disk discovered here must still depose a primary.
+            if let Err(e) = self.scrub_and_repair() {
+                let _ = self.depose_if_degraded(e);
+            }
+        }
         match self.role {
             Role::Primary => {
                 for p in std::mem::take(&mut self.promote_pending) {
@@ -624,12 +670,17 @@ impl ReplicaNode {
             Role::Follower => {
                 if self.needs_catchup {
                     if let Some(l) = self.leader_hint() {
+                        let from = if self.repair_resync {
+                            FULL_RESYNC
+                        } else {
+                            self.synced
+                        };
                         out.push((
                             l,
                             Request::CatchUp {
                                 token: self.cfg.cluster_key,
                                 epoch: self.epoch,
-                                from: self.synced,
+                                from,
                             },
                         ));
                     }
@@ -753,6 +804,77 @@ impl ReplicaNode {
         self.promote_pending.clear();
     }
 
+    /// A primary whose disk has latched sticky-bad can no longer make
+    /// writes durable, so it must stop acking and get out of the way:
+    /// self-depose so a healthy replica wins the next election. The error
+    /// is passed through either way — the caller's write still failed.
+    fn depose_if_degraded(&mut self, e: ServeError) -> ServeError {
+        if matches!(e, ServeError::DiskDegraded { .. }) && self.role == Role::Primary {
+            self.step_down(None);
+        }
+        e
+    }
+
+    /// Walk every durable artifact in this node's state directory and
+    /// verify its CRCs ([`crate::scrub::scrub_dir`]); repair whatever is
+    /// corrupt. Artifacts rebuildable from memory (election meta, the
+    /// staging log, and — on a primary — the core's WAL/snapshots via a
+    /// fresh checkpoint) are rewritten in place; anything a follower
+    /// cannot rebuild locally is quarantined and flagged for a full
+    /// snapshot re-sync from the quorum (read-repair). Runs on the tick
+    /// cadence set by [`ReplicaConfig::scrub_every`]; also callable
+    /// directly by tests and operators.
+    pub fn scrub_and_repair(&mut self) -> Result<crate::scrub::ScrubReport, ServeError> {
+        let report = crate::scrub::scrub_dir(&self.serve_dir, &self.vfs)?;
+        let mut rewrite_meta = false;
+        let mut rewrite_staging = false;
+        let mut rewrite_core = false;
+        for f in &report.findings {
+            let name = f.path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            match name {
+                "election.meta" => {
+                    // no open handle: safe to quarantine, then rewrite
+                    // from the authoritative in-memory election state
+                    crate::scrub::quarantine(&self.vfs, &f.path)?;
+                    rewrite_meta = true;
+                }
+                // the staging WAL has an open handle — quarantining
+                // (renaming) it would redirect that handle to the
+                // quarantine file; rebuild it in place instead
+                "staging.wal" => rewrite_staging = true,
+                // likewise the live ingest WAL is owned (and held open)
+                // by the core; retiring it is the core's job — a fresh
+                // checkpoint rotates it away
+                "ingest.wal" => rewrite_core = true,
+                "snapshot.crh" | "snapshot.prev.crh" | "ingest.prev.wal" => {
+                    crate::scrub::quarantine(&self.vfs, &f.path)?;
+                    rewrite_core = true;
+                }
+                _ => {} // already-quarantined debris, tmp files, unknowns
+            }
+        }
+        if rewrite_meta {
+            self.persist_meta()?;
+        }
+        if rewrite_staging {
+            self.rebuild_staging()?;
+        }
+        if rewrite_core {
+            if self.role == Role::Primary {
+                // the primary's memory is authoritative: a fresh
+                // checkpoint rewrites the snapshot and rotates the WAL,
+                // retiring every corrupt core artifact
+                self.core.snapshot_now()?;
+            } else {
+                // a follower's memory may trail the quorum — pull the
+                // full folded state from the primary instead
+                self.repair_resync = true;
+                self.needs_catchup = true;
+            }
+        }
+        Ok(report)
+    }
+
     fn on_replicate(
         &mut self,
         from: u32,
@@ -835,7 +957,11 @@ impl ReplicaNode {
             });
         }
         let base = self.retention.front().map_or(self.durable(), |s| s.seq);
-        let (snapshot, from_seq) = if from_seq >= base {
+        let (snapshot, from_seq) = if from_seq == FULL_RESYNC {
+            // explicit read-repair request: the follower found local rot it
+            // cannot rebuild, so ship the full folded state unconditionally
+            (Some(self.core.checkpoint_bytes()), self.core.chunks_seen())
+        } else if from_seq >= base {
             (None, from_seq)
         } else {
             // the request predates retention: ship the full folded state,
@@ -923,6 +1049,9 @@ impl ReplicaNode {
                     self.commit = self.core.chunks_seen();
                     self.last_folded_epoch = *epoch;
                     self.persist_meta()?;
+                    // every durable artifact was just rewritten from the
+                    // quorum's state: the read-repair is complete
+                    self.repair_resync = false;
                 }
                 self.needs_catchup = false;
                 for r in records {
@@ -1023,7 +1152,7 @@ impl ReplicaNode {
                     epoch: self.epoch,
                     last_folded_epoch: target,
                 }
-                .save(&self.meta_path)?;
+                .save(&self.vfs, &self.meta_path)?;
             }
         }
         let mut folded = false;
@@ -1080,6 +1209,13 @@ impl ReplicaNode {
         now: u64,
         out: &mut Vec<(u32, Request)>,
     ) -> Result<(), ServeError> {
+        if self.vfs.is_sticky() {
+            // A node on a dead disk cannot durably persist a vote or an
+            // epoch, so it must never campaign: it stays a read-only
+            // follower until the disk (i.e. the process) is replaced.
+            self.last_heartbeat = now;
+            return Ok(());
+        }
         self.role = Role::Candidate;
         self.leader = None;
         self.election_epoch = self.epoch.max(self.election_epoch) + 1;

@@ -88,6 +88,13 @@ pub struct ShardRouter {
     clients: BTreeMap<u32, ClusterClient>,
     timeout: Duration,
     policy: RetryPolicy,
+    /// Last node observed acting as each shard's primary. Purely an
+    /// optimization: a write starts at the cached member instead of
+    /// re-walking the failover rotation (and re-eating a `NOT_PRIMARY`
+    /// redirect) on every chunk. Entries are invalidated whenever a
+    /// shard's call fails or its member set is replaced — correctness
+    /// never depends on the cache, only first-attempt latency does.
+    primaries: BTreeMap<u32, u32>,
 }
 
 impl ShardRouter {
@@ -116,6 +123,7 @@ impl ShardRouter {
             clients,
             timeout,
             policy,
+            primaries: BTreeMap::new(),
         })
     }
 
@@ -133,6 +141,7 @@ impl ShardRouter {
             clients,
             timeout,
             policy,
+            primaries: BTreeMap::new(),
         };
         router.refresh_route_table()?;
         Ok(router)
@@ -185,11 +194,19 @@ impl ShardRouter {
             seed: self.policy.seed ^ (u64::from(group.shard) << 32 | 0x51A2),
             ..self.policy.clone()
         };
+        // the cached primary belonged to the replaced member set
+        self.primaries.remove(&group.shard);
         self.clients.insert(
             group.shard,
             ClusterClient::new(group.members, self.timeout, policy),
         );
         Ok(())
+    }
+
+    /// The node this router last observed acting as `shard`'s primary
+    /// (a hint, not a guarantee — the cache lags elections).
+    pub fn cached_primary(&self, shard: u32) -> Option<u32> {
+        self.primaries.get(&shard).copied()
     }
 
     /// Re-fetch the route table from the registered groups and adopt the
@@ -276,19 +293,35 @@ impl ShardRouter {
                     map_version: self.map.version,
                     claims: sub.clone(),
                 };
-                match self.client(shard)?.call(&req) {
-                    Ok(Response::Ack { seq, chunks_seen }) => acks.push(ShardAck {
-                        shard,
-                        seq,
-                        committed: chunks_seen,
-                    }),
+                let cached = self.primaries.get(&shard).copied();
+                let client = self.client(shard)?;
+                if let Some(p) = cached {
+                    client.prefer(p);
+                }
+                let result = client.call(&req);
+                let served = client.last_served();
+                match result {
+                    Ok(Response::Ack { seq, chunks_seen }) => {
+                        if let Some(n) = served {
+                            self.primaries.insert(shard, n);
+                        }
+                        acks.push(ShardAck {
+                            shard,
+                            seq,
+                            committed: chunks_seen,
+                        });
+                    }
                     Ok(other) => return Err(unexpected(&other)),
                     Err(e) if is_routing_error(&e) && refreshes < MAX_REFRESHES => {
+                        self.primaries.remove(&shard);
                         refreshes += 1;
                         self.refresh_route_table()?;
                         requeue.extend(sub);
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        self.primaries.remove(&shard);
+                        return Err(e);
+                    }
                 }
             }
             pending = requeue;
@@ -425,6 +458,36 @@ mod tests {
             message: String::new()
         }));
         assert!(!is_routing_error(&ServeError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn primary_cache_is_invalidated_on_failure_and_group_replacement() {
+        let map = ShardMap::uniform(1).unwrap();
+        let groups = vec![ShardGroup {
+            shard: 0,
+            // nothing listens here: every call fails
+            members: vec![(0, "127.0.0.1:1".into()), (1, "127.0.0.1:2".into())],
+        }];
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 3,
+        };
+        let mut r =
+            ShardRouter::new(map, groups.clone(), Duration::from_millis(50), policy).unwrap();
+        assert_eq!(r.cached_primary(0), None);
+        // pretend an earlier write learned node 1 is the primary
+        r.primaries.insert(0, 1);
+        assert_eq!(r.cached_primary(0), Some(1));
+        // a failed write must drop the stale hint
+        let err = r.ingest(vec![ChunkClaim::num(7, 0, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, ServeError::RetriesExhausted { .. }), "{err}");
+        assert_eq!(r.cached_primary(0), None);
+        // replacing the member set must drop any hint for that shard too
+        r.primaries.insert(0, 1);
+        r.add_group(groups.into_iter().next().unwrap()).unwrap();
+        assert_eq!(r.cached_primary(0), None);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::error::ServeError;
 use crate::failover::SimCluster;
 use crate::faults::{ShardFaultPlan, SplitCrash};
 use crate::proto::{Request, Response};
-use crate::wal::sync_parent_dir;
+use crate::vfs::Vfs;
 
 const MAP_MAGIC: [u8; 8] = *b"CRHSHMP1";
 
@@ -236,12 +236,23 @@ impl ShardMap {
 #[derive(Debug, Clone)]
 pub struct ShardMapStore {
     path: PathBuf,
+    vfs: Vfs,
 }
 
 impl ShardMapStore {
-    /// A store at `path` (the file need not exist yet).
+    /// A store at `path` (the file need not exist yet) on a healthy
+    /// passthrough disk.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Self { path: path.into() }
+        Self::with_vfs(path, Vfs::passthrough())
+    }
+
+    /// A store at `path` reading and writing through `vfs`, so a seeded
+    /// [`crate::vfs::DiskFaultPlan`] reaches the cutover record too.
+    pub fn with_vfs(path: impl Into<PathBuf>, vfs: Vfs) -> Self {
+        Self {
+            path: path.into(),
+            vfs,
+        }
     }
 
     /// The store's path.
@@ -253,11 +264,10 @@ impl ShardMapStore {
     /// written. Corruption is a typed refusal — guessing a topology can
     /// route writes into the wrong group.
     pub fn load(&self) -> Result<Option<ShardMap>, ServeError> {
-        let bytes = match std::fs::read(&self.path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(ServeError::Io(e)),
-        };
+        if !self.vfs.exists(&self.path) {
+            return Ok(None);
+        }
+        let bytes = self.vfs.read(&self.path)?;
         let corrupt = |reason| ServeError::WalCorrupt { offset: 0, reason };
         if bytes.len() < MAP_MAGIC.len() + 4 || !bytes.starts_with(&MAP_MAGIC) {
             return Err(corrupt("missing or wrong shard map header"));
@@ -276,22 +286,14 @@ impl ShardMapStore {
     /// half-cutover topology.
     pub fn save(&self, map: &ShardMap) -> Result<(), ServeError> {
         if let Some(parent) = self.path.parent() {
-            std::fs::create_dir_all(parent)?;
+            self.vfs.create_dir_all(parent)?;
         }
         let payload = map.encode();
         let mut bytes = Vec::with_capacity(MAP_MAGIC.len() + 4 + payload.len());
         bytes.extend_from_slice(&MAP_MAGIC);
         bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
-        let tmp = self.path.with_extension("map.tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            use std::io::Write as _;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, &self.path)?;
-        sync_parent_dir(&self.path)
+        self.vfs.write_atomic(&self.path, &bytes)
     }
 }
 
@@ -578,7 +580,7 @@ impl ShardedSim {
         // map, so they are dead weight to re-stage from scratch
         for node in 0..self.replicas as u32 {
             let cfg = (self.serve_for)(spec.new_shard, node);
-            let _ = std::fs::remove_dir_all(&cfg.dir);
+            let _ = cfg.vfs.remove_dir_all(&cfg.dir);
         }
         let (snapshot, records) = self.fetch_donor_state(spec.source)?;
         for node in 0..self.replicas {

@@ -1,0 +1,925 @@
+//! The storage seam: every byte the daemon persists flows through here.
+//!
+//! Real disks do not fail cleanly. They tear writes at arbitrary offsets
+//! (power loss mid-`write(2)`), rot bits silently (a read returns data
+//! that was never written), lie about fsync (the call returns success,
+//! the platter never saw the data — surfaced only at the next power
+//! loss), throw transient `EIO`s, and die sticky (`ENOSPC`/persistent
+//! `EIO` until the drive is replaced). The [`Vfs`] is the single chokepoint
+//! between `crh-serve` and `std::fs` so all five behaviours are
+//! *injectable*: production uses the zero-cost passthrough
+//! ([`Vfs::passthrough`]), chaos tests install a seeded [`DiskFaultPlan`]
+//! and the whole durability pipeline — WAL, snapshots, election meta,
+//! the staging WAL, the shard-map store — is exercised against a lying
+//! disk. The `raw-fs-in-serve` lint keeps the seam load-bearing: direct
+//! `std::fs` use anywhere else in the crate is a finding.
+//!
+//! Fates are pure in `(seed, op_index)` via [`hash_rng`], exactly like
+//! [`ServeFaultPlan`](crate::faults::ServeFaultPlan) and
+//! [`NetFaultPlan`](crate::faults::NetFaultPlan), so a chaotic run
+//! replays byte-for-byte. `max_faults` bounds the chaos with a budget
+//! shared across clones and simulated restarts; a **sticky** failure is
+//! deliberately *not* budgeted — a dying disk does not heal because the
+//! test got tired.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crh_core::persist::{decode_frame, encode_frame};
+use crh_core::rng::{hash_rng, Rng};
+
+use crate::error::ServeError;
+use crate::faults::ServePoint;
+
+/// Domain tag decorrelating disk fates from the other seeded plans.
+const DISK_DOMAIN: u64 = 0xD15C;
+
+/// `Ok` iff `p` is a usable probability: finite and within `[0, 1]`.
+fn check_prob(name: &str, p: f64) -> Result<(), ServeError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(ServeError::InvalidFaultPlan(format!(
+            "{name} = {p} is not a probability in [0, 1]"
+        )))
+    }
+}
+
+/// Recover a possibly-poisoned mutex: the guarded maps stay structurally
+/// valid even if a holder panicked mid-update.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A seeded chaos schedule for the storage layer. Probabilities are
+/// per-operation; each operation kind draws its own mutually-exclusive
+/// subset (a read can rot, a write can tear, an fsync can lie — any of
+/// them can hit a transient `EIO`).
+#[derive(Debug, Clone)]
+pub struct DiskFaultPlan {
+    /// Seed from which every fate is derived.
+    pub seed: u64,
+    /// Probability a write is torn: a strict prefix of the bytes reaches
+    /// the disk and the process is treated as crashed mid-write.
+    pub torn_write_prob: f64,
+    /// Probability a read returns data with one bit flipped (bit rot).
+    pub bit_flip_read_prob: f64,
+    /// Probability an fsync reports success without making the data
+    /// durable; the loss surfaces at the next [`Vfs::simulate_crash`].
+    pub lying_fsync_prob: f64,
+    /// Probability an operation fails with a transient `EIO`; the retry
+    /// draws a fresh fate.
+    pub transient_eio_prob: f64,
+    /// Operation index at which the disk goes sticky-bad: every write,
+    /// fsync, and metadata update fails from then on (reads survive —
+    /// `ENOSPC` semantics). `None` = the disk never dies.
+    pub sticky_after: Option<u64>,
+    /// Total budgeted faults before the injector goes permanently
+    /// healthy (shared across clones and restarts). Sticky failure is
+    /// not budgeted: a dead disk stays dead.
+    pub max_faults: u64,
+}
+
+impl DiskFaultPlan {
+    /// A plan with the given seed and no faults; enable classes with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            torn_write_prob: 0.0,
+            bit_flip_read_prob: 0.0,
+            lying_fsync_prob: 0.0,
+            transient_eio_prob: 0.0,
+            sticky_after: None,
+            max_faults: 16,
+        }
+    }
+
+    /// Set the torn-write probability.
+    pub fn torn_writes(mut self, p: f64) -> Self {
+        self.torn_write_prob = p;
+        self
+    }
+
+    /// Set the bit-rot-on-read probability.
+    pub fn bit_rot(mut self, p: f64) -> Self {
+        self.bit_flip_read_prob = p;
+        self
+    }
+
+    /// Set the lying-fsync probability.
+    pub fn lying_fsyncs(mut self, p: f64) -> Self {
+        self.lying_fsync_prob = p;
+        self
+    }
+
+    /// Set the transient-`EIO` probability.
+    pub fn transient_eio(mut self, p: f64) -> Self {
+        self.transient_eio_prob = p;
+        self
+    }
+
+    /// Kill the disk (for writes) at operation index `op`.
+    pub fn sticky_after(mut self, op: u64) -> Self {
+        self.sticky_after = Some(op);
+        self
+    }
+
+    /// Cap the total number of budgeted injected faults.
+    pub fn max_faults(mut self, n: u64) -> Self {
+        self.max_faults = n;
+        self
+    }
+
+    /// Reject out-of-range probabilities and overfull per-kind subsets
+    /// with a typed error; runs when the plan is installed in a [`Vfs`].
+    pub fn validate(&self) -> Result<(), ServeError> {
+        check_prob("torn_write_prob", self.torn_write_prob)?;
+        check_prob("bit_flip_read_prob", self.bit_flip_read_prob)?;
+        check_prob("lying_fsync_prob", self.lying_fsync_prob)?;
+        check_prob("transient_eio_prob", self.transient_eio_prob)?;
+        for (kind, class) in [
+            ("write", self.torn_write_prob),
+            ("read", self.bit_flip_read_prob),
+            ("fsync", self.lying_fsync_prob),
+        ] {
+            let total = class + self.transient_eio_prob;
+            if total > 1.0 + 1e-12 {
+                return Err(ServeError::InvalidFaultPlan(format!(
+                    "{kind} fault probabilities must sum to <= 1 (got {total})"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What kind of storage operation is drawing a fate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Read,
+    Write,
+    Sync,
+    /// Metadata update: rename, truncate, directory fsync, unlink.
+    Meta,
+}
+
+/// The resolved fate of one storage operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DiskFate {
+    Healthy,
+    /// Tear the write, keeping this fraction of the bytes.
+    Torn {
+        keep_frac: f64,
+    },
+    /// Flip one bit in the bytes read.
+    BitFlip,
+    /// Report fsync success without making the data durable.
+    Lying,
+    /// Fail with a transient `EIO`.
+    Transient,
+    /// The disk is sticky-dead; the operation fails permanently.
+    Sticky,
+}
+
+#[derive(Debug)]
+struct VfsState {
+    plan: DiskFaultPlan,
+    /// Global operation counter: the coordinate every fate is drawn from.
+    ops: AtomicU64,
+    /// Budgeted faults fired so far (shared across clones/restarts).
+    fired: AtomicU64,
+    /// Latched once the sticky threshold is crossed.
+    sticky: AtomicBool,
+    /// Per-file *truly durable* length: advanced only by an honest
+    /// fsync. [`Vfs::simulate_crash`] truncates each file back to it,
+    /// which is exactly what power loss does to unsynced page cache.
+    durable: Mutex<BTreeMap<PathBuf, u64>>,
+}
+
+/// A handle to the (possibly fault-injected) filesystem. Cloning shares
+/// the fault budget, the operation counter, the sticky latch, and the
+/// durable-length ledger — a restart cannot reset the chaos, and a disk
+/// that died stays dead across reopens.
+#[derive(Debug, Clone, Default)]
+pub struct Vfs {
+    state: Option<Arc<VfsState>>,
+}
+
+impl Vfs {
+    /// The production default: a zero-cost passthrough to `std::fs`.
+    pub fn passthrough() -> Self {
+        Self::default()
+    }
+
+    /// A filesystem with a seeded [`DiskFaultPlan`] installed; the plan
+    /// is validated so a bad probability cannot silently skew fates.
+    pub fn faulted(plan: DiskFaultPlan) -> Result<Self, ServeError> {
+        plan.validate()?;
+        Ok(Self {
+            state: Some(Arc::new(VfsState {
+                plan,
+                ops: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+                sticky: AtomicBool::new(false),
+                durable: Mutex::new(BTreeMap::new()),
+            })),
+        })
+    }
+
+    /// Budgeted faults fired so far across all clones.
+    pub fn faults_fired(&self) -> u64 {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.fired.load(Ordering::SeqCst))
+    }
+
+    /// Whether the disk has gone sticky-bad.
+    pub fn is_sticky(&self) -> bool {
+        self.state
+            .as_ref()
+            .is_some_and(|s| s.sticky.load(Ordering::SeqCst))
+    }
+
+    /// Kill the disk now (tests flipping a member's disk dead at will).
+    /// No-op on a passthrough [`Vfs`].
+    pub fn force_sticky(&self) {
+        if let Some(s) = &self.state {
+            s.sticky.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Draw the fate of the next operation of `kind`.
+    fn fate(&self, kind: OpKind) -> DiskFate {
+        let Some(s) = &self.state else {
+            return DiskFate::Healthy;
+        };
+        let p = &s.plan;
+        let op = s.ops.fetch_add(1, Ordering::SeqCst);
+        if let Some(at) = p.sticky_after {
+            if op >= at {
+                s.sticky.store(true, Ordering::SeqCst);
+            }
+        }
+        if s.sticky.load(Ordering::SeqCst) && kind != OpKind::Read {
+            return DiskFate::Sticky;
+        }
+        if s.fired.load(Ordering::SeqCst) >= p.max_faults {
+            return DiskFate::Healthy;
+        }
+        let mut rng = hash_rng(p.seed, &[DISK_DOMAIN, op]);
+        let x: f64 = rng.random();
+        let class_prob = match kind {
+            OpKind::Read => p.bit_flip_read_prob,
+            OpKind::Write => p.torn_write_prob,
+            OpKind::Sync => p.lying_fsync_prob,
+            OpKind::Meta => 0.0,
+        };
+        let fate = if x < class_prob {
+            match kind {
+                OpKind::Read => DiskFate::BitFlip,
+                OpKind::Write => {
+                    // keep a deterministic, strictly-partial prefix
+                    let keep_frac: f64 = 0.05 + 0.9 * rng.random::<f64>();
+                    DiskFate::Torn { keep_frac }
+                }
+                OpKind::Sync => DiskFate::Lying,
+                OpKind::Meta => DiskFate::Healthy,
+            }
+        } else if x < class_prob + p.transient_eio_prob {
+            DiskFate::Transient
+        } else {
+            DiskFate::Healthy
+        };
+        if fate != DiskFate::Healthy {
+            // charge the budget; re-check in case a racing clone spent it
+            if s.fired.fetch_add(1, Ordering::SeqCst) >= p.max_faults {
+                return DiskFate::Healthy;
+            }
+        }
+        fate
+    }
+
+    fn transient() -> ServeError {
+        ServeError::Io(std::io::Error::other("injected transient EIO"))
+    }
+
+    /// Read a whole file, subject to bit rot and transient `EIO`.
+    pub fn read(&self, path: impl AsRef<Path>) -> Result<Vec<u8>, ServeError> {
+        let path = path.as_ref();
+        match self.fate(OpKind::Read) {
+            DiskFate::Transient => return Err(Self::transient()),
+            DiskFate::BitFlip => {
+                let mut bytes = std::fs::read(path)?;
+                self.flip_one_bit(&mut bytes);
+                return Ok(bytes);
+            }
+            _ => {}
+        }
+        Ok(std::fs::read(path)?)
+    }
+
+    /// Flip one seeded bit in `bytes` (no-op on an empty read).
+    fn flip_one_bit(&self, bytes: &mut [u8]) {
+        let Some(s) = &self.state else { return };
+        if bytes.is_empty() {
+            return;
+        }
+        let op = s.ops.load(Ordering::SeqCst);
+        let mut rng = hash_rng(s.plan.seed, &[DISK_DOMAIN, 0xB17, op]);
+        let at = (rng.next_u64() % bytes.len() as u64) as usize;
+        let bit = (rng.next_u64() % 8) as u8;
+        if let Some(b) = bytes.get_mut(at) {
+            *b ^= 1 << bit;
+        }
+    }
+
+    /// Open (or create) a log-style file for read + append-positioned
+    /// writes, never truncating existing content.
+    pub fn open_log(&self, path: impl AsRef<Path>) -> Result<DiskFile, ServeError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            self.create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        if let Some(s) = &self.state {
+            // everything already on disk at open is presumed durable
+            let len = file.metadata()?.len();
+            relock(&s.durable).entry(path.clone()).or_insert(len);
+        }
+        Ok(DiskFile {
+            file,
+            path,
+            vfs: self.clone(),
+        })
+    }
+
+    /// Write `bytes` to `path` atomically: temp sibling, write + fsync,
+    /// rename over the target, then fsync the parent directory. Subject
+    /// to torn writes (the temp file is abandoned partial, the target
+    /// survives), transient `EIO`, and sticky death.
+    pub fn write_atomic(&self, path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), ServeError> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            self.create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            match self.fate(OpKind::Write) {
+                DiskFate::Healthy | DiskFate::BitFlip | DiskFate::Lying => {
+                    f.write_all(bytes)?;
+                }
+                DiskFate::Torn { keep_frac } => {
+                    let keep = torn_prefix_len(bytes.len(), keep_frac);
+                    f.write_all(bytes.get(..keep).unwrap_or(bytes))?;
+                    f.sync_all().ok();
+                    return Err(ServeError::InjectedCrash(ServePoint::DiskWrite));
+                }
+                DiskFate::Transient => return Err(Self::transient()),
+                DiskFate::Sticky => return Err(ServeError::DiskDegraded { op: "write" }),
+            }
+            f.flush()?;
+            match self.fate(OpKind::Sync) {
+                DiskFate::Healthy | DiskFate::BitFlip | DiskFate::Torn { .. } => {
+                    f.sync_all()?;
+                }
+                // an atomic artifact whose fsync lies is equivalent to
+                // crashing before the rename: simply skip the sync —
+                // the rename below may still survive, which is exactly
+                // the torn-rename ambiguity recovery must handle
+                DiskFate::Lying => {}
+                DiskFate::Transient => return Err(Self::transient()),
+                DiskFate::Sticky => return Err(ServeError::DiskDegraded { op: "fsync" }),
+            }
+        }
+        self.rename(&tmp, path)?;
+        self.sync_parent_dir(path)
+    }
+
+    /// Rename `from` to `to` (a metadata write: sticky/transient apply).
+    pub fn rename(&self, from: impl AsRef<Path>, to: impl AsRef<Path>) -> Result<(), ServeError> {
+        match self.fate(OpKind::Meta) {
+            DiskFate::Transient => return Err(Self::transient()),
+            DiskFate::Sticky => return Err(ServeError::DiskDegraded { op: "rename" }),
+            _ => {}
+        }
+        std::fs::rename(from.as_ref(), to.as_ref())?;
+        if let Some(s) = &self.state {
+            let mut durable = relock(&s.durable);
+            if let Some(len) = durable.remove(from.as_ref()) {
+                durable.insert(to.as_ref().to_path_buf(), len);
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a file (a metadata write: sticky/transient apply).
+    pub fn remove_file(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        match self.fate(OpKind::Meta) {
+            DiskFate::Transient => return Err(Self::transient()),
+            DiskFate::Sticky => return Err(ServeError::DiskDegraded { op: "unlink" }),
+            _ => {}
+        }
+        std::fs::remove_file(path.as_ref())?;
+        if let Some(s) = &self.state {
+            relock(&s.durable).remove(path.as_ref());
+        }
+        Ok(())
+    }
+
+    /// Create a directory and all its parents (fault-free: directory
+    /// creation failing is just an `Io` error from the underlying fs).
+    pub fn create_dir_all(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        Ok(std::fs::create_dir_all(path.as_ref())?)
+    }
+
+    /// Recursively remove a directory tree (metadata write).
+    pub fn remove_dir_all(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        match self.fate(OpKind::Meta) {
+            DiskFate::Transient => return Err(Self::transient()),
+            DiskFate::Sticky => return Err(ServeError::DiskDegraded { op: "rmdir" }),
+            _ => {}
+        }
+        std::fs::remove_dir_all(path.as_ref())?;
+        if let Some(s) = &self.state {
+            relock(&s.durable).retain(|p, _| !p.starts_with(path.as_ref()));
+        }
+        Ok(())
+    }
+
+    /// Whether `path` exists (read-only, fault-free).
+    pub fn exists(&self, path: impl AsRef<Path>) -> bool {
+        path.as_ref().exists()
+    }
+
+    /// The regular files directly inside `dir`, sorted by path so every
+    /// walker (the scrubber above all) visits deterministically. A
+    /// missing directory is an empty listing, not an error.
+    pub fn read_dir_files(&self, dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, ServeError> {
+        let dir = dir.as_ref();
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(ServeError::Io(e)),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Fsync the directory containing `path`.
+    ///
+    /// An atomic rename (or a file creation) updates the *directory
+    /// entry*, and that entry has its own page cache: `rename(2)`
+    /// followed by power loss can resurrect the old file even though the
+    /// new file's contents were fsync'd. Failure is a typed
+    /// [`ServeError::SnapshotDirSync`] — the caller must treat the
+    /// preceding rename as not-yet-durable.
+    pub fn sync_parent_dir(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        match self.fate(OpKind::Meta) {
+            DiskFate::Transient => return Err(Self::transient()),
+            DiskFate::Sticky => return Err(ServeError::DiskDegraded { op: "dir-fsync" }),
+            _ => {}
+        }
+        sync_parent_dir(path.as_ref())
+    }
+
+    /// Write a CRC-framed artifact (same layout as
+    /// [`crh_core::persist::write_frame`]) atomically through the seam.
+    pub fn write_frame(
+        &self,
+        path: impl AsRef<Path>,
+        magic: [u8; 4],
+        version: u32,
+        payload: &[u8],
+    ) -> Result<(), ServeError> {
+        self.write_atomic(path, &encode_frame(magic, version, payload))
+    }
+
+    /// Read a CRC-framed artifact through the seam, validating magic,
+    /// version, declared length, and CRC.
+    pub fn read_frame(
+        &self,
+        path: impl AsRef<Path>,
+        magic: [u8; 4],
+        max_version: u32,
+    ) -> Result<(u32, Vec<u8>), ServeError> {
+        let bytes = self.read(path)?;
+        Ok(decode_frame(&bytes, magic, max_version)?)
+    }
+
+    /// Write `bytes` to `path` with no sync and no fault draws: used by
+    /// the [`ServeFaultPlan`](crate::faults::ServeFaultPlan) crash points
+    /// to plant deliberate debris (an abandoned partial temp file) that
+    /// recovery must ignore.
+    pub(crate) fn write_debris(
+        &self,
+        path: impl AsRef<Path>,
+        bytes: &[u8],
+    ) -> Result<(), ServeError> {
+        let mut f = File::create(path.as_ref())?;
+        f.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Simulate power loss: truncate every tracked file back to its last
+    /// honestly-fsync'd length. This is where a lying fsync's loss
+    /// surfaces — data the daemon believed durable evaporates, exactly
+    /// as unsynced page cache does when the machine dies.
+    pub fn simulate_crash(&self) {
+        let Some(s) = &self.state else { return };
+        let durable: Vec<(PathBuf, u64)> = relock(&s.durable)
+            .iter()
+            .map(|(p, &l)| (p.clone(), l))
+            .collect();
+        for (path, len) in durable {
+            let Ok(f) = OpenOptions::new().write(true).open(&path) else {
+                continue; // never created or already unlinked
+            };
+            let actual = f.metadata().map(|m| m.len()).unwrap_or(len);
+            if actual > len {
+                f.set_len(len).ok();
+                f.sync_all().ok();
+            }
+        }
+    }
+
+    /// Record an honest fsync: everything in `path` up to `len` is
+    /// durable.
+    fn mark_durable(&self, path: &Path, len: u64) {
+        if let Some(s) = &self.state {
+            relock(&s.durable).insert(path.to_path_buf(), len);
+        }
+    }
+
+    /// Clamp the durable length after a truncation to `len`.
+    fn clamp_durable(&self, path: &Path, len: u64) {
+        if let Some(s) = &self.state {
+            let mut durable = relock(&s.durable);
+            let entry = durable.entry(path.to_path_buf()).or_insert(len);
+            *entry = (*entry).min(len);
+        }
+    }
+}
+
+/// Clamp a torn write to a strict, non-empty prefix.
+fn torn_prefix_len(total: usize, keep_frac: f64) -> usize {
+    ((total as f64 * keep_frac) as usize).clamp(1, total.saturating_sub(1).max(1))
+}
+
+/// Fsync the directory containing `path` (the raw, fault-free primitive;
+/// fault-aware callers go through [`Vfs::sync_parent_dir`]).
+pub fn sync_parent_dir(path: &Path) -> Result<(), ServeError> {
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(Path::new("."));
+    let err = |e: std::io::Error| ServeError::SnapshotDirSync {
+        dir: dir.to_path_buf(),
+        reason: e.to_string(),
+    };
+    let f = File::open(dir).map_err(err)?;
+    f.sync_all().map_err(err)
+}
+
+/// An open file routed through the [`Vfs`] seam. Writes can tear, syncs
+/// can lie, and everything can hit transient or sticky `EIO` — exactly
+/// like the hardware the daemon actually runs on.
+#[derive(Debug)]
+pub struct DiskFile {
+    file: File,
+    path: PathBuf,
+    vfs: Vfs,
+}
+
+impl DiskFile {
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The seam this file was opened through.
+    pub(crate) fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Read the whole file from the current position, subject to bit rot
+    /// and transient `EIO`.
+    pub fn read_to_end(&mut self, buf: &mut Vec<u8>) -> Result<usize, ServeError> {
+        match self.vfs.fate(OpKind::Read) {
+            DiskFate::Transient => return Err(Vfs::transient()),
+            DiskFate::BitFlip => {
+                let start = buf.len();
+                let n = self.file.read_to_end(buf)?;
+                if let Some(tail) = buf.get_mut(start..) {
+                    self.vfs.flip_one_bit(tail);
+                }
+                return Ok(n);
+            }
+            _ => {}
+        }
+        Ok(self.file.read_to_end(buf)?)
+    }
+
+    /// Write all of `bytes` at the current position. A torn fate writes
+    /// a strict prefix, syncs it so recovery observes the torn bytes,
+    /// and reports the process crashed
+    /// ([`ServeError::InjectedCrash`] at [`ServePoint::DiskWrite`]).
+    pub fn write_all(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        match self.vfs.fate(OpKind::Write) {
+            DiskFate::Healthy | DiskFate::BitFlip | DiskFate::Lying => {
+                Ok(self.file.write_all(bytes)?)
+            }
+            DiskFate::Torn { keep_frac } => {
+                self.write_torn(bytes, keep_frac)?;
+                Err(ServeError::InjectedCrash(ServePoint::DiskWrite))
+            }
+            DiskFate::Transient => Err(Vfs::transient()),
+            DiskFate::Sticky => Err(ServeError::DiskDegraded { op: "write" }),
+        }
+    }
+
+    /// Deliberately tear a write: put a strict prefix of `bytes` on disk
+    /// and sync it so a same-process "recovery" observes the torn tail.
+    /// Only reachable from injected-fault paths.
+    pub(crate) fn write_torn(&mut self, bytes: &[u8], keep_frac: f64) -> Result<u64, ServeError> {
+        let keep = torn_prefix_len(bytes.len(), keep_frac);
+        self.file.write_all(bytes.get(..keep).unwrap_or(bytes))?;
+        self.file.sync_data()?;
+        let len = self.file.metadata()?.len();
+        self.vfs.mark_durable(&self.path, len);
+        Ok(keep as u64)
+    }
+
+    /// Fsync file data. A lying fate reports success without advancing
+    /// the durable length — the loss surfaces at
+    /// [`Vfs::simulate_crash`].
+    pub fn sync_data(&mut self) -> Result<(), ServeError> {
+        self.sync_inner(false)
+    }
+
+    /// Fsync file data and metadata (same fault semantics as
+    /// [`Self::sync_data`]).
+    pub fn sync_all(&mut self) -> Result<(), ServeError> {
+        self.sync_inner(true)
+    }
+
+    fn sync_inner(&mut self, all: bool) -> Result<(), ServeError> {
+        match self.vfs.fate(OpKind::Sync) {
+            DiskFate::Lying => return Ok(()),
+            DiskFate::Transient => return Err(Vfs::transient()),
+            DiskFate::Sticky => return Err(ServeError::DiskDegraded { op: "fsync" }),
+            _ => {}
+        }
+        if all {
+            self.file.sync_all()?;
+        } else {
+            self.file.sync_data()?;
+        }
+        let len = self.file.metadata()?.len();
+        self.vfs.mark_durable(&self.path, len);
+        Ok(())
+    }
+
+    /// Truncate (or extend) to `len` bytes (a metadata write).
+    pub fn set_len(&mut self, len: u64) -> Result<(), ServeError> {
+        match self.vfs.fate(OpKind::Meta) {
+            DiskFate::Transient => return Err(Vfs::transient()),
+            DiskFate::Sticky => return Err(ServeError::DiskDegraded { op: "truncate" }),
+            _ => {}
+        }
+        self.file.set_len(len)?;
+        self.vfs.clamp_durable(&self.path, len);
+        Ok(())
+    }
+
+    /// Seek to an absolute offset (fault-free: no I/O is issued).
+    pub fn seek_to(&mut self, offset: u64) -> Result<(), ServeError> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("crh_vfs_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn passthrough_roundtrips_without_faults() {
+        let p = tmp("pass");
+        std::fs::remove_file(&p).ok();
+        let vfs = Vfs::passthrough();
+        let mut f = vfs.open_log(&p).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&p).unwrap(), b"hello");
+        assert_eq!(vfs.faults_fired(), 0);
+        assert!(!vfs.is_sticky());
+        vfs.simulate_crash(); // no tracked state: must be a no-op
+        assert_eq!(vfs.read(&p).unwrap(), b"hello");
+        vfs.remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn torn_write_keeps_a_strict_prefix_and_crashes() {
+        let p = tmp("torn");
+        std::fs::remove_file(&p).ok();
+        let vfs = Vfs::faulted(DiskFaultPlan::new(7).torn_writes(1.0).max_faults(1)).unwrap();
+        let mut f = vfs.open_log(&p).unwrap();
+        let err = f.write_all(b"twelve bytes").unwrap_err();
+        assert!(
+            matches!(err, ServeError::InjectedCrash(ServePoint::DiskWrite)),
+            "{err}"
+        );
+        let on_disk = std::fs::read(&p).unwrap();
+        assert!(!on_disk.is_empty() && on_disk.len() < 12, "{on_disk:?}");
+        assert_eq!(vfs.faults_fired(), 1);
+        // budget spent: the next write goes through
+        drop(f);
+        let mut f = vfs.open_log(&p).unwrap();
+        f.write_all(b"ok").unwrap();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bit_rot_flips_exactly_one_bit_deterministically() {
+        let p = tmp("rot");
+        std::fs::write(&p, vec![0u8; 64]).unwrap();
+        let read_rotted = || {
+            let vfs = Vfs::faulted(DiskFaultPlan::new(3).bit_rot(1.0).max_faults(1)).unwrap();
+            vfs.read(&p).unwrap()
+        };
+        let a = read_rotted();
+        let b = read_rotted();
+        assert_eq!(a, b, "same seed, same flip");
+        let flipped: u32 = a.iter().map(|&x| x.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped");
+        // budget spent after the first read: the second is clean
+        let vfs = Vfs::faulted(DiskFaultPlan::new(3).bit_rot(1.0).max_faults(1)).unwrap();
+        vfs.read(&p).unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), vec![0u8; 64]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn lying_fsync_loss_surfaces_at_simulated_crash() {
+        let p = tmp("lying");
+        std::fs::remove_file(&p).ok();
+        let vfs = Vfs::faulted(DiskFaultPlan::new(5).lying_fsyncs(1.0).max_faults(1)).unwrap();
+        let mut f = vfs.open_log(&p).unwrap();
+        f.write_all(b"durable").unwrap();
+        f.sync_data().unwrap(); // lying: reports success
+        assert_eq!(vfs.faults_fired(), 1);
+        f.write_all(b" and honest").unwrap();
+        f.sync_data().unwrap(); // budget spent: honest
+        drop(f);
+        assert_eq!(std::fs::read(&p).unwrap(), b"durable and honest");
+        // the honest sync made everything durable; crash loses nothing
+        vfs.simulate_crash();
+        assert_eq!(std::fs::read(&p).unwrap(), b"durable and honest");
+
+        // now a lying sync with no honest sync after it
+        std::fs::remove_file(&p).ok();
+        let vfs = Vfs::faulted(DiskFaultPlan::new(5).lying_fsyncs(1.0).max_faults(1)).unwrap();
+        let mut f = vfs.open_log(&p).unwrap();
+        f.write_all(b"vanishes").unwrap();
+        f.sync_data().unwrap(); // lying
+        drop(f);
+        assert_eq!(std::fs::read(&p).unwrap(), b"vanishes");
+        vfs.simulate_crash();
+        assert_eq!(std::fs::read(&p).unwrap(), b"", "power loss drops it");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn sticky_disk_fails_writes_keeps_reads_and_survives_clones() {
+        let p = tmp("sticky");
+        std::fs::write(&p, b"old data").unwrap();
+        let vfs = Vfs::faulted(DiskFaultPlan::new(1).sticky_after(0)).unwrap();
+        let clone = vfs.clone();
+        let mut f = vfs.open_log(&p).unwrap();
+        let err = f.write_all(b"nope").unwrap_err();
+        assert!(
+            matches!(err, ServeError::DiskDegraded { op: "write" }),
+            "{err}"
+        );
+        assert!(clone.is_sticky(), "latch shared across clones");
+        let err = clone.write_atomic(tmp("sticky2"), b"x").unwrap_err();
+        assert!(matches!(err, ServeError::DiskDegraded { .. }), "{err}");
+        // reads still work: ENOSPC semantics
+        assert_eq!(vfs.read(&p).unwrap(), b"old data");
+        // sticky is not budgeted: faults_fired stays 0
+        assert_eq!(vfs.faults_fired(), 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn force_sticky_kills_the_disk_at_will() {
+        let vfs = Vfs::faulted(DiskFaultPlan::new(0)).unwrap();
+        assert!(!vfs.is_sticky());
+        vfs.force_sticky();
+        assert!(vfs.is_sticky());
+        let err = vfs.write_atomic(tmp("forced"), b"x").unwrap_err();
+        assert!(matches!(err, ServeError::DiskDegraded { .. }), "{err}");
+        // passthrough ignores the switch entirely
+        let vfs = Vfs::passthrough();
+        vfs.force_sticky();
+        assert!(!vfs.is_sticky());
+    }
+
+    #[test]
+    fn transient_eio_is_typed_and_clears() {
+        let p = tmp("eio");
+        std::fs::write(&p, b"x").unwrap();
+        let vfs = Vfs::faulted(DiskFaultPlan::new(9).transient_eio(1.0).max_faults(1)).unwrap();
+        let err = vfs.read(&p).unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "{err}");
+        assert_eq!(vfs.read(&p).unwrap(), b"x", "retry after EIO succeeds");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn fates_are_deterministic_across_identical_plans() {
+        let run = |seed: u64| {
+            let vfs = Vfs::faulted(
+                DiskFaultPlan::new(seed)
+                    .torn_writes(0.3)
+                    .transient_eio(0.3)
+                    .max_faults(u64::MAX),
+            )
+            .unwrap();
+            (0..200)
+                .map(|_| vfs.fate(OpKind::Write))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn invalid_plans_are_typed_errors() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let e = Vfs::faulted(DiskFaultPlan::new(0).bit_rot(bad));
+            assert!(matches!(e, Err(ServeError::InvalidFaultPlan(_))), "{bad}");
+        }
+        // jointly overfull per-kind subset
+        let e = Vfs::faulted(DiskFaultPlan::new(0).torn_writes(0.7).transient_eio(0.7));
+        assert!(matches!(e, Err(ServeError::InvalidFaultPlan(_))));
+        // distinct kinds do not share a budget of probability mass
+        assert!(Vfs::faulted(
+            DiskFaultPlan::new(0)
+                .torn_writes(0.9)
+                .bit_rot(0.9)
+                .lying_fsyncs(0.9)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_frames_roundtrip() {
+        let p = tmp("atomic");
+        std::fs::remove_file(&p).ok();
+        let vfs = Vfs::passthrough();
+        vfs.write_frame(&p, *b"CRHT", 1, b"first").unwrap();
+        vfs.write_frame(&p, *b"CRHT", 1, b"second").unwrap();
+        assert!(!p.with_extension("tmp").exists());
+        let (v, payload) = vfs.read_frame(&p, *b"CRHT", 1).unwrap();
+        assert_eq!((v, payload.as_slice()), (1u32, b"second".as_slice()));
+        vfs.remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn torn_atomic_write_leaves_the_target_intact() {
+        let p = tmp("atomic_torn");
+        std::fs::remove_file(&p).ok();
+        let vfs = Vfs::passthrough();
+        vfs.write_atomic(&p, b"the original").unwrap();
+        let faulted = Vfs::faulted(DiskFaultPlan::new(2).torn_writes(1.0).max_faults(1)).unwrap();
+        let err = faulted.write_atomic(&p, b"the replacement").unwrap_err();
+        assert!(matches!(err, ServeError::InjectedCrash(_)), "{err}");
+        assert_eq!(std::fs::read(&p).unwrap(), b"the original");
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(p.with_extension("tmp")).ok();
+    }
+}

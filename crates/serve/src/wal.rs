@@ -16,20 +16,28 @@
 //! open, the reader walks the records and **truncates** a torn tail — a
 //! record whose bytes run past end-of-file, or whose CRC fails at the
 //! very end of the file — because that is the expected crash signature,
-//! not an error. A bad record *followed by further data* is genuine
-//! corruption and is surfaced as a typed [`ServeError::WalCorrupt`]; the
-//! daemon refuses to guess which records to trust.
+//! not an error. A torn *header* (the crash landed inside the very first
+//! write) is likewise recreated. A bad record *followed by further data*
+//! is genuine corruption and is surfaced as a typed
+//! [`ServeError::WalCorrupt`]; the daemon refuses to guess which records
+//! to trust.
+//!
+//! All I/O goes through the [`Vfs`] seam, so a seeded
+//! [`DiskFaultPlan`](crate::vfs::DiskFaultPlan) can tear appends, rot
+//! reads, and fail fsyncs here without any test-only API on the log
+//! itself.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use crh_core::persist::crc32;
 
 use crate::error::ServeError;
+use crate::vfs::{DiskFile, Vfs};
 
-const WAL_HEADER: [u8; 8] = *b"CRHWAL01";
-const RECORD_HEADER: usize = 8; // len u32 + crc u32
+pub use crate::vfs::sync_parent_dir;
+
+pub(crate) const WAL_HEADER: [u8; 8] = *b"CRHWAL01";
+pub(crate) const RECORD_HEADER: usize = 8; // len u32 + crc u32
 
 /// Bounds-checked little-endian `u32` read; `None` when `bytes` is too
 /// short (a torn tail), so log recovery never indexes past EOF.
@@ -38,26 +46,75 @@ fn le_u32_at(bytes: &[u8], at: usize) -> Option<u32> {
     Some(u32::from_le_bytes(arr))
 }
 
-/// Fsync the directory containing `path`.
-///
-/// An atomic rename (or a file creation) updates the *directory entry*,
-/// and that entry has its own page cache: `rename(2)` followed by power
-/// loss can resurrect the old file even though the new file's contents
-/// were fsync'd. Every snapshot rename and WAL creation must therefore
-/// be followed by a directory fsync before the operation counts as
-/// durable. Failure is a typed [`ServeError::SnapshotDirSync`] — the
-/// caller must treat the preceding rename as not-yet-durable.
-pub fn sync_parent_dir(path: &Path) -> Result<(), ServeError> {
-    let dir = path
-        .parent()
-        .filter(|p| !p.as_os_str().is_empty())
-        .unwrap_or(Path::new("."));
-    let err = |e: std::io::Error| ServeError::SnapshotDirSync {
-        dir: dir.to_path_buf(),
-        reason: e.to_string(),
-    };
-    let f = File::open(dir).map_err(err)?;
-    f.sync_all().map_err(err)
+/// The outcome of scanning a WAL byte image: decoded records, the byte
+/// length of the intact prefix, and how much torn tail follows it.
+#[derive(Debug)]
+pub(crate) struct WalScan {
+    /// Decoded record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Length of the intact prefix (header + whole records).
+    pub keep: u64,
+    /// Torn-tail bytes past the intact prefix (0 on a clean log).
+    pub torn: u64,
+}
+
+/// Walk a WAL byte image, validating the header and every record CRC.
+/// Shared between [`Wal::open`] (which then truncates the torn tail) and
+/// the scrubber (which only inspects). A torn header — a strict prefix
+/// of [`WAL_HEADER`], the signature of a crash inside log creation — is
+/// reported as `keep == 0` with the whole image as torn tail.
+pub(crate) fn scan(bytes: &[u8]) -> Result<WalScan, ServeError> {
+    if bytes.len() < WAL_HEADER.len() && WAL_HEADER.starts_with(bytes) {
+        return Ok(WalScan {
+            records: Vec::new(),
+            keep: 0,
+            torn: bytes.len() as u64,
+        });
+    }
+    if !bytes.starts_with(&WAL_HEADER) {
+        return Err(ServeError::WalCorrupt {
+            offset: 0,
+            reason: "missing or wrong WAL header",
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER.len();
+    let mut torn = 0u64;
+    while pos < bytes.len() {
+        let rest = bytes.get(pos..).unwrap_or(&[]);
+        // A record header or body running past EOF is a torn tail;
+        // every read below is bounds-checked so a torn byte count
+        // can never panic the recovery path.
+        let (Some(len), Some(stored_crc)) = (le_u32_at(rest, 0), le_u32_at(rest, 4)) else {
+            torn = rest.len() as u64;
+            break;
+        };
+        let len = len as usize;
+        let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + len) else {
+            torn = rest.len() as u64;
+            break;
+        };
+        if crc32(payload) != stored_crc {
+            let record_end = pos + RECORD_HEADER + len;
+            if record_end == bytes.len() {
+                // CRC failure on the final record: torn write caught
+                // before the length field settled — treat as tail.
+                torn = (bytes.len() - pos) as u64;
+                break;
+            }
+            return Err(ServeError::WalCorrupt {
+                offset: pos as u64,
+                reason: "record CRC mismatch mid-log",
+            });
+        }
+        records.push(payload.to_vec());
+        pos += RECORD_HEADER + len;
+    }
+    Ok(WalScan {
+        records,
+        keep: pos as u64,
+        torn,
+    })
 }
 
 /// What `Wal::open` found on disk.
@@ -72,28 +129,20 @@ pub struct WalRecovery {
 /// An open write-ahead log.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
-    path: PathBuf,
+    file: DiskFile,
     len: u64,
     records: u64,
 }
 
 impl Wal {
-    /// Open (or create) the log at `path`, replaying existing records and
-    /// truncating a torn tail. Returns the log positioned for appending
-    /// plus everything recovered.
-    pub fn open(path: impl AsRef<Path>) -> Result<(Self, WalRecovery), ServeError> {
+    /// Open (or create) the log at `path` through the `vfs` seam,
+    /// replaying existing records and truncating a torn tail. Returns
+    /// the log positioned for appending plus everything recovered.
+    pub fn open(path: impl AsRef<Path>, vfs: &Vfs) -> Result<(Self, WalRecovery), ServeError> {
         let path = path.as_ref().to_path_buf();
-        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            std::fs::create_dir_all(dir)?;
-        }
-        // truncate(false): an existing log is the recovery source, never clobber
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
+        // truncate(false) inside open_log: an existing log is the
+        // recovery source, never clobber
+        let mut file = vfs.open_log(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
 
@@ -101,11 +150,10 @@ impl Wal {
             file.write_all(&WAL_HEADER)?;
             file.sync_all()?;
             // a freshly created log's directory entry must also survive
-            sync_parent_dir(&path)?;
+            vfs.sync_parent_dir(&path)?;
             return Ok((
                 Self {
                     file,
-                    path,
                     len: WAL_HEADER.len() as u64,
                     records: 0,
                 },
@@ -115,64 +163,34 @@ impl Wal {
                 },
             ));
         }
-        if !bytes.starts_with(&WAL_HEADER) {
-            return Err(ServeError::WalCorrupt {
-                offset: 0,
-                reason: "missing or wrong WAL header",
-            });
-        }
 
-        let mut records = Vec::new();
-        let mut pos = WAL_HEADER.len();
-        let mut truncated_bytes = 0u64;
-        while pos < bytes.len() {
-            let rest = bytes.get(pos..).unwrap_or(&[]);
-            // A record header or body running past EOF is a torn tail;
-            // every read below is bounds-checked so a torn byte count
-            // can never panic the recovery path.
-            let (Some(len), Some(stored_crc)) = (le_u32_at(rest, 0), le_u32_at(rest, 4)) else {
-                truncated_bytes = rest.len() as u64;
-                break;
-            };
-            let len = len as usize;
-            let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + len) else {
-                truncated_bytes = rest.len() as u64;
-                break;
-            };
-            if crc32(payload) != stored_crc {
-                let record_end = pos + RECORD_HEADER + len;
-                if record_end == bytes.len() {
-                    // CRC failure on the final record: torn write caught
-                    // before the length field settled — treat as tail.
-                    truncated_bytes = (bytes.len() - pos) as u64;
-                    break;
-                }
-                return Err(ServeError::WalCorrupt {
-                    offset: pos as u64,
-                    reason: "record CRC mismatch mid-log",
-                });
-            }
-            records.push(payload.to_vec());
-            pos += RECORD_HEADER + len;
-        }
-
-        let keep = pos as u64;
-        if truncated_bytes > 0 {
+        let WalScan {
+            records,
+            keep,
+            torn,
+        } = scan(&bytes)?;
+        let mut len = keep;
+        if torn > 0 {
             file.set_len(keep)?;
+            if keep == 0 {
+                // the header itself was torn: recreate it
+                file.seek_to(0)?;
+                file.write_all(&WAL_HEADER)?;
+                len = WAL_HEADER.len() as u64;
+            }
             file.sync_all()?;
         }
-        file.seek(SeekFrom::Start(keep))?;
+        file.seek_to(len)?;
         let n = records.len() as u64;
         Ok((
             Self {
                 file,
-                path,
-                len: keep,
+                len,
                 records: n,
             },
             WalRecovery {
                 records,
-                truncated_bytes,
+                truncated_bytes: torn,
             },
         ))
     }
@@ -193,14 +211,34 @@ impl Wal {
     /// record's bytes (at least 1, strictly fewer than all) and make the
     /// partial write visible on disk, leaving a torn tail for the next
     /// [`open`](Self::open). The log is unusable afterwards — the caller
-    /// must drop it, exactly as a crashed process would.
-    pub fn append_torn(&mut self, payload: &[u8], keep_frac: f64) -> Result<(), ServeError> {
+    /// must drop it, exactly as a crashed process would. Reachable only
+    /// from the injected-fault paths (`ServeFate::TornWal` and the
+    /// [`DiskFaultPlan`](crate::vfs::DiskFaultPlan) torn-write fate),
+    /// never from the production API.
+    pub(crate) fn append_torn(&mut self, payload: &[u8], keep_frac: f64) -> Result<(), ServeError> {
         let frame = Self::frame(payload);
-        let keep = ((frame.len() as f64 * keep_frac) as usize).clamp(1, frame.len() - 1);
-        self.file.write_all(frame.get(..keep).unwrap_or(&frame))?;
-        // sync so the same-process "recovery" observes the torn bytes
-        self.file.sync_data()?;
-        self.len += keep as u64;
+        let kept = self.file.write_torn(&frame, keep_frac)?;
+        self.len += kept;
+        Ok(())
+    }
+
+    /// Retire this log into `prev_path` and start a fresh one at the same
+    /// path. Used on the snapshot cadence: the retired generation keeps
+    /// the records between the previous snapshot and the one just
+    /// written, so recovery can still fall back one snapshot generation
+    /// and bridge the gap by replay (sequence-number skips make the
+    /// extra records idempotent).
+    pub fn rotate(&mut self, prev_path: impl AsRef<Path>) -> Result<(), ServeError> {
+        let vfs = self.file.vfs().clone();
+        let path = self.file.path().to_path_buf();
+        vfs.rename(&path, prev_path.as_ref())?;
+        let mut file = vfs.open_log(&path)?;
+        file.write_all(&WAL_HEADER)?;
+        file.sync_all()?;
+        vfs.sync_parent_dir(&path)?;
+        self.file = file;
+        self.len = WAL_HEADER.len() as u64;
+        self.records = 0;
         Ok(())
     }
 
@@ -209,7 +247,7 @@ impl Wal {
     pub fn truncate_all(&mut self) -> Result<(), ServeError> {
         self.file.set_len(WAL_HEADER.len() as u64)?;
         self.file.sync_all()?;
-        self.file.seek(SeekFrom::Start(WAL_HEADER.len() as u64))?;
+        self.file.seek_to(WAL_HEADER.len() as u64)?;
         self.len = WAL_HEADER.len() as u64;
         self.records = 0;
         Ok(())
@@ -227,7 +265,7 @@ impl Wal {
 
     /// The log's path.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.file.path()
     }
 
     fn frame(payload: &[u8]) -> Vec<u8> {
@@ -242,9 +280,14 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("crh_wal_{}_{name}.wal", std::process::id()))
+    }
+
+    fn pt() -> Vfs {
+        Vfs::passthrough()
     }
 
     #[test]
@@ -252,13 +295,13 @@ mod tests {
         let p = tmp("roundtrip");
         std::fs::remove_file(&p).ok();
         {
-            let (mut wal, rec) = Wal::open(&p).unwrap();
+            let (mut wal, rec) = Wal::open(&p, &pt()).unwrap();
             assert!(rec.records.is_empty());
             assert_eq!(wal.append(b"alpha").unwrap(), 0);
             assert_eq!(wal.append(b"beta").unwrap(), 1);
             assert_eq!(wal.record_count(), 2);
         }
-        let (wal, rec) = Wal::open(&p).unwrap();
+        let (wal, rec) = Wal::open(&p, &pt()).unwrap();
         assert_eq!(rec.records, vec![b"alpha".to_vec(), b"beta".to_vec()]);
         assert_eq!(rec.truncated_bytes, 0);
         assert_eq!(wal.record_count(), 2);
@@ -270,17 +313,17 @@ mod tests {
         let p = tmp("torn");
         std::fs::remove_file(&p).ok();
         {
-            let (mut wal, _) = Wal::open(&p).unwrap();
+            let (mut wal, _) = Wal::open(&p, &pt()).unwrap();
             wal.append(b"good record").unwrap();
             wal.append_torn(b"half written record", 0.4).unwrap();
         }
-        let (mut wal, rec) = Wal::open(&p).unwrap();
+        let (mut wal, rec) = Wal::open(&p, &pt()).unwrap();
         assert_eq!(rec.records, vec![b"good record".to_vec()]);
         assert!(rec.truncated_bytes > 0);
         // the log is immediately appendable again
         wal.append(b"after recovery").unwrap();
         drop(wal);
-        let (_, rec) = Wal::open(&p).unwrap();
+        let (_, rec) = Wal::open(&p, &pt()).unwrap();
         assert_eq!(
             rec.records,
             vec![b"good record".to_vec(), b"after recovery".to_vec()]
@@ -289,11 +332,58 @@ mod tests {
     }
 
     #[test]
+    fn injected_torn_write_crashes_and_recovers() {
+        let p = tmp("injected_torn");
+        std::fs::remove_file(&p).ok();
+        {
+            let (mut wal, _) = Wal::open(&p, &pt()).unwrap();
+            wal.append(b"committed before the faults").unwrap();
+        }
+        let vfs = Vfs::faulted(
+            crate::vfs::DiskFaultPlan::new(11)
+                .torn_writes(1.0)
+                .max_faults(1),
+        )
+        .unwrap();
+        {
+            let (mut wal, _) = Wal::open(&p, &vfs).unwrap();
+            let err = wal.append(b"this one is torn by the plan").unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ServeError::InjectedCrash(crate::faults::ServePoint::DiskWrite)
+                ),
+                "{err}"
+            );
+            // crashed process: the handle is dropped without cleanup
+        }
+        let (_, rec) = Wal::open(&p, &pt()).unwrap();
+        assert_eq!(rec.records, vec![b"committed before the faults".to_vec()]);
+        assert!(rec.truncated_bytes > 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn torn_header_is_recreated_not_fatal() {
+        let p = tmp("torn_header");
+        // a strict prefix of the header: crash during log creation
+        std::fs::write(&p, &WAL_HEADER[..3]).unwrap();
+        let (mut wal, rec) = Wal::open(&p, &pt()).unwrap();
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.truncated_bytes, 3);
+        wal.append(b"fresh start").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&p, &pt()).unwrap();
+        assert_eq!(rec.records, vec![b"fresh start".to_vec()]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
     fn mid_log_corruption_is_typed_fatal() {
         let p = tmp("midlog");
         std::fs::remove_file(&p).ok();
         {
-            let (mut wal, _) = Wal::open(&p).unwrap();
+            let (mut wal, _) = Wal::open(&p, &pt()).unwrap();
             wal.append(b"first").unwrap();
             wal.append(b"second").unwrap();
         }
@@ -302,7 +392,7 @@ mod tests {
         let at = WAL_HEADER.len() + RECORD_HEADER + 2;
         bytes[at] ^= 0xFF;
         std::fs::write(&p, &bytes).unwrap();
-        let err = Wal::open(&p).unwrap_err();
+        let err = Wal::open(&p, &pt()).unwrap_err();
         assert!(matches!(err, ServeError::WalCorrupt { .. }), "{err}");
         std::fs::remove_file(&p).ok();
     }
@@ -312,7 +402,7 @@ mod tests {
         let p = tmp("tailcrc");
         std::fs::remove_file(&p).ok();
         {
-            let (mut wal, _) = Wal::open(&p).unwrap();
+            let (mut wal, _) = Wal::open(&p, &pt()).unwrap();
             wal.append(b"keep me").unwrap();
             wal.append(b"flip me").unwrap();
         }
@@ -320,7 +410,7 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0x10;
         std::fs::write(&p, &bytes).unwrap();
-        let (_, rec) = Wal::open(&p).unwrap();
+        let (_, rec) = Wal::open(&p, &pt()).unwrap();
         assert_eq!(rec.records, vec![b"keep me".to_vec()]);
         assert!(rec.truncated_bytes > 0);
         std::fs::remove_file(&p).ok();
@@ -330,7 +420,7 @@ mod tests {
     fn wrong_header_is_typed_fatal() {
         let p = tmp("header");
         std::fs::write(&p, b"NOTAWALFILE").unwrap();
-        let err = Wal::open(&p).unwrap_err();
+        let err = Wal::open(&p, &pt()).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -365,14 +455,14 @@ mod tests {
     fn truncate_all_resets_the_log() {
         let p = tmp("truncall");
         std::fs::remove_file(&p).ok();
-        let (mut wal, _) = Wal::open(&p).unwrap();
+        let (mut wal, _) = Wal::open(&p, &pt()).unwrap();
         wal.append(b"x").unwrap();
         wal.append(b"y").unwrap();
         wal.truncate_all().unwrap();
         assert_eq!(wal.record_count(), 0);
         wal.append(b"fresh").unwrap();
         drop(wal);
-        let (_, rec) = Wal::open(&p).unwrap();
+        let (_, rec) = Wal::open(&p, &pt()).unwrap();
         assert_eq!(rec.records, vec![b"fresh".to_vec()]);
         std::fs::remove_file(&p).ok();
     }
