@@ -76,6 +76,11 @@ pub const LINTS: &[(&str, &str)] = &[
         "direct `std::fs`/`File::`/`OpenOptions` in `crates/serve` outside `vfs.rs`; \
          route durable I/O through the `Vfs` seam so disk-fault injection reaches it",
     ),
+    (
+        "unbounded-wait-in-serve",
+        "no-timeout `recv()`/`join()`/`lock()`/`wait()` in serve lib code; a gray (slow, \
+         not dead) peer pins the caller forever — use the `_timeout` variant or justify",
+    ),
     ("bad-pragma", "malformed `crh-lint: allow(...)` pragma"),
 ];
 
@@ -104,6 +109,8 @@ pub struct Scope {
     pub print: bool,
     /// `raw-fs-in-serve`.
     pub rawfs: bool,
+    /// `unbounded-wait-in-serve`.
+    pub wait: bool,
     /// Whole file is test/bench/example code — only `bad-pragma` fires.
     pub exempt_file: bool,
 }
@@ -207,6 +214,11 @@ impl Scope {
         // reach, i.e. a path chaos testing silently never covers.
         // `vfs.rs` itself is the one legitimate home of raw fs calls.
         s.rawfs = rel.starts_with("crates/serve/src/") && in_lib_code && !rel.ends_with("/vfs.rs");
+
+        // Gray-failure discipline: in the daemon, every blocking wait
+        // must carry a deadline, or a peer that is merely *slow* (not
+        // dead, so no error ever fires) pins the waiting thread forever.
+        s.wait = rel.starts_with("crates/serve/src/") && in_lib_code;
 
         s
     }
@@ -374,8 +386,13 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
         check_headers(&mut cx);
     }
 
-    let any_token_lints =
-        scope.panic || scope.index || scope.clock || scope.hash || scope.print || scope.rawfs;
+    let any_token_lints = scope.panic
+        || scope.index
+        || scope.clock
+        || scope.hash
+        || scope.print
+        || scope.rawfs
+        || scope.wait;
     if any_token_lints {
         token_lints(&mut cx, scope);
     }
@@ -588,6 +605,26 @@ fn token_lints(cx: &mut FileCx, scope: Scope) {
                         .to_string(),
                 );
             }
+            // A no-argument blocking method (`.recv()`, `.join()`,
+            // `.lock()`, `.wait()`) is the unbounded-wait shape; the
+            // argument-taking `Path::join(x)` / `recv_timeout(d)` forms
+            // don't match the `()` suffix and are fine.
+            "recv" | "join" | "lock" | "wait"
+                if scope.wait
+                    && cx.punct(i.wrapping_sub(1)) == Some('.')
+                    && cx.punct(i + 1) == Some('(')
+                    && cx.punct(i + 2) == Some(')') =>
+            {
+                cx.push(
+                    "unbounded-wait-in-serve",
+                    line,
+                    format!(
+                        "`.{word}()` blocks with no deadline; a slow (not dead) peer pins \
+                         this thread forever — use `{word}_timeout(..)`/a bounded variant, \
+                         or justify why the wait is bounded"
+                    ),
+                );
+            }
             "OpenOptions" if scope.rawfs => {
                 cx.push(
                     "raw-fs-in-serve",
@@ -769,7 +806,9 @@ mod tests {
     #[test]
     fn scope_mapping_matches_the_layout() {
         let s = Scope::for_path("crates/serve/src/server.rs");
-        assert!(s.panic && s.index && !s.clock && !s.durability);
+        assert!(s.panic && s.index && s.wait && !s.clock && !s.durability);
+        let s = Scope::for_path("crates/core/src/cancel.rs");
+        assert!(!s.wait, "unbounded-wait is scoped to crates/serve");
         let s = Scope::for_path("crates/serve/src/faults.rs");
         assert!(s.panic && s.clock && s.hash);
         let s = Scope::for_path("crates/serve/src/wal.rs");

@@ -217,6 +217,28 @@ fn raw_fs_fires_in_serve_outside_vfs_and_test_code() {
 }
 
 #[test]
+fn unbounded_waits_fire_in_serve_but_bounded_and_arg_forms_do_not() {
+    let src = include_str!("fixtures/unbounded_wait.rs");
+    let found = lint_source("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        hits(&found),
+        vec![
+            // line 8: rx.recv(); line 12: t.join(); line 13: m.lock()
+            ("unbounded-wait-in-serve", 8),
+            ("unbounded-wait-in-serve", 12),
+            ("unbounded-wait-in-serve", 13),
+        ],
+        "full diagnostics: {found:#?}"
+    );
+    // the rule is scoped to the daemon: solver code may block
+    let found = lint_source("crates/core/src/fixture.rs", src);
+    assert!(
+        !found.iter().any(|f| f.lint == "unbounded-wait-in-serve"),
+        "non-serve code is out of scope: {found:#?}"
+    );
+}
+
+#[test]
 fn fixture_corpus_itself_is_never_linted() {
     // The walker skips `fixtures/` directories, and Scope::for_path
     // additionally maps the path to an empty scope — belt and braces.

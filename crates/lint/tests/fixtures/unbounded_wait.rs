@@ -1,0 +1,37 @@
+//! Fixture: unbounded blocking waits in serve code (deliberate
+//! violations), plus the bounded and argument-taking forms that must
+//! NOT fire.
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+fn bad_recv(rx: &mpsc::Receiver<u8>) -> Option<u8> {
+    rx.recv().ok()
+}
+
+fn bad_join(t: std::thread::JoinHandle<()>, m: &Mutex<u8>) {
+    let _ = t.join();
+    let _ = m.lock();
+}
+
+fn bounded_ok(rx: &mpsc::Receiver<u8>) -> Option<u8> {
+    // the `_timeout` variants carry a deadline: no finding
+    rx.recv_timeout(Duration::from_millis(50)).ok()
+}
+
+fn path_join_ok(p: &std::path::Path) -> std::path::PathBuf {
+    // `join` with an argument is path joining, not a blocking wait
+    p.join("segment.wal")
+}
+
+fn suppressed(m: &Mutex<u8>) {
+    // crh-lint: allow(unbounded-wait-in-serve) — fixture-local justification example
+    let _ = m.lock();
+}
+
+#[cfg(test)]
+mod tests {
+    // test code may block freely
+    fn waits(rx: &std::sync::mpsc::Receiver<u8>) {
+        let _ = rx.recv();
+    }
+}

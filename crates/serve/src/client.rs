@@ -16,13 +16,14 @@
 //! carrying the per-attempt error log.
 
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crh_core::rng::{hash_rng, Rng as _};
 use crh_core::value::Truth;
 
 use crate::core::ChunkClaim;
 use crate::error::{code, ServeError};
+use crate::health::HealthMap;
 use crate::proto::{read_frame, write_frame, Request, Response};
 
 /// Status as reported by a remote daemon.
@@ -65,6 +66,14 @@ impl Client {
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true).ok();
         Ok(Self { stream })
+    }
+
+    /// Re-arm the socket timeout on the live connection (hedged reads
+    /// tighten it per-attempt without reconnecting).
+    pub(crate) fn set_timeout(&mut self, timeout: Duration) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))?;
+        Ok(())
     }
 
     /// One round-trip with no interpretation of `Response::Error` — the
@@ -179,6 +188,26 @@ fn unexpected(resp: &Response) -> ServeError {
     ServeError::Protocol(format!("unexpected response variant: {resp:?}"))
 }
 
+/// Unwrap a possible staleness-bounded follower answer into
+/// `(inner, lag)`, surfacing a wrapped error as the typed error itself.
+fn unwrap_read(resp: Response) -> Result<(Response, u64), ServeError> {
+    match resp {
+        Response::FollowerRead { lag, inner } => {
+            let inner = Response::decode(&inner)?;
+            if let Response::Error {
+                code: c,
+                message,
+                hint,
+            } = inner
+            {
+                return Err(map_wire_error(c, message, hint));
+            }
+            Ok((inner, lag))
+        }
+        resp => Ok((resp, 0)),
+    }
+}
+
 fn map_wire_error(c: u8, message: String, hint: Option<u32>) -> ServeError {
     match c {
         code::OVERLOADED => ServeError::Overloaded { capacity: 0 },
@@ -248,8 +277,34 @@ enum Goto {
 enum Outcome {
     Done(Response),
     Fatal(ServeError),
-    Retry { why: String, goto: Goto },
+    Retry {
+        why: String,
+        goto: Goto,
+        /// Failure class for the attempt log: a stalled member
+        /// ("timeout") reads very differently from a healthy one
+        /// pointing elsewhere ("redirect") when diagnosing an exhausted
+        /// retry loop.
+        class: &'static str,
+    },
 }
+
+/// Failure class of an attempt, for the retry log.
+fn classify(e: &ServeError) -> &'static str {
+    if e.is_timeout() {
+        "timeout"
+    } else if e.is_redirect() {
+        "redirect"
+    } else {
+        "error"
+    }
+}
+
+/// Floor for adaptive per-member socket timeouts: even a member with a
+/// microsecond-scale p95 keeps a grace window, so one garbage-collected
+/// scheduler pause does not read as a gray failure.
+const ADAPTIVE_FLOOR: Duration = Duration::from_millis(50);
+/// Multiplier over a member's p95 for its adaptive timeout.
+const ADAPTIVE_HEADROOM: u32 = 4;
 
 /// A client for a replicated cluster: transparent failover, primary
 /// redirects, and staleness-bounded follower reads.
@@ -273,6 +328,12 @@ pub struct ClusterClient {
     conn: Option<Client>,
     /// Node id of the member that produced the last successful answer.
     last_served: Option<u32>,
+    /// Per-member latency scores: every round-trip (success or failure)
+    /// is a sample, so a member that turns slow is noticed from normal
+    /// traffic, quarantined out of the rotation, and probed back in.
+    health: HealthMap,
+    /// Client-local clock origin for the health map's time axis.
+    epoch: Instant,
 }
 
 impl ClusterClient {
@@ -287,7 +348,36 @@ impl ClusterClient {
             next: 0,
             conn: None,
             last_served: None,
+            health: HealthMap::default(),
+            epoch: Instant::now(),
         }
+    }
+
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Per-member latency scores (EWMA / p95 / quarantine state).
+    pub fn health(&self) -> &HealthMap {
+        &self.health
+    }
+
+    /// The next rotation slot, skipping quarantined members unless one
+    /// earns a probe (or every member is quarantined — a client with
+    /// nothing healthy left still has to try *something*).
+    fn next_healthy(&mut self) -> usize {
+        let n = self.members.len();
+        let now = self.now_ms();
+        for step in 1..=n {
+            let idx = (self.next + step) % n;
+            let Some(&(id, _)) = self.members.get(idx) else {
+                continue;
+            };
+            if !self.health.is_quarantined(id) || self.health.admit(id, now) {
+                return idx;
+            }
+        }
+        (self.next + 1) % n
     }
 
     /// Point the next attempt at member `node_id` (no-op for an unknown
@@ -313,13 +403,24 @@ impl ClusterClient {
             return Outcome::Retry {
                 why: format!("member index {} out of range", self.next),
                 goto: Goto::Next,
+                class: "error",
             };
         };
         if self.conn.is_none() {
-            match Client::connect(&addr, self.timeout) {
+            // a member with latency history earns a timeout sized to its
+            // own p95 instead of the global worst case, so a straggler
+            // surfaces as a fast typed timeout rather than a long stall
+            let t = self.health.adaptive_timeout(
+                node_id,
+                ADAPTIVE_FLOOR,
+                self.timeout,
+                ADAPTIVE_HEADROOM,
+            );
+            match Client::connect(&addr, t) {
                 Ok(c) => self.conn = Some(c),
                 Err(e) => {
                     return Outcome::Retry {
+                        class: classify(&e),
                         why: format!("node {node_id} ({addr}): connect failed: {e}"),
                         goto: Goto::Next,
                     };
@@ -330,12 +431,19 @@ impl ClusterClient {
             return Outcome::Retry {
                 why: format!("node {node_id} ({addr}): connection unavailable"),
                 goto: Goto::Next,
+                class: "error",
             };
         };
-        let resp = match conn.call_raw(req) {
+        let sent = Instant::now();
+        let resp = conn.call_raw(req);
+        let latency = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let now = self.now_ms();
+        self.health.record(node_id, latency, now);
+        let resp = match resp {
             Ok(r) => r,
             Err(e) => {
                 return Outcome::Retry {
+                    class: classify(&e),
                     why: format!("node {node_id} ({addr}): {e}"),
                     goto: Goto::Next,
                 };
@@ -356,43 +464,89 @@ impl ClusterClient {
             code::NOT_PRIMARY => Outcome::Retry {
                 goto: hint.map_or(Goto::Next, Goto::Node),
                 why: format!("node {node_id}: {message}"),
+                class: "redirect",
             },
             // durable locally but quorum not yet confirmed: the same
             // (possibly re-elected) cluster will accept the retry
-            code::NOT_REPLICATED | code::OVERLOADED | code::DEADLINE => Outcome::Retry {
+            code::NOT_REPLICATED | code::DEADLINE => Outcome::Retry {
                 why: format!("node {node_id}: {message}"),
                 goto: Goto::Same,
+                class: "timeout",
+            },
+            code::OVERLOADED => Outcome::Retry {
+                why: format!("node {node_id}: {message}"),
+                goto: Goto::Same,
+                class: "error",
             },
             // a dying-disk node has already deposed itself (or is about
             // to); rotate to a member whose disk can still fsync
             code::SHUTTING_DOWN | code::STALE_EPOCH | code::DISK_DEGRADED => Outcome::Retry {
                 why: format!("node {node_id}: {message}"),
                 goto: Goto::Next,
+                class: "error",
             },
             _ => Outcome::Fatal(map_wire_error(c, message, hint)),
         }
     }
 
     pub(crate) fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        self.call_inner(req, None)
+    }
+
+    /// Like [`call`](Self::call), but every attempt carries the client's
+    /// *remaining* budget on the wire (the deadline-propagation
+    /// envelope): backoff sleeps and failed attempts eat into it, and a
+    /// budget that runs out between attempts is a typed
+    /// [`ServeError::DeadlineExceeded`] — not another silent retry.
+    pub(crate) fn call_with_budget(
+        &mut self,
+        req: &Request,
+        budget: Duration,
+    ) -> Result<Response, ServeError> {
+        self.call_inner(req, Some(Instant::now() + budget))
+    }
+
+    fn call_inner(
+        &mut self,
+        req: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<Response, ServeError> {
         let mut log = Vec::new();
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
                 std::thread::sleep(self.policy.backoff(attempt - 1));
             }
-            match self.try_once(req) {
+            let wire = match deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(ServeError::DeadlineExceeded);
+                    }
+                    Some(Request::WithDeadline {
+                        budget_ms: u64::try_from(left.as_millis()).unwrap_or(u64::MAX).max(1),
+                        inner: Box::new(req.clone()),
+                    })
+                }
+                None => None,
+            };
+            let started = Instant::now();
+            match self.try_once(wire.as_ref().unwrap_or(req)) {
                 Outcome::Done(resp) => return Ok(resp),
                 Outcome::Fatal(e) => return Err(e),
-                Outcome::Retry { why, goto } => {
-                    log.push(why);
+                Outcome::Retry { why, goto, class } => {
+                    log.push(format!(
+                        "[{class} after {}ms] {why}",
+                        started.elapsed().as_millis()
+                    ));
                     self.conn = None;
                     self.next = match goto {
                         Goto::Same => self.next,
-                        Goto::Next => (self.next + 1) % self.members.len(),
+                        Goto::Next => self.next_healthy(),
                         Goto::Node(id) => self
                             .members
                             .iter()
                             .position(|(n, _)| *n == id)
-                            .unwrap_or((self.next + 1) % self.members.len()),
+                            .unwrap_or_else(|| self.next_healthy()),
                     };
                 }
             }
@@ -405,20 +559,81 @@ impl ClusterClient {
 
     /// Unwrap a possible follower answer into `(inner, lag)`.
     pub(crate) fn read(&mut self, req: &Request) -> Result<(Response, u64), ServeError> {
-        match self.call(req)? {
-            Response::FollowerRead { lag, inner } => {
-                let inner = Response::decode(&inner)?;
-                if let Response::Error {
-                    code: c,
-                    message,
-                    hint,
-                } = inner
-                {
-                    return Err(map_wire_error(c, message, hint));
-                }
-                Ok((inner, lag))
+        unwrap_read(self.call(req)?)
+    }
+
+    /// Staleness-bounded read with a tail-latency hedge: one shot at the
+    /// preferred member under a tight timeout derived from its own p95;
+    /// if that shot times out, the request is re-issued to the next
+    /// healthy member under the normal retry loop instead of waiting out
+    /// the straggler. Returns `(answer, lag, hedged)` where `hedged`
+    /// records whether the tight first attempt had to be abandoned.
+    ///
+    /// Hedging is restricted to idempotent reads — re-issuing a write
+    /// that may still land would double-fold it.
+    pub(crate) fn read_hedged(
+        &mut self,
+        req: &Request,
+    ) -> Result<(Response, u64, bool), ServeError> {
+        let first = self.members.get(self.next).map(|&(id, _)| id);
+        let tight = match first {
+            Some(id) if !self.health.is_quarantined(id) => {
+                self.health
+                    .adaptive_timeout(id, ADAPTIVE_FLOOR, self.timeout, 2)
             }
-            resp => Ok((resp, 0)),
+            // no preferred member worth a tight first shot
+            _ => self.timeout,
+        };
+        if tight >= self.timeout {
+            // no latency history (or an unhealthy target): nothing to
+            // hedge against, run the plain retry loop
+            return self.read(req).map(|(r, lag)| (r, lag, false));
+        }
+        match self.try_once_with_timeout(req, tight) {
+            Ok(resp) => unwrap_read(resp).map(|(r, lag)| (r, lag, false)),
+            Err(e) => {
+                let hedged = e.is_timeout();
+                self.conn = None;
+                self.next = self.next_healthy();
+                self.read(req).map(|(r, lag)| (r, lag, hedged))
+            }
+        }
+    }
+
+    /// One shot at the current rotation slot under an explicit socket
+    /// timeout, with the round-trip recorded as a health sample.
+    fn try_once_with_timeout(
+        &mut self,
+        req: &Request,
+        timeout: Duration,
+    ) -> Result<Response, ServeError> {
+        let (node_id, addr) = self
+            .members
+            .get(self.next)
+            .cloned()
+            .ok_or(ServeError::DeadlineExceeded)?;
+        // take-then-insert keeps one borrow live and avoids asserting on
+        // an Option we just filled
+        let conn = match self.conn.take() {
+            Some(c) => self.conn.insert(c),
+            None => self.conn.insert(Client::connect(&addr, timeout)?),
+        };
+        conn.set_timeout(timeout)?;
+        let sent = Instant::now();
+        let resp = conn.call_raw(req);
+        let latency = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let now = self.now_ms();
+        self.health.record(node_id, latency, now);
+        match resp? {
+            Response::Error {
+                code: c,
+                message,
+                hint,
+            } => Err(map_wire_error(c, message, hint)),
+            resp => {
+                self.last_served = Some(node_id);
+                Ok(resp)
+            }
         }
     }
 
@@ -428,6 +643,71 @@ impl ClusterClient {
         match self.call(&Request::Ingest(claims))? {
             Response::Ack { seq, chunks_seen } => Ok((seq, chunks_seen)),
             other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fold one chunk under a total client-side budget: every attempt
+    /// carries the remaining budget on the wire, so each hop refuses work
+    /// it cannot finish instead of doing it for a client that is gone.
+    pub fn ingest_with_budget(
+        &mut self,
+        claims: Vec<ChunkClaim>,
+        budget: Duration,
+    ) -> Result<(u64, u64), ServeError> {
+        match self.call_with_budget(&Request::Ingest(claims), budget)? {
+            Response::Ack { seq, chunks_seen } => Ok((seq, chunks_seen)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// [`truth`](Self::truth) with a tail-latency hedge; the extra `bool`
+    /// reports whether the hedge fired.
+    pub fn truth_hedged(
+        &mut self,
+        object: u32,
+        property: u32,
+    ) -> Result<(Option<Truth>, u64, bool), ServeError> {
+        match self.read_hedged(&Request::Truth { object, property })? {
+            (Response::Truth(t), lag, hedged) => Ok((t, lag, hedged)),
+            (other, ..) => Err(unexpected(&other)),
+        }
+    }
+
+    /// [`weights`](Self::weights) with a tail-latency hedge; the extra
+    /// `bool` reports whether the hedge fired.
+    pub fn weights_hedged(&mut self) -> Result<(Vec<f64>, u64, bool), ServeError> {
+        match self.read_hedged(&Request::Weights)? {
+            (Response::Weights(w), lag, hedged) => Ok((w, lag, hedged)),
+            (other, ..) => Err(unexpected(&other)),
+        }
+    }
+
+    /// [`status`](Self::status) with a tail-latency hedge; the extra
+    /// `bool` reports whether the hedge fired.
+    pub fn status_hedged(&mut self) -> Result<(DaemonStatus, u64, bool), ServeError> {
+        match self.read_hedged(&Request::Status)? {
+            (
+                Response::Status {
+                    chunks_seen,
+                    wal_records,
+                    cached_truths,
+                    queue_depth,
+                    quarantined,
+                },
+                lag,
+                hedged,
+            ) => Ok((
+                DaemonStatus {
+                    chunks_seen,
+                    wal_records,
+                    cached_truths,
+                    queue_depth,
+                    quarantined,
+                },
+                lag,
+                hedged,
+            )),
+            (other, ..) => Err(unexpected(&other)),
         }
     }
 

@@ -478,6 +478,13 @@ impl ServeCore {
         self.state.chunks_seen() as u64
     }
 
+    /// The storage seam this core persists through. Gray-failure-aware
+    /// callers check [`Vfs::is_slow`] / [`Vfs::is_sticky`] to route
+    /// around members whose disks still answer, just badly.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
     /// Ingest one chunk end-to-end. On success the chunk is durable
     /// (WAL-fsync'd), folded, and — on the snapshot cadence — absorbed
     /// into a fresh snapshot.

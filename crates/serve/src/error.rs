@@ -319,6 +319,39 @@ pub mod code {
 }
 
 impl ServeError {
+    /// Whether this error means the request ran out of *time* — locally
+    /// (a socket timeout, a cancelled solve) or at the remote (a typed
+    /// `DEADLINE` / `NOT_REPLICATED` refusal) — rather than being
+    /// refused outright. This is the class a hedged read fails over on,
+    /// and the class the retry log labels `timeout` instead of
+    /// `redirect`.
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            Self::DeadlineExceeded | Self::NotReplicated { .. } => true,
+            Self::Remote { code, .. } => *code == code::DEADLINE || *code == code::NOT_REPLICATED,
+            Self::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
+
+    /// Whether this error is a routing redirect — a follower refusing a
+    /// write, or stale shard-routing state — rather than a failure of
+    /// the peer itself. Redirects are not strikes against a peer's
+    /// health: the peer answered promptly, just with directions.
+    pub fn is_redirect(&self) -> bool {
+        match self {
+            Self::NotPrimary { .. } | Self::WrongShard { .. } | Self::StaleShardMap { .. } => true,
+            Self::Remote { code, .. } => matches!(
+                *code,
+                code::NOT_PRIMARY | code::WRONG_SHARD | code::STALE_SHARD_MAP
+            ),
+            _ => false,
+        }
+    }
+
     /// The wire code a daemon reports for this error.
     pub fn wire_code(&self) -> u8 {
         match self {
@@ -426,6 +459,44 @@ mod tests {
         assert!(e.to_string().contains("fsync"));
         assert!(e.to_string().contains("sticky"));
         assert_eq!(e.wire_code(), code::DISK_DEGRADED);
+    }
+
+    #[test]
+    fn timeout_and_redirect_classes_are_disjoint_and_cover_remotes() {
+        let timeouts = [
+            ServeError::DeadlineExceeded,
+            ServeError::NotReplicated {
+                seq: 1,
+                acked: 1,
+                quorum: 2,
+            },
+            ServeError::Remote {
+                code: code::DEADLINE,
+                message: String::new(),
+            },
+            ServeError::Io(std::io::Error::from(std::io::ErrorKind::TimedOut)),
+            ServeError::Io(std::io::Error::from(std::io::ErrorKind::WouldBlock)),
+        ];
+        for e in &timeouts {
+            assert!(e.is_timeout(), "{e}");
+            assert!(!e.is_redirect(), "{e}");
+        }
+        let redirects = [
+            ServeError::NotPrimary { hint: Some(1) },
+            ServeError::WrongShard { shard: 1, at: 0 },
+            ServeError::StaleShardMap { got: 1, current: 2 },
+            ServeError::Remote {
+                code: code::NOT_PRIMARY,
+                message: String::new(),
+            },
+        ];
+        for e in &redirects {
+            assert!(e.is_redirect(), "{e}");
+            assert!(!e.is_timeout(), "{e}");
+        }
+        // a refused connection is neither: the peer is down, not slow
+        let e = ServeError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionRefused));
+        assert!(!e.is_timeout() && !e.is_redirect());
     }
 
     #[test]

@@ -37,14 +37,26 @@ pub fn elect(votes: &BTreeMap<u32, (u64, u64)>) -> Option<u32> {
         .map(|(_, _, std::cmp::Reverse(node))| node)
 }
 
+/// A frame held back by the plan's latency chaos: it is delivered (and
+/// its reply fed back to whoever holds the sender's id — possibly a
+/// restarted incarnation) at the start of the `deliver_at` step.
+struct DelayedFrame {
+    deliver_at: u64,
+    from: u32,
+    dest: u32,
+    req: crate::proto::Request,
+    drop_reply: bool,
+}
+
 /// A synchronous, deterministically chaotic cluster of [`ReplicaNode`]s.
 ///
 /// Each [`step`](Self::step) advances logical time by one: scheduled
 /// kills fire (the node is dropped mid-flight, exactly like `kill -9`),
-/// downed nodes restart from their state directories, then every alive
-/// node ticks and its outgoing frames are routed through the
-/// [`NetFaultPlan`] — delivered, dropped, duplicated, or processed with
-/// the reply lost.
+/// downed nodes restart from their state directories, delayed frames
+/// whose time has come are delivered, then every alive node ticks and
+/// its outgoing frames are routed through the [`NetFaultPlan`] —
+/// delivered, dropped, duplicated, delayed, or processed with the reply
+/// lost.
 pub struct SimCluster {
     nodes: Vec<Option<ReplicaNode>>,
     setups: Vec<(ReplicaConfig, ServeConfig)>,
@@ -52,6 +64,7 @@ pub struct SimCluster {
     plan: NetFaultPlan,
     step: u64,
     frames_sent: u64,
+    pending: Vec<DelayedFrame>,
 }
 
 impl SimCluster {
@@ -81,6 +94,7 @@ impl SimCluster {
             plan,
             step: 0,
             frames_sent: 0,
+            pending: Vec::new(),
         })
     }
 
@@ -131,6 +145,20 @@ impl SimCluster {
             .map(|(i, _)| i)
     }
 
+    /// The member a latency-conscious read should land on: the primary
+    /// unless its disk has turned chronically slow, else the first alive
+    /// member on a healthy disk, else whatever is reachable at all — a
+    /// gray-degraded member still *answers*, it just shouldn't be the
+    /// first choice.
+    pub fn read_target(&self) -> Option<usize> {
+        let healthy = |i: &usize| self.node(*i).is_some_and(|n| !n.core().vfs().is_slow());
+        self.primary()
+            .filter(healthy)
+            .or_else(|| self.alive().into_iter().find(healthy))
+            .or_else(|| self.primary())
+            .or_else(|| self.alive().into_iter().next())
+    }
+
     /// Submit a client chunk to the current primary. Returns the node it
     /// landed on and the assigned sequence, or the node's typed refusal.
     pub fn client_ingest(&mut self, claims: &[ChunkClaim]) -> Result<(usize, u64), ServeError> {
@@ -178,6 +206,8 @@ impl SimCluster {
             }
         }
 
+        self.deliver_due(now)?;
+
         for i in 0..self.nodes.len() {
             let Some(mut sender) = self.nodes.get_mut(i).and_then(Option::take) else {
                 continue;
@@ -188,6 +218,39 @@ impl SimCluster {
             }
             if let Some(slot) = self.nodes.get_mut(i) {
                 *slot = Some(sender);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliver every pending delayed frame whose time has come, in the
+    /// order it was queued (deterministic). The reply goes back to
+    /// whatever node currently holds the sender's id — it may have
+    /// crashed and restarted since the frame was sent, exactly as a real
+    /// late packet would find it.
+    fn deliver_due(&mut self, now: u64) -> Result<(), ServeError> {
+        let mut due = Vec::new();
+        let mut still_pending = Vec::new();
+        for f in self.pending.drain(..) {
+            if f.deliver_at <= now {
+                due.push(f);
+            } else {
+                still_pending.push(f);
+            }
+        }
+        self.pending = still_pending;
+        for f in due {
+            let resp = {
+                let Some(receiver) = self.nodes.get_mut(f.dest as usize).and_then(Option::as_mut)
+                else {
+                    continue; // dead peer: the late frame hits silence
+                };
+                receiver.handle(f.from, &f.req, now)
+            };
+            if !f.drop_reply {
+                if let Some(sender) = self.nodes.get_mut(f.from as usize).and_then(Option::as_mut) {
+                    sender.on_reply(f.dest, &resp, now)?;
+                }
             }
         }
         Ok(())
@@ -209,6 +272,23 @@ impl SimCluster {
             LinkFate::Deliver | LinkFate::DropReply => 1,
             LinkFate::Duplicate => 2,
         };
+        let delay = self
+            .plan
+            .frame_delay(sender.node_id(), dest, now, self.frames_sent);
+        if delay > 0 {
+            // gray failure: the frame is in flight, just slow. Queue each
+            // copy for a later step; the sender moves on without waiting.
+            for _ in 0..deliveries {
+                self.pending.push(DelayedFrame {
+                    deliver_at: now + delay,
+                    from: sender.node_id(),
+                    dest,
+                    req: req.clone(),
+                    drop_reply: fate == LinkFate::DropReply,
+                });
+            }
+            return Ok(());
+        }
         for _ in 0..deliveries {
             let Some(receiver) = self.nodes.get_mut(dest as usize).and_then(Option::as_mut) else {
                 return Ok(()); // dead (or unknown) peer: silence
@@ -427,6 +507,34 @@ mod tests {
             now += 50;
             assert!(now < 2_000, "S never collected R's vote");
         }
+    }
+
+    #[test]
+    fn cluster_converges_with_a_chronic_straggler_and_random_delays() {
+        // node 2 lags every frame by 6 steps and the rest of the fabric
+        // jitters; commits must still land (at quorum 2-of-3, without
+        // waiting on the straggler) and the cluster must converge.
+        let plan = NetFaultPlan::new(5).straggler(2, 6).delays(0.2, 1, 3);
+        let mut c = cluster("straggler", 3, plan);
+        for _ in 0..16 {
+            c.step().unwrap();
+        }
+        c.primary().expect("a primary emerges despite the jitter");
+        let (_, seq) = c.client_ingest(&chunk(0)).unwrap();
+        let mut committed_at = None;
+        for s in 0..32 {
+            c.step().unwrap();
+            if c.is_committed(seq) {
+                committed_at = Some(s);
+                break;
+            }
+        }
+        let waited = committed_at.expect("commit never arrived");
+        assert!(
+            waited < 6,
+            "ack serialized behind the 6-step straggler (took {waited} steps)"
+        );
+        c.settle(0, 256).unwrap();
     }
 
     #[test]

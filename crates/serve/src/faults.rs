@@ -368,10 +368,18 @@ impl PartitionWindow {
     }
 }
 
+/// Domain tag separating the frame-*delay* draw from the frame-*fate*
+/// draw. The fate draw keys on `(from, to, step, frame)` directly, so a
+/// delay draw over the same coordinates must lead with a distinct tag —
+/// otherwise configuring delays would silently reshuffle every existing
+/// seeded drop/dup schedule and no prior chaos run would replay.
+const DELAY_DOMAIN: u64 = 0xDE1A;
+
 /// A seeded chaos schedule for the replication fabric: random link-level
-/// drops/duplications, scheduled (possibly one-way) partitions, and
-/// primary kills. Fates are pure in `(seed, from, to, step, frame)`, so a
-/// chaotic cluster run replays exactly.
+/// drops/duplications, seeded frame delays, chronic per-peer stragglers,
+/// scheduled (possibly one-way) partitions, and primary kills. Fates are
+/// pure in `(seed, from, to, step, frame)`, so a chaotic cluster run
+/// replays exactly.
 #[derive(Debug, Clone, Default)]
 pub struct NetFaultPlan {
     /// Seed from which every link fate is derived.
@@ -382,6 +390,17 @@ pub struct NetFaultPlan {
     pub drop_reply_prob: f64,
     /// Probability a frame is delivered twice.
     pub dup_prob: f64,
+    /// Probability a delivered frame is delayed (gray failure: the link
+    /// is congested, not cut). Drawn from a separate rng domain, so
+    /// enabling delays never perturbs the drop/dup schedule.
+    pub delay_prob: f64,
+    /// Inclusive `(min, max)` extra steps a delayed frame waits before
+    /// delivery.
+    pub delay_steps: (u64, u64),
+    /// `(node, extra_steps)`: chronic stragglers. Every frame *to or
+    /// from* the node is delayed by at least `extra_steps` — the
+    /// one-slow-replica failure mode, per peer and per direction.
+    pub stragglers: Vec<(u32, u64)>,
     /// Scheduled partitions.
     pub partitions: Vec<PartitionWindow>,
     /// `(step, node)` pairs: kill `node` at the start of `step`.
@@ -436,6 +455,48 @@ impl NetFaultPlan {
         self
     }
 
+    /// Delay a `p` fraction of delivered frames by a seeded draw from
+    /// `min..=max` extra steps.
+    pub fn delays(mut self, p: f64, min: u64, max: u64) -> Self {
+        self.delay_prob = p;
+        self.delay_steps = (min, max);
+        self
+    }
+
+    /// Mark `node` as a chronic straggler: every frame to or from it is
+    /// delayed by at least `extra` steps.
+    pub fn straggler(mut self, node: u32, extra: u64) -> Self {
+        self.stragglers.push((node, extra));
+        self
+    }
+
+    /// Extra steps the `frame`-th frame sent `from → to` during `step`
+    /// waits before delivery. Pure in its arguments, and drawn from a
+    /// domain separate from [`link_fate`](Self::link_fate)'s, so a plan
+    /// that adds delays replays the exact drop/dup schedule it had
+    /// without them.
+    pub fn frame_delay(&self, from: u32, to: u32, step: u64, frame: u64) -> u64 {
+        let mut delay = 0u64;
+        for &(node, extra) in &self.stragglers {
+            if node == from || node == to {
+                delay = delay.max(extra);
+            }
+        }
+        if self.delay_prob > 0.0 {
+            let mut rng = hash_rng(
+                self.seed,
+                &[DELAY_DOMAIN, u64::from(from), u64::from(to), step, frame],
+            );
+            let x: f64 = rng.random();
+            if x < self.delay_prob {
+                let (lo, hi) = self.delay_steps;
+                let span = hi.saturating_sub(lo).saturating_add(1);
+                delay = delay.max(lo + rng.next_u64() % span);
+            }
+        }
+        delay
+    }
+
     /// The fate of the `frame`-th frame sent `from → to` during `step`.
     /// Pure in its arguments: replaying the same plan yields the same
     /// chaos, byte for byte.
@@ -482,11 +543,23 @@ impl NetFaultPlan {
         check_prob("drop_prob", self.drop_prob)?;
         check_prob("drop_reply_prob", self.drop_reply_prob)?;
         check_prob("dup_prob", self.dup_prob)?;
+        check_prob("delay_prob", self.delay_prob)?;
         let total = self.drop_prob + self.drop_reply_prob + self.dup_prob;
         if total > 1.0 + 1e-12 {
             return Err(ServeError::InvalidFaultPlan(format!(
                 "link fault probabilities must sum to <= 1 (got {total})"
             )));
+        }
+        let (lo, hi) = self.delay_steps;
+        if lo > hi {
+            return Err(ServeError::InvalidFaultPlan(format!(
+                "delay_steps min {lo} exceeds max {hi}"
+            )));
+        }
+        if self.delay_prob > 0.0 && hi == 0 {
+            return Err(ServeError::InvalidFaultPlan(
+                "delay_prob set but delay_steps max is 0 (no-op delay)".into(),
+            ));
         }
         Ok(())
     }
@@ -528,6 +601,13 @@ pub struct ShardFaultPlan {
     pub drop_reply_prob: f64,
     /// Per-group frame-duplication probability.
     pub dup_prob: f64,
+    /// Per-group frame-delay probability (seeded independently per
+    /// group, like the drop/dup probabilities).
+    pub delay_prob: f64,
+    /// Inclusive `(min, max)` extra steps a delayed frame waits.
+    pub delay_steps: (u64, u64),
+    /// `(shard, node, extra_steps)`: chronic stragglers inside a group.
+    pub group_stragglers: Vec<(u32, u32, u64)>,
     /// `(shard, window)`: a partition inside that shard's group.
     pub group_partitions: Vec<(u32, PartitionWindow)>,
     /// `(step, shard, node)`: kill one member of `shard` at `step`.
@@ -566,6 +646,19 @@ impl ShardFaultPlan {
     /// Set the per-group frame-duplication probability.
     pub fn dups(mut self, p: f64) -> Self {
         self.dup_prob = p;
+        self
+    }
+
+    /// Delay a `p` fraction of every group's frames by `min..=max` steps.
+    pub fn delays(mut self, p: f64, min: u64, max: u64) -> Self {
+        self.delay_prob = p;
+        self.delay_steps = (min, max);
+        self
+    }
+
+    /// Mark `node` of `shard` as a chronic straggler (`extra` steps).
+    pub fn group_straggler(mut self, shard: u32, node: u32, extra: u64) -> Self {
+        self.group_stragglers.push((shard, node, extra));
         self
     }
 
@@ -610,6 +703,14 @@ impl ShardFaultPlan {
             .dropped_replies(self.drop_reply_prob)
             .dups(self.dup_prob)
             .restart_after(self.restart_after);
+        if self.delay_prob > 0.0 {
+            p = p.delays(self.delay_prob, self.delay_steps.0, self.delay_steps.1);
+        }
+        for &(s, node, extra) in &self.group_stragglers {
+            if s == shard {
+                p = p.straggler(node, extra);
+            }
+        }
         for (s, w) in &self.group_partitions {
             if *s == shard {
                 p = p.partition(*w);
@@ -735,6 +836,83 @@ mod tests {
         };
         assert_eq!(run(&a), run(&b));
         assert_ne!(run(&a), run(&c));
+    }
+
+    #[test]
+    fn frame_delays_are_deterministic_and_do_not_perturb_link_fates() {
+        let bare = NetFaultPlan::new(11)
+            .drops(0.2)
+            .dropped_replies(0.1)
+            .dups(0.1);
+        let delayed = bare.clone().delays(0.5, 1, 4);
+        let run = |p: &NetFaultPlan| {
+            let mut v = Vec::new();
+            for step in 0..40 {
+                for from in 0..3u32 {
+                    for to in 0..3u32 {
+                        v.push(p.link_fate(from, to, step, 0));
+                    }
+                }
+            }
+            v
+        };
+        // the delay draw lives in its own rng domain: adding delays must
+        // not reshuffle the seeded drop/dup schedule
+        assert_eq!(run(&bare), run(&delayed));
+        // delays themselves replay exactly and stay in range
+        let mut any = false;
+        for step in 0..40 {
+            for from in 0..3u32 {
+                for to in 0..3u32 {
+                    let d = delayed.frame_delay(from, to, step, 0);
+                    assert_eq!(d, delayed.frame_delay(from, to, step, 0));
+                    assert!(d <= 4, "delay {d} above configured max");
+                    any |= d > 0;
+                }
+            }
+        }
+        assert!(any, "p=0.5 over 360 frames produced no delay");
+        assert_eq!(bare.frame_delay(0, 1, 3, 0), 0);
+    }
+
+    #[test]
+    fn stragglers_delay_both_directions_and_floor_the_draw() {
+        let p = NetFaultPlan::new(7).straggler(2, 10);
+        assert_eq!(p.frame_delay(0, 2, 1, 0), 10);
+        assert_eq!(p.frame_delay(2, 0, 1, 0), 10);
+        assert_eq!(p.frame_delay(0, 1, 1, 0), 0);
+        // a seeded draw can only push a straggler's delay further out
+        let q = NetFaultPlan::new(7).straggler(2, 10).delays(1.0, 1, 3);
+        for frame in 0..20 {
+            assert!(q.frame_delay(0, 2, 1, frame) >= 10);
+        }
+    }
+
+    #[test]
+    fn delay_misconfiguration_is_a_typed_error() {
+        let e = NetFaultPlan::new(0).delays(0.5, 4, 2).validate();
+        assert!(matches!(e, Err(ServeError::InvalidFaultPlan(_))));
+        let e = NetFaultPlan::new(0).delays(0.5, 0, 0).validate();
+        assert!(matches!(e, Err(ServeError::InvalidFaultPlan(_))));
+        let e = NetFaultPlan::new(0).delays(1.5, 1, 2).validate();
+        assert!(matches!(e, Err(ServeError::InvalidFaultPlan(_))));
+        assert!(NetFaultPlan::new(0).delays(0.5, 1, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn shard_plan_propagates_delays_per_group() {
+        let plan = ShardFaultPlan::new(3)
+            .delays(0.25, 1, 2)
+            .group_straggler(1, 0, 8);
+        let g0 = plan.plan_for(0, 3).unwrap();
+        let g1 = plan.plan_for(1, 3).unwrap();
+        assert_eq!(g0.delay_prob, 0.25);
+        assert!(g0.stragglers.is_empty());
+        assert_eq!(g1.stragglers, vec![(0, 8)]);
+        assert_eq!(
+            g1.frame_delay(0, 1, 0, 0).max(8),
+            g1.frame_delay(0, 1, 0, 0)
+        );
     }
 
     #[test]

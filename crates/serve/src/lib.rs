@@ -57,6 +57,17 @@
 //!    quarantining corrupt replica artifacts and re-syncing them from
 //!    the quorum (read-repair).
 //!
+//! 8. **Gray-failure resilience** ([`health`], [`faults`], [`vfs`]) —
+//!    slowness is injectable like any other fault: seeded frame delays
+//!    and chronic stragglers on the replication fabric, slow-read/write/
+//!    fsync fates on the disk seam. Every hop carries the client's
+//!    remaining deadline budget on the wire and refuses work it cannot
+//!    finish ([`ServeError::DeadlineExceeded`]); quorum acks never wait
+//!    on the slowest replica; [`ShardRouter`] hedges a read once the
+//!    first attempt overruns the shard's p95; and a peer whose EWMA
+//!    latency degrades against its cohort is quarantined on probation
+//!    ([`HealthMap`]), while a primary on a slow disk self-deposes.
+//!
 //! The wire protocol ([`proto`]) is the workspace's own length-prefixed
 //! CRC-framed format; [`client`] is a small synchronous client. Nothing
 //! here needs a dependency outside the workspace.
@@ -70,6 +81,7 @@ pub mod core;
 pub mod error;
 pub mod failover;
 pub mod faults;
+pub mod health;
 pub mod proto;
 pub mod queue;
 pub mod replicate;
@@ -92,6 +104,7 @@ pub use faults::{
     LinkFate, NetFaultPlan, PartitionWindow, ServeFate, ServeFaultInjector, ServeFaultPlan,
     ServePoint, ShardFaultPlan, SplitCrash,
 };
+pub use health::{HealthConfig, HealthMap};
 pub use queue::BoundedQueue;
 pub use replicate::{ReplicaConfig, ReplicaNode, ReplicaRecovery, Role};
 pub use router::{ShardAck, ShardGroup, ShardRouter};

@@ -172,6 +172,27 @@ pub enum Request {
         /// The complete post-split range table.
         ranges: Vec<ShardRange>,
     },
+    /// Any request, wrapped with the client's remaining deadline budget.
+    /// Each hop decrements the budget by what it spends before
+    /// forwarding; a hop that cannot finish inside the remainder refuses
+    /// with a typed `DEADLINE` error *before* doing the work, so no
+    /// caller pays for an answer it already gave up on. A budget of 0 is
+    /// a valid frame that every hop must refuse.
+    WithDeadline {
+        /// Remaining budget in milliseconds.
+        budget_ms: u64,
+        /// The wrapped request. Never itself a `WithDeadline` — nesting
+        /// is a typed protocol error at decode.
+        inner: Box<Request>,
+    },
+    /// A minimal liveness/latency round-trip: answered immediately with
+    /// [`Response::ProbeAck`], bypassing the ingest queue. Health
+    /// scoring uses it to re-measure a quarantined peer without betting
+    /// real traffic on it.
+    Probe {
+        /// Echo nonce tying the ack to this probe.
+        nonce: u64,
+    },
 }
 
 /// A daemon response.
@@ -272,6 +293,11 @@ pub enum Response {
         /// The complete range table, sorted and contiguous.
         ranges: Vec<ShardRange>,
     },
+    /// Answer to [`Request::Probe`]: the nonce, echoed.
+    ProbeAck {
+        /// The probe's nonce.
+        nonce: u64,
+    },
 }
 
 const REQ_INGEST: u8 = 0;
@@ -291,6 +317,8 @@ const REQ_SHARD_INGEST: u8 = 13;
 const REQ_SHARD_TRUTH: u8 = 14;
 const REQ_SPLIT_STAGE: u8 = 15;
 const REQ_SPLIT_CUTOVER: u8 = 16;
+const REQ_WITH_DEADLINE: u8 = 17;
+const REQ_PROBE: u8 = 18;
 
 const RESP_ACK: u8 = 0;
 const RESP_WEIGHTS: u8 = 1;
@@ -301,6 +329,7 @@ const RESP_REPL_ACK: u8 = 5;
 const RESP_CATCH_UP_RECORDS: u8 = 6;
 const RESP_FOLLOWER_READ: u8 = 7;
 const RESP_ROUTE_TABLE: u8 = 8;
+const RESP_PROBE_ACK: u8 = 9;
 const RESP_ERROR: u8 = 255;
 
 fn enc_claims(e: &mut Enc, claims: &[ChunkClaim]) {
@@ -496,6 +525,15 @@ impl Request {
                 e.u64(*version);
                 enc_ranges(&mut e, ranges);
             }
+            Self::WithDeadline { budget_ms, inner } => {
+                e.u8(REQ_WITH_DEADLINE);
+                e.u64(*budget_ms);
+                e.bytes(&inner.encode());
+            }
+            Self::Probe { nonce } => {
+                e.u8(REQ_PROBE);
+                e.u64(*nonce);
+            }
         }
         e.into_bytes()
     }
@@ -589,6 +627,22 @@ impl Request {
                 version: d.u64()?,
                 ranges: dec_ranges(&mut d)?,
             },
+            REQ_WITH_DEADLINE => {
+                let budget_ms = d.u64()?;
+                let inner_bytes = d.bytes()?;
+                let inner = Self::decode(&inner_bytes)?;
+                if matches!(inner, Self::WithDeadline { .. }) {
+                    // one budget per request: a nested wrapper would let
+                    // the inner frame smuggle a larger budget past every
+                    // hop that already decremented the outer one
+                    return Err(ServeError::Protocol("nested deadline wrapper".into()));
+                }
+                Self::WithDeadline {
+                    budget_ms,
+                    inner: Box::new(inner),
+                }
+            }
+            REQ_PROBE => Self::Probe { nonce: d.u64()? },
             tag => {
                 return Err(ServeError::Protocol(format!("unknown request tag {tag}")));
             }
@@ -715,6 +769,10 @@ impl Response {
                 e.u32(*shard);
                 enc_ranges(&mut e, ranges);
             }
+            Self::ProbeAck { nonce } => {
+                e.u8(RESP_PROBE_ACK);
+                e.u64(*nonce);
+            }
         }
         e.into_bytes()
     }
@@ -806,6 +864,7 @@ impl Response {
                 shard: d.u32()?,
                 ranges: dec_ranges(&mut d)?,
             },
+            RESP_PROBE_ACK => Self::ProbeAck { nonce: d.u64()? },
             tag => {
                 return Err(ServeError::Protocol(format!("unknown response tag {tag}")));
             }
@@ -979,11 +1038,36 @@ mod tests {
                     },
                 ],
             },
+            Request::WithDeadline {
+                budget_ms: 1_500,
+                inner: Box::new(Request::Ingest(sample_claims())),
+            },
+            Request::WithDeadline {
+                budget_ms: 0,
+                inner: Box::new(Request::Status),
+            },
+            Request::Probe { nonce: 0xFEED_BEEF },
         ];
         for req in reqs {
             let bytes = req.encode();
             assert_eq!(Request::decode(&bytes).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn nested_deadline_wrappers_are_typed_protocol_errors() {
+        // encode() permits the construction; decode() must refuse it so
+        // no hop ever sees a second, larger budget hiding inside
+        let nested = Request::WithDeadline {
+            budget_ms: 9,
+            inner: Box::new(Request::WithDeadline {
+                budget_ms: 1_000_000,
+                inner: Box::new(Request::Weights),
+            }),
+        };
+        let err = Request::decode(&nested.encode()).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+        assert!(err.to_string().contains("nested"), "{err}");
     }
 
     #[test]
@@ -1060,6 +1144,7 @@ mod tests {
                     },
                 ],
             },
+            Response::ProbeAck { nonce: 0xFEED_BEEF },
         ];
         for resp in resps {
             let bytes = resp.encode();

@@ -38,6 +38,7 @@ impl<T> BoundedQueue<T> {
     /// item is strictly better than cascading the panic to every
     /// connection thread.
     fn locked(&self) -> MutexGuard<'_, Inner<T>> {
+        // crh-lint: allow(unbounded-wait-in-serve) — in-process mutex over a VecDeque; no I/O under the guard, so the wait is bounded by local critical sections
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 

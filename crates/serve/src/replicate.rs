@@ -62,6 +62,7 @@ use crate::core::{decode_chunk, encode_chunk, validate_claims, ApplyOutcome, Chu
 use crate::core::{ServeConfig, ServeCore};
 use crate::error::ServeError;
 use crate::failover::elect;
+use crate::health::HealthMap;
 use crate::proto::{Request, Response};
 use crate::vfs::Vfs;
 use crate::wal::Wal;
@@ -306,6 +307,13 @@ pub struct ReplicaNode {
     match_synced: BTreeMap<u32, u64>,
     next_send: BTreeMap<u32, u64>,
     promote_pending: Vec<u32>,
+    /// Per-peer EWMA reply latency (in ticks) feeding the slow-peer
+    /// quarantine: the quorum never waits on a straggler, but routing
+    /// layers use this to stop *preferring* one.
+    peer_health: HealthMap,
+    /// Tick at which the oldest still-unanswered frame to each peer was
+    /// sent; a reply resolves it into a latency sample.
+    sent_at: BTreeMap<u32, u64>,
     // candidate-only
     votes: BTreeMap<u32, (u64, u64)>,
     election_epoch: u64,
@@ -389,6 +397,8 @@ impl ReplicaNode {
             match_synced: BTreeMap::new(),
             next_send: BTreeMap::new(),
             promote_pending: Vec::new(),
+            peer_health: HealthMap::default(),
+            sent_at: BTreeMap::new(),
             votes: BTreeMap::new(),
             election_epoch: 0,
             election_deadline: 0,
@@ -458,6 +468,12 @@ impl ReplicaNode {
     /// The folded truth-discovery state (for reads).
     pub fn core(&self) -> &ServeCore {
         &self.core
+    }
+
+    /// Per-peer reply-latency scores (EWMA / p95 / quarantine state),
+    /// sampled from the replication traffic this node already sends.
+    pub fn peer_health(&self) -> &HealthMap {
+        &self.peer_health
     }
 
     /// How many cluster members are known to hold chunk `seq` durable
@@ -620,6 +636,15 @@ impl ReplicaNode {
                 let _ = self.depose_if_degraded(e);
             }
         }
+        // Gray analogue of `depose_if_degraded`: a primary whose disk
+        // still answers but has turned chronically slow would drag every
+        // quorum ack behind its own fsyncs. Step aside so a healthy
+        // replica wins the next election (`start_election` refuses to
+        // campaign while slow, so this node cannot immediately win it
+        // back).
+        if self.role == Role::Primary && self.vfs.is_slow() {
+            self.step_down(None);
+        }
         match self.role {
             Role::Primary => {
                 for p in std::mem::take(&mut self.promote_pending) {
@@ -636,6 +661,11 @@ impl ReplicaNode {
                 if now.saturating_sub(self.last_push) >= self.cfg.heartbeat_every {
                     self.last_push = now;
                     for &p in &self.cfg.peers {
+                        // the oldest unanswered frame per peer anchors
+                        // its latency sample; re-sends don't reset it,
+                        // so a straggler's score reflects how long its
+                        // *first* chance to reply has been outstanding
+                        self.sent_at.entry(p).or_insert(now);
                         let from = *self.next_send.get(&p).unwrap_or(&self.commit);
                         let recs = self.retained_from(from, self.cfg.replicate_window);
                         if recs.is_empty() {
@@ -802,6 +832,9 @@ impl ReplicaNode {
         self.match_synced.clear();
         self.next_send.clear();
         self.promote_pending.clear();
+        // drop in-flight latency anchors: a reply drifting in after a
+        // later re-promotion must not be scored against this reign
+        self.sent_at.clear();
     }
 
     /// A primary whose disk has latched sticky-bad can no longer make
@@ -916,6 +949,18 @@ impl ReplicaNode {
     }
 
     fn on_seq_query(&mut self, epoch: u64, now: u64) -> Response {
+        if self.vfs.is_slow() {
+            // A slow-disk node sits elections out entirely: it neither
+            // campaigns (`start_election`) nor *stands*. Granting with
+            // its true rank would make it the winner of every tally it
+            // ties (lower-id tie-break) — a winner that never claims the
+            // reign, deadlocking the election. Refusing the vote is the
+            // conservative direction: the candidate must then reach
+            // quorum through fast members only, and any committed record
+            // lives on at least one of those. (A sticky-dead disk lands
+            // in the same refusal below when the vote write fails.)
+            return Response::from_error(&ServeError::DiskDegraded { op: "vote grant" });
+        }
         // grant at most one campaign per epoch, and none while the
         // current leader is still audible (pre-vote-style stability)
         let leader_live = self.role == Role::Primary
@@ -993,6 +1038,10 @@ impl ReplicaNode {
         resp: &Response,
         now: u64,
     ) -> Result<(), ServeError> {
+        if let Some(t) = self.sent_at.remove(&responder) {
+            self.peer_health
+                .record(responder, now.saturating_sub(t), now);
+        }
         match resp {
             // crh-lint: allow(ack-before-sync) — pattern-matches an incoming ack from a peer; nothing is constructed or sent here
             Response::ReplAck {
@@ -1209,10 +1258,13 @@ impl ReplicaNode {
         now: u64,
         out: &mut Vec<(u32, Request)>,
     ) -> Result<(), ServeError> {
-        if self.vfs.is_sticky() {
+        if self.vfs.is_sticky() || self.vfs.is_slow() {
             // A node on a dead disk cannot durably persist a vote or an
             // epoch, so it must never campaign: it stays a read-only
             // follower until the disk (i.e. the process) is replaced.
+            // A *slow* disk is the gray version of the same hazard — a
+            // primary that wins on it drags every quorum ack behind its
+            // own fsyncs, so it sits elections out too.
             self.last_heartbeat = now;
             return Ok(());
         }
@@ -1266,6 +1318,7 @@ impl ReplicaNode {
         self.rebuild_staging()?;
         self.votes.clear();
         self.match_synced.clear();
+        self.sent_at.clear();
         for &p in &self.cfg.peers {
             self.next_send.insert(p, self.commit);
         }

@@ -24,7 +24,14 @@
 //!
 //! Every per-shard call is deadline-bounded by the per-group client's
 //! socket timeout × retry budget, so a dead group delays a scatter by a
-//! bounded amount instead of hanging it.
+//! bounded amount instead of hanging it. Reads additionally *hedge*
+//! against gray failures: the first attempt runs under a tight timeout
+//! derived from that member's own p95, and a straggling response is
+//! abandoned in favour of another member ([`hedge_count`] tallies the
+//! wins), so one slow replica bounds a scatter's tail, not its whole
+//! latency distribution.
+//!
+//! [`hedge_count`]: ShardRouter::hedge_count
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -94,7 +101,12 @@ pub struct ShardRouter {
     /// redirect) on every chunk. Entries are invalidated whenever a
     /// shard's call fails or its member set is replaced — correctness
     /// never depends on the cache, only first-attempt latency does.
+    /// A cached member its group's health map has quarantined is dropped
+    /// rather than preferred — a slow primary hint is worse than none.
     primaries: BTreeMap<u32, u32>,
+    /// How many reads abandoned a straggling first attempt and were
+    /// re-issued to another member (per-group hedge wins, summed).
+    hedges: u64,
 }
 
 impl ShardRouter {
@@ -124,6 +136,7 @@ impl ShardRouter {
             timeout,
             policy,
             primaries: BTreeMap::new(),
+            hedges: 0,
         })
     }
 
@@ -142,6 +155,7 @@ impl ShardRouter {
             timeout,
             policy,
             primaries: BTreeMap::new(),
+            hedges: 0,
         };
         router.refresh_route_table()?;
         Ok(router)
@@ -207,6 +221,12 @@ impl ShardRouter {
     /// (a hint, not a guarantee — the cache lags elections).
     pub fn cached_primary(&self, shard: u32) -> Option<u32> {
         self.primaries.get(&shard).copied()
+    }
+
+    /// How many reads so far abandoned a straggling first attempt and
+    /// won by re-issuing to another member.
+    pub fn hedge_count(&self) -> u64 {
+        self.hedges
     }
 
     /// Re-fetch the route table from the registered groups and adopt the
@@ -295,11 +315,21 @@ impl ShardRouter {
                 };
                 let cached = self.primaries.get(&shard).copied();
                 let client = self.client(shard)?;
+                let mut quarantined_hint = false;
                 if let Some(p) = cached {
-                    client.prefer(p);
+                    // a quarantined cached primary is a known straggler:
+                    // starting there would serialize the write behind it
+                    if client.health().is_quarantined(p) {
+                        quarantined_hint = true;
+                    } else {
+                        client.prefer(p);
+                    }
                 }
                 let result = client.call(&req);
                 let served = client.last_served();
+                if quarantined_hint {
+                    self.primaries.remove(&shard);
+                }
                 match result {
                     Ok(Response::Ack { seq, chunks_seen }) => {
                         if let Some(n) = served {
@@ -347,9 +377,12 @@ impl ShardRouter {
                 object,
                 property,
             };
-            match self.client(shard)?.read(&req) {
-                Ok((Response::Truth(t), lag)) => return Ok((t, lag)),
-                Ok((other, _)) => return Err(unexpected(&other)),
+            match self.client(shard)?.read_hedged(&req) {
+                Ok((Response::Truth(t), lag, hedged)) => {
+                    self.hedges += u64::from(hedged);
+                    return Ok((t, lag));
+                }
+                Ok((other, ..)) => return Err(unexpected(&other)),
                 Err(e) if is_routing_error(&e) && round < MAX_REFRESHES => {
                     self.refresh_route_table()?;
                 }
@@ -374,8 +407,11 @@ impl ShardRouter {
         let mut value = Vec::new();
         let mut missing = Vec::new();
         for shard in self.map.shard_ids() {
-            match self.clients.get_mut(&shard).map(|c| c.status()) {
-                Some(Ok((status, lag))) => value.push((shard, status, lag)),
+            match self.clients.get_mut(&shard).map(|c| c.status_hedged()) {
+                Some(Ok((status, lag, hedged))) => {
+                    self.hedges += u64::from(hedged);
+                    value.push((shard, status, lag));
+                }
                 Some(Err(_)) | None => missing.push(shard),
             }
         }
@@ -392,8 +428,11 @@ impl ShardRouter {
         let mut value = Vec::new();
         let mut missing = Vec::new();
         for shard in self.map.shard_ids() {
-            match self.clients.get_mut(&shard).map(|c| c.weights()) {
-                Some(Ok((w, lag))) => value.push((shard, w, lag)),
+            match self.clients.get_mut(&shard).map(|c| c.weights_hedged()) {
+                Some(Ok((w, lag, hedged))) => {
+                    self.hedges += u64::from(hedged);
+                    value.push((shard, w, lag));
+                }
                 Some(Err(_)) | None => missing.push(shard),
             }
         }

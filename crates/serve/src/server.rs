@@ -93,6 +93,7 @@ impl Shared {
     /// answer is strictly better than cascading the panic to every
     /// connection.
     fn core(&self) -> MutexGuard<'_, ServeCore> {
+        // crh-lint: allow(unbounded-wait-in-serve) — in-process mutex; holders do bounded fold/solve work with their own deadlines, never peer I/O under the guard
         self.core.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
@@ -156,9 +157,11 @@ impl Server {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.queue.close();
         if let Some(t) = self.accept_thread.take() {
+            // crh-lint: allow(unbounded-wait-in-serve) — shutdown join; the flag is set and the queue closed, so the loop exits on its next bounded accept/recv tick
             t.join().ok();
         }
         if let Some(t) = self.worker_thread.take() {
+            // crh-lint: allow(unbounded-wait-in-serve) — shutdown join; the closed queue wakes the worker immediately
             t.join().ok();
         }
     }
@@ -273,11 +276,42 @@ fn serve_connection<F: FrontEnd>(mut stream: TcpStream, shared: &Arc<F>) {
     }
 }
 
-fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
+/// Strip the deadline envelope off a request, yielding the inner request
+/// and the client's remaining budget. A zero budget is refused *before
+/// any work* with a typed [`ServeError::DeadlineExceeded`] — the client
+/// has already given up, so staging, queueing, or solving on its behalf
+/// would be wasted (and, for a write, would surprise it with durable
+/// state it believes was refused).
+fn unwrap_deadline(req: Request) -> Result<(Request, Option<Duration>), ServeError> {
     match req {
-        Request::Ingest(claims) => ingest_via_queue(claims, shared),
+        Request::WithDeadline { budget_ms, inner } => {
+            if budget_ms == 0 {
+                Err(ServeError::DeadlineExceeded)
+            } else {
+                Ok((*inner, Some(Duration::from_millis(budget_ms))))
+            }
+        }
+        other => Ok((other, None)),
+    }
+}
+
+/// A hop never waits longer than its own configured bound *or* the
+/// client's remaining budget, whichever is smaller: deadline propagation
+/// turns one client timeout into a chain of shrinking server-side waits
+/// instead of a pile-up of orphaned work.
+fn clamp_wait(bound: Duration, budget: Option<Duration>) -> Duration {
+    budget.map_or(bound, |b| b.min(bound))
+}
+
+fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
+    let (req, budget) = match unwrap_deadline(req) {
+        Ok(x) => x,
+        Err(e) => return Response::from_error(&e),
+    };
+    match req {
+        Request::Ingest(claims) => ingest_via_queue(claims, shared, budget),
         Request::IngestCsv(text) => match claims_from_csv(&shared.schema, &text) {
-            Ok(claims) => ingest_via_queue(claims, shared),
+            Ok(claims) => ingest_via_queue(claims, shared, budget),
             Err(e) => Response::from_error(&e),
         },
         Request::Weights => {
@@ -308,7 +342,7 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
                 let core = shared.core();
                 (core.weights().to_vec(), core.solve_threads())
             };
-            let cancel = CancelToken::with_deadline(shared.cfg.solve_deadline);
+            let cancel = CancelToken::with_deadline(clamp_wait(shared.cfg.solve_deadline, budget));
             match solve_claims(
                 &shared.schema,
                 &claims,
@@ -340,6 +374,12 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
         | Request::SplitCutover { .. } => Response::from_error(&ServeError::Protocol(
             "shard frame sent to a standalone daemon".into(),
         )),
+        Request::Probe { nonce } => Response::ProbeAck { nonce },
+        // decode refuses nested wrappers and unwrap_deadline stripped the
+        // outer one, but the type still admits it — answer, don't panic
+        Request::WithDeadline { .. } => {
+            Response::from_error(&ServeError::Protocol("nested deadline wrapper".into()))
+        }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue.close();
@@ -356,13 +396,17 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
     }
 }
 
-fn ingest_via_queue(claims: Vec<ChunkClaim>, shared: &Arc<Shared>) -> Response {
+fn ingest_via_queue(
+    claims: Vec<ChunkClaim>,
+    shared: &Arc<Shared>,
+    budget: Option<Duration>,
+) -> Response {
     let (tx, rx) = mpsc::sync_channel(1);
     let job = IngestJob { claims, reply: tx };
     if let Err(e) = shared.queue.try_push(job) {
         return Response::from_error(&e);
     }
-    match rx.recv_timeout(shared.cfg.ingest_deadline) {
+    match rx.recv_timeout(clamp_wait(shared.cfg.ingest_deadline, budget)) {
         Ok(Ok(receipt)) => Response::Ack {
             seq: receipt.seq,
             chunks_seen: receipt.chunks_seen,
@@ -456,6 +500,7 @@ impl HaShared {
     /// election meta) is fsynced before any ack, so a panicked handler
     /// thread leaves nothing worth protecting behind the poison bit.
     fn node(&self) -> MutexGuard<'_, ReplicaNode> {
+        // crh-lint: allow(unbounded-wait-in-serve) — in-process mutex; replication waits under the guard are themselves deadline-clamped, so holders are bounded
         self.node.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -482,6 +527,7 @@ impl HaShared {
                 at: st.shard,
             });
         }
+        // crh-lint: allow(unbounded-wait-in-serve) — in-process mutex over the route table; holders only read/swap a small struct
         let map = st.map.lock().unwrap_or_else(PoisonError::into_inner);
         if map_version != map.version {
             return Err(ServeError::StaleShardMap {
@@ -504,6 +550,7 @@ impl HaShared {
     fn route_table(&self) -> Response {
         match self.shard_state() {
             Ok(st) => {
+                // crh-lint: allow(unbounded-wait-in-serve) — in-process mutex over the route table; holders only read/swap a small struct
                 let map = st.map.lock().unwrap_or_else(PoisonError::into_inner);
                 Response::RouteTable {
                     version: map.version,
@@ -574,6 +621,7 @@ impl HaShared {
                 st.shard
             )));
         }
+        // crh-lint: allow(unbounded-wait-in-serve) — in-process mutex over the route table; holders only read/swap a small struct
         let mut map = st.map.lock().unwrap_or_else(PoisonError::into_inner);
         if new_map.version < map.version {
             return Response::from_error(&ServeError::StaleShardMap {
@@ -732,9 +780,11 @@ impl HaServer {
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
+            // crh-lint: allow(unbounded-wait-in-serve) — shutdown join; the flag is set, the accept loop exits on its next bounded accept tick
             t.join().ok();
         }
         if let Some(t) = self.ticker_thread.take() {
+            // crh-lint: allow(unbounded-wait-in-serve) — shutdown join; the ticker sleeps in bounded intervals and re-checks the flag
             t.join().ok();
         }
     }
@@ -758,16 +808,20 @@ impl FrontEnd for HaShared {
     }
     fn handle(self: &Arc<Self>, req: Request) -> Response {
         let now = self.ticks.load(Ordering::SeqCst);
+        let (req, budget) = match unwrap_deadline(req) {
+            Ok(x) => x,
+            Err(e) => return Response::from_error(&e),
+        };
         match req {
-            Request::Ingest(claims) => ingest_replicated(claims, self),
+            Request::Ingest(claims) => ingest_replicated(claims, self, budget),
             Request::IngestCsv(text) => match claims_from_csv(&self.schema, &text) {
-                Ok(claims) => ingest_replicated(claims, self),
+                Ok(claims) => ingest_replicated(claims, self, budget),
                 Err(e) => Response::from_error(&e),
             },
             Request::Weights | Request::Truth { .. } | Request::Status => {
                 replicated_read(&req, self)
             }
-            Request::Solve { .. } => replicated_solve(&req, self),
+            Request::Solve { .. } => replicated_solve(&req, self, budget),
             // the frame names its sender; CatchUp/SeqQuery are answered
             // over this connection, so the handler needs no sender id.
             // The node verifies the frame's cluster key before trusting
@@ -782,7 +836,7 @@ impl FrontEnd for HaShared {
                 map_version,
                 claims,
             } => match self.check_shard(shard, map_version, claims.iter().map(|c| c.object)) {
-                Ok(()) => ingest_replicated(claims, self),
+                Ok(()) => ingest_replicated(claims, self, budget),
                 Err(e) => Response::from_error(&e),
             },
             Request::ShardTruth {
@@ -805,6 +859,12 @@ impl FrontEnd for HaShared {
                 version,
                 ranges,
             } => self.split_cutover(token, version, ranges),
+            Request::Probe { nonce } => Response::ProbeAck { nonce },
+            // decode refuses nested wrappers and unwrap_deadline stripped
+            // the outer one, but the type still admits it
+            Request::WithDeadline { .. } => {
+                Response::from_error(&ServeError::Protocol("nested deadline wrapper".into()))
+            }
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 let mut node = self.node();
@@ -830,7 +890,11 @@ impl FrontEnd for HaShared {
 /// about the client's write. Acking it would report a discarded write as
 /// durable, so a deposed node answers `NotPrimary` instead and the
 /// client retries against the new primary.
-fn ingest_replicated(claims: Vec<ChunkClaim>, shared: &Arc<HaShared>) -> Response {
+fn ingest_replicated(
+    claims: Vec<ChunkClaim>,
+    shared: &Arc<HaShared>,
+    budget: Option<Duration>,
+) -> Response {
     // the staged epoch is captured under the same lock as the staging
     // itself, so it names exactly the reign the record belongs to
     let (seq, epoch) = {
@@ -840,7 +904,11 @@ fn ingest_replicated(claims: Vec<ChunkClaim>, shared: &Arc<HaShared>) -> Respons
             Err(e) => return Response::from_error(&e),
         }
     };
-    let deadline = Instant::now() + shared.cfg.commit_wait;
+    // Once the record is staged durably, a budget that runs out mid-wait
+    // keeps NotReplicated semantics (the write may still commit; the
+    // client must not assume it was refused) — the budget only shortens
+    // how long this hop is willing to wait for the quorum.
+    let deadline = Instant::now() + clamp_wait(shared.cfg.commit_wait, budget);
     loop {
         {
             let node = shared.node();
@@ -901,7 +969,7 @@ fn replicated_read(req: &Request, shared: &Arc<HaShared>) -> Response {
 /// A batch solve copies the weight seed under the lock, solves without
 /// it, and wraps the result with the staleness bound observed *at seed
 /// time* (the seed is what the answer actually depends on).
-fn replicated_solve(req: &Request, shared: &Arc<HaShared>) -> Response {
+fn replicated_solve(req: &Request, shared: &Arc<HaShared>, budget: Option<Duration>) -> Response {
     let Request::Solve {
         tol,
         max_iters,
@@ -923,7 +991,7 @@ fn replicated_solve(req: &Request, shared: &Arc<HaShared>) -> Response {
             node.lag(),
         )
     };
-    let cancel = CancelToken::with_deadline(shared.cfg.server.solve_deadline);
+    let cancel = CancelToken::with_deadline(clamp_wait(shared.cfg.server.solve_deadline, budget));
     let inner = match solve_claims(
         &shared.schema,
         claims,
@@ -998,6 +1066,7 @@ fn ticker(shared: &Arc<HaShared>) {
     // closing the queues wakes the sender threads so they can exit
     drop(senders);
     for h in handles {
+        // crh-lint: allow(unbounded-wait-in-serve) — shutdown join; the dropped queues wake each sender thread immediately
         h.join().ok();
     }
 }

@@ -492,10 +492,12 @@ impl ShardedSim {
         self.groups.get(&shard).is_some_and(|g| g.is_committed(seq))
     }
 
-    /// Read one cell's truth from its owning group (primary first, else
-    /// any alive member) with the member's staleness lag. A group with
-    /// no alive member is the typed degraded refusal — the single-shard
-    /// strict form of the scatter-gather contract.
+    /// Read one cell's truth from its owning group (healthy primary
+    /// first, else any alive member on a healthy disk, else whatever
+    /// answers — see [`SimCluster::read_target`]) with the member's
+    /// staleness lag. A group with no alive member is the typed degraded
+    /// refusal — the single-shard strict form of the scatter-gather
+    /// contract.
     pub fn truth(&self, object: u32, property: u32) -> Result<(Option<Truth>, u64), ServeError> {
         let shard = self.map.shard_of(object);
         let Some(group) = self.groups.get(&shard) else {
@@ -503,7 +505,7 @@ impl ShardedSim {
                 missing_shards: vec![shard],
             });
         };
-        let reader = group.primary().or_else(|| group.alive().into_iter().next());
+        let reader = group.read_target();
         match reader.and_then(|i| group.node(i)) {
             Some(n) => Ok((n.core().truth(object, property), n.lag())),
             None => Err(ServeError::Degraded {
@@ -520,7 +522,7 @@ impl ShardedSim {
         let mut value = Vec::new();
         let mut missing = Vec::new();
         for (&shard, group) in &self.groups {
-            let reader = group.primary().or_else(|| group.alive().into_iter().next());
+            let reader = group.read_target();
             match reader.and_then(|i| group.node(i)) {
                 Some(n) => value.push((shard, n.state_digest())),
                 None => missing.push(shard),

@@ -28,6 +28,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 use crh_core::persist::{decode_frame, encode_frame};
 use crh_core::rng::{hash_rng, Rng};
@@ -37,6 +38,11 @@ use crate::faults::ServePoint;
 
 /// Domain tag decorrelating disk fates from the other seeded plans.
 const DISK_DOMAIN: u64 = 0xD15C;
+
+/// Sub-domain tag for the slow-op draw. Slowness draws beside the main
+/// fate (same op coordinate, different key), so enabling it never
+/// reshuffles an existing seeded fault schedule.
+const SLOW_DOMAIN: u64 = 0x510;
 
 /// `Ok` iff `p` is a usable probability: finite and within `[0, 1]`.
 fn check_prob(name: &str, p: f64) -> Result<(), ServeError> {
@@ -52,6 +58,7 @@ fn check_prob(name: &str, p: f64) -> Result<(), ServeError> {
 /// Recover a possibly-poisoned mutex: the guarded maps stay structurally
 /// valid even if a holder panicked mid-update.
 fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // crh-lint: allow(unbounded-wait-in-serve) — in-process mutex over fault-plan maps; holders only mutate local state, so the wait is bounded by local critical sections
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -78,9 +85,27 @@ pub struct DiskFaultPlan {
     /// fsync, and metadata update fails from then on (reads survive —
     /// `ENOSPC` semantics). `None` = the disk never dies.
     pub sticky_after: Option<u64>,
+    /// Probability a read completes correctly but slowly (gray failure:
+    /// the bytes are right, the latency is not).
+    pub slow_read_prob: f64,
+    /// Probability a write completes correctly but slowly.
+    pub slow_write_prob: f64,
+    /// Probability an fsync completes honestly but slowly.
+    pub slow_fsync_prob: f64,
+    /// Operation index at which the disk turns *chronically* slow: every
+    /// operation from then on stalls by [`slow_for`](Self::slow_for) —
+    /// the dying-but-not-dead disk. Latched and shared across clones,
+    /// like sticky death. `None` = never.
+    pub slow_after: Option<u64>,
+    /// How long a slow operation stalls. Real wall-clock time: slowness
+    /// must be observable by timeouts, unlike the virtual-step delays on
+    /// the network plan.
+    pub slow_for: Duration,
     /// Total budgeted faults before the injector goes permanently
     /// healthy (shared across clones and restarts). Sticky failure is
-    /// not budgeted: a dead disk stays dead.
+    /// not budgeted: a dead disk stays dead. Slowness is not budgeted
+    /// either — it corrupts nothing, and a congested disk does not heal
+    /// because the test got tired.
     pub max_faults: u64,
 }
 
@@ -95,6 +120,11 @@ impl DiskFaultPlan {
             lying_fsync_prob: 0.0,
             transient_eio_prob: 0.0,
             sticky_after: None,
+            slow_read_prob: 0.0,
+            slow_write_prob: 0.0,
+            slow_fsync_prob: 0.0,
+            slow_after: None,
+            slow_for: Duration::from_millis(1),
             max_faults: 16,
         }
     }
@@ -129,6 +159,36 @@ impl DiskFaultPlan {
         self
     }
 
+    /// Set the slow-read probability.
+    pub fn slow_reads(mut self, p: f64) -> Self {
+        self.slow_read_prob = p;
+        self
+    }
+
+    /// Set the slow-write probability.
+    pub fn slow_writes(mut self, p: f64) -> Self {
+        self.slow_write_prob = p;
+        self
+    }
+
+    /// Set the slow-fsync probability.
+    pub fn slow_fsyncs(mut self, p: f64) -> Self {
+        self.slow_fsync_prob = p;
+        self
+    }
+
+    /// Turn the disk chronically slow at operation index `op`.
+    pub fn slow_after(mut self, op: u64) -> Self {
+        self.slow_after = Some(op);
+        self
+    }
+
+    /// Set how long a slow operation stalls.
+    pub fn slow_for(mut self, d: Duration) -> Self {
+        self.slow_for = d;
+        self
+    }
+
     /// Cap the total number of budgeted injected faults.
     pub fn max_faults(mut self, n: u64) -> Self {
         self.max_faults = n;
@@ -142,6 +202,9 @@ impl DiskFaultPlan {
         check_prob("bit_flip_read_prob", self.bit_flip_read_prob)?;
         check_prob("lying_fsync_prob", self.lying_fsync_prob)?;
         check_prob("transient_eio_prob", self.transient_eio_prob)?;
+        check_prob("slow_read_prob", self.slow_read_prob)?;
+        check_prob("slow_write_prob", self.slow_write_prob)?;
+        check_prob("slow_fsync_prob", self.slow_fsync_prob)?;
         for (kind, class) in [
             ("write", self.torn_write_prob),
             ("read", self.bit_flip_read_prob),
@@ -195,6 +258,8 @@ struct VfsState {
     fired: AtomicU64,
     /// Latched once the sticky threshold is crossed.
     sticky: AtomicBool,
+    /// Latched once the chronic-slow threshold is crossed.
+    slow: AtomicBool,
     /// Per-file *truly durable* length: advanced only by an honest
     /// fsync. [`Vfs::simulate_crash`] truncates each file back to it,
     /// which is exactly what power loss does to unsynced page cache.
@@ -226,6 +291,7 @@ impl Vfs {
                 ops: AtomicU64::new(0),
                 fired: AtomicU64::new(0),
                 sticky: AtomicBool::new(false),
+                slow: AtomicBool::new(false),
                 durable: Mutex::new(BTreeMap::new()),
             })),
         })
@@ -253,6 +319,23 @@ impl Vfs {
         }
     }
 
+    /// Whether the disk has turned chronically slow. A primary observing
+    /// this on its own disk self-deposes — it can still serve, but every
+    /// ack it produces drags the cluster's tail.
+    pub fn is_slow(&self) -> bool {
+        self.state
+            .as_ref()
+            .is_some_and(|s| s.slow.load(Ordering::SeqCst))
+    }
+
+    /// Turn the disk chronically slow now (tests flipping a member's
+    /// disk gray at will). No-op on a passthrough [`Vfs`].
+    pub fn force_slow(&self) {
+        if let Some(s) = &self.state {
+            s.slow.store(true, Ordering::SeqCst);
+        }
+    }
+
     /// Draw the fate of the next operation of `kind`.
     fn fate(&self, kind: OpKind) -> DiskFate {
         let Some(s) = &self.state else {
@@ -268,6 +351,7 @@ impl Vfs {
         if s.sticky.load(Ordering::SeqCst) && kind != OpKind::Read {
             return DiskFate::Sticky;
         }
+        self.maybe_stall(kind, op);
         if s.fired.load(Ordering::SeqCst) >= p.max_faults {
             return DiskFate::Healthy;
         }
@@ -302,6 +386,38 @@ impl Vfs {
             }
         }
         fate
+    }
+
+    /// Gray-failure injection: stall the operation without touching its
+    /// bytes. The chronic latch stalls everything; otherwise a seeded
+    /// draw from the slow sub-domain (beside the main fate draw, same op
+    /// coordinate) decides. Sleeps never mutate data, so a slow run's
+    /// digests are bit-identical to a fast run's — which is exactly what
+    /// the chaos_slow suite asserts.
+    fn maybe_stall(&self, kind: OpKind, op: u64) {
+        let Some(s) = &self.state else { return };
+        let p = &s.plan;
+        if let Some(at) = p.slow_after {
+            if op >= at {
+                s.slow.store(true, Ordering::SeqCst);
+            }
+        }
+        if s.slow.load(Ordering::SeqCst) {
+            std::thread::sleep(p.slow_for);
+            return;
+        }
+        let slow_prob = match kind {
+            OpKind::Read => p.slow_read_prob,
+            OpKind::Write => p.slow_write_prob,
+            OpKind::Sync => p.slow_fsync_prob,
+            OpKind::Meta => 0.0,
+        };
+        if slow_prob > 0.0 {
+            let mut rng = hash_rng(p.seed, &[DISK_DOMAIN, SLOW_DOMAIN, op]);
+            if rng.random::<f64>() < slow_prob {
+                std::thread::sleep(p.slow_for);
+            }
+        }
     }
 
     fn transient() -> ServeError {
@@ -846,6 +962,65 @@ mod tests {
         let vfs = Vfs::passthrough();
         vfs.force_sticky();
         assert!(!vfs.is_sticky());
+    }
+
+    #[test]
+    fn slow_disk_stalls_but_never_changes_bytes() {
+        let p = tmp("slow");
+        std::fs::remove_file(&p).ok();
+        let vfs = Vfs::faulted(
+            DiskFaultPlan::new(4)
+                .slow_writes(1.0)
+                .slow_fsyncs(1.0)
+                .slow_for(Duration::from_millis(5)),
+        )
+        .unwrap();
+        let mut f = vfs.open_log(&p).unwrap();
+        let t0 = std::time::Instant::now();
+        f.write_all(b"slow but intact").unwrap();
+        f.sync_data().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(10), "two stalled ops");
+        drop(f);
+        assert_eq!(std::fs::read(&p).unwrap(), b"slow but intact");
+        // slowness is not budgeted and never latches from the per-op draw
+        assert_eq!(vfs.faults_fired(), 0);
+        assert!(!vfs.is_slow());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn chronic_slow_latches_and_survives_clones() {
+        let p = tmp("chronic_slow");
+        std::fs::remove_file(&p).ok();
+        let vfs = Vfs::faulted(
+            DiskFaultPlan::new(6)
+                .slow_after(0)
+                .slow_for(Duration::from_millis(3)),
+        )
+        .unwrap();
+        let clone = vfs.clone();
+        assert!(!vfs.is_slow(), "latch trips on the first op, not install");
+        let mut f = vfs.open_log(&p).unwrap();
+        f.write_all(b"late").unwrap();
+        assert!(vfs.is_slow());
+        assert!(clone.is_slow(), "latch shared across clones");
+        // unlike sticky, the slow disk still works correctly
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&p).unwrap(), b"late");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn force_slow_flips_the_latch_at_will() {
+        let vfs = Vfs::faulted(DiskFaultPlan::new(0)).unwrap();
+        assert!(!vfs.is_slow());
+        vfs.force_slow();
+        assert!(vfs.is_slow());
+        // passthrough ignores the switch entirely
+        let vfs = Vfs::passthrough();
+        vfs.force_slow();
+        assert!(!vfs.is_slow());
     }
 
     #[test]

@@ -112,6 +112,18 @@ fn sample_requests() -> Vec<Request> {
             version: 4,
             ranges: sample_ranges(),
         },
+        Request::WithDeadline {
+            budget_ms: 250,
+            inner: Box::new(Request::Truth {
+                object: 7,
+                property: 1,
+            }),
+        },
+        Request::WithDeadline {
+            budget_ms: 0,
+            inner: Box::new(Request::Status),
+        },
+        Request::Probe { nonce: 0x9D5_F00D },
     ]
 }
 
@@ -193,6 +205,7 @@ fn sample_responses() -> Vec<Response> {
             shard: 2,
             ranges: sample_ranges(),
         },
+        Response::ProbeAck { nonce: 0x9D5_F00D },
     ]
 }
 
@@ -311,6 +324,50 @@ fn mutated_route_tables_are_typed_refusals_never_panics() {
                 Err(e) => assert_eq!(e.wire_code(), code::PROTOCOL, "round {round}"),
             }
         }
+    }
+}
+
+#[test]
+fn mutated_deadline_wrappers_stay_typed_and_never_nest() {
+    // The deadline wrapper carries a length-prefixed inner frame. Bit
+    // flips in the budget or the inner length must come back as typed
+    // errors or valid frames — and no mutation may ever smuggle a
+    // nested wrapper (a second, larger budget) past decode.
+    let outer = Request::WithDeadline {
+        budget_ms: 750,
+        inner: Box::new(Request::Ingest(sample_claims())),
+    };
+    let bytes = outer.encode();
+    for round in 0..512u64 {
+        let mut m = bytes.clone();
+        flip_some(&mut m, 0xF422_0006, &[round]);
+        if let Ok(decoded) = Request::decode(&m) {
+            if let Request::WithDeadline { inner, .. } = &decoded {
+                assert!(
+                    !matches!(**inner, Request::WithDeadline { .. }),
+                    "round {round}: mutation produced a nested deadline wrapper"
+                );
+            }
+            let _ = decoded.encode();
+        }
+    }
+    // a hand-built nested wrapper is refused outright
+    let nested = Request::WithDeadline {
+        budget_ms: 1,
+        inner: Box::new(Request::WithDeadline {
+            budget_ms: u64::MAX,
+            inner: Box::new(Request::Weights),
+        }),
+    };
+    assert!(Request::decode(&nested.encode()).is_err());
+    // boundary budgets are valid *frames*; refusing a zero budget is the
+    // server's job, not the codec's
+    for budget_ms in [0, u64::MAX] {
+        let req = Request::WithDeadline {
+            budget_ms,
+            inner: Box::new(Request::Status),
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
     }
 }
 
