@@ -1,0 +1,182 @@
+//! `blocking-under-lock`: blocking I/O while a lock guard is live.
+//!
+//! The blocking set is the fsync family (`sync_all`, `sync_data`,
+//! `sync_parent_dir`, `fsync`, `write_atomic`), socket operations
+//! (`connect`, `accept`, `read_frame`, `write_frame`), and unbounded
+//! pauses (`sleep`, `join`). Bounded waits (`*_timeout`, the
+//! `clamp_wait` family) are deliberately exempt — PR 8's deadline
+//! machinery makes them safe.
+//!
+//! Reachability is transitive for the **fsync family only**: calling
+//! `ingest(…)` under a lock is flagged if `ingest` fsyncs three frames
+//! deeper, because every other thread behind that mutex inherits the
+//! disk's latency — the gray-failure amplifier DESIGN.md §13 measures.
+//! Socket and pause primitives are flagged only when called *directly*
+//! under a guard: name-based resolution merges unrelated same-named
+//! functions, and almost every bare name in the workspace eventually
+//! reaches a simulation harness's accept loop, so propagating socket
+//! reachability would drown the report in resolution noise.
+
+use crate::callgraph::{Event, Model, Sim};
+use crate::lints::Finding;
+use std::collections::BTreeSet;
+
+/// Call names that block on disk, network, or time.
+pub const BLOCKING: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "sync_parent_dir",
+    "fsync",
+    "write_atomic",
+    "connect",
+    "accept",
+    "read_frame",
+    "write_frame",
+    "sleep",
+    "join",
+];
+
+/// The subset propagated transitively through the call graph: disk
+/// flushes, whose latency under a lock is the amplifier this rule
+/// exists to catch.
+const TRANSITIVE: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "sync_parent_dir",
+    "fsync",
+    "write_atomic",
+];
+
+/// Run the analysis over the serve model.
+pub fn run(model: &Model) -> Vec<Finding> {
+    // Which fsync-family primitives each fn transitively reaches.
+    let blocks = model.fixpoint(|i| {
+        let mut s = BTreeSet::new();
+        for ev in &model.fns[i].events {
+            if let Event::Call { name, .. } = ev {
+                if TRANSITIVE.contains(&name.as_str()) {
+                    s.insert(name.clone());
+                }
+            }
+        }
+        s
+    });
+
+    let mut findings = Vec::new();
+    for (i, f) in model.fns.iter().enumerate().filter(|(_, f)| !f.is_test) {
+        let fname = f.display();
+        crate::callgraph::simulate(model, i, |held, sim| {
+            let Sim::Call {
+                name,
+                resolved,
+                line,
+            } = sim
+            else {
+                return;
+            };
+            if held.is_empty() {
+                return;
+            }
+            let locks: Vec<String> = held.iter().map(|g| format!("`{}`", g.lock)).collect();
+            let locks = locks.join(", ");
+            if BLOCKING.contains(&name) {
+                findings.push(Finding {
+                    lint: "blocking-under-lock",
+                    file: f.file.clone(),
+                    line,
+                    message: format!(
+                        "blocking call `{name}(…)` in `{fname}` while holding {locks}; \
+                         a slow disk/peer stalls every thread behind the lock"
+                    ),
+                });
+                return;
+            }
+            // Transitive: any resolved callee that reaches a primitive.
+            let mut reached = BTreeSet::new();
+            for &j in resolved {
+                reached.extend(blocks[j].iter().cloned());
+            }
+            if let Some(root) = reached.iter().next() {
+                findings.push(Finding {
+                    lint: "blocking-under-lock",
+                    file: f.file.clone(),
+                    line,
+                    message: format!(
+                        "`{name}(…)` in `{fname}` reaches blocking `{root}` while holding \
+                         {locks}; a slow disk/peer stalls every thread behind the lock"
+                    ),
+                });
+            }
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_source;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let (ast, _) = parse_source(src);
+        let model = Model::build(&[("crates/serve/src/fix.rs", &ast)]);
+        run(&model)
+    }
+
+    #[test]
+    fn fsync_under_guard_is_flagged() {
+        let f =
+            findings("impl S { fn f(&self) { let g = self.state.lock(); self.file.sync_all(); } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "blocking-under-lock");
+        assert!(f[0].message.contains("sync_all"));
+    }
+
+    #[test]
+    fn transitive_blocking_is_flagged_with_root() {
+        let f = findings(
+            "impl W { fn append(&self) { self.file.sync_data(); } }\n\
+             impl S { fn f(&self, w: &W) { let g = self.state.lock(); w.append(); } }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("append"));
+        assert!(f[0].message.contains("sync_data"));
+    }
+
+    #[test]
+    fn fsync_after_guard_dies_is_clean() {
+        let f = findings(
+            "impl S {\n\
+             fn temp(&self) { self.state.lock().bump(); self.file.sync_all(); }\n\
+             fn dropped(&self) { let g = self.state.lock(); drop(g); self.file.sync_all(); }\n\
+             fn scoped(&self) { { let g = self.state.lock(); } self.file.sync_all(); }\n\
+             }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn socket_ops_flag_directly_but_not_transitively() {
+        // Direct `connect` under a guard is a finding; reaching it
+        // through another fn is not (only fsyncs propagate).
+        let f = findings(
+            "impl C { fn dial(&self) { self.sock.connect(addr); } }\n\
+             impl S {\n\
+             fn direct(&self) { let g = self.state.lock(); self.sock.connect(addr); }\n\
+             fn indirect(&self, c: &C) { let g = self.state.lock(); c.dial(); }\n\
+             }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("connect"));
+        assert!(f[0].message.contains("S::direct"));
+    }
+
+    #[test]
+    fn bounded_waits_are_exempt() {
+        let f = findings(
+            "impl S { fn f(&self) { let g = self.state.lock(); \
+             let r = self.cv.wait_timeout(g, dur); } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

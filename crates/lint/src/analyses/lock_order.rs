@@ -1,0 +1,198 @@
+//! `lock-order-cycle`: inconsistent lock acquisition order.
+//!
+//! Every non-test function in `crates/serve` is simulated to find the
+//! ordered pairs "lock `A` is held while lock `B` is acquired". Calls
+//! propagate: holding `A` while calling `f` adds an edge `A → L` for
+//! every lock `L` that `f` transitively acquires (guard-returning
+//! helpers count as acquisitions at their call site). An edge that can
+//! reach itself backwards through the resulting lock-order graph is a
+//! potential AB/BA deadlock and is reported at its acquisition site —
+//! one finding per direction, so silencing a cycle requires justifying
+//! *both* orders.
+
+use crate::callgraph::{Event, Model, Sim};
+use crate::lints::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A witness for one ordered edge `first → second`.
+struct Edge {
+    file: String,
+    line: u32,
+    detail: String,
+}
+
+/// Run the analysis over the serve model.
+pub fn run(model: &Model) -> Vec<Finding> {
+    // Transitive "locks this fn may acquire" sets. Passthrough helpers
+    // seed empty (their lock identity exists only at call sites).
+    let acquires = model.fixpoint(|i| {
+        let f = &model.fns[i];
+        if f.returns_guard && f.has_lock_param {
+            return BTreeSet::new();
+        }
+        let mut s = BTreeSet::new();
+        for ev in &f.events {
+            if let Event::Acquire { lock, .. } = ev {
+                s.insert(lock.clone());
+            }
+        }
+        s
+    });
+
+    // Collect ordered edges with one witness each (first wins; files
+    // are walked in sorted order so witnesses are deterministic).
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for (i, f) in model.fns.iter().enumerate().filter(|(_, f)| !f.is_test) {
+        let fname = f.display();
+        crate::callgraph::simulate(model, i, |held, sim| {
+            let (locks, line, detail): (Vec<String>, u32, String) = match sim {
+                Sim::Acquire { lock, line } => (
+                    vec![lock.to_string()],
+                    line,
+                    format!("acquired in `{fname}`"),
+                ),
+                Sim::Call {
+                    name,
+                    resolved,
+                    line,
+                } => {
+                    let mut reached = BTreeSet::new();
+                    for &j in resolved {
+                        reached.extend(acquires[j].iter().cloned());
+                    }
+                    (
+                        reached.into_iter().collect(),
+                        line,
+                        format!("reached via `{name}(…)` in `{fname}`"),
+                    )
+                }
+            };
+            for second in &locks {
+                for g in held {
+                    if &g.lock != second {
+                        edges
+                            .entry((g.lock.clone(), second.clone()))
+                            .or_insert_with(|| Edge {
+                                file: f.file.clone(),
+                                line,
+                                detail: detail.clone(),
+                            });
+                    }
+                }
+            }
+        });
+    }
+
+    // An edge participates in a cycle iff its head can reach its tail.
+    let mut succ: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        succ.entry(a.as_str()).or_default().insert(b.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = succ.get(n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+
+    let mut findings = Vec::new();
+    for ((a, b), e) in &edges {
+        if !reaches(b, a) {
+            continue;
+        }
+        let back = edges
+            .get(&(b.clone(), a.clone()))
+            .map(|r| format!("`{b}` before `{a}` at {}:{}", r.file, r.line))
+            .unwrap_or_else(|| format!("`{b}` reaches `{a}` through intermediate locks"));
+        findings.push(Finding {
+            lint: "lock-order-cycle",
+            file: e.file.clone(),
+            line: e.line,
+            message: format!(
+                "lock `{a}` is held while `{b}` is {} — but the opposite order exists ({back}); \
+                 inconsistent order can deadlock",
+                e.detail
+            ),
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_source;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let (ast, _) = parse_source(src);
+        let model = Model::build(&[("crates/serve/src/fix.rs", &ast)]);
+        run(&model)
+    }
+
+    #[test]
+    fn two_fn_cycle_is_reported_in_both_directions() {
+        let f = findings(
+            "impl S {\n\
+             fn ab(&self) { let a = self.a.write(); let b = self.b.write(); }\n\
+             fn ba(&self) { let b = self.b.write(); let a = self.a.write(); }\n\
+             }",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.lint == "lock-order-cycle"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let f = findings(
+            "impl S {\n\
+             fn ab(&self) { let a = self.a.write(); let b = self.b.write(); }\n\
+             fn ab2(&self) { let a = self.a.write(); let b = self.b.write(); }\n\
+             }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn interprocedural_cycle_through_helper() {
+        let f = findings(
+            "impl S {\n\
+             fn a_guard(&self) -> MutexGuard<'_, X> { self.alock.lock() }\n\
+             fn take_b(&self) { let b = self.block.lock(); }\n\
+             fn forward(&self) { let a = self.a_guard(); self.take_b(); }\n\
+             fn backward(&self) { let b = self.block.lock(); let a = self.a_guard(); }\n\
+             }",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn dropped_guard_breaks_the_order() {
+        let f = findings(
+            "impl S {\n\
+             fn ab(&self) { let a = self.a.lock(); drop(a); let b = self.b.lock(); }\n\
+             fn ba(&self) { let b = self.b.lock(); drop(b); let a = self.a.lock(); }\n\
+             }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = findings(
+            "#[cfg(test)] mod tests { impl S {\n\
+             fn ab(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n\
+             fn ba(&self) { let b = self.b.lock(); let a = self.a.lock(); }\n\
+             } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,556 @@
+//! `wire-registry-drift`: the wire-protocol registry must not drift.
+//!
+//! Parses `crates/serve/src/proto.rs` (the `Request`/`Response` enums,
+//! their `REQ_*`/`RESP_*` tag constants, and the `encode`/`decode`
+//! match arms) plus `crates/serve/src/error.rs` (the `code::` wire
+//! constants), and checks:
+//!
+//! 1. tag values are unique within each family (`REQ_*`, `RESP_*`),
+//! 2. every enum variant has exactly one encode arm writing a tag and
+//!    one decode arm matching a tag — and they agree,
+//! 3. no orphan tag constants,
+//! 4. error wire codes in `error.rs::code` are unique,
+//! 5. every frame type appears in the `proto_fuzz` corpus (scanned at
+//!    token level for `Request::V` / `Response::V`).
+//!
+//! A protocol edit that forgets one of the three registration sites
+//! (tag const, encode arm, decode arm) or skips the fuzz corpus shows
+//! up as a CI-gating finding at the drifted declaration.
+
+use crate::analyses::FileInput;
+use crate::lexer::Tok;
+use crate::lints::Finding;
+use crate::parse::{Arm, Ast, Base, Block, Chain, EnumItem, Expr, Item, Post, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+const LINT: &str = "wire-registry-drift";
+
+/// Run the wire-registry checks over the prepared files.
+pub fn run(files: &[FileInput]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    let proto = files.iter().find(|f| f.rel.ends_with("serve/src/proto.rs"));
+    let error = files.iter().find(|f| f.rel.ends_with("serve/src/error.rs"));
+    let corpus: Vec<&FileInput> = files
+        .iter()
+        .filter(|f| f.rel.contains("proto_fuzz"))
+        .collect();
+
+    if let Some(proto) = proto {
+        check_proto(proto, &corpus, &mut findings);
+    }
+    if let Some(error) = error {
+        check_error_codes(error, &mut findings);
+    }
+    findings
+}
+
+/// (name, value, line) of every const in the tree, `mod`-recursive.
+fn consts(items: &[Item], out: &mut Vec<(String, Option<u64>, u32)>) {
+    for item in items {
+        match item {
+            Item::Const(c) => out.push((c.name.clone(), c.value, c.line)),
+            Item::Mod(m) if !m.cfg_test => consts(&m.items, out),
+            Item::Impl(i) => consts(&i.items, out),
+            _ => {}
+        }
+    }
+}
+
+fn enums(items: &[Item]) -> Vec<&EnumItem> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            Item::Enum(e) => out.push(e),
+            Item::Mod(m) if !m.cfg_test => out.extend(enums(&m.items)),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Flag duplicate values within one constant family.
+fn check_unique(
+    family: &str,
+    consts: &[(String, Option<u64>, u32)],
+    file: &str,
+    what: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let mut by_value: BTreeMap<u64, &str> = BTreeMap::new();
+    for (name, value, line) in consts {
+        if !name.starts_with(family) && !family.is_empty() {
+            continue;
+        }
+        let Some(v) = value else { continue };
+        if let Some(first) = by_value.get(v) {
+            findings.push(Finding {
+                lint: LINT,
+                file: file.to_string(),
+                line: *line,
+                message: format!(
+                    "duplicate {what} {v}: `{name}` collides with `{first}`; \
+                     every wire value must be unique"
+                ),
+            });
+        } else {
+            by_value.insert(*v, name);
+        }
+    }
+}
+
+fn check_proto(proto: &FileInput, corpus: &[&FileInput], findings: &mut Vec<Finding>) {
+    let mut all_consts = Vec::new();
+    consts(&proto.ast.items, &mut all_consts);
+    let all_enums = enums(&proto.ast.items);
+
+    check_unique("REQ_", &all_consts, &proto.rel, "request tag", findings);
+    check_unique("RESP_", &all_consts, &proto.rel, "response tag", findings);
+
+    let corpus_mentions = corpus_paths(corpus);
+
+    for (enum_name, prefix) in [("Request", "REQ_"), ("Response", "RESP_")] {
+        let Some(en) = all_enums.iter().find(|e| e.name == enum_name) else {
+            continue;
+        };
+        let variants: BTreeSet<&str> = en.variants.iter().map(|v| v.name.as_str()).collect();
+        let tag_consts: BTreeSet<&str> = all_consts
+            .iter()
+            .filter(|(n, _, _)| n.starts_with(prefix))
+            .map(|(n, _, _)| n.as_str())
+            .collect();
+
+        // encode: `Self::V … => … e.u8(TAG)`; decode: `TAG => … Self::V`.
+        let mut encode: BTreeMap<String, String> = BTreeMap::new();
+        let mut decode: BTreeMap<String, String> = BTreeMap::new();
+        for_each_fn_arm(&proto.ast, enum_name, |fn_name, arm| {
+            for path in &arm.pat_paths {
+                match path.as_slice() {
+                    [head, v]
+                        if (head == "Self" || head == enum_name)
+                            && variants.contains(v.as_str()) =>
+                    {
+                        if let Some(tag) = find_u8_tag(&arm.body, prefix)
+                            .or_else(|| arm.guard.as_ref().and_then(|g| find_u8_tag(g, prefix)))
+                        {
+                            if fn_name == "encode" {
+                                encode.insert(v.clone(), tag);
+                            }
+                        }
+                    }
+                    [c] if tag_consts.contains(c.as_str()) => {
+                        if let Some(v) = find_variant(&arm.body, enum_name, &variants) {
+                            if fn_name == "decode" {
+                                decode.insert(v, c.clone());
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        });
+
+        for v in &en.variants {
+            let enc = encode.get(&v.name);
+            let dec = decode.get(&v.name);
+            match (enc, dec) {
+                (None, _) => findings.push(Finding {
+                    lint: LINT,
+                    file: proto.rel.clone(),
+                    line: v.line,
+                    message: format!(
+                        "variant `{enum_name}::{}` has no encode arm writing a `{prefix}*` tag; \
+                         frames of this type cannot leave the process",
+                        v.name
+                    ),
+                }),
+                (_, None) => findings.push(Finding {
+                    lint: LINT,
+                    file: proto.rel.clone(),
+                    line: v.line,
+                    message: format!(
+                        "variant `{enum_name}::{}` has no decode arm matching a `{prefix}*` tag; \
+                         peers that send it will be rejected as protocol errors",
+                        v.name
+                    ),
+                }),
+                (Some(e), Some(d)) if e != d => findings.push(Finding {
+                    lint: LINT,
+                    file: proto.rel.clone(),
+                    line: v.line,
+                    message: format!(
+                        "variant `{enum_name}::{}` encodes as `{e}` but decodes from `{d}`; \
+                         round-trips will misparse",
+                        v.name
+                    ),
+                }),
+                _ => {}
+            }
+            if !corpus.is_empty()
+                && !corpus_mentions.contains(&(enum_name.to_string(), v.name.clone()))
+            {
+                findings.push(Finding {
+                    lint: LINT,
+                    file: proto.rel.clone(),
+                    line: v.line,
+                    message: format!(
+                        "frame type `{enum_name}::{}` never appears in the proto_fuzz corpus; \
+                         add it so malformed-frame coverage keeps up with the protocol",
+                        v.name
+                    ),
+                });
+            }
+        }
+        // Orphan tags: a constant no encode arm writes and no decode
+        // arm matches is dead registry weight (or a forgotten variant).
+        for (name, _, line) in all_consts.iter().filter(|(n, _, _)| n.starts_with(prefix)) {
+            let used = encode.values().any(|t| t == name) || decode.values().any(|t| t == name);
+            if !used {
+                findings.push(Finding {
+                    lint: LINT,
+                    file: proto.rel.clone(),
+                    line: *line,
+                    message: format!(
+                        "tag constant `{name}` is not used by any `{enum_name}` encode or \
+                         decode arm; remove it or wire up the missing variant"
+                    ),
+                });
+            }
+        }
+        if corpus.is_empty() {
+            findings.push(Finding {
+                lint: LINT,
+                file: proto.rel.clone(),
+                line: en.line,
+                message: format!(
+                    "no proto_fuzz corpus found to cross-check `{enum_name}` frame coverage; \
+                     the fuzz harness must exercise every frame type"
+                ),
+            });
+        }
+    }
+}
+
+fn check_error_codes(error: &FileInput, findings: &mut Vec<Finding>) {
+    for item in &error.ast.items {
+        if let Item::Mod(m) = item {
+            if m.name == "code" {
+                let mut cs = Vec::new();
+                consts(&m.items, &mut cs);
+                check_unique("", &cs, &error.rel, "error wire code", findings);
+            }
+        }
+    }
+}
+
+/// `Enum::Variant` mentions in the fuzz corpus token streams.
+fn corpus_paths(corpus: &[&FileInput]) -> BTreeSet<(String, String)> {
+    let mut out = BTreeSet::new();
+    for file in corpus {
+        let t = &file.toks;
+        for i in 0..t.len().saturating_sub(3) {
+            let (Tok::Ident(e), Tok::Punct(':'), Tok::Punct(':'), Tok::Ident(v)) =
+                (&t[i].kind, &t[i + 1].kind, &t[i + 2].kind, &t[i + 3].kind)
+            else {
+                continue;
+            };
+            if e == "Request" || e == "Response" {
+                out.insert((e.clone(), v.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Visit every match arm inside `fn encode`/`fn decode` of `impl E`.
+fn for_each_fn_arm(ast: &Ast, enum_name: &str, mut visit: impl FnMut(&str, &Arm)) {
+    fn arms_in_expr<'a>(e: &'a Expr, out: &mut Vec<&'a Arm>) {
+        match e {
+            Expr::Match(m) => {
+                arms_in_expr(&m.scrutinee, out);
+                for arm in &m.arms {
+                    out.push(arm);
+                    if let Some(g) = &arm.guard {
+                        arms_in_expr(g, out);
+                    }
+                    arms_in_expr(&arm.body, out);
+                }
+            }
+            Expr::Block(b) => arms_in_block(b, out),
+            Expr::Seq(parts) => parts.iter().for_each(|p| arms_in_expr(p, out)),
+            Expr::Chain(c) => {
+                let walk_all = |exprs: &'a [Expr], out: &mut Vec<&'a Arm>| {
+                    exprs.iter().for_each(|x| arms_in_expr(x, out));
+                };
+                match &c.base {
+                    Base::Call { args, .. }
+                    | Base::StructLit { fields: args, .. }
+                    | Base::Macro { args, .. }
+                    | Base::Group(args) => walk_all(args, out),
+                    Base::Closure(b) => arms_in_expr(b, out),
+                    _ => {}
+                }
+                for p in &c.post {
+                    match p {
+                        Post::Method { args, .. } => walk_all(args, out),
+                        Post::Index(i) => arms_in_expr(i, out),
+                        _ => {}
+                    }
+                }
+            }
+            Expr::Lit => {}
+        }
+    }
+    fn arms_in_block<'a>(b: &'a Block, out: &mut Vec<&'a Arm>) {
+        for s in &b.stmts {
+            match s {
+                Stmt::Let(l) => {
+                    if let Some(i) = &l.init {
+                        arms_in_expr(i, out);
+                    }
+                }
+                Stmt::Expr { expr, .. } => arms_in_expr(expr, out),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+
+    for item in &ast.items {
+        let Item::Impl(im) = item else { continue };
+        if im.ty != enum_name {
+            continue;
+        }
+        for inner in &im.items {
+            let Item::Fn(f) = inner else { continue };
+            if f.name != "encode" && f.name != "decode" {
+                continue;
+            }
+            let Some(body) = &f.body else { continue };
+            let mut arms = Vec::new();
+            arms_in_block(body, &mut arms);
+            for arm in arms {
+                visit(&f.name, arm);
+            }
+        }
+    }
+}
+
+/// First `…u8(TAG)` call whose argument is a `prefix`-named constant.
+fn find_u8_tag(e: &Expr, prefix: &str) -> Option<String> {
+    let mut found = None;
+    visit_chains(e, &mut |c: &Chain| {
+        if found.is_some() {
+            return;
+        }
+        for p in &c.post {
+            let Post::Method { name, args, .. } = p else {
+                continue;
+            };
+            if name != "u8" {
+                continue;
+            }
+            if let Some(Expr::Chain(arg)) = args.first() {
+                if let Base::Path { segs } = &arg.base {
+                    if let [one] = segs.as_slice() {
+                        if one.starts_with(prefix) {
+                            found = Some(one.clone());
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    found
+}
+
+/// First `Self::V` / `Enum::V` path where `V` is a known variant.
+fn find_variant(e: &Expr, enum_name: &str, variants: &BTreeSet<&str>) -> Option<String> {
+    let mut found = None;
+    visit_chains(e, &mut |c: &Chain| {
+        if found.is_some() {
+            return;
+        }
+        let segs = match &c.base {
+            Base::Path { segs } | Base::Call { segs, .. } | Base::StructLit { segs, .. } => segs,
+            _ => return,
+        };
+        if let [head, v] = segs.as_slice() {
+            if (head == "Self" || head == enum_name) && variants.contains(v.as_str()) {
+                found = Some(v.clone());
+            }
+        }
+    });
+    found
+}
+
+/// Depth-first visit of every chain in an expression tree.
+fn visit_chains(e: &Expr, visit: &mut impl FnMut(&Chain)) {
+    match e {
+        Expr::Chain(c) => {
+            visit(c);
+            let mut walk_all = |exprs: &[Expr]| exprs.iter().for_each(|x| visit_chains(x, visit));
+            match &c.base {
+                Base::Call { args, .. }
+                | Base::StructLit { fields: args, .. }
+                | Base::Macro { args, .. }
+                | Base::Group(args) => walk_all(args),
+                Base::Closure(b) => visit_chains(b, visit),
+                _ => {}
+            }
+            for p in &c.post {
+                match p {
+                    Post::Method { args, .. } => {
+                        args.iter().for_each(|x| visit_chains(x, visit));
+                    }
+                    Post::Index(i) => visit_chains(i, visit),
+                    _ => {}
+                }
+            }
+        }
+        Expr::Block(b) => {
+            for s in &b.stmts {
+                match s {
+                    Stmt::Let(l) => {
+                        if let Some(i) = &l.init {
+                            visit_chains(i, visit);
+                        }
+                    }
+                    Stmt::Expr { expr, .. } => visit_chains(expr, visit),
+                    Stmt::Item(_) => {}
+                }
+            }
+        }
+        Expr::Match(m) => {
+            visit_chains(&m.scrutinee, visit);
+            for arm in &m.arms {
+                if let Some(g) = &arm.guard {
+                    visit_chains(g, visit);
+                }
+                visit_chains(&arm.body, visit);
+            }
+        }
+        Expr::Seq(parts) => parts.iter().for_each(|p| visit_chains(p, visit)),
+        Expr::Lit => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_tokens;
+
+    fn input(rel: &str, src: &str) -> FileInput {
+        let (toks, _) = lex(src);
+        let ast = parse_tokens(&toks);
+        FileInput {
+            rel: rel.to_string(),
+            toks,
+            ast,
+        }
+    }
+
+    const CLEAN_PROTO: &str = "pub enum Request { Ping, Data(Vec<u8>) }\n\
+        pub const REQ_PING: u8 = 0;\n\
+        pub const REQ_DATA: u8 = 1;\n\
+        impl Request {\n\
+        fn encode(&self) { match self { Self::Ping => e.u8(REQ_PING), \
+        Self::Data(d) => { e.u8(REQ_DATA); e.bytes(d); } } }\n\
+        fn decode(d: &mut Dec) { match d.u8()? { REQ_PING => Self::Ping, \
+        REQ_DATA => Self::Data(d.bytes()?), tag => return Err(bad(tag)), } }\n\
+        }";
+
+    const CLEAN_CORPUS: &str =
+        "fn seeds() { roundtrip(Request::Ping); roundtrip(Request::Data(vec![1])); }";
+
+    #[test]
+    fn clean_registry_passes() {
+        let f = run(&[
+            input("crates/serve/src/proto.rs", CLEAN_PROTO),
+            input("crates/serve/tests/proto_fuzz.rs", CLEAN_CORPUS),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn duplicate_tag_is_flagged() {
+        let src = CLEAN_PROTO.replace("REQ_DATA: u8 = 1", "REQ_DATA: u8 = 0");
+        let f = run(&[
+            input("crates/serve/src/proto.rs", &src),
+            input("crates/serve/tests/proto_fuzz.rs", CLEAN_CORPUS),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("duplicate request tag 0"));
+    }
+
+    #[test]
+    fn missing_decode_arm_is_flagged() {
+        let src = CLEAN_PROTO.replace("REQ_DATA => Self::Data(d.bytes()?),", "");
+        let f = run(&[
+            input("crates/serve/src/proto.rs", &src),
+            input("crates/serve/tests/proto_fuzz.rs", CLEAN_CORPUS),
+        ]);
+        // The variant loses its decode arm AND the tag becomes orphaned
+        // on the decode side? No: encode still uses it, so exactly one
+        // finding.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no decode arm"));
+    }
+
+    #[test]
+    fn encode_decode_tag_mismatch_is_flagged() {
+        let src = CLEAN_PROTO
+            .replace("REQ_PING => Self::Ping,", "REQ_DATA => Self::Ping,")
+            .replace(
+                "REQ_DATA => Self::Data(d.bytes()?),",
+                "REQ_PING => Self::Data(d.bytes()?),",
+            );
+        let f = run(&[
+            input("crates/serve/src/proto.rs", &src),
+            input("crates/serve/tests/proto_fuzz.rs", CLEAN_CORPUS),
+        ]);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.message.contains("encodes as")));
+    }
+
+    #[test]
+    fn missing_fuzz_coverage_is_flagged() {
+        let corpus = CLEAN_CORPUS.replace("roundtrip(Request::Data(vec![1]));", "");
+        let f = run(&[
+            input("crates/serve/src/proto.rs", CLEAN_PROTO),
+            input("crates/serve/tests/proto_fuzz.rs", &corpus),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("proto_fuzz corpus"));
+        assert!(f[0].message.contains("Request::Data"));
+    }
+
+    #[test]
+    fn absent_corpus_is_itself_a_finding() {
+        let f = run(&[input("crates/serve/src/proto.rs", CLEAN_PROTO)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no proto_fuzz corpus"));
+    }
+
+    #[test]
+    fn orphan_tag_is_flagged() {
+        let src = format!("{CLEAN_PROTO}\npub const REQ_GHOST: u8 = 9;");
+        let f = run(&[
+            input("crates/serve/src/proto.rs", &src),
+            input("crates/serve/tests/proto_fuzz.rs", CLEAN_CORPUS),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("REQ_GHOST"));
+    }
+
+    #[test]
+    fn duplicate_error_code_is_flagged() {
+        let f = run(&[input(
+            "crates/serve/src/error.rs",
+            "pub mod code { pub const A: u8 = 1; pub const B: u8 = 2; pub const C: u8 = 1; }",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("error wire code 1"));
+    }
+}

@@ -25,8 +25,9 @@ pub enum Tok {
     Char,
     /// A lifetime (`'a`, `'static`).
     Lifetime,
-    /// A numeric literal.
-    Num,
+    /// A numeric literal, carrying its literal text (`255`, `0xC1A5`,
+    /// `1_000u64`) so analyses can recover constant values.
+    Num(String),
     /// A single punctuation character (`.`, `[`, `!`, …).
     Punct(char),
 }
@@ -168,6 +169,55 @@ fn parse_pragma(comment: &str, line: u32, out: &mut Pragmas) {
         return;
     }
     out.record(Pragma { ids, line });
+}
+
+/// Recover the value of an integer literal from its lexed text.
+///
+/// Handles `0x`/`0o`/`0b` radix prefixes, `_` digit separators, and
+/// trailing type suffixes (`255u8`, `0xC1A5u16`). Returns `None` for
+/// floats and malformed text — callers treat those as "not a constant
+/// we can check" rather than an error.
+pub fn parse_int(text: &str) -> Option<u64> {
+    let (radix, digits) = match text.as_bytes() {
+        [b'0', b'x' | b'X', ..] => (16, &text[2..]),
+        [b'0', b'o' | b'O', ..] => (8, &text[2..]),
+        [b'0', b'b' | b'B', ..] => (2, &text[2..]),
+        _ => (10, text),
+    };
+    let mut value: u64 = 0;
+    let mut seen = false;
+    let mut rest = digits.chars().peekable();
+    while let Some(c) = rest.peek().copied() {
+        if c == '_' {
+            rest.next();
+            continue;
+        }
+        let Some(d) = c.to_digit(radix) else { break };
+        value = value
+            .checked_mul(u64::from(radix))?
+            .checked_add(u64::from(d))?;
+        seen = true;
+        rest.next();
+    }
+    // Whatever remains must be a type suffix (`u8`, `i64`, `usize`);
+    // a decimal point or exponent means this was a float.
+    let suffix: String = rest.collect();
+    let ok_suffix = suffix.is_empty()
+        || matches!(
+            suffix.as_str(),
+            "u8" | "u16"
+                | "u32"
+                | "u64"
+                | "u128"
+                | "usize"
+                | "i8"
+                | "i16"
+                | "i32"
+                | "i64"
+                | "i128"
+                | "isize"
+        );
+    (seen && ok_suffix).then_some(value)
 }
 
 /// Lex `src` into a token stream and its pragma table.
@@ -383,7 +433,7 @@ pub fn lex(src: &str) -> (Vec<Token>, Pragmas) {
                     }
                 }
                 toks.push(Token {
-                    kind: Tok::Num,
+                    kind: Tok::Num(chars[i..j].iter().collect()),
                     line: start_line,
                 });
                 i = j;
@@ -485,6 +535,64 @@ mod tests {
         let (_, p) = lex("// crh-lint: allow(panic-unwrap)\nx.unwrap();\n");
         assert!(!p.allows("panic-unwrap", 2));
         assert_eq!(p.bad.len(), 1);
+    }
+
+    #[test]
+    fn byte_strings_hide_their_contents() {
+        // Plain byte strings, with escapes, and raw byte strings at any
+        // hash depth must all lex as one opaque `Str` token.
+        assert_eq!(idents(r#"let x = b"lock() \" fsync";"#), vec!["let", "x"]);
+        assert_eq!(
+            idents(r###"let x = br##"sync_all() "quoted"# "##; fn f() {}"###),
+            vec!["let", "x", "fn", "f"]
+        );
+        assert_eq!(idents(r#"let c = c"connect()";"#), vec!["let", "c"]);
+    }
+
+    #[test]
+    fn byte_char_with_escape() {
+        assert_eq!(
+            idents(r"let b = b'\xff'; fn g() {}"),
+            vec!["let", "b", "fn", "g"]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_before_call_parens() {
+        // `r#fn` is an identifier, not a raw-string start; the following
+        // `(` must survive as punctuation so a parser sees a call.
+        let (toks, _) = lex("r#fn(1); r#try()");
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(kinds[0], &Tok::Ident("fn".into()));
+        assert_eq!(kinds[1], &Tok::Punct('('));
+        assert!(kinds.contains(&&Tok::Ident("try".into())));
+    }
+
+    #[test]
+    fn numeric_literals_carry_text() {
+        let (toks, _) = lex("const A: u8 = 0xC1; let b = 1_000u64; let f = 2.5;");
+        let nums: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Num(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0xC1", "1_000u64", "2.5"]);
+    }
+
+    #[test]
+    fn parse_int_handles_radix_separators_and_suffixes() {
+        assert_eq!(parse_int("255"), Some(255));
+        assert_eq!(parse_int("0xC1A5"), Some(0xC1A5));
+        assert_eq!(parse_int("0b1010"), Some(10));
+        assert_eq!(parse_int("0o17"), Some(15));
+        assert_eq!(parse_int("1_000_000"), Some(1_000_000));
+        assert_eq!(parse_int("255u8"), Some(255));
+        assert_eq!(parse_int("0xFFu16"), Some(255));
+        assert_eq!(parse_int("2.5"), None);
+        assert_eq!(parse_int("1e9"), None);
+        assert_eq!(parse_int("0x"), None);
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //! Lint ids and the invariants they guard are documented in
 //! `DESIGN.md` §9.
 
+pub mod analyses;
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
 
 pub use lints::{known_lint, lint_source, Finding, Scope, LINTS};
 
@@ -55,10 +58,20 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lint every `.rs` file under `root`, returning findings sorted by
-/// (file, line, lint id).
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// One in-memory source file handed to [`lint_files`]: its
+/// workspace-relative path (rule scoping is path-derived) and content.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Full file content.
+    pub src: String,
+}
+
+/// Read every `.rs` file under `root` into [`SourceFile`]s, sorted by
+/// path.
+pub fn read_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -66,10 +79,62 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(&path)?;
-        findings.extend(lint_source(&rel, &src));
+        files.push(SourceFile { rel, src });
     }
+    Ok(files)
+}
+
+/// Phase 1: the per-file lexical lints (unsorted).
+pub fn lint_lexical(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        findings.extend(lint_source(&f.rel, &f.src));
+    }
+    findings
+}
+
+/// Phase 2: the syntax-aware analyses — parse every file, build the
+/// call-graph model, run the `lock-order-cycle`, `blocking-under-lock`
+/// and `wire-registry-drift` rules, then drop findings suppressed by a
+/// pragma in their own file (unsorted).
+pub fn lint_syntax(files: &[SourceFile]) -> Vec<Finding> {
+    let mut inputs = Vec::new();
+    let mut pragmas = std::collections::BTreeMap::new();
+    for f in files {
+        let (toks, prag) = lexer::lex(&f.src);
+        let ast = parse::parse_tokens(&toks);
+        pragmas.insert(f.rel.clone(), prag);
+        inputs.push(analyses::FileInput {
+            rel: f.rel.clone(),
+            toks,
+            ast,
+        });
+    }
+    analyses::run(&inputs)
+        .into_iter()
+        .filter(|f| {
+            pragmas
+                .get(&f.file)
+                .is_none_or(|p| !p.allows(f.lint, f.line))
+        })
+        .collect()
+}
+
+/// Lint a set of in-memory files: lexical rules plus the syntax-aware
+/// analyses, sorted by (file, line, lint id). This is the engine
+/// behind [`lint_workspace`]; integration tests feed it fixture
+/// sources under synthetic paths.
+pub fn lint_files(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = lint_lexical(files);
+    findings.extend(lint_syntax(files));
     findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
-    Ok(findings)
+    findings
+}
+
+/// Lint every `.rs` file under `root`, returning findings sorted by
+/// (file, line, lint id).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(lint_files(&read_workspace(root)?))
 }
 
 /// Escape a string for inclusion in a JSON string literal.

@@ -8,6 +8,7 @@
 //! cargo run -p crh-lint -- --format json # machine-readable, for CI
 //! cargo run -p crh-lint -- --root DIR    # lint a different tree
 //! cargo run -p crh-lint -- --list        # print every lint id
+//! cargo run -p crh-lint -- --explain ID  # rule rationale + fix guidance
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
@@ -16,10 +17,10 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use crh_lint::{find_workspace_root, lint_workspace, to_json, to_text, LINTS};
+use crh_lint::{find_workspace_root, lint_workspace, lints, to_json, to_text, LINTS};
 
 fn usage() -> &'static str {
-    "usage: crh-lint [--format text|json] [--root DIR] [--list]"
+    "usage: crh-lint [--format text|json] [--root DIR] [--list] [--explain LINT-ID]"
 }
 
 fn main() -> ExitCode {
@@ -47,6 +48,23 @@ fn main() -> ExitCode {
                     println!("{id:22} {desc}");
                 }
                 return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    eprintln!("--explain takes a lint id (see --list)\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                match lints::explain(&id) {
+                    Some(text) => {
+                        println!("{id}\n");
+                        println!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("unknown lint id `{id}`; see --list");
+                        return ExitCode::from(2);
+                    }
+                }
             }
             "--help" | "-h" => {
                 println!("{}", usage());

@@ -1,0 +1,39 @@
+//! Fixture: blocking fsync under a live lock guard — direct, reached
+//! transitively through a helper, pragma-suppressed, tricked with
+//! string/comment lookalikes, and cleanly dropped before the flush.
+
+impl Wal {
+    fn append(&self) {
+        self.file.sync_data();
+    }
+}
+
+impl S {
+    fn direct(&self) {
+        let g = self.state.lock();
+        self.file.sync_all();
+        drop(g);
+    }
+    fn transitive(&self, w: &Wal) {
+        let g = self.state.lock();
+        w.append();
+        drop(g);
+    }
+    fn suppressed(&self) {
+        let g = self.state.lock();
+        // crh-lint: allow(blocking-under-lock) — fixture: the imaginary durability contract wants it
+        self.file.sync_all();
+        drop(g);
+    }
+    fn tokens_that_look_like_flushes(&self) {
+        let g = self.state.lock();
+        let s = "self.file.sync_all()";
+        // self.file.sync_all() in a comment does not flush
+        drop((g, s));
+    }
+    fn after_drop(&self) {
+        let g = self.state.lock();
+        drop(g);
+        self.file.sync_all();
+    }
+}

@@ -1,0 +1,41 @@
+//! Fixture: two-fn AB/BA lock-order cycle — the positive case, a fully
+//! pragma-suppressed duplicate, and tricky tokens (strings, raw
+//! strings, comments) that must never register as acquisitions.
+
+impl S {
+    fn ab(&self) {
+        let a = self.a.lock();
+        let b = self.b.lock();
+        drop((a, b));
+    }
+    fn ba(&self) {
+        let b = self.b.lock();
+        let a = self.a.lock();
+        drop((b, a));
+    }
+}
+
+impl T {
+    fn cd(&self) {
+        let c = self.c.lock();
+        // crh-lint: allow(lock-order-cycle) — fixture: order justified by the imaginary protocol
+        let d = self.d.lock();
+        drop((c, d));
+    }
+    fn dc(&self) {
+        let d = self.d.lock();
+        // crh-lint: allow(lock-order-cycle) — fixture: order justified by the imaginary protocol
+        let c = self.c.lock();
+        drop((d, c));
+    }
+}
+
+impl U {
+    fn tokens_that_look_like_locks(&self) {
+        let s = "let e = self.e.lock(); let f = self.f.lock();";
+        let r = r#"self.f.lock(); self.e.lock();"#;
+        let c = 'λ';
+        // self.e.lock(); self.f.lock(); — a comment is not an acquisition
+        drop((s, r, c));
+    }
+}

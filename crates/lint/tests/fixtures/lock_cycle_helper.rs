@@ -1,0 +1,24 @@
+//! Fixture: interprocedural lock-order cycle. `forward` holds the
+//! `alock` guard (through the helper) while `take_b` acquires `block`;
+//! `backward` does the opposite directly. Neither function names both
+//! locks, so only the call graph can see the cycle.
+
+impl S {
+    fn a_guard(&self) -> MutexGuard<'_, Core> {
+        self.alock.lock()
+    }
+    fn take_b(&self) {
+        let b = self.block.lock();
+        drop(b);
+    }
+    fn forward(&self) {
+        let a = self.a_guard();
+        self.take_b();
+        drop(a);
+    }
+    fn backward(&self) {
+        let b = self.block.lock();
+        let a = self.a_guard();
+        drop((b, a));
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a fuzz corpus that covers `Ping` and `Data` but mentions
+//! `Gone` only inside a comment and a string — neither counts, so the
+//! `Gone` coverage gap must still be reported.
+
+fn seeds() {
+    roundtrip(Request::Ping);
+    roundtrip(Request::Data(vec![1]));
+    // Request::Gone — a comment is not coverage
+    let s = "Request::Gone";
+    drop(s);
+}

@@ -1,0 +1,41 @@
+//! Fixture: a drifted wire registry. `REQ_DUP` collides with
+//! `REQ_PING` (and is wired to no arm), `Request::Gone` encodes but
+//! never decodes, and the `RESP_*` duplicate below carries a justified
+//! suppression pragma. Mentions of `REQ_GHOST` in strings or comments
+//! must not register as constants.
+
+pub enum Request {
+    Ping,
+    Data(Vec<u8>),
+    Gone,
+}
+
+pub const REQ_PING: u8 = 0;
+pub const REQ_DATA: u8 = 1;
+pub const REQ_DUP: u8 = 0;
+pub const REQ_GONE: u8 = 3;
+
+pub const RESP_OK: u8 = 0;
+// crh-lint: allow(wire-registry-drift) — fixture: duplicate kept to prove suppression works
+pub const RESP_DUP: u8 = 0;
+
+impl Request {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            Self::Ping => e.u8(REQ_PING),
+            Self::Data(d) => {
+                e.u8(REQ_DATA);
+                e.bytes(d);
+            }
+            Self::Gone => e.u8(REQ_GONE),
+        }
+    }
+    fn decode(d: &mut Dec) -> Result<Self, E> {
+        // "pub const REQ_GHOST: u8 = 9;" — a string is not a registry
+        match d.u8()? {
+            REQ_PING => Self::Ping,
+            REQ_DATA => Self::Data(d.bytes()?),
+            tag => Err(bad(tag)),
+        }
+    }
+}

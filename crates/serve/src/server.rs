@@ -150,6 +150,7 @@ impl Server {
     pub fn shutdown(mut self) {
         self.stop();
         // best-effort final snapshot; a poisoned (chaos) core refuses
+        // crh-lint: allow(blocking-under-lock) — shutdown quiescence: workers are joined, nothing else contends for `core`
         self.shared.core().snapshot_now().ok();
     }
 
@@ -385,6 +386,7 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
             shared.queue.close();
             let chunks_seen = {
                 let mut core = shared.core();
+                // crh-lint: allow(blocking-under-lock) — the final snapshot must be atomic with the chunks_seen read it acks; the queue is closed, so folds have drained
                 core.snapshot_now().ok();
                 core.chunks_seen()
             };
@@ -422,6 +424,7 @@ fn fold_worker(shared: &Arc<Shared>) {
     loop {
         match shared.queue.pop_timeout(Duration::from_millis(50)) {
             Ok(Some(job)) => {
+                // crh-lint: allow(blocking-under-lock) — the durability contract: the WAL append + fsync under `core` is what serializes folds (DESIGN.md §2); hedged reads bound the read-path cost
                 let result = shared.core().ingest(&job.claims);
                 // the client may have timed out and gone; that's fine
                 job.reply.try_send(result).ok();
@@ -588,6 +591,7 @@ impl HaShared {
                 at: st.shard,
             });
         }
+        // crh-lint: allow(blocking-under-lock) — split staging persists the seeded shard under `node` so a crash cannot observe a half-seeded child
         match node.seed_split(snapshot, records) {
             Ok(head) => Response::Ack {
                 seq: head.saturating_sub(1),
@@ -641,6 +645,7 @@ impl HaShared {
                 "conflicting route table at version {version}"
             )));
         }
+        // crh-lint: allow(blocking-under-lock) — persisting the route table under `map` is the cutover's linearization point; racing it would let readers see a map the disk doesn't
         if let Err(e) = st.store.save(&new_map) {
             return Response::from_error(&e);
         }
@@ -774,6 +779,7 @@ impl HaServer {
     /// snapshot so the next open starts from a clean disk.
     pub fn shutdown(mut self) {
         self.stop();
+        // crh-lint: allow(blocking-under-lock) — shutdown quiescence: ticker and peer senders are joined, nothing else contends for `node`
         self.shared.node().snapshot_now().ok();
     }
 
@@ -828,7 +834,9 @@ impl FrontEnd for HaShared {
             // any of it, so a stray client cannot forge these.
             Request::Replicate { node, .. }
             | Request::Heartbeat { node, .. }
+            // crh-lint: allow(blocking-under-lock) — the replicated fold's WAL fsync must be atomic with the replication state transition it acks
             | Request::Promote { node, .. } => self.node().handle(node, &req, now),
+            // crh-lint: allow(blocking-under-lock) — catch-up replay folds durably under `node` for the same reason as Replicate
             Request::CatchUp { .. } | Request::SeqQuery { .. } => self.node().handle(0, &req, now),
             Request::RouteTable => self.route_table(),
             Request::ShardIngest {
@@ -868,6 +876,7 @@ impl FrontEnd for HaShared {
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 let mut node = self.node();
+                // crh-lint: allow(blocking-under-lock) — shutdown snapshot atomic with the chunks_seen it acks, as in the single-node path
                 node.snapshot_now().ok();
                 let chunks_seen = node.core().chunks_seen();
                 Response::Ack {
@@ -899,6 +908,7 @@ fn ingest_replicated(
     // itself, so it names exactly the reign the record belongs to
     let (seq, epoch) = {
         let mut node = shared.node();
+        // crh-lint: allow(blocking-under-lock) — staging the record durably under `node` is what makes the captured epoch name its reign; see the comment above
         match node.client_ingest(&claims) {
             Ok(seq) => (seq, node.epoch()),
             Err(e) => return Response::from_error(&e),
@@ -1053,6 +1063,7 @@ fn ticker(shared: &Arc<HaShared>) {
         std::thread::sleep(shared.cfg.tick);
         let now = shared.ticks.fetch_add(1, Ordering::SeqCst) + 1;
         // a failed fold inside tick() leaves nothing to ship this round
+        // crh-lint: allow(blocking-under-lock) — an election's term bump must be durable before any frame naming the term leaves this node
         let frames = shared.node().tick(now).unwrap_or_default();
         for (dest, req) in frames {
             if let Some(tx) = senders.get(&dest) {
@@ -1099,6 +1110,7 @@ fn peer_sender(shared: &Arc<HaShared>, dest: u32, addr: &str, rx: &mpsc::Receive
         };
         match c.call_raw(&req) {
             Ok(resp) => {
+                // crh-lint: allow(blocking-under-lock) — a quorum-ack commit advance folds durably under `node` before the leader acks clients
                 shared.node().on_reply(dest, &resp, now).ok();
             }
             Err(_) => {
