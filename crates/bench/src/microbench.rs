@@ -66,6 +66,34 @@ impl BenchRecord {
     }
 }
 
+/// A scalar metric recorded alongside the timing records (a measured
+/// crossover size, a speedup ratio, a core count) so the JSON artifact can
+/// pin derived facts, not just raw timings.
+#[derive(Debug, Clone)]
+pub struct MetricRecord {
+    /// The group the metric belongs to.
+    pub group: String,
+    /// The metric name (e.g. `columnar_crossover_objects`).
+    pub id: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl MetricRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"group\":{},\"id\":{},\"value\":{}}}",
+            json_str(&self.group),
+            json_str(&self.id),
+            if self.value.is_finite() {
+                format!("{:.4}", self.value)
+            } else {
+                "null".to_string()
+            }
+        )
+    }
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -87,6 +115,7 @@ pub struct Harness {
     quick: bool,
     json_path: Option<PathBuf>,
     records: Vec<BenchRecord>,
+    metrics: Vec<MetricRecord>,
 }
 
 /// Throughput annotation for a group.
@@ -107,14 +136,61 @@ impl BenchmarkId {
     }
 }
 
+/// Anchor a relative `CRH_BENCH_JSON` path at the **workspace** root.
+///
+/// `cargo bench` runs the bench binary with the *package* directory as its
+/// working directory, but the pinned artifacts (`BENCH_*.json`) live at the
+/// workspace root and CI uploads them from there. Walking `ancestors()` of
+/// `CARGO_MANIFEST_DIR` and keeping the outermost directory that still has
+/// a `Cargo.toml` finds the workspace root without parsing any manifests.
+fn resolve_sink(path: PathBuf) -> PathBuf {
+    if path.is_absolute() {
+        return path;
+    }
+    let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") else {
+        return path;
+    };
+    let manifest = PathBuf::from(manifest);
+    let root = manifest
+        .ancestors()
+        .filter(|a| a.join("Cargo.toml").is_file())
+        .last()
+        .unwrap_or(&manifest);
+    root.join(path)
+}
+
 impl Harness {
     /// Build a harness, honouring `CRH_BENCH_QUICK` and `CRH_BENCH_JSON`.
+    /// Relative sink paths are resolved against the workspace root, not the
+    /// package directory `cargo bench` runs from.
     pub fn from_env() -> Self {
         Self {
             quick: std::env::var("CRH_BENCH_QUICK").is_ok_and(|v| v != "0"),
-            json_path: std::env::var_os("CRH_BENCH_JSON").map(PathBuf::from),
+            json_path: std::env::var_os("CRH_BENCH_JSON")
+                .map(PathBuf::from)
+                .map(resolve_sink),
             records: Vec::new(),
+            metrics: Vec::new(),
         }
+    }
+
+    /// Whether `CRH_BENCH_QUICK` smoke mode is active — benches use this
+    /// to skip their largest inputs and perf gates.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Record a derived scalar metric into the report and the JSON sink.
+    pub fn record_metric(&mut self, group: impl Into<String>, id: impl Into<String>, value: f64) {
+        let (group, id) = (group.into(), id.into());
+        // crh-lint: allow(print-stdout) — a bench harness's job is printing its report; stdout is the deliverable
+        println!("  metric {group}/{id} = {value:.4}");
+        self.metrics.push(MetricRecord { group, id, value });
+    }
+
+    /// The metrics recorded so far.
+    pub fn metrics(&self) -> &[MetricRecord] {
+        &self.metrics
     }
 
     /// Start a named group of related benchmarks.
@@ -143,6 +219,13 @@ impl Harness {
                 out.push(',');
             }
             out.push_str(&r.to_json());
+        }
+        out.push_str("],\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&m.to_json());
         }
         out.push_str("]}\n");
         out
@@ -313,11 +396,34 @@ mod tests {
     }
 
     #[test]
+    fn relative_sink_paths_anchor_at_the_workspace_root() {
+        // Under `cargo test` CARGO_MANIFEST_DIR is this package's dir;
+        // the workspace root is its outermost Cargo.toml-bearing ancestor.
+        let resolved = resolve_sink(PathBuf::from("BENCH_core.json"));
+        assert!(resolved.is_absolute(), "resolved: {}", resolved.display());
+        let root = resolved.parent().unwrap();
+        assert!(
+            root.join("Cargo.toml").is_file(),
+            "sink parent must be a crate root: {}",
+            root.display()
+        );
+        assert!(
+            !root.ends_with("crates/bench"),
+            "sink must not land in the package dir: {}",
+            root.display()
+        );
+        // absolute paths pass through untouched
+        let abs = std::env::temp_dir().join("x.json");
+        assert_eq!(resolve_sink(abs.clone()), abs);
+    }
+
+    #[test]
     fn bencher_measures_something() {
         let mut h = Harness {
             quick: true,
             json_path: None,
             records: Vec::new(),
+            metrics: Vec::new(),
         };
         let mut g = h.benchmark_group("smoke");
         let mut ran = false;
@@ -342,11 +448,13 @@ mod tests {
                 quick: true,
                 json_path: Some(path.clone()),
                 records: Vec::new(),
+                metrics: Vec::new(),
             };
             let mut g = h.benchmark_group("io \"quoted\"");
             g.throughput(Throughput::Elements(100));
             g.bench_function("write/1", |b| b.iter(|| 2 * 2));
             g.finish();
+            h.record_metric("io \"quoted\"", "crossover", 2500.0);
         } // drop writes the file
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"schema\":\"crh-microbench-v1\""));
@@ -357,6 +465,22 @@ mod tests {
         );
         assert!(json.contains("\"elements\":100"));
         assert!(json.contains("\"elems_per_sec\":"));
+        assert!(
+            json.contains("\"id\":\"crossover\",\"value\":2500.0000"),
+            "metrics must land in the sink: {json}"
+        );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_are_recorded_and_non_finite_values_serialize_as_null() {
+        let mut h = Harness::default();
+        h.record_metric("g", "speedup", 1.75);
+        h.record_metric("g", "crossover", f64::NAN);
+        assert_eq!(h.metrics().len(), 2);
+        assert_eq!(h.metrics()[0].value, 1.75);
+        let json = h.render_json();
+        assert!(json.contains("\"id\":\"speedup\",\"value\":1.7500"));
+        assert!(json.contains("\"id\":\"crossover\",\"value\":null"));
     }
 }

@@ -37,6 +37,14 @@ pub enum CrhError {
         /// The offending value.
         value: f64,
     },
+    /// A dense id space (dictionary codes, columnar rows) would exceed its
+    /// `u32` capacity.
+    CapacityExceeded {
+        /// The id space that overflowed.
+        what: &'static str,
+        /// The (exclusive) capacity limit of that space.
+        limit: u64,
+    },
     /// A cooperative cancellation (explicit or deadline) stopped the solve
     /// before convergence.
     Cancelled,
@@ -61,6 +69,9 @@ impl fmt::Display for CrhError {
             }
             CrhError::NonFiniteValue { property, value } => {
                 write!(f, "non-finite observation {value} for continuous property {property}")
+            }
+            CrhError::CapacityExceeded { what, limit } => {
+                write!(f, "{what} exceeded the dense-id capacity of {limit}")
             }
             CrhError::Cancelled => write!(f, "solve cancelled before convergence"),
         }
@@ -107,6 +118,13 @@ mod tests {
         }
         .to_string()
         .contains("p3"));
+        let cap = CrhError::CapacityExceeded {
+            what: "text dictionary codes",
+            limit: u32::MAX as u64,
+        }
+        .to_string();
+        assert!(cap.contains("text dictionary codes"));
+        assert!(cap.contains("4294967295"));
     }
 
     #[test]

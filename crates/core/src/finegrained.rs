@@ -33,6 +33,7 @@ pub struct FineGrainedCrh {
     property_norm: PropertyNorm,
     count_normalize: bool,
     threads: usize,
+    columnar: bool,
 }
 
 /// Result of a fine-grained run.
@@ -77,6 +78,7 @@ impl FineGrainedCrh {
             property_norm: PropertyNorm::SumToOne,
             count_normalize: true,
             threads: 0,
+            columnar: true,
         })
     }
 
@@ -109,6 +111,13 @@ impl FineGrainedCrh {
         self
     }
 
+    /// Toggle the columnar fast-path kernels (default on); results are
+    /// bit-identical either way.
+    pub fn columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
+        self
+    }
+
     /// Run the grouped block coordinate descent. The loop is fused like
     /// [`Crh::run`](crate::solver::Crh::run): one entry-sharded fit +
     /// deviation sweep per iteration, with the post-fit deviations carried
@@ -121,7 +130,7 @@ impl FineGrainedCrh {
                 }
             }
         }
-        let prepared = PreparedProblem::new(table, &HashMap::new())?;
+        let prepared = PreparedProblem::new_with_layout(table, &HashMap::new(), self.columnar)?;
         let k = table.num_sources();
         let group_of = self.group_of_property(table.num_properties())?;
 
@@ -260,6 +269,7 @@ pub struct ObjectGroupedCrh {
     property_norm: PropertyNorm,
     count_normalize: bool,
     threads: usize,
+    columnar: bool,
 }
 
 impl std::fmt::Debug for ObjectGroupedCrh {
@@ -292,6 +302,7 @@ impl ObjectGroupedCrh {
             property_norm: PropertyNorm::SumToOne,
             count_normalize: true,
             threads: 0,
+            columnar: true,
         })
     }
 
@@ -315,9 +326,16 @@ impl ObjectGroupedCrh {
         self
     }
 
+    /// Toggle the columnar fast-path kernels (default on); results are
+    /// bit-identical either way.
+    pub fn columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
+        self
+    }
+
     /// Run the object-grouped block coordinate descent.
     pub fn run(&self, table: &ObservationTable) -> Result<FineGrainedResult> {
-        let prepared = PreparedProblem::new(table, &HashMap::new())?;
+        let prepared = PreparedProblem::new_with_layout(table, &HashMap::new(), self.columnar)?;
         let k = table.num_sources();
         let g_count = self.num_groups;
 

@@ -58,6 +58,9 @@
 //!   updates (Eqs 8-16).
 //! * [`weights`] — weight-assignment schemes for different regularizers
 //!   (Eqs 4-7).
+//! * [`columnar`] / [`kernels`] — the columnar-by-property claim mirror
+//!   (dense ids + `f64` columns + validity bitmaps) and the
+//!   vectorization-friendly loss sweeps the solver runs over it.
 //! * [`solver`] — Algorithm 1 (block coordinate descent).
 //! * [`finegrained`] — per-property-group weights for sources whose
 //!   reliability is not consistent across properties (§2.5).
@@ -72,10 +75,12 @@
 #![deny(missing_docs)]
 
 pub mod cancel;
+pub mod columnar;
 pub mod confidence;
 pub mod error;
 pub mod finegrained;
 pub mod ids;
+pub mod kernels;
 pub mod loss;
 pub mod par;
 pub mod persist;

@@ -50,6 +50,11 @@ impl Loss for AbsoluteLoss {
     fn property_type(&self) -> PropertyType {
         PropertyType::Continuous
     }
+
+    fn kernel_class(&self) -> super::KernelClass {
+        // the columnar median kernel replicates this fit/loss bit-for-bit
+        super::KernelClass::Median
+    }
 }
 
 #[cfg(test)]

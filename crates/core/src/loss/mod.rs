@@ -43,6 +43,7 @@ pub use squared::SquaredLoss;
 pub use zero_one::ZeroOneLoss;
 
 use crate::ids::SourceId;
+pub use crate::kernels::KernelClass;
 use crate::stats::EntryStats;
 use crate::value::{PropertyType, Truth, Value};
 
@@ -75,6 +76,19 @@ pub trait Loss: Send + Sync + std::fmt::Debug {
 
     /// The property type this loss is designed for (used to pick defaults).
     fn property_type(&self) -> PropertyType;
+
+    /// Which columnar fast path (if any) reproduces this loss **exactly**.
+    ///
+    /// The solver routes properties whose loss advertises a
+    /// non-[`Generic`](KernelClass::Generic) class to the flat column
+    /// sweeps in [`kernels`](crate::kernels) instead of calling
+    /// [`fit`](Loss::fit) / [`loss`](Loss::loss) per observation. Only
+    /// return a fast class if your semantics match the corresponding
+    /// built-in ([`ZeroOneLoss`] / [`SquaredLoss`] / [`AbsoluteLoss`])
+    /// bit-for-bit; custom losses should keep the default.
+    fn kernel_class(&self) -> KernelClass {
+        KernelClass::Generic
+    }
 }
 
 /// The paper's default per-type losses (§3.1.2): weighted voting (0-1 loss)

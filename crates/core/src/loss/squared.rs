@@ -60,6 +60,11 @@ impl Loss for SquaredLoss {
     fn property_type(&self) -> PropertyType {
         PropertyType::Continuous
     }
+
+    fn kernel_class(&self) -> super::KernelClass {
+        // the columnar mean kernel replicates this fit/loss bit-for-bit
+        super::KernelClass::Mean
+    }
 }
 
 #[cfg(test)]

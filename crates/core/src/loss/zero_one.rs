@@ -71,6 +71,11 @@ impl Loss for ZeroOneLoss {
     fn property_type(&self) -> PropertyType {
         PropertyType::Categorical
     }
+
+    fn kernel_class(&self) -> super::KernelClass {
+        // the columnar vote kernel replicates this fit/loss bit-for-bit
+        super::KernelClass::Vote
+    }
 }
 
 /// Deterministic tie order: smaller categorical id first, then numeric value,

@@ -15,10 +15,12 @@
 //!   floating-point association order inside each chunk is fixed.
 //! * Every chunk writes into its own pre-allocated slot; nothing is
 //!   accumulated into shared state from worker threads.
-//! * Partial results are merged **in chunk order, never completion order**
-//!   ([`Pool::par_map_reduce`], and the slot layout of
-//!   [`Pool::par_chunks`] / [`Pool::run_jobs`]), so the cross-chunk
-//!   association order is fixed too.
+//! * Partial results are merged **by chunk index, never completion order**
+//!   ([`Pool::par_map_reduce`] folds in chunk order; the slot layout of
+//!   [`Pool::par_chunks`] / [`Pool::run_jobs`] lets the solver merge with
+//!   a fixed pairwise tree over the chunk index — see
+//!   [`kernels::pairwise_accumulate`](crate::kernels::pairwise_accumulate)),
+//!   so the cross-chunk association order is fixed too.
 //! * Chunks are assigned to workers round-robin up front; there is no
 //!   queue, no lock, no clock and no RNG anywhere in the scheduling.
 //!

@@ -39,6 +39,7 @@ pub struct SemiSupervisedCrh {
     property_norm: PropertyNorm,
     count_normalize: bool,
     threads: usize,
+    columnar: bool,
 }
 
 impl std::fmt::Debug for SemiSupervisedCrh {
@@ -68,6 +69,7 @@ impl SemiSupervisedCrh {
             property_norm: PropertyNorm::SumToOne,
             count_normalize: true,
             threads: 0,
+            columnar: true,
         })
     }
 
@@ -76,6 +78,13 @@ impl SemiSupervisedCrh {
     /// value.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
+        self
+    }
+
+    /// Toggle the columnar fast-path kernels (default on); results are
+    /// bit-identical either way.
+    pub fn columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
         self
     }
 
@@ -115,7 +124,7 @@ impl SemiSupervisedCrh {
         for ((_, p), v) in &self.anchors {
             table.schema().check_value(*p, v)?;
         }
-        let prepared = PreparedProblem::new(table, &HashMap::new())?;
+        let prepared = PreparedProblem::new_with_layout(table, &HashMap::new(), self.columnar)?;
         let k = table.num_sources();
         let boost = self
             .anchor_boost

@@ -19,21 +19,40 @@
 //! Both steps decompose over entries (§2.7), so the hot path runs as
 //! **entry-sharded kernels** on a deterministic [`Pool`]: each chunk of the
 //! entry range fits its truths and accumulates its per-source deviations
-//! into a private partial buffer, and the partials are merged in chunk
-//! order — bit-identical output for every thread count (see
-//! [`par`](crate::par)). The iteration loop is **fused**: the deviation
-//! pass that prices the freshly-fitted truths for the convergence check is
-//! the same pass whose losses feed the next iteration's weight update, so
-//! deviations are computed once per iteration instead of twice. All
-//! per-iteration state lives in a [`SolverScratch`] (flat row-major
-//! deviation matrix + per-chunk partials) and a reusable [`TruthTable`]
-//! buffer, both allocated once per run.
+//! into a private partial buffer, and the partials are merged with a fixed
+//! pairwise tree over the chunk index — bit-identical output for every
+//! thread count (see [`par`](crate::par) and
+//! [`kernels`](crate::kernels)). The iteration loop is **fused**: the
+//! deviation pass that prices the freshly-fitted truths for the
+//! convergence check is the same pass whose losses feed the next
+//! iteration's weight update, so deviations are computed once per
+//! iteration instead of twice. All per-iteration state lives in a
+//! [`SolverScratch`] (flat row-major deviation matrix + per-chunk
+//! partials + fit scratch) and a reusable [`TruthTable`] buffer, both
+//! allocated once per run.
+//!
+//! ## Columnar fast path
+//!
+//! A [`PreparedProblem`] built the default way also carries a
+//! [`ColumnarPlan`]: the claims mirrored column-by-property (dense ids,
+//! contiguous `f64`, validity bitmaps — see [`columnar`](crate::columnar)).
+//! Inside each chunk, properties whose loss advertises a fast
+//! [`KernelClass`] run as flat sweeps from [`kernels`](crate::kernels)
+//! instead of per-observation `Value`/vtable dispatch; everything else
+//! (distribution losses, text medoids, anchors with unexpected types,
+//! type-mixed properties) keeps the exact row-oriented per-entry body.
+//! Both layouts produce bit-identical results — the chunk geometry, the
+//! per-entry fold orders and the pairwise merge are shared — which the
+//! determinism suite pins across 5 seeds × 4 thread counts × all four
+//! solver variants. [`CrhBuilder::columnar`] switches the layout per run.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::columnar::{ColumnarPlan, PropertyColumn};
 use crate::error::{CrhError, Result};
 use crate::ids::{EntryId, ObjectId, PropertyId};
+use crate::kernels::{self, FitScratch, KernelClass};
 use crate::loss::{default_loss_for, Loss};
 use crate::par::Pool;
 use crate::stats::{compute_entry_stats, EntryStats};
@@ -80,6 +99,7 @@ pub struct CrhBuilder {
     count_normalize: bool,
     loss_overrides: HashMap<PropertyId, Arc<dyn Loss>>,
     threads: usize,
+    columnar: bool,
 }
 
 impl Default for CrhBuilder {
@@ -102,6 +122,7 @@ impl CrhBuilder {
             count_normalize: true,
             loss_overrides: HashMap::new(),
             threads: 0,
+            columnar: true,
         }
     }
 
@@ -151,6 +172,16 @@ impl CrhBuilder {
         self
     }
 
+    /// Toggle the columnar fast-path kernels (default on). `false` keeps
+    /// every pass on the row-oriented reference path. Results are
+    /// bit-identical either way — the switch trades wall clock only, and
+    /// exists so the determinism suite and the benches can compare the two
+    /// layouts.
+    pub fn columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
+        self
+    }
+
     /// Override the loss for one property (defaults are chosen by type:
     /// 0-1 for categorical, normalized absolute for continuous,
     /// edit distance for text).
@@ -180,6 +211,7 @@ impl std::fmt::Debug for CrhBuilder {
             .field("property_norm", &self.property_norm)
             .field("count_normalize", &self.count_normalize)
             .field("threads", &self.threads)
+            .field("columnar", &self.columnar)
             .finish()
     }
 }
@@ -215,14 +247,32 @@ pub struct PreparedProblem<'t> {
     pub losses: Vec<Arc<dyn Loss>>,
     /// Per-entry statistics, parallel to the table's entries.
     pub stats: Vec<EntryStats>,
+    /// Columnar mirror + per-property kernel classes; `None` keeps every
+    /// kernel on the row-oriented reference path.
+    plan: Option<ColumnarPlan>,
 }
 
 impl<'t> PreparedProblem<'t> {
-    /// Build default (or overridden) losses and entry stats for `table`.
-    /// Overridden losses must match their property's declared type.
+    /// Build default (or overridden) losses and entry stats for `table`,
+    /// plus the columnar fast-path mirror. Overridden losses must match
+    /// their property's declared type.
     pub fn new(
         table: &'t ObservationTable,
         overrides: &HashMap<PropertyId, Arc<dyn Loss>>,
+    ) -> Result<Self> {
+        Self::new_with_layout(table, overrides, true)
+    }
+
+    /// Like [`new`](Self::new) with explicit layout control: `columnar =
+    /// false` skips the columnar mirror so every kernel keeps the exact
+    /// row-oriented path — the pinned reference the determinism suite and
+    /// the benches compare the fast path against. Results are bit-identical
+    /// either way; the flag trades wall clock (and the mirror's memory)
+    /// only.
+    pub fn new_with_layout(
+        table: &'t ObservationTable,
+        overrides: &HashMap<PropertyId, Arc<dyn Loss>>,
+        columnar: bool,
     ) -> Result<Self> {
         let mut losses: Vec<Arc<dyn Loss>> = Vec::with_capacity(table.num_properties());
         for (pid, def) in table.schema().properties() {
@@ -240,16 +290,27 @@ impl<'t> PreparedProblem<'t> {
                 None => losses.push(default_loss_for(def.ptype).into()),
             }
         }
+        let plan = if columnar {
+            Some(ColumnarPlan::new(table, &losses)?)
+        } else {
+            None
+        };
         Ok(Self {
             table,
             losses,
             stats: compute_entry_stats(table),
+            plan,
         })
     }
 
     /// The loss configured for `property`.
     pub fn loss(&self, property: PropertyId) -> &dyn Loss {
         self.losses[property.index()].as_ref()
+    }
+
+    /// The columnar fast-path plan, if this problem was prepared with one.
+    pub fn columnar(&self) -> Option<&ColumnarPlan> {
+        self.plan.as_ref()
     }
 }
 
@@ -320,6 +381,9 @@ pub struct SolverScratch {
     /// Chunk-major partial deviations: chunk `c` owns
     /// `partials[c * rows * cols ..][.. rows * cols]`.
     partials: Vec<f64>,
+    /// One columnar fit scratch (vote tallies, median pair buffer) per
+    /// chunk, so the fused kernel stays allocation-free in steady state.
+    fit: Vec<FitScratch>,
 }
 
 impl SolverScratch {
@@ -327,9 +391,11 @@ impl SolverScratch {
     /// matrix.
     pub fn new(entries: usize, dev_rows: usize, sources: usize) -> Self {
         let cell = dev_rows * sources;
+        let chunks = Pool::num_chunks(entries);
         Self {
             dev: DevMatrix::zeros(dev_rows, sources),
-            partials: vec![0.0; Pool::num_chunks(entries) * cell],
+            partials: vec![0.0; chunks * cell],
+            fit: vec![FitScratch::default(); chunks],
         }
     }
 
@@ -353,21 +419,29 @@ impl SolverScratch {
         if self.dev.rows != dev_rows || self.dev.cols != sources {
             self.dev = DevMatrix::zeros(dev_rows, sources);
         }
-        let want = Pool::num_chunks(entries) * dev_rows * sources;
+        let chunks = Pool::num_chunks(entries);
+        let want = chunks * dev_rows * sources;
         if self.partials.len() != want {
             self.partials.resize(want, 0.0);
         }
+        if self.fit.len() < chunks {
+            self.fit.resize(chunks, FitScratch::default());
+        }
     }
 
-    /// Fold the per-chunk partials into `dev` **in chunk order** — the
-    /// deterministic reduction that makes output independent of scheduling.
+    /// Fold the per-chunk partials into `dev` with the **fixed pairwise
+    /// tree** of [`kernels::pairwise_accumulate`]: the reduction order is a
+    /// pure function of the chunk count (itself a pure function of the
+    /// entry count), so the merged deviations are bit-identical for every
+    /// thread count — and identical between the row and columnar layouts,
+    /// which share this merge.
     fn merge_partials(&mut self) {
-        self.dev.reset();
         let cell = self.dev.data.len();
-        for partial in self.partials.chunks(cell.max(1)) {
-            for (d, p) in self.dev.data.iter_mut().zip(partial) {
-                *d += p;
-            }
+        kernels::pairwise_accumulate(&mut self.partials, cell);
+        if cell > 0 && self.partials.len() >= cell {
+            self.dev.data.copy_from_slice(&self.partials[..cell]);
+        } else {
+            self.dev.reset();
         }
     }
 }
@@ -437,12 +511,223 @@ impl<'a> KernelSpec<'a> {
     }
 }
 
+/// The anchor pinned to entry `i`, if any, with its loss boost.
+#[inline]
+fn anchor_of<'s>(
+    table: &ObservationTable,
+    spec: &'s KernelSpec<'_>,
+    i: usize,
+) -> Option<(&'s Value, f64)> {
+    let a = spec.anchors.as_ref()?;
+    let entry = table.entry(EntryId::from_index(i));
+    a.anchors
+        .get(&(entry.object, entry.property))
+        .map(|v| (v, a.boost))
+}
+
+/// The row-oriented per-entry body of the fused kernel: fit under the
+/// entry's weights, apply any anchor, then accumulate the per-source loss
+/// row. Shared by the row layout and the columnar `Generic` fallback, so
+/// both spell the exact same float program.
+#[inline]
+fn fused_entry(
+    prepared: &PreparedProblem<'_>,
+    spec: &KernelSpec<'_>,
+    m: usize,
+    k: usize,
+    i: usize,
+    cell: &mut Truth,
+    partial: &mut [f64],
+) {
+    let table = prepared.table;
+    let e = EntryId::from_index(i);
+    let entry = table.entry(e);
+    let obs = table.observations(e);
+    let loss = prepared.loss(entry.property);
+    let stats = &prepared.stats[i];
+    let w = spec.weights.for_entry(i, entry.property.index());
+    let mut truth = loss.fit(obs, w, stats);
+    let mut scale = 1.0;
+    if let Some(a) = &spec.anchors {
+        if let Some(v) = a.anchors.get(&(entry.object, entry.property)) {
+            truth = Truth::Point(v.clone());
+            scale = a.boost;
+        }
+    }
+    let block = spec.dev_block_of.map_or(0, |b| b[i]);
+    let start = (block * m + entry.property.index()) * k;
+    let row = &mut partial[start..start + k];
+    for (s, v) in obs {
+        row[s.index()] += scale * loss.loss(&truth, v, stats);
+    }
+    *cell = truth;
+}
+
+/// The columnar fused body for one chunk: property-major sweeps over the
+/// chunk's slice of each column, dispatched by kernel class. Entries whose
+/// class is `Generic` — and fast-class rows that hit an unexpected shape
+/// (anchor of a different type, empty fit) — drop to [`fused_entry`], the
+/// bit-exact row body. Deviation rows accumulate in the same per-entry
+/// order as the row path: within a property, column rows ascend by entry
+/// index, and distinct properties touch distinct deviation rows.
+#[allow(clippy::too_many_arguments)]
+fn fused_chunk_columnar(
+    prepared: &PreparedProblem<'_>,
+    plan: &ColumnarPlan,
+    spec: &KernelSpec<'_>,
+    m: usize,
+    k: usize,
+    range: &std::ops::Range<usize>,
+    cells: &mut [Truth],
+    partial: &mut [f64],
+    fit: &mut FitScratch,
+) {
+    let table = prepared.table;
+    for p in 0..m {
+        let column = plan.table.column(p);
+        let rows = column.rows();
+        let lo = rows.partition_point(|&r| (r as usize) < range.start);
+        let hi = rows.partition_point(|&r| (r as usize) < range.end);
+        if lo == hi {
+            continue;
+        }
+        match (column, plan.class[p]) {
+            (PropertyColumn::Num(col), KernelClass::Mean) => {
+                for (r, &ri) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let i = ri as usize;
+                    let vals = col.values_row(r, k);
+                    let valid = col.valid_row(r);
+                    let (truth, scale) = match anchor_of(table, spec, i) {
+                        Some((v, boost)) => match v.as_num() {
+                            Some(t) => (t, boost),
+                            None => {
+                                fused_entry(
+                                    prepared,
+                                    spec,
+                                    m,
+                                    k,
+                                    i,
+                                    &mut cells[i - range.start],
+                                    partial,
+                                );
+                                continue;
+                            }
+                        },
+                        None => {
+                            let w = spec.weights.for_entry(i, p);
+                            (kernels::fit_mean(vals, valid, w), 1.0)
+                        }
+                    };
+                    cells[i - range.start] = Truth::Point(Value::Num(truth));
+                    let block = spec.dev_block_of.map_or(0, |b| b[i]);
+                    let row = &mut partial[(block * m + p) * k..][..k];
+                    kernels::dev_sweep_squared(
+                        vals,
+                        valid,
+                        truth,
+                        prepared.stats[i].std,
+                        scale,
+                        row,
+                    );
+                }
+            }
+            (PropertyColumn::Num(col), KernelClass::Median) => {
+                for (r, &ri) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let i = ri as usize;
+                    let vals = col.values_row(r, k);
+                    let valid = col.valid_row(r);
+                    let fitted = match anchor_of(table, spec, i) {
+                        Some((v, boost)) => v.as_num().map(|t| (t, boost)),
+                        None => {
+                            let w = spec.weights.for_entry(i, p);
+                            kernels::fit_median(vals, valid, w, &mut fit.pairs).map(|t| (t, 1.0))
+                        }
+                    };
+                    let Some((truth, scale)) = fitted else {
+                        fused_entry(
+                            prepared,
+                            spec,
+                            m,
+                            k,
+                            i,
+                            &mut cells[i - range.start],
+                            partial,
+                        );
+                        continue;
+                    };
+                    cells[i - range.start] = Truth::Point(Value::Num(truth));
+                    let block = spec.dev_block_of.map_or(0, |b| b[i]);
+                    let row = &mut partial[(block * m + p) * k..][..k];
+                    kernels::dev_sweep_absolute(
+                        vals,
+                        valid,
+                        truth,
+                        prepared.stats[i].std,
+                        scale,
+                        row,
+                    );
+                }
+            }
+            (PropertyColumn::Coded(col), KernelClass::Vote) => {
+                let domain = col.domain();
+                for (r, &ri) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let i = ri as usize;
+                    let codes = col.codes_row(r, k);
+                    let valid = col.valid_row(r);
+                    let fitted = match anchor_of(table, spec, i) {
+                        Some((v, boost)) => match v {
+                            Value::Cat(c) => Some((*c, boost)),
+                            _ => None,
+                        },
+                        None => {
+                            let w = spec.weights.for_entry(i, p);
+                            kernels::fit_vote(codes, valid, w, fit, domain).map(|c| (c, 1.0))
+                        }
+                    };
+                    let Some((code, scale)) = fitted else {
+                        fused_entry(
+                            prepared,
+                            spec,
+                            m,
+                            k,
+                            i,
+                            &mut cells[i - range.start],
+                            partial,
+                        );
+                        continue;
+                    };
+                    cells[i - range.start] = Truth::Point(Value::Cat(code));
+                    let block = spec.dev_block_of.map_or(0, |b| b[i]);
+                    let row = &mut partial[(block * m + p) * k..][..k];
+                    kernels::dev_sweep_zero_one(codes, valid, code, scale, row);
+                }
+            }
+            _ => {
+                for &ri in &rows[lo..hi] {
+                    let i = ri as usize;
+                    fused_entry(
+                        prepared,
+                        spec,
+                        m,
+                        k,
+                        i,
+                        &mut cells[i - range.start],
+                        partial,
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The fused Step II + deviation pass: one entry-sharded sweep fits every
 /// entry's truth under `spec.weights` *and* accumulates the new truths'
-/// per-source losses into `scratch` (merged in chunk order). The losses it
-/// leaves in `scratch.dev()` price exactly the truths it leaves in
-/// `truths`, so they serve both the convergence check and the next
-/// iteration's Step I.
+/// per-source losses into `scratch` (merged with the fixed pairwise tree).
+/// The losses it leaves in `scratch.dev()` price exactly the truths it
+/// leaves in `truths`, so they serve both the convergence check and the
+/// next iteration's Step I. When `prepared` carries a [`ColumnarPlan`],
+/// each chunk runs the columnar sweeps instead of the row loop —
+/// bit-identical output either way.
 pub(crate) fn fused_fit_dev(
     prepared: &PreparedProblem<'_>,
     spec: &KernelSpec<'_>,
@@ -461,14 +746,16 @@ pub(crate) fn fused_fit_dev(
         range: std::ops::Range<usize>,
         cells: &'j mut [Truth],
         partial: &'j mut [f64],
+        fit: &'j mut FitScratch,
     }
     let cell = scratch.dev.data.len();
     let ranges = Pool::chunk_ranges(n);
     let mut jobs: Vec<Job<'_>> = Vec::with_capacity(ranges.len());
     let mut rest = truths.as_mut_slice();
-    for (range, partial) in ranges
+    for ((range, partial), fit) in ranges
         .into_iter()
         .zip(scratch.partials.chunks_mut(cell.max(1)))
+        .zip(scratch.fit.iter_mut())
     {
         let (cells, tail) = std::mem::take(&mut rest).split_at_mut(range.len());
         rest = tail;
@@ -476,6 +763,7 @@ pub(crate) fn fused_fit_dev(
             range,
             cells,
             partial,
+            fit,
         });
     }
 
@@ -483,37 +771,133 @@ pub(crate) fn fused_fit_dev(
         for x in job.partial.iter_mut() {
             *x = 0.0;
         }
-        for (offset, i) in job.range.clone().enumerate() {
-            let e = EntryId::from_index(i);
-            let entry = table.entry(e);
-            let obs = table.observations(e);
-            let loss = prepared.loss(entry.property);
-            let stats = &prepared.stats[i];
-            let w = spec.weights.for_entry(i, entry.property.index());
-            let mut truth = loss.fit(obs, w, stats);
-            let mut scale = 1.0;
-            if let Some(a) = &spec.anchors {
-                if let Some(v) = a.anchors.get(&(entry.object, entry.property)) {
-                    truth = Truth::Point(v.clone());
-                    scale = a.boost;
+        match prepared.columnar() {
+            Some(plan) => fused_chunk_columnar(
+                prepared,
+                plan,
+                spec,
+                m,
+                k,
+                &job.range,
+                job.cells,
+                job.partial,
+                job.fit,
+            ),
+            None => {
+                for (offset, i) in job.range.clone().enumerate() {
+                    fused_entry(prepared, spec, m, k, i, &mut job.cells[offset], job.partial);
                 }
             }
-            let block = spec.dev_block_of.map_or(0, |b| b[i]);
-            let start = (block * m + entry.property.index()) * k;
-            let row = &mut job.partial[start..start + k];
-            for (s, v) in obs {
-                row[s.index()] += scale * loss.loss(&truth, v, stats);
-            }
-            job.cells[offset] = truth;
         }
     });
     scratch.merge_partials();
 }
 
+/// The row-oriented per-entry body of the deviation kernel, shared by the
+/// row layout and the columnar `Generic` fallback.
+#[inline]
+fn dev_entry(
+    prepared: &PreparedProblem<'_>,
+    truths: &TruthTable,
+    block_of: Option<&[usize]>,
+    m: usize,
+    k: usize,
+    i: usize,
+    partial: &mut [f64],
+) {
+    let table = prepared.table;
+    let e = EntryId::from_index(i);
+    let entry = table.entry(e);
+    let obs = table.observations(e);
+    let loss = prepared.loss(entry.property);
+    let stats = &prepared.stats[i];
+    let truth = truths.get(e);
+    let block = block_of.map_or(0, |b| b[i]);
+    let start = (block * m + entry.property.index()) * k;
+    let row = &mut partial[start..start + k];
+    for (s, v) in obs {
+        row[s.index()] += loss.loss(truth, v, stats);
+    }
+}
+
+/// The columnar deviation body for one chunk: price the existing truths
+/// against each column slice with the branch-free sweeps. A truth whose
+/// type doesn't match the column (type confusion the row losses price as a
+/// unit penalty per observation) runs [`kernels::dev_sweep_unit`]; columns
+/// without a fast class drop to [`dev_entry`].
+#[allow(clippy::too_many_arguments)]
+fn dev_chunk_columnar(
+    prepared: &PreparedProblem<'_>,
+    plan: &ColumnarPlan,
+    truths: &TruthTable,
+    block_of: Option<&[usize]>,
+    m: usize,
+    k: usize,
+    range: &std::ops::Range<usize>,
+    partial: &mut [f64],
+) {
+    for p in 0..m {
+        let column = plan.table.column(p);
+        let rows = column.rows();
+        let lo = rows.partition_point(|&r| (r as usize) < range.start);
+        let hi = rows.partition_point(|&r| (r as usize) < range.end);
+        if lo == hi {
+            continue;
+        }
+        match (column, plan.class[p]) {
+            (PropertyColumn::Num(col), class @ (KernelClass::Mean | KernelClass::Median)) => {
+                for (r, &ri) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let i = ri as usize;
+                    let vals = col.values_row(r, k);
+                    let valid = col.valid_row(r);
+                    let block = block_of.map_or(0, |b| b[i]);
+                    let row = &mut partial[(block * m + p) * k..][..k];
+                    match truths.get(EntryId::from_index(i)).as_num() {
+                        Some(t) => {
+                            let std = prepared.stats[i].std;
+                            if class == KernelClass::Mean {
+                                kernels::dev_sweep_squared(vals, valid, t, std, 1.0, row);
+                            } else {
+                                kernels::dev_sweep_absolute(vals, valid, t, std, 1.0, row);
+                            }
+                        }
+                        None => kernels::dev_sweep_unit(valid, 1.0, row),
+                    }
+                }
+            }
+            (PropertyColumn::Coded(col), KernelClass::Vote) => {
+                for (r, &ri) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let i = ri as usize;
+                    let codes = col.codes_row(r, k);
+                    let valid = col.valid_row(r);
+                    let block = block_of.map_or(0, |b| b[i]);
+                    let row = &mut partial[(block * m + p) * k..][..k];
+                    // replicate `truth.point().matches(obs)` without the clone
+                    let tc = match truths.get(EntryId::from_index(i)) {
+                        Truth::Point(Value::Cat(c)) => Some(*c),
+                        Truth::Distribution { mode, .. } => Some(*mode),
+                        _ => None,
+                    };
+                    match tc {
+                        Some(c) => kernels::dev_sweep_zero_one(codes, valid, c, 1.0, row),
+                        None => kernels::dev_sweep_unit(valid, 1.0, row),
+                    }
+                }
+            }
+            _ => {
+                for &ri in &rows[lo..hi] {
+                    dev_entry(prepared, truths, block_of, m, k, ri as usize, partial);
+                }
+            }
+        }
+    }
+}
+
 /// Deviation-only pass over existing truths (Step I input when the truths
-/// were produced elsewhere): entry-sharded, merged in chunk order into
-/// `scratch.dev()`. `blocks` optionally routes each entry's row into a
-/// per-group block of the matrix (object-grouped variant).
+/// were produced elsewhere): entry-sharded, merged with the fixed pairwise
+/// tree into `scratch.dev()`. `blocks` optionally routes each entry's row
+/// into a per-group block of the matrix (object-grouped variant). Runs the
+/// columnar sweeps when `prepared` carries a plan.
 pub(crate) fn dev_kernel(
     prepared: &PreparedProblem<'_>,
     truths: &TruthTable,
@@ -542,26 +926,105 @@ pub(crate) fn dev_kernel(
         for x in partial.iter_mut() {
             *x = 0.0;
         }
-        for i in range.clone() {
-            let e = EntryId::from_index(i);
-            let entry = table.entry(e);
-            let obs = table.observations(e);
-            let loss = prepared.loss(entry.property);
-            let stats = &prepared.stats[i];
-            let truth = truths.get(e);
-            let block = block_of.map_or(0, |b| b[i]);
-            let start = (block * m + entry.property.index()) * k;
-            let row = &mut partial[start..start + k];
-            for (s, v) in obs {
-                row[s.index()] += loss.loss(truth, v, stats);
+        match prepared.columnar() {
+            Some(plan) => {
+                dev_chunk_columnar(prepared, plan, truths, block_of, m, k, range, partial)
+            }
+            None => {
+                for i in range.clone() {
+                    dev_entry(prepared, truths, block_of, m, k, i, partial);
+                }
             }
         }
     });
     scratch.merge_partials();
 }
 
+/// The row-oriented per-entry body of the fit kernel, shared by the row
+/// layout and the columnar `Generic` fallback.
+#[inline]
+fn fit_entry(
+    prepared: &PreparedProblem<'_>,
+    weights: &KernelWeights<'_>,
+    i: usize,
+    cell: &mut Truth,
+) {
+    let table = prepared.table;
+    let e = EntryId::from_index(i);
+    let entry = table.entry(e);
+    let obs = table.observations(e);
+    let loss = prepared.loss(entry.property);
+    let w = weights.for_entry(i, entry.property.index());
+    *cell = loss.fit(obs, w, &prepared.stats[i]);
+}
+
+/// The columnar fit body for one chunk: class-dispatched fast fits, with
+/// [`fit_entry`] as the `Generic` fallback.
+fn fit_chunk_columnar(
+    prepared: &PreparedProblem<'_>,
+    plan: &ColumnarPlan,
+    weights: &KernelWeights<'_>,
+    k: usize,
+    range: &std::ops::Range<usize>,
+    cells: &mut [Truth],
+    fit: &mut FitScratch,
+) {
+    for p in 0..plan.table.num_columns() {
+        let column = plan.table.column(p);
+        let rows = column.rows();
+        let lo = rows.partition_point(|&r| (r as usize) < range.start);
+        let hi = rows.partition_point(|&r| (r as usize) < range.end);
+        if lo == hi {
+            continue;
+        }
+        match (column, plan.class[p]) {
+            (PropertyColumn::Num(col), KernelClass::Mean) => {
+                for (r, &ri) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let i = ri as usize;
+                    let w = weights.for_entry(i, p);
+                    let t = kernels::fit_mean(col.values_row(r, k), col.valid_row(r), w);
+                    cells[i - range.start] = Truth::Point(Value::Num(t));
+                }
+            }
+            (PropertyColumn::Num(col), KernelClass::Median) => {
+                for (r, &ri) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let i = ri as usize;
+                    let w = weights.for_entry(i, p);
+                    match kernels::fit_median(
+                        col.values_row(r, k),
+                        col.valid_row(r),
+                        w,
+                        &mut fit.pairs,
+                    ) {
+                        Some(t) => cells[i - range.start] = Truth::Point(Value::Num(t)),
+                        None => fit_entry(prepared, weights, i, &mut cells[i - range.start]),
+                    }
+                }
+            }
+            (PropertyColumn::Coded(col), KernelClass::Vote) => {
+                let domain = col.domain();
+                for (r, &ri) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let i = ri as usize;
+                    let w = weights.for_entry(i, p);
+                    match kernels::fit_vote(col.codes_row(r, k), col.valid_row(r), w, fit, domain) {
+                        Some(c) => cells[i - range.start] = Truth::Point(Value::Cat(c)),
+                        None => fit_entry(prepared, weights, i, &mut cells[i - range.start]),
+                    }
+                }
+            }
+            _ => {
+                for &ri in &rows[lo..hi] {
+                    let i = ri as usize;
+                    fit_entry(prepared, weights, i, &mut cells[i - range.start]);
+                }
+            }
+        }
+    }
+}
+
 /// Fit-only pass (Eq 3): entry-sharded truth update into the reusable
-/// `truths` buffer.
+/// `truths` buffer. Runs the columnar fast fits when `prepared` carries a
+/// plan.
 pub(crate) fn fit_kernel(
     prepared: &PreparedProblem<'_>,
     weights: &KernelWeights<'_>,
@@ -570,6 +1033,7 @@ pub(crate) fn fit_kernel(
 ) {
     let table = prepared.table;
     let n = table.num_entries();
+    let k = table.num_sources();
     truths.resize_for_fit(n);
 
     let ranges = Pool::chunk_ranges(n);
@@ -581,14 +1045,15 @@ pub(crate) fn fit_kernel(
         jobs.push((range, cells));
     }
 
-    pool.run_jobs(&mut jobs, |(range, cells)| {
-        for (offset, i) in range.clone().enumerate() {
-            let e = EntryId::from_index(i);
-            let entry = table.entry(e);
-            let obs = table.observations(e);
-            let loss = prepared.loss(entry.property);
-            let w = weights.for_entry(i, entry.property.index());
-            cells[offset] = loss.fit(obs, w, &prepared.stats[i]);
+    pool.run_jobs(&mut jobs, |(range, cells)| match prepared.columnar() {
+        Some(plan) => {
+            let mut fit = FitScratch::default();
+            fit_chunk_columnar(prepared, plan, weights, k, range, cells, &mut fit);
+        }
+        None => {
+            for (offset, i) in range.clone().enumerate() {
+                fit_entry(prepared, weights, i, &mut cells[offset]);
+            }
         }
     });
 }
@@ -730,7 +1195,8 @@ impl Crh {
     /// (pinned by test), which computes the deviation pass twice per
     /// iteration the way the original transcription did.
     pub fn run(&self, table: &ObservationTable) -> Result<CrhResult> {
-        let prepared = PreparedProblem::new(table, &self.cfg.loss_overrides)?;
+        let prepared =
+            PreparedProblem::new_with_layout(table, &self.cfg.loss_overrides, self.cfg.columnar)?;
         let k = table.num_sources();
         if k == 0 {
             return Err(CrhError::EmptyTable);
@@ -803,7 +1269,8 @@ impl Crh {
     /// instead of one. Retained to pin the fused loop's trace equality and
     /// to benchmark the fusion win; prefer [`run`](Self::run).
     pub fn run_unfused(&self, table: &ObservationTable) -> Result<CrhResult> {
-        let prepared = PreparedProblem::new(table, &self.cfg.loss_overrides)?;
+        let prepared =
+            PreparedProblem::new_with_layout(table, &self.cfg.loss_overrides, self.cfg.columnar)?;
         let k = table.num_sources();
         if k == 0 {
             return Err(CrhError::EmptyTable);

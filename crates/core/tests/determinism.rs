@@ -2,18 +2,27 @@
 //! **byte-identical** results at every kernel thread count.
 //!
 //! The parallel kernels' contract (see `crh_core::par`) is that chunk
-//! geometry depends only on the entry count and partials merge in chunk
-//! order, so `threads ∈ {1, 2, 3, 8}` must agree to the bit — weights,
-//! objective traces, and every truth cell. Each result is serialized with
-//! the exact-bits `persist::Enc` and compared by `digest64`, so even a
-//! single last-ulp divergence fails the suite. The tables are sized well
-//! past one kernel chunk (256 entries) so multiple chunks — and real
-//! cross-thread merging — are actually exercised.
+//! geometry depends only on the entry count and partials merge with a
+//! fixed pairwise tree over the chunk index, so `threads ∈ {1, 2, 3, 8}`
+//! must agree to the bit — weights, objective traces, and every truth
+//! cell. Each result is serialized with the exact-bits `persist::Enc` and
+//! compared by `digest64`, so even a single last-ulp divergence fails the
+//! suite. The tables are sized well past one kernel chunk (256 entries) so
+//! multiple chunks — and real cross-thread merging — are actually
+//! exercised.
+//!
+//! The second half of the suite pins the **columnar fast path** against
+//! the row-oriented reference: for every solver variant, every seed and
+//! every thread count, `columnar(true)` must reproduce the
+//! `columnar(false).threads(1)` digest exactly. The columnar sweeps are
+//! written to replay the row path's float programs (see
+//! `crh_core::kernels`), and this suite is the proof.
 
 use std::collections::HashMap;
 
 use crh_core::finegrained::{FineGrainedCrh, FineGrainedResult, ObjectGroupedCrh};
 use crh_core::ids::{ObjectId, PropertyId, SourceId};
+use crh_core::loss::{ProbVectorLoss, SquaredLoss};
 use crh_core::persist::{digest64, Enc};
 use crh_core::rng::{Pcg64, Rng};
 use crh_core::schema::Schema;
@@ -24,6 +33,9 @@ use crh_core::value::Value;
 
 const SEEDS: [u64; 5] = [1, 2, 17, 404, 90210];
 const THREADS: [usize; 4] = [1, 2, 3, 8];
+/// Thread sweep for the columnar-vs-row comparison (the scaling bench's
+/// thread set).
+const COL_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// A seeded mixed categorical/continuous table: ~500 objects × 2
 /// properties × 8 sources with ~80% observation density, so roughly a
@@ -190,6 +202,181 @@ fn semi_supervised_is_digest_identical_at_every_thread_count() {
                 digest_plain(&run(threads)),
                 reference,
                 "seed {seed}: semi-supervised threads={threads} diverged"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar-vs-row bit identity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn columnar_plain_crh_matches_row_reference_bitwise() {
+    for seed in SEEDS {
+        let table = seeded_table(seed);
+        let run = |columnar: bool, threads: usize| {
+            CrhBuilder::new()
+                .columnar(columnar)
+                .threads(threads)
+                .max_iters(30)
+                .tolerance(1e-9)
+                .build()
+                .unwrap()
+                .run(&table)
+                .unwrap()
+        };
+        let reference = digest_plain(&run(false, 1));
+        for threads in COL_THREADS {
+            assert_eq!(
+                digest_plain(&run(true, threads)),
+                reference,
+                "seed {seed}: columnar threads={threads} diverged from the row path"
+            );
+        }
+    }
+}
+
+#[test]
+fn columnar_fine_grained_matches_row_reference_bitwise() {
+    for seed in SEEDS {
+        let table = seeded_table(seed);
+        let run = |columnar: bool, threads: usize| {
+            FineGrainedCrh::per_property(2)
+                .unwrap()
+                .columnar(columnar)
+                .threads(threads)
+                .max_iters(25)
+                .run(&table)
+                .unwrap()
+        };
+        let reference = digest_grouped(&run(false, 1));
+        for threads in COL_THREADS {
+            assert_eq!(
+                digest_grouped(&run(true, threads)),
+                reference,
+                "seed {seed}: columnar fine-grained threads={threads} diverged from the row path"
+            );
+        }
+    }
+}
+
+#[test]
+fn columnar_object_grouped_matches_row_reference_bitwise() {
+    for seed in SEEDS {
+        let table = seeded_table(seed);
+        let run = |columnar: bool, threads: usize| {
+            ObjectGroupedCrh::new(3, |o: ObjectId| (o.0 % 3) as usize)
+                .unwrap()
+                .columnar(columnar)
+                .threads(threads)
+                .max_iters(25)
+                .run(&table)
+                .unwrap()
+        };
+        let reference = digest_grouped(&run(false, 1));
+        for threads in COL_THREADS {
+            assert_eq!(
+                digest_grouped(&run(true, threads)),
+                reference,
+                "seed {seed}: columnar object-grouped threads={threads} diverged from the row path"
+            );
+        }
+    }
+}
+
+#[test]
+fn columnar_semi_supervised_matches_row_reference_bitwise() {
+    for seed in SEEDS {
+        let table = seeded_table(seed);
+        let mut anchors = HashMap::new();
+        for o in [0u32, 7, 42] {
+            anchors.insert((ObjectId(o), PropertyId(0)), Value::Num((o % 90) as f64));
+        }
+        // also pin one categorical anchor so the coded vote sweep hits the
+        // anchored branch
+        anchors.insert(
+            (ObjectId(3), PropertyId(1)),
+            table
+                .schema()
+                .lookup(PropertyId(1), "storm")
+                .expect("label exists"),
+        );
+        let run = |columnar: bool, threads: usize| {
+            SemiSupervisedCrh::new(anchors.clone())
+                .unwrap()
+                .columnar(columnar)
+                .threads(threads)
+                .max_iters(25)
+                .run(&table)
+                .unwrap()
+        };
+        let reference = digest_plain(&run(false, 1));
+        for threads in COL_THREADS {
+            assert_eq!(
+                digest_plain(&run(true, threads)),
+                reference,
+                "seed {seed}: columnar semi-supervised threads={threads} diverged from the row path"
+            );
+        }
+    }
+}
+
+/// Loss overrides swap the kernel class (squared → mean sweep) or disable
+/// the fast path entirely (prob-vector → `Generic` on a coded column); both
+/// must still match the row reference to the bit.
+#[test]
+fn columnar_matches_row_reference_under_loss_overrides() {
+    for seed in SEEDS {
+        let table = seeded_table(seed);
+        let run = |columnar: bool, threads: usize| {
+            CrhBuilder::new()
+                .columnar(columnar)
+                .threads(threads)
+                .loss_for(PropertyId(0), SquaredLoss)
+                .loss_for(PropertyId(1), ProbVectorLoss)
+                .max_iters(25)
+                .tolerance(1e-9)
+                .build()
+                .unwrap()
+                .run(&table)
+                .unwrap()
+        };
+        let reference = digest_plain(&run(false, 1));
+        for threads in COL_THREADS {
+            assert_eq!(
+                digest_plain(&run(true, threads)),
+                reference,
+                "seed {seed}: columnar with overrides threads={threads} diverged from the row path"
+            );
+        }
+    }
+}
+
+/// The unfused reference loop (separate fit and deviation kernels) must
+/// also be layout-invariant — it drives `fit_kernel` and `dev_kernel`
+/// directly, the passes the fused loop doesn't exercise in isolation.
+#[test]
+fn columnar_unfused_loop_matches_row_reference_bitwise() {
+    for seed in SEEDS.iter().take(2) {
+        let table = seeded_table(*seed);
+        let run = |columnar: bool, threads: usize| {
+            CrhBuilder::new()
+                .columnar(columnar)
+                .threads(threads)
+                .max_iters(20)
+                .tolerance(1e-9)
+                .build()
+                .unwrap()
+                .run_unfused(&table)
+                .unwrap()
+        };
+        let reference = digest_plain(&run(false, 1));
+        for threads in COL_THREADS {
+            assert_eq!(
+                digest_plain(&run(true, threads)),
+                reference,
+                "seed {seed}: columnar unfused threads={threads} diverged from the row path"
             );
         }
     }

@@ -193,8 +193,10 @@ pub struct Scope {
 /// Files where a stray wall-clock read would break seeded replay:
 /// chaos plans, the failover simulator, the deterministic scheduler
 /// core, digest/checkpoint construction, cancellation deadlines
-/// threaded through chaos tests, and the solver's deterministic thread
-/// pool (whose scheduling must depend on nothing but the input size).
+/// threaded through chaos tests, the solver's deterministic thread
+/// pool (whose scheduling must depend on nothing but the input size),
+/// and the columnar kernels (whose fold orders must depend on nothing
+/// but the claim set).
 const CLOCK_SCOPE: &[&str] = &[
     "crates/serve/src/faults.rs",
     "crates/serve/src/failover.rs",
@@ -206,6 +208,8 @@ const CLOCK_SCOPE: &[&str] = &[
     "crates/mapreduce/src/driver.rs",
     "crates/mapreduce/src/engine.rs",
     "crates/core/src/cancel.rs",
+    "crates/core/src/columnar.rs",
+    "crates/core/src/kernels.rs",
     "crates/core/src/par.rs",
     "crates/core/src/persist.rs",
     "crates/core/src/rng.rs",
@@ -213,9 +217,9 @@ const CLOCK_SCOPE: &[&str] = &[
 
 /// Files whose in-memory maps feed digests, checkpoints, or simulated
 /// cluster state: unstable iteration order there shows up as
-/// replica-digest divergence. Includes the solver's thread pool, where a
-/// map-ordered merge would silently break the bit-identical-reduction
-/// contract.
+/// replica-digest divergence. Includes the solver's thread pool and the
+/// columnar layer, where a map-ordered merge (or map-ordered dictionary
+/// build) would silently break the bit-identical-reduction contract.
 const HASH_SCOPE: &[&str] = &[
     "crates/serve/src/faults.rs",
     "crates/serve/src/failover.rs",
@@ -223,6 +227,8 @@ const HASH_SCOPE: &[&str] = &[
     "crates/serve/src/replicate.rs",
     "crates/serve/src/shard.rs",
     "crates/mapreduce/src/faults.rs",
+    "crates/core/src/columnar.rs",
+    "crates/core/src/kernels.rs",
     "crates/core/src/par.rs",
     "crates/core/src/persist.rs",
     "crates/core/src/rng.rs",
@@ -903,6 +909,13 @@ mod tests {
             s.panic && s.clock && s.hash,
             "the deterministic pool carries panic + determinism rules"
         );
+        for f in ["crates/core/src/columnar.rs", "crates/core/src/kernels.rs"] {
+            let s = Scope::for_path(f);
+            assert!(
+                s.panic && s.clock && s.hash,
+                "{f}: the columnar layer carries panic + determinism rules"
+            );
+        }
         let s = Scope::for_path("src/bin/crh.rs");
         assert!(!s.panic && !s.print);
     }

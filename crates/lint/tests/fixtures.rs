@@ -106,6 +106,37 @@ fn determinism_lints_fire_in_clock_and_hash_scope() {
 }
 
 #[test]
+fn columnar_kernel_files_are_in_the_determinism_and_panic_scopes() {
+    // The columnar mirror and its loss sweeps joined CLOCK_SCOPE and
+    // HASH_SCOPE: a clock read, ambient RNG, or map-ordered iteration
+    // there would break the columnar-vs-row bit-identity contract just
+    // as surely as in the thread pool. Pin the scope extension with the
+    // same violation corpus the other determinism files use.
+    let src = include_str!("fixtures/clock_hash.rs");
+    for path in ["crates/core/src/columnar.rs", "crates/core/src/kernels.rs"] {
+        let found = lint_source(path, src);
+        assert_eq!(
+            hits(&found),
+            vec![
+                ("nondet-clock", 8),
+                ("nondet-hash-iter", 4),
+                ("nondet-hash-iter", 9),
+                ("nondet-hash-iter", 9),
+                ("nondet-rng", 10),
+            ],
+            "{path}: full diagnostics: {found:#?}"
+        );
+        // They are core lib code, so panic-freedom applies too.
+        let found = lint_source(path, "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert_eq!(
+            hits(&found),
+            vec![("panic-unwrap", 1)],
+            "{path}: full diagnostics: {found:#?}"
+        );
+    }
+}
+
+#[test]
 fn determinism_lints_stay_quiet_outside_their_scope() {
     let src = include_str!("fixtures/clock_hash.rs");
     // stream code is panic-scoped but not determinism-scoped
